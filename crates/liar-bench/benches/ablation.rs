@@ -1,0 +1,47 @@
+//! Ablation: how sensitive is idiom selection to the cost model's
+//! "semi-arbitrarily chosen" discount factors (paper listings 7–8)?
+//!
+//! Sweeps a scale on the per-call discount term and benchmarks the full
+//! pipeline; the interesting output is printed once per scale: which
+//! solutions survive as library calls get less attractive.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use liar_core::{Liar, Target};
+use liar_kernels::Kernel;
+
+fn bench_discount_ablation(c: &mut Criterion) {
+    let kernel = Kernel::Gemv;
+    let expr = kernel.expr(kernel.search_size());
+    let mut group = c.benchmark_group("ablation_discount_scale");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    for scale in [0.5, 1.0, 2.0, 20.0] {
+        // Report the solution once, outside the timed loop.
+        let report = Liar::new(Target::Blas)
+            .with_iter_limit(6)
+            .with_discount_scale(scale)
+            .optimize(&expr);
+        println!(
+            "discount scale {scale:>4}: gemv solution = {}",
+            report.best().solution_summary()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
+            b.iter(|| {
+                Liar::new(Target::Blas)
+                    .with_iter_limit(6)
+                    .with_discount_scale(s)
+                    .optimize(&expr)
+                    .best()
+                    .cost
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discount_ablation);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benchmarks for the saturation experiments (tables II–III,
+//! fig. 4): how long LIAR takes to find each kernel's solution.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use liar_bench::harness;
+use liar_core::Target;
+use liar_kernels::Kernel;
+
+/// Kernels representative of each structural family, to keep `cargo bench`
+/// fast while covering the table rows (the `tables` binary runs all 16).
+const REPRESENTATIVES: [Kernel; 5] = [
+    Kernel::Vsum,
+    Kernel::Axpy,
+    Kernel::Gemv,
+    Kernel::Atax,
+    Kernel::Memset,
+];
+
+fn bench_table2_blas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_blas_saturation");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    for kernel in REPRESENTATIVES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            &kernel,
+            |b, &k| {
+                b.iter(|| {
+                    let report = harness::optimize_kernel(k, Target::Blas);
+                    assert!(!report.steps.is_empty());
+                    report.best().cost
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_table3_torch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_pytorch_saturation");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    for kernel in REPRESENTATIVES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            &kernel,
+            |b, &k| {
+                b.iter(|| {
+                    let report = harness::optimize_kernel(k, Target::Torch);
+                    report.best().cost
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fig. 4's per-step work: one saturation step on the gemv kernel.
+fn bench_fig4_step(c: &mut Criterion) {
+    use liar_core::rules::{rules_for, RuleConfig};
+    use liar_egraph::Runner;
+    use liar_ir::ArrayEGraph;
+
+    let mut group = c.benchmark_group("fig4_gemv_steps");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    let expr = Kernel::Gemv.expr(Kernel::Gemv.search_size());
+    let rules = rules_for(Target::Blas, &RuleConfig::default());
+    for steps in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            b.iter(|| {
+                let mut eg = ArrayEGraph::default();
+                let root = eg.add_expr(&expr);
+                let mut runner = Runner::new(eg).with_root(root).with_iter_limit(steps);
+                runner.run(&rules);
+                runner.egraph.num_nodes()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2_blas, bench_table3_torch, bench_fig4_step);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the run-time experiments (figs. 5–7): the
+//! reference implementation vs. LIAR's pure-C and BLAS solutions.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use liar_bench::harness;
+use liar_core::Target;
+use liar_kernels::Kernel;
+use liar_runtime::exec;
+
+/// Fast-running kernels covering the fig. 7 outcome classes: big library
+/// win (1mm), moderate win (gemv), wash (axpy), library loss (vsum,
+/// blur1d).
+const KERNELS: [Kernel; 5] = [
+    Kernel::OneMm,
+    Kernel::Gemv,
+    Kernel::Axpy,
+    Kernel::Vsum,
+    Kernel::Blur1d,
+];
+
+fn bench_fig7(c: &mut Criterion) {
+    for kernel in KERNELS {
+        let n = kernel.bench_size();
+        let inputs = kernel.inputs(n, 0xC60);
+        let mut group = c.benchmark_group(format!("fig7_{}", kernel.name()));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(4));
+
+        group.bench_function("reference", |b| {
+            b.iter(|| kernel.reference(n, &inputs).unwrap())
+        });
+
+        for target in [Target::Blas, Target::PureC] {
+            let expr = kernel.expr(n);
+            let report = harness::pipeline_for(kernel, target).optimize(&expr);
+            let best = report.best().best.clone();
+            group.bench_with_input(
+                BenchmarkId::new("solution", target.name()),
+                &best,
+                |b, solution| b.iter(|| exec::run(solution, &inputs).unwrap().0),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

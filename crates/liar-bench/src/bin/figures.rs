@@ -1,0 +1,90 @@
+//! Regenerate the paper's figures as CSV series.
+//!
+//! ```text
+//! cargo run -p liar-bench --release --bin figures -- --fig4
+//! cargo run -p liar-bench --release --bin figures -- --fig5
+//! cargo run -p liar-bench --release --bin figures -- --fig6
+//! cargo run -p liar-bench --release --bin figures -- --fig7
+//! cargo run -p liar-bench --release --bin figures -- --all
+//! ```
+
+use std::time::Duration;
+
+use liar_bench::figures::{self, Fig7Config};
+use liar_core::Target;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let all = args.is_empty() || has("--all");
+
+    if all || has("--fig4") {
+        for (target, label) in [(Target::Blas, "4a"), (Target::Torch, "4b")] {
+            println!("# Fig. {label}: gemv solutions over time, targeting {target}");
+            println!("step,enodes,step_time_s,solution,new_best");
+            for p in figures::fig4(target) {
+                println!(
+                    "{},{},{:.4},{},{}",
+                    p.step,
+                    p.enodes,
+                    p.time_s,
+                    p.solution.replace(',', ";"),
+                    p.improved
+                );
+            }
+            println!();
+        }
+    }
+    if all || has("--fig5") {
+        println!("# Fig. 5: coverage over time for gemv, targeting BLAS");
+        println!("step,function,coverage,solution");
+        for p in figures::fig5() {
+            if p.coverage.is_empty() {
+                println!("{},-,0.0,{}", p.step, p.solution.replace(',', ";"));
+            }
+            for (f, c) in &p.coverage {
+                println!("{},{},{:.3},{}", p.step, f, c, p.solution.replace(',', ";"));
+            }
+        }
+        println!();
+    }
+    if all || has("--fig6") {
+        println!("# Fig. 6: gemv run times per step (seconds)");
+        println!("step,blas_s,pure_c_s");
+        for p in figures::fig6(Duration::from_millis(300)) {
+            println!(
+                "{},{},{}",
+                p.step,
+                p.blas_s.map_or("-".into(), |v| format!("{v:.6}")),
+                p.pure_c_s.map_or("-".into(), |v| format!("{v:.6}")),
+            );
+        }
+        println!();
+    }
+    if all || has("--fig7") {
+        println!("# Fig. 7: run-time speedup over reference implementations");
+        println!("kernel,blas_speedup,pure_c_speedup,best_speedup,reference_s,blas_solution");
+        let config = if has("--fast") {
+            Fig7Config::fast()
+        } else {
+            Fig7Config::default()
+        };
+        let (rows, geo) = figures::fig7(&config);
+        for r in &rows {
+            println!(
+                "{},{},{},{},{:.6},{}",
+                r.kernel.name(),
+                r.blas.map_or("-".into(), |v| format!("{v:.2}")),
+                r.pure_c.map_or("-".into(), |v| format!("{v:.3}")),
+                r.best.map_or("-".into(), |v| format!("{v:.2}")),
+                r.reference_s,
+                r.solution.replace(',', ";"),
+            );
+        }
+        println!(
+            "geomean,{:.2},{:.3},{:.2},,-",
+            geo.blas, geo.pure_c, geo.best
+        );
+        println!("# (gemver excluded, as in the paper)");
+    }
+}

@@ -1,0 +1,67 @@
+//! Regenerate the paper's tables.
+//!
+//! ```text
+//! cargo run -p liar-bench --release --bin tables -- --table1
+//! cargo run -p liar-bench --release --bin tables -- --table2   # BLAS
+//! cargo run -p liar-bench --release --bin tables -- --table3   # PyTorch
+//! cargo run -p liar-bench --release --bin tables -- --all
+//! cargo run -p liar-bench --release --bin tables -- --table2 vsum gemv
+//! ```
+
+use liar_bench::harness;
+use liar_core::Target;
+use liar_kernels::Kernel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let kernels: Vec<Kernel> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|name| {
+            Kernel::from_name(name).unwrap_or_else(|| {
+                eprintln!("unknown kernel {name}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let all = flags.is_empty() || flags.contains(&"--all");
+
+    if all || flags.contains(&"--table1") {
+        println!("## Table I: kernels\n");
+        println!("{}", harness::render_table1());
+    }
+    for (flag, target, label) in [
+        ("--table2", Target::Blas, "Table II"),
+        ("--table3", Target::Torch, "Table III"),
+    ] {
+        if !(all || flags.contains(&flag)) {
+            continue;
+        }
+        println!("## {label}: solutions targeting {target}\n");
+        let rows: Vec<_> = if kernels.is_empty() {
+            harness::table_rows(target)
+        } else {
+            kernels
+                .iter()
+                .map(|&k| {
+                    let report = harness::optimize_kernel(k, target);
+                    let best = report.best();
+                    harness::TableRow {
+                        kernel: k,
+                        solution: best.solution_summary(),
+                        steps: best.step,
+                        converged_at: report.convergence_step(),
+                        enodes: best.n_nodes,
+                        cost: best.cost,
+                    }
+                })
+                .collect()
+        };
+        println!("{}", harness::render_table(target, &rows));
+    }
+}

@@ -1,0 +1,347 @@
+//! Figure experiments: solution evolution, coverage, and run-time speedups
+//! (paper figs. 4–7).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use liar_core::{OptimizationReport, Target};
+use liar_kernels::{values_approx_eq, Kernel};
+use liar_runtime::exec;
+
+use crate::harness::pipeline_for;
+
+/// One point of fig. 4: e-graph size and step time per saturation step,
+/// annotated with the solution found at that step.
+#[derive(Debug, Clone)]
+pub struct StepPoint {
+    /// Saturation step.
+    pub step: usize,
+    /// Unique e-nodes after the step.
+    pub enodes: usize,
+    /// Wall-clock time of the step in seconds.
+    pub time_s: f64,
+    /// The solution summary at this step.
+    pub solution: String,
+    /// True when this step's best expression differs from the previous
+    /// step's (fig. 4's "new best solution" arrows).
+    pub improved: bool,
+}
+
+/// Fig. 4 data: optimize the gemv kernel and report every step.
+pub fn fig4(target: Target) -> Vec<StepPoint> {
+    let kernel = Kernel::Gemv;
+    let report = optimize(kernel, target);
+    step_points(&report)
+}
+
+fn optimize(kernel: Kernel, target: Target) -> OptimizationReport {
+    let expr = kernel.expr(kernel.search_size());
+    pipeline_for(kernel, target).optimize(&expr)
+}
+
+fn step_points(report: &OptimizationReport) -> Vec<StepPoint> {
+    report
+        .steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| StepPoint {
+            step: s.step,
+            enodes: s.n_nodes,
+            time_s: s.step_time.as_secs_f64(),
+            solution: s.solution_summary(),
+            improved: i == 0 || report.steps[i - 1].best != s.best,
+        })
+        .collect()
+}
+
+/// One point of fig. 5: per-library-function coverage of the gemv kernel's
+/// solution at one saturation step.
+#[derive(Debug, Clone)]
+pub struct CoveragePoint {
+    /// Saturation step.
+    pub step: usize,
+    /// Fraction of run time spent per library function.
+    pub coverage: BTreeMap<String, f64>,
+    /// The solution summary.
+    pub solution: String,
+}
+
+/// Fig. 5 data: run each step's gemv/BLAS solution and measure the ratio
+/// of time spent in library calls.
+pub fn fig5() -> Vec<CoveragePoint> {
+    let kernel = Kernel::Gemv;
+    let n = kernel.bench_size();
+    let inputs = kernel.inputs(n, 0xC60);
+    let report = pipeline_for(kernel, Target::Blas).optimize(&kernel.expr(n));
+    report
+        .steps
+        .iter()
+        .map(|s| {
+            let coverage = match exec::run(&s.best, &inputs) {
+                Ok((_, stats)) => stats
+                    .coverage()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+                Err(_) => BTreeMap::new(),
+            };
+            CoveragePoint {
+                step: s.step,
+                coverage,
+                solution: s.solution_summary(),
+            }
+        })
+        .collect()
+}
+
+/// One point of fig. 6: run time of the gemv solution at one step, for the
+/// BLAS and pure-C targets.
+#[derive(Debug, Clone)]
+pub struct RuntimePoint {
+    /// Saturation step.
+    pub step: usize,
+    /// Mean run time of the BLAS-target solution (seconds).
+    pub blas_s: Option<f64>,
+    /// Mean run time of the pure-C-target solution (seconds).
+    pub pure_c_s: Option<f64>,
+}
+
+/// Fig. 6 data: per-step gemv run times under both targets.
+pub fn fig6(budget: Duration) -> Vec<RuntimePoint> {
+    let kernel = Kernel::Gemv;
+    let n = kernel.bench_size();
+    let inputs = kernel.inputs(n, 0xC60);
+    let blas = pipeline_for(kernel, Target::Blas).optimize(&kernel.expr(n));
+    let pure_c = pipeline_for(kernel, Target::PureC).optimize(&kernel.expr(n));
+    let steps = blas.steps.len().max(pure_c.steps.len());
+    (0..steps)
+        .map(|i| {
+            let time_of = |r: &OptimizationReport| {
+                r.steps
+                    .get(i)
+                    .or_else(|| r.steps.last())
+                    .and_then(|s| exec::time_runs(&s.best, &inputs, budget).ok())
+                    .map(|(mean, _, _)| mean.as_secs_f64())
+            };
+            RuntimePoint {
+                step: i,
+                blas_s: time_of(&blas),
+                pure_c_s: time_of(&pure_c),
+            }
+        })
+        .collect()
+}
+
+/// One bar group of fig. 7: run-time speedups of LIAR's solutions over the
+/// hand-written reference implementation.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Reference run time (seconds).
+    pub reference_s: f64,
+    /// BLAS-target solution speedup over the reference.
+    pub blas: Option<f64>,
+    /// Pure-C-target solution speedup.
+    pub pure_c: Option<f64>,
+    /// Best speedup over all extracted solutions (the paper's "Best" bar).
+    pub best: Option<f64>,
+    /// The BLAS solution summary (for the report).
+    pub solution: String,
+}
+
+/// Fig. 7 configuration.
+#[derive(Debug, Clone)]
+pub struct Fig7Config {
+    /// Per-solution measurement budget.
+    pub budget: Duration,
+    /// Kernels to skip (the paper excludes gemver, whose solutions did not
+    /// finish within its one-minute budget).
+    pub skip: Vec<Kernel>,
+    /// Verify each solution's output against the reference first.
+    pub verify: bool,
+    /// Also time every distinct intermediate solution (needed for the
+    /// "Best" bars; expensive for the interpreted O(n³) kernels).
+    pub measure_intermediate: bool,
+}
+
+impl Default for Fig7Config {
+    fn default() -> Self {
+        Fig7Config {
+            budget: Duration::from_millis(200),
+            skip: vec![Kernel::Gemver],
+            verify: true,
+            measure_intermediate: true,
+        }
+    }
+}
+
+impl Fig7Config {
+    /// A configuration that finishes in seconds: shorter budgets and only
+    /// final solutions ("Best" then coincides with the better of the two
+    /// final bars).
+    pub fn fast() -> Self {
+        Fig7Config {
+            budget: Duration::from_millis(60),
+            measure_intermediate: false,
+            ..Fig7Config::default()
+        }
+    }
+}
+
+/// Fig. 7 data: per-kernel speedups plus the geometric means.
+pub fn fig7(config: &Fig7Config) -> (Vec<SpeedupRow>, Geomeans) {
+    let mut rows = Vec::new();
+    for kernel in Kernel::ALL {
+        if config.skip.contains(&kernel) {
+            continue;
+        }
+        rows.push(speedup_row(kernel, config));
+    }
+    let geo = Geomeans {
+        blas: geomean(rows.iter().filter_map(|r| r.blas)),
+        pure_c: geomean(rows.iter().filter_map(|r| r.pure_c)),
+        best: geomean(rows.iter().filter_map(|r| r.best)),
+    };
+    (rows, geo)
+}
+
+/// Geometric means of the fig. 7 speedups.
+#[derive(Debug, Clone, Copy)]
+pub struct Geomeans {
+    /// Over the BLAS bars.
+    pub blas: f64,
+    /// Over the pure-C bars.
+    pub pure_c: f64,
+    /// Over the best-solution bars.
+    pub best: f64,
+}
+
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0, 0usize);
+    for x in xs {
+        log_sum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+fn time_reference(kernel: Kernel, n: usize, inputs: &std::collections::HashMap<String, liar_runtime::Value>, budget: Duration) -> f64 {
+    let start = std::time::Instant::now();
+    let mut runs = 0u32;
+    let mut total = Duration::ZERO;
+    loop {
+        let t0 = std::time::Instant::now();
+        let _ = kernel.reference(n, inputs);
+        total += t0.elapsed();
+        runs += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    (total / runs).as_secs_f64()
+}
+
+fn speedup_row(kernel: Kernel, config: &Fig7Config) -> SpeedupRow {
+    let n = kernel.bench_size();
+    let inputs = kernel.inputs(n, 0xC60);
+    let reference_value = kernel.reference(n, &inputs).expect("reference runs");
+    let reference_s = time_reference(kernel, n, &inputs, config.budget);
+
+    let measure = |report: &OptimizationReport, steps: &mut Vec<f64>| -> Option<f64> {
+        let best = &report.best().best;
+        if config.verify {
+            let (value, _) = exec::run(best, &inputs).ok()?;
+            if !values_approx_eq(&value, &reference_value, 1e-6 * n as f64) {
+                return None;
+            }
+        }
+        // Also measure every distinct intermediate solution for "Best".
+        if config.measure_intermediate {
+            let mut seen = Vec::new();
+            for s in &report.steps {
+                if seen.contains(&&s.best) {
+                    continue;
+                }
+                seen.push(&s.best);
+                if let Ok((mean, _, _)) =
+                    exec::time_runs(&s.best, &inputs, config.budget / 4)
+                {
+                    steps.push(mean.as_secs_f64());
+                }
+            }
+        }
+        exec::time_runs(best, &inputs, config.budget)
+            .ok()
+            .map(|(mean, _, _)| mean.as_secs_f64())
+    };
+
+    let mut all_times = Vec::new();
+    let blas_report = optimize_at(kernel, Target::Blas, n);
+    let blas_s = measure(&blas_report, &mut all_times);
+    let pure_c_report = optimize_at(kernel, Target::PureC, n);
+    let pure_c_s = measure(&pure_c_report, &mut all_times);
+
+    let best_s = all_times.iter().copied().fold(f64::INFINITY, f64::min);
+    SpeedupRow {
+        kernel,
+        reference_s,
+        blas: blas_s.map(|s| reference_s / s),
+        pure_c: pure_c_s.map(|s| reference_s / s),
+        best: (best_s.is_finite()).then(|| reference_s / best_s),
+        solution: blas_report.best().solution_summary(),
+    }
+}
+
+fn optimize_at(kernel: Kernel, target: Target, n: usize) -> OptimizationReport {
+    pipeline_for(kernel, target).optimize(&kernel.expr(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0].into_iter()) - 4.0).abs() < 1e-12);
+        assert!(geomean(std::iter::empty()).is_nan());
+    }
+
+    #[test]
+    fn fig4_reports_steps_and_solutions() {
+        let points = fig4(Target::Blas);
+        assert!(points.len() >= 2);
+        assert_eq!(points[0].step, 0);
+        assert!(
+            points.last().unwrap().solution.contains("gemv"),
+            "gemv should be found: {points:?}"
+        );
+        // e-node counts grow monotonically during saturation.
+        for w in points.windows(2) {
+            assert!(w[1].enodes >= w[0].enodes);
+        }
+    }
+
+    #[test]
+    fn fig7_single_kernel_speedup_is_positive() {
+        let config = Fig7Config {
+            budget: Duration::from_millis(20),
+            skip: Kernel::ALL
+                .iter()
+                .copied()
+                .filter(|k| *k != Kernel::Memset)
+                .collect(),
+            verify: true,
+            measure_intermediate: false,
+        };
+        let (rows, _) = fig7(&config);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert!(row.reference_s > 0.0);
+        assert!(row.blas.unwrap_or(0.0) > 0.0, "{row:?}");
+    }
+}

@@ -1,0 +1,570 @@
+//! The C emitter: loop nests from `build`/`ifold`, CBLAS calls from
+//! recognized idioms.
+
+use std::fmt::Write as _;
+
+use liar_egraph::Id;
+use liar_ir::{ArrayLang, Expr, LibFn};
+
+use crate::shape::{Shape, ShapeCtx, ShapeError};
+
+/// A named kernel input with a C-visible shape.
+#[derive(Debug, Clone)]
+pub struct CInput {
+    /// Parameter name.
+    pub name: String,
+    /// Value shape.
+    pub shape: Shape,
+}
+
+impl CInput {
+    /// A scalar input.
+    pub fn scalar(name: &str) -> Self {
+        CInput {
+            name: name.into(),
+            shape: Shape::Scalar,
+        }
+    }
+
+    /// A vector input.
+    pub fn vector(name: &str, n: usize) -> Self {
+        CInput {
+            name: name.into(),
+            shape: Shape::Arr(vec![n]),
+        }
+    }
+
+    /// A matrix input.
+    pub fn matrix(name: &str, r: usize, c: usize) -> Self {
+        CInput {
+            name: name.into(),
+            shape: Shape::Arr(vec![r, c]),
+        }
+    }
+
+    /// An input of arbitrary rank.
+    pub fn tensor(name: &str, dims: Vec<usize>) -> Self {
+        CInput {
+            name: name.into(),
+            shape: Shape::Arr(dims),
+        }
+    }
+}
+
+/// Code generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// A construct the C backend does not lower (tuples, first-class
+    /// functions outside loop headers, PyTorch calls).
+    Unsupported(String),
+    /// Shape inference failed.
+    Shape(String),
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodegenError::Unsupported(msg) => write!(f, "unsupported construct: {msg}"),
+            CodegenError::Shape(msg) => write!(f, "shape error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+impl From<ShapeError> for CodegenError {
+    fn from(e: ShapeError) -> Self {
+        CodegenError::Shape(e.0)
+    }
+}
+
+/// A computed C value: either an inline scalar expression or a named
+/// buffer with a shape.
+#[derive(Debug, Clone)]
+enum CVal {
+    Scalar(String),
+    /// Base pointer expression + extents.
+    Arr(String, Vec<usize>),
+}
+
+struct Emitter<'a> {
+    expr: &'a Expr,
+    inputs: &'a [CInput],
+    body: String,
+    indent: usize,
+    next_tmp: usize,
+    uses_blas: bool,
+    uses_memset: bool,
+}
+
+/// Emit a self-contained C translation unit defining
+/// `void <name>(inputs…, double *out)`.
+///
+/// Scalars are passed by value; arrays as `const double *` (row-major).
+/// Recognized BLAS idioms become CBLAS calls; `memset(0)` becomes libc
+/// `memset`; everything else lowers to loop nests.
+///
+/// # Errors
+///
+/// Returns [`CodegenError`] for tuples, PyTorch calls (the paper's
+/// compiler "does not currently have a Python back-end" either), or
+/// ill-shaped expressions.
+pub fn emit_kernel(name: &str, expr: &Expr, inputs: &[CInput]) -> Result<String, CodegenError> {
+    let mut e = Emitter {
+        expr,
+        inputs,
+        body: String::new(),
+        indent: 1,
+        next_tmp: 0,
+        uses_blas: false,
+        uses_memset: false,
+    };
+    let root_val = e.emit(expr.root(), &mut Vec::new())?;
+    let lookup = |n: &str| {
+        inputs
+            .iter()
+            .find(|i| i.name == n)
+            .map(|i| i.shape.clone())
+    };
+    let ctx = ShapeCtx::new(expr, &lookup);
+    let out_shape = ctx.shape(expr.root(), &[])?;
+
+    // Copy the result into the out parameter.
+    match (&root_val, &out_shape) {
+        (CVal::Scalar(s), _) => {
+            let _ = writeln!(e.body, "    out[0] = {s};");
+        }
+        (CVal::Arr(base, dims), _) => {
+            let n: usize = dims.iter().product();
+            let _ = writeln!(
+                e.body,
+                "    for (int i = 0; i < {n}; i++) out[i] = {base}[i];"
+            );
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "#include <stdlib.h>");
+    if e.uses_memset {
+        let _ = writeln!(out, "#include <string.h>");
+    }
+    if e.uses_blas {
+        let _ = writeln!(out, "#include <cblas.h>");
+    }
+    let _ = writeln!(out);
+    let mut params: Vec<String> = inputs
+        .iter()
+        .map(|i| match &i.shape {
+            Shape::Scalar => format!("double {}", i.name),
+            Shape::Arr(_) => format!("const double *{}", i.name),
+        })
+        .collect();
+    params.push("double *out".to_string());
+    let _ = writeln!(out, "void {name}({}) {{", params.join(", "));
+    out.push_str(&e.body);
+    let _ = writeln!(out, "}}");
+    Ok(out)
+}
+
+impl Emitter<'_> {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.body.push_str("    ");
+        }
+        self.body.push_str(s);
+        self.body.push('\n');
+    }
+
+    fn tmp(&mut self) -> String {
+        self.next_tmp += 1;
+        format!("t{}", self.next_tmp - 1)
+    }
+
+    fn dim(&self, id: Id) -> Result<usize, CodegenError> {
+        self.expr
+            .node(id)
+            .as_dim()
+            .ok_or_else(|| CodegenError::Shape("expected #n extent".into()))
+    }
+
+    fn scalar(&mut self, id: Id, env: &mut Vec<CVal>) -> Result<String, CodegenError> {
+        match self.emit(id, env)? {
+            CVal::Scalar(s) => Ok(s),
+            CVal::Arr(..) => Err(CodegenError::Shape(
+                "array used where a scalar was expected".into(),
+            )),
+        }
+    }
+
+    fn array(&mut self, id: Id, env: &mut Vec<CVal>) -> Result<(String, Vec<usize>), CodegenError> {
+        match self.emit(id, env)? {
+            CVal::Arr(base, dims) => Ok((base, dims)),
+            CVal::Scalar(_) => Err(CodegenError::Shape(
+                "scalar used where an array was expected".into(),
+            )),
+        }
+    }
+
+    /// Emit statements computing node `id`; `env` maps De Bruijn indices
+    /// (innermost first) to already-computed values.
+    fn emit(&mut self, id: Id, env: &mut Vec<CVal>) -> Result<CVal, CodegenError> {
+        match self.expr.node(id).clone() {
+            ArrayLang::Dim(n) => Ok(CVal::Scalar(n.to_string())),
+            ArrayLang::Const(c) => {
+                let v = c.get();
+                if v == v.trunc() && v.abs() < 1e15 {
+                    Ok(CVal::Scalar(format!("{v:.1}")))
+                } else {
+                    Ok(CVal::Scalar(format!("{v}")))
+                }
+            }
+            ArrayLang::Sym(name) => {
+                let input = self
+                    .inputs
+                    .iter()
+                    .find(|i| i.name == name)
+                    .ok_or_else(|| CodegenError::Shape(format!("unknown input {name}")))?;
+                Ok(match &input.shape {
+                    Shape::Scalar => CVal::Scalar(name),
+                    Shape::Arr(dims) => CVal::Arr(name, dims.clone()),
+                })
+            }
+            ArrayLang::Var(i) => env
+                .get(env.len().wrapping_sub(1 + i as usize))
+                .cloned()
+                .ok_or_else(|| CodegenError::Shape(format!("unbound %{i}"))),
+            ArrayLang::Lam(_) | ArrayLang::App(_) => Err(CodegenError::Unsupported(
+                "first-class function outside a loop header".into(),
+            )),
+            ArrayLang::Build([n, f]) => {
+                let n = self.dim(n)?;
+                let body = self.lambda_body(f)?;
+                // Element shape from a dry run at index 0 is fragile;
+                // instead infer from the shape context.
+                let elem_dims = self.element_dims(f)?;
+                let total = n * elem_dims.iter().product::<usize>();
+                let buf = self.tmp();
+                self.line(&format!("double *{buf} = malloc({total} * sizeof(double));"));
+                let iv = format!("i{}", env.len());
+                self.line(&format!("for (int {iv} = 0; {iv} < {n}; {iv}++) {{"));
+                self.indent += 1;
+                env.push(CVal::Scalar(iv.clone()));
+                let elem = self.emit(body, env)?;
+                env.pop();
+                let stride: usize = elem_dims.iter().product();
+                match elem {
+                    CVal::Scalar(s) => self.line(&format!("{buf}[{iv}] = {s};")),
+                    CVal::Arr(base, dims) => {
+                        let len: usize = dims.iter().product();
+                        self.line(&format!(
+                            "for (int q = 0; q < {len}; q++) {buf}[{iv} * {stride} + q] = {base}[q];"
+                        ));
+                    }
+                }
+                self.indent -= 1;
+                self.line("}");
+                let mut dims = vec![n];
+                dims.extend(elem_dims);
+                Ok(CVal::Arr(buf, dims))
+            }
+            ArrayLang::Get([a, i]) => {
+                let (base, dims) = self.array(a, env)?;
+                let idx = self.scalar(i, env)?;
+                if dims.len() == 1 {
+                    Ok(CVal::Scalar(format!("{base}[{idx}]")))
+                } else {
+                    let stride: usize = dims[1..].iter().product();
+                    Ok(CVal::Arr(
+                        format!("(&{base}[({idx}) * {stride}])"),
+                        dims[1..].to_vec(),
+                    ))
+                }
+            }
+            ArrayLang::IFold([n, init, f]) => {
+                let n = self.dim(n)?;
+                let init = self.scalar(init, env)?;
+                let outer = self.lambda_body(f)?;
+                let inner = self.lambda_body_id(outer)?;
+                let acc = self.tmp();
+                self.line(&format!("double {acc} = {init};"));
+                let iv = format!("i{}", env.len());
+                self.line(&format!("for (int {iv} = 0; {iv} < {n}; {iv}++) {{"));
+                self.indent += 1;
+                env.push(CVal::Scalar(iv.clone()));
+                env.push(CVal::Scalar(acc.clone()));
+                let step = self.scalar(inner, env)?;
+                env.pop();
+                env.pop();
+                self.line(&format!("{acc} = {step};"));
+                self.indent -= 1;
+                self.line("}");
+                Ok(CVal::Scalar(acc))
+            }
+            ArrayLang::Tuple(_) | ArrayLang::Fst(_) | ArrayLang::Snd(_) => Err(
+                CodegenError::Unsupported("tuples are not lowered to C".into()),
+            ),
+            ArrayLang::Add([a, b]) => self.binop(a, b, env, "+"),
+            ArrayLang::Sub([a, b]) => self.binop(a, b, env, "-"),
+            ArrayLang::Mul([a, b]) => self.binop(a, b, env, "*"),
+            ArrayLang::Div([a, b]) => self.binop(a, b, env, "/"),
+            ArrayLang::Gt([a, b]) => self.binop(a, b, env, ">"),
+            ArrayLang::Call(f, args) => self.call(f, &args, env),
+        }
+    }
+
+    fn binop(
+        &mut self,
+        a: Id,
+        b: Id,
+        env: &mut Vec<CVal>,
+        op: &str,
+    ) -> Result<CVal, CodegenError> {
+        let a = self.scalar(a, env)?;
+        let b = self.scalar(b, env)?;
+        Ok(CVal::Scalar(format!("({a} {op} {b})")))
+    }
+
+    fn lambda_body(&self, id: Id) -> Result<Id, CodegenError> {
+        match self.expr.node(id) {
+            ArrayLang::Lam(body) => Ok(*body),
+            _ => Err(CodegenError::Unsupported(
+                "build/ifold argument must be a literal lambda".into(),
+            )),
+        }
+    }
+
+    fn lambda_body_id(&self, id: Id) -> Result<Id, CodegenError> {
+        self.lambda_body(id)
+    }
+
+    /// Extents of one element of `build _ f` (empty for scalar elements).
+    fn element_dims(&self, f: Id) -> Result<Vec<usize>, CodegenError> {
+        let lookup = |n: &str| {
+            self.inputs
+                .iter()
+                .find(|i| i.name == n)
+                .map(|i| i.shape.clone())
+        };
+        let ctx = ShapeCtx::new(self.expr, &lookup);
+        let body = ctx.lambda_body(f).map_err(CodegenError::from)?;
+        // Binder shapes above this lambda are all scalars (loop indices)
+        // or accumulators; conservatively use a deep scalar environment.
+        let env = vec![Shape::Scalar; 16];
+        let shape = ctx.shape(body, &env).map_err(CodegenError::from)?;
+        Ok(shape.dims().to_vec())
+    }
+
+    fn call(
+        &mut self,
+        f: LibFn,
+        args: &[Id],
+        env: &mut Vec<CVal>,
+    ) -> Result<CVal, CodegenError> {
+        let nd = f.n_dims();
+        match f {
+            LibFn::Dot => {
+                self.uses_blas = true;
+                let n = self.dim(args[0])?;
+                let (a, _) = self.array(args[nd], env)?;
+                let (b, _) = self.array(args[nd + 1], env)?;
+                Ok(CVal::Scalar(format!("cblas_ddot({n}, {a}, 1, {b}, 1)")))
+            }
+            LibFn::Axpy => {
+                self.uses_blas = true;
+                let n = self.dim(args[0])?;
+                let alpha = self.scalar(args[nd], env)?;
+                let (a, _) = self.array(args[nd + 1], env)?;
+                let (b, _) = self.array(args[nd + 2], env)?;
+                let buf = self.tmp();
+                self.line(&format!("double *{buf} = malloc({n} * sizeof(double));"));
+                self.line(&format!(
+                    "for (int q = 0; q < {n}; q++) {buf}[q] = {b}[q];"
+                ));
+                self.line(&format!("cblas_daxpy({n}, {alpha}, {a}, 1, {buf}, 1);"));
+                Ok(CVal::Arr(buf, vec![n]))
+            }
+            LibFn::Gemv { trans } => {
+                self.uses_blas = true;
+                let (n, m) = (self.dim(args[0])?, self.dim(args[1])?);
+                let alpha = self.scalar(args[nd], env)?;
+                let (a, _) = self.array(args[nd + 1], env)?;
+                let (b, _) = self.array(args[nd + 2], env)?;
+                let beta = self.scalar(args[nd + 3], env)?;
+                let (c, _) = self.array(args[nd + 4], env)?;
+                let buf = self.tmp();
+                self.line(&format!("double *{buf} = malloc({n} * sizeof(double));"));
+                self.line(&format!(
+                    "for (int q = 0; q < {n}; q++) {buf}[q] = {c}[q];"
+                ));
+                let (t, rows, cols) = if trans {
+                    ("CblasTrans", m, n)
+                } else {
+                    ("CblasNoTrans", n, m)
+                };
+                self.line(&format!(
+                    "cblas_dgemv(CblasRowMajor, {t}, {rows}, {cols}, {alpha}, {a}, {cols}, {b}, 1, {beta}, {buf}, 1);"
+                ));
+                Ok(CVal::Arr(buf, vec![n]))
+            }
+            LibFn::Gemm { trans_a, trans_b } => {
+                self.uses_blas = true;
+                let (n, m, k) = (
+                    self.dim(args[0])?,
+                    self.dim(args[1])?,
+                    self.dim(args[2])?,
+                );
+                let alpha = self.scalar(args[nd], env)?;
+                let (a, _) = self.array(args[nd + 1], env)?;
+                let (b, _) = self.array(args[nd + 2], env)?;
+                let beta = self.scalar(args[nd + 3], env)?;
+                let (c, _) = self.array(args[nd + 4], env)?;
+                let buf = self.tmp();
+                self.line(&format!(
+                    "double *{buf} = malloc({n} * {m} * sizeof(double));"
+                ));
+                self.line(&format!(
+                    "for (int q = 0; q < {n} * {m}; q++) {buf}[q] = {c}[q];"
+                ));
+                // The flags follow BLAS: a set flag transposes the stored
+                // matrix, so they map straight onto CBLAS ops. Storage:
+                // A is n×k (lda=k) unless transposed (k×n, lda=n); B is
+                // k×m (ldb=m) unless transposed (m×k, ldb=k).
+                let ta = if trans_a { "CblasTrans" } else { "CblasNoTrans" };
+                let tb = if trans_b { "CblasTrans" } else { "CblasNoTrans" };
+                let lda = if trans_a { n } else { k };
+                let ldb = if trans_b { k } else { m };
+                self.line(&format!(
+                    "cblas_dgemm(CblasRowMajor, {ta}, {tb}, {n}, {m}, {k}, {alpha}, {a}, {lda}, {b}, {ldb}, {beta}, {buf}, {m});"
+                ));
+                Ok(CVal::Arr(buf, vec![n, m]))
+            }
+            LibFn::Memset => {
+                self.uses_memset = true;
+                let n = self.dim(args[0])?;
+                let buf = self.tmp();
+                self.line(&format!("double *{buf} = malloc({n} * sizeof(double));"));
+                self.line(&format!("memset({buf}, 0, {n} * sizeof(double));"));
+                Ok(CVal::Arr(buf, vec![n]))
+            }
+            LibFn::Transpose => {
+                let (n, m) = (self.dim(args[0])?, self.dim(args[1])?);
+                let (a, _) = self.array(args[nd], env)?;
+                let buf = self.tmp();
+                self.line(&format!(
+                    "double *{buf} = malloc({n} * {m} * sizeof(double));"
+                ));
+                self.line(&format!(
+                    "for (int r = 0; r < {n}; r++) for (int q = 0; q < {m}; q++) {buf}[q * {n} + r] = {a}[r * {m} + q];"
+                ));
+                Ok(CVal::Arr(buf, vec![m, n]))
+            }
+            LibFn::TAdd | LibFn::TMul | LibFn::TMv | LibFn::TMm | LibFn::TSum | LibFn::TFull => {
+                Err(CodegenError::Unsupported(format!(
+                    "PyTorch call {f} has no C lowering (the paper's PyTorch results are qualitative)"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liar_ir::dsl;
+
+    #[test]
+    fn scalar_kernel() {
+        let expr = dsl::add(dsl::num(1.0), dsl::num(2.0));
+        let c = emit_kernel("k", &expr, &[]).unwrap();
+        assert!(c.contains("void k(double *out)"));
+        assert!(c.contains("out[0] = (1.0 + 2.0);"));
+    }
+
+    #[test]
+    fn build_becomes_loop() {
+        let expr = dsl::vadd(4, dsl::sym("A"), dsl::sym("B"));
+        let c = emit_kernel(
+            "vadd4",
+            &expr,
+            &[CInput::vector("A", 4), CInput::vector("B", 4)],
+        )
+        .unwrap();
+        assert!(c.contains("for (int i0 = 0; i0 < 4; i0++)"));
+        assert!(c.contains("(A[i0] + B[i0])"));
+    }
+
+    #[test]
+    fn ifold_becomes_accumulator_loop() {
+        let expr = dsl::vsum(8, dsl::sym("xs"));
+        let c = emit_kernel("vsum8", &expr, &[CInput::vector("xs", 8)]).unwrap();
+        assert!(c.contains("double t0 = 0.0;"), "{c}");
+        assert!(c.contains("for (int i0 = 0; i0 < 8; i0++)"));
+        assert!(c.contains("t0 = (xs[i0] + t0);"));
+    }
+
+    #[test]
+    fn dot_call_becomes_cblas() {
+        let expr: Expr = "(dot #8 a b)".parse().unwrap();
+        let c = emit_kernel(
+            "d",
+            &expr,
+            &[CInput::vector("a", 8), CInput::vector("b", 8)],
+        )
+        .unwrap();
+        assert!(c.contains("#include <cblas.h>"));
+        assert!(c.contains("cblas_ddot(8, a, 1, b, 1)"));
+    }
+
+    #[test]
+    fn gemv_call_becomes_cblas() {
+        let expr: Expr = "(gemv #4 #8 alpha A B beta C)".parse().unwrap();
+        let c = emit_kernel(
+            "g",
+            &expr,
+            &[
+                CInput::scalar("alpha"),
+                CInput::matrix("A", 4, 8),
+                CInput::vector("B", 8),
+                CInput::scalar("beta"),
+                CInput::vector("C", 4),
+            ],
+        )
+        .unwrap();
+        assert!(c.contains("cblas_dgemv(CblasRowMajor, CblasNoTrans, 4, 8,"));
+    }
+
+    #[test]
+    fn memset_uses_libc() {
+        let expr: Expr = "(memset #16 0)".parse().unwrap();
+        let c = emit_kernel("z", &expr, &[]).unwrap();
+        assert!(c.contains("#include <string.h>"));
+        assert!(c.contains("memset(t0, 0, 16 * sizeof(double));"));
+    }
+
+    #[test]
+    fn nested_build_indexing() {
+        // A matrix built from an input matrix's entries.
+        let expr = dsl::transposeb(2, 3, dsl::sym("A"));
+        let c = emit_kernel("t", &expr, &[CInput::matrix("A", 2, 3)]).unwrap();
+        assert!(c.contains("for (int i0 = 0; i0 < 3; i0++)"));
+        assert!(c.contains("for (int i1 = 0; i1 < 2; i1++)"));
+    }
+
+    #[test]
+    fn tuples_are_rejected() {
+        let expr = dsl::tuple(dsl::num(1.0), dsl::num(2.0));
+        assert!(matches!(
+            emit_kernel("t", &expr, &[]),
+            Err(CodegenError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn torch_calls_are_rejected() {
+        let expr: Expr = "(sum #8 xs)".parse().unwrap();
+        assert!(matches!(
+            emit_kernel("s", &expr, &[CInput::vector("xs", 8)]),
+            Err(CodegenError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,31 @@
+//! C code generation from extracted LIAR expressions.
+//!
+//! The paper compiles selected expressions to C "using an approach similar
+//! to prior work on C compilation from a functional IR" (§VI): `build`
+//! becomes a loop filling a buffer, `ifold` becomes an accumulator loop,
+//! and recognized idioms become CBLAS / libc calls. This crate reproduces
+//! that lowering as an inspectable artifact (the in-process benchmarks use
+//! `liar-runtime` instead; see DESIGN.md).
+//!
+//! ```
+//! use liar_codegen::{emit_kernel, CInput};
+//! use liar_ir::dsl;
+//!
+//! let expr = dsl::vadd(4, dsl::sym("A"), dsl::sym("B"));
+//! let c = emit_kernel(
+//!     "vadd4",
+//!     &expr,
+//!     &[CInput::vector("A", 4), CInput::vector("B", 4)],
+//! )
+//! .unwrap();
+//! assert!(c.contains("void vadd4"));
+//! assert!(c.contains("for ("));
+//! ```
+
+#![deny(missing_docs)]
+
+mod emit;
+mod shape;
+
+pub use emit::{emit_kernel, CInput, CodegenError};
+pub use shape::Shape;

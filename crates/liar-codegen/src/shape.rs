@@ -1,0 +1,213 @@
+//! Shape inference over IR expressions, needed to size C buffers.
+
+use liar_egraph::Id;
+use liar_ir::{ArrayLang, Expr, LibFn};
+
+/// The shape of an expression's value: a scalar or a dense array with
+/// known extents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shape {
+    /// A `double` (or an index).
+    Scalar,
+    /// An array with the given extents (row-major).
+    Arr(Vec<usize>),
+}
+
+impl Shape {
+    /// Number of `f64` elements occupied.
+    pub fn len(&self) -> usize {
+        match self {
+            Shape::Scalar => 1,
+            Shape::Arr(dims) => dims.iter().product(),
+        }
+    }
+
+    /// True for the scalar shape.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The extents (empty for scalars).
+    pub fn dims(&self) -> &[usize] {
+        match self {
+            Shape::Scalar => &[],
+            Shape::Arr(dims) => dims,
+        }
+    }
+
+    /// Prepend an extent (the shape of `build n` over this element shape).
+    pub fn prepend(&self, n: usize) -> Shape {
+        let mut dims = vec![n];
+        dims.extend(self.dims());
+        Shape::Arr(dims)
+    }
+
+    /// Drop the leading extent (the shape of indexing into this shape).
+    pub fn index(&self) -> Option<Shape> {
+        match self {
+            Shape::Scalar => None,
+            Shape::Arr(dims) if dims.len() == 1 => Some(Shape::Scalar),
+            Shape::Arr(dims) => Some(Shape::Arr(dims[1..].to_vec())),
+        }
+    }
+}
+
+/// Shape inference failure (also reused for emission errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError(pub String);
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shape error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Infers shapes for the nodes of an extracted expression.
+///
+/// The binder environment maps De Bruijn indices to shapes; loop indices
+/// introduced by `build`/`ifold` lambdas are scalars, `ifold` accumulators
+/// take their initializer's shape.
+pub struct ShapeCtx<'a> {
+    expr: &'a Expr,
+    input_shape: &'a dyn Fn(&str) -> Option<Shape>,
+}
+
+impl<'a> ShapeCtx<'a> {
+    /// Create a context with a resolver for named inputs.
+    pub fn new(expr: &'a Expr, input_shape: &'a dyn Fn(&str) -> Option<Shape>) -> Self {
+        ShapeCtx { expr, input_shape }
+    }
+
+    fn dim(&self, id: Id) -> Result<usize, ShapeError> {
+        self.expr
+            .node(id)
+            .as_dim()
+            .ok_or_else(|| ShapeError("expected a #n extent".into()))
+    }
+
+    /// The shape of node `id` under binder shapes `env` (innermost first).
+    pub fn shape(&self, id: Id, env: &[Shape]) -> Result<Shape, ShapeError> {
+        match self.expr.node(id) {
+            ArrayLang::Dim(_) | ArrayLang::Const(_) => Ok(Shape::Scalar),
+            ArrayLang::Var(i) => env
+                .get(*i as usize)
+                .cloned()
+                .ok_or_else(|| ShapeError(format!("unbound %{i}"))),
+            ArrayLang::Sym(name) => (self.input_shape)(name)
+                .ok_or_else(|| ShapeError(format!("unknown input {name}"))),
+            ArrayLang::Lam(_) | ArrayLang::App(_) => {
+                Err(ShapeError("first-class functions have no C shape".into()))
+            }
+            ArrayLang::Build([n, f]) => {
+                let n = self.dim(*n)?;
+                let body = self.lambda_body(*f)?;
+                let mut inner = vec![Shape::Scalar];
+                inner.extend_from_slice(env);
+                Ok(self.shape(body, &inner)?.prepend(n))
+            }
+            ArrayLang::Get([a, _]) => self
+                .shape(*a, env)?
+                .index()
+                .ok_or_else(|| ShapeError("indexed a scalar".into())),
+            ArrayLang::IFold([_, init, _]) => self.shape(*init, env),
+            ArrayLang::Tuple(_) | ArrayLang::Fst(_) | ArrayLang::Snd(_) => {
+                Err(ShapeError("tuples are not lowered to C".into()))
+            }
+            ArrayLang::Add(_)
+            | ArrayLang::Sub(_)
+            | ArrayLang::Mul(_)
+            | ArrayLang::Div(_)
+            | ArrayLang::Gt(_) => Ok(Shape::Scalar),
+            ArrayLang::Call(f, args) => self.call_shape(*f, args),
+        }
+    }
+
+    /// The body of a node that must syntactically be a `lam`.
+    pub fn lambda_body(&self, id: Id) -> Result<Id, ShapeError> {
+        match self.expr.node(id) {
+            ArrayLang::Lam(body) => Ok(*body),
+            other => Err(ShapeError(format!(
+                "expected a lambda, found {other:?}"
+            ))),
+        }
+    }
+
+    fn call_shape(&self, f: LibFn, args: &[Id]) -> Result<Shape, ShapeError> {
+        let d = |i: usize| self.dim(args[i]);
+        Ok(match f {
+            LibFn::Dot | LibFn::TSum => Shape::Scalar,
+            LibFn::Axpy | LibFn::Memset | LibFn::TFull => Shape::Arr(vec![d(0)?]),
+            // Both gemv orientations carry dims [result length, inner
+            // length]; the transpose flag only changes how A is stored.
+            LibFn::Gemv { .. } => Shape::Arr(vec![d(0)?]),
+            LibFn::Gemm { .. } | LibFn::TMm => Shape::Arr(vec![d(0)?, d(1)?]),
+            LibFn::Transpose => Shape::Arr(vec![d(1)?, d(0)?]),
+            LibFn::TMv => Shape::Arr(vec![d(0)?]),
+            LibFn::TAdd | LibFn::TMul => Shape::Arr(vec![d(0)?]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liar_ir::{dsl, Expr};
+
+    fn resolver(shape: Shape) -> impl Fn(&str) -> Option<Shape> {
+        move |_| Some(shape.clone())
+    }
+
+    #[test]
+    fn build_prepends_extent() {
+        let e = dsl::build(4, dsl::lam(dsl::num(0.0)));
+        let f = resolver(Shape::Scalar);
+        let ctx = ShapeCtx::new(&e, &f);
+        assert_eq!(ctx.shape(e.root(), &[]).unwrap(), Shape::Arr(vec![4]));
+    }
+
+    #[test]
+    fn nested_builds_are_matrices() {
+        let e = dsl::build(2, dsl::lam(dsl::build(3, dsl::lam(dsl::var(1)))));
+        let f = resolver(Shape::Scalar);
+        let ctx = ShapeCtx::new(&e, &f);
+        assert_eq!(ctx.shape(e.root(), &[]).unwrap(), Shape::Arr(vec![2, 3]));
+    }
+
+    #[test]
+    fn get_drops_leading_extent() {
+        let e = dsl::get(dsl::sym("A"), dsl::num(0.0));
+        let f = resolver(Shape::Arr(vec![2, 3]));
+        let ctx = ShapeCtx::new(&e, &f);
+        assert_eq!(ctx.shape(e.root(), &[]).unwrap(), Shape::Arr(vec![3]));
+    }
+
+    #[test]
+    fn ifold_takes_init_shape() {
+        let e = dsl::ifold(4, dsl::num(0.0), dsl::lam(dsl::lam(dsl::var(0))));
+        let f = resolver(Shape::Scalar);
+        let ctx = ShapeCtx::new(&e, &f);
+        assert_eq!(ctx.shape(e.root(), &[]).unwrap(), Shape::Scalar);
+    }
+
+    #[test]
+    fn call_shapes() {
+        let f = resolver(Shape::Arr(vec![4]));
+        let e: Expr = "(dot #4 A A)".parse().unwrap();
+        assert_eq!(
+            ShapeCtx::new(&e, &f).shape(e.root(), &[]).unwrap(),
+            Shape::Scalar
+        );
+        let e: Expr = "(memset #4 0)".parse().unwrap();
+        assert_eq!(
+            ShapeCtx::new(&e, &f).shape(e.root(), &[]).unwrap(),
+            Shape::Arr(vec![4])
+        );
+        let e: Expr = "(transpose #2 #3 A)".parse().unwrap();
+        assert_eq!(
+            ShapeCtx::new(&e, &f).shape(e.root(), &[]).unwrap(),
+            Shape::Arr(vec![3, 2])
+        );
+    }
+}

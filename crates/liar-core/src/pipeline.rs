@@ -1,0 +1,301 @@
+//! The LIAR driver: the fig. 2 workflow from input expression to per-step
+//! solutions.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use liar_egraph::{
+    BackoffScheduler, Extractor, Runner, RunnerLimits, StopReason,
+};
+use liar_ir::{ArrayEGraph, Expr};
+
+use crate::cost::TargetCost;
+use crate::rules::{rules_for, RuleConfig, Target};
+
+/// The state of the search after one saturation step: e-graph statistics
+/// plus the best expression the target's cost model extracts — the raw
+/// data behind tables II–III and figures 4–6 of the paper.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Saturation step (0 = before any rewriting).
+    pub step: usize,
+    /// Unique e-nodes after the step.
+    pub n_nodes: usize,
+    /// E-classes after the step.
+    pub n_classes: usize,
+    /// Wall-clock time of the step (zero for step 0).
+    pub step_time: Duration,
+    /// Best expression under the target cost model.
+    pub best: Expr,
+    /// Its cost.
+    pub cost: f64,
+    /// Library calls in `best`: family name → count (e.g. `gemv → 2`).
+    pub lib_calls: BTreeMap<String, usize>,
+}
+
+impl StepReport {
+    /// Format the library calls like the paper's tables: `2 × gemv + 1 ×
+    /// memset`, or `—` when the solution calls no library.
+    pub fn solution_summary(&self) -> String {
+        if self.lib_calls.is_empty() {
+            return "—".to_string();
+        }
+        self.lib_calls
+            .iter()
+            .map(|(name, count)| format!("{count} × {name}"))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+/// The result of optimizing one kernel for one target.
+#[derive(Debug, Clone)]
+pub struct OptimizationReport {
+    /// The target whose rules and cost model were used.
+    pub target: Target,
+    /// Step 0 (initial) through the last step run.
+    pub steps: Vec<StepReport>,
+    /// Why saturation stopped.
+    pub stop_reason: StopReason,
+}
+
+impl OptimizationReport {
+    /// The report of the final step (the paper's tables report this row).
+    pub fn best(&self) -> &StepReport {
+        self.steps.last().expect("at least step 0 exists")
+    }
+
+    /// The first step at which the final solution was found (steps whose
+    /// best expression equals the final one, counted from the end).
+    pub fn convergence_step(&self) -> usize {
+        let last = &self.best().best;
+        self.steps
+            .iter()
+            .find(|s| &s.best == last)
+            .map(|s| s.step)
+            .unwrap_or(0)
+    }
+}
+
+/// Count library calls in an expression by family name.
+pub fn count_lib_calls(expr: &Expr) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for node in expr.nodes() {
+        if let Some(f) = node.as_call() {
+            *counts.entry(f.family_name().to_string()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// The LIAR pipeline for one target (paper fig. 2): rules = language
+/// semantics + scalar + target idioms; extractor = the target cost model,
+/// run after every saturation step.
+#[derive(Debug, Clone)]
+pub struct Liar {
+    target: Target,
+    config: RuleConfig,
+    limits: RunnerLimits,
+    match_limit: usize,
+    discount_scale: f64,
+}
+
+impl Liar {
+    /// A pipeline for `target` with defaults suitable for the evaluation
+    /// kernels (step-limited, as the artifact recommends).
+    pub fn new(target: Target) -> Self {
+        Liar {
+            target,
+            config: RuleConfig::default(),
+            limits: RunnerLimits {
+                iter_limit: 10,
+                node_limit: 300_000,
+                time_limit: None,
+            },
+            match_limit: 40_000,
+            discount_scale: 1.0,
+        }
+    }
+
+    /// Set the saturation-step limit.
+    pub fn with_iter_limit(mut self, limit: usize) -> Self {
+        self.limits.iter_limit = limit;
+        self
+    }
+
+    /// Set the e-node budget.
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.limits.node_limit = limit;
+        self
+    }
+
+    /// Set a wall-clock budget (the paper uses five minutes per kernel).
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.limits.time_limit = Some(limit);
+        self
+    }
+
+    /// Use a custom rule configuration.
+    pub fn with_rule_config(mut self, config: RuleConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the per-rule, per-step match budget of the backoff scheduler.
+    pub fn with_match_limit(mut self, limit: usize) -> Self {
+        self.match_limit = limit;
+        self
+    }
+
+    /// Scale the cost model's library-call discount factors (ablation;
+    /// see [`TargetCost::with_discount_scale`]).
+    pub fn with_discount_scale(mut self, scale: f64) -> Self {
+        self.discount_scale = scale;
+        self
+    }
+
+    /// The target this pipeline optimizes for.
+    pub fn target(&self) -> Target {
+        self.target
+    }
+
+    /// Run the full workflow on `expr`, extracting the best expression
+    /// after every saturation step.
+    pub fn optimize(&self, expr: &Expr) -> OptimizationReport {
+        let rules = rules_for(self.target, &self.config);
+        let cost = TargetCost::new(self.target).with_discount_scale(self.discount_scale);
+
+        let mut egraph = ArrayEGraph::default();
+        let root = egraph.add_expr(expr);
+
+        let scheduler = BackoffScheduler::new(self.match_limit, 2)
+            // The intro rules pair classes quadratically; give them a
+            // tighter budget so they cannot starve the idiom rules.
+            .with_rule_limit("intro-lambda", self.match_limit / 4)
+            .with_rule_limit("intro-index-build", self.match_limit / 4)
+            .with_rule_limit("intro-fst-tuple", self.match_limit / 8)
+            .with_rule_limit("intro-snd-tuple", self.match_limit / 8);
+
+        let mut runner = Runner::new(egraph)
+            .with_root(root)
+            .with_limits(self.limits.clone())
+            .with_scheduler(scheduler);
+
+        let mut steps = Vec::new();
+        let extract = |egraph: &ArrayEGraph, step: usize, time: Duration| -> StepReport {
+            let extractor = Extractor::new(egraph, cost);
+            let (cost, best) = extractor.find_best(root);
+            let lib_calls = count_lib_calls(&best);
+            StepReport {
+                step,
+                n_nodes: egraph.num_nodes(),
+                n_classes: egraph.num_classes(),
+                step_time: time,
+                cost,
+                lib_calls,
+                best,
+            }
+        };
+
+        steps.push(extract(&runner.egraph, 0, Duration::ZERO));
+        let stop_reason = loop {
+            match runner.run_one(&rules) {
+                Ok(iter) => {
+                    let (index, time) = (iter.index, iter.total_time);
+                    steps.push(extract(&runner.egraph, index, time));
+                    if runner.stop_reason.is_some() {
+                        break runner.stop_reason.clone().unwrap();
+                    }
+                }
+                Err(reason) => break reason,
+            }
+        };
+
+        OptimizationReport {
+            target: self.target,
+            steps,
+            stop_reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liar_ir::dsl;
+
+    #[test]
+    fn vsum_blas_finds_dot() {
+        let vsum = dsl::vsum(64, dsl::sym("xs"));
+        let report = Liar::new(Target::Blas).with_iter_limit(6).optimize(&vsum);
+        let best = report.best();
+        assert_eq!(best.lib_calls.get("dot"), Some(&1), "best: {}", best.best);
+        assert_eq!(best.solution_summary(), "1 × dot");
+    }
+
+    #[test]
+    fn vsum_torch_finds_sum() {
+        let vsum = dsl::vsum(64, dsl::sym("xs"));
+        let report = Liar::new(Target::Torch).with_iter_limit(6).optimize(&vsum);
+        let best = report.best();
+        assert_eq!(best.lib_calls.get("sum"), Some(&1), "best: {}", best.best);
+    }
+
+    #[test]
+    fn pure_c_never_calls_libraries() {
+        let vsum = dsl::vsum(64, dsl::sym("xs"));
+        let report = Liar::new(Target::PureC).with_iter_limit(4).optimize(&vsum);
+        for step in &report.steps {
+            assert!(step.lib_calls.is_empty(), "pure C solution has calls");
+        }
+    }
+
+    #[test]
+    fn memset_kernel() {
+        let memset = dsl::constvec(128, dsl::num(0.0));
+        let report = Liar::new(Target::Blas).with_iter_limit(4).optimize(&memset);
+        assert_eq!(report.best().solution_summary(), "1 × memset");
+        let report = Liar::new(Target::Torch).with_iter_limit(4).optimize(&memset);
+        assert_eq!(report.best().solution_summary(), "1 × full");
+    }
+
+    #[test]
+    fn step_zero_is_initial_expression() {
+        let axpy = dsl::vadd(
+            16,
+            dsl::vscale(16, dsl::sym("alpha"), dsl::sym("A")),
+            dsl::sym("B"),
+        );
+        let report = Liar::new(Target::Blas).with_iter_limit(5).optimize(&axpy);
+        assert_eq!(report.steps[0].step, 0);
+        assert!(report.steps[0].lib_calls.is_empty());
+        // Later steps discover axpy.
+        assert_eq!(report.best().solution_summary(), "1 × axpy");
+        // Costs only improve over steps.
+        for w in report.steps.windows(2) {
+            assert!(w[1].cost <= w[0].cost, "cost must be monotone");
+        }
+    }
+
+    #[test]
+    fn gemv_kernel_blas_converges_to_gemv() {
+        let (n, m) = (24, 32);
+        let gemv = dsl::vadd(
+            n,
+            dsl::vscale(n, dsl::sym("alpha"), dsl::matvec(n, m, dsl::sym("A"), dsl::sym("B"))),
+            dsl::vscale(n, dsl::sym("beta"), dsl::sym("C")),
+        );
+        let report = Liar::new(Target::Blas).with_iter_limit(8).optimize(&gemv);
+        assert_eq!(report.best().solution_summary(), "1 × gemv");
+        // The paper's fig. 4a: early steps find dot, later steps converge.
+        let sequence: Vec<_> = report
+            .steps
+            .iter()
+            .map(|s| s.solution_summary())
+            .collect();
+        assert!(
+            sequence.iter().any(|s| s.contains("dot")),
+            "intermediate dot solutions expected: {sequence:?}"
+        );
+    }
+}

@@ -1,0 +1,417 @@
+//! The eight language-semantics rewrite rules (paper listing 2).
+//!
+//! The elimination rules are plain pattern pairs. β-reduction and the four
+//! *intro* rules need code:
+//!
+//! * **R-BetaReduce** applies the substitution operator to representatives
+//!   extracted from the body and argument e-classes (§IV.B.3, the
+//!   "second approach" of Koehler et al.);
+//! * **R-IntroLambda**, **R-IntroIndexBuild**, **R-IntroFstTuple** and
+//!   **R-IntroSndTuple** have unbound variables on their right-hand sides
+//!   (§IV.B.4); their searchers enumerate candidate e-classes for those
+//!   variables — every class under [`RuleConfig::exhaustive`], a bounded
+//!   candidate set by default.
+
+use liar_egraph::{
+    Applier, Binding, EGraph, Id, Pattern, Rewrite, SearchMatches, Searcher, Subst, Var,
+};
+use liar_ir::debruijn::{shift_up, subst as debruijn_subst};
+use liar_ir::{ArrayAnalysis, ArrayLang, ArrayRewrite, Expr};
+
+use super::{CandidateSet, RuleConfig};
+
+type AEGraph = EGraph<ArrayLang, ArrayAnalysis>;
+
+fn resolve_expr(egraph: &AEGraph, binding: &Binding<ArrayLang>) -> Expr {
+    match binding {
+        Binding::Class(id) => (*egraph.data(*id).repr).clone(),
+        Binding::Expr(e) => (**e).clone(),
+    }
+}
+
+/// R-BetaReduce: `(λ e) y → subst(e, y)`.
+struct BetaReduceApplier;
+
+impl Applier<ArrayLang, ArrayAnalysis> for BetaReduceApplier {
+    fn apply(&self, egraph: &mut AEGraph, class: Id, subst: &Subst<ArrayLang>) -> Vec<Id> {
+        let body = resolve_expr(egraph, subst.get(&Var::new("b")).expect("b bound"));
+        let arg = resolve_expr(egraph, subst.get(&Var::new("y")).expect("y bound"));
+        let result = debruijn_subst(&body, &arg);
+        let new_id = egraph.add_expr(&result);
+        let (id, changed) = egraph.union(class, new_id);
+        if changed {
+            vec![id]
+        } else {
+            vec![]
+        }
+    }
+
+    fn bound_vars(&self) -> Vec<Var> {
+        vec![Var::new("b"), Var::new("y")]
+    }
+}
+
+/// Whether a class is a candidate for λ-abstraction under the configured
+/// [`CandidateSet`]: the constant-array chains of §IV.C.2 and §V.A abstract
+/// over constants; wider sets are available for experimentation.
+fn intro_lambda_candidate(egraph: &AEGraph, id: Id, set: CandidateSet) -> bool {
+    match set {
+        CandidateSet::All => true,
+        CandidateSet::ConstantsAndCalls => {
+            egraph.data(id).constant.is_some()
+                || egraph[id].iter().any(|n| matches!(n, ArrayLang::Call(..)))
+        }
+        CandidateSet::ValueLike => egraph[id].iter().any(|n| {
+            matches!(
+                n,
+                ArrayLang::Const(_) | ArrayLang::Sym(_) | ArrayLang::Get(_) | ArrayLang::Call(..)
+            )
+        }),
+    }
+}
+
+/// R-IntroLambda: `e → (λ e↑) y` for every candidate argument class `y`.
+struct IntroLambdaSearcher {
+    config: RuleConfig,
+}
+
+impl Searcher<ArrayLang, ArrayAnalysis> for IntroLambdaSearcher {
+    fn search(&self, egraph: &AEGraph, limit: usize) -> Vec<SearchMatches<ArrayLang>> {
+        // Candidate arguments y: classes containing a De Bruijn variable
+        // (every known chain abstracts over a loop index), or every class
+        // in exhaustive mode.
+        let exhaustive = self.config.intro_lambda == CandidateSet::All;
+        let ys: Vec<Id> = egraph
+            .class_ids()
+            .into_iter()
+            .filter(|&id| exhaustive || egraph.data(id).has_var)
+            .collect();
+        if ys.is_empty() {
+            return vec![];
+        }
+        let mut out = Vec::new();
+        let mut total = 0;
+        for e in egraph.class_ids() {
+            if total >= limit {
+                break;
+            }
+            if !intro_lambda_candidate(egraph, e, self.config.intro_lambda) {
+                continue;
+            }
+            let mut substs = Vec::new();
+            for &y in &ys {
+                if total >= limit {
+                    break;
+                }
+                let mut s = Subst::default();
+                s.insert(Var::new("y"), Binding::Class(y));
+                substs.push(s);
+                total += 1;
+            }
+            if !substs.is_empty() {
+                out.push(SearchMatches { class: e, substs });
+            }
+        }
+        out
+    }
+
+    fn bound_vars(&self) -> Vec<Var> {
+        vec![Var::new("y")]
+    }
+}
+
+struct IntroLambdaApplier;
+
+impl Applier<ArrayLang, ArrayAnalysis> for IntroLambdaApplier {
+    fn apply(&self, egraph: &mut AEGraph, class: Id, subst: &Subst<ArrayLang>) -> Vec<Id> {
+        let y = match subst.get(&Var::new("y")).expect("y bound") {
+            Binding::Class(id) => *id,
+            Binding::Expr(e) => egraph.add_expr(e),
+        };
+        // (λ e↑): abstract over a parameter the body ignores.
+        let body = shift_up(&egraph.data(class).repr, 1);
+        let lam = {
+            let mut e = Expr::default();
+            let root = e.append_subtree(&body, body.root());
+            e.add(ArrayLang::Lam(root));
+            e
+        };
+        let lam_id = egraph.add_expr(&lam);
+        let app_id = egraph.add(ArrayLang::App([lam_id, y]));
+        let (id, changed) = egraph.union(class, app_id);
+        if changed {
+            vec![id]
+        } else {
+            vec![]
+        }
+    }
+
+    fn bound_vars(&self) -> Vec<Var> {
+        vec![Var::new("y")]
+    }
+}
+
+/// R-IntroIndexBuild: `f i → (build N f)[i]` for every extent `N` present
+/// in the e-graph.
+struct IntroIndexBuildSearcher;
+
+impl Searcher<ArrayLang, ArrayAnalysis> for IntroIndexBuildSearcher {
+    fn search(&self, egraph: &AEGraph, limit: usize) -> Vec<SearchMatches<ArrayLang>> {
+        let dims: Vec<Id> = egraph
+            .class_ids()
+            .into_iter()
+            .filter(|&id| egraph.data(id).dim.is_some())
+            .collect();
+        let mut out = Vec::new();
+        let mut total = 0;
+        for class in egraph.class_ids() {
+            if total >= limit {
+                break;
+            }
+            let mut substs = Vec::new();
+            for node in &egraph[class].nodes {
+                let ArrayLang::App([f, i]) = node else { continue };
+                for &n in &dims {
+                    if total >= limit {
+                        break;
+                    }
+                    let mut s = Subst::default();
+                    s.insert(Var::new("f"), Binding::Class(*f));
+                    s.insert(Var::new("i"), Binding::Class(*i));
+                    s.insert(Var::new("n"), Binding::Class(n));
+                    substs.push(s);
+                    total += 1;
+                }
+            }
+            if !substs.is_empty() {
+                out.push(SearchMatches { class, substs });
+            }
+        }
+        out
+    }
+
+    fn bound_vars(&self) -> Vec<Var> {
+        vec![Var::new("f"), Var::new("i"), Var::new("n")]
+    }
+}
+
+/// Searcher for the tuple intro rules: pairs every class `a` with candidate
+/// second components `b` (classes already occurring under tuples by
+/// default; all classes in exhaustive mode).
+struct IntroTupleSearcher {
+    config: RuleConfig,
+}
+
+impl Searcher<ArrayLang, ArrayAnalysis> for IntroTupleSearcher {
+    fn search(&self, egraph: &AEGraph, limit: usize) -> Vec<SearchMatches<ArrayLang>> {
+        let mut candidates: Vec<Id> = if self.config.exhaustive_tuples {
+            egraph.class_ids()
+        } else {
+            let mut c = Vec::new();
+            for class in egraph.classes_sorted() {
+                for node in &class.nodes {
+                    if let ArrayLang::Tuple([x, y]) = node {
+                        c.push(egraph.find(*x));
+                        c.push(egraph.find(*y));
+                    }
+                }
+            }
+            c
+        };
+        candidates.sort();
+        candidates.dedup();
+        if candidates.is_empty() {
+            return vec![];
+        }
+        let mut out = Vec::new();
+        let mut total = 0;
+        for a in egraph.class_ids() {
+            if total >= limit {
+                break;
+            }
+            let mut substs = Vec::new();
+            for &b in &candidates {
+                if total >= limit {
+                    break;
+                }
+                let mut s = Subst::default();
+                s.insert(Var::new("b"), Binding::Class(b));
+                substs.push(s);
+                total += 1;
+            }
+            out.push(SearchMatches { class: a, substs });
+        }
+        out
+    }
+
+    fn bound_vars(&self) -> Vec<Var> {
+        vec![Var::new("b")]
+    }
+}
+
+/// Applier for the tuple intro rules: `a → fst/snd (tuple … )`, where the
+/// matched class supplies the kept component.
+struct IntroTupleApplier {
+    first: bool,
+}
+
+impl Applier<ArrayLang, ArrayAnalysis> for IntroTupleApplier {
+    fn apply(&self, egraph: &mut AEGraph, class: Id, subst: &Subst<ArrayLang>) -> Vec<Id> {
+        let b = match subst.get(&Var::new("b")).expect("b bound") {
+            Binding::Class(id) => *id,
+            Binding::Expr(e) => egraph.add_expr(e),
+        };
+        let tuple = if self.first {
+            egraph.add(ArrayLang::Tuple([class, b]))
+        } else {
+            egraph.add(ArrayLang::Tuple([b, class]))
+        };
+        let proj = if self.first {
+            egraph.add(ArrayLang::Fst(tuple))
+        } else {
+            egraph.add(ArrayLang::Snd(tuple))
+        };
+        let (id, changed) = egraph.union(class, proj);
+        if changed {
+            vec![id]
+        } else {
+            vec![]
+        }
+    }
+
+    fn bound_vars(&self) -> Vec<Var> {
+        vec![Var::new("b")]
+    }
+}
+
+/// The eight core rules of listing 2.
+pub fn core_rules(config: &RuleConfig) -> Vec<ArrayRewrite> {
+    let config = *config;
+    vec![
+        Rewrite::new(
+            "beta-reduce",
+            "(app (lam ?b) ?y)".parse::<Pattern<ArrayLang>>().unwrap(),
+            BetaReduceApplier,
+        ),
+        Rewrite::new(
+            "intro-lambda",
+            IntroLambdaSearcher { config },
+            IntroLambdaApplier,
+        ),
+        Rewrite::from_patterns("elim-index-build", "(get (build ?n ?f) ?i)", "(app ?f ?i)"),
+        Rewrite::new(
+            "intro-index-build",
+            IntroIndexBuildSearcher,
+            "(get (build ?n ?f) ?i)".parse::<Pattern<ArrayLang>>().unwrap(),
+        ),
+        Rewrite::from_patterns("elim-fst-tuple", "(fst (tuple ?a ?b))", "?a"),
+        Rewrite::new(
+            "intro-fst-tuple",
+            IntroTupleSearcher { config },
+            IntroTupleApplier { first: true },
+        ),
+        Rewrite::from_patterns("elim-snd-tuple", "(snd (tuple ?a ?b))", "?b"),
+        Rewrite::new(
+            "intro-snd-tuple",
+            IntroTupleSearcher { config },
+            IntroTupleApplier { first: false },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liar_egraph::Runner;
+    use liar_ir::ArrayEGraph;
+
+    fn e(s: &str) -> Expr {
+        s.parse().unwrap()
+    }
+
+    fn saturate(expr: &Expr, iters: usize) -> (Runner<ArrayLang, ArrayAnalysis>, Id) {
+        let mut eg = ArrayEGraph::default();
+        let root = eg.add_expr(expr);
+        let mut runner = Runner::new(eg).with_iter_limit(iters).with_node_limit(100_000);
+        let rules = core_rules(&RuleConfig::default());
+        runner.run(&rules);
+        (runner, root)
+    }
+
+    #[test]
+    fn beta_reduction_fires() {
+        let (runner, root) = saturate(&e("(app (lam (+ %0 1)) x)"), 3);
+        let reduced = runner.egraph.lookup_expr(&e("(+ x 1)"));
+        assert_eq!(reduced, Some(runner.egraph.find(root)));
+    }
+
+    #[test]
+    fn elim_index_build_plus_beta_is_map_access() {
+        // (build n (λ xs[•0] + 1))[i] → xs[i] + 1  (paper §IV.C.1).
+        let (runner, root) = saturate(&e("(get (build #8 (lam (+ (get xs %0) 1))) i)"), 4);
+        let fused = runner.egraph.lookup_expr(&e("(+ (get xs i) 1)"));
+        assert_eq!(fused, Some(runner.egraph.find(root)));
+    }
+
+    #[test]
+    fn map_fusion_example() {
+        // build n (λ f (build n (λ g xs[•0]))[•0]) fuses to
+        // build n (λ f (g xs[•0])) — §IV.C.1 with f = +1, g = *2.
+        let two_maps = e(
+            "(build #8 (lam (+ (get (build #8 (lam (* (get xs %0) 2))) %0) 1)))",
+        );
+        let fused = e("(build #8 (lam (+ (* (get xs %0) 2) 1)))");
+        let (runner, root) = saturate(&two_maps, 4);
+        assert_eq!(
+            runner.egraph.lookup_expr(&fused),
+            Some(runner.egraph.find(root)),
+            "maps should fuse"
+        );
+    }
+
+    #[test]
+    fn intro_lambda_builds_constant_arrays() {
+        // §IV.C.2: a constant under a loop index becomes an indexed
+        // constant array: 42 = (build n (λ 42))[•0].
+        let expr = e("(build #8 (lam (+ (get xs %0) 42)))");
+        let (runner, root) = saturate(&expr, 4);
+        let as_vadd = e(
+            "(build #8 (lam (+ (get xs %0) (get (build #8 (lam 42)) %0))))",
+        );
+        assert_eq!(
+            runner.egraph.lookup_expr(&as_vadd),
+            Some(runner.egraph.find(root)),
+            "constant array form should be discovered"
+        );
+    }
+
+    #[test]
+    fn tuple_rules_roundtrip() {
+        let (runner, root) = saturate(&e("(fst (tuple x y))"), 3);
+        assert_eq!(
+            runner.egraph.lookup_expr(&e("x")),
+            Some(runner.egraph.find(root))
+        );
+        let (runner, root) = saturate(&e("(snd (tuple x y))"), 3);
+        assert_eq!(
+            runner.egraph.lookup_expr(&e("y")),
+            Some(runner.egraph.find(root))
+        );
+    }
+
+    #[test]
+    fn intro_tuple_uses_existing_tuple_components() {
+        // With a tuple in the graph, x also equals fst (tuple x y).
+        let (runner, root) = saturate(&e("(tuple (+ x 0) y)"), 3);
+        let _ = root;
+        let x = runner.egraph.lookup_expr(&e("(+ x 0)")).unwrap();
+        let wrapped = runner.egraph.lookup_expr(&e("(fst (tuple (+ x 0) y))"));
+        assert_eq!(wrapped, Some(runner.egraph.find(x)));
+    }
+
+    #[test]
+    fn saturation_is_sound_for_invariants() {
+        let (runner, _) = saturate(&e("(build #4 (lam (+ (get xs %0) 1)))"), 3);
+        runner.egraph.assert_invariants();
+    }
+}

@@ -1,0 +1,205 @@
+//! Dimension guards for idiom appliers.
+//!
+//! The IR is untyped, and the intro rules deliberately over-approximate:
+//! `0 = (build 5 (λ 0))[i]` is installed even in contexts where `i` ranges
+//! over 8 (the paper's SHIR rules this out with typed index variables).
+//! Those equalities are harmless until an idiom rule captures an array of
+//! the wrong extent as a call argument. Each idiom applier therefore
+//! checks, before building the call, that the extents of its array
+//! bindings agree with the extents bound from the pattern — rejecting the
+//! match when both sides are known and disagree.
+
+use liar_egraph::{Applier, Binding, EGraph, Id, Pattern, Subst, Var};
+use liar_ir::analysis::node_extent;
+use liar_ir::{ArrayAnalysis, ArrayLang, Expr};
+
+type AEGraph = EGraph<ArrayLang, ArrayAnalysis>;
+
+/// One dimension-consistency requirement.
+#[derive(Debug, Clone)]
+pub enum Check {
+    /// The leading extent of array variable `.0` must equal the extent
+    /// bound by dim variable `.1`.
+    ArrExtent(Var, Var),
+    /// Two dim variables must bind equal extents.
+    DimEq(Var, Var),
+    /// The variable must not bind a value with a known array extent
+    /// (scalar positions such as gemv's α and β).
+    NotArray(Var),
+}
+
+impl Check {
+    /// Shorthand: `arr("a", "n")`.
+    pub fn arr(a: &str, n: &str) -> Check {
+        Check::ArrExtent(Var::new(a), Var::new(n))
+    }
+
+    /// Shorthand: `dims("n", "n2")`.
+    pub fn dims(a: &str, b: &str) -> Check {
+        Check::DimEq(Var::new(a), Var::new(b))
+    }
+
+    /// Shorthand: `scalar("alpha")`.
+    pub fn scalar(a: &str) -> Check {
+        Check::NotArray(Var::new(a))
+    }
+}
+
+/// The extent a `#n` binding denotes, if known.
+fn dim_of(egraph: &AEGraph, b: &Binding<ArrayLang>) -> Option<usize> {
+    match b {
+        Binding::Class(id) => egraph.data(*id).dim,
+        Binding::Expr(e) => e.node(e.root()).as_dim(),
+    }
+}
+
+/// The leading array extent of a binding's value, if known.
+fn extent_of(egraph: &AEGraph, b: &Binding<ArrayLang>) -> Option<usize> {
+    match b {
+        Binding::Class(id) => egraph.data(*id).extent,
+        Binding::Expr(e) => expr_extent(e),
+    }
+}
+
+/// Leading extent of a standalone expression.
+pub fn expr_extent(e: &Expr) -> Option<usize> {
+    node_extent(e.node(e.root()), &mut |c| e.node(c).as_dim())
+}
+
+/// Evaluate all checks against a substitution; `true` means the match may
+/// proceed (unknown extents are permissive).
+pub fn checks_pass(egraph: &AEGraph, subst: &Subst<ArrayLang>, checks: &[Check]) -> bool {
+    checks.iter().all(|check| match check {
+        Check::ArrExtent(a, n) => {
+            let (Some(binding), Some(dim_binding)) = (subst.get(a), subst.get(n)) else {
+                return true;
+            };
+            match (extent_of(egraph, binding), dim_of(egraph, dim_binding)) {
+                (Some(e), Some(d)) => e == d,
+                _ => true,
+            }
+        }
+        Check::DimEq(x, y) => {
+            let (Some(bx), Some(by)) = (subst.get(x), subst.get(y)) else {
+                return true;
+            };
+            match (dim_of(egraph, bx), dim_of(egraph, by)) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            }
+        }
+        Check::NotArray(v) => subst
+            .get(v)
+            .is_none_or(|b| extent_of(egraph, b).is_none()),
+    })
+}
+
+/// A pattern applier that only fires when its dimension checks pass.
+pub struct GuardedPattern {
+    pattern: Pattern<ArrayLang>,
+    checks: Vec<Check>,
+}
+
+impl GuardedPattern {
+    /// Guard `pattern` with `checks`.
+    pub fn new(pattern: Pattern<ArrayLang>, checks: Vec<Check>) -> Self {
+        GuardedPattern { pattern, checks }
+    }
+}
+
+impl Applier<ArrayLang, ArrayAnalysis> for GuardedPattern {
+    fn apply(&self, egraph: &mut AEGraph, class: Id, subst: &Subst<ArrayLang>) -> Vec<Id> {
+        if !checks_pass(egraph, subst, &self.checks) {
+            return vec![];
+        }
+        self.pattern.apply(egraph, class, subst)
+    }
+
+    fn bound_vars(&self) -> Vec<Var> {
+        let mut vars = self.pattern.vars();
+        for c in &self.checks {
+            let vs: Vec<&Var> = match c {
+                Check::ArrExtent(a, b) | Check::DimEq(a, b) => vec![a, b],
+                Check::NotArray(a) => vec![a],
+            };
+            for v in vs {
+                if !vars.contains(v) {
+                    vars.push(v.clone());
+                }
+            }
+        }
+        vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liar_ir::ArrayEGraph;
+
+    fn e(s: &str) -> Expr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn extent_of_builds_and_calls() {
+        let mut eg = ArrayEGraph::default();
+        let b = eg.add_expr(&e("(build #5 (lam 0))"));
+        assert_eq!(eg.data(b).extent, Some(5));
+        let m = eg.add_expr(&e("(memset #8 0)"));
+        assert_eq!(eg.data(m).extent, Some(8));
+        let t = eg.add_expr(&e("(transpose #2 #3 A)"));
+        assert_eq!(eg.data(t).extent, Some(3));
+        let s = eg.add_expr(&e("(dot #4 A B)"));
+        assert_eq!(eg.data(s).extent, None);
+    }
+
+    #[test]
+    fn expr_extent_works_standalone() {
+        assert_eq!(expr_extent(&e("(build #5 (lam 0))")), Some(5));
+        assert_eq!(expr_extent(&e("(get A i)")), None);
+    }
+
+    #[test]
+    fn mismatched_extent_blocks_apply() {
+        let mut eg = ArrayEGraph::default();
+        let zeros5 = eg.add_expr(&e("(build #5 (lam 0))"));
+        let n8 = eg.add_expr(&e("#8"));
+        let mut subst = Subst::default();
+        subst.insert(Var::new("c"), Binding::Class(zeros5));
+        subst.insert(Var::new("n"), Binding::Class(n8));
+        assert!(!checks_pass(&eg, &subst, &[Check::arr("c", "n")]));
+        // Same extent passes.
+        let n5 = eg.add_expr(&e("#5"));
+        let mut ok = Subst::default();
+        ok.insert(Var::new("c"), Binding::Class(zeros5));
+        ok.insert(Var::new("n"), Binding::Class(n5));
+        assert!(checks_pass(&eg, &ok, &[Check::arr("c", "n")]));
+    }
+
+    #[test]
+    fn unknown_extents_are_permissive() {
+        let mut eg = ArrayEGraph::default();
+        let sym = eg.add_expr(&e("A"));
+        let n8 = eg.add_expr(&e("#8"));
+        let mut subst = Subst::default();
+        subst.insert(Var::new("c"), Binding::Class(sym));
+        subst.insert(Var::new("n"), Binding::Class(n8));
+        assert!(checks_pass(&eg, &subst, &[Check::arr("c", "n")]));
+    }
+
+    #[test]
+    fn dim_eq_check() {
+        let mut eg = ArrayEGraph::default();
+        let n8 = eg.add_expr(&e("#8"));
+        let n5 = eg.add_expr(&e("#5"));
+        let mut subst = Subst::default();
+        subst.insert(Var::new("n"), Binding::Class(n8));
+        subst.insert(Var::new("m"), Binding::Class(n5));
+        assert!(!checks_pass(&eg, &subst, &[Check::dims("n", "m")]));
+        let mut same = Subst::default();
+        same.insert(Var::new("n"), Binding::Class(n8));
+        same.insert(Var::new("m"), Binding::Class(n8));
+        assert!(checks_pass(&eg, &same, &[Check::dims("n", "m")]));
+    }
+}

@@ -1,0 +1,153 @@
+//! Rule sets: language semantics (listing 2), scalar arithmetic
+//! (listing 3), and library idioms (listings 4–5).
+
+pub mod guard;
+mod blas;
+mod core_rules;
+mod scalar;
+mod torch;
+
+pub use blas::blas_rules;
+pub use core_rules::core_rules;
+pub use scalar::scalar_rules;
+pub use torch::torch_rules;
+
+pub use self::CandidateSet as IntroCandidates;
+
+use liar_ir::ArrayRewrite;
+
+/// The three rule-set targets evaluated in the paper (§VI, "targets").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Target {
+    /// Core and scalar rules only; extraction never selects library calls.
+    PureC,
+    /// Core, scalar and BLAS idiom rules.
+    Blas,
+    /// Core, scalar and PyTorch idiom rules.
+    Torch,
+}
+
+impl Target {
+    /// All targets, in the paper's order.
+    pub const ALL: [Target; 3] = [Target::PureC, Target::Blas, Target::Torch];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::PureC => "pure-c",
+            Target::Blas => "blas",
+            Target::Torch => "pytorch",
+        }
+    }
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Configuration for the rules whose right-hand sides contain free
+/// variables (paper §IV.B.4).
+///
+/// The paper instantiates such rules with *every* e-class; that semantics
+/// is available via [`RuleConfig::exhaustive`], while the default bounds
+/// the candidate sets to the classes that can actually participate in the
+/// idiom chains (see DESIGN.md, "Engineering deviations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Which classes `R-IntroLambda` abstracts over.
+    pub intro_lambda: CandidateSet,
+    /// Instantiate the tuple intro rules over all classes rather than the
+    /// components already occurring under tuples.
+    pub exhaustive_tuples: bool,
+    /// Enable the expression-inflating directions of the scalar identities
+    /// (`x → x+0`, `x → 1*x`, `x → x*1`).
+    pub scalar_intro: bool,
+}
+
+/// Candidate sets for `R-IntroLambda`'s matched class `e` (the expression
+/// being wrapped in `(λ e↑) y`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateSet {
+    /// Classes containing a float constant or a library call — the
+    /// §IV.C.2 / §V.A constant-array chains (`1 → (build n (λ 1))[i]`)
+    /// plus the zero-matrix rows that gemm recognition needs
+    /// (`memset(0) → (build n (λ memset(0)↑))[i]`, the paper's doitgen
+    /// solution). The fast default.
+    #[default]
+    ConstantsAndCalls,
+    /// Constants plus inputs, array elements and library calls.
+    ValueLike,
+    /// Every e-class (the paper's §IV.B.4 semantics; explosive).
+    All,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        RuleConfig {
+            intro_lambda: CandidateSet::ConstantsAndCalls,
+            exhaustive_tuples: false,
+            scalar_intro: true,
+        }
+    }
+}
+
+impl RuleConfig {
+    /// The paper-faithful, unbounded instantiation strategy.
+    pub fn exhaustive() -> Self {
+        RuleConfig {
+            intro_lambda: CandidateSet::All,
+            exhaustive_tuples: true,
+            scalar_intro: true,
+        }
+    }
+}
+
+/// The complete rule set for a target: core + scalar (+ idioms).
+pub fn rules_for(target: Target, config: &RuleConfig) -> Vec<ArrayRewrite> {
+    let mut rules = core_rules(config);
+    rules.extend(scalar_rules(config));
+    match target {
+        Target::PureC => {}
+        Target::Blas => rules.extend(blas_rules()),
+        Target::Torch => rules.extend(torch_rules()),
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_counts_match_the_paper() {
+        let config = RuleConfig::default();
+        // Listing 2: eight core rules.
+        assert_eq!(core_rules(&config).len(), 8);
+        // Listing 3: four identities, two directions each — minus the
+        // self-inverse commutativity pair collapsing into one rule.
+        assert_eq!(scalar_rules(&config).len(), 7);
+    }
+
+    #[test]
+    fn rule_names_are_unique_per_target() {
+        for target in Target::ALL {
+            let rules = rules_for(target, &RuleConfig::default());
+            let mut names: Vec<_> = rules.iter().map(|r| r.name().to_string()).collect();
+            names.sort();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "duplicate rule names in {target}");
+        }
+    }
+
+    #[test]
+    fn scalar_intro_can_be_disabled() {
+        let config = RuleConfig {
+            scalar_intro: false,
+            ..RuleConfig::default()
+        };
+        assert_eq!(scalar_rules(&config).len(), 4);
+    }
+}

@@ -1,0 +1,179 @@
+//! Scalar arithmetic identities (paper listing 3).
+//!
+//! Each identity is a pair of rules (left-to-right and right-to-left);
+//! commutativity is its own inverse, so four identities yield seven rules.
+//!
+//! The inflating directions (`x → x+0`, `x → 1*x`, `x → x*1`) have a bare
+//! variable on the left-hand side. Applied literally they would match
+//! every e-class (including λs and extents); the paper scopes them to
+//! numbers ("x and y are numbers"). Without a type system we scope them to
+//! *scalar-like* classes: classes containing a constant, an array element,
+//! a parameter use, a scalar operator, or a scalar-returning library call.
+
+use liar_egraph::{
+    Binding, EGraph, Id, Pattern, Rewrite, SearchMatches, Searcher, Subst, Var,
+};
+use liar_ir::{ArrayAnalysis, ArrayLang, ArrayRewrite, LibFn};
+
+use super::RuleConfig;
+
+type AEGraph = EGraph<ArrayLang, ArrayAnalysis>;
+
+fn scalar_like(egraph: &AEGraph, id: Id) -> bool {
+    // A class whose value has a known array extent is definitely not a
+    // scalar, whatever nodes congruence has pulled into it.
+    if egraph.data(id).extent.is_some() {
+        return false;
+    }
+    egraph[id].iter().any(|n| match n {
+        ArrayLang::Const(_)
+        | ArrayLang::Var(_)
+        | ArrayLang::Get(_)
+        | ArrayLang::Add(_)
+        | ArrayLang::Sub(_)
+        | ArrayLang::Mul(_)
+        | ArrayLang::Div(_) => true,
+        ArrayLang::Call(f, _) => matches!(f, LibFn::Dot | LibFn::TSum),
+        _ => false,
+    })
+}
+
+/// Matches every scalar-like e-class, binding `?x` to it.
+struct ScalarClassSearcher;
+
+impl Searcher<ArrayLang, ArrayAnalysis> for ScalarClassSearcher {
+    fn search(&self, egraph: &AEGraph, limit: usize) -> Vec<SearchMatches<ArrayLang>> {
+        let mut out = Vec::new();
+        let mut total = 0;
+        for id in egraph.class_ids() {
+            if total >= limit {
+                break;
+            }
+            if !scalar_like(egraph, id) {
+                continue;
+            }
+            let mut s = Subst::default();
+            s.insert(Var::new("x"), Binding::Class(id));
+            out.push(SearchMatches {
+                class: id,
+                substs: vec![s],
+            });
+            total += 1;
+        }
+        out
+    }
+
+    fn bound_vars(&self) -> Vec<Var> {
+        vec![Var::new("x")]
+    }
+}
+
+fn intro(name: &str, rhs: &str) -> ArrayRewrite {
+    Rewrite::new(
+        name,
+        ScalarClassSearcher,
+        rhs.parse::<Pattern<ArrayLang>>().unwrap(),
+    )
+}
+
+/// The scalar rules of listing 3 (E-ADDZERO, E-MULONEL, E-MULONER,
+/// E-COMMUTEMUL as directional rewrites).
+pub fn scalar_rules(config: &RuleConfig) -> Vec<ArrayRewrite> {
+    let mut rules = vec![
+        Rewrite::from_patterns("add-zero", "(+ ?x 0)", "?x"),
+        Rewrite::from_patterns("mul-one-l", "(* 1 ?x)", "?x"),
+        Rewrite::from_patterns("mul-one-r", "(* ?x 1)", "?x"),
+        Rewrite::from_patterns("commute-mul", "(* ?x ?y)", "(* ?y ?x)"),
+    ];
+    if config.scalar_intro {
+        rules.push(intro("intro-add-zero", "(+ ?x 0)"));
+        rules.push(intro("intro-mul-one-l", "(* 1 ?x)"));
+        rules.push(intro("intro-mul-one-r", "(* ?x 1)"));
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liar_egraph::Runner;
+    use liar_ir::{ArrayEGraph, Expr};
+
+    fn e(s: &str) -> Expr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn add_zero_simplifies() {
+        let mut eg = ArrayEGraph::default();
+        let root = eg.add_expr(&e("(+ (get xs i) 0)"));
+        let mut runner = Runner::new(eg).with_iter_limit(3);
+        runner.run(&scalar_rules(&RuleConfig::default()));
+        assert_eq!(
+            runner.egraph.lookup_expr(&e("(get xs i)")),
+            Some(runner.egraph.find(root))
+        );
+    }
+
+    #[test]
+    fn mul_one_both_sides() {
+        let mut eg = ArrayEGraph::default();
+        let root = eg.add_expr(&e("(* 1 (* (get xs i) 1))"));
+        let mut runner = Runner::new(eg).with_iter_limit(3);
+        runner.run(&scalar_rules(&RuleConfig::default()));
+        assert_eq!(
+            runner.egraph.lookup_expr(&e("(get xs i)")),
+            Some(runner.egraph.find(root))
+        );
+    }
+
+    #[test]
+    fn intro_creates_latent_forms() {
+        // The §V.A chain starts by rewriting xs[•1] to xs[•1] * 1.
+        let mut eg = ArrayEGraph::default();
+        let root = eg.add_expr(&e("(get xs %1)"));
+        let mut runner = Runner::new(eg).with_iter_limit(2);
+        runner.run(&scalar_rules(&RuleConfig::default()));
+        assert_eq!(
+            runner.egraph.lookup_expr(&e("(* (get xs %1) 1)")),
+            Some(runner.egraph.find(root))
+        );
+        assert_eq!(
+            runner.egraph.lookup_expr(&e("(+ (get xs %1) 0)")),
+            Some(runner.egraph.find(root))
+        );
+    }
+
+    #[test]
+    fn intro_skips_non_scalar_classes() {
+        let mut eg = ArrayEGraph::default();
+        let lam = eg.add_expr(&e("(lam %0)"));
+        let dim = eg.add_expr(&e("#8"));
+        let mut runner = Runner::new(eg).with_iter_limit(2);
+        runner.run(&scalar_rules(&RuleConfig::default()));
+        // λ and extent classes must not grow scalar wrappers.
+        for id in [lam, dim] {
+            let class = &runner.egraph[id];
+            assert!(
+                class.iter().all(|n| !matches!(n, ArrayLang::Add(_) | ArrayLang::Mul(_))),
+                "non-scalar class got scalar nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn commutativity_saturates() {
+        let mut eg = ArrayEGraph::default();
+        let root = eg.add_expr(&e("(* (get a i) (get b i))"));
+        let mut runner = Runner::new(eg).with_iter_limit(4);
+        runner.run(&scalar_rules(&RuleConfig {
+            scalar_intro: false,
+            ..RuleConfig::default()
+        }));
+        assert_eq!(
+            runner.egraph.lookup_expr(&e("(* (get b i) (get a i))")),
+            Some(runner.egraph.find(root))
+        );
+        assert_eq!(runner.stop_reason, Some(liar_egraph::StopReason::Saturated));
+    }
+}

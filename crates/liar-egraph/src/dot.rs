@@ -1,0 +1,92 @@
+//! Graphviz export of e-graphs, for debugging and documentation.
+
+use std::fmt;
+
+use crate::{Analysis, EGraph, Language};
+
+/// Renders an e-graph in Graphviz `dot` format via `Display`.
+///
+/// Each e-class becomes a cluster; e-nodes point at the clusters of their
+/// children (mirroring the figures in the paper and the egg docs).
+///
+/// ```
+/// use liar_egraph::{Dot, EGraph, SymbolLang};
+/// let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+/// eg.add_expr(&"(f a)".parse().unwrap());
+/// let dot = Dot::new(&eg).to_string();
+/// assert!(dot.starts_with("digraph egraph"));
+/// ```
+pub struct Dot<'a, L: Language, A: Analysis<L>> {
+    egraph: &'a EGraph<L, A>,
+}
+
+impl<'a, L: Language, A: Analysis<L>> Dot<'a, L, A> {
+    /// Wrap an e-graph for rendering.
+    pub fn new(egraph: &'a EGraph<L, A>) -> Self {
+        Dot { egraph }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl<L: Language, A: Analysis<L>> fmt::Display for Dot<'_, L, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "digraph egraph {{")?;
+        writeln!(f, "  compound=true; clusterrank=local;")?;
+        for class in self.egraph.classes_sorted() {
+            writeln!(f, "  subgraph cluster_{} {{", class.id)?;
+            writeln!(f, "    style=dotted; label=\"e{}\";", class.id)?;
+            for (i, node) in class.iter().enumerate() {
+                writeln!(
+                    f,
+                    "    n{}_{} [label=\"{}\"];",
+                    class.id,
+                    i,
+                    escape(&node.display_op())
+                )?;
+            }
+            writeln!(f, "  }}")?;
+        }
+        for class in self.egraph.classes_sorted() {
+            for (i, node) in class.iter().enumerate() {
+                for (arg, child) in node.children().iter().enumerate() {
+                    let child = self.egraph.find(*child);
+                    // Point at the first node of the child's cluster.
+                    writeln!(
+                        f,
+                        "  n{}_{} -> n{}_0 [lhead=cluster_{}, label=\"{}\"];",
+                        class.id, i, child, child, arg
+                    )?;
+                }
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolLang;
+
+    #[test]
+    fn dot_contains_clusters_and_edges() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        eg.add_expr(&"(f a b)".parse().unwrap());
+        let dot = Dot::new(&eg).to_string();
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("label=\"f\""));
+        assert!(dot.contains("->"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        eg.add(SymbolLang::leaf("a\"b"));
+        let dot = Dot::new(&eg).to_string();
+        assert!(dot.contains("a\\\"b"));
+    }
+}

@@ -1,0 +1,505 @@
+//! The e-graph data structure: hash-consed nodes, union-find classes,
+//! deferred congruence-closure rebuilding.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::unionfind::UnionFind;
+use crate::{Analysis, Id, Language, RecExpr};
+
+/// An equivalence class of e-nodes.
+#[derive(Debug, Clone)]
+pub struct EClass<L, D> {
+    /// The canonical id of this class (at the time of the last rebuild).
+    pub id: Id,
+    /// The e-nodes in this class, with canonicalized children after a
+    /// rebuild.
+    pub nodes: Vec<L>,
+    /// The analysis fact for this class.
+    pub data: D,
+    /// Back-pointers: every (parent node, parent class) that has this class
+    /// as a child. Used by rebuilding and analysis propagation.
+    pub(crate) parents: Vec<(L, Id)>,
+}
+
+impl<L: Language, D> EClass<L, D> {
+    /// Iterate over the e-nodes in this class.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &L> {
+        self.nodes.iter()
+    }
+
+    /// Number of e-nodes in this class.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the class has no nodes (cannot happen for classes created
+    /// through [`EGraph::add`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// An e-graph parameterized over a [`Language`] and an [`Analysis`].
+///
+/// Mirrors the design of egg: additions hash-cons into `memo`, unions are
+/// recorded in a union-find and invalidate congruence, and an explicit
+/// [`rebuild`](EGraph::rebuild) restores the invariants in a batch
+/// (deferred rebuilding is what makes batched equality saturation fast).
+pub struct EGraph<L: Language, A: Analysis<L>> {
+    /// The analysis instance (may carry configuration).
+    pub analysis: A,
+    unionfind: UnionFind,
+    memo: HashMap<L, Id>,
+    classes: HashMap<Id, EClass<L, A::Data>>,
+    /// Parent nodes whose children were just unioned and need
+    /// re-canonicalization.
+    pending: Vec<(L, Id)>,
+    /// Nodes whose analysis data may be stale.
+    analysis_pending: Vec<(L, Id)>,
+    clean: bool,
+}
+
+impl<L: Language, A: Analysis<L> + Default> Default for EGraph<L, A> {
+    fn default() -> Self {
+        Self::new(A::default())
+    }
+}
+
+impl<L: Language, A: Analysis<L>> fmt::Debug for EGraph<L, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EGraph")
+            .field("classes", &self.classes.len())
+            .field("nodes", &self.memo.len())
+            .field("ids", &self.unionfind.len())
+            .field("clean", &self.clean)
+            .finish()
+    }
+}
+
+impl<L: Language, A: Analysis<L>> EGraph<L, A> {
+    /// Create an empty e-graph with the given analysis.
+    pub fn new(analysis: A) -> Self {
+        EGraph {
+            analysis,
+            unionfind: UnionFind::default(),
+            memo: HashMap::new(),
+            classes: HashMap::new(),
+            pending: Vec::new(),
+            analysis_pending: Vec::new(),
+            clean: true,
+        }
+    }
+
+    /// Number of e-classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of distinct e-nodes (exact after a rebuild).
+    pub fn num_nodes(&self) -> usize {
+        self.classes.values().map(|c| c.nodes.len()).sum()
+    }
+
+    /// True when congruence and analysis invariants hold (no unions since
+    /// the last [`rebuild`](EGraph::rebuild)).
+    pub fn is_clean(&self) -> bool {
+        self.clean
+    }
+
+    /// True when nothing has ever been added.
+    pub fn is_empty(&self) -> bool {
+        self.unionfind.is_empty()
+    }
+
+    /// Canonicalize an e-class id.
+    pub fn find(&self, id: Id) -> Id {
+        self.unionfind.find(id)
+    }
+
+    /// Canonicalize an e-class id with path compression.
+    pub fn find_mut(&mut self, id: Id) -> Id {
+        self.unionfind.find_mut(id)
+    }
+
+    /// Iterate over the e-classes (unspecified order).
+    pub fn classes(&self) -> impl Iterator<Item = &EClass<L, A::Data>> {
+        self.classes.values()
+    }
+
+    /// The e-classes sorted by id — use this wherever determinism matters
+    /// (searchers, reports).
+    pub fn classes_sorted(&self) -> Vec<&EClass<L, A::Data>> {
+        let mut cs: Vec<_> = self.classes.values().collect();
+        cs.sort_by_key(|c| c.id);
+        cs
+    }
+
+    /// Ids of all e-classes, sorted.
+    pub fn class_ids(&self) -> Vec<Id> {
+        let mut ids: Vec<_> = self.classes.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Access a class by (possibly stale) id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never issued by this e-graph.
+    pub fn class(&self, id: Id) -> &EClass<L, A::Data> {
+        let id = self.find(id);
+        self.classes
+            .get(&id)
+            .unwrap_or_else(|| panic!("no class for id {id}"))
+    }
+
+    /// The analysis fact of a class.
+    pub fn data(&self, id: Id) -> &A::Data {
+        &self.class(id).data
+    }
+
+    fn canonicalize(&self, node: L) -> L {
+        node.map_children(|c| self.find(c))
+    }
+
+    /// Look up the e-class of an e-node without adding it.
+    pub fn lookup(&self, node: L) -> Option<Id> {
+        let node = self.canonicalize(node);
+        self.memo.get(&node).map(|&id| self.find(id))
+    }
+
+    /// Look up the e-class of a whole expression without adding it.
+    pub fn lookup_expr(&self, expr: &RecExpr<L>) -> Option<Id> {
+        let mut ids: Vec<Id> = Vec::with_capacity(expr.len());
+        for node in expr.nodes() {
+            let node = node.clone().map_children(|c| ids[c.index()]);
+            ids.push(self.lookup(node)?);
+        }
+        ids.last().copied()
+    }
+
+    /// Add an e-node (children must be valid ids), returning its class.
+    pub fn add(&mut self, node: L) -> Id {
+        let node = self.canonicalize(node);
+        if let Some(&existing) = self.memo.get(&node) {
+            return self.find(existing);
+        }
+        let id = self.unionfind.make_set();
+        let data = A::make(self, &node);
+        for child in node.children() {
+            let child = self.find(*child);
+            self.classes
+                .get_mut(&child)
+                .expect("child class must exist")
+                .parents
+                .push((node.clone(), id));
+        }
+        self.classes.insert(
+            id,
+            EClass {
+                id,
+                nodes: vec![node.clone()],
+                data,
+                parents: Vec::new(),
+            },
+        );
+        self.memo.insert(node, id);
+        A::modify(self, id);
+        self.find_mut(id)
+    }
+
+    /// Add every node of `expr`, returning the root's class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expr` is empty.
+    pub fn add_expr(&mut self, expr: &RecExpr<L>) -> Id {
+        assert!(!expr.is_empty(), "cannot add an empty expression");
+        let mut ids: Vec<Id> = Vec::with_capacity(expr.len());
+        for node in expr.nodes() {
+            let node = node.clone().map_children(|c| ids[c.index()]);
+            ids.push(self.add(node));
+        }
+        *ids.last().unwrap()
+    }
+
+    /// Union two e-classes, returning the canonical id and whether anything
+    /// changed. Invalidates congruence until the next
+    /// [`rebuild`](EGraph::rebuild).
+    pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
+        let a = self.find_mut(a);
+        let b = self.find_mut(b);
+        if a == b {
+            return (a, false);
+        }
+        self.clean = false;
+        // Keep the class with more members as the winner to move less data.
+        let (winner, loser) = {
+            let ca = &self.classes[&a];
+            let cb = &self.classes[&b];
+            if ca.nodes.len() + ca.parents.len() >= cb.nodes.len() + cb.parents.len() {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        };
+        self.unionfind.union_roots(winner, loser);
+        let loser_class = self.classes.remove(&loser).expect("loser class exists");
+
+        // Parents of the loser now refer to a stale id; they must be
+        // re-canonicalized and re-hashed.
+        self.pending.extend(loser_class.parents.iter().cloned());
+
+        let did = {
+            let winner_class = self.classes.get_mut(&winner).expect("winner class exists");
+            let did = self.analysis.merge(&mut winner_class.data, loser_class.data);
+            winner_class.nodes.extend(loser_class.nodes);
+            if did.0 {
+                // The winner's own fact changed: its pre-existing parents
+                // must be re-analyzed.
+                self.analysis_pending
+                    .extend(winner_class.parents.iter().cloned());
+            }
+            if did.1 {
+                self.analysis_pending
+                    .extend(loser_class.parents.iter().cloned());
+            }
+            let winner_class = self.classes.get_mut(&winner).expect("winner class exists");
+            winner_class.parents.extend(loser_class.parents);
+            did
+        };
+        let _ = did;
+        A::modify(self, winner);
+        (winner, true)
+    }
+
+    /// Union the classes of two expressions (adding them if necessary) —
+    /// convenience for tests and rule bootstrapping.
+    pub fn union_exprs(&mut self, a: &RecExpr<L>, b: &RecExpr<L>) -> Id {
+        let a = self.add_expr(a);
+        let b = self.add_expr(b);
+        self.union(a, b).0
+    }
+
+    /// Restore congruence and analysis invariants after unions.
+    ///
+    /// Returns the number of unions performed during the repair.
+    pub fn rebuild(&mut self) -> usize {
+        let mut n_unions = 0;
+        while !self.pending.is_empty() || !self.analysis_pending.is_empty() {
+            while let Some((node, class)) = self.pending.pop() {
+                let node = self.canonicalize(node);
+                let class = self.find_mut(class);
+                if let Some(old) = self.memo.insert(node.clone(), class) {
+                    let (_, changed) = self.union(old, class);
+                    if changed {
+                        n_unions += 1;
+                    }
+                }
+                self.analysis_pending.push((node, class));
+            }
+            while let Some((node, class)) = self.analysis_pending.pop() {
+                let class = self.find_mut(class);
+                let node = self.canonicalize(node);
+                let data = A::make(self, &node);
+                let cdata = &mut self.classes.get_mut(&class).expect("class exists").data;
+                let did = self.analysis.merge(cdata, data);
+                if did.0 {
+                    let parents = self.classes[&class].parents.clone();
+                    self.analysis_pending.extend(parents);
+                    A::modify(self, class);
+                }
+            }
+        }
+        self.rebuild_classes();
+        self.clean = true;
+        n_unions
+    }
+
+    /// Canonicalize and deduplicate every class's node list, and prune
+    /// stale memo entries. Called at the end of [`rebuild`](EGraph::rebuild)
+    /// so that [`num_nodes`](EGraph::num_nodes) counts *unique* e-nodes, the
+    /// quantity the paper reports.
+    fn rebuild_classes(&mut self) {
+        let uf = &self.unionfind;
+        for class in self.classes.values_mut() {
+            for node in &mut class.nodes {
+                for c in node.children_mut() {
+                    *c = uf.find(*c);
+                }
+            }
+            class.nodes.sort();
+            class.nodes.dedup();
+
+            for (pnode, pclass) in &mut class.parents {
+                for c in pnode.children_mut() {
+                    *c = uf.find(*c);
+                }
+                *pclass = uf.find(*pclass);
+            }
+            class.parents.sort();
+            class.parents.dedup();
+        }
+        // Drop memo entries whose key is no longer canonical.
+        let stale: Vec<L> = self
+            .memo
+            .keys()
+            .filter(|n| n.children().iter().any(|c| uf.find(*c) != *c))
+            .cloned()
+            .collect();
+        for key in stale {
+            let id = self.memo.remove(&key).expect("key present");
+            let node = key.map_children(|c| uf.find(c));
+            let id = uf.find(id);
+            self.memo.entry(node).or_insert(id);
+        }
+    }
+
+    /// Check internal invariants (used by tests; O(nodes)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a congruence or hash-cons invariant is violated. Only call
+    /// on a clean (rebuilt) e-graph.
+    pub fn assert_invariants(&self) {
+        assert!(self.clean, "assert_invariants requires a rebuilt egraph");
+        for (id, class) in &self.classes {
+            assert_eq!(*id, self.find(*id), "class key {id} not canonical");
+            assert_eq!(class.id, *id, "class id field mismatch");
+            for node in &class.nodes {
+                let canon = self.canonicalize(node.clone());
+                assert_eq!(&canon, node, "node {node:?} in class {id} not canonical");
+                let memo_id = self
+                    .memo
+                    .get(&canon)
+                    .unwrap_or_else(|| panic!("node {node:?} missing from memo"));
+                assert_eq!(
+                    self.find(*memo_id),
+                    *id,
+                    "memo maps {node:?} to wrong class"
+                );
+            }
+        }
+        for (node, id) in &self.memo {
+            let canon = self.canonicalize(node.clone());
+            assert_eq!(&canon, node, "memo key {node:?} not canonical");
+            let id = self.find(*id);
+            assert!(
+                self.classes[&id].nodes.contains(node),
+                "memo entry {node:?} not in class {id}"
+            );
+        }
+    }
+}
+
+impl<L: Language, A: Analysis<L>> std::ops::Index<Id> for EGraph<L, A> {
+    type Output = EClass<L, A::Data>;
+
+    fn index(&self, id: Id) -> &Self::Output {
+        self.class(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolLang;
+
+    type EG = EGraph<SymbolLang, ()>;
+
+    fn leaf(name: &str) -> SymbolLang {
+        SymbolLang::leaf(name)
+    }
+
+    #[test]
+    fn hashconsing_dedupes() {
+        let mut eg = EG::default();
+        let a1 = eg.add(leaf("a"));
+        let a2 = eg.add(leaf("a"));
+        assert_eq!(a1, a2);
+        assert_eq!(eg.num_classes(), 1);
+        assert_eq!(eg.num_nodes(), 1);
+    }
+
+    #[test]
+    fn union_merges_classes() {
+        let mut eg = EG::default();
+        let a = eg.add(leaf("a"));
+        let b = eg.add(leaf("b"));
+        assert_ne!(eg.find(a), eg.find(b));
+        let (_, changed) = eg.union(a, b);
+        assert!(changed);
+        eg.rebuild();
+        assert_eq!(eg.find(a), eg.find(b));
+        assert_eq!(eg.num_classes(), 1);
+        assert_eq!(eg.num_nodes(), 2);
+        eg.assert_invariants();
+    }
+
+    #[test]
+    fn congruence_closure_via_rebuild() {
+        // f(a), f(b): unioning a and b must union f(a) and f(b).
+        let mut eg = EG::default();
+        let a = eg.add(leaf("a"));
+        let b = eg.add(leaf("b"));
+        let fa = eg.add(SymbolLang::new("f", vec![a]));
+        let fb = eg.add(SymbolLang::new("f", vec![b]));
+        assert_ne!(eg.find(fa), eg.find(fb));
+        eg.union(a, b);
+        eg.rebuild();
+        assert_eq!(eg.find(fa), eg.find(fb));
+        eg.assert_invariants();
+    }
+
+    #[test]
+    fn congruence_cascades() {
+        // g(f(a)), g(f(b)): one union, two levels of congruence.
+        let mut eg = EG::default();
+        let a = eg.add(leaf("a"));
+        let b = eg.add(leaf("b"));
+        let fa = eg.add(SymbolLang::new("f", vec![a]));
+        let fb = eg.add(SymbolLang::new("f", vec![b]));
+        let gfa = eg.add(SymbolLang::new("g", vec![fa]));
+        let gfb = eg.add(SymbolLang::new("g", vec![fb]));
+        eg.union(a, b);
+        eg.rebuild();
+        assert_eq!(eg.find(gfa), eg.find(gfb));
+        eg.assert_invariants();
+    }
+
+    #[test]
+    fn add_expr_and_lookup_expr() {
+        let mut eg = EG::default();
+        let expr = "(f (g a) b)".parse().unwrap();
+        let id = eg.add_expr(&expr);
+        assert_eq!(eg.lookup_expr(&expr), Some(eg.find(id)));
+        let missing = "(h a)".parse().unwrap();
+        assert_eq!(eg.lookup_expr(&missing), None);
+    }
+
+    #[test]
+    fn self_union_is_noop() {
+        let mut eg = EG::default();
+        let a = eg.add(leaf("a"));
+        let (_, changed) = eg.union(a, a);
+        assert!(!changed);
+        assert!(eg.is_clean());
+    }
+
+    #[test]
+    fn num_nodes_counts_unique_nodes_after_rebuild() {
+        let mut eg = EG::default();
+        let a = eg.add(leaf("a"));
+        let b = eg.add(leaf("b"));
+        let fa = eg.add(SymbolLang::new("f", vec![a]));
+        let fb = eg.add(SymbolLang::new("f", vec![b]));
+        eg.union(a, b);
+        eg.union(fa, fb);
+        eg.rebuild();
+        // f(a) and f(b) are now the same node; a and b remain distinct
+        // nodes in one class.
+        assert_eq!(eg.num_nodes(), 3);
+        eg.assert_invariants();
+    }
+}

@@ -1,0 +1,233 @@
+//! Cost-based extraction of a single best term per e-class.
+
+use std::collections::HashMap;
+
+use crate::{Analysis, EGraph, Id, Language, RecExpr};
+
+/// A local cost model: the cost of a node given its children's best costs.
+///
+/// Costs are `f64` because the paper's library cost models use fractional
+/// discount factors (`.8N`, `.7NM`, …). The e-graph is passed in so a cost
+/// model can consult e-class analyses (LIAR reads array extents from `Dim`
+/// leaves this way).
+///
+/// Implementations must be *strictly increasing*: a node's cost must be
+/// strictly greater than each child's cost, otherwise extraction could
+/// select a cyclic "best" term.
+pub trait CostFunction<L: Language, A: Analysis<L>> {
+    /// Cost of `enode`, where `child_cost` gives the current best cost of
+    /// a child class (`f64::INFINITY` when not yet known).
+    fn cost(
+        &self,
+        egraph: &EGraph<L, A>,
+        enode: &L,
+        child_cost: &mut dyn FnMut(Id) -> f64,
+    ) -> f64;
+
+    /// Cost of a whole term (mainly for tests and reporting).
+    fn cost_expr(&self, egraph: &EGraph<L, A>, expr: &RecExpr<L>) -> f64 {
+        let mut costs: Vec<f64> = Vec::with_capacity(expr.len());
+        for node in expr.nodes() {
+            let c = self.cost(egraph, node, &mut |id| costs[id.index()]);
+            costs.push(c);
+        }
+        costs.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// AST size: every node costs 1 plus its children.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AstSize;
+
+impl<L: Language, A: Analysis<L>> CostFunction<L, A> for AstSize {
+    fn cost(
+        &self,
+        _egraph: &EGraph<L, A>,
+        enode: &L,
+        child_cost: &mut dyn FnMut(Id) -> f64,
+    ) -> f64 {
+        enode.fold(1.0, |acc, id| acc + child_cost(id))
+    }
+}
+
+/// AST depth: one plus the maximum child depth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AstDepth;
+
+impl<L: Language, A: Analysis<L>> CostFunction<L, A> for AstDepth {
+    fn cost(
+        &self,
+        _egraph: &EGraph<L, A>,
+        enode: &L,
+        child_cost: &mut dyn FnMut(Id) -> f64,
+    ) -> f64 {
+        enode.fold(1.0, |acc, id| acc.max(1.0 + child_cost(id)))
+    }
+}
+
+/// Precomputes the cheapest e-node of every e-class under a
+/// [`CostFunction`], then reconstructs best terms on demand.
+///
+/// This is the extraction step of equality saturation (paper §II(c), §V-C):
+/// after saturation, a cost model walks the e-graph and picks one
+/// expression.
+pub struct Extractor<'a, L: Language, A: Analysis<L>, C> {
+    egraph: &'a EGraph<L, A>,
+    cost_fn: C,
+    best: HashMap<Id, (f64, L)>,
+}
+
+impl<'a, L: Language, A: Analysis<L>, C: CostFunction<L, A>> Extractor<'a, L, A, C> {
+    /// Compute best costs for every class (fixpoint over the e-graph).
+    pub fn new(egraph: &'a EGraph<L, A>, cost_fn: C) -> Self {
+        let mut extractor = Extractor {
+            egraph,
+            cost_fn,
+            best: HashMap::new(),
+        };
+        extractor.fixpoint();
+        extractor
+    }
+
+    fn fixpoint(&mut self) {
+        let classes = self.egraph.classes_sorted();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for class in &classes {
+                let current = self.best.get(&class.id).map(|(c, _)| *c);
+                for node in class.iter() {
+                    let cost = self.node_cost(node);
+                    if cost.is_finite() && current.is_none_or(|c| cost < c) {
+                        self.best.insert(class.id, (cost, node.clone()));
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn node_cost(&self, node: &L) -> f64 {
+        // A node's cost is only finite once all children are known.
+        let known = node.all(|c| self.best.contains_key(&self.egraph.find(c)));
+        if !known {
+            return f64::INFINITY;
+        }
+        self.cost_fn.cost(self.egraph, node, &mut |id| {
+            self.best[&self.egraph.find(id)].0
+        })
+    }
+
+    /// The best cost of a class, if any term is extractable.
+    pub fn best_cost(&self, id: Id) -> Option<f64> {
+        self.best.get(&self.egraph.find(id)).map(|(c, _)| *c)
+    }
+
+    /// The cheapest e-node of a class.
+    pub fn best_node(&self, id: Id) -> Option<&L> {
+        self.best.get(&self.egraph.find(id)).map(|(_, n)| n)
+    }
+
+    /// Extract the best term for a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class has no extractable term (impossible for classes
+    /// created by adding expressions).
+    pub fn find_best(&self, id: Id) -> (f64, RecExpr<L>) {
+        let id = self.egraph.find(id);
+        let (cost, _) = self.best[&id];
+        let mut expr = RecExpr::default();
+        self.build_best(id, &mut expr);
+        (cost, expr)
+    }
+
+    fn build_best(&self, id: Id, expr: &mut RecExpr<L>) -> Id {
+        let id = self.egraph.find(id);
+        let (_, node) = self
+            .best
+            .get(&id)
+            .unwrap_or_else(|| panic!("class {id} has no extractable term"));
+        let node = node.clone().map_children(|c| self.build_best(c, expr));
+        expr.add(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pattern, Rewrite, Runner, SymbolLang};
+
+    #[test]
+    fn ast_size_picks_smaller_member() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let big = eg.add_expr(&"(+ (+ a 0) 0)".parse().unwrap());
+        let small = eg.add_expr(&"a".parse().unwrap());
+        eg.union(big, small);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        let (cost, best) = ex.find_best(big);
+        assert_eq!(best.to_string(), "a");
+        assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn extraction_descends_through_children() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let root = eg.add_expr(&"(f (+ a 0))".parse().unwrap());
+        let rw = Rewrite::<SymbolLang, ()>::from_patterns("add0", "(+ ?x 0)", "?x");
+        let mut runner = Runner::new(eg);
+        runner.run(&[rw]);
+        let ex = Extractor::new(&runner.egraph, AstSize);
+        let (cost, best) = ex.find_best(root);
+        assert_eq!(best.to_string(), "(f a)");
+        assert_eq!(cost, 2.0);
+    }
+
+    #[test]
+    fn ast_depth() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let root = eg.add_expr(&"(f (g a) b)".parse().unwrap());
+        let ex = Extractor::new(&eg, AstDepth);
+        assert_eq!(ex.best_cost(root), Some(3.0));
+    }
+
+    #[test]
+    fn cost_expr_matches_extracted_cost() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let root = eg.add_expr(&"(+ (* a b) c)".parse().unwrap());
+        let ex = Extractor::new(&eg, AstSize);
+        let (cost, best) = ex.find_best(root);
+        assert_eq!(cost, AstSize.cost_expr(&eg, &best));
+    }
+
+    #[test]
+    fn custom_cost_function_prefers_shift() {
+        struct ShiftCheap;
+        impl CostFunction<SymbolLang, ()> for ShiftCheap {
+            fn cost(
+                &self,
+                _eg: &EGraph<SymbolLang, ()>,
+                enode: &SymbolLang,
+                child: &mut dyn FnMut(Id) -> f64,
+            ) -> f64 {
+                let op_cost = match enode.op.as_str() {
+                    "/" => 10.0,
+                    "<<" => 1.0,
+                    _ => 1.0,
+                };
+                enode.fold(op_cost, |acc, id| acc + child(id))
+            }
+        }
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let root = eg.add_expr(&"(/ a 2)".parse().unwrap());
+        let rw =
+            Rewrite::<SymbolLang, ()>::from_patterns("div2", "(/ ?x 2)", "(<< ?x 1)");
+        let mut runner = Runner::new(eg);
+        runner.run(&[rw]);
+        let ex = Extractor::new(&runner.egraph, ShiftCheap);
+        let (_, best) = ex.find_best(root);
+        assert_eq!(best.to_string(), "(<< a 1)");
+    }
+}

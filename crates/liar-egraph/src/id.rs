@@ -1,0 +1,70 @@
+//! E-class identifiers.
+
+use std::fmt;
+
+/// An opaque identifier naming an e-class inside an [`EGraph`](crate::EGraph).
+///
+/// `Id`s are only meaningful relative to the e-graph that issued them, and a
+/// non-canonical `Id` may refer to a class that has since been unioned into
+/// another; [`EGraph::find`](crate::EGraph::find) canonicalizes.
+///
+/// Inside a [`RecExpr`](crate::RecExpr), `Id`s are reused as plain indices
+/// into the expression's node table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Id(u32);
+
+impl Id {
+    /// Create an id from a raw index.
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "id overflow");
+        Id(i as u32)
+    }
+
+    /// The raw index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for Id {
+    fn from(i: usize) -> Self {
+        Id::from_index(i)
+    }
+}
+
+impl From<Id> for usize {
+    fn from(id: Id) -> Self {
+        id.index()
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let id = Id::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(Id::from(42usize), id);
+    }
+
+    #[test]
+    fn display_is_plain_number() {
+        assert_eq!(Id::from_index(7).to_string(), "7");
+        assert_eq!(format!("{:?}", Id::from_index(7)), "7");
+    }
+}

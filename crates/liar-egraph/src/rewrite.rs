@@ -1,0 +1,183 @@
+//! Rewrite rules: a searcher paired with an applier.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Analysis, EGraph, Id, Language, Pattern, Subst, Var};
+
+/// All matches of a searcher inside one e-class.
+#[derive(Debug, Clone)]
+pub struct SearchMatches<L> {
+    /// The matched e-class (canonical at search time).
+    pub class: Id,
+    /// One substitution per way the pattern matched.
+    pub substs: Vec<Subst<L>>,
+}
+
+impl<L> SearchMatches<L> {
+    /// Total number of substitutions.
+    pub fn len(&self) -> usize {
+        self.substs.len()
+    }
+
+    /// True when there are no substitutions.
+    pub fn is_empty(&self) -> bool {
+        self.substs.is_empty()
+    }
+}
+
+/// The left-hand side of a rewrite: finds matches in an e-graph.
+///
+/// `limit` bounds the total number of substitutions returned; searchers
+/// must stay read-only so that a whole batch of rules can be searched
+/// against one consistent e-graph snapshot.
+pub trait Searcher<L: Language, A: Analysis<L>> {
+    /// Search the whole e-graph, returning at most `limit` substitutions.
+    fn search(&self, egraph: &EGraph<L, A>, limit: usize) -> Vec<SearchMatches<L>>;
+
+    /// Variables this searcher binds (used to validate rewrites).
+    fn bound_vars(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// The right-hand side of a rewrite: given one match, mutate the e-graph
+/// (add nodes, union classes).
+pub trait Applier<L: Language, A: Analysis<L>> {
+    /// Apply the rewrite for a single `(class, subst)` match. Returns the
+    /// ids of classes that actually changed (empty when the application was
+    /// a no-op, e.g. the union was already known).
+    fn apply(&self, egraph: &mut EGraph<L, A>, class: Id, subst: &Subst<L>) -> Vec<Id>;
+
+    /// Variables this applier requires to be bound.
+    fn bound_vars(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+/// A named rewrite rule.
+///
+/// Most rules are a pair of [`Pattern`]s; rules that need to run code — the
+/// LIAR β-reduction and intro rules — plug in custom [`Searcher`]s /
+/// [`Applier`]s.
+pub struct Rewrite<L: Language, A: Analysis<L>> {
+    name: String,
+    searcher: Arc<dyn Searcher<L, A>>,
+    applier: Arc<dyn Applier<L, A>>,
+}
+
+impl<L: Language, A: Analysis<L>> Clone for Rewrite<L, A> {
+    fn clone(&self) -> Self {
+        Rewrite {
+            name: self.name.clone(),
+            searcher: Arc::clone(&self.searcher),
+            applier: Arc::clone(&self.applier),
+        }
+    }
+}
+
+impl<L: Language, A: Analysis<L>> fmt::Debug for Rewrite<L, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rewrite").field("name", &self.name).finish()
+    }
+}
+
+impl<L: Language + 'static, A: Analysis<L> + 'static> Rewrite<L, A> {
+    /// Build a rewrite from any searcher/applier pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the applier requires a variable the searcher does not
+    /// bind.
+    pub fn new(
+        name: impl Into<String>,
+        searcher: impl Searcher<L, A> + 'static,
+        applier: impl Applier<L, A> + 'static,
+    ) -> Self {
+        let name = name.into();
+        let bound = searcher.bound_vars();
+        for v in applier.bound_vars() {
+            assert!(
+                bound.contains(&v),
+                "rewrite {name}: applier uses unbound variable {v}"
+            );
+        }
+        Rewrite {
+            name,
+            searcher: Arc::new(searcher),
+            applier: Arc::new(applier),
+        }
+    }
+
+    /// Build a rewrite from two pattern strings (panicking on parse errors
+    /// — rules are static program text).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either pattern fails to parse or the right-hand side uses
+    /// an unbound variable.
+    pub fn from_patterns(name: impl Into<String>, lhs: &str, rhs: &str) -> Self {
+        let name = name.into();
+        let lhs: Pattern<L> = lhs
+            .parse()
+            .unwrap_or_else(|e| panic!("rewrite {name}: bad LHS: {e}"));
+        let rhs: Pattern<L> = rhs
+            .parse()
+            .unwrap_or_else(|e| panic!("rewrite {name}: bad RHS: {e}"));
+        Rewrite::new(name, lhs, rhs)
+    }
+
+    /// The rule's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Search for matches, bounded by `limit` substitutions.
+    pub fn search(&self, egraph: &EGraph<L, A>, limit: usize) -> Vec<SearchMatches<L>> {
+        self.searcher.search(egraph, limit)
+    }
+
+    /// Apply previously found matches; returns the number of applications
+    /// that changed the e-graph.
+    pub fn apply(&self, egraph: &mut EGraph<L, A>, matches: &[SearchMatches<L>]) -> usize {
+        let mut changed = 0;
+        for m in matches {
+            for subst in &m.substs {
+                if !self.applier.apply(egraph, m.class, subst).is_empty() {
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolLang;
+
+    #[test]
+    fn pattern_pair_rewrite() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let id = eg.add_expr(&"(+ a b)".parse().unwrap());
+        let rw = Rewrite::from_patterns("comm-add", "(+ ?x ?y)", "(+ ?y ?x)");
+        let matches = rw.search(&eg, usize::MAX);
+        assert_eq!(matches.iter().map(|m| m.len()).sum::<usize>(), 1);
+        let changed = rw.apply(&mut eg, &matches);
+        assert_eq!(changed, 1);
+        eg.rebuild();
+        let flipped = eg.lookup_expr(&"(+ b a)".parse().unwrap());
+        assert_eq!(flipped, Some(eg.find(id)));
+        // Re-applying discovers the already-known union: no change.
+        let matches = rw.search(&eg, usize::MAX);
+        let changed = rw.apply(&mut eg, &matches);
+        assert_eq!(changed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn unbound_rhs_var_panics() {
+        let _ = Rewrite::<SymbolLang, ()>::from_patterns("bad", "(f ?x)", "(g ?x ?y)");
+    }
+}

@@ -1,0 +1,355 @@
+//! The saturation loop: batched search → apply → rebuild, with limits and
+//! per-iteration reports.
+
+use std::time::{Duration, Instant};
+
+use crate::{Analysis, EGraph, Id, Language, Rewrite, Scheduler, SimpleScheduler};
+
+/// Why a [`Runner`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// No rule changed the e-graph: a fixpoint was reached.
+    Saturated,
+    /// The configured iteration (saturation-step) limit was reached.
+    IterationLimit,
+    /// The e-graph grew past the configured node limit.
+    NodeLimit,
+    /// The configured wall-clock budget was exhausted.
+    TimeLimit,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::Saturated => write!(f, "saturated"),
+            StopReason::IterationLimit => write!(f, "iteration limit"),
+            StopReason::NodeLimit => write!(f, "node limit"),
+            StopReason::TimeLimit => write!(f, "time limit"),
+        }
+    }
+}
+
+/// Stopping criteria for a [`Runner`].
+///
+/// The paper uses a five-minute wall-clock budget per kernel and reports
+/// CPU-invariant *step*-limited runs in its artifact; both are supported.
+#[derive(Debug, Clone)]
+pub struct RunnerLimits {
+    /// Maximum number of saturation steps.
+    pub iter_limit: usize,
+    /// Maximum number of e-nodes before stopping.
+    pub node_limit: usize,
+    /// Optional wall-clock budget.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for RunnerLimits {
+    fn default() -> Self {
+        RunnerLimits {
+            iter_limit: 30,
+            node_limit: 500_000,
+            time_limit: None,
+        }
+    }
+}
+
+/// Everything that happened during one saturation step — the raw data
+/// behind the paper's fig. 4 (e-node counts and time per step).
+#[derive(Debug, Clone)]
+pub struct Iteration {
+    /// Step index, starting at 1 (step 0 is the initial e-graph).
+    pub index: usize,
+    /// Unique e-nodes after this step's rebuild.
+    pub n_nodes: usize,
+    /// E-classes after this step's rebuild.
+    pub n_classes: usize,
+    /// `(rule name, substitutions that changed the e-graph)`, rules in
+    /// rule-set order.
+    pub applied: Vec<(String, usize)>,
+    /// Unions performed by congruence repair during rebuild.
+    pub rebuild_unions: usize,
+    /// Time spent searching all rules.
+    pub search_time: Duration,
+    /// Time spent applying matches.
+    pub apply_time: Duration,
+    /// Time spent rebuilding.
+    pub rebuild_time: Duration,
+    /// Total step time.
+    pub total_time: Duration,
+}
+
+impl Iteration {
+    /// Total number of rule applications that changed the e-graph.
+    pub fn total_applied(&self) -> usize {
+        self.applied.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Drives equality saturation over an [`EGraph`].
+///
+/// A `Runner` owns the e-graph and, per step, searches every rule against a
+/// consistent snapshot, applies all matches in a batch, rebuilds, and
+/// records an [`Iteration`] report. [`run_one`](Runner::run_one) exposes
+/// single steps so callers (the LIAR pipeline) can extract a best
+/// expression after every step, as the paper does.
+pub struct Runner<L: Language, A: Analysis<L>> {
+    /// The e-graph being saturated.
+    pub egraph: EGraph<L, A>,
+    /// Root classes of interest (kept for extraction convenience).
+    pub roots: Vec<Id>,
+    /// Reports for the steps run so far.
+    pub iterations: Vec<Iteration>,
+    /// Why the run stopped, once it has.
+    pub stop_reason: Option<StopReason>,
+    limits: RunnerLimits,
+    scheduler: Box<dyn Scheduler>,
+    start: Option<Instant>,
+}
+
+impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
+    /// Wrap an e-graph in a runner with default limits and no scheduling.
+    pub fn new(egraph: EGraph<L, A>) -> Self {
+        Runner {
+            egraph,
+            roots: Vec::new(),
+            iterations: Vec::new(),
+            stop_reason: None,
+            limits: RunnerLimits::default(),
+            scheduler: Box::new(SimpleScheduler),
+            start: None,
+        }
+    }
+
+    /// Record a root e-class of interest.
+    pub fn with_root(mut self, root: Id) -> Self {
+        self.roots.push(root);
+        self
+    }
+
+    /// Set the saturation-step limit.
+    pub fn with_iter_limit(mut self, limit: usize) -> Self {
+        self.limits.iter_limit = limit;
+        self
+    }
+
+    /// Set the e-node limit.
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.limits.node_limit = limit;
+        self
+    }
+
+    /// Set a wall-clock budget.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.limits.time_limit = Some(limit);
+        self
+    }
+
+    /// Replace all limits at once.
+    pub fn with_limits(mut self, limits: RunnerLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Use a custom [`Scheduler`].
+    pub fn with_scheduler(mut self, scheduler: impl Scheduler + 'static) -> Self {
+        self.scheduler = Box::new(scheduler);
+        self
+    }
+
+    fn check_pre_limits(&self) -> Option<StopReason> {
+        if self.iterations.len() >= self.limits.iter_limit {
+            return Some(StopReason::IterationLimit);
+        }
+        if self.egraph.num_nodes() >= self.limits.node_limit {
+            return Some(StopReason::NodeLimit);
+        }
+        if let (Some(budget), Some(start)) = (self.limits.time_limit, self.start) {
+            if start.elapsed() >= budget {
+                return Some(StopReason::TimeLimit);
+            }
+        }
+        None
+    }
+
+    /// Run one saturation step, or return the reason no step was run.
+    ///
+    /// A step searches every rule (against the pre-step e-graph), applies
+    /// all matches, rebuilds, and records an [`Iteration`].
+    pub fn run_one(&mut self, rules: &[Rewrite<L, A>]) -> Result<&Iteration, StopReason> {
+        if let Some(reason) = self.stop_reason.clone() {
+            return Err(reason);
+        }
+        self.start.get_or_insert_with(Instant::now);
+        if let Some(reason) = self.check_pre_limits() {
+            self.stop_reason = Some(reason.clone());
+            return Err(reason);
+        }
+        let step_start = Instant::now();
+        let iteration_idx = self.iterations.len();
+
+        // Search phase: all rules see the same clean e-graph.
+        debug_assert!(self.egraph.is_clean(), "searching a dirty e-graph");
+        let mut all_matches = Vec::with_capacity(rules.len());
+        for (i, rule) in rules.iter().enumerate() {
+            match self.scheduler.match_limit(iteration_idx, i, rule.name()) {
+                None => all_matches.push(Vec::new()),
+                Some(limit) => {
+                    let matches = rule.search(&self.egraph, limit);
+                    let n: usize = matches.iter().map(|m| m.len()).sum();
+                    self.scheduler.record(iteration_idx, i, n);
+                    all_matches.push(matches);
+                }
+            }
+        }
+        let search_time = step_start.elapsed();
+
+        // Apply phase.
+        let apply_start = Instant::now();
+        let mut applied = Vec::with_capacity(rules.len());
+        for (rule, matches) in rules.iter().zip(&all_matches) {
+            let changed = rule.apply(&mut self.egraph, matches);
+            applied.push((rule.name().to_string(), changed));
+        }
+        let apply_time = apply_start.elapsed();
+
+        // Rebuild phase.
+        let rebuild_start = Instant::now();
+        let rebuild_unions = self.egraph.rebuild();
+        let rebuild_time = rebuild_start.elapsed();
+
+        let iteration = Iteration {
+            index: iteration_idx + 1,
+            n_nodes: self.egraph.num_nodes(),
+            n_classes: self.egraph.num_classes(),
+            applied,
+            rebuild_unions,
+            search_time,
+            apply_time,
+            rebuild_time,
+            total_time: step_start.elapsed(),
+        };
+        let saturated = iteration.total_applied() == 0 && rebuild_unions == 0;
+        self.iterations.push(iteration);
+        if saturated {
+            self.stop_reason = Some(StopReason::Saturated);
+        }
+        Ok(self.iterations.last().expect("just pushed"))
+    }
+
+    /// Run until saturation or a limit; returns the stop reason.
+    pub fn run(&mut self, rules: &[Rewrite<L, A>]) -> StopReason {
+        loop {
+            if let Err(reason) = self.run_one(rules) {
+                return reason;
+            }
+        }
+    }
+}
+
+impl<L: Language, A: Analysis<L>> std::fmt::Debug for Runner<L, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("egraph", &self.egraph)
+            .field("iterations", &self.iterations.len())
+            .field("stop_reason", &self.stop_reason)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pattern, SymbolLang};
+
+    fn comm() -> Rewrite<SymbolLang, ()> {
+        Rewrite::from_patterns("comm-add", "(+ ?x ?y)", "(+ ?y ?x)")
+    }
+
+    fn assoc() -> Rewrite<SymbolLang, ()> {
+        Rewrite::from_patterns("assoc-add", "(+ (+ ?x ?y) ?z)", "(+ ?x (+ ?y ?z))")
+    }
+
+    #[test]
+    fn saturates_on_small_theory() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let root = eg.add_expr(&"(+ (+ a b) c)".parse().unwrap());
+        let mut runner = Runner::new(eg).with_root(root).with_iter_limit(20);
+        let reason = runner.run(&[comm(), assoc()]);
+        assert_eq!(reason, StopReason::Saturated);
+        // All 12 associations/commutations of (a+b)+c are equal.
+        let eg = &runner.egraph;
+        for s in ["(+ c (+ b a))", "(+ (+ c b) a)", "(+ b (+ a c))"] {
+            let e = s.parse().unwrap();
+            assert_eq!(
+                eg.lookup_expr(&e),
+                Some(eg.find(root)),
+                "{s} not in root class"
+            );
+        }
+        runner.egraph.assert_invariants();
+    }
+
+    #[test]
+    fn iteration_limit_stops() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        eg.add_expr(&"(+ a b)".parse().unwrap());
+        // A growing rule: f is freshly applied each time.
+        let grow = Rewrite::from_patterns("grow", "(+ ?x ?y)", "(+ (f ?x) ?y)");
+        let mut runner = Runner::new(eg).with_iter_limit(3);
+        let reason = runner.run(&[grow]);
+        assert_eq!(reason, StopReason::IterationLimit);
+        assert_eq!(runner.iterations.len(), 3);
+    }
+
+    #[test]
+    fn node_limit_stops() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        eg.add_expr(&"(+ a b)".parse().unwrap());
+        let grow = Rewrite::from_patterns("grow", "(+ ?x ?y)", "(+ (f ?x) ?y)");
+        let mut runner = Runner::new(eg).with_node_limit(10).with_iter_limit(1000);
+        let reason = runner.run(&[grow]);
+        assert_eq!(reason, StopReason::NodeLimit);
+        assert!(runner.egraph.num_nodes() >= 10);
+    }
+
+    #[test]
+    fn time_limit_stops() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        eg.add_expr(&"(+ a b)".parse().unwrap());
+        let grow = Rewrite::from_patterns("grow", "(+ ?x ?y)", "(+ (f ?x) ?y)");
+        let mut runner = Runner::new(eg)
+            .with_iter_limit(usize::MAX)
+            .with_node_limit(usize::MAX)
+            .with_time_limit(Duration::from_millis(30));
+        let reason = runner.run(&[grow]);
+        assert_eq!(reason, StopReason::TimeLimit);
+        assert!(!runner.iterations.is_empty());
+    }
+
+    #[test]
+    fn runner_errs_after_stop() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        eg.add_expr(&"(+ a b)".parse().unwrap());
+        let mut runner = Runner::new(eg).with_iter_limit(1);
+        let comm_rule = comm();
+        runner.run(&[comm_rule.clone()]);
+        // Further steps report the recorded stop reason.
+        assert!(runner.run_one(&[comm_rule]).is_err());
+    }
+
+    #[test]
+    fn reports_are_recorded_per_step() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        eg.add_expr(&"(+ a b)".parse().unwrap());
+        let mut runner = Runner::new(eg).with_iter_limit(10);
+        runner.run(&[comm()]);
+        assert!(!runner.iterations.is_empty());
+        let first = &runner.iterations[0];
+        assert_eq!(first.index, 1);
+        assert_eq!(first.applied[0].0, "comm-add");
+        assert_eq!(first.applied[0].1, 1);
+        // Second step discovers nothing new.
+        let last = runner.iterations.last().unwrap();
+        assert_eq!(last.total_applied(), 0);
+    }
+}

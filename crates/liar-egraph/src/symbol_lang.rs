@@ -1,0 +1,68 @@
+//! A simple uninterpreted-symbol language, used for tests and examples.
+
+use crate::{Id, Language};
+
+/// An e-graph language of arbitrary named operators with any arity.
+///
+/// This is the engine's "hello world" language: every node is an operator
+/// name plus children. LIAR's real language lives in the `liar-ir` crate.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolLang {
+    /// Operator name.
+    pub op: String,
+    /// Children e-classes.
+    pub children: Vec<Id>,
+}
+
+impl SymbolLang {
+    /// A node with the given operator and children.
+    pub fn new(op: impl Into<String>, children: Vec<Id>) -> Self {
+        SymbolLang {
+            op: op.into(),
+            children,
+        }
+    }
+
+    /// A childless node.
+    pub fn leaf(op: impl Into<String>) -> Self {
+        SymbolLang::new(op, vec![])
+    }
+}
+
+impl Language for SymbolLang {
+    fn children(&self) -> &[Id] {
+        &self.children
+    }
+
+    fn children_mut(&mut self) -> &mut [Id] {
+        &mut self.children
+    }
+
+    fn matches(&self, other: &Self) -> bool {
+        self.op == other.op && self.children.len() == other.children.len()
+    }
+
+    fn display_op(&self) -> String {
+        self.op.clone()
+    }
+
+    fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String> {
+        Ok(SymbolLang::new(op, children))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_ignores_children() {
+        let a = SymbolLang::new("f", vec![Id::from_index(0)]);
+        let b = SymbolLang::new("f", vec![Id::from_index(5)]);
+        assert!(a.matches(&b));
+        let c = SymbolLang::new("g", vec![Id::from_index(0)]);
+        assert!(!a.matches(&c));
+        let d = SymbolLang::new("f", vec![]);
+        assert!(!a.matches(&d));
+    }
+}

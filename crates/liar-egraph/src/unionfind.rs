@@ -1,0 +1,116 @@
+//! A union-find (disjoint set) over [`Id`]s with path compression.
+
+use crate::Id;
+
+/// Disjoint-set forest used by the e-graph to track e-class equivalence.
+///
+/// Union by arbitrary order (the caller decides which root survives, since
+/// the e-graph wants to keep the class with more nodes as the canonical
+/// one); `find` performs path halving.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parents: Vec<Id>,
+}
+
+impl UnionFind {
+    /// Create a fresh singleton set and return its id.
+    pub fn make_set(&mut self) -> Id {
+        let id = Id::from_index(self.parents.len());
+        self.parents.push(id);
+        id
+    }
+
+    /// Number of ids issued (not the number of distinct sets).
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// True if no ids have been issued.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    fn parent(&self, id: Id) -> Id {
+        self.parents[id.index()]
+    }
+
+    /// Find the canonical representative of `id` without path compression.
+    pub fn find(&self, mut id: Id) -> Id {
+        while id != self.parent(id) {
+            id = self.parent(id);
+        }
+        id
+    }
+
+    /// Find the canonical representative of `id`, compressing paths.
+    pub fn find_mut(&mut self, mut id: Id) -> Id {
+        while id != self.parent(id) {
+            // Path halving: point at grandparent.
+            let grandparent = self.parent(self.parent(id));
+            self.parents[id.index()] = grandparent;
+            id = grandparent;
+        }
+        id
+    }
+
+    /// Union the sets of `root1` and `root2`, making `root1` the new root.
+    ///
+    /// Both arguments must already be canonical (roots). Returns `root1`.
+    pub fn union_roots(&mut self, root1: Id, root2: Id) -> Id {
+        debug_assert_eq!(root1, self.find(root1), "root1 must be canonical");
+        debug_assert_eq!(root2, self.find(root2), "root2 must be canonical");
+        self.parents[root2.index()] = root1;
+        root1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> (UnionFind, Vec<Id>) {
+        let mut uf = UnionFind::default();
+        let ids = (0..n).map(|_| uf.make_set()).collect();
+        (uf, ids)
+    }
+
+    #[test]
+    fn singletons_are_their_own_roots() {
+        let (uf, ids) = ids(5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+        assert!(UnionFind::default().is_empty());
+        for id in ids {
+            assert_eq!(uf.find(id), id);
+        }
+    }
+
+    #[test]
+    fn union_makes_first_arg_root() {
+        let (mut uf, ids) = ids(4);
+        uf.union_roots(ids[0], ids[1]);
+        uf.union_roots(ids[2], ids[3]);
+        assert_eq!(uf.find(ids[1]), ids[0]);
+        assert_eq!(uf.find(ids[3]), ids[2]);
+        uf.union_roots(ids[0], ids[2]);
+        for id in &ids {
+            assert_eq!(uf.find_mut(*id), ids[0]);
+        }
+    }
+
+    #[test]
+    fn path_compression_preserves_roots() {
+        let (mut uf, ids) = ids(64);
+        // Build a long chain.
+        for w in ids.windows(2) {
+            let (a, b) = (uf.find_mut(w[0]), uf.find_mut(w[1]));
+            if a != b {
+                uf.union_roots(a, b);
+            }
+        }
+        let root = uf.find(ids[0]);
+        for id in &ids {
+            assert_eq!(uf.find_mut(*id), root);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the e-graph: congruence invariants under random
+//! insertions and unions, and extraction sanity.
+
+use proptest::prelude::*;
+
+use liar_egraph::{AstSize, EGraph, Extractor, RecExpr, SymbolLang};
+
+type EG = EGraph<SymbolLang, ()>;
+
+/// Random terms over a small signature.
+fn arb_term(depth: u32) -> BoxedStrategy<RecExpr<SymbolLang>> {
+    fn add(expr: &mut RecExpr<SymbolLang>, t: &Tree) -> liar_egraph::Id {
+        match t {
+            Tree::Leaf(name) => expr.add(SymbolLang::leaf(name.clone())),
+            Tree::Node(op, children) => {
+                let ids = children.iter().map(|c| add(expr, c)).collect();
+                expr.add(SymbolLang::new(op.clone(), ids))
+            }
+        }
+    }
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(String),
+        Node(String, Vec<Tree>),
+    }
+    let leaf = prop_oneof![
+        Just(Tree::Leaf("a".into())),
+        Just(Tree::Leaf("b".into())),
+        Just(Tree::Leaf("c".into())),
+    ];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Tree::Node("f".into(), vec![x, y])),
+            inner.clone().prop_map(|x| Tree::Node("g".into(), vec![x])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Tree::Node("+".into(), vec![x, y])),
+        ]
+    })
+    .prop_map(|tree| {
+        let mut expr = RecExpr::default();
+        add(&mut expr, &tree);
+        expr
+    })
+    .boxed()
+}
+
+proptest! {
+    /// After arbitrary adds + unions + a rebuild, all hash-consing and
+    /// congruence invariants hold.
+    #[test]
+    fn invariants_after_random_unions(
+        terms in proptest::collection::vec(arb_term(4), 2..8),
+        union_pairs in proptest::collection::vec((0usize..8, 0usize..8), 0..6),
+    ) {
+        let mut eg = EG::default();
+        let ids: Vec<_> = terms.iter().map(|t| eg.add_expr(t)).collect();
+        for (i, j) in union_pairs {
+            let (a, b) = (ids[i % ids.len()], ids[j % ids.len()]);
+            eg.union(a, b);
+        }
+        eg.rebuild();
+        eg.assert_invariants();
+    }
+
+    /// Adding the same term twice yields the same class.
+    #[test]
+    fn add_is_idempotent(t in arb_term(4)) {
+        let mut eg = EG::default();
+        let a = eg.add_expr(&t);
+        let b = eg.add_expr(&t);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(eg.lookup_expr(&t), Some(a));
+    }
+
+    /// Unions are congruence-closed: if a ≡ b then f(a) ≡ f(b) after a
+    /// rebuild.
+    #[test]
+    fn congruence_holds(t1 in arb_term(3), t2 in arb_term(3)) {
+        let mut eg = EG::default();
+        let a = eg.add_expr(&t1);
+        let b = eg.add_expr(&t2);
+        let fa = eg.add(SymbolLang::new("wrap", vec![a]));
+        let fb = eg.add(SymbolLang::new("wrap", vec![b]));
+        eg.union(a, b);
+        eg.rebuild();
+        prop_assert_eq!(eg.find(fa), eg.find(fb));
+        eg.assert_invariants();
+    }
+
+    /// Extraction returns a term in the class with cost ≤ the inserted
+    /// term's size, and the extracted term is actually in the e-graph.
+    #[test]
+    fn extraction_is_sound_and_minimal(
+        t1 in arb_term(4),
+        t2 in arb_term(4),
+    ) {
+        let mut eg = EG::default();
+        let a = eg.add_expr(&t1);
+        let b = eg.add_expr(&t2);
+        eg.union(a, b);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        let (cost, best) = ex.find_best(a);
+        prop_assert!(cost <= t1.len() as f64);
+        prop_assert!(cost <= t2.len() as f64);
+        prop_assert_eq!(eg.lookup_expr(&best), Some(eg.find(a)));
+    }
+
+    /// `num_nodes` never exceeds the number of added nodes and classes
+    /// never exceed nodes.
+    #[test]
+    fn size_accounting(terms in proptest::collection::vec(arb_term(4), 1..6)) {
+        let mut eg = EG::default();
+        let mut added = 0;
+        for t in &terms {
+            added += t.len();
+            eg.add_expr(t);
+        }
+        eg.rebuild();
+        prop_assert!(eg.num_nodes() <= added);
+        prop_assert!(eg.num_classes() <= eg.num_nodes());
+    }
+}

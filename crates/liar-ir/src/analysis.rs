@@ -1,0 +1,407 @@
+//! The e-class analysis for the array IR.
+//!
+//! Every e-class carries:
+//!
+//! * a **free-variable set** (optimistic: the intersection over members, so
+//!   a bit that is set is free in *every* member — sound for rejecting
+//!   downshifts early);
+//! * a smallest known **representative** term, used by the
+//!   extraction-based substitution/shift appliers (paper §IV.B.3, second
+//!   approach) and by shift-pattern instantiation;
+//! * the **extent** when the class is a `#n` leaf (read by cost models);
+//! * the **constant** when the class contains a float literal.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use liar_egraph::{Analysis, DidMerge, EGraph, Id, Language};
+
+use crate::debruijn::{self, VarSet};
+use crate::{ArrayLang, Expr, Num};
+
+/// Analysis fact attached to every e-class (see module docs).
+#[derive(Debug, Clone)]
+pub struct ClassData {
+    /// Optimistic free-variable set (intersection over members).
+    pub free: VarSet,
+    /// Smallest known representative term.
+    pub repr: Rc<Expr>,
+    /// Exact free-variable set of `repr` (the fast path for downshifts).
+    pub repr_free: VarSet,
+    /// The extent when this class is a `Dim` leaf.
+    pub dim: Option<usize>,
+    /// The *leading array extent* of this class's value, when statically
+    /// known (builds and vector/matrix-producing library calls). Used by
+    /// the idiom rules' dimension guards: the untyped IR cannot rule out
+    /// `0 = (build 5 (λ 0))[i]` in an 8-element context (the paper's SHIR
+    /// carries index types instead), so appliers reject bindings whose
+    /// extents disagree.
+    pub extent: Option<usize>,
+    /// The value when this class contains a float constant.
+    pub constant: Option<Num>,
+    /// True when some member is a De Bruijn variable (used by the intro
+    /// rules to pick candidate `y` classes cheaply).
+    pub has_var: bool,
+}
+
+/// The leading array extent of a node's value, given a resolver for `Dim`
+/// children.
+pub fn node_extent(
+    node: &ArrayLang,
+    dim_of: &mut dyn FnMut(liar_egraph::Id) -> Option<usize>,
+) -> Option<usize> {
+    use crate::LibFn;
+    match node {
+        ArrayLang::Build([n, _]) => dim_of(*n),
+        ArrayLang::Call(f, args) => match f {
+            // Vector- and matrix-producing calls: the leading extent is a
+            // dim child.
+            LibFn::Axpy
+            | LibFn::Memset
+            | LibFn::Gemv { .. }
+            | LibFn::Gemm { .. }
+            | LibFn::TMv
+            | LibFn::TMm
+            | LibFn::TFull => dim_of(args[0]),
+            // transpose(n, m, A) produces an m×n result.
+            LibFn::Transpose => dim_of(args[1]),
+            // The polymorphic torch ops carry an element *count*, not a
+            // leading extent (a lifted add over a 4×8 matrix is
+            // `add(#32, …)`): no usable extent.
+            LibFn::TAdd | LibFn::TMul => None,
+            // Scalar results.
+            LibFn::Dot | LibFn::TSum => None,
+        },
+        _ => None,
+    }
+}
+
+/// The standard analysis for [`ArrayLang`] e-graphs.
+///
+/// Carries a downshift cache: pattern matching may ask for the same
+/// `(class, k)` downshift many times within one (read-only) search phase;
+/// the cache is invalidated whenever the e-graph changes.
+#[derive(Debug, Default)]
+pub struct ArrayAnalysis {
+    downshift_cache: RefCell<HashMap<(Id, u32), Option<Expr>>>,
+}
+
+fn make_repr(egraph: &EGraph<ArrayLang, ArrayAnalysis>, enode: &ArrayLang) -> Expr {
+    let mut repr = Expr::default();
+    let node = enode.clone().map_children(|c| {
+        let child = &egraph.data(c).repr;
+        repr.append_subtree(child, child.root())
+    });
+    repr.add(node);
+    repr
+}
+
+impl Analysis<ArrayLang> for ArrayAnalysis {
+    type Data = ClassData;
+
+    fn make(egraph: &EGraph<ArrayLang, Self>, enode: &ArrayLang) -> ClassData {
+        let free = debruijn::node_free_vars(enode, &mut |c| egraph.data(c).free);
+        let repr_free =
+            debruijn::node_free_vars(enode, &mut |c| egraph.data(c).repr_free);
+        let repr = Rc::new(make_repr(egraph, enode));
+        let extent = node_extent(enode, &mut |c| egraph.data(c).dim);
+        ClassData {
+            free,
+            repr,
+            repr_free,
+            extent,
+            dim: enode.as_dim(),
+            constant: enode.as_const().map(Num::new),
+            has_var: matches!(enode, ArrayLang::Var(_)),
+        }
+    }
+
+    fn merge(&mut self, a: &mut ClassData, b: ClassData) -> DidMerge {
+        let mut did = DidMerge(false, false);
+
+        let free = a.free.intersect(b.free);
+        did.0 |= free != a.free;
+        did.1 |= free != b.free;
+        a.free = free;
+
+        if b.repr.len() < a.repr.len() {
+            a.repr = b.repr;
+            a.repr_free = b.repr_free;
+            did.0 = true;
+        } else if a.repr != b.repr {
+            did.1 = true;
+        }
+
+        match (a.extent, b.extent) {
+            (None, Some(e)) => {
+                a.extent = Some(e);
+                did.0 = true;
+            }
+            (Some(_), None) => did.1 = true,
+            (Some(x), Some(y)) => {
+                debug_assert_eq!(x, y, "merged classes with extents {x} != {y}")
+            }
+            (None, None) => {}
+        }
+        match (a.dim, b.dim) {
+            (None, Some(d)) => {
+                a.dim = Some(d);
+                did.0 = true;
+            }
+            (Some(_), None) => did.1 = true,
+            (Some(x), Some(y)) => debug_assert_eq!(x, y, "merged classes with extents {x} != {y}"),
+            (None, None) => {}
+        }
+        match (a.constant, b.constant) {
+            (None, Some(c)) => {
+                a.constant = Some(c);
+                did.0 = true;
+            }
+            (Some(_), None) => did.1 = true,
+            _ => {}
+        }
+        if b.has_var && !a.has_var {
+            a.has_var = true;
+            did.0 = true;
+        } else if a.has_var && !b.has_var {
+            did.1 = true;
+        }
+        did
+    }
+
+    fn representative(egraph: &EGraph<ArrayLang, Self>, id: Id) -> Option<Expr> {
+        Some((*egraph.data(id).repr).clone())
+    }
+
+    fn modify(egraph: &mut EGraph<ArrayLang, Self>, _id: Id) {
+        // The e-graph changed: cached downshifts may be stale (a class
+        // may now have a *better* member, and ids may have moved).
+        egraph.analysis.downshift_cache.borrow_mut().clear();
+    }
+
+    fn downshift(egraph: &EGraph<ArrayLang, Self>, id: Id, k: u32) -> Option<Expr> {
+        if k == 0 {
+            return Self::representative(egraph, id);
+        }
+        let id = egraph.find(id);
+        let data = egraph.data(id);
+        // Fast path: the stored representative already avoids the low
+        // indices (the overwhelmingly common case).
+        if data.repr_free.none_below(k) {
+            let down = debruijn::try_shift_down(&data.repr, k);
+            debug_assert!(down.is_some(), "repr_free out of sync with repr");
+            return down;
+        }
+        if let Some(cached) = egraph.analysis.downshift_cache.borrow().get(&(id, k)) {
+            return cached.clone();
+        }
+        let mut finder = ShiftableFinder::new(egraph);
+        let mask = (1u64 << k) - 1;
+        let down = finder.find(id, mask).map(|found| {
+            let down = debruijn::try_shift_down(&found, k);
+            debug_assert!(down.is_some(), "finder returned non-shiftable term");
+            down.expect("checked")
+        });
+        egraph
+            .analysis
+            .downshift_cache
+            .borrow_mut()
+            .insert((id, k), down.clone());
+        down
+    }
+
+    fn shift_up(expr: &Expr, k: u32) -> Option<Expr> {
+        Some(debruijn::shift_up(expr, k))
+    }
+}
+
+/// Searches an e-class for a member term avoiding a set of De Bruijn
+/// indices (given as a bitmask), preferring small terms.
+///
+/// This is the "downshift extractor" behind matching `A↑ᵏ` patterns: a
+/// class matches `?a` shifted up by `k` exactly when it contains a term
+/// with no free index `< k`.
+struct ShiftableFinder<'a> {
+    egraph: &'a EGraph<ArrayLang, ArrayAnalysis>,
+    memo: HashMap<(Id, u64), Option<Rc<Expr>>>,
+    visiting: Vec<(Id, u64)>,
+}
+
+impl<'a> ShiftableFinder<'a> {
+    fn new(egraph: &'a EGraph<ArrayLang, ArrayAnalysis>) -> Self {
+        ShiftableFinder {
+            egraph,
+            memo: HashMap::new(),
+            visiting: Vec::new(),
+        }
+    }
+
+    fn find(&mut self, class: Id, mask: u64) -> Option<Expr> {
+        self.find_rc(class, mask).map(|e| (*e).clone())
+    }
+
+    fn find_rc(&mut self, class: Id, mask: u64) -> Option<Rc<Expr>> {
+        let class = self.egraph.find(class);
+        if mask == 0 {
+            return Some(Rc::clone(&self.egraph.data(class).repr));
+        }
+        // Sound early reject: a bit in the optimistic (intersection) set is
+        // free in every member.
+        if self.egraph.data(class).free.intersects_mask(mask) {
+            return None;
+        }
+        let key = (class, mask);
+        if let Some(cached) = self.memo.get(&key) {
+            return cached.clone();
+        }
+        if self.visiting.contains(&key) {
+            return None; // Break cycles; another member must provide it.
+        }
+        self.visiting.push(key);
+        let mut best: Option<Rc<Expr>> = None;
+        for node in &self.egraph[class].nodes {
+            let candidate = self.node_term(node, mask);
+            if let Some(c) = candidate {
+                if best.as_ref().is_none_or(|b| c.len() < b.len()) {
+                    best = Some(c);
+                }
+            }
+        }
+        self.visiting.pop();
+        self.memo.insert(key, best.clone());
+        best
+    }
+
+    fn node_term(&mut self, node: &ArrayLang, mask: u64) -> Option<Rc<Expr>> {
+        match node {
+            ArrayLang::Var(i) => {
+                if *i < 64 && mask & (1 << i) != 0 {
+                    return None;
+                }
+                let mut e = Expr::default();
+                e.add(ArrayLang::Var(*i));
+                Some(Rc::new(e))
+            }
+            ArrayLang::Lam(body) => {
+                // Under a binder, forbidden index i becomes i+1; the new
+                // index 0 is always allowed.
+                let inner = self.find_rc(*body, mask << 1)?;
+                let mut e = Expr::default();
+                let root = e.append_subtree(&inner, inner.root());
+                e.add(ArrayLang::Lam(root));
+                Some(Rc::new(e))
+            }
+            _ => {
+                let mut children = Vec::with_capacity(node.children().len());
+                for c in node.children() {
+                    children.push(self.find_rc(*c, mask)?);
+                }
+                let mut e = Expr::default();
+                let mut i = 0;
+                let node = node.clone().map_children(|_| {
+                    let sub = &children[i];
+                    i += 1;
+                    e.append_subtree(sub, sub.root())
+                });
+                e.add(node);
+                Some(Rc::new(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArrayEGraph;
+
+    fn e(s: &str) -> Expr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn repr_tracks_smallest_member() {
+        let mut eg = ArrayEGraph::default();
+        let big = eg.add_expr(&e("(+ (+ x 0) 0)"));
+        let small = eg.add_expr(&e("x"));
+        eg.union(big, small);
+        eg.rebuild();
+        assert_eq!(*eg.data(big).repr, e("x"));
+    }
+
+    #[test]
+    fn dim_and_constant_facts() {
+        let mut eg = ArrayEGraph::default();
+        let d = eg.add_expr(&e("#16"));
+        let c = eg.add_expr(&e("2.5"));
+        assert_eq!(eg.data(d).dim, Some(16));
+        assert_eq!(eg.data(c).constant, Some(Num::new(2.5)));
+        assert_eq!(eg.data(c).dim, None);
+    }
+
+    #[test]
+    fn free_vars_propagate() {
+        let mut eg = ArrayEGraph::default();
+        let id = eg.add_expr(&e("(lam (+ %0 %2))"));
+        assert_eq!(eg.data(id).free, VarSet::singleton(1));
+        let closed = eg.add_expr(&e("(build #4 (lam (get xs %0)))"));
+        assert!(eg.data(closed).free.is_empty());
+    }
+
+    #[test]
+    fn downshift_closed_class() {
+        let mut eg = ArrayEGraph::default();
+        let id = eg.add_expr(&e("(get xs %2)"));
+        // All free indices are ≥ 2: downshift by 2 is possible.
+        let down = ArrayAnalysis::downshift(&eg, id, 2).unwrap();
+        assert_eq!(down, e("(get xs %0)"));
+        // …but downshift by 3 is not.
+        assert_eq!(ArrayAnalysis::downshift(&eg, id, 3), None);
+    }
+
+    #[test]
+    fn downshift_uses_other_members() {
+        let mut eg = ArrayEGraph::default();
+        // Class contains both `(+ %0 junk)`-free `ys` and a member using %0.
+        let a = eg.add_expr(&e("(get ys %0)"));
+        let b = eg.add_expr(&e("zs"));
+        eg.union(a, b);
+        eg.rebuild();
+        // %0 is free in one member but not the other: downshift by 1 finds
+        // `zs`.
+        let down = ArrayAnalysis::downshift(&eg, a, 1).unwrap();
+        assert_eq!(down, e("zs"));
+    }
+
+    #[test]
+    fn downshift_descends_through_lambdas() {
+        let mut eg = ArrayEGraph::default();
+        // λ body where body uses %0 (bound) and %3 (free index 2).
+        let id = eg.add_expr(&e("(lam (get %3 %0))"));
+        let down = ArrayAnalysis::downshift(&eg, id, 2).unwrap();
+        assert_eq!(down, e("(lam (get %1 %0))"));
+        assert_eq!(ArrayAnalysis::downshift(&eg, id, 3), None);
+    }
+
+    #[test]
+    fn downshift_mixed_members_inside_node() {
+        let mut eg = ArrayEGraph::default();
+        // f(x) where x's class gains a %0-free member after a union.
+        let x = eg.add_expr(&e("(get ys %0)"));
+        let fx = eg.add(ArrayLang::Fst(x));
+        assert_eq!(ArrayAnalysis::downshift(&eg, fx, 1), None);
+        let zs = eg.add_expr(&e("zs"));
+        eg.union(x, zs);
+        eg.rebuild();
+        let down = ArrayAnalysis::downshift(&eg, fx, 1).unwrap();
+        assert_eq!(down, e("(fst zs)"));
+    }
+
+    #[test]
+    fn representative_hook() {
+        let mut eg = ArrayEGraph::default();
+        let id = eg.add_expr(&e("(+ a b)"));
+        assert_eq!(ArrayAnalysis::representative(&eg, id), Some(e("(+ a b)")));
+    }
+}

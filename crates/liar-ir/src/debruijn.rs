@@ -1,0 +1,290 @@
+//! De Bruijn machinery: free-variable sets, the shift operator (`↑`) and
+//! capture-avoiding substitution (paper §IV.B.3).
+//!
+//! These operators manipulate *expressions* rather than e-classes; following
+//! the paper (and Koehler et al.), the rewrite engine applies them to single
+//! representatives extracted from e-classes.
+
+use liar_egraph::{Id, Language};
+
+use crate::{ArrayLang, Expr};
+
+/// A compact set of free De Bruijn indices.
+///
+/// Indices `< 64` are a bitset; anything larger sets the saturation flag
+/// `high` and is treated conservatively. Program nesting depth in practice
+/// is single digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct VarSet {
+    bits: u64,
+    high: bool,
+}
+
+impl VarSet {
+    /// The empty set (a closed expression).
+    pub const EMPTY: VarSet = VarSet { bits: 0, high: false };
+
+    /// The set containing exactly index `i`.
+    pub fn singleton(i: u32) -> Self {
+        if i < 64 {
+            VarSet { bits: 1 << i, high: false }
+        } else {
+            VarSet { bits: 0, high: true }
+        }
+    }
+
+    /// Set union.
+    pub fn union(self, other: Self) -> Self {
+        VarSet {
+            bits: self.bits | other.bits,
+            high: self.high || other.high,
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: Self) -> Self {
+        VarSet {
+            bits: self.bits & other.bits,
+            high: self.high && other.high,
+        }
+    }
+
+    /// The free variables of `λ e` given the free variables of `e`:
+    /// index 0 is bound, everything else moves down one.
+    pub fn under_lambda(self) -> Self {
+        // The `high` flag stays: an index ≥ 64 maps to ≥ 63.
+        VarSet {
+            bits: self.bits >> 1,
+            high: self.high,
+        }
+    }
+
+    /// True when no index `< k` is in the set (the precondition for
+    /// downshifting by `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k > 63`.
+    pub fn none_below(self, k: u32) -> bool {
+        assert!(k <= 63, "shift amounts above 63 are unsupported");
+        self.bits & ((1u64 << k) - 1) == 0
+    }
+
+    /// True when any of the mask's bits are present (mask bit `i` = index
+    /// `i`).
+    pub fn intersects_mask(self, mask: u64) -> bool {
+        self.bits & mask != 0
+    }
+
+    /// True for the empty set with no saturated indices.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0 && !self.high
+    }
+
+    /// True if the saturation flag is set (some index ≥ 64).
+    pub fn saturated(self) -> bool {
+        self.high
+    }
+}
+
+/// The free variables contributed by one node given its children's sets.
+pub fn node_free_vars(node: &ArrayLang, child: &mut dyn FnMut(Id) -> VarSet) -> VarSet {
+    match node {
+        ArrayLang::Var(i) => VarSet::singleton(*i),
+        ArrayLang::Lam(body) => child(*body).under_lambda(),
+        _ => node.fold(VarSet::EMPTY, |acc, c| acc.union(child(c))),
+    }
+}
+
+/// The free De Bruijn indices of an expression.
+pub fn free_vars(expr: &Expr) -> VarSet {
+    let mut sets: Vec<VarSet> = Vec::with_capacity(expr.len());
+    for node in expr.nodes() {
+        let set = node_free_vars(node, &mut |c| sets[c.index()]);
+        sets.push(set);
+    }
+    sets.last().copied().unwrap_or(VarSet::EMPTY)
+}
+
+fn rebuild<F>(expr: &Expr, id: Id, cutoff: u32, out: &mut Expr, on_var: &F) -> Option<Id>
+where
+    F: Fn(u32, u32, &mut Expr) -> Option<Id>,
+{
+    match expr.node(id) {
+        ArrayLang::Var(i) => on_var(*i, cutoff, out),
+        ArrayLang::Lam(body) => {
+            let body = rebuild(expr, *body, cutoff + 1, out, on_var)?;
+            Some(out.add(ArrayLang::Lam(body)))
+        }
+        node => {
+            let mut children = Vec::with_capacity(node.children().len());
+            for c in node.children() {
+                children.push(rebuild(expr, *c, cutoff, out, on_var)?);
+            }
+            let mut i = 0;
+            let node = node.clone().map_children(|_| {
+                let id = children[i];
+                i += 1;
+                id
+            });
+            Some(out.add(node))
+        }
+    }
+}
+
+/// Shift every free index `≥ cutoff` up by `d` (the `↑` operator; `↑` in
+/// the paper is `shift_from(e, 1, 0)`).
+pub fn shift_from(expr: &Expr, d: u32, cutoff: u32) -> Expr {
+    let mut out = Expr::default();
+    rebuild(expr, expr.root(), cutoff, &mut out, &|i, cut, out| {
+        let i = if i >= cut { i + d } else { i };
+        Some(out.add(ArrayLang::Var(i)))
+    })
+    .expect("shifting up cannot fail");
+    out
+}
+
+/// Shift every free index up by `d`.
+pub fn shift_up(expr: &Expr, d: u32) -> Expr {
+    if d == 0 {
+        return expr.clone();
+    }
+    shift_from(expr, d, 0)
+}
+
+/// Shift every free index down by `d`, failing if any free index is `< d`.
+pub fn try_shift_down(expr: &Expr, d: u32) -> Option<Expr> {
+    if d == 0 {
+        return Some(expr.clone());
+    }
+    let mut out = Expr::default();
+    rebuild(expr, expr.root(), 0, &mut out, &|i, cut, out| {
+        if i < cut {
+            Some(out.add(ArrayLang::Var(i)))
+        } else if i >= cut + d {
+            Some(out.add(ArrayLang::Var(i - d)))
+        } else {
+            None // A free index < d: not downshiftable.
+        }
+    })?;
+    Some(out)
+}
+
+/// Capture-avoiding substitution `subst(e, v)`: replace `•0` in `e` with
+/// `v` and lower every other free index by one (the β-reduction operator of
+/// listing 1).
+pub fn subst(expr: &Expr, value: &Expr) -> Expr {
+    let mut out = Expr::default();
+    rebuild(expr, expr.root(), 0, &mut out, &|i, cut, out| {
+        if i == cut {
+            // The substituted variable: splice in `value`, shifted past the
+            // binders we are under.
+            let shifted = shift_up(value, cut);
+            Some(out.append_subtree(&shifted, shifted.root()))
+        } else if i > cut {
+            Some(out.add(ArrayLang::Var(i - 1)))
+        } else {
+            Some(out.add(ArrayLang::Var(i)))
+        }
+    })
+    .expect("substitution cannot fail");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(s: &str) -> Expr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn free_vars_examples() {
+        assert!(free_vars(&e("(lam %0)")).is_empty());
+        assert_eq!(free_vars(&e("%2")), VarSet::singleton(2));
+        assert_eq!(
+            free_vars(&e("(lam (+ %0 %2))")),
+            VarSet::singleton(1),
+            "under a lambda, %2 is free index 1"
+        );
+        assert_eq!(
+            free_vars(&e("(+ %0 (lam %2))")),
+            VarSet::singleton(0).union(VarSet::singleton(1))
+        );
+        assert!(free_vars(&e("(build #4 (lam (get xs %0)))")).is_empty());
+    }
+
+    #[test]
+    fn shift_examples() {
+        // Paper: if e = •0 then e↑ = •1.
+        assert_eq!(shift_up(&e("%0"), 1), e("%1"));
+        // Bound variables are untouched.
+        assert_eq!(shift_up(&e("(lam %0)"), 1), e("(lam %0)"));
+        // Free variables under a lambda shift.
+        assert_eq!(shift_up(&e("(lam %1)"), 1), e("(lam %2)"));
+        assert_eq!(shift_up(&e("(lam %1)"), 2), e("(lam %3)"));
+        // Shift by zero is identity.
+        assert_eq!(shift_up(&e("(+ %0 %5)"), 0), e("(+ %0 %5)"));
+    }
+
+    #[test]
+    fn shift_down_examples() {
+        assert_eq!(try_shift_down(&e("%2"), 2), Some(e("%0")));
+        assert_eq!(try_shift_down(&e("%1"), 2), None);
+        assert_eq!(try_shift_down(&e("(lam %0)"), 1), Some(e("(lam %0)")));
+        assert_eq!(try_shift_down(&e("(lam %3)"), 2), Some(e("(lam %1)")));
+        assert_eq!(try_shift_down(&e("(lam %1)"), 1), None);
+        assert_eq!(
+            try_shift_down(&e("(get xs %3)"), 1),
+            Some(e("(get xs %2)"))
+        );
+    }
+
+    #[test]
+    fn shift_roundtrip() {
+        for s in ["%0", "(lam (+ %0 %1))", "(build #4 (lam (get %1 %0)))"] {
+            let x = e(s);
+            let up = shift_up(&x, 3);
+            assert_eq!(try_shift_down(&up, 3), Some(x));
+        }
+    }
+
+    #[test]
+    fn subst_examples() {
+        // Paper: subst(•0, y) = y and subst(•1, y) = •0.
+        assert_eq!(subst(&e("%0"), &e("y")), e("y"));
+        assert_eq!(subst(&e("%1"), &e("y")), e("%0"));
+        // Under a lambda the target index moves up and the value shifts.
+        assert_eq!(subst(&e("(lam %1)"), &e("y")), e("(lam y)"));
+        assert_eq!(subst(&e("(lam %1)"), &e("%0")), e("(lam %1)"));
+        // (λ (+ •0 •1)) applied to v: body with •0 := v.
+        assert_eq!(subst(&e("(+ %0 %1)"), &e("v")), e("(+ v %0)"));
+    }
+
+    #[test]
+    fn subst_avoids_capture() {
+        // subst((λ •0 + •1), %3): the %3 shifts to %4 under the binder,
+        // then lowers to account for the removed substitution target.
+        let body = e("(lam (+ %0 %1))");
+        let result = subst(&body, &e("%3"));
+        assert_eq!(result, e("(lam (+ %0 %4))"));
+    }
+
+    #[test]
+    fn beta_reduce_build_index_example() {
+        // ((λ get xs •0) i) → get xs i  (the map-fusion workhorse).
+        let body = e("(get xs %0)");
+        let arg = e("i");
+        assert_eq!(subst(&body, &arg), e("(get xs i)"));
+    }
+
+    #[test]
+    fn varset_under_lambda() {
+        let s = VarSet::singleton(0).union(VarSet::singleton(3));
+        let l = s.under_lambda();
+        assert_eq!(l, VarSet::singleton(2), "0 is bound, 3 becomes 2");
+        assert!(l.none_below(2));
+        assert!(!l.none_below(3));
+    }
+}

@@ -1,0 +1,281 @@
+//! Ergonomic constructors for IR terms, plus the build/ifold
+//! implementations of the mathematical operators used to express kernels
+//! (paper §VI: `vadd`, `vscale`, `matvec`, `dot`, …).
+//!
+//! The composite operators take already-built subterms and internally apply
+//! the shift operator to keep De Bruijn indices correct when placing an
+//! argument under new binders, exactly like the expansions in §VI:
+//!
+//! ```text
+//! vadd(A, B)   = build N (λ A↑[•0] + B↑[•0])
+//! vscale(α, A) = build N (λ α↑ * A↑[•0])
+//! matvec(A, B) = build N (λ dot(A↑[•0], B↑))
+//! dot(A, B)    = ifold N 0 (λ λ A↑↑[•1] * B↑↑[•1] + •0)
+//! ```
+
+use liar_egraph::Id;
+
+use crate::debruijn::shift_up;
+use crate::{ArrayLang, Expr};
+
+fn merge(nodes: Vec<(&Expr, ())>) -> (Expr, Vec<Id>) {
+    let mut out = Expr::default();
+    let roots = nodes
+        .into_iter()
+        .map(|(e, ())| out.append_subtree(e, e.root()))
+        .collect();
+    (out, roots)
+}
+
+fn nary(node: impl FnOnce(Vec<Id>) -> ArrayLang, args: &[&Expr]) -> Expr {
+    let (mut out, roots) = merge(args.iter().map(|e| (*e, ())).collect());
+    out.add(node(roots));
+    out
+}
+
+/// De Bruijn parameter `•i`.
+pub fn var(i: u32) -> Expr {
+    let mut e = Expr::default();
+    e.add(ArrayLang::Var(i));
+    e
+}
+
+/// Float constant.
+pub fn num(v: f64) -> Expr {
+    let mut e = Expr::default();
+    e.add(ArrayLang::num(v));
+    e
+}
+
+/// Compile-time extent `#n`.
+pub fn dim(n: usize) -> Expr {
+    let mut e = Expr::default();
+    e.add(ArrayLang::Dim(n));
+    e
+}
+
+/// Named program input.
+pub fn sym(name: impl Into<String>) -> Expr {
+    let mut e = Expr::default();
+    e.add(ArrayLang::Sym(name.into()));
+    e
+}
+
+/// Lambda abstraction.
+pub fn lam(body: Expr) -> Expr {
+    nary(|c| ArrayLang::Lam(c[0]), &[&body])
+}
+
+/// Lambda application.
+pub fn app(f: Expr, x: Expr) -> Expr {
+    nary(|c| ArrayLang::App([c[0], c[1]]), &[&f, &x])
+}
+
+/// `build #n f`.
+pub fn build(n: usize, f: Expr) -> Expr {
+    nary(|c| ArrayLang::Build([c[0], c[1]]), &[&dim(n), &f])
+}
+
+/// Array indexing `a[i]`.
+pub fn get(a: Expr, i: Expr) -> Expr {
+    nary(|c| ArrayLang::Get([c[0], c[1]]), &[&a, &i])
+}
+
+/// `ifold #n init f`.
+pub fn ifold(n: usize, init: Expr, f: Expr) -> Expr {
+    nary(|c| ArrayLang::IFold([c[0], c[1], c[2]]), &[&dim(n), &init, &f])
+}
+
+/// Tuple construction.
+pub fn tuple(a: Expr, b: Expr) -> Expr {
+    nary(|c| ArrayLang::Tuple([c[0], c[1]]), &[&a, &b])
+}
+
+/// First tuple component.
+pub fn fst(t: Expr) -> Expr {
+    nary(|c| ArrayLang::Fst(c[0]), &[&t])
+}
+
+/// Second tuple component.
+pub fn snd(t: Expr) -> Expr {
+    nary(|c| ArrayLang::Snd(c[0]), &[&t])
+}
+
+/// Scalar addition.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    nary(|c| ArrayLang::Add([c[0], c[1]]), &[&a, &b])
+}
+
+/// Scalar subtraction.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    nary(|c| ArrayLang::Sub([c[0], c[1]]), &[&a, &b])
+}
+
+/// Scalar multiplication.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    nary(|c| ArrayLang::Mul([c[0], c[1]]), &[&a, &b])
+}
+
+/// Scalar division.
+pub fn div(a: Expr, b: Expr) -> Expr {
+    nary(|c| ArrayLang::Div([c[0], c[1]]), &[&a, &b])
+}
+
+/// A library call with explicit children (dims first).
+pub fn call(f: crate::LibFn, args: &[&Expr]) -> Expr {
+    assert_eq!(args.len(), f.arity(), "{f}: wrong arity");
+    nary(|c| ArrayLang::Call(f, c), args)
+}
+
+// --- Composite operators (build/ifold implementations, paper §VI) ------
+
+/// Elementwise vector addition: `build n (λ a↑[•0] + b↑[•0])`.
+pub fn vadd(n: usize, a: Expr, b: Expr) -> Expr {
+    let (a1, b1) = (shift_up(&a, 1), shift_up(&b, 1));
+    build(n, lam(add(get(a1, var(0)), get(b1, var(0)))))
+}
+
+/// Vector scaling: `build n (λ alpha↑ * a↑[•0])`.
+pub fn vscale(n: usize, alpha: Expr, a: Expr) -> Expr {
+    let (al1, a1) = (shift_up(&alpha, 1), shift_up(&a, 1));
+    build(n, lam(mul(al1, get(a1, var(0)))))
+}
+
+/// Dot product as an ifold: `ifold n 0 (λ λ a↑↑[•1] * b↑↑[•1] + •0)`.
+pub fn dot(n: usize, a: Expr, b: Expr) -> Expr {
+    let (a2, b2) = (shift_up(&a, 2), shift_up(&b, 2));
+    ifold(
+        n,
+        num(0.0),
+        lam(lam(add(
+            mul(get(a2, var(1)), get(b2, var(1))),
+            var(0),
+        ))),
+    )
+}
+
+/// Vector sum as an ifold: `ifold n 0 (λ λ a↑↑[•1] + •0)`.
+pub fn vsum(n: usize, a: Expr) -> Expr {
+    let a2 = shift_up(&a, 2);
+    ifold(n, num(0.0), lam(lam(add(get(a2, var(1)), var(0)))))
+}
+
+/// Matrix–vector product over rows: `build n (λ dot(a↑[•0], b↑))`,
+/// where `a` is an n×m matrix.
+pub fn matvec(n: usize, m: usize, a: Expr, b: Expr) -> Expr {
+    let (a1, b1) = (shift_up(&a, 1), shift_up(&b, 1));
+    build(n, lam(dot(m, get(a1, var(0)), b1)))
+}
+
+/// Explicit transpose as nested builds:
+/// `build m (λ build n (λ a↑↑[•0][•1]))` for an n×m input `a`.
+pub fn transposeb(n: usize, m: usize, a: Expr) -> Expr {
+    let a2 = shift_up(&a, 2);
+    build(m, lam(build(n, lam(get(get(a2, var(0)), var(1))))))
+}
+
+/// Matrix–matrix product `a · b` where `a` is n×k and `b` is k×m, written
+/// the way a functional programmer composes it: rows of `a` dotted with
+/// rows of the explicitly transposed `b`.
+pub fn matmat(n: usize, m: usize, k: usize, a: Expr, b: Expr) -> Expr {
+    let bt = transposeb(k, m, b); // b is k×m, bt is m×k.
+    let (a2, bt2) = (shift_up(&a, 2), shift_up(&bt, 2));
+    build(
+        n,
+        lam(build(
+            m,
+            lam(dot(k, get(a2, var(1)), get(bt2, var(0)))),
+        )),
+    )
+}
+
+/// Elementwise matrix addition (nested `vadd`).
+pub fn madd(n: usize, m: usize, a: Expr, b: Expr) -> Expr {
+    let (a1, b1) = (shift_up(&a, 1), shift_up(&b, 1));
+    build(
+        n,
+        lam(vadd(m, get(a1, var(0)), get(b1, var(0)))),
+    )
+}
+
+/// Elementwise matrix scaling (nested `vscale`).
+pub fn mscale(n: usize, m: usize, alpha: Expr, a: Expr) -> Expr {
+    let (al1, a1) = (shift_up(&alpha, 1), shift_up(&a, 1));
+    build(n, lam(vscale(m, al1, get(a1, var(0)))))
+}
+
+/// A constant vector: `build n (λ c↑)`.
+pub fn constvec(n: usize, c: Expr) -> Expr {
+    build(n, lam(shift_up(&c, 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debruijn::free_vars;
+
+    fn p(s: &str) -> Expr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn composites_match_paper_expansions() {
+        assert_eq!(
+            vadd(4, sym("A"), sym("B")),
+            p("(build #4 (lam (+ (get A %0) (get B %0))))")
+        );
+        assert_eq!(
+            vscale(4, sym("alpha"), sym("A")),
+            p("(build #4 (lam (* alpha (get A %0))))")
+        );
+        assert_eq!(
+            dot(4, sym("A"), sym("B")),
+            p("(ifold #4 0 (lam (lam (+ (* (get A %1) (get B %1)) %0))))")
+        );
+        assert_eq!(
+            matvec(2, 4, sym("A"), sym("B")),
+            p("(build #2 (lam (ifold #4 0 (lam (lam (+ (* (get (get A %2) %1) (get B %1)) %0))))))")
+        );
+    }
+
+    #[test]
+    fn composites_are_closed_for_symbol_inputs() {
+        for e in [
+            vadd(4, sym("A"), sym("B")),
+            matvec(2, 4, sym("A"), sym("x")),
+            matmat(2, 3, 4, sym("A"), sym("B")),
+            transposeb(2, 3, sym("A")),
+            vsum(8, sym("xs")),
+            constvec(8, num(0.5)),
+        ] {
+            assert!(free_vars(&e).is_empty(), "{e} has free variables");
+        }
+    }
+
+    #[test]
+    fn composites_shift_open_arguments() {
+        // Using a variable from an enclosing binder as an argument: the
+        // combinator must shift it under the new lambda.
+        let e = vscale(4, var(0), sym("A"));
+        assert_eq!(e, p("(build #4 (lam (* %1 (get A %0))))"));
+        assert_eq!(free_vars(&e), crate::VarSet::singleton(0));
+    }
+
+    #[test]
+    fn transpose_of_transpose_shape() {
+        // transposeb(n, m, a) of an n×m a is m×n; transposing again is n×m.
+        let t = transposeb(2, 3, sym("A"));
+        let tt = transposeb(3, 2, t.clone());
+        assert!(free_vars(&tt).is_empty());
+        assert_eq!(
+            t,
+            p("(build #3 (lam (build #2 (lam (get (get A %0) %1)))))")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn call_checks_arity() {
+        let _ = call(crate::LibFn::Dot, &[&sym("a"), &sym("b")]);
+    }
+}

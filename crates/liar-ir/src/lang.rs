@@ -1,0 +1,551 @@
+//! The [`ArrayLang`] node type: LIAR's IR as an e-graph language.
+
+use liar_egraph::{Id, Language};
+
+/// A non-NaN `f64` with total equality/ordering (for hash-consing).
+///
+/// `-0.0` is normalized to `0.0` so numerically equal constants share an
+/// e-node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Num(u64);
+
+impl Num {
+    /// Wrap a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN — the IR has no NaN literals.
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "NaN constants are not representable");
+        let value = if value == 0.0 { 0.0 } else { value };
+        Num(value.to_bits())
+    }
+
+    /// The wrapped float.
+    pub fn get(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+impl From<f64> for Num {
+    fn from(v: f64) -> Self {
+        Num::new(v)
+    }
+}
+
+impl std::fmt::Display for Num {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+/// Named library functions recognizable by LIAR (paper §V, listings 4–5).
+///
+/// Calls carry their array extents as leading [`ArrayLang::Dim`] children so
+/// the cost models (listings 7–8) can read `N`, `M`, `K` directly.
+///
+/// Semantics (`·` is matrix/vector product, rows are the first index):
+///
+/// | function | arguments (after dims) | result |
+/// |---|---|---|
+/// | `dot(n, A, B)` | vectors of length n | `Σ A[i]·B[i]` |
+/// | `axpy(n, α, A, B)` | scalar, vectors | `αA + B` |
+/// | `gemv(n, m, α, A, B, β, C)` | A: n×m | `αAB + βC` |
+/// | `gemvT(n, m, α, A, B, β, C)` | A: m×n | `αAᵀB + βC` |
+/// | `gemmXY(n, m, k, α, A, B, β, C)` | see [`LibFn::Gemm`] | `α·opX(A)·opY(B)ᵀ' + βC` |
+/// | `memset(n, c)` | c must be 0 | zero vector |
+/// | `transpose(n, m, A)` | A: n×m | Aᵀ (m×n) |
+/// | `add(n, A, B)` | tensors of n elements | elementwise A+B |
+/// | `mul(n, α, A)` | scalar, tensor | elementwise αA |
+/// | `mv(n, m, A, B)` | A: n×m, B: m | A·B |
+/// | `mm(n, m, k, A, B)` | A: n×k, B: m×k | A·Bᵀ (n×m) |
+/// | `sum(n, A)` | vector | `Σ A[i]` |
+/// | `full(n, c)` | scalar | n copies of c |
+///
+/// Following the paper's idiom definitions (I-GEMM defines `gemmF,T` in
+/// terms of `gemv` over rows of `B`), `gemmFT(α,A,B,β,C) = αABᵀ + βC` and
+/// the other transpose flags follow by composing `transpose`; likewise the
+/// PyTorch `mm(A, B) = A·Bᵀ` (its I-MATMAT builds rows with `mv(B, A[i])`),
+/// which is why solutions like doitgen's `mm(A[i], transpose(B))` carry an
+/// explicit transpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LibFn {
+    /// BLAS/PyTorch `dot(n, A, B)`.
+    Dot,
+    /// BLAS `axpy(n, α, A, B)`.
+    Axpy,
+    /// BLAS `gemv(n, m, α, A, B, β, C)`; `trans` selects `Aᵀ`.
+    Gemv {
+        /// Whether `A` is transposed before the product.
+        trans: bool,
+    },
+    /// BLAS `gemm(n, m, k, α, A, B, β, C)` computing
+    /// `α·opA(A)·opB(B)ᵀ + βC` where a `true` flag applies a transpose to
+    /// the *stored* matrix before use: `gemmFT` is the "plain" orientation
+    /// produced by I-GEMM (`A` n×k, `B` m×k, result n×m).
+    Gemm {
+        /// Transpose flag for `A`.
+        trans_a: bool,
+        /// Transpose flag for `B`.
+        trans_b: bool,
+    },
+    /// C `memset(n, 0)`: an all-zeros vector.
+    Memset,
+    /// `transpose(n, m, A)` (shared between BLAS and PyTorch targets).
+    Transpose,
+    /// PyTorch elementwise `add(n, A, B)`; `n` is the element count
+    /// (product of dims for lifted tensors).
+    TAdd,
+    /// PyTorch elementwise scalar multiply `mul(n, α, A)`.
+    TMul,
+    /// PyTorch `mv(n, m, A, B)`.
+    TMv,
+    /// PyTorch `mm(n, m, k, A, B) = A·Bᵀ`.
+    TMm,
+    /// PyTorch `sum(n, A)`.
+    TSum,
+    /// PyTorch `full(n, c)`.
+    TFull,
+}
+
+impl LibFn {
+    /// All library functions (for table-driven tests).
+    pub const ALL: [LibFn; 16] = [
+        LibFn::Dot,
+        LibFn::Axpy,
+        LibFn::Gemv { trans: false },
+        LibFn::Gemv { trans: true },
+        LibFn::Gemm { trans_a: false, trans_b: false },
+        LibFn::Gemm { trans_a: false, trans_b: true },
+        LibFn::Gemm { trans_a: true, trans_b: false },
+        LibFn::Gemm { trans_a: true, trans_b: true },
+        LibFn::Memset,
+        LibFn::Transpose,
+        LibFn::TAdd,
+        LibFn::TMul,
+        LibFn::TMv,
+        LibFn::TMm,
+        LibFn::TSum,
+        LibFn::TFull,
+    ];
+
+    /// The function's name in the textual syntax (matches the paper's
+    /// listings; `gemmFT` spells the two transpose flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            LibFn::Dot => "dot",
+            LibFn::Axpy => "axpy",
+            LibFn::Gemv { trans: false } => "gemv",
+            LibFn::Gemv { trans: true } => "gemvT",
+            LibFn::Gemm { trans_a: false, trans_b: false } => "gemmFF",
+            LibFn::Gemm { trans_a: false, trans_b: true } => "gemmFT",
+            LibFn::Gemm { trans_a: true, trans_b: false } => "gemmTF",
+            LibFn::Gemm { trans_a: true, trans_b: true } => "gemmTT",
+            LibFn::Memset => "memset",
+            LibFn::Transpose => "transpose",
+            LibFn::TAdd => "add",
+            LibFn::TMul => "mul",
+            LibFn::TMv => "mv",
+            LibFn::TMm => "mm",
+            LibFn::TSum => "sum",
+            LibFn::TFull => "full",
+        }
+    }
+
+    /// The display name used in solution summaries (collapses transpose
+    /// variants, as the paper's tables do: `2 × gemv` counts both
+    /// orientations).
+    pub fn family_name(self) -> &'static str {
+        match self {
+            LibFn::Gemv { .. } => "gemv",
+            LibFn::Gemm { .. } => "gemm",
+            other => other.name(),
+        }
+    }
+
+    /// Parse a function name.
+    pub fn from_name(name: &str) -> Option<LibFn> {
+        LibFn::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Total number of children of a call to this function (dims + value
+    /// arguments).
+    pub fn arity(self) -> usize {
+        self.n_dims() + self.n_args()
+    }
+
+    /// Number of leading `Dim` children.
+    pub fn n_dims(self) -> usize {
+        match self {
+            LibFn::Dot | LibFn::Axpy | LibFn::Memset => 1,
+            LibFn::Gemv { .. } | LibFn::Transpose => 2,
+            LibFn::Gemm { .. } => 3,
+            LibFn::TAdd | LibFn::TMul | LibFn::TSum | LibFn::TFull => 1,
+            LibFn::TMv => 2,
+            LibFn::TMm => 3,
+        }
+    }
+
+    /// Number of value arguments (after the dims).
+    pub fn n_args(self) -> usize {
+        match self {
+            LibFn::Dot => 2,
+            LibFn::Axpy => 3,
+            LibFn::Gemv { .. } | LibFn::Gemm { .. } => 5,
+            LibFn::Memset => 1,
+            LibFn::Transpose => 1,
+            LibFn::TAdd => 2,
+            LibFn::TMul => 2,
+            LibFn::TMv => 2,
+            LibFn::TMm => 2,
+            LibFn::TSum => 1,
+            LibFn::TFull => 1,
+        }
+    }
+
+    /// True for functions available when targeting BLAS (memset included,
+    /// as in listing 4).
+    pub fn in_blas(self) -> bool {
+        matches!(
+            self,
+            LibFn::Dot
+                | LibFn::Axpy
+                | LibFn::Gemv { .. }
+                | LibFn::Gemm { .. }
+                | LibFn::Memset
+                | LibFn::Transpose
+        )
+    }
+
+    /// True for functions available when targeting PyTorch.
+    pub fn in_torch(self) -> bool {
+        matches!(
+            self,
+            LibFn::Dot
+                | LibFn::Transpose
+                | LibFn::TAdd
+                | LibFn::TMul
+                | LibFn::TMv
+                | LibFn::TMm
+                | LibFn::TSum
+                | LibFn::TFull
+        )
+    }
+}
+
+impl std::fmt::Display for LibFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One node of the minimalist array IR (paper fig. 3).
+///
+/// See the crate docs for the textual syntax: `(lam e)`, `(app f x)`, `%i`
+/// for De Bruijn parameter `•i`, `#n` for a compile-time extent,
+/// `(build #n f)`, `(get a i)`, `(ifold #n init f)`, `(tuple a b)`,
+/// `(fst t)`, `(snd t)`, infix-named scalar ops `(+ a b)` …, float literals,
+/// bare identifiers for named inputs, and `(dot #n a b)`-style library
+/// calls.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ArrayLang {
+    /// A compile-time array extent, `#n`.
+    Dim(usize),
+    /// A floating-point constant (nullary named function in the paper).
+    Const(Num),
+    /// A named program input (array or scalar).
+    Sym(String),
+    /// De Bruijn parameter use `•i`, written `%i`.
+    Var(u32),
+    /// Lambda abstraction.
+    Lam(Id),
+    /// Lambda application `f x`.
+    App([Id; 2]),
+    /// `build #n f`: the array `[f 0, f 1, …, f (n-1)]`.
+    Build([Id; 2]),
+    /// Array indexing `a[i]`.
+    Get([Id; 2]),
+    /// `ifold #n init f`: iteration with accumulator,
+    /// `f (n-1) (… (f 1 (f 0 init)))`.
+    IFold([Id; 3]),
+    /// Binary tuple construction.
+    Tuple([Id; 2]),
+    /// First tuple component.
+    Fst(Id),
+    /// Second tuple component.
+    Snd(Id),
+    /// Scalar addition.
+    Add([Id; 2]),
+    /// Scalar subtraction.
+    Sub([Id; 2]),
+    /// Scalar multiplication.
+    Mul([Id; 2]),
+    /// Scalar division.
+    Div([Id; 2]),
+    /// Scalar comparison `a > b` (1.0 / 0.0).
+    Gt([Id; 2]),
+    /// A library call; children are `n_dims` extents then the value
+    /// arguments.
+    Call(LibFn, Vec<Id>),
+}
+
+impl ArrayLang {
+    /// Shorthand for a constant node.
+    pub fn num(v: f64) -> Self {
+        ArrayLang::Const(Num::new(v))
+    }
+
+    /// The extent if this is a `Dim` leaf.
+    pub fn as_dim(&self) -> Option<usize> {
+        match self {
+            ArrayLang::Dim(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The constant value if this is a `Const` leaf.
+    pub fn as_const(&self) -> Option<f64> {
+        match self {
+            ArrayLang::Const(n) => Some(n.get()),
+            _ => None,
+        }
+    }
+
+    /// The library function if this is a call.
+    pub fn as_call(&self) -> Option<LibFn> {
+        match self {
+            ArrayLang::Call(f, _) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+impl Language for ArrayLang {
+    fn children(&self) -> &[Id] {
+        match self {
+            ArrayLang::Dim(_) | ArrayLang::Const(_) | ArrayLang::Sym(_) | ArrayLang::Var(_) => &[],
+            ArrayLang::Lam(id) | ArrayLang::Fst(id) | ArrayLang::Snd(id) => std::slice::from_ref(id),
+            ArrayLang::App(ids)
+            | ArrayLang::Build(ids)
+            | ArrayLang::Get(ids)
+            | ArrayLang::Tuple(ids)
+            | ArrayLang::Add(ids)
+            | ArrayLang::Sub(ids)
+            | ArrayLang::Mul(ids)
+            | ArrayLang::Div(ids)
+            | ArrayLang::Gt(ids) => ids,
+            ArrayLang::IFold(ids) => ids,
+            ArrayLang::Call(_, ids) => ids,
+        }
+    }
+
+    fn children_mut(&mut self) -> &mut [Id] {
+        match self {
+            ArrayLang::Dim(_) | ArrayLang::Const(_) | ArrayLang::Sym(_) | ArrayLang::Var(_) => {
+                &mut []
+            }
+            ArrayLang::Lam(id) | ArrayLang::Fst(id) | ArrayLang::Snd(id) => {
+                std::slice::from_mut(id)
+            }
+            ArrayLang::App(ids)
+            | ArrayLang::Build(ids)
+            | ArrayLang::Get(ids)
+            | ArrayLang::Tuple(ids)
+            | ArrayLang::Add(ids)
+            | ArrayLang::Sub(ids)
+            | ArrayLang::Mul(ids)
+            | ArrayLang::Div(ids)
+            | ArrayLang::Gt(ids) => ids,
+            ArrayLang::IFold(ids) => ids,
+            ArrayLang::Call(_, ids) => ids,
+        }
+    }
+
+    fn matches(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ArrayLang::Dim(a), ArrayLang::Dim(b)) => a == b,
+            (ArrayLang::Const(a), ArrayLang::Const(b)) => a == b,
+            (ArrayLang::Sym(a), ArrayLang::Sym(b)) => a == b,
+            (ArrayLang::Var(a), ArrayLang::Var(b)) => a == b,
+            (ArrayLang::Lam(_), ArrayLang::Lam(_)) => true,
+            (ArrayLang::App(_), ArrayLang::App(_)) => true,
+            (ArrayLang::Build(_), ArrayLang::Build(_)) => true,
+            (ArrayLang::Get(_), ArrayLang::Get(_)) => true,
+            (ArrayLang::IFold(_), ArrayLang::IFold(_)) => true,
+            (ArrayLang::Tuple(_), ArrayLang::Tuple(_)) => true,
+            (ArrayLang::Fst(_), ArrayLang::Fst(_)) => true,
+            (ArrayLang::Snd(_), ArrayLang::Snd(_)) => true,
+            (ArrayLang::Add(_), ArrayLang::Add(_)) => true,
+            (ArrayLang::Sub(_), ArrayLang::Sub(_)) => true,
+            (ArrayLang::Mul(_), ArrayLang::Mul(_)) => true,
+            (ArrayLang::Div(_), ArrayLang::Div(_)) => true,
+            (ArrayLang::Gt(_), ArrayLang::Gt(_)) => true,
+            (ArrayLang::Call(f, a), ArrayLang::Call(g, b)) => f == g && a.len() == b.len(),
+            _ => false,
+        }
+    }
+
+    fn display_op(&self) -> String {
+        match self {
+            ArrayLang::Dim(n) => format!("#{n}"),
+            ArrayLang::Const(c) => c.to_string(),
+            ArrayLang::Sym(s) => s.clone(),
+            ArrayLang::Var(i) => format!("%{i}"),
+            ArrayLang::Lam(_) => "lam".to_string(),
+            ArrayLang::App(_) => "app".to_string(),
+            ArrayLang::Build(_) => "build".to_string(),
+            ArrayLang::Get(_) => "get".to_string(),
+            ArrayLang::IFold(_) => "ifold".to_string(),
+            ArrayLang::Tuple(_) => "tuple".to_string(),
+            ArrayLang::Fst(_) => "fst".to_string(),
+            ArrayLang::Snd(_) => "snd".to_string(),
+            ArrayLang::Add(_) => "+".to_string(),
+            ArrayLang::Sub(_) => "-".to_string(),
+            ArrayLang::Mul(_) => "*".to_string(),
+            ArrayLang::Div(_) => "/".to_string(),
+            ArrayLang::Gt(_) => ">".to_string(),
+            ArrayLang::Call(f, _) => f.name().to_string(),
+        }
+    }
+
+    fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String> {
+        fn fixed<const N: usize>(op: &str, children: Vec<Id>) -> Result<[Id; N], String> {
+            children
+                .try_into()
+                .map_err(|c: Vec<Id>| format!("{op} expects {N} arguments, got {}", c.len()))
+        }
+        match op {
+            "lam" => Ok(ArrayLang::Lam(fixed::<1>(op, children)?[0])),
+            "fst" => Ok(ArrayLang::Fst(fixed::<1>(op, children)?[0])),
+            "snd" => Ok(ArrayLang::Snd(fixed::<1>(op, children)?[0])),
+            "app" => Ok(ArrayLang::App(fixed(op, children)?)),
+            "build" => Ok(ArrayLang::Build(fixed(op, children)?)),
+            "get" => Ok(ArrayLang::Get(fixed(op, children)?)),
+            "ifold" => Ok(ArrayLang::IFold(fixed(op, children)?)),
+            "tuple" => Ok(ArrayLang::Tuple(fixed(op, children)?)),
+            "+" => Ok(ArrayLang::Add(fixed(op, children)?)),
+            "-" => Ok(ArrayLang::Sub(fixed(op, children)?)),
+            "*" => Ok(ArrayLang::Mul(fixed(op, children)?)),
+            "/" => Ok(ArrayLang::Div(fixed(op, children)?)),
+            ">" => Ok(ArrayLang::Gt(fixed(op, children)?)),
+            _ => {
+                if let Some(n) = op.strip_prefix('#') {
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| format!("bad extent literal {op}"))?;
+                    return if children.is_empty() {
+                        Ok(ArrayLang::Dim(n))
+                    } else {
+                        Err(format!("{op} takes no arguments"))
+                    };
+                }
+                if let Some(i) = op.strip_prefix('%') {
+                    let i: u32 = i
+                        .parse()
+                        .map_err(|_| format!("bad parameter index {op}"))?;
+                    return if children.is_empty() {
+                        Ok(ArrayLang::Var(i))
+                    } else {
+                        Err(format!("{op} takes no arguments"))
+                    };
+                }
+                if let Some(f) = LibFn::from_name(op) {
+                    return if children.len() == f.arity() {
+                        Ok(ArrayLang::Call(f, children))
+                    } else {
+                        Err(format!(
+                            "{op} expects {} arguments, got {}",
+                            f.arity(),
+                            children.len()
+                        ))
+                    };
+                }
+                if let Ok(v) = op.parse::<f64>() {
+                    return if children.is_empty() {
+                        Ok(ArrayLang::num(v))
+                    } else {
+                        Err(format!("constant {op} takes no arguments"))
+                    };
+                }
+                if children.is_empty()
+                    && op
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                {
+                    return Ok(ArrayLang::Sym(op.to_string()));
+                }
+                Err(format!("unknown operator {op}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Expr;
+
+    #[test]
+    fn num_normalizes_negative_zero() {
+        assert_eq!(Num::new(-0.0), Num::new(0.0));
+        assert_eq!(Num::new(1.5).get(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn num_rejects_nan() {
+        let _ = Num::new(f64::NAN);
+    }
+
+    #[test]
+    fn libfn_names_roundtrip() {
+        for f in LibFn::ALL {
+            assert_eq!(LibFn::from_name(f.name()), Some(f), "{f:?}");
+            assert_eq!(f.arity(), f.n_dims() + f.n_args());
+        }
+        assert_eq!(LibFn::from_name("nope"), None);
+    }
+
+    #[test]
+    fn parse_core_forms() {
+        for s in [
+            "(lam %0)",
+            "(app (lam %0) 1)",
+            "(build #8 (lam (get xs %0)))",
+            "(ifold #8 0 (lam (lam (+ (get xs %1) %0))))",
+            "(tuple 1 2)",
+            "(fst (tuple 1 2))",
+            "(* 2 (- 3 (/ 4 5)))",
+            "(dot #8 xs ys)",
+            "(gemv #4 #8 alpha A B beta C)",
+            "(gemmFT #2 #3 #4 1 A B 0 C)",
+            "(memset #8 0)",
+            "(full #8 0.33333)",
+        ] {
+            let e: Expr = s.parse().unwrap_or_else(|err| panic!("{s}: {err}"));
+            assert_eq!(e.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_arity() {
+        assert!("(lam %0 %1)".parse::<Expr>().is_err());
+        assert!("(dot #8 xs)".parse::<Expr>().is_err());
+        assert!("(#8 x)".parse::<Expr>().is_err());
+        assert!("(build #8)".parse::<Expr>().is_err());
+    }
+
+    #[test]
+    fn negative_constants_parse() {
+        let e: Expr = "(- 0 -1.5)".parse().unwrap();
+        assert_eq!(e.to_string(), "(- 0 -1.5)");
+    }
+
+    #[test]
+    fn blas_and_torch_partitions() {
+        assert!(LibFn::Dot.in_blas() && LibFn::Dot.in_torch());
+        assert!(LibFn::Transpose.in_blas() && LibFn::Transpose.in_torch());
+        assert!(LibFn::Axpy.in_blas() && !LibFn::Axpy.in_torch());
+        assert!(!LibFn::TMv.in_blas() && LibFn::TMv.in_torch());
+    }
+}

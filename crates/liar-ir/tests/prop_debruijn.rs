@@ -1,0 +1,129 @@
+//! Property tests for the De Bruijn machinery: the shift and substitution
+//! operators that the extraction-based rule appliers rely on (paper
+//! §IV.B.3). If these laws break, equality saturation silently derives
+//! wrong equalities, so they get the heaviest testing in the workspace.
+
+use proptest::prelude::*;
+
+use liar_ir::debruijn::{free_vars, shift_up, subst, try_shift_down};
+use liar_ir::{dsl, ArrayLang, Expr, VarSet};
+
+/// A strategy for arbitrary well-formed expressions. `depth` bounds
+/// recursion; variables index at most `max_var` binders above the current
+/// position (so generated terms may be open).
+fn arb_expr(depth: u32, max_var: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0..3u32).prop_map(|i| dsl::num(i as f64)),
+        Just(dsl::sym("x")),
+        Just(dsl::sym("ys")),
+        (0..max_var.max(1)).prop_map(dsl::var),
+    ];
+    leaf.prop_recursive(depth, 64, 3, move |inner| {
+        prop_oneof![
+            inner.clone().prop_map(dsl::lam),
+            (inner.clone(), inner.clone()).prop_map(|(f, x)| dsl::app(f, x)),
+            (1..4usize, inner.clone()).prop_map(|(n, f)| dsl::build(n, dsl::lam(f))),
+            (inner.clone(), inner.clone()).prop_map(|(a, i)| dsl::get(a, i)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| dsl::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| dsl::mul(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| dsl::tuple(a, b)),
+            inner.clone().prop_map(dsl::fst),
+            inner.prop_map(dsl::snd),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    /// Shifting up then down is the identity.
+    #[test]
+    fn shift_roundtrip(e in arb_expr(4, 3), d in 0u32..4) {
+        let up = shift_up(&e, d);
+        prop_assert_eq!(try_shift_down(&up, d), Some(e));
+    }
+
+    /// Shifts compose additively.
+    #[test]
+    fn shift_composes(e in arb_expr(4, 3), a in 0u32..3, b in 0u32..3) {
+        prop_assert_eq!(shift_up(&shift_up(&e, a), b), shift_up(&e, a + b));
+    }
+
+    /// Shifting by zero is the identity.
+    #[test]
+    fn shift_zero_identity(e in arb_expr(4, 3)) {
+        prop_assert_eq!(shift_up(&e, 0), e.clone());
+        prop_assert_eq!(try_shift_down(&e, 0), Some(e));
+    }
+
+    /// The paper's definition: substituting into a shifted term never
+    /// touches it — `subst(e↑, v) = e`.
+    #[test]
+    fn subst_into_shifted_is_identity(e in arb_expr(4, 3), v in arb_expr(3, 0)) {
+        prop_assert_eq!(subst(&shift_up(&e, 1), &v), e);
+    }
+
+    /// β on a constant function: `(λ e↑) y = e` for all y — this is
+    /// exactly the equality R-IntroLambda installs.
+    #[test]
+    fn intro_lambda_equality_is_beta_sound(e in arb_expr(3, 2), y in arb_expr(2, 2)) {
+        // subst(body, y) where body = e↑ must give back e.
+        let body = shift_up(&e, 1);
+        prop_assert_eq!(subst(&body, &y), e);
+    }
+
+    /// Free variables after a shift are the shifted free variables.
+    #[test]
+    fn shift_moves_free_vars(e in arb_expr(4, 2), d in 1u32..3) {
+        let before = free_vars(&e);
+        let after = free_vars(&shift_up(&e, d));
+        // Every index below d is gone after shifting up by d.
+        prop_assert!(after.none_below(d));
+        prop_assert_eq!(before.is_empty(), after.is_empty());
+    }
+
+    /// Substitution on a closed term is the identity. A closed term is
+    /// manufactured by λ-wrapping a body whose only free index is 0.
+    #[test]
+    fn subst_closed_identity(body in arb_expr(3, 1), v in arb_expr(2, 1)) {
+        let e = dsl::lam(body);
+        prop_assume!(free_vars(&e).is_empty());
+        prop_assert_eq!(subst(&shift_up(&e, 1), &v), e.clone());
+        // A closed term also downshifts trivially after any shift.
+        prop_assert_eq!(try_shift_down(&e, 0), Some(e));
+    }
+
+    /// Parser/printer roundtrip for arbitrary expressions.
+    #[test]
+    fn parse_display_roundtrip(e in arb_expr(4, 3)) {
+        let text = e.to_string();
+        let back: Expr = text.parse().unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    /// `free_vars` agrees with a naive recursive definition.
+    #[test]
+    fn free_vars_matches_naive(e in arb_expr(4, 3)) {
+        fn naive(expr: &Expr, id: liar_egraph::Id, depth: u32, out: &mut Vec<u32>) {
+            match expr.node(id) {
+                ArrayLang::Var(i) => {
+                    if *i >= depth {
+                        out.push(i - depth);
+                    }
+                }
+                ArrayLang::Lam(b) => naive(expr, *b, depth + 1, out),
+                node => {
+                    for c in liar_egraph::Language::children(node) {
+                        naive(expr, *c, depth, out);
+                    }
+                }
+            }
+        }
+        let mut indices = Vec::new();
+        naive(&e, e.root(), 0, &mut indices);
+        let mut expect = VarSet::EMPTY;
+        for i in indices {
+            expect = expect.union(VarSet::singleton(i));
+        }
+        prop_assert_eq!(free_vars(&e), expect);
+    }
+}

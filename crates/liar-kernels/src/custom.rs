@@ -1,0 +1,279 @@
+//! The custom kernels of table I.
+
+use std::collections::HashMap;
+
+use liar_ir::{dsl, Expr};
+use liar_runtime::{Tensor, Value};
+
+use crate::data::DataGen;
+use crate::polybench::{im2col, ref_matmul, ref_matvec, scalar, tensor};
+
+// --- 1mm --------------------------------------------------------------------
+
+/// `1mm`: a single matrix multiplication `A·B` (n×n).
+pub mod one_mm {
+    use super::*;
+
+    /// The kernel as an IR expression.
+    pub fn expr(n: usize) -> Expr {
+        dsl::matmat(n, n, n, dsl::sym("A"), dsl::sym("B"))
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [("A".into(), gen.matrix(n, n)), ("B".into(), gen.matrix(n, n))].into()
+    }
+
+    /// Reference implementation.
+    pub fn reference(_n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        Ok(Value::from(ref_matmul(
+            &tensor(inputs, "A")?,
+            &tensor(inputs, "B")?,
+        )))
+    }
+}
+
+// --- axpy -------------------------------------------------------------------
+
+/// `axpy`: vector scaling and addition `α·A + B`.
+pub mod axpy {
+    use super::*;
+
+    /// The kernel as an IR expression.
+    pub fn expr(n: usize) -> Expr {
+        dsl::vadd(
+            n,
+            dsl::vscale(n, dsl::sym("alpha"), dsl::sym("A")),
+            dsl::sym("B"),
+        )
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [
+            ("alpha".into(), gen.scalar()),
+            ("A".into(), gen.vector(n)),
+            ("B".into(), gen.vector(n)),
+        ]
+        .into()
+    }
+
+    /// Reference implementation.
+    pub fn reference(_n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let alpha = scalar(inputs, "alpha")?;
+        let (a, b) = (tensor(inputs, "A")?, tensor(inputs, "B")?);
+        let out = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| alpha * x + y)
+            .collect();
+        Ok(Value::from(Tensor::vector(out)))
+    }
+}
+
+// --- blur1d -----------------------------------------------------------------
+
+/// `blur1d`: a five-point box blur, in im2col form (the cost model's
+/// preferred matrix–vector formulation, which the paper notes is slower
+/// than the direct loop in practice).
+pub mod blur1d {
+    use super::*;
+
+    /// Window width.
+    pub const W: usize = 5;
+
+    /// The kernel as an IR expression. The input has `n + W - 1` elements.
+    pub fn expr(n: usize) -> Expr {
+        dsl::matvec(
+            n,
+            W,
+            im2col(n, W, dsl::sym("A")),
+            dsl::constvec(W, dsl::num(0.2)),
+        )
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [("A".into(), gen.vector(n + W - 1))].into()
+    }
+
+    /// Reference implementation (direct stencil loop).
+    pub fn reference(n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let a = tensor(inputs, "A")?;
+        let d = a.data();
+        let out = (0..n)
+            .map(|i| 0.2 * (d[i] + d[i + 1] + d[i + 2] + d[i + 3] + d[i + 4]))
+            .collect();
+        Ok(Value::from(Tensor::vector(out)))
+    }
+}
+
+// --- gemv -------------------------------------------------------------------
+
+/// `gemv`: generalized matrix–vector product `α·A·B + β·C`
+/// (the paper's running example, fig. 4).
+pub mod gemv {
+    use super::*;
+
+    /// The kernel as an IR expression:
+    /// `vadd(vscale(α, matvec(A, B)), vscale(β, C))` (§VI).
+    pub fn expr(n: usize) -> Expr {
+        dsl::vadd(
+            n,
+            dsl::vscale(
+                n,
+                dsl::sym("alpha"),
+                dsl::matvec(n, n, dsl::sym("A"), dsl::sym("B")),
+            ),
+            dsl::vscale(n, dsl::sym("beta"), dsl::sym("C")),
+        )
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [
+            ("alpha".into(), gen.scalar()),
+            ("beta".into(), gen.scalar()),
+            ("A".into(), gen.matrix(n, n)),
+            ("B".into(), gen.vector(n)),
+            ("C".into(), gen.vector(n)),
+        ]
+        .into()
+    }
+
+    /// Reference implementation.
+    pub fn reference(_n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let (alpha, beta) = (scalar(inputs, "alpha")?, scalar(inputs, "beta")?);
+        let a = tensor(inputs, "A")?;
+        let (b, c) = (tensor(inputs, "B")?, tensor(inputs, "C")?);
+        let out = ref_matvec(&a, b.data())
+            .iter()
+            .zip(c.data())
+            .map(|(v, ci)| alpha * v + beta * ci)
+            .collect();
+        Ok(Value::from(Tensor::vector(out)))
+    }
+}
+
+// --- memset -----------------------------------------------------------------
+
+/// `memset`: zero-vector creation.
+pub mod memset {
+    use super::*;
+
+    /// The kernel as an IR expression: `build n (λ 0)`.
+    pub fn expr(n: usize) -> Expr {
+        dsl::constvec(n, dsl::num(0.0))
+    }
+
+    /// Deterministic inputs (none).
+    pub fn inputs(_n: usize, _gen: &mut DataGen) -> HashMap<String, Value> {
+        HashMap::new()
+    }
+
+    /// Reference implementation.
+    pub fn reference(n: usize, _inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        Ok(Value::from(Tensor::vector(vec![0.0; n])))
+    }
+}
+
+// --- slim-2mm ---------------------------------------------------------------
+
+/// `slim-2mm`: two chained multiplications where the second operand is a
+/// vector, `(A·B)·c` — a "slim" variant of 2mm.
+pub mod slim_2mm {
+    use super::*;
+
+    /// The kernel as an IR expression.
+    pub fn expr(n: usize) -> Expr {
+        dsl::matvec(
+            n,
+            n,
+            dsl::matmat(n, n, n, dsl::sym("A"), dsl::sym("B")),
+            dsl::sym("c"),
+        )
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [
+            ("A".into(), gen.matrix(n, n)),
+            ("B".into(), gen.matrix(n, n)),
+            ("c".into(), gen.vector(n)),
+        ]
+        .into()
+    }
+
+    /// Reference implementation.
+    pub fn reference(_n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let ab = ref_matmul(&tensor(inputs, "A")?, &tensor(inputs, "B")?);
+        let c = tensor(inputs, "c")?;
+        Ok(Value::from(Tensor::vector(ref_matvec(&ab, c.data()))))
+    }
+}
+
+// --- stencil2d --------------------------------------------------------------
+
+/// `stencil2d`: a stencil over a 2-D image stored flat (row-major), with a
+/// three-point window in im2col form over the flattened data. The larger
+/// problem size distinguishes it from `jacobi1d`/`blur1d`; like them, the
+/// search reduces it to a matrix–vector product via im2col, which is
+/// slower than the direct loop (paper §VI-E).
+pub mod stencil2d {
+    use super::*;
+
+    /// Window width.
+    pub const W: usize = 3;
+
+    /// The kernel as an IR expression over an image of `n·n` pixels
+    /// (flattened input of `n·n + W - 1` elements).
+    pub fn expr(n: usize) -> Expr {
+        let len = n * n;
+        dsl::matvec(
+            len,
+            W,
+            im2col(len, W, dsl::sym("A")),
+            dsl::constvec(W, dsl::num(0.25)),
+        )
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [("A".into(), gen.vector(n * n + W - 1))].into()
+    }
+
+    /// Reference implementation (direct loop).
+    pub fn reference(n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let a = tensor(inputs, "A")?;
+        let d = a.data();
+        let out = (0..n * n)
+            .map(|i| 0.25 * (d[i] + d[i + 1] + d[i + 2]))
+            .collect();
+        Ok(Value::from(Tensor::vector(out)))
+    }
+}
+
+// --- vsum -------------------------------------------------------------------
+
+/// `vsum`: vector reduction with sum — the paper's motivating example for
+/// latent idioms (`sum(v) = dot(v, fill(1))`).
+pub mod vsum {
+    use super::*;
+
+    /// The kernel as an IR expression: `ifold n 0 (λ λ xs[•1] + •0)`.
+    pub fn expr(n: usize) -> Expr {
+        dsl::vsum(n, dsl::sym("xs"))
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [("xs".into(), gen.vector(n))].into()
+    }
+
+    /// Reference implementation.
+    pub fn reference(_n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let xs = tensor(inputs, "xs")?;
+        Ok(Value::Num(xs.data().iter().sum()))
+    }
+}

@@ -1,0 +1,340 @@
+//! The [`Kernel`] enum: uniform access to all sixteen evaluation kernels.
+
+use std::collections::HashMap;
+
+use liar_ir::Expr;
+use liar_runtime::Value;
+
+use crate::data::DataGen;
+use crate::{custom, polybench};
+
+/// Which benchmark suite a kernel comes from (table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Suite {
+    /// PolyBench/C 4.2.1-beta.
+    PolyBench,
+    /// Hand-written kernels evaluating specific tasks.
+    Custom,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::PolyBench => write!(f, "PolyBench"),
+            Suite::Custom => write!(f, "Custom"),
+        }
+    }
+}
+
+/// One of the sixteen kernels of table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Kernel {
+    /// Two generalized matrix multiplications.
+    TwoMm,
+    /// Matrix transpose and vector multiplication.
+    Atax,
+    /// Multiresolution analysis kernel (MADNESS).
+    Doitgen,
+    /// Generalized matrix product.
+    Gemm,
+    /// Vector multiplication and matrix addition.
+    Gemver,
+    /// Scalar, vector and matrix multiplication.
+    Gesummv,
+    /// 1-D Jacobi stencil computation.
+    Jacobi1d,
+    /// Matrix–vector product and transpose.
+    Mvt,
+    /// One matrix multiplication.
+    OneMm,
+    /// Vector scaling and addition.
+    Axpy,
+    /// 1-D stencil.
+    Blur1d,
+    /// Generalized matrix–vector product.
+    Gemv,
+    /// Zero vector creation.
+    Memset,
+    /// Two matrix multiplications (slim).
+    Slim2mm,
+    /// 2-D stencil.
+    Stencil2d,
+    /// Vector reduction with sum.
+    Vsum,
+}
+
+impl Kernel {
+    /// All kernels in the paper's table order (PolyBench first).
+    pub const ALL: [Kernel; 16] = [
+        Kernel::TwoMm,
+        Kernel::Atax,
+        Kernel::Doitgen,
+        Kernel::Gemm,
+        Kernel::Gemver,
+        Kernel::Gesummv,
+        Kernel::Jacobi1d,
+        Kernel::Mvt,
+        Kernel::OneMm,
+        Kernel::Axpy,
+        Kernel::Blur1d,
+        Kernel::Gemv,
+        Kernel::Memset,
+        Kernel::Slim2mm,
+        Kernel::Stencil2d,
+        Kernel::Vsum,
+    ];
+
+    /// The kernel's name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::TwoMm => "2mm",
+            Kernel::Atax => "atax",
+            Kernel::Doitgen => "doitgen",
+            Kernel::Gemm => "gemm",
+            Kernel::Gemver => "gemver",
+            Kernel::Gesummv => "gesummv",
+            Kernel::Jacobi1d => "jacobi1d",
+            Kernel::Mvt => "mvt",
+            Kernel::OneMm => "1mm",
+            Kernel::Axpy => "axpy",
+            Kernel::Blur1d => "blur1d",
+            Kernel::Gemv => "gemv",
+            Kernel::Memset => "memset",
+            Kernel::Slim2mm => "slim-2mm",
+            Kernel::Stencil2d => "stencil2d",
+            Kernel::Vsum => "vsum",
+        }
+    }
+
+    /// Look up a kernel by its paper name.
+    pub fn from_name(name: &str) -> Option<Kernel> {
+        Kernel::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// The suite the kernel comes from.
+    pub fn suite(self) -> Suite {
+        match self {
+            Kernel::TwoMm
+            | Kernel::Atax
+            | Kernel::Doitgen
+            | Kernel::Gemm
+            | Kernel::Gemver
+            | Kernel::Gesummv
+            | Kernel::Jacobi1d
+            | Kernel::Mvt => Suite::PolyBench,
+            _ => Suite::Custom,
+        }
+    }
+
+    /// Table I's one-line description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Kernel::TwoMm => "Two generalized matrix multiplications",
+            Kernel::Atax => "Matrix transpose and vector multiplication",
+            Kernel::Doitgen => "Multiresolution analysis kernel (MADNESS)",
+            Kernel::Gemm => "Generalized matrix product",
+            Kernel::Gemver => "Vector multiplication and matrix addition",
+            Kernel::Gesummv => "Scalar, vector and matrix multiplication",
+            Kernel::Jacobi1d => "1D Jacobi stencil computation",
+            Kernel::Mvt => "Matrix-vector product and transpose",
+            Kernel::OneMm => "One matrix multiplication",
+            Kernel::Axpy => "Vector scaling and addition",
+            Kernel::Blur1d => "1D stencil",
+            Kernel::Gemv => "Generalized matrix-vector product",
+            Kernel::Memset => "Zero vector creation",
+            Kernel::Slim2mm => "Two matrix multiplications",
+            Kernel::Stencil2d => "2D stencil",
+            Kernel::Vsum => "Vector reduction with sum",
+        }
+    }
+
+    /// The kernel expressed in the minimalist IR at problem size `n`.
+    pub fn expr(self, n: usize) -> Expr {
+        match self {
+            Kernel::TwoMm => polybench::two_mm::expr(n),
+            Kernel::Atax => polybench::atax::expr(n),
+            Kernel::Doitgen => polybench::doitgen::expr(n),
+            Kernel::Gemm => polybench::gemm::expr(n),
+            Kernel::Gemver => polybench::gemver::expr(n),
+            Kernel::Gesummv => polybench::gesummv::expr(n),
+            Kernel::Jacobi1d => polybench::jacobi1d::expr(n),
+            Kernel::Mvt => polybench::mvt::expr(n),
+            Kernel::OneMm => custom::one_mm::expr(n),
+            Kernel::Axpy => custom::axpy::expr(n),
+            Kernel::Blur1d => custom::blur1d::expr(n),
+            Kernel::Gemv => custom::gemv::expr(n),
+            Kernel::Memset => custom::memset::expr(n),
+            Kernel::Slim2mm => custom::slim_2mm::expr(n),
+            Kernel::Stencil2d => custom::stencil2d::expr(n),
+            Kernel::Vsum => custom::vsum::expr(n),
+        }
+    }
+
+    /// Deterministic inputs for problem size `n` and a seed.
+    pub fn inputs(self, n: usize, seed: u64) -> HashMap<String, Value> {
+        let mut gen = DataGen::new(seed);
+        match self {
+            Kernel::TwoMm => polybench::two_mm::inputs(n, &mut gen),
+            Kernel::Atax => polybench::atax::inputs(n, &mut gen),
+            Kernel::Doitgen => polybench::doitgen::inputs(n, &mut gen),
+            Kernel::Gemm => polybench::gemm::inputs(n, &mut gen),
+            Kernel::Gemver => polybench::gemver::inputs(n, &mut gen),
+            Kernel::Gesummv => polybench::gesummv::inputs(n, &mut gen),
+            Kernel::Jacobi1d => polybench::jacobi1d::inputs(n, &mut gen),
+            Kernel::Mvt => polybench::mvt::inputs(n, &mut gen),
+            Kernel::OneMm => custom::one_mm::inputs(n, &mut gen),
+            Kernel::Axpy => custom::axpy::inputs(n, &mut gen),
+            Kernel::Blur1d => custom::blur1d::inputs(n, &mut gen),
+            Kernel::Gemv => custom::gemv::inputs(n, &mut gen),
+            Kernel::Memset => custom::memset::inputs(n, &mut gen),
+            Kernel::Slim2mm => custom::slim_2mm::inputs(n, &mut gen),
+            Kernel::Stencil2d => custom::stencil2d::inputs(n, &mut gen),
+            Kernel::Vsum => custom::vsum::inputs(n, &mut gen),
+        }
+    }
+
+    /// The hand-written reference implementation (fig. 7's baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when an expected input is missing or malformed.
+    pub fn reference(
+        self,
+        n: usize,
+        inputs: &HashMap<String, Value>,
+    ) -> Result<Value, String> {
+        match self {
+            Kernel::TwoMm => polybench::two_mm::reference(n, inputs),
+            Kernel::Atax => polybench::atax::reference(n, inputs),
+            Kernel::Doitgen => polybench::doitgen::reference(n, inputs),
+            Kernel::Gemm => polybench::gemm::reference(n, inputs),
+            Kernel::Gemver => polybench::gemver::reference(n, inputs),
+            Kernel::Gesummv => polybench::gesummv::reference(n, inputs),
+            Kernel::Jacobi1d => polybench::jacobi1d::reference(n, inputs),
+            Kernel::Mvt => polybench::mvt::reference(n, inputs),
+            Kernel::OneMm => custom::one_mm::reference(n, inputs),
+            Kernel::Axpy => custom::axpy::reference(n, inputs),
+            Kernel::Blur1d => custom::blur1d::reference(n, inputs),
+            Kernel::Gemv => custom::gemv::reference(n, inputs),
+            Kernel::Memset => custom::memset::reference(n, inputs),
+            Kernel::Slim2mm => custom::slim_2mm::reference(n, inputs),
+            Kernel::Stencil2d => custom::stencil2d::reference(n, inputs),
+            Kernel::Vsum => custom::vsum::reference(n, inputs),
+        }
+    }
+
+    /// A problem size at which saturation stays fast (tests, table
+    /// generation — solutions are size-independent in structure).
+    pub fn search_size(self) -> usize {
+        8
+    }
+
+    /// A problem size for run-time experiments (figs. 6–7).
+    pub fn bench_size(self) -> usize {
+        match self {
+            // O(n⁴) when interpreted: keep modest.
+            Kernel::Doitgen => 48,
+            // O(n³) kernels.
+            Kernel::TwoMm | Kernel::Gemm | Kernel::OneMm | Kernel::Slim2mm => 96,
+            // O(n²) kernels.
+            Kernel::Atax | Kernel::Gemver | Kernel::Gesummv | Kernel::Mvt | Kernel::Gemv => 256,
+            Kernel::Stencil2d => 128,
+            // O(n) kernels.
+            Kernel::Jacobi1d | Kernel::Blur1d | Kernel::Axpy | Kernel::Memset | Kernel::Vsum => {
+                16_384
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Approximate equality on runtime values: tuples componentwise,
+/// everything else via flattening to tensors (so nested arrays and dense
+/// tensors of the same contents compare equal).
+pub fn values_approx_eq(a: &Value, b: &Value, tol: f64) -> bool {
+    match (a, b) {
+        (Value::Tuple(p), Value::Tuple(q)) => {
+            values_approx_eq(&p.0, &q.0, tol) && values_approx_eq(&p.1, &q.1, tol)
+        }
+        _ => match (a.to_tensor(), b.to_tensor()) {
+            (Some(x), Some(y)) => x.approx_eq(&y, tol),
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liar_runtime::eval;
+
+    #[test]
+    fn names_roundtrip() {
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::from_name(k.name()), Some(k));
+        }
+        assert_eq!(Kernel::from_name("nope"), None);
+    }
+
+    #[test]
+    fn table_one_has_eight_per_suite() {
+        let poly = Kernel::ALL
+            .iter()
+            .filter(|k| k.suite() == Suite::PolyBench)
+            .count();
+        assert_eq!(poly, 8);
+        assert_eq!(Kernel::ALL.len() - poly, 8);
+    }
+
+    #[test]
+    fn every_kernel_evaluates_and_matches_its_reference() {
+        for k in Kernel::ALL {
+            let n = k.search_size();
+            let inputs = k.inputs(n, 0xC60);
+            let expr = k.expr(n);
+            let computed = eval(&expr, &inputs)
+                .unwrap_or_else(|e| panic!("{k}: evaluation failed: {e}"));
+            let reference = k
+                .reference(n, &inputs)
+                .unwrap_or_else(|e| panic!("{k}: reference failed: {e}"));
+            assert!(
+                values_approx_eq(&computed, &reference, 1e-9),
+                "{k}: IR and reference disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_expressions_are_closed() {
+        for k in Kernel::ALL {
+            let expr = k.expr(k.search_size());
+            assert!(
+                liar_ir::debruijn::free_vars(&expr).is_empty(),
+                "{k} has free variables"
+            );
+        }
+    }
+
+    #[test]
+    fn inputs_are_seed_deterministic() {
+        let a = Kernel::Gemv.inputs(8, 1);
+        let b = Kernel::Gemv.inputs(8, 1);
+        for (k, v) in &a {
+            assert!(values_approx_eq(v, &b[k], 0.0), "{k} differs");
+        }
+    }
+
+    #[test]
+    fn expressions_parse_back() {
+        for k in Kernel::ALL {
+            let expr = k.expr(4);
+            let reparsed: Expr = expr.to_string().parse().unwrap();
+            assert_eq!(reparsed, expr, "{k} text roundtrip");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! The computational kernels of the paper's evaluation (table I): eight
+//! PolyBench/C kernels and eight custom kernels, each provided as
+//!
+//! * an IR expression composed from build/ifold implementations of the
+//!   mathematical operators (`vadd`, `vscale`, `matvec`, `dot`, …), exactly
+//!   as §VI describes;
+//! * deterministic input generation;
+//! * a hand-written Rust *reference implementation* in the style of the
+//!   PolyBench C originals (the baseline of fig. 7).
+//!
+//! ```
+//! use liar_kernels::Kernel;
+//! use liar_runtime::eval;
+//!
+//! let kernel = Kernel::Vsum;
+//! let n = 16;
+//! let inputs = kernel.inputs(n, 42);
+//! let expr = kernel.expr(n);
+//! let computed = eval(&expr, &inputs).unwrap();
+//! let reference = kernel.reference(n, &inputs).unwrap();
+//! assert!(liar_kernels::values_approx_eq(&computed, &reference, 1e-6));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod custom;
+pub mod data;
+pub mod polybench;
+
+mod kernel;
+
+pub use kernel::{values_approx_eq, Kernel, Suite};

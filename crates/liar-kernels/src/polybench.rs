@@ -1,0 +1,501 @@
+//! The PolyBench/C kernels of table I, as IR expressions plus reference
+//! implementations in the style of the original C benchmarks.
+//!
+//! Kernels are "expressed by composing build-ifold implementations of the
+//! respective mathematical operators" (§VI): `vadd`, `vscale`, `matvec`,
+//! `dot`, `matmat` (with its explicit transpose build), and outer products.
+//! `doitgen` and `gemver` are direct loop translations, as in the paper.
+
+use std::collections::HashMap;
+
+use liar_ir::{dsl, Expr};
+use liar_runtime::{Tensor, Value};
+
+use crate::data::DataGen;
+
+pub(crate) fn tensor(
+    inputs: &HashMap<String, Value>,
+    name: &str,
+) -> Result<Tensor, String> {
+    inputs
+        .get(name)
+        .ok_or_else(|| format!("missing input {name}"))?
+        .to_tensor()
+        .ok_or_else(|| format!("input {name} is not a tensor"))
+}
+
+pub(crate) fn scalar(inputs: &HashMap<String, Value>, name: &str) -> Result<f64, String> {
+    Ok(tensor(inputs, name)?.as_scalar())
+}
+
+/// Naive reference matrix product `A·B` (n×k · k×m).
+pub(crate) fn ref_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (n, k) = (a.shape()[0], a.shape()[1]);
+    let m = b.shape()[1];
+    assert_eq!(b.shape()[0], k);
+    let mut out = vec![0.0; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            let mut acc = 0.0;
+            for s in 0..k {
+                acc += a.data()[i * k + s] * b.data()[s * m + j];
+            }
+            out[i * m + j] = acc;
+        }
+    }
+    Tensor::matrix(n, m, out)
+}
+
+/// Naive reference matrix–vector product `A·x`.
+pub(crate) fn ref_matvec(a: &Tensor, x: &[f64]) -> Vec<f64> {
+    let (n, m) = (a.shape()[0], a.shape()[1]);
+    assert_eq!(x.len(), m);
+    (0..n)
+        .map(|i| {
+            let row = &a.data()[i * m..(i + 1) * m];
+            row.iter().zip(x).map(|(aij, xj)| aij * xj).sum()
+        })
+        .collect()
+}
+
+pub(crate) fn ref_transpose(a: &Tensor) -> Tensor {
+    let (n, m) = (a.shape()[0], a.shape()[1]);
+    let mut out = vec![0.0; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            out[j * n + i] = a.data()[i * m + j];
+        }
+    }
+    Tensor::matrix(m, n, out)
+}
+
+pub(crate) fn ref_scale(alpha: f64, a: &Tensor) -> Tensor {
+    Tensor::new(
+        a.shape().to_vec(),
+        a.data().iter().map(|v| alpha * v).collect(),
+    )
+}
+
+pub(crate) fn ref_add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape());
+    Tensor::new(
+        a.shape().to_vec(),
+        a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect(),
+    )
+}
+
+/// An outer product `u·vᵀ` as nested builds.
+fn outer(n: usize, u: Expr, v: Expr) -> Expr {
+    let (u2, v2) = (
+        liar_ir::debruijn::shift_up(&u, 2),
+        liar_ir::debruijn::shift_up(&v, 2),
+    );
+    dsl::build(
+        n,
+        dsl::lam(dsl::build(
+            n,
+            dsl::lam(dsl::mul(
+                dsl::get(u2, dsl::var(1)),
+                dsl::get(v2, dsl::var(0)),
+            )),
+        )),
+    )
+}
+
+/// An im2col matrix for a 1-D window: `build n (λ build w (λ a[•1 + •0]))`.
+pub(crate) fn im2col(n: usize, w: usize, a: Expr) -> Expr {
+    let a2 = liar_ir::debruijn::shift_up(&a, 2);
+    dsl::build(
+        n,
+        dsl::lam(dsl::build(
+            w,
+            dsl::lam(dsl::get(a2, dsl::add(dsl::var(1), dsl::var(0)))),
+        )),
+    )
+}
+
+// --- 2mm -----------------------------------------------------------------
+
+/// `2mm`: two generalized matrix multiplications,
+/// `out = (α·A·B)·C + β·D` with all matrices n×n.
+pub mod two_mm {
+    use super::*;
+
+    /// The kernel as an IR expression.
+    pub fn expr(n: usize) -> Expr {
+        let tmp = dsl::mscale(
+            n,
+            n,
+            dsl::sym("alpha"),
+            dsl::matmat(n, n, n, dsl::sym("A"), dsl::sym("B")),
+        );
+        dsl::madd(
+            n,
+            n,
+            dsl::matmat(n, n, n, tmp, dsl::sym("C")),
+            dsl::mscale(n, n, dsl::sym("beta"), dsl::sym("D")),
+        )
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [
+            ("alpha".into(), gen.scalar()),
+            ("beta".into(), gen.scalar()),
+            ("A".into(), gen.matrix(n, n)),
+            ("B".into(), gen.matrix(n, n)),
+            ("C".into(), gen.matrix(n, n)),
+            ("D".into(), gen.matrix(n, n)),
+        ]
+        .into()
+    }
+
+    /// Reference implementation.
+    pub fn reference(_n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let (alpha, beta) = (scalar(inputs, "alpha")?, scalar(inputs, "beta")?);
+        let (a, b) = (tensor(inputs, "A")?, tensor(inputs, "B")?);
+        let (c, d) = (tensor(inputs, "C")?, tensor(inputs, "D")?);
+        let tmp = ref_scale(alpha, &ref_matmul(&a, &b));
+        Ok(Value::from(ref_add(
+            &ref_matmul(&tmp, &c),
+            &ref_scale(beta, &d),
+        )))
+    }
+}
+
+// --- atax ----------------------------------------------------------------
+
+/// `atax`: `y = Aᵀ(A·x)` with A n×n.
+pub mod atax {
+    use super::*;
+
+    /// The kernel as an IR expression.
+    pub fn expr(n: usize) -> Expr {
+        dsl::matvec(
+            n,
+            n,
+            dsl::transposeb(n, n, dsl::sym("A")),
+            dsl::matvec(n, n, dsl::sym("A"), dsl::sym("x")),
+        )
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [("A".into(), gen.matrix(n, n)), ("x".into(), gen.vector(n))].into()
+    }
+
+    /// Reference implementation.
+    pub fn reference(_n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let a = tensor(inputs, "A")?;
+        let x = tensor(inputs, "x")?;
+        let ax = ref_matvec(&a, x.data());
+        let at = ref_transpose(&a);
+        Ok(Value::from(Tensor::vector(ref_matvec(&at, &ax))))
+    }
+}
+
+// --- doitgen ---------------------------------------------------------------
+
+/// `doitgen`: multiresolution analysis kernel,
+/// `sum[r][q][p] = Σ_s A[r][q][s]·C4[s][p]`, translated directly as a
+/// build over per-slice matrix products.
+pub mod doitgen {
+    use super::*;
+
+    /// The kernel as an IR expression.
+    pub fn expr(n: usize) -> Expr {
+        let a1 = liar_ir::debruijn::shift_up(&dsl::sym("A"), 1);
+        let c41 = liar_ir::debruijn::shift_up(&dsl::sym("C4"), 1);
+        dsl::build(
+            n,
+            dsl::lam(dsl::matmat(n, n, n, dsl::get(a1, dsl::var(0)), c41)),
+        )
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [
+            ("A".into(), gen.tensor3(n, n, n)),
+            ("C4".into(), gen.matrix(n, n)),
+        ]
+        .into()
+    }
+
+    /// Reference implementation.
+    pub fn reference(n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let a = tensor(inputs, "A")?;
+        let c4 = tensor(inputs, "C4")?;
+        let mut out = Vec::with_capacity(n * n * n);
+        for r in 0..n {
+            let slice = a.slice(r);
+            out.extend_from_slice(ref_matmul(&slice, &c4).data());
+        }
+        Ok(Value::from(Tensor::new(vec![n, n, n], out)))
+    }
+}
+
+// --- gemm ------------------------------------------------------------------
+
+/// `gemm`: `out = α·A·B + β·C` with all matrices n×n.
+pub mod gemm {
+    use super::*;
+
+    /// The kernel as an IR expression.
+    pub fn expr(n: usize) -> Expr {
+        dsl::madd(
+            n,
+            n,
+            dsl::mscale(
+                n,
+                n,
+                dsl::sym("alpha"),
+                dsl::matmat(n, n, n, dsl::sym("A"), dsl::sym("B")),
+            ),
+            dsl::mscale(n, n, dsl::sym("beta"), dsl::sym("C")),
+        )
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [
+            ("alpha".into(), gen.scalar()),
+            ("beta".into(), gen.scalar()),
+            ("A".into(), gen.matrix(n, n)),
+            ("B".into(), gen.matrix(n, n)),
+            ("C".into(), gen.matrix(n, n)),
+        ]
+        .into()
+    }
+
+    /// Reference implementation.
+    pub fn reference(_n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let (alpha, beta) = (scalar(inputs, "alpha")?, scalar(inputs, "beta")?);
+        let (a, b, c) = (
+            tensor(inputs, "A")?,
+            tensor(inputs, "B")?,
+            tensor(inputs, "C")?,
+        );
+        Ok(Value::from(ref_add(
+            &ref_scale(alpha, &ref_matmul(&a, &b)),
+            &ref_scale(beta, &c),
+        )))
+    }
+}
+
+// --- gemver ----------------------------------------------------------------
+
+/// `gemver`: vector multiplication and matrix addition,
+/// `A2 = A + u1·v1ᵀ + u2·v2ᵀ; x = β·A2ᵀ·y + z; w = α·A2·x` (output `w`).
+pub mod gemver {
+    use super::*;
+
+    /// The kernel as an IR expression.
+    pub fn expr(n: usize) -> Expr {
+        let a2 = dsl::madd(
+            n,
+            n,
+            dsl::madd(
+                n,
+                n,
+                dsl::sym("A"),
+                outer(n, dsl::sym("u1"), dsl::sym("v1")),
+            ),
+            outer(n, dsl::sym("u2"), dsl::sym("v2")),
+        );
+        let x = dsl::vadd(
+            n,
+            dsl::vscale(
+                n,
+                dsl::sym("beta"),
+                dsl::matvec(n, n, dsl::transposeb(n, n, a2.clone()), dsl::sym("y")),
+            ),
+            dsl::sym("z"),
+        );
+        dsl::vscale(n, dsl::sym("alpha"), dsl::matvec(n, n, a2, x))
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [
+            ("alpha".into(), gen.scalar()),
+            ("beta".into(), gen.scalar()),
+            ("A".into(), gen.matrix(n, n)),
+            ("u1".into(), gen.vector(n)),
+            ("v1".into(), gen.vector(n)),
+            ("u2".into(), gen.vector(n)),
+            ("v2".into(), gen.vector(n)),
+            ("y".into(), gen.vector(n)),
+            ("z".into(), gen.vector(n)),
+        ]
+        .into()
+    }
+
+    /// Reference implementation.
+    pub fn reference(n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let (alpha, beta) = (scalar(inputs, "alpha")?, scalar(inputs, "beta")?);
+        let a = tensor(inputs, "A")?;
+        let (u1, v1) = (tensor(inputs, "u1")?, tensor(inputs, "v1")?);
+        let (u2, v2) = (tensor(inputs, "u2")?, tensor(inputs, "v2")?);
+        let (y, z) = (tensor(inputs, "y")?, tensor(inputs, "z")?);
+        let mut a2 = a.data().to_vec();
+        for i in 0..n {
+            for j in 0..n {
+                a2[i * n + j] += u1.data()[i] * v1.data()[j] + u2.data()[i] * v2.data()[j];
+            }
+        }
+        let a2 = Tensor::matrix(n, n, a2);
+        let a2t = ref_transpose(&a2);
+        let x: Vec<f64> = ref_matvec(&a2t, y.data())
+            .iter()
+            .zip(z.data())
+            .map(|(v, zi)| beta * v + zi)
+            .collect();
+        let w: Vec<f64> = ref_matvec(&a2, &x).iter().map(|v| alpha * v).collect();
+        Ok(Value::from(Tensor::vector(w)))
+    }
+}
+
+// --- gesummv ---------------------------------------------------------------
+
+/// `gesummv`: `y = α·A·x + β·B·x`.
+pub mod gesummv {
+    use super::*;
+
+    /// The kernel as an IR expression.
+    pub fn expr(n: usize) -> Expr {
+        dsl::vadd(
+            n,
+            dsl::vscale(
+                n,
+                dsl::sym("alpha"),
+                dsl::matvec(n, n, dsl::sym("A"), dsl::sym("x")),
+            ),
+            dsl::vscale(
+                n,
+                dsl::sym("beta"),
+                dsl::matvec(n, n, dsl::sym("B"), dsl::sym("x")),
+            ),
+        )
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [
+            ("alpha".into(), gen.scalar()),
+            ("beta".into(), gen.scalar()),
+            ("A".into(), gen.matrix(n, n)),
+            ("B".into(), gen.matrix(n, n)),
+            ("x".into(), gen.vector(n)),
+        ]
+        .into()
+    }
+
+    /// Reference implementation.
+    pub fn reference(_n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let (alpha, beta) = (scalar(inputs, "alpha")?, scalar(inputs, "beta")?);
+        let (a, b, x) = (
+            tensor(inputs, "A")?,
+            tensor(inputs, "B")?,
+            tensor(inputs, "x")?,
+        );
+        let out: Vec<f64> = ref_matvec(&a, x.data())
+            .iter()
+            .zip(ref_matvec(&b, x.data()))
+            .map(|(p, q)| alpha * p + beta * q)
+            .collect();
+        Ok(Value::from(Tensor::vector(out)))
+    }
+}
+
+// --- jacobi1d ---------------------------------------------------------------
+
+/// `jacobi1d`: one sweep of the 1-D Jacobi stencil,
+/// `out[i] = (A[i] + A[i+1] + A[i+2])/3`, written in im2col form (a window
+/// matrix dotted with a constant weight vector) — which is how the
+/// equality-saturation search can see the latent matrix–vector product the
+/// paper reports (gemv/mv + constant-vector solutions).
+pub mod jacobi1d {
+    use super::*;
+
+    /// Window width.
+    pub const W: usize = 3;
+
+    /// The kernel as an IR expression. The input has `n + W - 1` elements.
+    pub fn expr(n: usize) -> Expr {
+        dsl::matvec(
+            n,
+            W,
+            im2col(n, W, dsl::sym("A")),
+            dsl::constvec(W, dsl::num(0.33333)),
+        )
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [("A".into(), gen.vector(n + W - 1))].into()
+    }
+
+    /// Reference implementation (direct stencil loop).
+    pub fn reference(n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let a = tensor(inputs, "A")?;
+        let d = a.data();
+        let out = (0..n)
+            .map(|i| 0.33333 * (d[i] + d[i + 1] + d[i + 2]))
+            .collect();
+        Ok(Value::from(Tensor::vector(out)))
+    }
+}
+
+// --- mvt --------------------------------------------------------------------
+
+/// `mvt`: matrix–vector product and transpose,
+/// `x1' = x1 + A·y1; x2' = x2 + Aᵀ·y2` (a tuple of both results).
+pub mod mvt {
+    use super::*;
+
+    /// The kernel as an IR expression.
+    pub fn expr(n: usize) -> Expr {
+        dsl::tuple(
+            dsl::vadd(n, dsl::sym("x1"), dsl::matvec(n, n, dsl::sym("A"), dsl::sym("y1"))),
+            dsl::vadd(
+                n,
+                dsl::sym("x2"),
+                dsl::matvec(n, n, dsl::transposeb(n, n, dsl::sym("A")), dsl::sym("y2")),
+            ),
+        )
+    }
+
+    /// Deterministic inputs.
+    pub fn inputs(n: usize, gen: &mut DataGen) -> HashMap<String, Value> {
+        [
+            ("A".into(), gen.matrix(n, n)),
+            ("x1".into(), gen.vector(n)),
+            ("x2".into(), gen.vector(n)),
+            ("y1".into(), gen.vector(n)),
+            ("y2".into(), gen.vector(n)),
+        ]
+        .into()
+    }
+
+    /// Reference implementation.
+    pub fn reference(_n: usize, inputs: &HashMap<String, Value>) -> Result<Value, String> {
+        let a = tensor(inputs, "A")?;
+        let (x1, x2) = (tensor(inputs, "x1")?, tensor(inputs, "x2")?);
+        let (y1, y2) = (tensor(inputs, "y1")?, tensor(inputs, "y2")?);
+        let r1: Vec<f64> = ref_matvec(&a, y1.data())
+            .iter()
+            .zip(x1.data())
+            .map(|(v, x)| x + v)
+            .collect();
+        let at = ref_transpose(&a);
+        let r2: Vec<f64> = ref_matvec(&at, y2.data())
+            .iter()
+            .zip(x2.data())
+            .map(|(v, x)| x + v)
+            .collect();
+        Ok(Value::Tuple(std::rc::Rc::new((
+            Value::from(Tensor::vector(r1)),
+            Value::from(Tensor::vector(r2)),
+        ))))
+    }
+}

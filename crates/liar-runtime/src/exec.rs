@@ -1,0 +1,137 @@
+//! End-to-end execution of solutions with timing and coverage reporting.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+use liar_ir::Expr;
+
+use crate::eval::{eval_with_stats, EvalError};
+use crate::Value;
+
+/// Timing of one solution run.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Total wall-clock time of the run.
+    pub total: Duration,
+    /// Time spent inside each library function (family name → time).
+    pub lib_time: BTreeMap<&'static str, Duration>,
+    /// Number of library calls.
+    pub lib_calls: usize,
+}
+
+impl ExecStats {
+    /// Fraction of run time spent inside library calls, per function —
+    /// the paper's coverage metric (fig. 5). Values sum to ≤ 1.
+    pub fn coverage(&self) -> BTreeMap<&'static str, f64> {
+        let total = self.total.as_secs_f64();
+        if total <= 0.0 {
+            return BTreeMap::new();
+        }
+        self.lib_time
+            .iter()
+            .map(|(name, t)| (*name, (t.as_secs_f64() / total).min(1.0)))
+            .collect()
+    }
+
+    /// Total coverage across all library functions.
+    pub fn total_coverage(&self) -> f64 {
+        self.coverage().values().sum::<f64>().min(1.0)
+    }
+}
+
+/// Run a solution once, returning its value and timing stats.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`] from the interpreter.
+pub fn run(expr: &Expr, inputs: &HashMap<String, Value>) -> Result<(Value, ExecStats), EvalError> {
+    let start = Instant::now();
+    let (value, stats) = eval_with_stats(expr, inputs)?;
+    let total = start.elapsed();
+    Ok((
+        value,
+        ExecStats {
+            total,
+            lib_time: stats.lib_time,
+            lib_calls: stats.lib_calls,
+        },
+    ))
+}
+
+/// Run a solution repeatedly within a time budget (at least once) and
+/// report the mean run time and aggregate stats — the paper's "run each
+/// solution as many times as we can over the course of one minute"
+/// methodology, with a configurable budget.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`] from the interpreter.
+pub fn time_runs(
+    expr: &Expr,
+    inputs: &HashMap<String, Value>,
+    budget: Duration,
+) -> Result<(Duration, usize, ExecStats), EvalError> {
+    let start = Instant::now();
+    let mut runs = 0usize;
+    let mut agg = ExecStats::default();
+    loop {
+        let (_, stats) = run(expr, inputs)?;
+        runs += 1;
+        agg.total += stats.total;
+        agg.lib_calls += stats.lib_calls;
+        for (k, v) in stats.lib_time {
+            *agg.lib_time.entry(k).or_insert(Duration::ZERO) += v;
+        }
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    let mean = agg.total / runs as u32;
+    Ok((mean, runs, agg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+    use liar_ir::dsl;
+
+    fn inputs(pairs: &[(&str, Value)]) -> HashMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn run_reports_stats() {
+        let n = 512;
+        let xs = Value::from(Tensor::vector((0..n).map(|i| i as f64).collect()));
+        let ins = inputs(&[("xs", xs)]);
+        let call: Expr = format!("(sum #{n} xs)").parse().unwrap();
+        let (v, stats) = run(&call, &ins).unwrap();
+        assert_eq!(v.as_num(), Some((n * (n - 1) / 2) as f64));
+        assert_eq!(stats.lib_calls, 1);
+        assert!(stats.total_coverage() <= 1.0);
+    }
+
+    #[test]
+    fn coverage_is_zero_without_calls() {
+        let ins = inputs(&[("xs", Value::from(Tensor::vector(vec![1.0; 64])))]);
+        let loopy = dsl::vsum(64, dsl::sym("xs"));
+        let (_, stats) = run(&loopy, &ins).unwrap();
+        assert_eq!(stats.lib_calls, 0);
+        assert_eq!(stats.total_coverage(), 0.0);
+    }
+
+    #[test]
+    fn time_runs_executes_at_least_once() {
+        let ins = inputs(&[("xs", Value::from(Tensor::vector(vec![1.0; 8])))]);
+        let loopy = dsl::vsum(8, dsl::sym("xs"));
+        let (mean, runs, _) = time_runs(&loopy, &ins, Duration::ZERO).unwrap();
+        assert!(runs >= 1);
+        assert!(mean > Duration::ZERO);
+    }
+
+    use liar_ir::Expr;
+}

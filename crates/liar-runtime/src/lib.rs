@@ -1,0 +1,39 @@
+//! Execution substrate for LIAR solutions.
+//!
+//! The paper compiles extracted expressions to C (linking BLAS solutions
+//! against OpenBLAS) and measures run times. This crate substitutes an
+//! in-process equivalent (see DESIGN.md):
+//!
+//! * [`eval()`] — an environment-based interpreter for the minimalist IR.
+//!   It plays the role of the paper's compiled loop nests for "pure C"
+//!   solutions.
+//! * [`library`] — optimized Rust implementations of the BLAS and PyTorch
+//!   functions LIAR can target (cache-blocked, multithreaded `gemm`;
+//!   threaded `gemv`/`mv`; fused `axpy`; …), playing the role of OpenBLAS.
+//! * [`exec`] — runs a solution end to end, timing the fraction of work
+//!   done inside library calls (the paper's *coverage* metric, fig. 5).
+//!
+//! ```
+//! use liar_ir::dsl;
+//! use liar_runtime::{exec, Tensor, Value};
+//!
+//! let vsum = dsl::vsum(4, dsl::sym("xs"));
+//! let inputs = [("xs".to_string(), Value::from(Tensor::vector(vec![1.0, 2.0, 3.0, 4.0])))]
+//!     .into_iter()
+//!     .collect();
+//! let (result, _stats) = exec::run(&vsum, &inputs).unwrap();
+//! assert_eq!(result.as_num().unwrap(), 10.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod eval;
+pub mod exec;
+pub mod library;
+mod tensor;
+mod value;
+
+pub use eval::{eval, EvalError};
+pub use exec::{run, ExecStats};
+pub use tensor::Tensor;
+pub use value::{TensorView, Value};

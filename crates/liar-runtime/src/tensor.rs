@@ -1,0 +1,161 @@
+//! A dense row-major tensor of `f64`s.
+
+/// A dense row-major tensor (scalar, vector, matrix, or higher rank).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Build a tensor from a shape and row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not the product of `shape`.
+    pub fn new(shape: Vec<usize>, data: Vec<f64>) -> Self {
+        let expect: usize = shape.iter().product();
+        assert_eq!(data.len(), expect, "shape/data mismatch");
+        Tensor { shape, data }
+    }
+
+    /// A rank-0 tensor (scalar).
+    pub fn scalar(v: f64) -> Self {
+        Tensor {
+            shape: vec![],
+            data: vec![v],
+        }
+    }
+
+    /// A rank-1 tensor.
+    pub fn vector(data: Vec<f64>) -> Self {
+        Tensor {
+            shape: vec![data.len()],
+            data,
+        }
+    }
+
+    /// A rank-2 tensor from row-major data.
+    pub fn matrix(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        Tensor::new(vec![rows, cols], data)
+    }
+
+    /// An all-zeros tensor.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The flat row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for an empty tensor.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Scalar value of a rank-0 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 0.
+    pub fn as_scalar(&self) -> f64 {
+        assert!(self.shape.is_empty(), "not a scalar: shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// The `i`th slice along the first axis (a row for matrices).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank 0 or out-of-bounds `i`.
+    pub fn slice(&self, i: usize) -> Tensor {
+        assert!(!self.shape.is_empty(), "cannot slice a scalar");
+        let stride: usize = self.shape[1..].iter().product();
+        let start = i * stride;
+        Tensor {
+            shape: self.shape[1..].to_vec(),
+            data: self.data[start..start + stride].to_vec(),
+        }
+    }
+
+    /// Maximum absolute elementwise difference against another tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True when all elements are within `tol` of `other`'s, with the same
+    /// shape.
+    pub fn approx_eq(&self, other: &Tensor, tol: f64) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other) <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::matrix(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.slice(1).data(), &[4.0, 5.0, 6.0]);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn bad_shape_panics() {
+        let _ = Tensor::new(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_differences() {
+        let a = Tensor::vector(vec![1.0, 2.0]);
+        let b = Tensor::vector(vec![1.0 + 1e-12, 2.0]);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-15));
+        let c = Tensor::vector(vec![1.0, 2.0, 3.0]);
+        assert!(!a.approx_eq(&c, 1.0));
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(Tensor::scalar(4.5).as_scalar(), 4.5);
+    }
+
+    #[test]
+    fn zeros() {
+        let z = Tensor::zeros(vec![2, 2]);
+        assert_eq!(z.data(), &[0.0; 4]);
+    }
+}

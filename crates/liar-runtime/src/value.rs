@@ -1,0 +1,299 @@
+//! Runtime values for the IR interpreter.
+
+use std::rc::Rc;
+
+use liar_egraph::Id;
+
+use crate::Tensor;
+
+/// A value produced by evaluating an IR expression.
+///
+/// Arrays are nested (`Arr` of `Arr` of … of `Num`), matching the IR's view
+/// of arrays-of-arrays; [`Value::from`]/[`Value::to_tensor`] convert to and
+/// from flat [`Tensor`]s at library-call boundaries.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A scalar (also used for indices).
+    Num(f64),
+    /// An array of values.
+    Arr(Rc<Vec<Value>>),
+    /// A dense tensor (or a view into one) — the representation of named
+    /// inputs and library-call results, with O(1) slicing.
+    Tensor(TensorView),
+    /// A binary tuple.
+    Tuple(Rc<(Value, Value)>),
+    /// A closure: a `lam` body plus its captured environment.
+    Closure(Rc<Closure>),
+}
+
+/// A view into a shared [`Tensor`]: the whole tensor, a row, a row of a
+/// row, … Indexing peels one leading extent without copying.
+#[derive(Debug, Clone)]
+pub struct TensorView {
+    base: Rc<Tensor>,
+    /// Flat offset of this view's first element.
+    offset: usize,
+    /// How many leading extents have been peeled off.
+    depth: usize,
+}
+
+impl TensorView {
+    /// View of an entire tensor.
+    pub fn full(t: Rc<Tensor>) -> Self {
+        TensorView {
+            base: t,
+            offset: 0,
+            depth: 0,
+        }
+    }
+
+    /// The view's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.base.shape()[self.depth..]
+    }
+
+    /// Number of elements in the view.
+    pub fn len(&self) -> usize {
+        self.shape().iter().product()
+    }
+
+    /// True when the view is rank 0.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The viewed elements, flat.
+    pub fn data(&self) -> &[f64] {
+        &self.base.data()[self.offset..self.offset + self.len()]
+    }
+
+    /// Index the leading extent: a scalar for rank-1 views, a narrower
+    /// view otherwise. `None` when out of bounds or rank 0.
+    pub fn index(&self, i: usize) -> Option<Value> {
+        let shape = self.shape();
+        let (&n, rest) = shape.split_first()?;
+        if i >= n {
+            return None;
+        }
+        let stride: usize = rest.iter().product();
+        if rest.is_empty() {
+            Some(Value::Num(self.base.data()[self.offset + i]))
+        } else {
+            Some(Value::Tensor(TensorView {
+                base: Rc::clone(&self.base),
+                offset: self.offset + i * stride,
+                depth: self.depth + 1,
+            }))
+        }
+    }
+
+    /// Leading extent (0 for rank-0 views).
+    pub fn leading_len(&self) -> usize {
+        self.shape().first().copied().unwrap_or(0)
+    }
+
+    /// Materialize the view as an owned tensor (O(1) for full views).
+    pub fn to_tensor_rc(&self) -> Rc<Tensor> {
+        if self.depth == 0 {
+            Rc::clone(&self.base)
+        } else {
+            Rc::new(Tensor::new(self.shape().to_vec(), self.data().to_vec()))
+        }
+    }
+}
+
+/// A suspended `lam` body (node id into the evaluated expression) plus the
+/// environment it captured.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// Node id of the lambda's body within the expression being evaluated.
+    pub body: Id,
+    /// Captured environment (innermost binding last, i.e. `•0` = last).
+    pub env: Env,
+}
+
+/// A persistent environment for De Bruijn lookups: a linked list so closure
+/// capture is O(1).
+#[derive(Debug, Clone, Default)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+#[derive(Debug)]
+struct EnvNode {
+    value: Value,
+    parent: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Self {
+        Env(None)
+    }
+
+    /// Push a binding for `•0`, shifting existing bindings up.
+    pub fn push(&self, value: Value) -> Env {
+        Env(Some(Rc::new(EnvNode {
+            value,
+            parent: self.clone(),
+        })))
+    }
+
+    /// Look up De Bruijn index `i`.
+    pub fn get(&self, i: u32) -> Option<&Value> {
+        let mut cur = self;
+        for _ in 0..i {
+            cur = &cur.0.as_ref()?.parent;
+        }
+        cur.0.as_ref().map(|n| &n.value)
+    }
+
+    /// Number of bindings (O(depth); for diagnostics).
+    pub fn depth(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            n += 1;
+            cur = &node.parent;
+        }
+        n
+    }
+}
+
+impl Value {
+    /// The scalar, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Interpret a numeric value as an index.
+    pub fn as_index(&self) -> Option<usize> {
+        let v = self.as_num()?;
+        if v < 0.0 {
+            return None;
+        }
+        Some(v.round() as usize)
+    }
+
+    /// Like [`Value::to_tensor`] but avoids copying when the value is
+    /// already a full tensor.
+    pub fn to_tensor_rc(&self) -> Option<Rc<Tensor>> {
+        match self {
+            Value::Tensor(v) => Some(v.to_tensor_rc()),
+            other => other.to_tensor().map(Rc::new),
+        }
+    }
+
+    /// Flatten a (possibly nested) array value into a [`Tensor`].
+    ///
+    /// Fails on ragged arrays, tuples, and closures.
+    pub fn to_tensor(&self) -> Option<Tensor> {
+        if let Value::Tensor(v) = self {
+            return Some((*v.to_tensor_rc()).clone());
+        }
+        fn shape_of(v: &Value) -> Option<Vec<usize>> {
+            match v {
+                Value::Num(_) => Some(vec![]),
+                Value::Tensor(view) => Some(view.shape().to_vec()),
+                Value::Arr(items) => {
+                    let first = items.first().map(shape_of).unwrap_or(Some(vec![]))?;
+                    let mut shape = vec![items.len()];
+                    shape.extend(first);
+                    Some(shape)
+                }
+                _ => None,
+            }
+        }
+        fn flatten(v: &Value, out: &mut Vec<f64>) -> Option<()> {
+            match v {
+                Value::Num(x) => {
+                    out.push(*x);
+                    Some(())
+                }
+                Value::Tensor(view) => {
+                    out.extend_from_slice(view.data());
+                    Some(())
+                }
+                Value::Arr(items) => {
+                    for item in items.iter() {
+                        flatten(item, out)?;
+                    }
+                    Some(())
+                }
+                _ => None,
+            }
+        }
+        let shape = shape_of(self)?;
+        let mut data = Vec::with_capacity(shape.iter().product());
+        flatten(self, &mut data)?;
+        let expect: usize = shape.iter().product();
+        if data.len() != expect {
+            return None; // Ragged.
+        }
+        Some(Tensor::new(shape, data))
+    }
+}
+
+impl From<Tensor> for Value {
+    /// Wrap a tensor as a value (rank-0 tensors become plain numbers).
+    fn from(t: Tensor) -> Value {
+        if t.shape().is_empty() {
+            Value::Num(t.as_scalar())
+        } else {
+            Value::Tensor(TensorView::full(Rc::new(t)))
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Num(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_lookup_is_de_bruijn() {
+        let env = Env::new().push(Value::Num(1.0)).push(Value::Num(2.0));
+        assert_eq!(env.get(0).unwrap().as_num(), Some(2.0));
+        assert_eq!(env.get(1).unwrap().as_num(), Some(1.0));
+        assert!(env.get(2).is_none());
+        assert_eq!(env.depth(), 2);
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let t = Tensor::matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let v = Value::from(t.clone());
+        assert_eq!(v.to_tensor().unwrap(), t);
+        let s = Value::Num(7.0);
+        assert_eq!(s.to_tensor().unwrap(), Tensor::scalar(7.0));
+    }
+
+    #[test]
+    fn ragged_arrays_do_not_flatten() {
+        let ragged = Value::Arr(Rc::new(vec![
+            Value::Arr(Rc::new(vec![Value::Num(1.0)])),
+            Value::Arr(Rc::new(vec![Value::Num(1.0), Value::Num(2.0)])),
+        ]));
+        assert!(ragged.to_tensor().is_none());
+    }
+
+    #[test]
+    fn as_index_rejects_negatives() {
+        assert_eq!(Value::Num(3.0).as_index(), Some(3));
+        assert_eq!(Value::Num(-1.0).as_index(), None);
+    }
+}

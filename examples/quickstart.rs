@@ -1,0 +1,51 @@
+//! Quickstart: discover the latent dot product in a vector sum.
+//!
+//! This is the paper's motivating example (§I): `sum(v) = fold (+) 0 v`
+//! contains no `dot` — but with a library offering `dot` and constant
+//! vectors, `sum(v) = dot(v, fill(1))`. LIAR finds that rewriting
+//! automatically.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use liar::core::{Liar, Target};
+use liar::ir::dsl;
+use liar::runtime::{exec, Tensor, Value};
+
+fn main() {
+    let n = 1024;
+
+    // 1. Write the program in the minimalist IR:
+    //    vsum = ifold n 0 (λ λ xs[•1] + •0)
+    let vsum = dsl::vsum(n, dsl::sym("xs"));
+    println!("input program:\n  {vsum}\n");
+
+    // 2. Run equality saturation with the BLAS idiom rules and extract the
+    //    best expression after every step.
+    let report = Liar::new(Target::Blas).with_iter_limit(8).optimize(&vsum);
+    for step in &report.steps {
+        println!(
+            "step {}: {:>6} e-nodes, cost {:>8.1}, solution: {}",
+            step.step,
+            step.n_nodes,
+            step.cost,
+            step.solution_summary()
+        );
+    }
+    let best = report.best();
+    println!("\nbest expression:\n  {}\n", best.best);
+
+    // 3. Execute both forms and check they agree.
+    let xs: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let expected: f64 = xs.iter().sum();
+    let inputs = [("xs".to_string(), Value::from(Tensor::vector(xs)))]
+        .into_iter()
+        .collect();
+    let (value, stats) = exec::run(&best.best, &inputs).expect("solution runs");
+    println!("result = {:.6} (expected {expected:.6})", value.as_num().unwrap());
+    println!(
+        "library calls executed: {} (coverage {:.0}%)",
+        stats.lib_calls,
+        stats.total_coverage() * 100.0
+    );
+    assert!((value.as_num().unwrap() - expected).abs() < 1e-6);
+}

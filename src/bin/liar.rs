@@ -1,0 +1,152 @@
+//! The `liar` command-line tool: optimize IR expressions from the shell.
+//!
+//! ```text
+//! # Optimize an expression for a target and show the per-step solutions:
+//! liar optimize --target blas '(ifold #64 0 (lam (lam (+ (get xs %1) %0))))'
+//!
+//! # Optimize one of the paper's kernels by name:
+//! liar kernel --target pytorch gemv
+//!
+//! # Emit C for the best solution of a kernel:
+//! liar emit-c gemv
+//!
+//! # List the kernels of table I:
+//! liar kernels
+//! ```
+
+use std::process::ExitCode;
+
+use liar::codegen::{emit_kernel, CInput};
+use liar::core::{Liar, Target};
+use liar::ir::Expr;
+use liar::kernels::Kernel;
+
+fn parse_target(args: &[String]) -> Target {
+    match args
+        .iter()
+        .position(|a| a == "--target")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("blas") | None => Target::Blas,
+        Some("pytorch") | Some("torch") => Target::Torch,
+        Some("pure-c") | Some("purec") | Some("c") => Target::PureC,
+        Some(other) => {
+            eprintln!("unknown target {other} (expected blas | pytorch | pure-c)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_steps(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--steps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+}
+
+fn report(expr: &Expr, target: Target, steps: usize) {
+    let pipeline = Liar::new(target).with_iter_limit(steps);
+    let report = pipeline.optimize(expr);
+    println!("target: {target}");
+    for step in &report.steps {
+        println!(
+            "step {:>2}: {:>7} e-nodes  cost {:>12.1}  {}",
+            step.step,
+            step.n_nodes,
+            step.cost,
+            step.solution_summary()
+        );
+    }
+    println!("stopped: {}", report.stop_reason);
+    println!("\nbest expression:\n{}", report.best().best);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("optimize") => {
+            let Some(expr_text) = args.iter().skip(1).find(|a| !a.starts_with("--")
+                && args.iter().position(|x| x == *a).is_none_or(|i| {
+                    !matches!(args.get(i.wrapping_sub(1)).map(String::as_str), Some("--target" | "--steps"))
+                }))
+            else {
+                eprintln!("usage: liar optimize [--target blas|pytorch|pure-c] [--steps N] '<expr>'");
+                return ExitCode::from(2);
+            };
+            let expr: Expr = match expr_text.parse() {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("parse error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            report(&expr, parse_target(&args), parse_steps(&args));
+            ExitCode::SUCCESS
+        }
+        Some("kernel") => {
+            let Some(kernel) = args
+                .iter()
+                .skip(1)
+                .filter(|a| !a.starts_with("--"))
+                .find_map(|n| Kernel::from_name(n))
+            else {
+                eprintln!("usage: liar kernel [--target …] [--steps N] <kernel-name>");
+                return ExitCode::from(2);
+            };
+            let expr = kernel.expr(kernel.search_size());
+            println!("kernel {}: {}\n", kernel.name(), kernel.description());
+            report(&expr, parse_target(&args), parse_steps(&args));
+            ExitCode::SUCCESS
+        }
+        Some("emit-c") => {
+            let Some(kernel) = args
+                .iter()
+                .skip(1)
+                .filter(|a| !a.starts_with("--"))
+                .find_map(|n| Kernel::from_name(n))
+            else {
+                eprintln!("usage: liar emit-c [--steps N] <kernel-name>");
+                return ExitCode::from(2);
+            };
+            let n = kernel.search_size();
+            let pipeline = Liar::new(Target::Blas).with_iter_limit(parse_steps(&args));
+            let best = pipeline.optimize(&kernel.expr(n)).best().best.clone();
+            let inputs: Vec<CInput> = kernel
+                .inputs(n, 0)
+                .iter()
+                .map(|(name, value)| {
+                    let t = value.to_tensor().expect("tensor input");
+                    if t.shape().is_empty() {
+                        CInput::scalar(name)
+                    } else {
+                        CInput::tensor(name, t.shape().to_vec())
+                    }
+                })
+                .collect();
+            match emit_kernel(kernel.name().replace('-', "_").as_str(), &best, &inputs) {
+                Ok(c) => {
+                    println!("{c}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("codegen failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("kernels") => {
+            for k in Kernel::ALL {
+                println!("{:<10} {:<10} {}", k.name(), k.suite().to_string(), k.description());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: liar <optimize|kernel|emit-c|kernels> [--target blas|pytorch|pure-c] [--steps N]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! LIAR — Latent Idiom Array Rewriting.
+//!
+//! Facade crate re-exporting the whole reproduction of *“Latent Idiom
+//! Recognition for a Minimalist Functional Array Language using Equality
+//! Saturation”* (CGO 2024). See the README for an architecture overview and
+//! `DESIGN.md` for the system inventory.
+
+pub use liar_codegen as codegen;
+pub use liar_core as core;
+pub use liar_egraph as egraph;
+pub use liar_ir as ir;
+pub use liar_kernels as kernels;
+pub use liar_runtime as runtime;

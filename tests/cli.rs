@@ -1,0 +1,60 @@
+//! Smoke tests for the `liar` command-line tool.
+
+use std::process::Command;
+
+fn liar(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_liar"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn optimize_finds_the_latent_dot() {
+    let out = liar(&[
+        "optimize",
+        "--target",
+        "blas",
+        "--steps",
+        "6",
+        "(ifold #16 0 (lam (lam (+ (get xs %1) %0))))",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("1 × dot"), "{stdout}");
+    assert!(stdout.contains("(dot #16 xs"), "{stdout}");
+}
+
+#[test]
+fn kernel_subcommand_runs_table_rows() {
+    let out = liar(&["kernel", "--target", "pytorch", "vsum"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("1 × sum"), "{stdout}");
+}
+
+#[test]
+fn kernels_lists_table_one() {
+    let out = liar(&["kernels"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in ["2mm", "vsum", "stencil2d", "gemver"] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn emit_c_produces_cblas() {
+    let out = liar(&["emit-c", "gemv"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("cblas_dgemv"), "{stdout}");
+}
+
+#[test]
+fn bad_input_fails_gracefully() {
+    assert!(!liar(&["optimize", "(((("]).status.success());
+    assert!(!liar(&["kernel", "not-a-kernel"]).status.success());
+    assert!(!liar(&["frobnicate"]).status.success());
+    assert!(!liar(&["optimize", "--target", "fortran", "(+ 1 2)"]).status.success());
+}

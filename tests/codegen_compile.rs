@@ -1,0 +1,140 @@
+//! Compile-and-run validation of the C backend: emitted pure-C kernels are
+//! compiled with the system C compiler and their output compared against
+//! the Rust runtime. (BLAS solutions would additionally need a CBLAS
+//! install, so this exercises the loop-nest lowering only.)
+
+use std::io::Write as _;
+use std::process::Command;
+
+use liar::codegen::{emit_kernel, CInput};
+use liar::core::{Liar, Target};
+use liar::kernels::Kernel;
+use liar::runtime::eval;
+
+fn have_cc() -> bool {
+    Command::new("cc")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+fn compile_and_run(kernel: Kernel) {
+    let n = kernel.search_size();
+    let inputs = kernel.inputs(n, 0x5EED);
+    let report = Liar::new(Target::PureC)
+        .with_iter_limit(4)
+        .optimize(&kernel.expr(n));
+    let solution = &report.best().best;
+
+    // Expected output via the Rust runtime.
+    let expected = eval(solution, &inputs)
+        .unwrap()
+        .to_tensor()
+        .expect("tensor result");
+
+    // Emit the kernel and a main() that feeds it the same inputs.
+    let mut names: Vec<&String> = inputs.keys().collect();
+    names.sort();
+    let c_inputs: Vec<CInput> = names
+        .iter()
+        .map(|name| {
+            let t = inputs[name.as_str()].to_tensor().unwrap();
+            if t.shape().is_empty() {
+                CInput::scalar(name)
+            } else {
+                CInput::tensor(name, t.shape().to_vec())
+            }
+        })
+        .collect();
+    let kernel_c = emit_kernel("kernel", solution, &c_inputs).expect("emit");
+
+    let mut main_c = String::from("#include <stdio.h>\n");
+    main_c.push_str(&kernel_c);
+    main_c.push_str("\nint main(void) {\n");
+    let mut call_args = Vec::new();
+    for name in &names {
+        let t = inputs[name.as_str()].to_tensor().unwrap();
+        if t.shape().is_empty() {
+            main_c.push_str(&format!(
+                "    double {name} = {:.17};\n",
+                t.as_scalar()
+            ));
+        } else {
+            let vals: Vec<String> = t.data().iter().map(|v| format!("{v:.17}")).collect();
+            main_c.push_str(&format!(
+                "    static double {name}[{}] = {{{}}};\n",
+                t.len(),
+                vals.join(", ")
+            ));
+        }
+        call_args.push((**name).clone());
+    }
+    main_c.push_str(&format!(
+        "    static double out[{}] = {{0}};\n",
+        expected.len()
+    ));
+    call_args.push("out".to_string());
+    main_c.push_str(&format!("    kernel({});\n", call_args.join(", ")));
+    main_c.push_str(&format!(
+        "    for (int i = 0; i < {}; i++) printf(\"%.17g\\n\", out[i]);\n",
+        expected.len()
+    ));
+    main_c.push_str("    return 0;\n}\n");
+
+    let dir = std::env::temp_dir().join(format!("liar_cc_{}", kernel.name()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("main.c");
+    let bin = dir.join("main");
+    std::fs::File::create(&src)
+        .unwrap()
+        .write_all(main_c.as_bytes())
+        .unwrap();
+    let status = Command::new("cc")
+        .args(["-O1", "-o"])
+        .arg(&bin)
+        .arg(&src)
+        .status()
+        .expect("cc runs");
+    assert!(status.success(), "C compilation failed for {kernel}");
+
+    let output = Command::new(&bin).output().expect("binary runs");
+    assert!(output.status.success());
+    let got: Vec<f64> = String::from_utf8(output.stdout)
+        .unwrap()
+        .lines()
+        .map(|l| l.parse().unwrap())
+        .collect();
+    assert_eq!(got.len(), expected.len(), "{kernel}: wrong output size");
+    for (i, (g, e)) in got.iter().zip(expected.data()).enumerate() {
+        assert!(
+            (g - e).abs() <= 1e-9 * (1.0 + e.abs()),
+            "{kernel}: out[{i}] = {g}, expected {e}"
+        );
+    }
+}
+
+macro_rules! cc_tests {
+    ($($name:ident: $kernel:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                if !have_cc() {
+                    eprintln!("skipping: no C compiler");
+                    return;
+                }
+                compile_and_run($kernel);
+            }
+        )*
+    };
+}
+
+cc_tests! {
+    cc_axpy: Kernel::Axpy;
+    cc_gemv: Kernel::Gemv;
+    cc_vsum: Kernel::Vsum;
+    cc_memset: Kernel::Memset;
+    cc_jacobi1d: Kernel::Jacobi1d;
+    cc_gesummv: Kernel::Gesummv;
+    cc_one_mm: Kernel::OneMm;
+}

@@ -1,0 +1,108 @@
+//! Integration of the search with the C backend: discovered BLAS solutions
+//! lower to CBLAS calls; pure-C solutions lower to loop nests.
+
+use liar::codegen::{emit_kernel, CInput};
+use liar::core::{Liar, Target};
+use liar::ir::dsl;
+use liar::kernels::Kernel;
+
+/// C inputs matching a kernel's named inputs at size n.
+fn c_inputs(kernel: Kernel, n: usize) -> Vec<CInput> {
+    kernel
+        .inputs(n, 0)
+        .iter()
+        .map(|(name, value)| {
+            let t = value.to_tensor().expect("tensor input");
+            match t.shape().len() {
+                0 => CInput::scalar(name),
+                _ => CInput::tensor(name, t.shape().to_vec()),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn gemv_blas_solution_emits_cblas_dgemv() {
+    let kernel = Kernel::Gemv;
+    let n = kernel.search_size();
+    let report = Liar::new(Target::Blas).with_iter_limit(6).optimize(&kernel.expr(n));
+    let c = emit_kernel("gemv_kernel", &report.best().best, &c_inputs(kernel, n)).unwrap();
+    assert!(c.contains("cblas_dgemv"), "{c}");
+    assert!(c.contains("void gemv_kernel"));
+}
+
+#[test]
+fn vsum_blas_solution_emits_cblas_ddot() {
+    let kernel = Kernel::Vsum;
+    let n = kernel.search_size();
+    let report = Liar::new(Target::Blas).with_iter_limit(6).optimize(&kernel.expr(n));
+    let c = emit_kernel("vsum_kernel", &report.best().best, &c_inputs(kernel, n)).unwrap();
+    assert!(c.contains("cblas_ddot"), "{c}");
+    // The ones vector is built by a loop (or memset-like fill).
+    assert!(c.contains("for ("));
+}
+
+#[test]
+fn pure_c_solutions_emit_only_loops() {
+    for kernel in [Kernel::Gemv, Kernel::Axpy, Kernel::Vsum] {
+        let n = kernel.search_size();
+        let report = Liar::new(Target::PureC)
+            .with_iter_limit(4)
+            .optimize(&kernel.expr(n));
+        let c = emit_kernel("k", &report.best().best, &c_inputs(kernel, n))
+            .unwrap_or_else(|e| panic!("{kernel}: {e}"));
+        assert!(!c.contains("cblas"), "{kernel} pure C should not call BLAS");
+        assert!(c.contains("for ("), "{kernel} should have loops");
+    }
+}
+
+#[test]
+fn memset_solution_uses_libc_memset() {
+    let kernel = Kernel::Memset;
+    let report = Liar::new(Target::Blas)
+        .with_iter_limit(4)
+        .optimize(&kernel.expr(64));
+    let c = emit_kernel("zeros", &report.best().best, &[]).unwrap();
+    assert!(c.contains("memset("), "{c}");
+}
+
+#[test]
+fn unoptimized_kernels_lower_directly() {
+    // Every kernel's *input* expression must lower to pure C (tuples — mvt
+    // — are the documented exception).
+    for kernel in Kernel::ALL {
+        if kernel == Kernel::Mvt {
+            continue;
+        }
+        let n = kernel.search_size();
+        let result = emit_kernel("k", &kernel.expr(n), &c_inputs(kernel, n));
+        assert!(result.is_ok(), "{kernel}: {result:?}");
+    }
+}
+
+#[test]
+fn emitted_c_is_balanced() {
+    // Cheap syntactic well-formedness: braces and parens balance.
+    let expr = dsl::vadd(
+        8,
+        dsl::vscale(8, dsl::sym("a"), dsl::sym("X")),
+        dsl::sym("Y"),
+    );
+    let c = emit_kernel(
+        "k",
+        &expr,
+        &[
+            CInput::scalar("a"),
+            CInput::vector("X", 8),
+            CInput::vector("Y", 8),
+        ],
+    )
+    .unwrap();
+    for (open, close) in [('{', '}'), ('(', ')'), ('[', ']')] {
+        assert_eq!(
+            c.matches(open).count(),
+            c.matches(close).count(),
+            "unbalanced {open}{close} in:\n{c}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! The load-bearing end-to-end property: equality saturation must be
+//! *semantics-preserving*. For each kernel and target, every solution
+//! extracted at every saturation step must compute the same result as the
+//! hand-written reference implementation.
+//!
+//! This exercises the whole stack: kernel construction (liar-kernels),
+//! rules + extraction (liar-core / liar-egraph), and execution with
+//! library dispatch (liar-runtime).
+
+use liar::core::{Liar, Target};
+use liar::kernels::{values_approx_eq, Kernel};
+use liar::runtime::exec;
+
+fn check_kernel(kernel: Kernel, target: Target, iter_limit: usize) {
+    let n = kernel.search_size();
+    let inputs = kernel.inputs(n, 0xBEEF);
+    let reference = kernel
+        .reference(n, &inputs)
+        .unwrap_or_else(|e| panic!("{kernel}: reference failed: {e}"));
+    let report = Liar::new(target)
+        .with_iter_limit(iter_limit)
+        .with_node_limit(60_000)
+        .optimize(&kernel.expr(n));
+    for step in &report.steps {
+        let (value, _) = exec::run(&step.best, &inputs).unwrap_or_else(|e| {
+            panic!(
+                "{kernel}/{target} step {}: execution failed: {e}\n  expr: {}",
+                step.step, step.best
+            )
+        });
+        assert!(
+            values_approx_eq(&value, &reference, 1e-7),
+            "{kernel}/{target} step {}: wrong result for solution {}\n  expr: {}",
+            step.step,
+            step.solution_summary(),
+            step.best
+        );
+    }
+}
+
+macro_rules! preservation_tests {
+    ($($test_name:ident: $kernel:expr, $iters:expr;)*) => {
+        $(
+            mod $test_name {
+                use super::*;
+
+                #[test]
+                fn blas() {
+                    check_kernel($kernel, Target::Blas, $iters);
+                }
+
+                #[test]
+                fn pytorch() {
+                    check_kernel($kernel, Target::Torch, $iters);
+                }
+
+                #[test]
+                fn pure_c() {
+                    check_kernel($kernel, Target::PureC, $iters);
+                }
+            }
+        )*
+    };
+}
+
+preservation_tests! {
+    vsum: Kernel::Vsum, 6;
+    axpy: Kernel::Axpy, 5;
+    memset: Kernel::Memset, 4;
+    gemv: Kernel::Gemv, 6;
+    gesummv: Kernel::Gesummv, 5;
+    atax: Kernel::Atax, 5;
+    one_mm: Kernel::OneMm, 7;
+    jacobi1d: Kernel::Jacobi1d, 6;
+    blur1d: Kernel::Blur1d, 6;
+    mvt: Kernel::Mvt, 5;
+    slim_2mm: Kernel::Slim2mm, 6;
+    doitgen: Kernel::Doitgen, 7;
+}
