@@ -4,21 +4,21 @@
 //! Sweeps a scale on the per-call discount term and benchmarks the full
 //! pipeline; the interesting output is printed once per scale: which
 //! solutions survive as library calls get less attractive.
+//!
+//! Run with `cargo bench --bench ablation`. Plain `main` + the in-crate
+//! [`liar_bench::timing`] harness (no criterion; the workspace builds
+//! offline).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use liar_bench::timing;
 use liar_core::{Liar, Target};
 use liar_kernels::Kernel;
 
-fn bench_discount_ablation(c: &mut Criterion) {
+const SAMPLES: usize = 3;
+
+fn main() {
     let kernel = Kernel::Gemv;
     let expr = kernel.expr(kernel.search_size());
-    let mut group = c.benchmark_group("ablation_discount_scale");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(4));
+    println!("== ablation_discount_scale ==");
     for scale in [0.5, 1.0, 2.0, 20.0] {
         // Report the solution once, outside the timed loop.
         let report = Liar::new(Target::Blas)
@@ -29,19 +29,13 @@ fn bench_discount_ablation(c: &mut Criterion) {
             "discount scale {scale:>4}: gemv solution = {}",
             report.best().solution_summary()
         );
-        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
-            b.iter(|| {
-                Liar::new(Target::Blas)
-                    .with_iter_limit(6)
-                    .with_discount_scale(s)
-                    .optimize(&expr)
-                    .best()
-                    .cost
-            })
+        timing::bench_and_report(format!("ablation/discount_{scale}"), SAMPLES, || {
+            Liar::new(Target::Blas)
+                .with_iter_limit(6)
+                .with_discount_scale(scale)
+                .optimize(&expr)
+                .best()
+                .cost
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_discount_ablation);
-criterion_main!(benches);

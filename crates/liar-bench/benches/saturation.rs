@@ -1,12 +1,13 @@
-//! Criterion benchmarks for the saturation experiments (tables II–III,
-//! fig. 4): how long LIAR takes to find each kernel's solution.
+//! Benchmarks for the saturation experiments (tables II–III, fig. 4): how
+//! long LIAR takes to find each kernel's solution, and how much the
+//! parallel search phase helps.
+//!
+//! Run with `cargo bench --bench saturation`. Plain `main` + the in-crate
+//! [`liar_bench::timing`] harness (no criterion; the workspace builds
+//! offline).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use liar_bench::harness;
-use liar_core::Target;
+use liar_bench::{harness, timing};
+use liar_core::{Liar, Target};
 use liar_kernels::Kernel;
 
 /// Kernels representative of each structural family, to keep `cargo bench`
@@ -19,72 +20,104 @@ const REPRESENTATIVES: [Kernel; 5] = [
     Kernel::Memset,
 ];
 
-fn bench_table2_blas(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_blas_saturation");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(4));
+const SAMPLES: usize = 3;
+
+fn bench_table2_blas() {
+    println!("\n== table2_blas_saturation ==");
     for kernel in REPRESENTATIVES {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kernel.name()),
-            &kernel,
-            |b, &k| {
-                b.iter(|| {
-                    let report = harness::optimize_kernel(k, Target::Blas);
-                    assert!(!report.steps.is_empty());
-                    report.best().cost
-                })
-            },
-        );
+        timing::bench_and_report(format!("table2_blas/{}", kernel.name()), SAMPLES, || {
+            let report = harness::optimize_kernel(kernel, Target::Blas);
+            assert!(!report.steps.is_empty());
+            report.best().cost
+        });
     }
-    group.finish();
 }
 
-fn bench_table3_torch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_pytorch_saturation");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(4));
+fn bench_table3_torch() {
+    println!("\n== table3_pytorch_saturation ==");
     for kernel in REPRESENTATIVES {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kernel.name()),
-            &kernel,
-            |b, &k| {
-                b.iter(|| {
-                    let report = harness::optimize_kernel(k, Target::Torch);
-                    report.best().cost
-                })
-            },
-        );
+        timing::bench_and_report(format!("table3_torch/{}", kernel.name()), SAMPLES, || {
+            harness::optimize_kernel(kernel, Target::Torch).best().cost
+        });
     }
-    group.finish();
 }
 
 /// Fig. 4's per-step work: one saturation step on the gemv kernel.
-fn bench_fig4_step(c: &mut Criterion) {
+fn bench_fig4_step() {
     use liar_core::rules::{rules_for, RuleConfig};
     use liar_egraph::Runner;
     use liar_ir::ArrayEGraph;
 
-    let mut group = c.benchmark_group("fig4_gemv_steps");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(4));
+    println!("\n== fig4_gemv_steps ==");
     let expr = Kernel::Gemv.expr(Kernel::Gemv.search_size());
     let rules = rules_for(Target::Blas, &RuleConfig::default());
     for steps in [1usize, 3, 5] {
-        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
-            b.iter(|| {
-                let mut eg = ArrayEGraph::default();
-                let root = eg.add_expr(&expr);
-                let mut runner = Runner::new(eg).with_root(root).with_iter_limit(steps);
-                runner.run(&rules);
-                runner.egraph.num_nodes()
-            })
+        timing::bench_and_report(format!("fig4_gemv_steps/{steps}"), SAMPLES, || {
+            let mut eg = ArrayEGraph::default();
+            let root = eg.add_expr(&expr);
+            let mut runner = Runner::new(eg).with_root(root).with_iter_limit(steps);
+            runner.run(&rules);
+            runner.egraph.num_nodes()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_table2_blas, bench_table3_torch, bench_fig4_step);
-criterion_main!(benches);
+/// Serial vs. parallel e-matching: the same saturation run at 1/2/4
+/// threads, comparing total *search-phase* time (the part
+/// [`Liar::with_threads`] parallelizes) and checking the solutions agree.
+fn bench_parallel_search() {
+    println!("\n== parallel_search (polybench kernels, search-phase time) ==");
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host hardware threads: {hw} (speedups need >1 to materialize)");
+    for kernel in [Kernel::Gemv, Kernel::Atax, Kernel::Mvt] {
+        let expr = kernel.expr(kernel.search_size());
+        let pipeline = |threads: usize| {
+            Liar::new(Target::Blas)
+                .with_iter_limit(harness::step_limit(kernel))
+                .with_node_limit(150_000)
+                .with_match_limit(30_000)
+                .with_threads(threads)
+        };
+        let serial_report = pipeline(1).optimize(&expr);
+        let mut serial_search = None;
+        for threads in [1usize, 2, 4] {
+            // Median of the *measured search-phase* durations (one warm-up
+            // run, then SAMPLES timed runs), not wall time.
+            pipeline(threads).optimize(&expr);
+            let mut searches: Vec<_> = (0..SAMPLES)
+                .map(|_| {
+                    let report = pipeline(threads).optimize(&expr);
+                    // Hard determinism check while we're here.
+                    assert_eq!(
+                        report.best().solution_summary(),
+                        serial_report.best().solution_summary(),
+                        "{kernel}: parallel solution diverged"
+                    );
+                    report.total_search_time()
+                })
+                .collect();
+            searches.sort();
+            let search = searches[searches.len() / 2];
+            let speedup = match serial_search {
+                None => {
+                    serial_search = Some(search);
+                    1.0
+                }
+                Some(base) => base.as_secs_f64() / search.as_secs_f64(),
+            };
+            println!(
+                "{:<40} search median {:>10.3?}   speedup {:>5.2}x",
+                format!("search/{}/{}t", kernel.name(), threads),
+                search,
+                speedup
+            );
+        }
+    }
+}
+
+fn main() {
+    bench_table2_blas();
+    bench_table3_torch();
+    bench_fig4_step();
+    bench_parallel_search();
+}

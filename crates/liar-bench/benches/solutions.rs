@@ -1,11 +1,11 @@
-//! Criterion benchmarks for the run-time experiments (figs. 5–7): the
-//! reference implementation vs. LIAR's pure-C and BLAS solutions.
+//! Benchmarks for the run-time experiments (figs. 5–7): the reference
+//! implementation vs. LIAR's pure-C and BLAS solutions.
+//!
+//! Run with `cargo bench --bench solutions`. Plain `main` + the in-crate
+//! [`liar_bench::timing`] harness (no criterion; the workspace builds
+//! offline).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use liar_bench::harness;
+use liar_bench::{harness, timing};
 use liar_core::Target;
 use liar_kernels::Kernel;
 use liar_runtime::exec;
@@ -21,32 +21,27 @@ const KERNELS: [Kernel; 5] = [
     Kernel::Blur1d,
 ];
 
-fn bench_fig7(c: &mut Criterion) {
+const SAMPLES: usize = 5;
+
+fn main() {
     for kernel in KERNELS {
         let n = kernel.bench_size();
         let inputs = kernel.inputs(n, 0xC60);
-        let mut group = c.benchmark_group(format!("fig7_{}", kernel.name()));
-        group
-            .sample_size(10)
-            .measurement_time(Duration::from_secs(4));
+        println!("\n== fig7_{} ==", kernel.name());
 
-        group.bench_function("reference", |b| {
-            b.iter(|| kernel.reference(n, &inputs).unwrap())
+        timing::bench_and_report(format!("fig7_{}/reference", kernel.name()), SAMPLES, || {
+            kernel.reference(n, &inputs).unwrap()
         });
 
         for target in [Target::Blas, Target::PureC] {
             let expr = kernel.expr(n);
             let report = harness::pipeline_for(kernel, target).optimize(&expr);
             let best = report.best().best.clone();
-            group.bench_with_input(
-                BenchmarkId::new("solution", target.name()),
-                &best,
-                |b, solution| b.iter(|| exec::run(solution, &inputs).unwrap().0),
+            timing::bench_and_report(
+                format!("fig7_{}/solution/{}", kernel.name(), target.name()),
+                SAMPLES,
+                || exec::run(&best, &inputs).unwrap().0,
             );
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_fig7);
-criterion_main!(benches);

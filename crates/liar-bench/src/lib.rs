@@ -1,13 +1,17 @@
 //! The evaluation harness: code that regenerates every table and figure of
-//! the paper's §VI (see DESIGN.md for the experiment index).
+//! the paper's §VI (see ARCHITECTURE.md for the experiment index).
 //!
 //! * [`harness`] — saturation experiments: table I (kernel inventory),
 //!   tables II–III (solutions found per kernel per target).
 //! * [`figures`] — figure experiments: fig. 4 (solutions over time),
 //!   fig. 5 (coverage over time), fig. 6 (gemv run times per step),
 //!   fig. 7 (run-time speedups across all kernels).
+//! * [`timing`] — the minimal wall-clock harness the bench binaries use
+//!   (the workspace builds offline, so no criterion).
 
 #![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod figures;
 pub mod harness;
+pub mod timing;

@@ -5,7 +5,7 @@
 //! becomes a loop filling a buffer, `ifold` becomes an accumulator loop,
 //! and recognized idioms become CBLAS / libc calls. This crate reproduces
 //! that lowering as an inspectable artifact (the in-process benchmarks use
-//! `liar-runtime` instead; see DESIGN.md).
+//! `liar-runtime` instead; see ARCHITECTURE.md).
 //!
 //! ```
 //! use liar_codegen::{emit_kernel, CInput};
@@ -23,6 +23,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod emit;
 mod shape;

@@ -27,6 +27,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod cost;
 pub mod pipeline;

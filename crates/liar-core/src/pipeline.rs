@@ -25,6 +25,9 @@ pub struct StepReport {
     pub n_classes: usize,
     /// Wall-clock time of the step (zero for step 0).
     pub step_time: Duration,
+    /// Time the step spent in the (possibly parallel) search phase (zero
+    /// for step 0).
+    pub search_time: Duration,
     /// Best expression under the target cost model.
     pub best: Expr,
     /// Its cost.
@@ -65,6 +68,12 @@ impl OptimizationReport {
         self.steps.last().expect("at least step 0 exists")
     }
 
+    /// Total time spent in the search (e-matching) phase across all steps
+    /// — the quantity [`Liar::with_threads`] accelerates.
+    pub fn total_search_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.search_time).sum()
+    }
+
     /// The first step at which the final solution was found (steps whose
     /// best expression equals the final one, counted from the end).
     pub fn convergence_step(&self) -> usize {
@@ -98,6 +107,7 @@ pub struct Liar {
     limits: RunnerLimits,
     match_limit: usize,
     discount_scale: f64,
+    threads: usize,
 }
 
 impl Liar {
@@ -114,6 +124,7 @@ impl Liar {
             },
             match_limit: 40_000,
             discount_scale: 1.0,
+            threads: 1,
         }
     }
 
@@ -154,6 +165,16 @@ impl Liar {
         self
     }
 
+    /// Search with `n` worker threads (`0` and `1` both mean serial).
+    ///
+    /// Parallelizes the e-matching phase of every saturation step; the
+    /// resulting [`OptimizationReport`] is bit-identical to a serial run
+    /// (see [`liar_egraph::Runner::with_threads`]).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
     /// The target this pipeline optimizes for.
     pub fn target(&self) -> Target {
         self.target
@@ -179,10 +200,15 @@ impl Liar {
         let mut runner = Runner::new(egraph)
             .with_root(root)
             .with_limits(self.limits.clone())
-            .with_scheduler(scheduler);
+            .with_scheduler(scheduler)
+            .with_threads(self.threads);
 
         let mut steps = Vec::new();
-        let extract = |egraph: &ArrayEGraph, step: usize, time: Duration| -> StepReport {
+        let extract = |egraph: &ArrayEGraph,
+                       step: usize,
+                       time: Duration,
+                       search_time: Duration|
+         -> StepReport {
             let extractor = Extractor::new(egraph, cost);
             let (cost, best) = extractor.find_best(root);
             let lib_calls = count_lib_calls(&best);
@@ -191,18 +217,19 @@ impl Liar {
                 n_nodes: egraph.num_nodes(),
                 n_classes: egraph.num_classes(),
                 step_time: time,
+                search_time,
                 cost,
                 lib_calls,
                 best,
             }
         };
 
-        steps.push(extract(&runner.egraph, 0, Duration::ZERO));
+        steps.push(extract(&runner.egraph, 0, Duration::ZERO, Duration::ZERO));
         let stop_reason = loop {
             match runner.run_one(&rules) {
                 Ok(iter) => {
-                    let (index, time) = (iter.index, iter.total_time);
-                    steps.push(extract(&runner.egraph, index, time));
+                    let (index, time, search) = (iter.index, iter.total_time, iter.search_time);
+                    steps.push(extract(&runner.egraph, index, time, search));
                     if runner.stop_reason.is_some() {
                         break runner.stop_reason.clone().unwrap();
                     }

@@ -53,7 +53,7 @@ impl std::fmt::Display for Target {
 /// The paper instantiates such rules with *every* e-class; that semantics
 /// is available via [`RuleConfig::exhaustive`], while the default bounds
 /// the candidate sets to the classes that can actually participate in the
-/// idiom chains (see DESIGN.md, "Engineering deviations").
+/// idiom chains (see ARCHITECTURE.md, "Engineering deviations").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuleConfig {
     /// Which classes `R-IntroLambda` abstracts over.

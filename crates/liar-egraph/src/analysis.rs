@@ -37,9 +37,15 @@ impl std::ops::BitOr for DidMerge {
 ///
 /// Languages without binders can ignore all three (the defaults make shift
 /// patterns never match).
-pub trait Analysis<L: Language>: Sized {
+///
+/// Analyses and their facts must be `Send + Sync`: the parallel search
+/// phase shares the e-graph (including every class's `Data` and the
+/// analysis instance itself) immutably across threads. Analyses that cache
+/// (like LIAR's downshift cache) must use interior mutability that is
+/// thread-safe (`Mutex`, not `RefCell`).
+pub trait Analysis<L: Language>: Sized + Send + Sync {
     /// The per-class analysis fact.
-    type Data: std::fmt::Debug + Clone;
+    type Data: std::fmt::Debug + Clone + Send + Sync;
 
     /// Compute the fact for a freshly added e-node from its children's
     /// facts.

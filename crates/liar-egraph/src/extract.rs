@@ -157,7 +157,7 @@ impl<'a, L: Language, A: Analysis<L>, C: CostFunction<L, A>> Extractor<'a, L, A,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Pattern, Rewrite, Runner, SymbolLang};
+    use crate::{Rewrite, Runner, SymbolLang};
 
     #[test]
     fn ast_size_picks_smaller_member() {

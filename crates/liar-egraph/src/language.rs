@@ -11,7 +11,12 @@ use crate::Id;
 /// when they have the same operator and payload, irrespective of what their
 /// children point at. Children are [`Id`]s — e-class ids inside an
 /// [`EGraph`](crate::EGraph), or node indices inside a [`RecExpr`].
-pub trait Language: fmt::Debug + Clone + Eq + Ord + std::hash::Hash {
+///
+/// `Send + Sync` is required so that a whole e-graph can be shared
+/// immutably across the worker threads of the parallel search phase (see
+/// [`Runner::with_threads`](crate::Runner::with_threads)); node types are
+/// plain data, so this costs implementors nothing.
+pub trait Language: fmt::Debug + Clone + Eq + Ord + std::hash::Hash + Send + Sync {
     /// The children of this node.
     fn children(&self) -> &[Id];
 

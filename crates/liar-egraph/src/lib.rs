@@ -49,6 +49,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod analysis;
 mod dot;

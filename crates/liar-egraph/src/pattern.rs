@@ -1,8 +1,8 @@
 //! Patterns: terms with variables, usable for searching and rewriting.
 
 use std::fmt;
-use std::rc::Rc;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use crate::language::parse_sexp;
 use crate::rewrite::{Applier, SearchMatches, Searcher};
@@ -41,8 +41,10 @@ impl fmt::Display for Var {
 pub enum Binding<L> {
     /// Bound to an existing e-class.
     Class(Id),
-    /// Bound to a term not (necessarily) in the e-graph yet.
-    Expr(Rc<RecExpr<L>>),
+    /// Bound to a term not (necessarily) in the e-graph yet. Shared via
+    /// `Arc` so substitutions can cross the parallel search phase's thread
+    /// boundary.
+    Expr(Arc<RecExpr<L>>),
 }
 
 /// A substitution: variable → [`Binding`].
@@ -243,7 +245,7 @@ impl<L: Language> Pattern<L> {
                     }
                     None => {
                         let mut s = subst;
-                        s.insert(v.clone(), Binding::Expr(Rc::new(down)));
+                        s.insert(v.clone(), Binding::Expr(Arc::new(down)));
                         out.push(s);
                     }
                 }
@@ -336,6 +338,16 @@ impl<L: Language, A: Analysis<L>> Searcher<L, A> for Pattern<L> {
             matches.push(SearchMatches { class: id, substs });
         }
         matches
+    }
+
+    fn can_search_per_class(&self) -> bool {
+        true
+    }
+
+    fn search_class(&self, egraph: &EGraph<L, A>, class: Id, limit: usize) -> Vec<Subst<L>> {
+        let mut substs = self.match_class(egraph, class);
+        substs.truncate(limit);
+        substs
     }
 
     fn bound_vars(&self) -> Vec<Var> {

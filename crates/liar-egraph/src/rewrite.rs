@@ -30,10 +30,31 @@ impl<L> SearchMatches<L> {
 ///
 /// `limit` bounds the total number of substitutions returned; searchers
 /// must stay read-only so that a whole batch of rules can be searched
-/// against one consistent e-graph snapshot.
-pub trait Searcher<L: Language, A: Analysis<L>> {
+/// against one consistent e-graph snapshot. `Send + Sync` lets the
+/// parallel search phase fan searcher invocations out across threads; a
+/// searcher must therefore not cache state behind non-thread-safe interior
+/// mutability.
+pub trait Searcher<L: Language, A: Analysis<L>>: Send + Sync {
     /// Search the whole e-graph, returning at most `limit` substitutions.
     fn search(&self, egraph: &EGraph<L, A>, limit: usize) -> Vec<SearchMatches<L>>;
+
+    /// True when [`search_class`](Searcher::search_class) is supported, in
+    /// which case [`search`](Searcher::search) must be equivalent to
+    /// concatenating `search_class` over [`EGraph::class_ids`] (ascending)
+    /// with the limit applied across classes in that order. The parallel
+    /// engine uses this to split one rule's search into per-class jobs.
+    fn can_search_per_class(&self) -> bool {
+        false
+    }
+
+    /// Search a single e-class, returning at most `limit` substitutions.
+    ///
+    /// Only called when [`can_search_per_class`](Searcher::can_search_per_class)
+    /// returns true; the default panics.
+    fn search_class(&self, egraph: &EGraph<L, A>, class: Id, limit: usize) -> Vec<Subst<L>> {
+        let _ = (egraph, class, limit);
+        unimplemented!("searcher does not support per-class search")
+    }
 
     /// Variables this searcher binds (used to validate rewrites).
     fn bound_vars(&self) -> Vec<Var> {
@@ -42,8 +63,10 @@ pub trait Searcher<L: Language, A: Analysis<L>> {
 }
 
 /// The right-hand side of a rewrite: given one match, mutate the e-graph
-/// (add nodes, union classes).
-pub trait Applier<L: Language, A: Analysis<L>> {
+/// (add nodes, union classes). `Send + Sync` keeps whole [`Rewrite`]s
+/// shareable across the parallel search phase's threads (appliers
+/// themselves always run serially).
+pub trait Applier<L: Language, A: Analysis<L>>: Send + Sync {
     /// Apply the rewrite for a single `(class, subst)` match. Returns the
     /// ids of classes that actually changed (empty when the application was
     /// a no-op, e.g. the union was already known).
@@ -135,6 +158,22 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Rewrite<L, A> {
     /// Search for matches, bounded by `limit` substitutions.
     pub fn search(&self, egraph: &EGraph<L, A>, limit: usize) -> Vec<SearchMatches<L>> {
         self.searcher.search(egraph, limit)
+    }
+
+    /// True when this rule's searcher supports per-class search (see
+    /// [`Searcher::can_search_per_class`]).
+    pub fn can_search_per_class(&self) -> bool {
+        self.searcher.can_search_per_class()
+    }
+
+    /// Search a single e-class (see [`Searcher::search_class`]).
+    pub fn search_class(
+        &self,
+        egraph: &EGraph<L, A>,
+        class: Id,
+        limit: usize,
+    ) -> Vec<Subst<L>> {
+        self.searcher.search_class(egraph, class, limit)
     }
 
     /// Apply previously found matches; returns the number of applications

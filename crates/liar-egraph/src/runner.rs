@@ -1,8 +1,17 @@
 //! The saturation loop: batched search → apply → rebuild, with limits and
 //! per-iteration reports.
+//!
+//! The search phase is read-only over a clean e-graph snapshot, so it can
+//! fan out across threads (see [`Runner::with_threads`]): every (rule ×
+//! e-class-chunk) pair becomes an independent job, and the per-rule match
+//! lists are merged back in (rule order, ascending class id) order, making
+//! the multi-threaded engine bit-identical to the serial one.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
+use crate::rewrite::SearchMatches;
 use crate::{Analysis, EGraph, Id, Language, Rewrite, Scheduler, SimpleScheduler};
 
 /// Why a [`Runner`] stopped.
@@ -103,6 +112,7 @@ pub struct Runner<L: Language, A: Analysis<L>> {
     pub stop_reason: Option<StopReason>,
     limits: RunnerLimits,
     scheduler: Box<dyn Scheduler>,
+    threads: usize,
     start: Option<Instant>,
 }
 
@@ -116,6 +126,7 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             stop_reason: None,
             limits: RunnerLimits::default(),
             scheduler: Box::new(SimpleScheduler),
+            threads: 1,
             start: None,
         }
     }
@@ -156,6 +167,18 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
         self
     }
 
+    /// Search with `n` worker threads (`0` and `1` both mean serial).
+    ///
+    /// Only the read-only search phase is parallelized; scheduling, apply
+    /// and rebuild stay serial. Results are **bit-identical** to the serial
+    /// engine: jobs are merged back in (rule order, ascending class id)
+    /// order and per-rule match limits are applied to the merged list
+    /// exactly as the serial searcher would.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
     fn check_pre_limits(&self) -> Option<StopReason> {
         if self.iterations.len() >= self.limits.iter_limit {
             return Some(StopReason::IterationLimit);
@@ -187,18 +210,25 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
         let step_start = Instant::now();
         let iteration_idx = self.iterations.len();
 
-        // Search phase: all rules see the same clean e-graph.
+        // Search phase: all rules see the same clean e-graph snapshot. The
+        // scheduler hands out every rule's match budget up front, then the
+        // (possibly parallel) search runs, then the scheduler observes every
+        // rule's match count — the same call sequence under both engines.
         debug_assert!(self.egraph.is_clean(), "searching a dirty e-graph");
-        let mut all_matches = Vec::with_capacity(rules.len());
-        for (i, rule) in rules.iter().enumerate() {
-            match self.scheduler.match_limit(iteration_idx, i, rule.name()) {
-                None => all_matches.push(Vec::new()),
-                Some(limit) => {
-                    let matches = rule.search(&self.egraph, limit);
-                    let n: usize = matches.iter().map(|m| m.len()).sum();
-                    self.scheduler.record(iteration_idx, i, n);
-                    all_matches.push(matches);
-                }
+        let limits: Vec<Option<usize>> = rules
+            .iter()
+            .enumerate()
+            .map(|(i, rule)| self.scheduler.match_limit(iteration_idx, i, rule.name()))
+            .collect();
+        let all_matches = if self.threads > 1 {
+            parallel_search(&self.egraph, rules, &limits, self.threads)
+        } else {
+            serial_search(&self.egraph, rules, &limits)
+        };
+        for (i, matches) in all_matches.iter().enumerate() {
+            if limits[i].is_some() {
+                let n: usize = matches.iter().map(|m| m.len()).sum();
+                self.scheduler.record(iteration_idx, i, n);
             }
         }
         let search_time = step_start.elapsed();
@@ -246,6 +276,153 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
     }
 }
 
+/// Search every non-banned rule serially, in rule order.
+///
+/// Per-class-capable rules share one sorted class-id list (hoisted out of
+/// the per-rule loop — [`Searcher::search`](crate::Searcher::search) would
+/// otherwise re-collect and re-sort it once per rule) and replicate its
+/// truncation semantics exactly; custom searchers fall back to their own
+/// whole-e-graph `search`.
+fn serial_search<L: Language + 'static, A: Analysis<L> + 'static>(
+    egraph: &EGraph<L, A>,
+    rules: &[Rewrite<L, A>],
+    limits: &[Option<usize>],
+) -> Vec<Vec<SearchMatches<L>>> {
+    let class_ids = egraph.class_ids();
+    rules
+        .iter()
+        .zip(limits)
+        .map(|(rule, limit)| match limit {
+            None => Vec::new(),
+            Some(limit) if rule.can_search_per_class() => {
+                let mut total = 0;
+                let mut out = Vec::new();
+                for &id in &class_ids {
+                    if total >= *limit {
+                        break;
+                    }
+                    let substs = rule.search_class(egraph, id, *limit - total);
+                    if !substs.is_empty() {
+                        total += substs.len();
+                        out.push(SearchMatches { class: id, substs });
+                    }
+                }
+                out
+            }
+            Some(limit) => rule.search(egraph, *limit),
+        })
+        .collect()
+}
+
+/// One unit of parallel search work.
+enum SearchJob {
+    /// Run the rule's whole-e-graph search (custom searchers).
+    Whole { rule: usize },
+    /// Match the rule against `class_ids[start..end]` (pattern searchers).
+    Chunk { rule: usize, start: usize, end: usize },
+}
+
+/// Search every non-banned rule using `threads` worker threads.
+///
+/// Rules whose searcher supports per-class search are split into
+/// (rule × class-chunk) jobs; the rest run as one job each. Workers pull
+/// jobs from a shared queue, and each rule's chunk results are merged back
+/// in ascending-class order with the rule's match limit applied across the
+/// merged list — reproducing [`Searcher::search`](crate::Searcher::search)
+/// semantics exactly, so the output (and therefore the whole saturation
+/// run) is bit-identical to [`serial_search`].
+fn parallel_search<L: Language + 'static, A: Analysis<L> + 'static>(
+    egraph: &EGraph<L, A>,
+    rules: &[Rewrite<L, A>],
+    limits: &[Option<usize>],
+    threads: usize,
+) -> Vec<Vec<SearchMatches<L>>> {
+    let class_ids = egraph.class_ids();
+    // Aim for a few jobs per thread per rule so stragglers rebalance, but
+    // keep chunks large enough to amortize queue traffic.
+    let chunk_len = (class_ids.len() / (threads * 4)).max(64);
+
+    let mut jobs: Vec<SearchJob> = Vec::new();
+    for (i, rule) in rules.iter().enumerate() {
+        if limits[i].is_none() {
+            continue; // Banned this iteration.
+        }
+        if rule.can_search_per_class() {
+            let mut start = 0;
+            while start < class_ids.len() {
+                let end = (start + chunk_len).min(class_ids.len());
+                jobs.push(SearchJob::Chunk { rule: i, start, end });
+                start = end;
+            }
+        } else {
+            jobs.push(SearchJob::Whole { rule: i });
+        }
+    }
+
+    let results: Vec<OnceLock<Vec<SearchMatches<L>>>> =
+        jobs.iter().map(|_| OnceLock::new()).collect();
+    let next_job = AtomicUsize::new(0);
+    let run_job = |job: &SearchJob| -> Vec<SearchMatches<L>> {
+        match *job {
+            SearchJob::Whole { rule } => {
+                rules[rule].search(egraph, limits[rule].expect("job for unbanned rule"))
+            }
+            SearchJob::Chunk { rule, start, end } => {
+                // Cross-class truncation happens at merge time, but a chunk
+                // can still stop early: the merge consumes its matches in
+                // order, so anything beyond `limit` cumulative substitutions
+                // from one chunk could never survive the merged budget.
+                let limit = limits[rule].expect("job for unbanned rule");
+                let mut found = 0;
+                let mut out = Vec::new();
+                for &id in &class_ids[start..end] {
+                    if found >= limit {
+                        break;
+                    }
+                    let substs = rules[rule].search_class(egraph, id, limit - found);
+                    if !substs.is_empty() {
+                        found += substs.len();
+                        out.push(SearchMatches { class: id, substs });
+                    }
+                }
+                out
+            }
+        }
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            scope.spawn(|| loop {
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let _ = results[i].set(run_job(job));
+            });
+        }
+    });
+
+    // Merge: chunk jobs were created in (rule, ascending class) order, so a
+    // stable pass over the job list groups them correctly.
+    let mut merged: Vec<Vec<SearchMatches<L>>> = vec![Vec::new(); rules.len()];
+    let mut taken: Vec<usize> = vec![0; rules.len()];
+    for (job, result) in jobs.iter().zip(results) {
+        let (SearchJob::Whole { rule } | SearchJob::Chunk { rule, .. }) = *job;
+        let limit = limits[rule].expect("job for unbanned rule");
+        let result = result.into_inner().expect("all jobs ran");
+        for mut m in result {
+            // Identical truncation to the serial searcher: stop as soon as
+            // the budget is reached, clip the match set that crosses it.
+            if taken[rule] >= limit {
+                break;
+            }
+            if taken[rule] + m.substs.len() > limit {
+                m.substs.truncate(limit - taken[rule]);
+            }
+            taken[rule] += m.substs.len();
+            merged[rule].push(m);
+        }
+    }
+    merged
+}
+
 impl<L: Language, A: Analysis<L>> std::fmt::Debug for Runner<L, A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runner")
@@ -259,7 +436,7 @@ impl<L: Language, A: Analysis<L>> std::fmt::Debug for Runner<L, A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Pattern, SymbolLang};
+    use crate::SymbolLang;
 
     fn comm() -> Rewrite<SymbolLang, ()> {
         Rewrite::from_patterns("comm-add", "(+ ?x ?y)", "(+ ?y ?x)")
@@ -332,9 +509,71 @@ mod tests {
         eg.add_expr(&"(+ a b)".parse().unwrap());
         let mut runner = Runner::new(eg).with_iter_limit(1);
         let comm_rule = comm();
-        runner.run(&[comm_rule.clone()]);
+        runner.run(std::slice::from_ref(&comm_rule));
         // Further steps report the recorded stop reason.
         assert!(runner.run_one(&[comm_rule]).is_err());
+    }
+
+    #[test]
+    fn parallel_search_matches_serial() {
+        use crate::BackoffScheduler;
+
+        let build = || {
+            let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+            let root = eg.add_expr(&"(+ (+ (+ a b) c) (+ d e))".parse().unwrap());
+            (eg, root)
+        };
+        let run = |threads: usize| {
+            let (eg, root) = build();
+            let mut runner = Runner::new(eg)
+                .with_root(root)
+                .with_iter_limit(6)
+                .with_scheduler(BackoffScheduler::new(5, 2))
+                .with_threads(threads);
+            runner.run(&[comm(), assoc()]);
+            runner
+        };
+        let serial = run(1);
+        for threads in [2, 4, 7] {
+            let parallel = run(threads);
+            assert_eq!(serial.iterations.len(), parallel.iterations.len());
+            for (s, p) in serial.iterations.iter().zip(&parallel.iterations) {
+                assert_eq!(s.n_nodes, p.n_nodes, "step {}", s.index);
+                assert_eq!(s.n_classes, p.n_classes, "step {}", s.index);
+                assert_eq!(s.applied, p.applied, "step {}", s.index);
+                assert_eq!(s.rebuild_unions, p.rebuild_unions, "step {}", s.index);
+            }
+            assert_eq!(serial.stop_reason, parallel.stop_reason);
+            parallel.egraph.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn parallel_search_respects_match_limits() {
+        // A growing rule under a tight budget: the limit must clip the
+        // parallel merged match list exactly like the serial searcher.
+        let grow = Rewrite::from_patterns("grow", "(+ ?x ?y)", "(+ (f ?x) ?y)");
+        let run = |threads: usize| {
+            let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+            for name in ["a", "b", "c", "d", "e", "g"] {
+                let leaf = eg.add(SymbolLang::leaf(name));
+                let leaf2 = eg.add(SymbolLang::leaf("z"));
+                eg.add(SymbolLang::new("+", vec![leaf, leaf2]));
+            }
+            let mut runner = Runner::new(eg)
+                .with_iter_limit(4)
+                .with_scheduler(crate::BackoffScheduler::new(3, 1))
+                .with_threads(threads);
+            runner.run(std::slice::from_ref(&grow));
+            runner
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        let counts = |r: &Runner<SymbolLang, ()>| -> Vec<Vec<(String, usize)>> {
+            r.iterations.iter().map(|i| i.applied.clone()).collect()
+        };
+        assert_eq!(counts(&serial), counts(&parallel));
+        assert_eq!(serial.egraph.num_nodes(), parallel.egraph.num_nodes());
     }
 
     #[test]

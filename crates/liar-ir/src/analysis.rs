@@ -11,9 +11,8 @@
 //! * the **extent** when the class is a `#n` leaf (read by cost models);
 //! * the **constant** when the class contains a float literal.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use liar_egraph::{Analysis, DidMerge, EGraph, Id, Language};
 
@@ -25,8 +24,9 @@ use crate::{ArrayLang, Expr, Num};
 pub struct ClassData {
     /// Optimistic free-variable set (intersection over members).
     pub free: VarSet,
-    /// Smallest known representative term.
-    pub repr: Rc<Expr>,
+    /// Smallest known representative term (`Arc`: facts are shared
+    /// read-only across the parallel search phase's threads).
+    pub repr: Arc<Expr>,
     /// Exact free-variable set of `repr` (the fast path for downshifts).
     pub repr_free: VarSet,
     /// The extent when this class is a `Dim` leaf.
@@ -81,10 +81,12 @@ pub fn node_extent(
 ///
 /// Carries a downshift cache: pattern matching may ask for the same
 /// `(class, k)` downshift many times within one (read-only) search phase;
-/// the cache is invalidated whenever the e-graph changes.
+/// the cache is invalidated whenever the e-graph changes. The cache sits
+/// behind a `Mutex` (not a `RefCell`) so concurrent search workers can
+/// share hits across threads.
 #[derive(Debug, Default)]
 pub struct ArrayAnalysis {
-    downshift_cache: RefCell<HashMap<(Id, u32), Option<Expr>>>,
+    downshift_cache: Mutex<HashMap<(Id, u32), Option<Expr>>>,
 }
 
 fn make_repr(egraph: &EGraph<ArrayLang, ArrayAnalysis>, enode: &ArrayLang) -> Expr {
@@ -104,7 +106,7 @@ impl Analysis<ArrayLang> for ArrayAnalysis {
         let free = debruijn::node_free_vars(enode, &mut |c| egraph.data(c).free);
         let repr_free =
             debruijn::node_free_vars(enode, &mut |c| egraph.data(c).repr_free);
-        let repr = Rc::new(make_repr(egraph, enode));
+        let repr = Arc::new(make_repr(egraph, enode));
         let extent = node_extent(enode, &mut |c| egraph.data(c).dim);
         ClassData {
             free,
@@ -177,7 +179,7 @@ impl Analysis<ArrayLang> for ArrayAnalysis {
     fn modify(egraph: &mut EGraph<ArrayLang, Self>, _id: Id) {
         // The e-graph changed: cached downshifts may be stale (a class
         // may now have a *better* member, and ids may have moved).
-        egraph.analysis.downshift_cache.borrow_mut().clear();
+        egraph.analysis.downshift_cache.lock().unwrap().clear();
     }
 
     fn downshift(egraph: &EGraph<ArrayLang, Self>, id: Id, k: u32) -> Option<Expr> {
@@ -193,7 +195,7 @@ impl Analysis<ArrayLang> for ArrayAnalysis {
             debug_assert!(down.is_some(), "repr_free out of sync with repr");
             return down;
         }
-        if let Some(cached) = egraph.analysis.downshift_cache.borrow().get(&(id, k)) {
+        if let Some(cached) = egraph.analysis.downshift_cache.lock().unwrap().get(&(id, k)) {
             return cached.clone();
         }
         let mut finder = ShiftableFinder::new(egraph);
@@ -206,7 +208,8 @@ impl Analysis<ArrayLang> for ArrayAnalysis {
         egraph
             .analysis
             .downshift_cache
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .insert((id, k), down.clone());
         down
     }
@@ -224,7 +227,7 @@ impl Analysis<ArrayLang> for ArrayAnalysis {
 /// with no free index `< k`.
 struct ShiftableFinder<'a> {
     egraph: &'a EGraph<ArrayLang, ArrayAnalysis>,
-    memo: HashMap<(Id, u64), Option<Rc<Expr>>>,
+    memo: HashMap<(Id, u64), Option<Arc<Expr>>>,
     visiting: Vec<(Id, u64)>,
 }
 
@@ -241,10 +244,10 @@ impl<'a> ShiftableFinder<'a> {
         self.find_rc(class, mask).map(|e| (*e).clone())
     }
 
-    fn find_rc(&mut self, class: Id, mask: u64) -> Option<Rc<Expr>> {
+    fn find_rc(&mut self, class: Id, mask: u64) -> Option<Arc<Expr>> {
         let class = self.egraph.find(class);
         if mask == 0 {
-            return Some(Rc::clone(&self.egraph.data(class).repr));
+            return Some(Arc::clone(&self.egraph.data(class).repr));
         }
         // Sound early reject: a bit in the optimistic (intersection) set is
         // free in every member.
@@ -259,7 +262,7 @@ impl<'a> ShiftableFinder<'a> {
             return None; // Break cycles; another member must provide it.
         }
         self.visiting.push(key);
-        let mut best: Option<Rc<Expr>> = None;
+        let mut best: Option<Arc<Expr>> = None;
         for node in &self.egraph[class].nodes {
             let candidate = self.node_term(node, mask);
             if let Some(c) = candidate {
@@ -273,7 +276,7 @@ impl<'a> ShiftableFinder<'a> {
         best
     }
 
-    fn node_term(&mut self, node: &ArrayLang, mask: u64) -> Option<Rc<Expr>> {
+    fn node_term(&mut self, node: &ArrayLang, mask: u64) -> Option<Arc<Expr>> {
         match node {
             ArrayLang::Var(i) => {
                 if *i < 64 && mask & (1 << i) != 0 {
@@ -281,7 +284,7 @@ impl<'a> ShiftableFinder<'a> {
                 }
                 let mut e = Expr::default();
                 e.add(ArrayLang::Var(*i));
-                Some(Rc::new(e))
+                Some(Arc::new(e))
             }
             ArrayLang::Lam(body) => {
                 // Under a binder, forbidden index i becomes i+1; the new
@@ -290,7 +293,7 @@ impl<'a> ShiftableFinder<'a> {
                 let mut e = Expr::default();
                 let root = e.append_subtree(&inner, inner.root());
                 e.add(ArrayLang::Lam(root));
-                Some(Rc::new(e))
+                Some(Arc::new(e))
             }
             _ => {
                 let mut children = Vec::with_capacity(node.children().len());
@@ -305,7 +308,7 @@ impl<'a> ShiftableFinder<'a> {
                     e.append_subtree(sub, sub.root())
                 });
                 e.add(node);
-                Some(Rc::new(e))
+                Some(Arc::new(e))
             }
         }
     }

@@ -1,46 +1,59 @@
 //! Deterministic input generation for the kernels.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use liar_runtime::{Tensor, Value};
 
 /// A seeded generator for kernel inputs.
+///
+/// Uses an in-crate splitmix64 generator so that inputs are bit-for-bit
+/// reproducible across platforms and toolchains without any external
+/// dependency (the workspace builds offline).
 #[derive(Debug)]
 pub struct DataGen {
-    rng: StdRng,
+    state: u64,
 }
 
 impl DataGen {
     /// Create a generator from a seed (same seed ⇒ same data).
     pub fn new(seed: u64) -> Self {
-        DataGen {
-            rng: StdRng::seed_from_u64(seed),
-        }
+        DataGen { state: seed }
+    }
+
+    /// The next raw 64-bit output (splitmix64; Steele et al., OOPSLA 2014).
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next uniform float in [-1, 1).
+    fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits give a uniform value in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        2.0 * unit - 1.0
     }
 
     /// A uniform scalar in [-1, 1].
     pub fn scalar(&mut self) -> Value {
-        Value::Num(self.rng.gen_range(-1.0..1.0))
+        Value::Num(self.next_f64())
     }
 
     /// A vector of length `n` with entries in [-1, 1].
     pub fn vector(&mut self, n: usize) -> Value {
-        let data = (0..n).map(|_| self.rng.gen_range(-1.0..1.0)).collect();
+        let data = (0..n).map(|_| self.next_f64()).collect();
         Value::from(Tensor::vector(data))
     }
 
     /// A row-major `r`×`c` matrix with entries in [-1, 1].
     pub fn matrix(&mut self, r: usize, c: usize) -> Value {
-        let data = (0..r * c).map(|_| self.rng.gen_range(-1.0..1.0)).collect();
+        let data = (0..r * c).map(|_| self.next_f64()).collect();
         Value::from(Tensor::matrix(r, c, data))
     }
 
     /// A rank-3 tensor.
     pub fn tensor3(&mut self, a: usize, b: usize, c: usize) -> Value {
-        let data = (0..a * b * c)
-            .map(|_| self.rng.gen_range(-1.0..1.0))
-            .collect();
+        let data = (0..a * b * c).map(|_| self.next_f64()).collect();
         Value::from(Tensor::new(vec![a, b, c], data))
     }
 }

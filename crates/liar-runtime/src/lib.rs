@@ -2,7 +2,7 @@
 //!
 //! The paper compiles extracted expressions to C (linking BLAS solutions
 //! against OpenBLAS) and measures run times. This crate substitutes an
-//! in-process equivalent (see DESIGN.md):
+//! in-process equivalent (see ARCHITECTURE.md):
 //!
 //! * [`eval()`] — an environment-based interpreter for the minimalist IR.
 //!   It plays the role of the paper's compiled loop nests for "pure C"
@@ -26,6 +26,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod eval;
 pub mod exec;

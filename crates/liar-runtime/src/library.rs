@@ -1,7 +1,7 @@
 //! Optimized implementations of the library functions LIAR targets.
 //!
 //! This module is the reproduction's stand-in for OpenBLAS / libtorch (see
-//! DESIGN.md, substitutions): straight-line Rust over flat `f64` slices,
+//! ARCHITECTURE.md, substitutions): straight-line Rust over flat `f64` slices,
 //! with a cache-blocked and multithreaded `gemm` and threaded matrix–vector
 //! products, so that recognized library calls genuinely outrun the
 //! interpreted loop nests they replace — the same relative behaviour the

@@ -1,8 +1,9 @@
 //! The `liar` command-line tool: optimize IR expressions from the shell.
 //!
 //! ```text
-//! # Optimize an expression for a target and show the per-step solutions:
-//! liar optimize --target blas '(ifold #64 0 (lam (lam (+ (get xs %1) %0))))'
+//! # Optimize an expression for a target and show the per-step solutions
+//! # (--threads N parallelizes e-matching; results are bit-identical):
+//! liar optimize --target blas --threads 4 '(ifold #64 0 (lam (lam (+ (get xs %1) %0))))'
 //!
 //! # Optimize one of the paper's kernels by name:
 //! liar kernel --target pytorch gemv
@@ -46,8 +47,22 @@ fn parse_steps(args: &[String]) -> usize {
         .unwrap_or(8)
 }
 
-fn report(expr: &Expr, target: Target, steps: usize) {
-    let pipeline = Liar::new(target).with_iter_limit(steps);
+fn parse_threads(args: &[String]) -> usize {
+    match args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+    {
+        None => 1,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("--threads expects a number, got {s}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn report(expr: &Expr, target: Target, steps: usize, threads: usize) {
+    let pipeline = Liar::new(target).with_iter_limit(steps).with_threads(threads);
     let report = pipeline.optimize(expr);
     println!("target: {target}");
     for step in &report.steps {
@@ -69,10 +84,15 @@ fn main() -> ExitCode {
         Some("optimize") => {
             let Some(expr_text) = args.iter().skip(1).find(|a| !a.starts_with("--")
                 && args.iter().position(|x| x == *a).is_none_or(|i| {
-                    !matches!(args.get(i.wrapping_sub(1)).map(String::as_str), Some("--target" | "--steps"))
+                    !matches!(
+                        args.get(i.wrapping_sub(1)).map(String::as_str),
+                        Some("--target" | "--steps" | "--threads")
+                    )
                 }))
             else {
-                eprintln!("usage: liar optimize [--target blas|pytorch|pure-c] [--steps N] '<expr>'");
+                eprintln!(
+                    "usage: liar optimize [--target blas|pytorch|pure-c] [--steps N] [--threads N] '<expr>'"
+                );
                 return ExitCode::from(2);
             };
             let expr: Expr = match expr_text.parse() {
@@ -82,7 +102,7 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            report(&expr, parse_target(&args), parse_steps(&args));
+            report(&expr, parse_target(&args), parse_steps(&args), parse_threads(&args));
             ExitCode::SUCCESS
         }
         Some("kernel") => {
@@ -92,12 +112,12 @@ fn main() -> ExitCode {
                 .filter(|a| !a.starts_with("--"))
                 .find_map(|n| Kernel::from_name(n))
             else {
-                eprintln!("usage: liar kernel [--target …] [--steps N] <kernel-name>");
+                eprintln!("usage: liar kernel [--target …] [--steps N] [--threads N] <kernel-name>");
                 return ExitCode::from(2);
             };
             let expr = kernel.expr(kernel.search_size());
             println!("kernel {}: {}\n", kernel.name(), kernel.description());
-            report(&expr, parse_target(&args), parse_steps(&args));
+            report(&expr, parse_target(&args), parse_steps(&args), parse_threads(&args));
             ExitCode::SUCCESS
         }
         Some("emit-c") => {
@@ -144,7 +164,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: liar <optimize|kernel|emit-c|kernels> [--target blas|pytorch|pure-c] [--steps N]"
+                "usage: liar <optimize|kernel|emit-c|kernels> [--target blas|pytorch|pure-c] [--steps N] [--threads N]"
             );
             ExitCode::from(2)
         }
