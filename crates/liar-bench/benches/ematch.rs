@@ -1,0 +1,168 @@
+//! E-matching microbenchmark: the compiled VM + operator index versus the
+//! pre-refactor oracle matcher, on the PolyBench kernels.
+//!
+//! For each kernel the same saturation run is driven twice — once with the
+//! shipped rules (compiled e-matching VM, operator-indexed candidate
+//! lists) and once with every pattern searcher swapped for the legacy
+//! recursive oracle (`Rewrite::with_oracle_searcher`, a faithful stand-in
+//! for the pre-VM engine). Reported per kernel:
+//!
+//! * **search-phase time** (median of several runs) for both engines;
+//! * **candidate classes visited** by the search phase (the operator index
+//!   must make the VM strictly cheaper);
+//! * **matches found** (must be identical — the engines are equivalent).
+//!
+//! Results are printed and written to `BENCH_ematch.json` at the repo
+//! root; CI runs this bench as a smoke test of both the speedup direction
+//! and the equivalence assertions.
+
+use std::time::Duration;
+
+use liar_bench::harness;
+use liar_core::rules::{rules_for, RuleConfig};
+use liar_core::{Target, TargetCost};
+use liar_egraph::{BackoffScheduler, Extractor, Runner};
+use liar_ir::{ArrayAnalysis, ArrayEGraph, ArrayLang, Expr};
+use liar_kernels::Kernel;
+
+type ARewrite = liar_egraph::Rewrite<ArrayLang, ArrayAnalysis>;
+
+const KERNELS: [Kernel; 4] = [Kernel::Vsum, Kernel::Gemv, Kernel::Atax, Kernel::Mvt];
+const SAMPLES: usize = 3;
+
+/// One saturation run; returns (search time, candidates visited, matches
+/// found, solution summary, cost).
+fn run(
+    rules: &[ARewrite],
+    expr: &Expr,
+    kernel: Kernel,
+    target: Target,
+) -> (Duration, usize, usize, String, f64) {
+    let mut eg = ArrayEGraph::default();
+    let root = eg.add_expr(expr);
+    let mut runner = Runner::new(eg)
+        .with_root(root)
+        .with_iter_limit(harness::step_limit(kernel))
+        .with_node_limit(150_000)
+        .with_scheduler(BackoffScheduler::new(30_000, 2));
+    runner.run(rules);
+    let search: Duration = runner.iterations.iter().map(|i| i.search_time).sum();
+    let candidates: usize = runner.iterations.iter().map(|i| i.search_candidates).sum();
+    let matches: usize = runner.iterations.iter().map(|i| i.search_matches).sum();
+    let extractor = Extractor::new(&runner.egraph, TargetCost::new(target));
+    let (cost, best) = extractor.find_best(root);
+    let summary = liar_core::pipeline::count_lib_calls(&best)
+        .iter()
+        .map(|(name, count)| format!("{count} × {name}"))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    (search, candidates, matches, summary, cost)
+}
+
+/// Median search-phase time over `SAMPLES` runs (plus one warm-up).
+fn median_search(rules: &[ARewrite], expr: &Expr, kernel: Kernel, target: Target) -> Duration {
+    let _ = run(rules, expr, kernel, target); // warm-up
+    let mut times: Vec<Duration> = (0..SAMPLES)
+        .map(|_| run(rules, expr, kernel, target).0)
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+struct Row {
+    kernel: &'static str,
+    vm_search_s: f64,
+    oracle_search_s: f64,
+    speedup: f64,
+    vm_candidates: usize,
+    oracle_candidates: usize,
+    matches: usize,
+    solution: String,
+}
+
+fn main() {
+    println!("== ematch (VM + operator index vs. oracle matcher, BLAS rules) ==");
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host hardware threads: {hw} (both engines run serially here)");
+
+    let target = Target::Blas;
+    let rules = rules_for(target, &RuleConfig::default());
+    let oracle_rules: Vec<ARewrite> = rules.iter().map(|r| r.with_oracle_searcher()).collect();
+
+    let mut rows = Vec::new();
+    for kernel in KERNELS {
+        let expr = kernel.expr(kernel.search_size());
+
+        // Equivalence first: identical matches, solutions and costs.
+        let (_, vm_cands, vm_matches, vm_sol, vm_cost) = run(&rules, &expr, kernel, target);
+        let (_, or_cands, or_matches, or_sol, or_cost) =
+            run(&oracle_rules, &expr, kernel, target);
+        assert_eq!(vm_matches, or_matches, "{kernel}: match counts diverged");
+        assert_eq!(vm_sol, or_sol, "{kernel}: solutions diverged");
+        assert_eq!(vm_cost, or_cost, "{kernel}: costs diverged");
+        assert!(
+            vm_cands < or_cands,
+            "{kernel}: VM visited {vm_cands} candidate classes, oracle {or_cands} — \
+             the operator index must strictly reduce visits"
+        );
+
+        let vm_time = median_search(&rules, &expr, kernel, target);
+        let oracle_time = median_search(&oracle_rules, &expr, kernel, target);
+        let speedup = oracle_time.as_secs_f64() / vm_time.as_secs_f64().max(1e-9);
+        println!(
+            "{:<40} vm search {:>10.3?}   oracle search {:>10.3?}   speedup {:>5.2}x   \
+             candidates {} vs {}   matches {}",
+            format!("ematch/{}", kernel.name()),
+            vm_time,
+            oracle_time,
+            speedup,
+            vm_cands,
+            or_cands,
+            vm_matches,
+        );
+        rows.push(Row {
+            kernel: kernel.name(),
+            vm_search_s: vm_time.as_secs_f64(),
+            oracle_search_s: oracle_time.as_secs_f64(),
+            speedup,
+            vm_candidates: vm_cands,
+            oracle_candidates: or_cands,
+            matches: vm_matches,
+            solution: vm_sol,
+        });
+    }
+
+    // Hand-rolled JSON (the workspace is dependency-free offline).
+    let mut json = String::from("{\n  \"bench\": \"ematch\",\n  \"target\": \"blas\",\n  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"vm_search_s\": {:.6}, \"oracle_search_s\": {:.6}, \
+             \"speedup\": {:.3}, \"vm_candidates\": {}, \"oracle_candidates\": {}, \
+             \"matches\": {}, \"solution\": \"{}\"}}{}\n",
+            r.kernel,
+            r.vm_search_s,
+            r.oracle_search_s,
+            r.speedup,
+            r.vm_candidates,
+            r.oracle_candidates,
+            r.matches,
+            r.solution.replace('"', "'"),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ematch.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    let total_vm: f64 = rows.iter().map(|r| r.vm_search_s).sum();
+    let total_oracle: f64 = rows.iter().map(|r| r.oracle_search_s).sum();
+    println!(
+        "total search: vm {:.3}s vs oracle {:.3}s ({:.2}x)",
+        total_vm,
+        total_oracle,
+        total_oracle / total_vm.max(1e-9)
+    );
+}

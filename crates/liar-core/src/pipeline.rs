@@ -28,6 +28,12 @@ pub struct StepReport {
     /// Time the step spent in the (possibly parallel) search phase (zero
     /// for step 0).
     pub search_time: Duration,
+    /// Candidate e-classes the search phase scheduled across all unbanned
+    /// rules (zero for step 0) — the quantity the operator index shrinks;
+    /// see [`liar_egraph::Iteration::search_candidates`].
+    pub search_candidates: usize,
+    /// Substitutions the search phase produced (zero for step 0).
+    pub search_matches: usize,
     /// Best expression under the target cost model.
     pub best: Expr,
     /// Its cost.
@@ -72,6 +78,18 @@ impl OptimizationReport {
     /// — the quantity [`Liar::with_threads`] accelerates.
     pub fn total_search_time(&self) -> Duration {
         self.steps.iter().map(|s| s.search_time).sum()
+    }
+
+    /// Total candidate e-classes the search phase scheduled across all
+    /// steps — the work the operator index avoids (compare a run whose
+    /// rules use the oracle matcher to see the reduction).
+    pub fn total_search_candidates(&self) -> usize {
+        self.steps.iter().map(|s| s.search_candidates).sum()
+    }
+
+    /// Total substitutions found across all steps' search phases.
+    pub fn total_search_matches(&self) -> usize {
+        self.steps.iter().map(|s| s.search_matches).sum()
     }
 
     /// The first step at which the final solution was found (steps whose
@@ -203,11 +221,19 @@ impl Liar {
             .with_scheduler(scheduler)
             .with_threads(self.threads);
 
+        /// Search-phase statistics forwarded from an
+        /// [`liar_egraph::Iteration`] into a [`StepReport`].
+        struct SearchStats {
+            time: Duration,
+            candidates: usize,
+            matches: usize,
+        }
+
         let mut steps = Vec::new();
         let extract = |egraph: &ArrayEGraph,
                        step: usize,
                        time: Duration,
-                       search_time: Duration|
+                       search: SearchStats|
          -> StepReport {
             let extractor = Extractor::new(egraph, cost);
             let (cost, best) = extractor.find_best(root);
@@ -217,18 +243,30 @@ impl Liar {
                 n_nodes: egraph.num_nodes(),
                 n_classes: egraph.num_classes(),
                 step_time: time,
-                search_time,
+                search_time: search.time,
+                search_candidates: search.candidates,
+                search_matches: search.matches,
                 cost,
                 lib_calls,
                 best,
             }
         };
 
-        steps.push(extract(&runner.egraph, 0, Duration::ZERO, Duration::ZERO));
+        let zero = SearchStats {
+            time: Duration::ZERO,
+            candidates: 0,
+            matches: 0,
+        };
+        steps.push(extract(&runner.egraph, 0, Duration::ZERO, zero));
         let stop_reason = loop {
             match runner.run_one(&rules) {
                 Ok(iter) => {
-                    let (index, time, search) = (iter.index, iter.total_time, iter.search_time);
+                    let (index, time) = (iter.index, iter.total_time);
+                    let search = SearchStats {
+                        time: iter.search_time,
+                        candidates: iter.search_candidates,
+                        matches: iter.search_matches,
+                    };
                     steps.push(extract(&runner.egraph, index, time, search));
                     if runner.stop_reason.is_some() {
                         break runner.stop_reason.clone().unwrap();

@@ -261,4 +261,41 @@ mod tests {
             Some(runner.egraph.find(root))
         );
     }
+
+    #[test]
+    fn shift_rules_compile_to_downshift_instructions() {
+        use liar_egraph::machine::Instr;
+        // Every BLAS idiom whose LHS carries a `(sh<k> …)` pattern must
+        // exercise the VM's Downshift instruction family; the rest must
+        // still get an operator-index entry point from their root node.
+        let mut shift_rules = 0;
+        for rule in blas_rules() {
+            let pattern = rule.searcher_pattern().expect("blas searchers are patterns");
+            let program = pattern.compiled();
+            assert!(
+                program.root_op_key().is_some(),
+                "{}: LHS root should be indexable",
+                rule.name()
+            );
+            let has_shift = pattern
+                .to_string()
+                .contains("(sh");
+            let has_downshift = program.instructions().iter().any(|i| {
+                matches!(
+                    i,
+                    Instr::Downshift { .. }
+                        | Instr::DownshiftCompare { .. }
+                        | Instr::DownshiftCompareClass { .. }
+                )
+            });
+            assert_eq!(
+                has_shift,
+                has_downshift,
+                "{}: shift syntax and Downshift instructions must coincide",
+                rule.name()
+            );
+            shift_rules += usize::from(has_shift);
+        }
+        assert!(shift_rules >= 6, "expected most BLAS idioms to use shifts");
+    }
 }

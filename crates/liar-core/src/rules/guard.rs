@@ -124,7 +124,7 @@ impl Applier<ArrayLang, ArrayAnalysis> for GuardedPattern {
             };
             for v in vs {
                 if !vars.contains(v) {
-                    vars.push(v.clone());
+                    vars.push(*v);
                 }
             }
         }

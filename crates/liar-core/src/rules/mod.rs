@@ -116,6 +116,20 @@ pub fn rules_for(target: Target, config: &RuleConfig) -> Vec<ArrayRewrite> {
     rules
 }
 
+/// Every shipped ruleset, individually named — the enumeration the
+/// e-matching differential tests sweep so that the compiled VM is proven
+/// equivalent to the oracle matcher on each of them. The guard module's
+/// dimension checks ride along inside the blas/torch rules' appliers
+/// (their searchers are ordinary patterns).
+pub fn named_rulesets(config: &RuleConfig) -> Vec<(&'static str, Vec<ArrayRewrite>)> {
+    vec![
+        ("core", core_rules(config)),
+        ("scalar", scalar_rules(config)),
+        ("blas", blas_rules()),
+        ("torch", torch_rules()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -288,4 +288,26 @@ mod tests {
             Some(runner.egraph.find(root))
         );
     }
+
+    #[test]
+    fn torch_shift_rules_match_identically_under_vm_and_oracle() {
+        // The torch idioms lean on sh1/sh2 shift patterns; after a couple
+        // of saturation steps the graph contains real Downshift work, and
+        // the compiled matcher must agree with the oracle on all of it.
+        let expr = dsl::vsum(8, dsl::sym("xs"));
+        let (runner, _) = saturate(&expr, 2);
+        let eg = &runner.egraph;
+        for rule in torch_rules() {
+            let Some(pattern) = rule.searcher_pattern() else { continue };
+            for class in eg.class_ids() {
+                let vm = pattern.match_class(eg, class);
+                let oracle = pattern.match_class_oracle(eg, class);
+                assert_eq!(vm.len(), oracle.len(), "rule {}", rule.name());
+                let find = |id| eg.find(id);
+                for (a, b) in vm.iter().zip(&oracle) {
+                    assert!(a.same_as(b, &find), "rule {}", rule.name());
+                }
+            }
+        }
+    }
 }

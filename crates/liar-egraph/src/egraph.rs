@@ -52,6 +52,13 @@ pub struct EGraph<L: Language, A: Analysis<L>> {
     unionfind: UnionFind,
     memo: HashMap<L, Id>,
     classes: HashMap<Id, EClass<L, A::Data>>,
+    /// The operator index: [`Language::op_key`] → ascending ids of the
+    /// classes containing at least one e-node with that operator. Kept
+    /// incrementally by [`add`](EGraph::add) and recomputed wholesale at
+    /// the end of every [`rebuild`](EGraph::rebuild); exact whenever the
+    /// e-graph is clean. Compiled patterns use it to visit only the
+    /// classes whose members can possibly match their root operator.
+    classes_by_op: HashMap<u64, Vec<Id>>,
     /// Parent nodes whose children were just unioned and need
     /// re-canonicalization.
     pending: Vec<(L, Id)>,
@@ -85,10 +92,23 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             unionfind: UnionFind::default(),
             memo: HashMap::new(),
             classes: HashMap::new(),
+            classes_by_op: HashMap::new(),
             pending: Vec::new(),
             analysis_pending: Vec::new(),
             clean: true,
         }
+    }
+
+    /// The e-classes (ascending id) containing at least one e-node whose
+    /// [`Language::op_key`] equals `key` — the e-matching VM's entry point
+    /// for operator-rooted patterns.
+    ///
+    /// Exact on a clean e-graph (including classes freshly created by
+    /// [`add`](EGraph::add)); may contain stale ids while unions are
+    /// pending, so index-driven searchers fall back to a full scan when
+    /// [`is_clean`](EGraph::is_clean) is false.
+    pub fn classes_with_op(&self, key: u64) -> &[Id] {
+        self.classes_by_op.get(&key).map_or(&[], |ids| ids.as_slice())
     }
 
     /// Number of e-classes.
@@ -204,6 +224,9 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
                 parents: Vec::new(),
             },
         );
+        // Fresh ids are issued monotonically, so pushing keeps every
+        // index bucket sorted ascending.
+        self.classes_by_op.entry(node.op_key()).or_default().push(id);
         self.memo.insert(node, id);
         A::modify(self, id);
         self.find_mut(id)
@@ -345,7 +368,7 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         let stale: Vec<L> = self
             .memo
             .keys()
-            .filter(|n| n.children().iter().any(|c| uf.find(*c) != *c))
+            .filter(|n| n.children().iter().any(|c| !uf.is_canonical(*c)))
             .cloned()
             .collect();
         for key in stale {
@@ -353,6 +376,21 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             let node = key.map_children(|c| uf.find(c));
             let id = uf.find(id);
             self.memo.entry(node).or_insert(id);
+        }
+
+        // Recompute the operator index from the (now canonical) classes.
+        // Iterating classes in ascending-id order keeps every bucket
+        // sorted, which index-driven searchers rely on for determinism.
+        self.classes_by_op.clear();
+        let mut ids: Vec<Id> = self.classes.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            for node in &self.classes[&id].nodes {
+                let bucket = self.classes_by_op.entry(node.op_key()).or_default();
+                if bucket.last() != Some(&id) {
+                    bucket.push(id);
+                }
+            }
         }
     }
 
@@ -389,6 +427,27 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
                 self.classes[&id].nodes.contains(node),
                 "memo entry {node:?} not in class {id}"
             );
+        }
+        // Operator-index soundness: every (class, node) pair is reachable
+        // through the node's op key, and every indexed id is canonical,
+        // sorted and justified by some member node.
+        for (id, class) in &self.classes {
+            for node in &class.nodes {
+                assert!(
+                    self.classes_with_op(node.op_key()).contains(id),
+                    "class {id} missing from op index for {node:?}"
+                );
+            }
+        }
+        for (key, ids) in &self.classes_by_op {
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "index bucket unsorted");
+            for id in ids {
+                assert!(self.unionfind.is_canonical(*id), "stale id {id} in op index");
+                assert!(
+                    self.classes[id].nodes.iter().any(|n| n.op_key() == *key),
+                    "class {id} indexed under {key} without a matching node"
+                );
+            }
         }
     }
 }

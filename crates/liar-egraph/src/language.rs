@@ -31,6 +31,27 @@ pub trait Language: fmt::Debug + Clone + Eq + Ord + std::hash::Hash + Send + Syn
     /// diagnostics and Graphviz export).
     fn display_op(&self) -> String;
 
+    /// A hashable discriminant of this node's *operator* (payload plus
+    /// arity, children ignored), used by the e-graph's operator index
+    /// ([`EGraph::classes_with_op`](crate::EGraph::classes_with_op)) and by
+    /// compiled patterns to skip e-classes that cannot possibly match.
+    ///
+    /// **Contract:** `a.matches(b)` must imply `a.op_key() == b.op_key()`.
+    /// (The converse need not hold — a hash collision merely costs a few
+    /// extra candidate visits, which `matches` then filters out.)
+    ///
+    /// The default hashes [`display_op`](Language::display_op) and the
+    /// arity, which satisfies the contract for any language whose
+    /// `matches` implies equal operator text and arity; implementors can
+    /// override it with a cheaper, allocation-free hash.
+    fn op_key(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.display_op().hash(&mut h);
+        self.children().len().hash(&mut h);
+        h.finish()
+    }
+
     /// Parse an operator token with already-parsed children.
     ///
     /// # Errors

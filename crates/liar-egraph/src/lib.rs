@@ -17,6 +17,11 @@
 //!   [`Searcher`] and an [`Applier`]; supports *shift patterns* (`?x` shifted
 //!   up by `k` binders) through [`Analysis`] hooks, which LIAR needs to match
 //!   idioms such as `A↑↑[•1]` under binders.
+//! * [`machine`] — the e-matching virtual machine: every pattern is compiled
+//!   once into a linear instruction program executed over a register file,
+//!   and fed from the e-graph's operator index
+//!   ([`EGraph::classes_with_op`]) so a rule only visits classes whose
+//!   members can match its root operator.
 //! * [`Rewrite`], [`Runner`], [`BackoffScheduler`] — saturation proper, with
 //!   per-iteration reports of e-node counts and timings (the raw data behind
 //!   the paper's fig. 4).
@@ -57,6 +62,7 @@ mod egraph;
 mod extract;
 mod id;
 mod language;
+pub mod machine;
 mod pattern;
 mod rewrite;
 mod runner;
@@ -70,6 +76,7 @@ pub use egraph::{EClass, EGraph};
 pub use extract::{AstDepth, AstSize, CostFunction, Extractor};
 pub use id::Id;
 pub use language::{Language, RecExpr, RecExprParseError};
+pub use machine::OraclePattern;
 pub use pattern::{Binding, Pattern, PatternNode, PatternParseError, Subst, Var};
 pub use rewrite::{Applier, Rewrite, SearchMatches, Searcher};
 pub use runner::{Iteration, Runner, RunnerLimits, StopReason};

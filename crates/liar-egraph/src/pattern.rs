@@ -1,33 +1,86 @@
 //! Patterns: terms with variables, usable for searching and rewriting.
+//!
+//! Matching is performed by the compiled e-matching VM (see
+//! [`machine`](crate::machine)); every pattern carries its compiled
+//! [`Program`], built once at construction. The original recursive
+//! tree-walk matcher survives as [`Pattern::match_class_oracle`], the
+//! reference implementation the differential tests compare the VM against.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use crate::language::parse_sexp;
+use crate::machine::Program;
 use crate::rewrite::{Applier, SearchMatches, Searcher};
 use crate::{Analysis, EGraph, Id, Language, RecExpr};
 
+/// Global interning table mapping pattern-variable names to dense ids.
+///
+/// Names are leaked once per distinct string (rule sets use a small, fixed
+/// vocabulary), which is what lets [`Var`] be a `Copy` `u32` and
+/// [`Var::name`] return a `'static` string.
+struct VarTable {
+    names: Vec<&'static str>,
+    ids: HashMap<&'static str, u32>,
+}
+
+fn var_table() -> &'static Mutex<VarTable> {
+    static TABLE: OnceLock<Mutex<VarTable>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        Mutex::new(VarTable {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        })
+    })
+}
+
 /// A pattern variable such as `?x`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Var(String);
+///
+/// Names are interned in a global symbol table, making `Var` a `Copy`
+/// 4-byte handle: the e-matching hot loop never clones strings.
+/// Equality/ordering/hashing are by interned id (ordering therefore
+/// reflects first-interning order, not lexicographic order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
 
 impl Var {
     /// Create a variable; the leading `?` is optional.
     pub fn new(name: impl AsRef<str>) -> Self {
         let name = name.as_ref();
-        Var(name.strip_prefix('?').unwrap_or(name).to_string())
+        let name = name.strip_prefix('?').unwrap_or(name);
+        let mut table = var_table().lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(&id) = table.ids.get(name) {
+            return Var(id);
+        }
+        let name: &'static str = Box::leak(name.to_string().into_boxed_str());
+        let id = u32::try_from(table.names.len()).expect("too many distinct variables");
+        table.names.push(name);
+        table.ids.insert(name, id);
+        Var(id)
     }
 
     /// The variable's name without the leading `?`.
-    pub fn name(&self) -> &str {
-        &self.0
+    pub fn name(&self) -> &'static str {
+        var_table().lock().unwrap_or_else(PoisonError::into_inner).names[self.0 as usize]
+    }
+
+    /// The interned symbol id.
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var(?{})", self.name())
     }
 }
 
 impl fmt::Display for Var {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "?{}", self.0)
+        write!(f, "?{}", self.name())
     }
 }
 
@@ -86,7 +139,11 @@ impl<L: Language> Subst<L> {
         self.pairs.is_empty()
     }
 
-    fn same_as(&self, other: &Self, egraph_find: &dyn Fn(Id) -> Id) -> bool {
+    /// True when `self` and `other` bind the same variables to equivalent
+    /// values (classes are compared through `egraph_find`). This is the
+    /// *specification* of substitution equality; the VM's hash-based dedup
+    /// must agree with it.
+    pub fn same_as(&self, other: &Self, egraph_find: &dyn Fn(Id) -> Id) -> bool {
         if self.pairs.len() != other.pairs.len() {
             return false;
         }
@@ -113,26 +170,50 @@ pub enum PatternNode<L> {
     /// class containing a term with no free index `< k` and binds `?x` to
     /// that term downshifted by `k`; on the right-hand side it inserts the
     /// binding shifted up by `k`. Requires [`Analysis::downshift`] /
-    /// [`Analysis::shift_up`].
+    /// [`Analysis::shift_up`]. Zero shifts are normalized to plain
+    /// [`Var`](PatternNode::Var)s when the pattern is built.
     Shifted(Var, u32),
 }
 
 /// A term with pattern variables, stored like a [`RecExpr`].
 ///
 /// Patterns implement both [`Searcher`] and [`Applier`], so a pair of
-/// patterns forms a [`Rewrite`](crate::Rewrite).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// patterns forms a [`Rewrite`](crate::Rewrite). Construction compiles the
+/// pattern into an e-matching VM [`Program`] exactly once; see the
+/// [`machine`](crate::machine) module.
+#[derive(Debug, Clone)]
 pub struct Pattern<L> {
     nodes: Vec<PatternNode<L>>,
     root: Id,
+    program: Arc<Program<L>>,
 }
+
+impl<L: Language> PartialEq for Pattern<L> {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.root == other.root
+    }
+}
+
+impl<L: Language> Eq for Pattern<L> {}
 
 impl<L: Language> Pattern<L> {
     /// Build a pattern from a post-order node table.
     pub fn from_nodes(nodes: Vec<PatternNode<L>>) -> Self {
         assert!(!nodes.is_empty(), "empty pattern");
         let root = Id::from_index(nodes.len() - 1);
-        Pattern { nodes, root }
+        Pattern::with_root(nodes, root)
+    }
+
+    /// Build a pattern with an explicit root, normalizing zero shifts and
+    /// compiling the VM program.
+    fn with_root(mut nodes: Vec<PatternNode<L>>, root: Id) -> Self {
+        for node in &mut nodes {
+            if let PatternNode::Shifted(v, 0) = node {
+                *node = PatternNode::Var(*v);
+            }
+        }
+        let program = Arc::new(Program::compile(&nodes, root));
+        Pattern { nodes, root, program }
     }
 
     /// A pattern with no variables, from a concrete term.
@@ -155,24 +236,41 @@ impl<L: Language> Pattern<L> {
         self.root
     }
 
+    /// The compiled e-matching program.
+    pub fn compiled(&self) -> &Program<L> {
+        &self.program
+    }
+
     /// All variables mentioned by the pattern (in first-occurrence order).
     pub fn vars(&self) -> Vec<Var> {
         let mut vars = Vec::new();
         for node in &self.nodes {
             let v = match node {
-                PatternNode::Var(v) | PatternNode::Shifted(v, _) => v,
+                PatternNode::Var(v) | PatternNode::Shifted(v, _) => *v,
                 PatternNode::ENode(_) => continue,
             };
-            if !vars.contains(v) {
-                vars.push(v.clone());
+            if !vars.contains(&v) {
+                vars.push(v);
             }
         }
         vars
     }
 
     /// Match this pattern against a single e-class, returning every
-    /// substitution (deduplicated).
+    /// substitution (deduplicated), by executing the compiled VM program.
     pub fn match_class<A: Analysis<L>>(&self, egraph: &EGraph<L, A>, class: Id) -> Vec<Subst<L>> {
+        self.program.run(egraph, class)
+    }
+
+    /// Match with the legacy recursive matcher — the **oracle** the
+    /// differential test suite checks [`match_class`](Pattern::match_class)
+    /// against. Slower (O(n²) dedup, per-branch substitution clones); not
+    /// used on any production path.
+    pub fn match_class_oracle<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        class: Id,
+    ) -> Vec<Subst<L>> {
         let mut results = Vec::new();
         self.match_at(egraph, self.root, egraph.find(class), Subst::default(), &mut results);
         let find = |id: Id| egraph.find(id);
@@ -185,6 +283,34 @@ impl<L: Language> Pattern<L> {
         deduped
     }
 
+    /// Oracle treatment of a variable position (shared by `Var` and the
+    /// normalized-away `(sh0 ?x)` case).
+    fn match_var_at<A: Analysis<L>>(
+        egraph: &EGraph<L, A>,
+        v: Var,
+        class: Id,
+        subst: Subst<L>,
+        out: &mut Vec<Subst<L>>,
+    ) {
+        match subst.get(&v) {
+            Some(Binding::Class(bound)) => {
+                if egraph.find(*bound) == class {
+                    out.push(subst);
+                }
+            }
+            Some(Binding::Expr(e)) => {
+                if egraph.lookup_expr(e) == Some(class) {
+                    out.push(subst);
+                }
+            }
+            None => {
+                let mut s = subst;
+                s.insert(v, Binding::Class(class));
+                out.push(s);
+            }
+        }
+    }
+
     fn match_at<A: Analysis<L>>(
         &self,
         egraph: &EGraph<L, A>,
@@ -194,31 +320,8 @@ impl<L: Language> Pattern<L> {
         out: &mut Vec<Subst<L>>,
     ) {
         match &self.nodes[pid.index()] {
-            PatternNode::Var(v) => match subst.get(v) {
-                Some(Binding::Class(bound)) => {
-                    if egraph.find(*bound) == class {
-                        out.push(subst);
-                    }
-                }
-                Some(Binding::Expr(e)) => {
-                    if egraph.lookup_expr(e) == Some(class) {
-                        out.push(subst);
-                    }
-                }
-                None => {
-                    let mut s = subst;
-                    s.insert(v.clone(), Binding::Class(class));
-                    out.push(s);
-                }
-            },
-            PatternNode::Shifted(v, 0) => {
-                // A zero shift is an ordinary variable.
-                let vnode = PatternNode::Var(v.clone());
-                let tmp = Pattern {
-                    nodes: vec![vnode],
-                    root: Id::from_index(0),
-                };
-                tmp.match_at(egraph, Id::from_index(0), class, subst, out);
+            PatternNode::Var(v) | PatternNode::Shifted(v, 0) => {
+                Self::match_var_at(egraph, *v, class, subst, out);
             }
             PatternNode::Shifted(v, k) => {
                 let Some(down) = A::downshift(egraph, class, *k) else {
@@ -245,7 +348,7 @@ impl<L: Language> Pattern<L> {
                     }
                     None => {
                         let mut s = subst;
-                        s.insert(v.clone(), Binding::Expr(Arc::new(down)));
+                        s.insert(*v, Binding::Expr(Arc::new(down)));
                         out.push(s);
                     }
                 }
@@ -321,9 +424,13 @@ impl<L: Language> Pattern<L> {
 
 impl<L: Language, A: Analysis<L>> Searcher<L, A> for Pattern<L> {
     fn search(&self, egraph: &EGraph<L, A>, limit: usize) -> Vec<SearchMatches<L>> {
+        let ids = match <Self as Searcher<L, A>>::candidate_class_ids(self, egraph) {
+            Some(ids) => ids,
+            None => egraph.class_ids(),
+        };
         let mut matches = Vec::new();
         let mut total = 0;
-        for id in egraph.class_ids() {
+        for id in ids {
             if total >= limit {
                 break;
             }
@@ -348,6 +455,21 @@ impl<L: Language, A: Analysis<L>> Searcher<L, A> for Pattern<L> {
         let mut substs = self.match_class(egraph, class);
         substs.truncate(limit);
         substs
+    }
+
+    fn candidate_class_ids(&self, egraph: &EGraph<L, A>) -> Option<Vec<Id>> {
+        if !egraph.is_clean() {
+            // The operator index may hold stale ids while unions are
+            // pending; fall back to scanning everything.
+            return None;
+        }
+        self.program
+            .root_op_key()
+            .map(|key| egraph.classes_with_op(key).to_vec())
+    }
+
+    fn as_pattern(&self) -> Option<&Pattern<L>> {
+        Some(self)
     }
 
     fn bound_vars(&self) -> Vec<Var> {
@@ -424,7 +546,7 @@ impl<L: Language> FromStr for Pattern<L> {
             Ok(Id::from_index(nodes.len() - 1))
         })
         .map_err(|e| PatternParseError(e.0))?;
-        Ok(Pattern { nodes, root })
+        Ok(Pattern::with_root(nodes, root))
     }
 }
 
@@ -469,6 +591,28 @@ mod tests {
             let p: Pattern<SymbolLang> = s.parse().unwrap();
             assert_eq!(p.to_string(), s);
         }
+    }
+
+    #[test]
+    fn zero_shift_normalizes_to_var() {
+        let p: Pattern<SymbolLang> = "(f (sh0 ?a))".parse().unwrap();
+        assert_eq!(p.to_string(), "(f ?a)");
+        assert!(p
+            .nodes()
+            .iter()
+            .all(|n| !matches!(n, PatternNode::Shifted(..))));
+    }
+
+    #[test]
+    fn vars_are_interned_and_copy() {
+        let a = Var::new("?x");
+        let b = Var::new("x");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+        assert_eq!(a.name(), "x");
+        let c = a; // Copy
+        assert_eq!(a, c);
+        assert_ne!(Var::new("y"), a);
     }
 
     #[test]
@@ -519,6 +663,25 @@ mod tests {
     }
 
     #[test]
+    fn vm_and_oracle_agree_on_dedup() {
+        // Two distinct members produce the same substitution after
+        // canonicalization: both matchers must collapse them.
+        let mut eg = EG::default();
+        let fa = eg.add_expr(&"(f a)".parse().unwrap());
+        let fb = eg.add_expr(&"(f b)".parse().unwrap());
+        eg.union(fa, fb);
+        let a = eg.lookup_expr(&"a".parse().unwrap()).unwrap();
+        let b = eg.lookup_expr(&"b".parse().unwrap()).unwrap();
+        eg.union(a, b);
+        eg.rebuild();
+        let p: Pattern<SymbolLang> = "(f ?x)".parse().unwrap();
+        let vm = p.match_class(&eg, fa);
+        let oracle = p.match_class_oracle(&eg, fa);
+        assert_eq!(vm.len(), 1);
+        assert_eq!(oracle.len(), 1);
+    }
+
+    #[test]
     fn instantiate_builds_term() {
         let mut eg = EG::default();
         let id = eg.add_expr(&"(f a b)".parse().unwrap());
@@ -541,5 +704,20 @@ mod tests {
         let matches = <Pattern<_> as Searcher<_, ()>>::search(&p, &eg, 2);
         let total: usize = matches.iter().map(|m| m.substs.len()).sum();
         assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn candidate_classes_come_from_operator_index() {
+        let mut eg = EG::default();
+        let leaf = eg.add(SymbolLang::leaf("a"));
+        eg.add(SymbolLang::new("f", vec![leaf]));
+        eg.add(SymbolLang::new("g", vec![leaf]));
+        let p: Pattern<SymbolLang> = "(f ?x)".parse().unwrap();
+        let cands =
+            <Pattern<_> as Searcher<_, ()>>::candidate_class_ids(&p, &eg).expect("indexed");
+        assert_eq!(cands.len(), 1, "only the f class is a candidate");
+        // A variable root has no index entry point.
+        let q: Pattern<SymbolLang> = "?x".parse().unwrap();
+        assert!(<Pattern<_> as Searcher<_, ()>>::candidate_class_ids(&q, &eg).is_none());
     }
 }

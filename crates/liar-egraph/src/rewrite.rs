@@ -56,6 +56,29 @@ pub trait Searcher<L: Language, A: Analysis<L>>: Send + Sync {
         unimplemented!("searcher does not support per-class search")
     }
 
+    /// The e-classes this searcher could possibly match, **sorted
+    /// ascending**, or `None` when every class must be visited (the
+    /// default).
+    ///
+    /// Compiled patterns answer from the e-graph's
+    /// [operator index](EGraph::classes_with_op); the saturation engine
+    /// then only dispatches [`search_class`](Searcher::search_class) over
+    /// this list. Implementations must be *sound over-approximations*: a
+    /// class not listed must produce zero matches, so that skipping it is
+    /// observationally identical to searching it.
+    fn candidate_class_ids(&self, egraph: &EGraph<L, A>) -> Option<Vec<Id>> {
+        let _ = egraph;
+        None
+    }
+
+    /// Downcast to a [`Pattern`] searcher, when this searcher is one.
+    ///
+    /// Used by the differential test suite and the e-matching bench to
+    /// swap compiled patterns for the legacy oracle matcher.
+    fn as_pattern(&self) -> Option<&Pattern<L>> {
+        None
+    }
+
     /// Variables this searcher binds (used to validate rewrites).
     fn bound_vars(&self) -> Vec<Var> {
         Vec::new()
@@ -174,6 +197,36 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Rewrite<L, A> {
         limit: usize,
     ) -> Vec<Subst<L>> {
         self.searcher.search_class(egraph, class, limit)
+    }
+
+    /// Candidate classes for this rule's searcher (see
+    /// [`Searcher::candidate_class_ids`]).
+    pub fn candidate_class_ids(&self, egraph: &EGraph<L, A>) -> Option<Vec<Id>> {
+        self.searcher.candidate_class_ids(egraph)
+    }
+
+    /// This rule's left-hand side as a [`Pattern`], when the searcher is
+    /// one (custom searchers return `None`).
+    pub fn searcher_pattern(&self) -> Option<&Pattern<L>> {
+        self.searcher.as_pattern()
+    }
+
+    /// A copy of this rule whose pattern searcher (if any) is replaced by
+    /// the legacy [`OraclePattern`](crate::OraclePattern) matcher; rules
+    /// with custom searchers are returned unchanged.
+    ///
+    /// Appliers are untouched, so a saturation run with oracle-ized rules
+    /// is the pre-VM engine — the baseline the differential tests and the
+    /// e-matching bench compare against.
+    pub fn with_oracle_searcher(&self) -> Self {
+        match self.searcher.as_pattern() {
+            Some(p) => Rewrite {
+                name: self.name.clone(),
+                searcher: Arc::new(crate::OraclePattern::new(p.clone())),
+                applier: Arc::clone(&self.applier),
+            },
+            None => self.clone(),
+        }
     }
 
     /// Apply previously found matches; returns the number of applications

@@ -77,6 +77,14 @@ pub struct Iteration {
     pub applied: Vec<(String, usize)>,
     /// Unions performed by congruence repair during rebuild.
     pub rebuild_unions: usize,
+    /// Candidate e-classes scheduled for matching across all unbanned
+    /// rules: per-class searchers count their operator-index candidate
+    /// list (see [`Searcher::candidate_class_ids`](crate::Searcher::candidate_class_ids)),
+    /// whole-e-graph searchers count every class. Identical under the
+    /// serial and parallel engines.
+    pub search_candidates: usize,
+    /// Substitutions produced by the search phase (post-limit, pre-apply).
+    pub search_matches: usize,
     /// Time spent searching all rules.
     pub search_time: Duration,
     /// Time spent applying matches.
@@ -220,14 +228,41 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             .enumerate()
             .map(|(i, rule)| self.scheduler.match_limit(iteration_idx, i, rule.name()))
             .collect();
+        // Candidate class lists per unbanned per-class rule: the operator
+        // index narrows pattern rules to the classes containing their root
+        // operator; `None` means "every class" (custom searchers, or
+        // searchers without an index entry point).
+        let class_ids = self.egraph.class_ids();
+        let candidates: Vec<Option<Vec<Id>>> = rules
+            .iter()
+            .zip(&limits)
+            .map(|(rule, limit)| {
+                if limit.is_none() || !rule.can_search_per_class() {
+                    return None;
+                }
+                rule.candidate_class_ids(&self.egraph)
+            })
+            .collect();
+        let search_candidates: usize = rules
+            .iter()
+            .zip(&limits)
+            .zip(&candidates)
+            .map(|((_, limit), cands)| match (limit, cands) {
+                (None, _) => 0,
+                (Some(_), Some(ids)) => ids.len(),
+                (Some(_), None) => class_ids.len(),
+            })
+            .sum();
         let all_matches = if self.threads > 1 {
-            parallel_search(&self.egraph, rules, &limits, self.threads)
+            parallel_search(&self.egraph, rules, &limits, &candidates, &class_ids, self.threads)
         } else {
-            serial_search(&self.egraph, rules, &limits)
+            serial_search(&self.egraph, rules, &limits, &candidates, &class_ids)
         };
+        let mut search_matches = 0;
         for (i, matches) in all_matches.iter().enumerate() {
+            let n: usize = matches.iter().map(|m| m.len()).sum();
+            search_matches += n;
             if limits[i].is_some() {
-                let n: usize = matches.iter().map(|m| m.len()).sum();
                 self.scheduler.record(iteration_idx, i, n);
             }
         }
@@ -253,6 +288,8 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             n_classes: self.egraph.num_classes(),
             applied,
             rebuild_unions,
+            search_candidates,
+            search_matches,
             search_time,
             apply_time,
             rebuild_time,
@@ -278,26 +315,32 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
 
 /// Search every non-banned rule serially, in rule order.
 ///
-/// Per-class-capable rules share one sorted class-id list (hoisted out of
-/// the per-rule loop — [`Searcher::search`](crate::Searcher::search) would
-/// otherwise re-collect and re-sort it once per rule) and replicate its
+/// Per-class-capable rules iterate their candidate list — the sorted
+/// operator-index classes when available, the shared sorted class-id list
+/// otherwise — and replicate [`Searcher::search`](crate::Searcher::search)
 /// truncation semantics exactly; custom searchers fall back to their own
-/// whole-e-graph `search`.
+/// whole-e-graph `search`. Skipping non-candidate classes is sound because
+/// [`Searcher::candidate_class_ids`](crate::Searcher::candidate_class_ids)
+/// over-approximates: a skipped class would have produced zero matches and
+/// therefore cannot affect limits or output order.
 fn serial_search<L: Language + 'static, A: Analysis<L> + 'static>(
     egraph: &EGraph<L, A>,
     rules: &[Rewrite<L, A>],
     limits: &[Option<usize>],
+    candidates: &[Option<Vec<Id>>],
+    class_ids: &[Id],
 ) -> Vec<Vec<SearchMatches<L>>> {
-    let class_ids = egraph.class_ids();
     rules
         .iter()
         .zip(limits)
-        .map(|(rule, limit)| match limit {
+        .zip(candidates)
+        .map(|((rule, limit), cands)| match limit {
             None => Vec::new(),
             Some(limit) if rule.can_search_per_class() => {
+                let ids: &[Id] = cands.as_deref().unwrap_or(class_ids);
                 let mut total = 0;
                 let mut out = Vec::new();
-                for &id in &class_ids {
+                for &id in ids {
                     if total >= *limit {
                         break;
                     }
@@ -318,14 +361,16 @@ fn serial_search<L: Language + 'static, A: Analysis<L> + 'static>(
 enum SearchJob {
     /// Run the rule's whole-e-graph search (custom searchers).
     Whole { rule: usize },
-    /// Match the rule against `class_ids[start..end]` (pattern searchers).
+    /// Match the rule against its candidate list's `[start..end]` slice
+    /// (pattern searchers).
     Chunk { rule: usize, start: usize, end: usize },
 }
 
 /// Search every non-banned rule using `threads` worker threads.
 ///
 /// Rules whose searcher supports per-class search are split into
-/// (rule × class-chunk) jobs; the rest run as one job each. Workers pull
+/// (rule × candidate-chunk) jobs over the same per-rule candidate lists the
+/// serial engine iterates; the rest run as one job each. Workers pull
 /// jobs from a shared queue, and each rule's chunk results are merged back
 /// in ascending-class order with the rule's match limit applied across the
 /// merged list — reproducing [`Searcher::search`](crate::Searcher::search)
@@ -335,9 +380,12 @@ fn parallel_search<L: Language + 'static, A: Analysis<L> + 'static>(
     egraph: &EGraph<L, A>,
     rules: &[Rewrite<L, A>],
     limits: &[Option<usize>],
+    candidates: &[Option<Vec<Id>>],
+    class_ids: &[Id],
     threads: usize,
 ) -> Vec<Vec<SearchMatches<L>>> {
-    let class_ids = egraph.class_ids();
+    // The classes a per-class rule's chunks range over.
+    let rule_ids = |rule: usize| -> &[Id] { candidates[rule].as_deref().unwrap_or(class_ids) };
     // Aim for a few jobs per thread per rule so stragglers rebalance, but
     // keep chunks large enough to amortize queue traffic.
     let chunk_len = (class_ids.len() / (threads * 4)).max(64);
@@ -348,9 +396,10 @@ fn parallel_search<L: Language + 'static, A: Analysis<L> + 'static>(
             continue; // Banned this iteration.
         }
         if rule.can_search_per_class() {
+            let ids = rule_ids(i);
             let mut start = 0;
-            while start < class_ids.len() {
-                let end = (start + chunk_len).min(class_ids.len());
+            while start < ids.len() {
+                let end = (start + chunk_len).min(ids.len());
                 jobs.push(SearchJob::Chunk { rule: i, start, end });
                 start = end;
             }
@@ -375,7 +424,7 @@ fn parallel_search<L: Language + 'static, A: Analysis<L> + 'static>(
                 let limit = limits[rule].expect("job for unbanned rule");
                 let mut found = 0;
                 let mut out = Vec::new();
-                for &id in &class_ids[start..end] {
+                for &id in &rule_ids(rule)[start..end] {
                     if found >= limit {
                         break;
                     }
@@ -542,6 +591,8 @@ mod tests {
                 assert_eq!(s.n_classes, p.n_classes, "step {}", s.index);
                 assert_eq!(s.applied, p.applied, "step {}", s.index);
                 assert_eq!(s.rebuild_unions, p.rebuild_unions, "step {}", s.index);
+                assert_eq!(s.search_candidates, p.search_candidates, "step {}", s.index);
+                assert_eq!(s.search_matches, p.search_matches, "step {}", s.index);
             }
             assert_eq!(serial.stop_reason, parallel.stop_reason);
             parallel.egraph.assert_invariants();
@@ -574,6 +625,21 @@ mod tests {
         };
         assert_eq!(counts(&serial), counts(&parallel));
         assert_eq!(serial.egraph.num_nodes(), parallel.egraph.num_nodes());
+    }
+
+    #[test]
+    fn operator_index_narrows_search_candidates() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let root = eg.add_expr(&"(+ (* a b) (f c))".parse().unwrap());
+        let n_classes = eg.num_classes();
+        let mut runner = Runner::new(eg).with_root(root).with_iter_limit(1);
+        runner.run(&[comm()]);
+        let it = &runner.iterations[0];
+        // comm-add's root is `+`: only the one `+` class is a candidate,
+        // not all six classes of the initial e-graph.
+        assert_eq!(it.search_candidates, 1);
+        assert!(it.search_candidates < n_classes);
+        assert_eq!(it.search_matches, 1);
     }
 
     #[test]

@@ -46,6 +46,16 @@ impl Language for SymbolLang {
         self.op.clone()
     }
 
+    fn op_key(&self) -> u64 {
+        // Allocation-free override of the default (which formats
+        // `display_op` into a fresh `String` per call).
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.op.hash(&mut h);
+        self.children.len().hash(&mut h);
+        h.finish()
+    }
+
     fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String> {
         Ok(SymbolLang::new(op, children))
     }

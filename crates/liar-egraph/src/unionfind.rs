@@ -34,6 +34,15 @@ impl UnionFind {
         self.parents[id.index()]
     }
 
+    /// True when `id` is its own canonical representative — an O(1) check
+    /// the e-graph uses while repairing its memo table and operator index
+    /// (a canonical id can only stop being canonical through
+    /// [`union_roots`](UnionFind::union_roots), never through `find`'s
+    /// path compression).
+    pub fn is_canonical(&self, id: Id) -> bool {
+        self.parent(id) == id
+    }
+
     /// Find the canonical representative of `id` without path compression.
     pub fn find(&self, mut id: Id) -> Id {
         while id != self.parent(id) {
@@ -92,6 +101,8 @@ mod tests {
         uf.union_roots(ids[2], ids[3]);
         assert_eq!(uf.find(ids[1]), ids[0]);
         assert_eq!(uf.find(ids[3]), ids[2]);
+        assert!(uf.is_canonical(ids[0]));
+        assert!(!uf.is_canonical(ids[1]));
         uf.union_roots(ids[0], ids[2]);
         for id in &ids {
             assert_eq!(uf.find_mut(*id), ids[0]);

@@ -1,0 +1,166 @@
+//! Property tests for the e-matching virtual machine: on arbitrary
+//! e-graphs (random terms + random unions) and arbitrary — frequently
+//! non-linear — patterns, the compiled matcher must produce exactly the
+//! oracle matcher's substitution list, and index-driven search must equal
+//! a full scan.
+//!
+//! Gated behind the `proptest` feature like the other property suites
+//! (the offline workspace does not vendor proptest).
+
+use proptest::prelude::*;
+
+use liar_egraph::{Binding, EGraph, Pattern, RecExpr, Searcher, Subst, SymbolLang};
+
+type EG = EGraph<SymbolLang, ()>;
+
+/// Random terms over a small signature (shared shape with
+/// `prop_egraph.rs`).
+fn arb_term(depth: u32) -> BoxedStrategy<RecExpr<SymbolLang>> {
+    fn add(expr: &mut RecExpr<SymbolLang>, t: &Tree) -> liar_egraph::Id {
+        match t {
+            Tree::Leaf(name) => expr.add(SymbolLang::leaf(name.clone())),
+            Tree::Node(op, children) => {
+                let ids = children.iter().map(|c| add(expr, c)).collect();
+                expr.add(SymbolLang::new(op.clone(), ids))
+            }
+        }
+    }
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(String),
+        Node(String, Vec<Tree>),
+    }
+    let leaf = prop_oneof![
+        Just(Tree::Leaf("a".into())),
+        Just(Tree::Leaf("b".into())),
+        Just(Tree::Leaf("c".into())),
+    ];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Tree::Node("f".into(), vec![x, y])),
+            inner.clone().prop_map(|x| Tree::Node("g".into(), vec![x])),
+        ]
+    })
+    .prop_map(|tree| {
+        let mut expr = RecExpr::default();
+        add(&mut expr, &tree);
+        expr
+    })
+    .boxed()
+}
+
+/// Random pattern s-expressions over the same signature, with a small
+/// variable pool so non-linear repeats are common.
+fn arb_pattern(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        Just("?x".to_string()),
+        Just("?y".to_string()),
+        Just("?z".to_string()),
+        Just("a".to_string()),
+        Just("b".to_string()),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("(f {x} {y})")),
+            inner.clone().prop_map(|x| format!("(g {x})")),
+        ]
+    })
+    .boxed()
+}
+
+/// Ordered equality of two substitution lists (class bindings through the
+/// union-find; this language produces no expression bindings).
+fn same_substs(eg: &EG, a: &[Subst<SymbolLang>], b: &[Subst<SymbolLang>]) -> bool {
+    let find = |id| eg.find(id);
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.same_as(y, &find))
+}
+
+fn build_egraph(
+    terms: &[RecExpr<SymbolLang>],
+    union_pairs: &[(usize, usize)],
+) -> EG {
+    let mut eg = EG::default();
+    let ids: Vec<_> = terms.iter().map(|t| eg.add_expr(t)).collect();
+    for &(i, j) in union_pairs {
+        let (a, b) = (ids[i % ids.len()], ids[j % ids.len()]);
+        eg.union(a, b);
+    }
+    eg.rebuild();
+    eg
+}
+
+proptest! {
+    /// VM ≡ oracle: identical (ordered, canonicalized) substitution lists
+    /// on every e-class.
+    #[test]
+    fn vm_matches_oracle(
+        terms in proptest::collection::vec(arb_term(4), 2..8),
+        union_pairs in proptest::collection::vec((0usize..8, 0usize..8), 0..6),
+        pattern in arb_pattern(3),
+    ) {
+        let eg = build_egraph(&terms, &union_pairs);
+        let p: Pattern<SymbolLang> = pattern.parse().unwrap();
+        for class in eg.class_ids() {
+            let vm = p.match_class(&eg, class);
+            let oracle = p.match_class_oracle(&eg, class);
+            prop_assert!(
+                same_substs(&eg, &vm, &oracle),
+                "pattern {} diverged on class {}: vm {:?} oracle {:?}",
+                p, class, vm, oracle
+            );
+        }
+    }
+
+    /// Substitutions bind class ids only (no shift patterns here) and are
+    /// duplicate-free under canonical comparison.
+    #[test]
+    fn vm_substs_are_canonical_and_deduped(
+        terms in proptest::collection::vec(arb_term(4), 2..6),
+        union_pairs in proptest::collection::vec((0usize..8, 0usize..8), 0..5),
+        pattern in arb_pattern(3),
+    ) {
+        let eg = build_egraph(&terms, &union_pairs);
+        let p: Pattern<SymbolLang> = pattern.parse().unwrap();
+        let find = |id| eg.find(id);
+        for class in eg.class_ids() {
+            let substs = p.match_class(&eg, class);
+            for (i, s) in substs.iter().enumerate() {
+                for (_, b) in s.iter() {
+                    match b {
+                        Binding::Class(id) => prop_assert_eq!(eg.find(*id), *id),
+                        Binding::Expr(_) => prop_assert!(false, "unexpected expr binding"),
+                    }
+                }
+                for other in &substs[i + 1..] {
+                    prop_assert!(!s.same_as(other, &find), "duplicate substitution");
+                }
+            }
+        }
+    }
+
+    /// Index-driven whole-e-graph search equals a brute-force sweep of
+    /// `match_class` over all classes.
+    #[test]
+    fn indexed_search_equals_full_scan(
+        terms in proptest::collection::vec(arb_term(4), 2..8),
+        union_pairs in proptest::collection::vec((0usize..8, 0usize..8), 0..6),
+        pattern in arb_pattern(3),
+    ) {
+        let eg = build_egraph(&terms, &union_pairs);
+        let p: Pattern<SymbolLang> = pattern.parse().unwrap();
+        let searched = Searcher::<SymbolLang, ()>::search(&p, &eg, usize::MAX);
+        let mut brute = Vec::new();
+        for class in eg.class_ids() {
+            let substs = p.match_class(&eg, class);
+            if !substs.is_empty() {
+                brute.push((class, substs));
+            }
+        }
+        prop_assert_eq!(searched.len(), brute.len());
+        for (m, (class, substs)) in searched.iter().zip(&brute) {
+            prop_assert_eq!(m.class, *class);
+            prop_assert!(same_substs(&eg, &m.substs, substs));
+        }
+    }
+}

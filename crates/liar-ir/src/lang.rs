@@ -385,6 +385,30 @@ impl Language for ArrayLang {
         }
     }
 
+    fn op_key(&self) -> u64 {
+        // Allocation-free override of the default (which renders
+        // `display_op` into a `String`): hash the variant discriminant
+        // plus the payload that `matches` compares. Children are ignored,
+        // so `a.matches(b)` implies equal keys, as the contract requires.
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::mem::discriminant(self).hash(&mut h);
+        match self {
+            ArrayLang::Dim(n) => n.hash(&mut h),
+            ArrayLang::Const(c) => c.hash(&mut h),
+            ArrayLang::Sym(s) => s.hash(&mut h),
+            ArrayLang::Var(i) => i.hash(&mut h),
+            ArrayLang::Call(f, args) => {
+                f.hash(&mut h);
+                args.len().hash(&mut h);
+            }
+            // The remaining variants are discriminated by tag alone
+            // (`matches` returns true for any pair of them).
+            _ => {}
+        }
+        h.finish()
+    }
+
     fn display_op(&self) -> String {
         match self {
             ArrayLang::Dim(n) => format!("#{n}"),
