@@ -1,0 +1,192 @@
+//! Extraction benchmark: "saturate once, extract everywhere" versus
+//! per-target re-runs, and tree versus DAG cost accounting, on the
+//! PolyBench kernels.
+//!
+//! For each kernel the multi-target pipeline
+//! ([`liar_core::Liar::optimize_multi`]) saturates one e-graph with the
+//! union ruleset and extracts all three targets from it; the baseline
+//! runs the three single-target pipelines back to back. Reported per
+//! kernel:
+//!
+//! * **shared vs per-target wall-clock** (median of several runs) and the
+//!   resulting speedup — the saturation amortization this PR is about;
+//! * **tree vs DAG cost per target** (`dag_cost <= cost` is asserted for
+//!   every target, per the extraction subsystem's guarantee);
+//! * **solution parity**: the BLAS and PyTorch solutions of the shared
+//!   run must be bit-identical to the per-target pipelines'.
+//!
+//! Results are printed and written to `BENCH_extract.json` at the repo
+//! root; CI runs this bench as a smoke test of the speedup direction and
+//! the cost/parity assertions.
+
+use std::time::{Duration, Instant};
+
+use liar_bench::harness;
+use liar_core::Target;
+use liar_kernels::Kernel;
+
+const KERNELS: [Kernel; 4] = [Kernel::Vsum, Kernel::Gemv, Kernel::Atax, Kernel::Mvt];
+const SAMPLES: usize = 3;
+
+fn median(mut times: Vec<Duration>) -> Duration {
+    times.sort();
+    times[times.len() / 2]
+}
+
+struct TargetRow {
+    target: &'static str,
+    tree_cost: f64,
+    dag_cost: f64,
+    sharing: f64,
+    extract_s: f64,
+    solution: String,
+}
+
+struct Row {
+    kernel: &'static str,
+    shared_s: f64,
+    per_target_s: f64,
+    speedup: f64,
+    targets: Vec<TargetRow>,
+}
+
+fn main() {
+    println!("== extract (saturate once + extract everywhere vs per-target re-runs) ==");
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host hardware threads: {hw}");
+
+    let mut rows = Vec::new();
+    for kernel in KERNELS {
+        let expr = kernel.expr(kernel.search_size());
+        let multi_pipeline = harness::pipeline_for(kernel, Target::Blas);
+
+        // Correctness first: one multi run, compared against the three
+        // per-target pipelines it replaces.
+        let multi = multi_pipeline.optimize_multi(&expr, &Target::ALL, &[1.0]);
+        let mut targets = Vec::new();
+        for target in Target::ALL {
+            let sol = multi.solution(target).expect("every target extracted");
+            assert!(
+                sol.dag_cost <= sol.cost,
+                "{kernel}/{target}: dag cost {} exceeds tree cost {}",
+                sol.dag_cost,
+                sol.cost
+            );
+            if target != Target::PureC {
+                // Library-call solutions are exact (pure C can lag on
+                // iteration-truncated kernels; see docs/EXTRACTION.md).
+                let single = harness::optimize_kernel(kernel, target);
+                assert_eq!(
+                    sol.best,
+                    single.best().best,
+                    "{kernel}/{target}: shared-saturation solution diverged"
+                );
+                assert_eq!(sol.cost, single.best().cost);
+            }
+            targets.push(TargetRow {
+                target: target.name(),
+                tree_cost: sol.cost,
+                dag_cost: sol.dag_cost,
+                sharing: sol.sharing_discount(),
+                extract_s: sol.extract_time.as_secs_f64(),
+                solution: sol.solution_summary(),
+            });
+        }
+
+        // Timing: median over SAMPLES (plus one warm-up each).
+        let _ = multi_pipeline.optimize_multi(&expr, &Target::ALL, &[1.0]);
+        let shared = median(
+            (0..SAMPLES)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(
+                        multi_pipeline.optimize_multi(&expr, &Target::ALL, &[1.0]),
+                    );
+                    start.elapsed()
+                })
+                .collect(),
+        );
+        for target in Target::ALL {
+            let _ = harness::optimize_kernel(kernel, target);
+        }
+        let per_target = median(
+            (0..SAMPLES)
+                .map(|_| {
+                    let start = Instant::now();
+                    for target in Target::ALL {
+                        std::hint::black_box(harness::optimize_kernel(kernel, target));
+                    }
+                    start.elapsed()
+                })
+                .collect(),
+        );
+        let speedup = per_target.as_secs_f64() / shared.as_secs_f64().max(1e-9);
+        println!(
+            "{:<40} shared {:>10.3?}   per-target {:>10.3?}   speedup {:>5.2}x",
+            format!("extract/{}", kernel.name()),
+            shared,
+            per_target,
+            speedup,
+        );
+        for t in &targets {
+            println!(
+                "    {:<8} tree {:>12.1}  dag {:>12.1}  shared {:>5.1}%  extract {:>9.6}s  {}",
+                t.target,
+                t.tree_cost,
+                t.dag_cost,
+                100.0 * t.sharing,
+                t.extract_s,
+                t.solution,
+            );
+        }
+        rows.push(Row {
+            kernel: kernel.name(),
+            shared_s: shared.as_secs_f64(),
+            per_target_s: per_target.as_secs_f64(),
+            speedup,
+            targets,
+        });
+    }
+
+    // Hand-rolled JSON (the workspace is dependency-free offline).
+    let mut json =
+        String::from("{\n  \"bench\": \"extract\",\n  \"targets\": [\"pure-c\", \"blas\", \"pytorch\"],\n  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shared_s\": {:.6}, \"per_target_s\": {:.6}, \"speedup\": {:.3}, \"extractions\": [\n",
+            r.kernel, r.shared_s, r.per_target_s, r.speedup,
+        ));
+        for (j, t) in r.targets.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"target\": \"{}\", \"tree_cost\": {:.3}, \"dag_cost\": {:.3}, \
+                 \"sharing_discount\": {:.4}, \"extract_s\": {:.6}, \"solution\": \"{}\"}}{}\n",
+                t.target,
+                t.tree_cost,
+                t.dag_cost,
+                t.sharing,
+                t.extract_s,
+                t.solution.replace('"', "'"),
+                if j + 1 == r.targets.len() { "" } else { "," },
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_extract.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    let total_shared: f64 = rows.iter().map(|r| r.shared_s).sum();
+    let total_per_target: f64 = rows.iter().map(|r| r.per_target_s).sum();
+    println!(
+        "total: shared {:.3}s vs per-target {:.3}s ({:.2}x)",
+        total_shared,
+        total_per_target,
+        total_per_target / total_shared.max(1e-9)
+    );
+}

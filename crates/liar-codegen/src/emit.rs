@@ -166,6 +166,74 @@ pub fn emit_kernel(name: &str, expr: &Expr, inputs: &[CInput]) -> Result<String,
     Ok(out)
 }
 
+/// Emit one C translation unit containing one function per extracted
+/// variant, named `{name}_{label}` — the multi-target pipeline's
+/// "saturate once, extract everywhere" output as a single inspectable
+/// artifact.
+///
+/// Variants the C backend cannot lower (tuples, first-class functions,
+/// PyTorch calls) become a comment instead of failing the whole unit, so
+/// a BLAS + pure-C + PyTorch sweep always produces compilable C for the
+/// supported variants.
+///
+/// # Example
+///
+/// ```
+/// use liar_codegen::{emit_kernel_variants, CInput};
+/// use liar_ir::dsl;
+///
+/// let loop_form = dsl::vadd(4, dsl::sym("A"), dsl::sym("B"));
+/// let call_form = dsl::call(
+///     liar_ir::LibFn::Axpy,
+///     &[&dsl::dim(4), &dsl::num(1.0), &dsl::sym("A"), &dsl::sym("B")],
+/// );
+/// let c = emit_kernel_variants(
+///     "vadd4",
+///     &[("pure_c".to_string(), &loop_form), ("blas".to_string(), &call_form)],
+///     &[CInput::vector("A", 4), CInput::vector("B", 4)],
+/// );
+/// assert!(c.contains("void vadd4_pure_c"));
+/// assert!(c.contains("void vadd4_blas"));
+/// assert!(c.contains("cblas_daxpy"));
+/// ```
+pub fn emit_kernel_variants(
+    name: &str,
+    variants: &[(String, &Expr)],
+    inputs: &[CInput],
+) -> String {
+    let mut includes: Vec<String> = Vec::new();
+    let mut bodies: Vec<String> = Vec::new();
+    for (label, expr) in variants {
+        match emit_kernel(&format!("{name}_{label}"), expr, inputs) {
+            Ok(c) => {
+                let mut body: Vec<&str> = Vec::new();
+                for line in c.lines() {
+                    if line.starts_with("#include") {
+                        if !includes.iter().any(|i| i == line) {
+                            includes.push(line.to_string());
+                        }
+                    } else {
+                        body.push(line);
+                    }
+                }
+                bodies.push(body.join("\n").trim().to_string());
+            }
+            Err(e) => bodies.push(format!("/* {name}_{label}: not lowered to C: {e} */")),
+        }
+    }
+    let mut out = String::new();
+    for inc in &includes {
+        out.push_str(inc);
+        out.push('\n');
+    }
+    if !includes.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(&bodies.join("\n\n"));
+    out.push('\n');
+    out
+}
+
 impl Emitter<'_> {
     fn line(&mut self, s: &str) {
         for _ in 0..self.indent {

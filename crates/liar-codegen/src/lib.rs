@@ -28,5 +28,5 @@
 mod emit;
 mod shape;
 
-pub use emit::{emit_kernel, CInput, CodegenError};
+pub use emit::{emit_kernel, emit_kernel_variants, CInput, CodegenError};
 pub use shape::Shape;

@@ -14,11 +14,24 @@ use crate::rules::Target;
 
 type AEGraph = EGraph<ArrayLang, ArrayAnalysis>;
 
-/// The extent carried by a call's dim child, defaulting to 1 when the
-/// class has no known extent (ill-formed call — never produced by the
-/// rules).
+/// The extent carried by an extent child (a call's dim argument, or the
+/// first child of `build`/`ifold`).
+///
+/// # Invariant
+///
+/// The class must carry a known extent: every extent position the rules
+/// ever produce is a `Dim` leaf, whose analysis records the value. A class
+/// without one means an ill-formed call or loop reached extraction; debug
+/// builds assert this, release builds fall back to extent 1 (which
+/// silently *under*-charges the loop or call).
 fn dim(egraph: &AEGraph, id: Id) -> f64 {
-    egraph.data(id).dim.unwrap_or(1) as f64
+    let extent = egraph.data(id).dim;
+    debug_assert!(
+        extent.is_some(),
+        "cost model read an extent from class {id}, which has none — \
+         ill-formed call or loop header"
+    );
+    extent.unwrap_or(1) as f64
 }
 
 /// The target-specific cost model: base cost (listing 6) plus the active

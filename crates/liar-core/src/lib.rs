@@ -34,5 +34,7 @@ pub mod pipeline;
 pub mod rules;
 
 pub use cost::TargetCost;
-pub use pipeline::{Liar, OptimizationReport, StepReport};
+pub use pipeline::{
+    Liar, MultiReport, MultiSolution, OptimizationReport, SaturationStep, StepReport,
+};
 pub use rules::{RuleConfig, Target};

@@ -5,12 +5,12 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use liar_egraph::{
-    BackoffScheduler, Extractor, Runner, RunnerLimits, StopReason,
+    BackoffScheduler, DagExtractor, ExtractionStats, Extractor, Runner, RunnerLimits, StopReason,
 };
 use liar_ir::{ArrayEGraph, Expr};
 
 use crate::cost::TargetCost;
-use crate::rules::{rules_for, RuleConfig, Target};
+use crate::rules::{rules_for, rules_for_targets, RuleConfig, Target};
 
 /// The state of the search after one saturation step: e-graph statistics
 /// plus the best expression the target's cost model extracts — the raw
@@ -101,6 +101,132 @@ impl OptimizationReport {
             .find(|s| &s.best == last)
             .map(|s| s.step)
             .unwrap_or(0)
+    }
+}
+
+/// Per-step e-graph statistics of a multi-target saturation (the
+/// [`StepReport`] fields that do not depend on a target's cost model —
+/// multi-target runs extract only once, at the end).
+#[derive(Debug, Clone)]
+pub struct SaturationStep {
+    /// Saturation step (0 = before any rewriting).
+    pub step: usize,
+    /// Unique e-nodes after the step.
+    pub n_nodes: usize,
+    /// E-classes after the step.
+    pub n_classes: usize,
+    /// Wall-clock time of the step (zero for step 0).
+    pub step_time: Duration,
+    /// Time the step spent in the (possibly parallel) search phase.
+    pub search_time: Duration,
+    /// Candidate e-classes the search phase scheduled across all rules.
+    pub search_candidates: usize,
+    /// Substitutions the search phase produced.
+    pub search_matches: usize,
+}
+
+/// One extracted solution of a multi-target run: a `(target,
+/// discount_scale)` pair's best expression plus its extraction statistics.
+///
+/// `best`/`cost` use the tree extractor; for the library targets they
+/// are bit-identical to what a single-target [`Liar::optimize`] run with
+/// the same settings reports (pure C is only guaranteed to match at
+/// convergence — see [`Liar::optimize_multi`]'s fidelity caveat).
+/// `dag_cost`/`dag_best` come from the DAG extractor
+/// ([`liar_egraph::DagExtractor`]), which charges each selected e-class
+/// once, so `dag_cost <= cost` always.
+#[derive(Debug, Clone)]
+pub struct MultiSolution {
+    /// The target whose cost model extracted this solution.
+    pub target: Target,
+    /// The discount scale the cost model ran at (1.0 = the paper's).
+    pub discount_scale: f64,
+    /// Best expression under the target's *tree* cost model.
+    pub best: Expr,
+    /// Its tree cost.
+    pub cost: f64,
+    /// Best expression under the target's *DAG* cost model (its flat node
+    /// table shares each selected class once).
+    pub dag_best: Expr,
+    /// Its DAG cost (each selected class charged once; `<= cost`).
+    pub dag_cost: f64,
+    /// Library calls in `best`: family name → count.
+    pub lib_calls: BTreeMap<String, usize>,
+    /// Wall-clock time of this extraction (tree + DAG fixpoints).
+    pub extract_time: Duration,
+    /// DAG-extraction fixpoint statistics.
+    pub stats: ExtractionStats,
+}
+
+impl MultiSolution {
+    /// Format the library calls like the paper's tables (see
+    /// [`StepReport::solution_summary`]).
+    pub fn solution_summary(&self) -> String {
+        if self.lib_calls.is_empty() {
+            return "—".to_string();
+        }
+        self.lib_calls
+            .iter()
+            .map(|(name, count)| format!("{count} × {name}"))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+
+    /// How much cheaper the DAG accounting is than the tree accounting,
+    /// as a fraction of the tree cost (0.0 = no sharing in the solution).
+    pub fn sharing_discount(&self) -> f64 {
+        if self.cost == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.dag_cost / self.cost
+    }
+}
+
+/// The result of a "saturate once, extract everywhere" run
+/// ([`Liar::optimize_multi`]): one saturation with the union ruleset, one
+/// [`MultiSolution`] per `(target, discount_scale)` pair.
+#[derive(Debug, Clone)]
+pub struct MultiReport {
+    /// The targets extracted, in the order requested.
+    pub targets: Vec<Target>,
+    /// The discount scales extracted, in the order requested.
+    pub discount_scales: Vec<f64>,
+    /// Why the (shared) saturation stopped.
+    pub stop_reason: StopReason,
+    /// Per-step e-graph statistics of the shared saturation.
+    pub steps: Vec<SaturationStep>,
+    /// Total wall-clock time of the shared saturation.
+    pub saturation_time: Duration,
+    /// E-nodes in the final e-graph.
+    pub n_nodes: usize,
+    /// E-classes in the final e-graph.
+    pub n_classes: usize,
+    /// One solution per `(target, discount_scale)`, targets outermost.
+    pub solutions: Vec<MultiSolution>,
+}
+
+impl MultiReport {
+    /// The solution extracted for `target` at the first requested
+    /// discount scale.
+    pub fn solution(&self, target: Target) -> Option<&MultiSolution> {
+        self.solutions.iter().find(|s| s.target == target)
+    }
+
+    /// The solution extracted for `target` at `discount_scale`.
+    pub fn solution_at(&self, target: Target, discount_scale: f64) -> Option<&MultiSolution> {
+        self.solutions
+            .iter()
+            .find(|s| s.target == target && s.discount_scale == discount_scale)
+    }
+
+    /// Total wall-clock time spent extracting, across all solutions.
+    pub fn total_extract_time(&self) -> Duration {
+        self.solutions.iter().map(|s| s.extract_time).sum()
+    }
+
+    /// Total time spent in the search phase of the shared saturation.
+    pub fn total_search_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.search_time).sum()
     }
 }
 
@@ -198,12 +324,10 @@ impl Liar {
         self.target
     }
 
-    /// Run the full workflow on `expr`, extracting the best expression
-    /// after every saturation step.
-    pub fn optimize(&self, expr: &Expr) -> OptimizationReport {
-        let rules = rules_for(self.target, &self.config);
-        let cost = TargetCost::new(self.target).with_discount_scale(self.discount_scale);
-
+    /// The saturation runner every pipeline mode shares: same scheduler,
+    /// limits and thread count whether one target's rules or a union
+    /// ruleset will be run over it.
+    fn runner_for(&self, expr: &Expr) -> (Runner<liar_ir::ArrayLang, liar_ir::ArrayAnalysis>, liar_egraph::Id) {
         let mut egraph = ArrayEGraph::default();
         let root = egraph.add_expr(expr);
 
@@ -215,11 +339,21 @@ impl Liar {
             .with_rule_limit("intro-fst-tuple", self.match_limit / 8)
             .with_rule_limit("intro-snd-tuple", self.match_limit / 8);
 
-        let mut runner = Runner::new(egraph)
+        let runner = Runner::new(egraph)
             .with_root(root)
             .with_limits(self.limits.clone())
             .with_scheduler(scheduler)
             .with_threads(self.threads);
+        (runner, root)
+    }
+
+    /// Run the full workflow on `expr`, extracting the best expression
+    /// after every saturation step.
+    pub fn optimize(&self, expr: &Expr) -> OptimizationReport {
+        let rules = rules_for(self.target, &self.config);
+        let cost = TargetCost::new(self.target).with_discount_scale(self.discount_scale);
+
+        let (mut runner, root) = self.runner_for(expr);
 
         /// Search-phase statistics forwarded from an
         /// [`liar_egraph::Iteration`] into a [`StepReport`].
@@ -282,6 +416,121 @@ impl Liar {
             stop_reason,
         }
     }
+
+    /// Saturate **once** with the union of `targets`' rule sets, then
+    /// extract one solution per `(target, discount_scale)` pair from the
+    /// same e-graph — the paper's "one cost model walks the saturated
+    /// e-graph" (§II(c)), amortized across every cost model of interest.
+    ///
+    /// The e-graph a saturation produces is target-independent (rules only
+    /// ever *add* equivalences; a target's calls cost infinity under
+    /// another target's model and are never selected), so per-target
+    /// solutions extracted here match what the per-target pipelines find,
+    /// at a fraction of the total time: see
+    /// `tests/extract_differential.rs` and the `extract` bench.
+    ///
+    /// One caveat: the standalone pure-C pipeline saturates a *smaller*
+    /// ruleset (core + scalar only), so on a kernel whose loop-form
+    /// search is still iteration-truncated it can reach a normal form the
+    /// union run has not derived yet. Library-call solutions converge
+    /// robustly; pure-C parity is guaranteed once saturation converges
+    /// (see docs/EXTRACTION.md, "Fidelity").
+    ///
+    /// Each solution carries both tree and DAG costs ([`MultiSolution`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use liar_core::{Liar, Target};
+    /// use liar_ir::dsl;
+    ///
+    /// let vsum = dsl::vsum(64, dsl::sym("xs"));
+    /// let report = Liar::new(Target::Blas)
+    ///     .with_iter_limit(6)
+    ///     .optimize_multi(&vsum, &Target::ALL, &[1.0]);
+    /// // One saturation, three library mappings:
+    /// let blas = report.solution(Target::Blas).unwrap();
+    /// let torch = report.solution(Target::Torch).unwrap();
+    /// assert_eq!(blas.solution_summary(), "1 × dot");
+    /// assert_eq!(torch.solution_summary(), "1 × sum");
+    /// assert!(blas.dag_cost <= blas.cost);
+    /// ```
+    pub fn optimize_multi(
+        &self,
+        expr: &Expr,
+        targets: &[Target],
+        discount_scales: &[f64],
+    ) -> MultiReport {
+        let rules = rules_for_targets(targets, &self.config);
+        let (mut runner, root) = self.runner_for(expr);
+
+        let initial = SaturationStep {
+            step: 0,
+            n_nodes: runner.egraph.num_nodes(),
+            n_classes: runner.egraph.num_classes(),
+            step_time: Duration::ZERO,
+            search_time: Duration::ZERO,
+            search_candidates: 0,
+            search_matches: 0,
+        };
+        let sat_start = std::time::Instant::now();
+        let stop_reason = runner.run(&rules);
+        let saturation_time = sat_start.elapsed();
+
+        let mut steps = vec![initial];
+        for iter in &runner.iterations {
+            steps.push(SaturationStep {
+                step: iter.index,
+                n_nodes: iter.n_nodes,
+                n_classes: iter.n_classes,
+                step_time: iter.total_time,
+                search_time: iter.search_time,
+                search_candidates: iter.search_candidates,
+                search_matches: iter.search_matches,
+            });
+        }
+
+        let mut solutions = Vec::with_capacity(targets.len() * discount_scales.len());
+        for &target in targets {
+            for &scale in discount_scales {
+                let cost_fn = TargetCost::new(target).with_discount_scale(scale);
+                let start = std::time::Instant::now();
+                let extractor = DagExtractor::new(&runner.egraph, cost_fn);
+                let (cost, best) = extractor.tree_extractor().find_best(root);
+                let (dag_cost, dag_best) = extractor.find_best(root);
+                let extract_time = start.elapsed();
+                let lib_calls = count_lib_calls(&best);
+                solutions.push(MultiSolution {
+                    target,
+                    discount_scale: scale,
+                    best,
+                    cost,
+                    dag_best,
+                    dag_cost,
+                    lib_calls,
+                    extract_time,
+                    stats: extractor.stats(),
+                });
+            }
+        }
+
+        MultiReport {
+            targets: targets.to_vec(),
+            discount_scales: discount_scales.to_vec(),
+            stop_reason,
+            steps,
+            saturation_time,
+            n_nodes: runner.egraph.num_nodes(),
+            n_classes: runner.egraph.num_classes(),
+            solutions,
+        }
+    }
+
+    /// [`Liar::optimize_multi`] over all three targets at this pipeline's
+    /// discount scale.
+    pub fn optimize_all_targets(&self, expr: &Expr) -> MultiReport {
+        self.optimize_multi(expr, &Target::ALL, &[self.discount_scale])
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +589,59 @@ mod tests {
         for w in report.steps.windows(2) {
             assert!(w[1].cost <= w[0].cost, "cost must be monotone");
         }
+    }
+
+    #[test]
+    fn multi_target_extracts_every_target_from_one_saturation() {
+        let vsum = dsl::vsum(64, dsl::sym("xs"));
+        let report = Liar::new(Target::Blas)
+            .with_iter_limit(6)
+            .optimize_multi(&vsum, &Target::ALL, &[1.0]);
+        assert_eq!(report.solutions.len(), 3);
+        assert_eq!(
+            report.solution(Target::Blas).unwrap().solution_summary(),
+            "1 × dot"
+        );
+        assert_eq!(
+            report.solution(Target::Torch).unwrap().solution_summary(),
+            "1 × sum"
+        );
+        let pure_c = report.solution(Target::PureC).unwrap();
+        assert!(pure_c.lib_calls.is_empty(), "pure C solution has calls");
+        for s in &report.solutions {
+            assert!(
+                s.dag_cost <= s.cost,
+                "{}: dag {} > tree {}",
+                s.target,
+                s.dag_cost,
+                s.cost
+            );
+            assert!(s.sharing_discount() >= 0.0);
+        }
+        // Step 0 records the un-rewritten e-graph; later steps grow it.
+        assert_eq!(report.steps[0].step, 0);
+        assert!(report.steps.len() > 1);
+        assert!(report.n_nodes >= report.steps[0].n_nodes);
+    }
+
+    #[test]
+    fn multi_target_discount_sweep() {
+        let vsum = dsl::vsum(100, dsl::sym("xs"));
+        let report = Liar::new(Target::Blas).with_iter_limit(6).optimize_multi(
+            &vsum,
+            &[Target::Blas],
+            &[1.0, 20.0],
+        );
+        assert_eq!(report.solutions.len(), 2);
+        // At the paper's factors the call wins; at scale 20 it loses.
+        assert_eq!(
+            report.solution_at(Target::Blas, 1.0).unwrap().solution_summary(),
+            "1 × dot"
+        );
+        assert_eq!(
+            report.solution_at(Target::Blas, 20.0).unwrap().solution_summary(),
+            "—"
+        );
     }
 
     #[test]

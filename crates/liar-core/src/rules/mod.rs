@@ -116,6 +116,34 @@ pub fn rules_for(target: Target, config: &RuleConfig) -> Vec<ArrayRewrite> {
     rules
 }
 
+/// The union of several targets' rule sets, deduplicated by rule name —
+/// the rule set of the "saturate once, extract everywhere" pipeline
+/// ([`crate::Liar::optimize_multi`]).
+///
+/// Core and scalar rules are shared by every target, and the idiom sets
+/// deliberately share some rules under the same name (`idiom-dot`,
+/// `idiom-transpose` are identical in BLAS and PyTorch); keeping one copy
+/// of each name preserves the backoff scheduler's per-rule match budgets,
+/// so a union run treats a shared rule exactly as a single-target run
+/// does.
+pub fn rules_for_targets(targets: &[Target], config: &RuleConfig) -> Vec<ArrayRewrite> {
+    let mut rules = core_rules(config);
+    rules.extend(scalar_rules(config));
+    for &target in targets {
+        let idioms = match target {
+            Target::PureC => Vec::new(),
+            Target::Blas => blas_rules(),
+            Target::Torch => torch_rules(),
+        };
+        for rule in idioms {
+            if rules.iter().all(|r| r.name() != rule.name()) {
+                rules.push(rule);
+            }
+        }
+    }
+    rules
+}
+
 /// Every shipped ruleset, individually named — the enumeration the
 /// e-matching differential tests sweep so that the compiled VM is proven
 /// equivalent to the oracle matcher on each of them. The guard module's
@@ -154,6 +182,34 @@ mod tests {
             names.dedup();
             assert_eq!(before, names.len(), "duplicate rule names in {target}");
         }
+    }
+
+    #[test]
+    fn union_ruleset_dedupes_shared_idioms() {
+        let config = RuleConfig::default();
+        let union = rules_for_targets(&Target::ALL, &config);
+        let mut names: Vec<_> = union.iter().map(|r| r.name().to_string()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "union ruleset has duplicate names");
+        // The union contains every single-target rule…
+        for target in Target::ALL {
+            for rule in rules_for(target, &config) {
+                assert!(
+                    union.iter().any(|r| r.name() == rule.name()),
+                    "union is missing {}",
+                    rule.name()
+                );
+            }
+        }
+        // …and nothing else: shared idioms are counted once.
+        let blas = rules_for(Target::Blas, &config).len();
+        let torch_only = torch_rules()
+            .iter()
+            .filter(|t| blas_rules().iter().all(|b| b.name() != t.name()))
+            .count();
+        assert_eq!(union.len(), blas + torch_only);
     }
 
     #[test]

@@ -1,4 +1,18 @@
-//! Cost-based extraction of a single best term per e-class.
+//! Cost-based extraction: picking one best term out of a saturated e-graph.
+//!
+//! Two strategies implement the common [`Extract`] trait:
+//!
+//! * [`Extractor`] — *tree* costs: a shared subterm is charged once per
+//!   use, exactly as if the extracted expression were a tree. This is the
+//!   classic extraction of equality saturation (paper §II(c), §V-C) and
+//!   the strategy whose per-step results the pipeline reports.
+//! * [`DagExtractor`] — *DAG* costs: each selected e-class is charged
+//!   once, no matter how many times the extracted term refers to it. This
+//!   is the right accounting for CSE-heavy rewrites (a hoisted `dot`
+//!   reused by two rows costs one `dot`, not two).
+//!
+//! See `docs/EXTRACTION.md` at the repo root for the full story, including
+//! when the two strategies agree and how the DAG cost is defined.
 
 use std::collections::HashMap;
 
@@ -11,9 +25,11 @@ use crate::{Analysis, EGraph, Id, Language, RecExpr};
 /// model can consult e-class analyses (LIAR reads array extents from `Dim`
 /// leaves this way).
 ///
-/// Implementations must be *strictly increasing*: a node's cost must be
-/// strictly greater than each child's cost, otherwise extraction could
-/// select a cyclic "best" term.
+/// Implementations should be *strictly increasing*: a node's cost should be
+/// strictly greater than each child's cost. [`Extractor`] is nevertheless
+/// safe (it never hangs or selects a cyclic term) for models that violate
+/// this, at the price of a possibly suboptimal — but still sound —
+/// selection.
 pub trait CostFunction<L: Language, A: Analysis<L>> {
     /// Cost of `enode`, where `child_cost` gives the current best cost of
     /// a child class (`f64::INFINITY` when not yet known).
@@ -25,7 +41,17 @@ pub trait CostFunction<L: Language, A: Analysis<L>> {
     ) -> f64;
 
     /// Cost of a whole term (mainly for tests and reporting).
+    ///
+    /// # Invariant
+    ///
+    /// `expr` must be non-empty: an empty [`RecExpr`] has no root and
+    /// therefore no cost. Debug builds assert this; release builds return
+    /// `0.0` for backwards compatibility.
     fn cost_expr(&self, egraph: &EGraph<L, A>, expr: &RecExpr<L>) -> f64 {
+        debug_assert!(
+            !expr.is_empty(),
+            "cost_expr on an empty expression — an empty RecExpr has no root"
+        );
         let mut costs: Vec<f64> = Vec::with_capacity(expr.len());
         for node in expr.nodes() {
             let c = self.cost(egraph, node, &mut |id| costs[id.index()]);
@@ -65,12 +91,59 @@ impl<L: Language, A: Analysis<L>> CostFunction<L, A> for AstDepth {
     }
 }
 
+/// The common interface of the extraction strategies.
+///
+/// Both [`Extractor`] (tree costs) and [`DagExtractor`] (DAG costs)
+/// implement this, so downstream code — the multi-target pipeline, the
+/// benches — can be written once against either strategy.
+///
+/// # Example
+///
+/// ```
+/// use liar_egraph::{AstSize, DagExtractor, EGraph, Extract, Extractor, SymbolLang};
+///
+/// fn best_under<E: Extract<SymbolLang>>(e: &E, id: liar_egraph::Id) -> f64 {
+///     e.extract(id).expect("extractable").0
+/// }
+///
+/// let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+/// let root = eg.add_expr(&"(f (g a) (g a))".parse().unwrap());
+/// let tree = Extractor::new(&eg, AstSize);
+/// let dag = DagExtractor::new(&eg, AstSize);
+/// assert_eq!(best_under(&tree, root), 5.0); // f + 2·(g + a): (g a) charged twice
+/// assert_eq!(best_under(&dag, root), 3.0); // f + g + a: each class charged once
+/// ```
+pub trait Extract<L: Language> {
+    /// The best cost of a class under this strategy, if any term is
+    /// extractable from it.
+    fn best_cost(&self, id: Id) -> Option<f64>;
+
+    /// Extract the best term for a class together with its cost, or
+    /// `None` when the class has no extractable term (every candidate
+    /// node has infinite cost — e.g. a library call the active target
+    /// does not offer).
+    fn extract(&self, id: Id) -> Option<(f64, RecExpr<L>)>;
+
+    /// Extract the best term for a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class has no extractable term (impossible for classes
+    /// created by adding expressions).
+    fn find_best(&self, id: Id) -> (f64, RecExpr<L>) {
+        self.extract(id)
+            .unwrap_or_else(|| panic!("class {id} has no extractable term"))
+    }
+}
+
 /// Precomputes the cheapest e-node of every e-class under a
-/// [`CostFunction`], then reconstructs best terms on demand.
+/// [`CostFunction`] with *tree* cost accounting, then reconstructs best
+/// terms on demand.
 ///
 /// This is the extraction step of equality saturation (paper §II(c), §V-C):
 /// after saturation, a cost model walks the e-graph and picks one
-/// expression.
+/// expression. A subterm referenced from two places is charged at both —
+/// use [`DagExtractor`] to charge shared work once.
 pub struct Extractor<'a, L: Language, A: Analysis<L>, C> {
     egraph: &'a EGraph<L, A>,
     cost_fn: C,
@@ -85,27 +158,101 @@ impl<'a, L: Language, A: Analysis<L>, C: CostFunction<L, A>> Extractor<'a, L, A,
             cost_fn,
             best: HashMap::new(),
         };
-        extractor.fixpoint();
+        extractor.fixpoint(true);
+        if !extractor.selection_is_acyclic() {
+            // The cost model violated the strictly-increasing contract and
+            // the improving fixpoint produced a cyclic selection. Fall back
+            // to assign-once selection, which is acyclic by construction
+            // (a class is only chosen after all of its children): sound,
+            // terminating, possibly suboptimal — but only models outside
+            // the contract ever reach this path.
+            extractor.best.clear();
+            extractor.fixpoint(false);
+            debug_assert!(extractor.selection_is_acyclic());
+        }
         extractor
     }
 
-    fn fixpoint(&mut self) {
+    /// One value-iteration loop over all classes. With `improve`, a class's
+    /// choice is replaced whenever a strictly cheaper node appears; without
+    /// it, every class keeps its first (finite-cost) choice. Passes are
+    /// capped at `#classes + 1` — enough for any acyclic dependency chain —
+    /// so even pathological cost models cannot hang extraction.
+    fn fixpoint(&mut self, improve: bool) {
         let classes = self.egraph.classes_sorted();
-        let mut changed = true;
-        while changed {
-            changed = false;
+        let max_passes = classes.len() + 1;
+        for _ in 0..max_passes {
+            let mut changed = false;
             for class in &classes {
-                let current = self.best.get(&class.id).map(|(c, _)| *c);
+                let mut current = self.best.get(&class.id).map(|(c, _)| *c);
+                if current.is_some() && !improve {
+                    continue;
+                }
                 for node in class.iter() {
                     let cost = self.node_cost(node);
                     if cost.is_finite() && current.is_none_or(|c| cost < c) {
                         self.best.insert(class.id, (cost, node.clone()));
+                        current = Some(cost);
                         changed = true;
-                        break;
+                        if !improve {
+                            // Assign-once keeps the *first* finite node:
+                            // its children were all assigned before this
+                            // class, which is what makes the fallback
+                            // selection acyclic by construction.
+                            break;
+                        }
+                        // Improving mode scans the whole class so each
+                        // pass ends on the per-class minimum — value
+                        // iteration then converges within the pass cap.
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Whether the per-class selection forms a DAG (it always does for
+    /// strictly-increasing cost models; see [`CostFunction`]).
+    fn selection_is_acyclic(&self) -> bool {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color: HashMap<Id, Color> = HashMap::new();
+        // Iterative DFS over selection edges, three-coloring the classes.
+        for &start in self.best.keys() {
+            if color.get(&start).copied().unwrap_or(Color::White) != Color::White {
+                continue;
+            }
+            let mut stack = vec![(start, false)];
+            while let Some((id, expanded)) = stack.pop() {
+                if expanded {
+                    color.insert(id, Color::Black);
+                    continue;
+                }
+                match color.get(&id).copied().unwrap_or(Color::White) {
+                    Color::Black => continue,
+                    Color::Grey => return false,
+                    Color::White => {}
+                }
+                color.insert(id, Color::Grey);
+                stack.push((id, true));
+                let (_, node) = &self.best[&id];
+                for c in node.children() {
+                    let c = self.egraph.find(*c);
+                    match color.get(&c).copied().unwrap_or(Color::White) {
+                        Color::Grey => return false,
+                        Color::White => stack.push((c, false)),
+                        Color::Black => {}
                     }
                 }
             }
         }
+        true
     }
 
     fn node_cost(&self, node: &L) -> f64 {
@@ -136,11 +283,7 @@ impl<'a, L: Language, A: Analysis<L>, C: CostFunction<L, A>> Extractor<'a, L, A,
     /// Panics if the class has no extractable term (impossible for classes
     /// created by adding expressions).
     pub fn find_best(&self, id: Id) -> (f64, RecExpr<L>) {
-        let id = self.egraph.find(id);
-        let (cost, _) = self.best[&id];
-        let mut expr = RecExpr::default();
-        self.build_best(id, &mut expr);
-        (cost, expr)
+        Extract::find_best(self, id)
     }
 
     fn build_best(&self, id: Id, expr: &mut RecExpr<L>) -> Id {
@@ -151,6 +294,316 @@ impl<'a, L: Language, A: Analysis<L>, C: CostFunction<L, A>> Extractor<'a, L, A,
             .unwrap_or_else(|| panic!("class {id} has no extractable term"));
         let node = node.clone().map_children(|c| self.build_best(c, expr));
         expr.add(node)
+    }
+}
+
+impl<L: Language, A: Analysis<L>, C: CostFunction<L, A>> Extract<L> for Extractor<'_, L, A, C> {
+    fn best_cost(&self, id: Id) -> Option<f64> {
+        Extractor::best_cost(self, id)
+    }
+
+    fn extract(&self, id: Id) -> Option<(f64, RecExpr<L>)> {
+        let id = self.egraph.find(id);
+        let (cost, _) = *self.best.get(&id)?;
+        let mut expr = RecExpr::default();
+        self.build_best(id, &mut expr);
+        Some((cost, expr))
+    }
+}
+
+/// Statistics of one DAG extraction, for reporting (the extract bench and
+/// the multi-target pipeline surface these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractionStats {
+    /// Fixpoint passes over the e-graph until the selection stabilized.
+    pub passes: usize,
+    /// Classes with a finite-cost selection.
+    pub extractable_classes: usize,
+}
+
+/// Per-class state of a [`DagExtractor`]: the chosen node, the set of
+/// classes its sub-DAG selects (each mapped to the marginal cost it was
+/// charged at), and the total — the sum of the set's marginals.
+struct DagChoice<L> {
+    node: L,
+    total: f64,
+    set: HashMap<Id, f64>,
+}
+
+/// DAG-cost extraction: charges each selected e-class **once**, no matter
+/// how many times the extracted term references it.
+///
+/// # The DAG cost
+///
+/// Every e-node is assigned a *marginal* cost: its full
+/// [`CostFunction::cost`] evaluated at the tree-best costs of its
+/// children, minus the sum of those child costs — i.e. the cost the node
+/// adds on top of work that is already paid for. The DAG cost of a
+/// selection is the sum of the marginals of the *distinct* classes it
+/// reaches; the extractor iterates to a fixpoint over these selected
+/// sets, per class keeping the node whose set is cheapest. Candidate
+/// nodes whose sub-DAG already contains the candidate's own class are
+/// rejected outright, so the selection can never be cyclic, even under a
+/// cost model that violates the strictly-increasing contract.
+///
+/// Two properties follow for cost models with non-negative marginals
+/// (AST size, and LIAR's target cost models — see `docs/EXTRACTION.md`):
+///
+/// * **On trees the strategies agree:** if the best term references every
+///   class once, the marginals telescope and the DAG cost equals the tree
+///   cost exactly.
+/// * **DAG ≤ tree everywhere:** sharing can only remove charges, so for
+///   every class the DAG cost is at most the [`Extractor`] cost.
+///
+/// The extracted [`RecExpr`] shares nodes (a class appears once in the
+/// flat table no matter how often it is referenced), making the sharing
+/// visible to downstream consumers.
+///
+/// # Example
+///
+/// ```
+/// use liar_egraph::{AstSize, DagExtractor, EGraph, Extract, Extractor, SymbolLang};
+///
+/// // (g a) is shared by both children of f.
+/// let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+/// let root = eg.add_expr(&"(f (g a) (g a))".parse().unwrap());
+/// let tree_cost = Extractor::new(&eg, AstSize).find_best(root).0;
+/// let dag = DagExtractor::new(&eg, AstSize);
+/// let (dag_cost, best) = dag.find_best(root);
+/// assert_eq!(tree_cost, 5.0); // f + 2·(g + a)
+/// assert_eq!(dag_cost, 3.0); // f + g + a, the shared class charged once
+/// assert_eq!(best.to_string(), "(f (g a) (g a))");
+/// ```
+pub struct DagExtractor<'a, L: Language, A: Analysis<L>, C> {
+    tree: Extractor<'a, L, A, C>,
+    choices: HashMap<Id, DagChoice<L>>,
+    stats: ExtractionStats,
+}
+
+impl<'a, L: Language, A: Analysis<L>, C: CostFunction<L, A>> DagExtractor<'a, L, A, C> {
+    /// Compute the best DAG-cost selection for every class.
+    ///
+    /// Runs tree extraction first (the marginals are defined against
+    /// tree-best child costs), then iterates the selected-set fixpoint.
+    pub fn new(egraph: &'a EGraph<L, A>, cost_fn: C) -> Self {
+        let tree = Extractor::new(egraph, cost_fn);
+        let mut extractor = DagExtractor {
+            tree,
+            choices: HashMap::new(),
+            stats: ExtractionStats::default(),
+        };
+        extractor.fixpoint();
+        extractor.stats.extractable_classes = extractor.choices.len();
+        extractor
+    }
+
+    /// The marginal cost of `node`: full cost at tree-best child costs,
+    /// minus the child costs themselves. Infinite when the node itself
+    /// costs infinity or any child is unextractable.
+    fn marginal(&self, node: &L) -> f64 {
+        let egraph = self.tree.egraph;
+        let mut child_sum = 0.0;
+        let mut all_known = true;
+        node.for_each(|c| match self.tree.best_cost(c) {
+            Some(c) => child_sum += c,
+            None => all_known = false,
+        });
+        if !all_known {
+            return f64::INFINITY;
+        }
+        let full = self.tree.cost_fn.cost(egraph, node, &mut |id| {
+            self.tree.best[&egraph.find(id)].0
+        });
+        full - child_sum
+    }
+
+    fn fixpoint(&mut self) {
+        let egraph = self.tree.egraph;
+        let classes = egraph.classes_sorted();
+        let n = classes.len();
+        let position: HashMap<Id, usize> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, class)| (class.id, i))
+            .collect();
+        // Marginals depend only on the (fixed) tree costs: compute once.
+        let marginals: Vec<Vec<f64>> = classes
+            .iter()
+            .map(|class| class.iter().map(|node| self.marginal(node)).collect())
+            .collect();
+        // Reverse edges: a class's choice can only be invalidated by one
+        // of its children adopting a cheaper set, so later passes revisit
+        // only the (transitively) affected parents.
+        let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, class) in classes.iter().enumerate() {
+            for node in class.iter() {
+                node.for_each(|c| {
+                    let child = position[&egraph.find(c)];
+                    if !parents[child].contains(&i) {
+                        parents[child].push(i);
+                    }
+                });
+            }
+        }
+        let mut dirty = vec![true; n];
+        let max_passes = n + 1;
+        loop {
+            self.stats.passes += 1;
+            let mut changed = false;
+            let mut next_dirty = vec![false; n];
+            for (i, (class, node_marginals)) in classes.iter().zip(&marginals).enumerate() {
+                if !dirty[i] {
+                    continue;
+                }
+                let mut current = self.choices.get(&class.id).map(|c| c.total);
+                let mut adopted = false;
+                // Scan the WHOLE class (no early break): each pass must
+                // end on the per-class minimum, or a cheaper node later
+                // in the list could be skipped forever once the class
+                // stops being dirty.
+                for (node, &marginal) in class.iter().zip(node_marginals) {
+                    if !marginal.is_finite() {
+                        continue;
+                    }
+                    // Cheap lower bound: the candidate's set contains this
+                    // class and (at least) each child's whole set, so with
+                    // non-negative marginals its total is at least the
+                    // marginal plus the costliest child. Prunes most nodes
+                    // without building the merged set.
+                    let mut bound = marginal;
+                    let mut all_chosen = true;
+                    node.for_each(|c| match self.choices.get(&egraph.find(c)) {
+                        Some(choice) => bound = bound.max(marginal + choice.total),
+                        None => all_chosen = false,
+                    });
+                    if !all_chosen || current.is_some_and(|c| bound >= c) {
+                        continue;
+                    }
+                    let Some((total, set)) = self.candidate(class.id, node, marginal) else {
+                        continue; // the sub-DAG would contain this class: cycle
+                    };
+                    if current.is_none_or(|c| total < c) {
+                        self.choices.insert(
+                            class.id,
+                            DagChoice {
+                                node: node.clone(),
+                                total,
+                                set,
+                            },
+                        );
+                        current = Some(total);
+                        adopted = true;
+                    }
+                }
+                if adopted {
+                    changed = true;
+                    for &parent in &parents[i] {
+                        next_dirty[parent] = true;
+                    }
+                }
+            }
+            dirty = next_dirty;
+            if !changed || self.stats.passes >= max_passes {
+                break;
+            }
+        }
+    }
+
+    /// The total DAG cost and selected set of choosing `node` for
+    /// `class`: the class itself plus the union of its children's sets.
+    /// `None` when the union already contains `class` (selecting `node`
+    /// would be cyclic).
+    fn candidate(&self, class: Id, node: &L, marginal: f64) -> Option<(f64, HashMap<Id, f64>)> {
+        let egraph = self.tree.egraph;
+        let mut set = HashMap::new();
+        set.insert(class, marginal);
+        let mut total = marginal;
+        for &child in node.children() {
+            let choice = &self.choices[&egraph.find(child)];
+            for (&id, &m) in &choice.set {
+                if id == class {
+                    return None;
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = set.entry(id) {
+                    e.insert(m);
+                    total += m;
+                }
+            }
+        }
+        Some((total, set))
+    }
+
+    /// Fixpoint statistics of this extraction.
+    pub fn stats(&self) -> ExtractionStats {
+        self.stats
+    }
+
+    /// The chosen e-node of a class.
+    pub fn best_node(&self, id: Id) -> Option<&L> {
+        self.choices
+            .get(&self.tree.egraph.find(id))
+            .map(|c| &c.node)
+    }
+
+    /// The number of distinct classes the best selection of `id` reaches —
+    /// the size of the extracted DAG (the tree size is `extract`'s
+    /// expression length only when nothing is shared).
+    pub fn selected_classes(&self, id: Id) -> Option<usize> {
+        self.choices
+            .get(&self.tree.egraph.find(id))
+            .map(|c| c.set.len())
+    }
+
+    /// The tree cost of the same class under the same cost function (the
+    /// inner [`Extractor`] this extraction was seeded from).
+    pub fn tree_cost(&self, id: Id) -> Option<f64> {
+        self.tree.best_cost(id)
+    }
+
+    /// The inner tree-cost [`Extractor`] (the DAG marginals are defined
+    /// against its best costs). One `DagExtractor` therefore serves both
+    /// accounting strategies without running two fixpoints from scratch.
+    pub fn tree_extractor(&self) -> &Extractor<'a, L, A, C> {
+        &self.tree
+    }
+
+    /// Extract the best term for a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class has no extractable term.
+    pub fn find_best(&self, id: Id) -> (f64, RecExpr<L>) {
+        Extract::find_best(self, id)
+    }
+
+    fn build_best(&self, id: Id, expr: &mut RecExpr<L>, memo: &mut HashMap<Id, Id>) -> Id {
+        let id = self.tree.egraph.find(id);
+        if let Some(&done) = memo.get(&id) {
+            return done;
+        }
+        let node = self.choices[&id]
+            .node
+            .clone()
+            .map_children(|c| self.build_best(c, expr, memo));
+        let index = expr.add(node);
+        memo.insert(id, index);
+        index
+    }
+}
+
+impl<L: Language, A: Analysis<L>, C: CostFunction<L, A>> Extract<L> for DagExtractor<'_, L, A, C> {
+    fn best_cost(&self, id: Id) -> Option<f64> {
+        self.choices
+            .get(&self.tree.egraph.find(id))
+            .map(|c| c.total)
+    }
+
+    fn extract(&self, id: Id) -> Option<(f64, RecExpr<L>)> {
+        let id = self.tree.egraph.find(id);
+        let total = self.choices.get(&id)?.total;
+        let mut expr = RecExpr::default();
+        self.build_best(id, &mut expr, &mut HashMap::new());
+        Some((total, expr))
     }
 }
 
@@ -229,5 +682,178 @@ mod tests {
         let ex = Extractor::new(&runner.egraph, ShiftCheap);
         let (_, best) = ex.find_best(root);
         assert_eq!(best.to_string(), "(<< a 1)");
+    }
+
+    /// A cost model that violates the strictly-increasing contract: `f`
+    /// and `g` *halve* their child's cost, so around the cycle
+    /// `a = {x, (f b)}`, `b = {(g a)}` every trip gets cheaper and the
+    /// naive improving fixpoint would chase it forever (and select it).
+    struct Halving;
+    impl CostFunction<SymbolLang, ()> for Halving {
+        fn cost(
+            &self,
+            _eg: &EGraph<SymbolLang, ()>,
+            enode: &SymbolLang,
+            child: &mut dyn FnMut(Id) -> f64,
+        ) -> f64 {
+            match enode.op.as_str() {
+                "f" | "g" => 0.5 * enode.fold(0.0, |acc, id| acc + child(id)),
+                _ => enode.fold(1.0, |acc, id| acc + child(id)),
+            }
+        }
+    }
+
+    /// An e-graph where class `a = {x, (f b)}` and `b = {(g a)}` form a
+    /// selection cycle under a non-strictly-increasing model.
+    fn cyclic_temptation() -> (EGraph<SymbolLang, ()>, Id) {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let a = eg.add_expr(&"x".parse().unwrap());
+        let ga = eg.add(SymbolLang::new("g", vec![a]));
+        let fga = eg.add(SymbolLang::new("f", vec![ga]));
+        eg.union(a, fga);
+        eg.rebuild();
+        (eg, a)
+    }
+
+    #[test]
+    fn non_increasing_cost_model_terminates_without_cycles() {
+        let (eg, a) = cyclic_temptation();
+        let ex = Extractor::new(&eg, Halving);
+        // Must terminate and reconstruct a finite term (the acyclic `x`).
+        let (cost, best) = ex.find_best(a);
+        assert_eq!(best.to_string(), "x");
+        assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn dag_extractor_rejects_cycles_under_non_increasing_model() {
+        let (eg, a) = cyclic_temptation();
+        let ex = DagExtractor::new(&eg, Halving);
+        let (_, best) = ex.find_best(a);
+        assert_eq!(best.to_string(), "x");
+    }
+
+    #[test]
+    fn unextractable_class_reports_none() {
+        struct NoH;
+        impl CostFunction<SymbolLang, ()> for NoH {
+            fn cost(
+                &self,
+                _eg: &EGraph<SymbolLang, ()>,
+                enode: &SymbolLang,
+                child: &mut dyn FnMut(Id) -> f64,
+            ) -> f64 {
+                let op = if enode.op.as_str() == "h" {
+                    f64::INFINITY
+                } else {
+                    1.0
+                };
+                enode.fold(op, |acc, id| acc + child(id))
+            }
+        }
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        // `(h a)` is the only member of its class: infinite under NoH.
+        let root = eg.add_expr(&"(k (h a))".parse().unwrap());
+        let inner = eg.lookup_expr(&"(h a)".parse().unwrap()).unwrap();
+        let tree = Extractor::new(&eg, NoH);
+        assert_eq!(tree.best_cost(inner), None);
+        assert_eq!(tree.best_cost(root), None);
+        assert!(Extract::extract(&tree, root).is_none());
+        let dag = DagExtractor::new(&eg, NoH);
+        assert_eq!(Extract::best_cost(&dag, root), None);
+        assert!(dag.extract(root).is_none());
+        // The leaf `a` is still extractable under both strategies.
+        let leaf = eg.lookup_expr(&"a".parse().unwrap()).unwrap();
+        assert_eq!(tree.best_cost(leaf), Some(1.0));
+        assert_eq!(Extract::best_cost(&dag, leaf), Some(1.0));
+    }
+
+    #[test]
+    fn dag_cost_equals_tree_cost_on_trees() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        // No class is referenced twice: a genuine tree.
+        let root = eg.add_expr(&"(f (g a) (h b))".parse().unwrap());
+        let tree = Extractor::new(&eg, AstSize);
+        let dag = DagExtractor::new(&eg, AstSize);
+        assert_eq!(tree.best_cost(root), Extract::best_cost(&dag, root));
+        assert_eq!(tree.find_best(root).1, dag.find_best(root).1);
+    }
+
+    #[test]
+    fn dag_extractor_shares_across_rewrites() {
+        // After rewriting, both arms of + are the same class; DAG cost
+        // charges the shared (* a b) once.
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let root = eg.add_expr(&"(+ (* a b) (* b a))".parse().unwrap());
+        let rw = Rewrite::<SymbolLang, ()>::from_patterns(
+            "mul-comm",
+            "(* ?x ?y)",
+            "(* ?y ?x)",
+        );
+        let mut runner = Runner::new(eg).with_iter_limit(3);
+        runner.run(&[rw]);
+        let tree = Extractor::new(&runner.egraph, AstSize);
+        let dag = DagExtractor::new(&runner.egraph, AstSize);
+        let tree_cost = tree.best_cost(root).unwrap();
+        let dag_cost = Extract::best_cost(&dag, root).unwrap();
+        assert_eq!(tree_cost, 7.0);
+        assert_eq!(dag_cost, 4.0, "+ and one shared (* a b) sub-DAG");
+        // The flat expression shares the multiplied class: 4 distinct
+        // nodes even though the term references (* a b) twice.
+        let (_, best) = dag.find_best(root);
+        assert_eq!(best.len(), 4);
+    }
+
+    /// Regression: a class whose cheapest node sorts *after* costlier
+    /// ones must still converge to the minimum (the fixpoint used to
+    /// break out of the class scan on the first improvement, and the
+    /// dirty-worklist never revisited the class).
+    #[test]
+    fn dag_picks_cheapest_node_regardless_of_scan_order() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let big = eg.add_expr(&"(a x y)".parse().unwrap());
+        let mid = eg.add_expr(&"(b x)".parse().unwrap());
+        let leaf = eg.add_expr(&"z".parse().unwrap());
+        eg.union(big, mid);
+        eg.union(big, leaf);
+        eg.rebuild();
+        let tree = Extractor::new(&eg, AstSize);
+        let dag = DagExtractor::new(&eg, AstSize);
+        assert_eq!(tree.best_cost(big), Some(1.0));
+        assert_eq!(
+            Extract::best_cost(&dag, big),
+            Some(1.0),
+            "DAG cost must not exceed the tree cost"
+        );
+        assert_eq!(dag.find_best(big).1.to_string(), "z");
+    }
+
+    #[test]
+    fn dag_never_exceeds_tree_on_random_unions() {
+        // A little deterministic stress: chains with injected sharing.
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let exprs = [
+            "(f (g (h a)) (g (h a)))",
+            "(+ (* a b) (+ (* a b) (* a b)))",
+            "(k (k (k (k a))))",
+        ];
+        let roots: Vec<Id> = exprs
+            .iter()
+            .map(|s| eg.add_expr(&s.parse().unwrap()))
+            .collect();
+        eg.union(roots[0], roots[2]);
+        eg.rebuild();
+        let tree = Extractor::new(&eg, AstSize);
+        let dag = DagExtractor::new(&eg, AstSize);
+        for class in eg.classes() {
+            let (t, d) = (tree.best_cost(class.id), Extract::best_cost(&dag, class.id));
+            match (t, d) {
+                (Some(t), Some(d)) => assert!(d <= t, "class {}: dag {d} > tree {t}", class.id),
+                (None, None) => {}
+                _ => panic!("extractability diverged on class {}", class.id),
+            }
+        }
+        assert!(dag.stats().passes >= 1);
+        assert_eq!(dag.stats().extractable_classes, eg.num_classes());
     }
 }

@@ -25,8 +25,10 @@
 //! * [`Rewrite`], [`Runner`], [`BackoffScheduler`] — saturation proper, with
 //!   per-iteration reports of e-node counts and timings (the raw data behind
 //!   the paper's fig. 4).
-//! * [`Extractor`] and [`CostFunction`] — cost-based term extraction
-//!   (the paper's §V-C extractors are cost functions over this engine).
+//! * [`Extract`], [`Extractor`], [`DagExtractor`] and [`CostFunction`] —
+//!   cost-based term extraction (the paper's §V-C extractors are cost
+//!   functions over this engine), with both tree-cost and DAG-cost
+//!   (shared-subterm-charged-once) accounting.
 //!
 //! # Example
 //!
@@ -73,7 +75,9 @@ mod unionfind;
 pub use analysis::{Analysis, DidMerge};
 pub use dot::Dot;
 pub use egraph::{EClass, EGraph};
-pub use extract::{AstDepth, AstSize, CostFunction, Extractor};
+pub use extract::{
+    AstDepth, AstSize, CostFunction, DagExtractor, Extract, ExtractionStats, Extractor,
+};
 pub use id::Id;
 pub use language::{Language, RecExpr, RecExprParseError};
 pub use machine::OraclePattern;

@@ -1,0 +1,153 @@
+//! Property tests comparing the tree and DAG extractors on random
+//! SymbolLang e-graphs (random terms plus random unions):
+//!
+//! * both strategies agree on which classes are extractable;
+//! * the DAG cost never exceeds the tree cost (AST size has non-negative
+//!   marginals everywhere);
+//! * when the tree-best term references every class once, the two
+//!   strategies report the same cost;
+//! * both extracted terms are members of the class they were extracted
+//!   from, and their reported costs are consistent with their shape.
+//!
+//! Gated behind the `proptest` feature like the other property suites
+//! (the offline workspace does not vendor proptest).
+
+use proptest::prelude::*;
+
+use liar_egraph::{AstSize, DagExtractor, EGraph, Extract, Extractor, Id, RecExpr, SymbolLang};
+
+type EG = EGraph<SymbolLang, ()>;
+
+/// Random terms over a small signature (shared shape with
+/// `prop_egraph.rs`).
+fn arb_term(depth: u32) -> BoxedStrategy<RecExpr<SymbolLang>> {
+    fn add(expr: &mut RecExpr<SymbolLang>, t: &Tree) -> Id {
+        match t {
+            Tree::Leaf(name) => expr.add(SymbolLang::leaf(name.clone())),
+            Tree::Node(op, children) => {
+                let ids = children.iter().map(|c| add(expr, c)).collect();
+                expr.add(SymbolLang::new(op.clone(), ids))
+            }
+        }
+    }
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(String),
+        Node(String, Vec<Tree>),
+    }
+    let leaf = prop_oneof![
+        Just(Tree::Leaf("a".into())),
+        Just(Tree::Leaf("b".into())),
+        Just(Tree::Leaf("c".into())),
+    ];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Tree::Node("f".into(), vec![x, y])),
+            inner.clone().prop_map(|x| Tree::Node("g".into(), vec![x])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Tree::Node("+".into(), vec![x, y])),
+        ]
+    })
+    .prop_map(|tree| {
+        let mut expr = RecExpr::default();
+        add(&mut expr, &tree);
+        expr
+    })
+    .boxed()
+}
+
+/// An e-graph from random terms and random (sound-agnostic) unions.
+fn graph_of(terms: &[RecExpr<SymbolLang>], union_pairs: &[(usize, usize)]) -> (EG, Vec<Id>) {
+    let mut eg = EG::default();
+    let ids: Vec<_> = terms.iter().map(|t| eg.add_expr(t)).collect();
+    for &(i, j) in union_pairs {
+        let (a, b) = (ids[i % ids.len()], ids[j % ids.len()]);
+        eg.union(a, b);
+    }
+    eg.rebuild();
+    (eg, ids)
+}
+
+/// Number of *distinct* classes a tree-extracted expression references —
+/// equal to its node count exactly when nothing is shared.
+fn distinct_nodes(expr: &RecExpr<SymbolLang>) -> usize {
+    let mut seen: Vec<&SymbolLang> = Vec::new();
+    for node in expr.nodes() {
+        if !seen.contains(&node) {
+            seen.push(node);
+        }
+    }
+    seen.len()
+}
+
+proptest! {
+    /// DAG cost ≤ tree cost on every class of every random e-graph, and
+    /// the strategies agree on extractability.
+    #[test]
+    fn dag_cost_never_exceeds_tree_cost(
+        terms in proptest::collection::vec(arb_term(4), 2..8),
+        union_pairs in proptest::collection::vec((0usize..8, 0usize..8), 0..6),
+    ) {
+        let (eg, _) = graph_of(&terms, &union_pairs);
+        let tree = Extractor::new(&eg, AstSize);
+        let dag = DagExtractor::new(&eg, AstSize);
+        for class in eg.classes() {
+            let (t, d) = (tree.best_cost(class.id), Extract::best_cost(&dag, class.id));
+            match (t, d) {
+                (Some(t), Some(d)) => prop_assert!(d <= t + 1e-9, "dag {} > tree {}", d, t),
+                (None, None) => {}
+                _ => prop_assert!(false, "extractability diverged"),
+            }
+        }
+    }
+
+    /// When the tree-best term is an actual tree (no class referenced
+    /// twice), the DAG cost equals the tree cost.
+    #[test]
+    fn dag_equals_tree_on_unshared_solutions(
+        terms in proptest::collection::vec(arb_term(4), 2..6),
+        union_pairs in proptest::collection::vec((0usize..6, 0usize..6), 0..4),
+    ) {
+        let (eg, roots) = graph_of(&terms, &union_pairs);
+        let tree = Extractor::new(&eg, AstSize);
+        let dag = DagExtractor::new(&eg, AstSize);
+        for &root in &roots {
+            let (t_cost, t_best) = tree.find_best(root);
+            // Under AST size the tree cost is the node count, so the best
+            // term is unshared iff every node of it is distinct.
+            if distinct_nodes(&t_best) == t_best.len() {
+                let d_cost = Extract::best_cost(&dag, root).unwrap();
+                prop_assert!((t_cost - d_cost).abs() < 1e-9,
+                    "unshared solution but dag {} != tree {}", d_cost, t_cost);
+            }
+        }
+    }
+
+    /// Both strategies extract terms that the e-graph recognizes as
+    /// members of the class they came from, and the DAG expression's
+    /// distinct-node count matches its reported cost under AST size.
+    #[test]
+    fn extracted_terms_are_class_members(
+        terms in proptest::collection::vec(arb_term(4), 2..6),
+        union_pairs in proptest::collection::vec((0usize..6, 0usize..6), 0..4),
+    ) {
+        let (eg, roots) = graph_of(&terms, &union_pairs);
+        let tree = Extractor::new(&eg, AstSize);
+        let dag = DagExtractor::new(&eg, AstSize);
+        for &root in &roots {
+            let canonical = eg.find(root);
+            let (t_cost, t_best) = tree.find_best(root);
+            prop_assert_eq!(eg.lookup_expr(&t_best), Some(canonical));
+            // Tree cost under AST size = node count of the (duplicated)
+            // tree expression.
+            prop_assert_eq!(t_cost as usize, t_best.len());
+            let (d_cost, d_best) = dag.find_best(root);
+            prop_assert_eq!(eg.lookup_expr(&d_best), Some(canonical));
+            // DAG cost under AST size = distinct classes selected = the
+            // node count of the shared flat expression.
+            prop_assert_eq!(d_cost as usize, d_best.len());
+            prop_assert_eq!(dag.selected_classes(root), Some(d_best.len()));
+        }
+    }
+}

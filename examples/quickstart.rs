@@ -48,4 +48,23 @@ fn main() {
         stats.total_coverage() * 100.0
     );
     assert!((value.as_num().unwrap() - expected).abs() < 1e-6);
+
+    // 4. Or saturate ONCE and extract every target's solution from the
+    //    same e-graph (`liar optimize --all-targets …` on the CLI):
+    let multi = Liar::new(Target::Blas)
+        .with_iter_limit(8)
+        .optimize_all_targets(&vsum);
+    println!(
+        "\nsaturate once ({:?}), extract everywhere:",
+        multi.saturation_time
+    );
+    for solution in &multi.solutions {
+        println!(
+            "  {:<8} cost {:>8.1} (dag {:>8.1})  {}",
+            solution.target.name(),
+            solution.cost,
+            solution.dag_cost,
+            solution.solution_summary()
+        );
+    }
 }

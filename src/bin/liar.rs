@@ -5,11 +5,17 @@
 //! # (--threads N parallelizes e-matching; results are bit-identical):
 //! liar optimize --target blas --threads 4 '(ifold #64 0 (lam (lam (+ (get xs %1) %0))))'
 //!
+//! # Saturate ONCE and extract for every target from the same e-graph
+//! # (tree + DAG costs, per-target extraction times):
+//! liar optimize --all-targets '(ifold #64 0 (lam (lam (+ (get xs %1) %0))))'
+//! liar kernel --targets blas,pytorch gemv
+//!
 //! # Optimize one of the paper's kernels by name:
 //! liar kernel --target pytorch gemv
 //!
-//! # Emit C for the best solution of a kernel:
+//! # Emit C for the best solution of a kernel (or every target's variant):
 //! liar emit-c gemv
+//! liar emit-c --all-targets gemv
 //!
 //! # List the kernels of table I:
 //! liar kernels
@@ -17,26 +23,51 @@
 
 use std::process::ExitCode;
 
-use liar::codegen::{emit_kernel, CInput};
+use liar::codegen::{emit_kernel, emit_kernel_variants, CInput};
 use liar::core::{Liar, Target};
 use liar::ir::Expr;
 use liar::kernels::Kernel;
 
-fn parse_target(args: &[String]) -> Target {
-    match args
-        .iter()
-        .position(|a| a == "--target")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-    {
-        Some("blas") | None => Target::Blas,
-        Some("pytorch") | Some("torch") => Target::Torch,
-        Some("pure-c") | Some("purec") | Some("c") => Target::PureC,
-        Some(other) => {
+fn target_from_name(name: &str) -> Target {
+    match name {
+        "blas" => Target::Blas,
+        "pytorch" | "torch" => Target::Torch,
+        "pure-c" | "purec" | "c" => Target::PureC,
+        other => {
             eprintln!("unknown target {other} (expected blas | pytorch | pure-c)");
             std::process::exit(2);
         }
     }
+}
+
+/// The multi-extraction target list: `--all-targets`, or `--targets` with
+/// a comma-separated list. `None` when neither flag is present
+/// (single-target mode).
+fn parse_multi_targets(args: &[String]) -> Option<Vec<Target>> {
+    if args.iter().any(|a| a == "--all-targets") {
+        return Some(Target::ALL.to_vec());
+    }
+    let flag = args.iter().position(|a| a == "--targets")?;
+    let Some(list) = args.get(flag + 1) else {
+        eprintln!("--targets expects a comma-separated list (e.g. --targets blas,pytorch)");
+        std::process::exit(2);
+    };
+    let mut targets: Vec<Target> = Vec::new();
+    for t in list.split(',').map(target_from_name) {
+        // Dedupe: a repeated target would extract twice and emit-c would
+        // emit two identical function definitions.
+        if !targets.contains(&t) {
+            targets.push(t);
+        }
+    }
+    Some(targets)
+}
+
+fn parse_target(args: &[String]) -> Target {
+    args.iter()
+        .position(|a| a == "--target")
+        .and_then(|i| args.get(i + 1))
+        .map_or(Target::Blas, |s| target_from_name(s))
 }
 
 fn parse_steps(args: &[String]) -> usize {
@@ -78,6 +109,44 @@ fn report(expr: &Expr, target: Target, steps: usize, threads: usize) {
     println!("\nbest expression:\n{}", report.best().best);
 }
 
+/// Run the "saturate once, extract everywhere" pipeline and print its
+/// report.
+fn report_multi(expr: &Expr, targets: &[Target], steps: usize, threads: usize) {
+    let pipeline = Liar::new(targets[0])
+        .with_iter_limit(steps)
+        .with_threads(threads);
+    let report = pipeline.optimize_multi(expr, targets, &[1.0]);
+    let names: Vec<&str> = targets.iter().map(|t| t.name()).collect();
+    println!("targets: {} (one shared saturation)", names.join(", "));
+    for step in &report.steps {
+        println!(
+            "step {:>2}: {:>7} e-nodes {:>6} classes  step {:>9.3?}  search {:>9.3?}",
+            step.step, step.n_nodes, step.n_classes, step.step_time, step.search_time,
+        );
+    }
+    println!(
+        "stopped: {} (saturation {:.3?}, extraction {:.3?})\n",
+        report.stop_reason,
+        report.saturation_time,
+        report.total_extract_time(),
+    );
+    println!("{:<8} {:>12} {:>12} {:>8} {:>10}  solution", "target", "tree cost", "dag cost", "shared", "extract");
+    for s in &report.solutions {
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>7.1}% {:>10.3?}  {}",
+            s.target.name(),
+            s.cost,
+            s.dag_cost,
+            100.0 * s.sharing_discount(),
+            s.extract_time,
+            s.solution_summary(),
+        );
+    }
+    for s in &report.solutions {
+        println!("\nbest expression ({}):\n{}", s.target.name(), s.best);
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -86,12 +155,12 @@ fn main() -> ExitCode {
                 && args.iter().position(|x| x == *a).is_none_or(|i| {
                     !matches!(
                         args.get(i.wrapping_sub(1)).map(String::as_str),
-                        Some("--target" | "--steps" | "--threads")
+                        Some("--target" | "--targets" | "--steps" | "--threads")
                     )
                 }))
             else {
                 eprintln!(
-                    "usage: liar optimize [--target blas|pytorch|pure-c] [--steps N] [--threads N] '<expr>'"
+                    "usage: liar optimize [--target blas|pytorch|pure-c | --targets a,b | --all-targets] [--steps N] [--threads N] '<expr>'"
                 );
                 return ExitCode::from(2);
             };
@@ -102,7 +171,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            report(&expr, parse_target(&args), parse_steps(&args), parse_threads(&args));
+            match parse_multi_targets(&args) {
+                Some(targets) => {
+                    report_multi(&expr, &targets, parse_steps(&args), parse_threads(&args));
+                }
+                None => {
+                    report(&expr, parse_target(&args), parse_steps(&args), parse_threads(&args));
+                }
+            }
             ExitCode::SUCCESS
         }
         Some("kernel") => {
@@ -112,12 +188,21 @@ fn main() -> ExitCode {
                 .filter(|a| !a.starts_with("--"))
                 .find_map(|n| Kernel::from_name(n))
             else {
-                eprintln!("usage: liar kernel [--target …] [--steps N] [--threads N] <kernel-name>");
+                eprintln!(
+                    "usage: liar kernel [--target … | --targets a,b | --all-targets] [--steps N] [--threads N] <kernel-name>"
+                );
                 return ExitCode::from(2);
             };
             let expr = kernel.expr(kernel.search_size());
             println!("kernel {}: {}\n", kernel.name(), kernel.description());
-            report(&expr, parse_target(&args), parse_steps(&args), parse_threads(&args));
+            match parse_multi_targets(&args) {
+                Some(targets) => {
+                    report_multi(&expr, &targets, parse_steps(&args), parse_threads(&args));
+                }
+                None => {
+                    report(&expr, parse_target(&args), parse_steps(&args), parse_threads(&args));
+                }
+            }
             ExitCode::SUCCESS
         }
         Some("emit-c") => {
@@ -127,12 +212,10 @@ fn main() -> ExitCode {
                 .filter(|a| !a.starts_with("--"))
                 .find_map(|n| Kernel::from_name(n))
             else {
-                eprintln!("usage: liar emit-c [--steps N] <kernel-name>");
+                eprintln!("usage: liar emit-c [--steps N] [--all-targets | --targets a,b] <kernel-name>");
                 return ExitCode::from(2);
             };
             let n = kernel.search_size();
-            let pipeline = Liar::new(Target::Blas).with_iter_limit(parse_steps(&args));
-            let best = pipeline.optimize(&kernel.expr(n)).best().best.clone();
             let inputs: Vec<CInput> = kernel
                 .inputs(n, 0)
                 .iter()
@@ -145,7 +228,22 @@ fn main() -> ExitCode {
                     }
                 })
                 .collect();
-            match emit_kernel(kernel.name().replace('-', "_").as_str(), &best, &inputs) {
+            let c_name = kernel.name().replace('-', "_");
+            if let Some(targets) = parse_multi_targets(&args) {
+                // One saturation, one C function per target's variant.
+                let pipeline = Liar::new(targets[0]).with_iter_limit(parse_steps(&args));
+                let report = pipeline.optimize_multi(&kernel.expr(n), &targets, &[1.0]);
+                let variants: Vec<(String, &Expr)> = report
+                    .solutions
+                    .iter()
+                    .map(|s| (s.target.name().replace('-', "_"), &s.best))
+                    .collect();
+                println!("{}", emit_kernel_variants(&c_name, &variants, &inputs));
+                return ExitCode::SUCCESS;
+            }
+            let pipeline = Liar::new(Target::Blas).with_iter_limit(parse_steps(&args));
+            let best = pipeline.optimize(&kernel.expr(n)).best().best.clone();
+            match emit_kernel(&c_name, &best, &inputs) {
                 Ok(c) => {
                     println!("{c}");
                     ExitCode::SUCCESS
@@ -164,7 +262,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: liar <optimize|kernel|emit-c|kernels> [--target blas|pytorch|pure-c] [--steps N] [--threads N]"
+                "usage: liar <optimize|kernel|emit-c|kernels> [--target blas|pytorch|pure-c | --targets a,b | --all-targets] [--steps N] [--threads N]"
             );
             ExitCode::from(2)
         }
