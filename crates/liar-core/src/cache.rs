@@ -1,0 +1,380 @@
+//! The saturation cache: a sharded, byte-budgeted LRU map from request
+//! [`Fingerprint`]s to finished [`MultiReport`]s.
+//!
+//! Saturation dominates the cost of an optimization request by orders of
+//! magnitude, and its result is a pure function of the request fingerprint
+//! (see [`crate::fingerprint`]). The cache therefore stores whole
+//! [`MultiReport`]s — including per-step statistics and timings, so a hit
+//! replays the original run **bit-identically** — behind [`Arc`]s, and
+//! [`Liar::optimize_multi`](crate::Liar::optimize_multi) consults it
+//! transparently when one is attached via
+//! [`Liar::with_cache`](crate::Liar::with_cache).
+//!
+//! Design:
+//!
+//! * **Sharded.** Entries map to one of N shards by fingerprint bits; each
+//!   shard is an independent `Mutex`-protected LRU, so concurrent serve
+//!   workers rarely contend on the same lock.
+//! * **Byte-budgeted.** The configured capacity is split evenly across
+//!   shards. Entry sizes are *estimates* ([`approx_report_bytes`]) — node
+//!   tables, strings and per-step vectors are counted, allocator overhead
+//!   is not — so treat the budget as a target, not a hard ceiling.
+//! * **LRU per shard.** Recency is a monotone tick per shard; eviction
+//!   pops the least recently used entry until the shard fits its budget.
+//!   A single report larger than a whole shard is rejected outright
+//!   (counted in [`CacheStats::rejected`]) rather than evicting the world.
+//! * **Counters.** Hits, misses, insertions, evictions and rejections are
+//!   relaxed atomics — cheap to bump from any thread and exported through
+//!   the serve protocol's `stats` op.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use liar_ir::ArrayLang;
+
+use crate::fingerprint::Fingerprint;
+use crate::pipeline::MultiReport;
+
+/// Default number of shards ([`SaturationCache::with_shards`] overrides).
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Aggregated cache counters (a point-in-time snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Reports stored (replacements count too).
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Reports refused because they exceed a whole shard's budget.
+    pub rejected: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Estimated bytes held right now.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when no lookups happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+struct Entry {
+    report: Arc<MultiReport>,
+    bytes: usize,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u128, Entry>,
+    /// tick → fingerprint, oldest first. Ticks are unique per shard, so
+    /// this is a faithful recency order.
+    recency: BTreeMap<u64, u128>,
+    bytes: usize,
+    next_tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: u128) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        if let Some(e) = self.map.get_mut(&key) {
+            self.recency.remove(&e.tick);
+            e.tick = tick;
+            self.recency.insert(tick, key);
+        }
+    }
+}
+
+/// The sharded LRU result cache (see the module docs).
+pub struct SaturationCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl std::fmt::Debug for SaturationCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SaturationCache")
+            .field("shards", &self.shards.len())
+            .field("shard_budget", &self.shard_budget)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SaturationCache {
+    /// A cache holding roughly `byte_budget` bytes of reports across
+    /// [`DEFAULT_SHARDS`] shards.
+    pub fn new(byte_budget: usize) -> Self {
+        Self::with_shards(byte_budget, DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (`0` is clamped to 1). The
+    /// byte budget is split evenly across shards.
+    pub fn with_shards(byte_budget: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        SaturationCache {
+            shard_budget: byte_budget / shards,
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: Fingerprint) -> &Mutex<Shard> {
+        // High bits: the low bits already picked the slot inside the
+        // shard's HashMap.
+        let i = (fp.0 >> 64) as u64 as usize % self.shards.len();
+        &self.shards[i]
+    }
+
+    /// Look up a finished report, bumping its recency on a hit.
+    pub fn get(&self, fp: Fingerprint) -> Option<Arc<MultiReport>> {
+        let mut shard = self.shard(fp).lock().unwrap();
+        match shard.map.get(&fp.0).map(|e| Arc::clone(&e.report)) {
+            Some(report) => {
+                shard.touch(fp.0);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(report)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a finished report. Returns `false` when the report alone
+    /// exceeds a whole shard's budget and was rejected.
+    pub fn insert(&self, fp: Fingerprint, report: Arc<MultiReport>) -> bool {
+        let bytes = approx_report_bytes(&report);
+        if bytes > self.shard_budget {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let mut shard = self.shard(fp).lock().unwrap();
+        let tick = shard.next_tick;
+        shard.next_tick += 1;
+        if let Some(old) = shard.map.remove(&fp.0) {
+            shard.recency.remove(&old.tick);
+            shard.bytes -= old.bytes;
+        }
+        shard.bytes += bytes;
+        shard.map.insert(fp.0, Entry { report, bytes, tick });
+        shard.recency.insert(tick, fp.0);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        while shard.bytes > self.shard_budget {
+            let (&oldest_tick, &victim) =
+                shard.recency.iter().next().expect("bytes > 0 implies entries");
+            shard.recency.remove(&oldest_tick);
+            let evicted = shard.map.remove(&victim).expect("recency and map agree");
+            shard.bytes -= evicted.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Whether a fingerprint currently has a live entry (no counter or
+    /// recency side effects — for tests and introspection).
+    pub fn contains(&self, fp: Fingerprint) -> bool {
+        self.shard(fp).lock().unwrap().map.contains_key(&fp.0)
+    }
+
+    /// A point-in-time snapshot of the counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut bytes = 0;
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            entries += shard.map.len();
+            bytes += shard.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+/// Estimated heap footprint of an expression (node table plus per-node
+/// heap payloads).
+fn approx_expr_bytes(expr: &liar_ir::Expr) -> usize {
+    let mut bytes = expr.len() * std::mem::size_of::<ArrayLang>();
+    for node in expr.nodes() {
+        match node {
+            ArrayLang::Sym(s) => bytes += s.capacity(),
+            ArrayLang::Call(_, args) => {
+                bytes += args.len() * std::mem::size_of::<liar_egraph::Id>()
+            }
+            _ => {}
+        }
+    }
+    bytes
+}
+
+/// Estimated bytes a [`MultiReport`] occupies (see the module docs for
+/// what the estimate covers).
+pub fn approx_report_bytes(report: &MultiReport) -> usize {
+    use std::mem::size_of;
+    let mut bytes = size_of::<MultiReport>();
+    bytes += report.targets.capacity() * size_of::<crate::Target>();
+    bytes += report.discount_scales.capacity() * size_of::<f64>();
+    bytes += report.steps.capacity() * size_of::<crate::SaturationStep>();
+    for s in &report.solutions {
+        bytes += size_of::<crate::MultiSolution>();
+        bytes += approx_expr_bytes(&s.best);
+        bytes += approx_expr_bytes(&s.dag_best);
+        for name in s.lib_calls.keys() {
+            // BTreeMap node overhead is ignored; key string + counter.
+            bytes += name.capacity() + size_of::<usize>() + size_of::<String>();
+        }
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Liar, Target};
+    use liar_ir::dsl;
+
+    fn report_for(n: usize) -> (Fingerprint, Arc<MultiReport>) {
+        let expr = dsl::vsum(n, dsl::sym("xs"));
+        let liar = Liar::new(Target::Blas).with_iter_limit(3);
+        let fp = liar.request_fingerprint(&expr, &[Target::Blas], &[1.0]);
+        let report = liar.optimize_multi(&expr, &[Target::Blas], &[1.0]);
+        (fp, Arc::new(report))
+    }
+
+    #[test]
+    fn get_after_insert_returns_the_same_arc() {
+        let cache = SaturationCache::new(1 << 20);
+        let (fp, report) = report_for(8);
+        assert!(cache.insert(fp, Arc::clone(&report)));
+        let hit = cache.get(fp).expect("inserted");
+        assert!(Arc::ptr_eq(&hit, &report));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 0, 1));
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn miss_counts() {
+        let cache = SaturationCache::new(1 << 20);
+        let (fp, _) = report_for(8);
+        assert!(cache.get(fp).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_under_a_tiny_budget() {
+        let (fp_a, a) = report_for(8);
+        let (fp_b, b) = report_for(9);
+        let (fp_c, c) = report_for(10);
+        let one = approx_report_bytes(&a)
+            .max(approx_report_bytes(&b))
+            .max(approx_report_bytes(&c));
+        // One shard that fits two entries but not three.
+        let cache = SaturationCache::with_shards(one * 2 + one / 2, 1);
+        assert!(cache.insert(fp_a, a));
+        assert!(cache.insert(fp_b, b));
+        // Touch A so B becomes the LRU victim.
+        assert!(cache.get(fp_a).is_some());
+        assert!(cache.insert(fp_c, c));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1, "{stats:?}");
+        assert!(cache.contains(fp_a), "recently used entry survived");
+        assert!(!cache.contains(fp_b), "LRU entry evicted");
+        assert!(cache.contains(fp_c), "new entry resident");
+        assert!(stats.bytes <= one * 2 + one / 2);
+    }
+
+    #[test]
+    fn oversized_reports_are_rejected_not_evicting_the_world() {
+        let (fp_a, a) = report_for(8);
+        // A clearly bigger report: three targets at two discount scales
+        // (six solutions, each with two expressions).
+        let expr = dsl::vsum(16, dsl::sym("xs"));
+        let liar = Liar::new(Target::Blas).with_iter_limit(3);
+        let fp_b = liar.request_fingerprint(&expr, &Target::ALL, &[1.0, 2.0]);
+        let b = Arc::new(liar.optimize_multi(&expr, &Target::ALL, &[1.0, 2.0]));
+        let cache = SaturationCache::with_shards(approx_report_bytes(&a) + 1, 1);
+        assert!(cache.insert(fp_a, a));
+        // B is bigger than the whole shard: refused, A stays resident.
+        assert!(approx_report_bytes(&b) > cache.shard_budget);
+        assert!(!cache.insert(fp_b, b));
+        assert!(cache.contains(fp_a));
+        assert!(!cache.contains(fp_b));
+        assert_eq!(cache.stats().rejected, 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn cached_report_is_bit_identical_to_the_cold_run() {
+        use crate::CacheStatus;
+        let cache = Arc::new(SaturationCache::new(1 << 22));
+        let liar = Liar::new(Target::Blas)
+            .with_iter_limit(4)
+            .with_cache(Arc::clone(&cache));
+        let expr = dsl::vsum(64, dsl::sym("xs"));
+        let (cold, s1) = liar.optimize_multi_status(&expr, &Target::ALL, &[1.0]);
+        let (warm, s2) = liar.optimize_multi_status(&expr, &Target::ALL, &[1.0]);
+        assert_eq!(s1, CacheStatus::Miss);
+        assert_eq!(s2, CacheStatus::Hit);
+        // The whole report replays: solutions, costs, per-step stats and
+        // even the original run's timings.
+        assert_eq!(cold, warm);
+        // A semantically identical request (different text layout, same
+        // term) hits too.
+        let same: crate::pipeline::MultiReport = {
+            let reparsed: liar_ir::Expr = format!(" {} ", expr).parse().unwrap();
+            let (r, s) = liar.optimize_multi_status(&reparsed, &Target::ALL, &[1.0]);
+            assert_eq!(s, CacheStatus::Hit);
+            r
+        };
+        assert_eq!(cold, same);
+        // Without a cache the pipeline reports Uncached and recomputes.
+        let uncached = Liar::new(Target::Blas).with_iter_limit(4);
+        let (_, s) = uncached.optimize_multi_status(&expr, &Target::ALL, &[1.0]);
+        assert_eq!(s, CacheStatus::Uncached);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2, "{stats:?}");
+        assert_eq!(stats.insertions, 1);
+    }
+
+    #[test]
+    fn replacement_does_not_leak_bytes() {
+        let cache = SaturationCache::with_shards(1 << 20, 1);
+        let (fp, report) = report_for(8);
+        assert!(cache.insert(fp, Arc::clone(&report)));
+        let bytes = cache.stats().bytes;
+        assert!(cache.insert(fp, report));
+        assert_eq!(cache.stats().bytes, bytes, "replacement kept one copy");
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

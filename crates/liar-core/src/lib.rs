@@ -29,12 +29,16 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod cache;
 pub mod cost;
+pub mod fingerprint;
 pub mod pipeline;
 pub mod rules;
 
+pub use cache::{CacheStats, SaturationCache};
 pub use cost::TargetCost;
+pub use fingerprint::{BudgetKnobs, Fingerprint};
 pub use pipeline::{
-    Liar, MultiReport, MultiSolution, OptimizationReport, SaturationStep, StepReport,
+    CacheStatus, Liar, MultiReport, MultiSolution, OptimizationReport, SaturationStep, StepReport,
 };
 pub use rules::{RuleConfig, Target};

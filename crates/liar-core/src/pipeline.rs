@@ -2,6 +2,7 @@
 //! solutions.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use liar_egraph::{
@@ -9,7 +10,9 @@ use liar_egraph::{
 };
 use liar_ir::{ArrayEGraph, Expr};
 
+use crate::cache::SaturationCache;
 use crate::cost::TargetCost;
+use crate::fingerprint::{request_fingerprint, BudgetKnobs, Fingerprint};
 use crate::rules::{rules_for, rules_for_targets, RuleConfig, Target};
 
 /// The state of the search after one saturation step: e-graph statistics
@@ -107,7 +110,7 @@ impl OptimizationReport {
 /// Per-step e-graph statistics of a multi-target saturation (the
 /// [`StepReport`] fields that do not depend on a target's cost model —
 /// multi-target runs extract only once, at the end).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SaturationStep {
     /// Saturation step (0 = before any rewriting).
     pub step: usize,
@@ -135,7 +138,7 @@ pub struct SaturationStep {
 /// `dag_cost`/`dag_best` come from the DAG extractor
 /// ([`liar_egraph::DagExtractor`]), which charges each selected e-class
 /// once, so `dag_cost <= cost` always.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiSolution {
     /// The target whose cost model extracted this solution.
     pub target: Target,
@@ -185,7 +188,10 @@ impl MultiSolution {
 /// The result of a "saturate once, extract everywhere" run
 /// ([`Liar::optimize_multi`]): one saturation with the union ruleset, one
 /// [`MultiSolution`] per `(target, discount_scale)` pair.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field, timings included — the saturation
+/// cache's "bit-identical replay" contract is tested with plain `==`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiReport {
     /// The targets extracted, in the order requested.
     pub targets: Vec<Target>,
@@ -252,6 +258,36 @@ pub struct Liar {
     match_limit: usize,
     discount_scale: f64,
     threads: usize,
+    cache: Option<Arc<SaturationCache>>,
+}
+
+/// How [`Liar::optimize_multi_status`] obtained its report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Replayed from the attached saturation cache.
+    Hit,
+    /// Computed now and stored in the attached cache (or refused by its
+    /// byte budget — see [`crate::cache::CacheStats::rejected`]).
+    Miss,
+    /// Computed now; no cache is attached.
+    Uncached,
+}
+
+impl CacheStatus {
+    /// Wire name (the serve protocol's `cache` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Uncached => "uncached",
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
 }
 
 impl Liar {
@@ -269,6 +305,7 @@ impl Liar {
             match_limit: 40_000,
             discount_scale: 1.0,
             threads: 1,
+            cache: None,
         }
     }
 
@@ -319,9 +356,41 @@ impl Liar {
         self
     }
 
+    /// Attach a shared saturation cache: [`Liar::optimize_multi`] will
+    /// replay cached reports and store fresh ones. Clones of this
+    /// pipeline share the same cache (it is behind an [`Arc`]).
+    pub fn with_cache(mut self, cache: Arc<SaturationCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The target this pipeline optimizes for.
     pub fn target(&self) -> Target {
         self.target
+    }
+
+    /// The budget knobs that participate in request fingerprints.
+    pub fn budget_knobs(&self) -> BudgetKnobs {
+        BudgetKnobs {
+            iter_limit: self.limits.iter_limit,
+            node_limit: self.limits.node_limit,
+            time_limit: self.limits.time_limit,
+            match_limit: self.match_limit,
+        }
+    }
+
+    /// The content address of the [`Liar::optimize_multi`] request
+    /// `(expr, targets, discount_scales)` would make under this
+    /// pipeline's configuration — see [`crate::fingerprint`] for what the
+    /// key covers (notably: the thread count is excluded, because
+    /// parallel search is bit-identical to serial).
+    pub fn request_fingerprint(
+        &self,
+        expr: &Expr,
+        targets: &[Target],
+        discount_scales: &[f64],
+    ) -> Fingerprint {
+        request_fingerprint(expr, &self.config, targets, discount_scales, &self.budget_knobs())
     }
 
     /// The saturation runner every pipeline mode shares: same scheduler,
@@ -456,6 +525,45 @@ impl Liar {
     /// assert!(blas.dag_cost <= blas.cost);
     /// ```
     pub fn optimize_multi(
+        &self,
+        expr: &Expr,
+        targets: &[Target],
+        discount_scales: &[f64],
+    ) -> MultiReport {
+        self.optimize_multi_status(expr, targets, discount_scales).0
+    }
+
+    /// [`Liar::optimize_multi`], also reporting whether the report came
+    /// from the attached saturation cache.
+    ///
+    /// With a cache attached ([`Liar::with_cache`]), the request is keyed
+    /// by [`Liar::request_fingerprint`]; a hit returns a clone of the
+    /// stored report — **bit-identical** to the cold run that populated
+    /// it, per-step statistics and timings included — and bumps its LRU
+    /// recency. A miss computes the report and stores it.
+    pub fn optimize_multi_status(
+        &self,
+        expr: &Expr,
+        targets: &[Target],
+        discount_scales: &[f64],
+    ) -> (MultiReport, CacheStatus) {
+        let Some(cache) = &self.cache else {
+            return (
+                self.compute_multi(expr, targets, discount_scales),
+                CacheStatus::Uncached,
+            );
+        };
+        let fp = self.request_fingerprint(expr, targets, discount_scales);
+        if let Some(report) = cache.get(fp) {
+            return ((*report).clone(), CacheStatus::Hit);
+        }
+        let report = self.compute_multi(expr, targets, discount_scales);
+        cache.insert(fp, Arc::new(report.clone()));
+        (report, CacheStatus::Miss)
+    }
+
+    /// The uncached "saturate once, extract everywhere" computation.
+    fn compute_multi(
         &self,
         expr: &Expr,
         targets: &[Target],

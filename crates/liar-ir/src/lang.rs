@@ -318,6 +318,30 @@ impl ArrayLang {
             _ => None,
         }
     }
+
+    /// Whether `name` is usable as a [`ArrayLang::Sym`] input name such
+    /// that the term **round-trips** through the textual syntax
+    /// (`Display` then `FromStr` reproduces the same tree, the wire
+    /// contract of the serve protocol).
+    ///
+    /// Valid names are non-empty, drawn from `[A-Za-z0-9_.]`, and not
+    /// claimed by anything else in the grammar: not parseable as a float
+    /// (which excludes `1e5`, `inf`, `nan`, …), not a library-function
+    /// name, and not a core-form keyword. [`dsl::sym`](crate::dsl::sym)
+    /// debug-asserts this; the parser can only ever produce valid names
+    /// (everything else errors first).
+    pub fn is_valid_sym(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            && name.parse::<f64>().is_err()
+            && LibFn::from_name(name).is_none()
+            && !matches!(
+                name,
+                "lam" | "app" | "build" | "get" | "ifold" | "tuple" | "fst" | "snd"
+            )
+    }
 }
 
 impl Language for ArrayLang {
@@ -485,10 +509,15 @@ impl Language for ArrayLang {
                     };
                 }
                 if let Ok(v) = op.parse::<f64>() {
-                    return if children.is_empty() {
-                        Ok(ArrayLang::num(v))
-                    } else {
+                    return if !children.is_empty() {
                         Err(format!("constant {op} takes no arguments"))
+                    } else if v.is_nan() {
+                        // `Num::new` panics on NaN; untrusted input (the
+                        // serve protocol parses client programs) must get
+                        // an error instead.
+                        Err(format!("NaN constant {op} is not representable"))
+                    } else {
+                        Ok(ArrayLang::num(v))
                     };
                 }
                 if children.is_empty()

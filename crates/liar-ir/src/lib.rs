@@ -50,10 +50,12 @@
 pub mod analysis;
 pub mod debruijn;
 pub mod dsl;
+pub mod fingerprint;
 mod lang;
 
 pub use analysis::{ArrayAnalysis, ClassData};
 pub use debruijn::VarSet;
+pub use fingerprint::{ContentAddressed, ContentHash, StableHasher};
 pub use lang::{ArrayLang, LibFn, Num};
 
 /// A term of the array IR.

@@ -1,0 +1,698 @@
+//! The optimization daemon: accept loop, bounded job queue, worker pool,
+//! single-flight coalescing and budget batching.
+//!
+//! # Anatomy of a request
+//!
+//! ```text
+//! client ──frame──▶ connection thread ──job──▶ bounded queue ──▶ worker pool
+//!                        │                                         │
+//!                        ◀──────────── response channel ◀──────────┘
+//! ```
+//!
+//! * One **connection thread** per client parses frames, answers `ping`
+//!   and `stats` inline, and turns `optimize` requests into jobs. The
+//!   queue is **bounded**: when it is full the client gets a structured
+//!   `queue-full` error instead of unbounded memory growth.
+//! * **Workers** (`--workers N`) pop jobs. A worker that pops a job also
+//!   **drains a batch**: it takes along every queued job with the same
+//!   saturation budget (up to a cap), so one queue interaction feeds a
+//!   run of requests that exercise the same configuration — duplicates
+//!   inside the batch collapse onto the cache/single-flight layer
+//!   without ever waking another worker.
+//! * **Single-flight**: identical in-flight fingerprints share one
+//!   computation. The first job becomes the *leader* and computes; the
+//!   rest wait on the leader's result and respond `"cache":"coalesced"`.
+//!   If a leader dies, waiters fall back to computing themselves.
+//! * Every worker shares one [`SaturationCache`] through
+//!   [`Liar::with_cache`], so repeat fingerprints replay bit-identically
+//!   (`"cache":"hit"`).
+//!
+//! The daemon trusts its network: it is an **unauthenticated loopback
+//! service** (bind it to `127.0.0.1`), with robustness against malformed
+//! and oversized frames but no authentication or TLS.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use liar_core::{Fingerprint, Liar, MultiReport, SaturationCache, Target};
+use liar_ir::{Expr, StableHasher};
+
+use crate::protocol::{
+    self, read_frame, target_from_wire, write_frame, ErrorCode, FrameError, OptimizeRequest,
+    OptimizeResponse, Request, Response, SolutionMsg, StatsResponse,
+};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:4004` (port 0 picks a free one).
+    pub addr: String,
+    /// Worker threads executing optimizations.
+    pub workers: usize,
+    /// Bounded job-queue capacity; beyond it clients get `queue-full`.
+    pub queue_cap: usize,
+    /// Byte budget of the shared saturation cache.
+    pub cache_bytes: usize,
+    /// Maximum frame payload size accepted.
+    pub max_frame: usize,
+    /// Default saturation-step limit when a request names none.
+    pub default_steps: usize,
+    /// Ceiling on a request's `steps` (`budget-too-large` beyond it).
+    pub max_steps: usize,
+    /// Default e-node budget when a request names none.
+    pub default_node_limit: usize,
+    /// Ceiling on a request's `node_limit`.
+    pub max_node_limit: usize,
+    /// Ceiling on a request's `discount_scales` length (each scale is a
+    /// full per-target extraction, so this is a budget knob too).
+    pub max_discount_scales: usize,
+    /// Most jobs one worker drains per queue interaction.
+    pub batch_max: usize,
+    /// E-matching threads inside each optimization (results are
+    /// bit-identical regardless; see `Liar::with_threads`).
+    pub search_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_cap: 64,
+            cache_bytes: 64 << 20,
+            max_frame: protocol::DEFAULT_MAX_FRAME,
+            default_steps: 8,
+            max_steps: 24,
+            default_node_limit: 300_000,
+            max_node_limit: 1_000_000,
+            max_discount_scales: 8,
+            batch_max: 8,
+            search_threads: 1,
+        }
+    }
+}
+
+/// A validated optimize job, ready for a worker.
+struct Job {
+    id: Option<String>,
+    expr: Expr,
+    targets: Vec<Target>,
+    discount_scales: Vec<f64>,
+    pipeline: Liar,
+    fingerprint: Fingerprint,
+    /// Hash of the budget knobs alone — the batching key.
+    budget_key: u64,
+    received: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Result a single-flight leader publishes for its waiters.
+enum FlightState {
+    Running,
+    Done(Arc<MultiReport>),
+    /// The leader disappeared without publishing (panic); waiters must
+    /// compute for themselves.
+    Abandoned,
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+/// Drop guard for a single-flight leader. On drop it always removes the
+/// in-flight map entry (so the fingerprint can fly again), and if the
+/// leader unwound before publishing it marks the flight abandoned so
+/// waiters do not hang. Without the unconditional removal, a panicking
+/// leader would leave a dead `Abandoned` flight in the map forever,
+/// permanently disabling coalescing for that fingerprint.
+struct FlightGuard<'a> {
+    flight: Arc<Flight>,
+    shared: &'a Shared,
+    fp: u128,
+    published: bool,
+}
+
+impl FlightGuard<'_> {
+    fn publish(&mut self, report: Arc<MultiReport>) {
+        *self.flight.state.lock().unwrap() = FlightState::Done(report);
+        self.flight.cv.notify_all();
+        self.published = true;
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            *self.flight.state.lock().unwrap() = FlightState::Abandoned;
+            self.flight.cv.notify_all();
+        }
+        self.shared.inflight.lock().unwrap().remove(&self.fp);
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    coalesced: AtomicU64,
+    batched: AtomicU64,
+}
+
+struct Shared {
+    config: ServerConfig,
+    cache: Arc<SaturationCache>,
+    queue: Mutex<Vec<Job>>,
+    queue_cv: Condvar,
+    inflight: Mutex<HashMap<u128, Arc<Flight>>>,
+    stopping: AtomicBool,
+    counters: Counters,
+}
+
+impl Shared {
+    fn stats(&self) -> StatsResponse {
+        let cache = self.cache.stats();
+        StatsResponse {
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_insertions: cache.insertions,
+            cache_evictions: cache.evictions,
+            cache_rejected: cache.rejected,
+            cache_entries: cache.entries,
+            cache_bytes: cache.bytes,
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            batched: self.counters.batched.load(Ordering::Relaxed),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`Server::shutdown`] (or send the `shutdown` op).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `config.addr` and start the accept loop and worker pool.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let cache = Arc::new(SaturationCache::new(config.cache_bytes));
+        let shared = Arc::new(Shared {
+            cache,
+            queue: Mutex::new(Vec::new()),
+            queue_cv: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            stopping: AtomicBool::new(false),
+            counters: Counters::default(),
+            config,
+        });
+
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("liar-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("liar-accept".to_string())
+                .spawn(move || accept_loop(listener, &shared, &connections))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            workers,
+            connections,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the service + cache counters.
+    pub fn stats(&self) -> StatsResponse {
+        self.shared.stats()
+    }
+
+    /// Whether a shutdown has been requested (via [`Server::shutdown`] or
+    /// the `shutdown` op).
+    pub fn stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Block until a shutdown is requested (the daemon main loop). Polls
+    /// at the connection threads' cadence; follow with
+    /// [`Server::shutdown`] to drain and join.
+    pub fn wait(&self) {
+        while !self.stopping() {
+            std::thread::sleep(READ_POLL);
+        }
+    }
+
+    /// Stop accepting, drain queued jobs, and join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        // Unblock `accept` by poking the listener.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let conns = std::mem::take(&mut *self.connections.lock().unwrap());
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    connections: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("liar-conn".to_string())
+            .spawn(move || connection_loop(stream, &shared))
+            .expect("spawn connection thread");
+        let mut conns = connections.lock().unwrap();
+        // Reap finished connection threads so a long-lived daemon serving
+        // many short-lived connections does not accumulate handles.
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].is_finished() {
+                let _ = conns.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        conns.push(handle);
+    }
+}
+
+/// Poll interval connection threads use so they notice shutdown even
+/// while blocked on an idle socket.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = BufWriter::new(stream);
+    let max_frame = shared.config.max_frame;
+
+    loop {
+        let payload = match read_frame(&mut reader, max_frame) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean EOF
+            // Idle = timeout at a frame boundary, nothing consumed: the
+            // read-timeout is our shutdown poll cadence. (Timeouts *inside*
+            // a frame are retried by read_frame itself, so a slow client
+            // cannot desynchronize the stream.)
+            Err(FrameError::Idle) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Io(_)) => return,
+            Err(FrameError::TooLarge { len, max, recovered }) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    id: None,
+                    code: ErrorCode::FrameTooLarge,
+                    message: format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                };
+                let _ = write_frame(&mut writer, &resp.to_payload());
+                if recovered {
+                    continue; // stream is still frame-aligned
+                }
+                return;
+            }
+            Err(FrameError::BadHeader(h)) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    id: None,
+                    code: ErrorCode::BadFrame,
+                    message: format!("malformed frame header {h:?}"),
+                };
+                let _ = write_frame(&mut writer, &resp.to_payload());
+                return; // unrecoverable: close
+            }
+        };
+
+        let response = handle_payload(&payload, shared);
+        let is_shutdown = matches!(response, Response::ShuttingDown);
+        if matches!(response, Response::Error { .. }) {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_frame(&mut writer, &response.to_payload()).is_err() {
+            return;
+        }
+        if is_shutdown {
+            shared.begin_shutdown();
+            return;
+        }
+    }
+}
+
+/// Parse, validate, enqueue and await one request payload.
+fn handle_payload(payload: &[u8], shared: &Arc<Shared>) -> Response {
+    let request = match Request::from_payload(payload) {
+        Ok(r) => r,
+        Err((code, message)) => {
+            return Response::Error {
+                id: None,
+                code,
+                message,
+            }
+        }
+    };
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats => Response::Stats(shared.stats()),
+        Request::Shutdown => Response::ShuttingDown,
+        Request::Optimize(req) => {
+            if shared.stopping.load(Ordering::SeqCst) {
+                return Response::Error {
+                    id: req.id,
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is shutting down".to_string(),
+                };
+            }
+            let (job, rx) = match make_job(req, shared) {
+                Ok(pair) => pair,
+                Err(resp) => return *resp,
+            };
+            {
+                let mut queue = shared.queue.lock().unwrap();
+                // Re-check under the queue lock: workers only exit after
+                // observing (stopping && queue empty) under this same
+                // lock, so a push that wins the lock with stopping still
+                // false is guaranteed to be drained. Without this check a
+                // job pushed after the workers exited would strand its
+                // reply channel and hang the connection thread.
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return Response::Error {
+                        id: job.id,
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is shutting down".to_string(),
+                    };
+                }
+                if queue.len() >= shared.config.queue_cap {
+                    return Response::Error {
+                        id: job.id,
+                        code: ErrorCode::QueueFull,
+                        message: format!(
+                            "job queue is at capacity ({}); retry later",
+                            shared.config.queue_cap
+                        ),
+                    };
+                }
+                queue.push(job);
+                // Counted only once actually accepted into the queue —
+                // rejected submissions show up in `errors`, not here.
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                shared.queue_cv.notify_one();
+            }
+            match rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => Response::Error {
+                    id: None,
+                    code: ErrorCode::ShuttingDown,
+                    message: "worker pool exited before the job completed".to_string(),
+                },
+            }
+        }
+    }
+}
+
+/// Validate an optimize request into a runnable job.
+fn make_job(
+    req: OptimizeRequest,
+    shared: &Arc<Shared>,
+) -> Result<(Job, mpsc::Receiver<Response>), Box<Response>> {
+    let cfg = &shared.config;
+    let err = |code, message: String| {
+        Box::new(Response::Error {
+            id: req.id.clone(),
+            code,
+            message,
+        })
+    };
+
+    let expr: Expr = match req.program.parse() {
+        Ok(e) => e,
+        Err(e) => return Err(err(ErrorCode::ParseError, e.to_string())),
+    };
+    let mut targets = Vec::new();
+    if req.targets.is_empty() {
+        targets.extend(Target::ALL);
+    } else {
+        for name in &req.targets {
+            match target_from_wire(name) {
+                // Dedupe, preserving first-occurrence order.
+                Some(t) if !targets.contains(&t) => targets.push(t),
+                Some(_) => {}
+                None => {
+                    return Err(err(
+                        ErrorCode::UnknownTarget,
+                        format!("unknown target {name:?} (expected blas | pytorch | pure-c)"),
+                    ))
+                }
+            }
+        }
+    }
+    let discount_scales = if req.discount_scales.is_empty() {
+        vec![1.0]
+    } else {
+        if req.discount_scales.len() > cfg.max_discount_scales {
+            return Err(err(
+                ErrorCode::BudgetTooLarge,
+                format!(
+                    "{} discount scales exceeds the server cap {} (each scale is a full \
+                     per-target extraction)",
+                    req.discount_scales.len(),
+                    cfg.max_discount_scales
+                ),
+            ));
+        }
+        req.discount_scales.clone()
+    };
+    let steps = req.steps.unwrap_or(cfg.default_steps);
+    if steps > cfg.max_steps {
+        return Err(err(
+            ErrorCode::BudgetTooLarge,
+            format!("steps {} exceeds the server cap {}", steps, cfg.max_steps),
+        ));
+    }
+    let node_limit = req.node_limit.unwrap_or(cfg.default_node_limit);
+    if node_limit > cfg.max_node_limit {
+        return Err(err(
+            ErrorCode::BudgetTooLarge,
+            format!(
+                "node_limit {} exceeds the server cap {}",
+                node_limit, cfg.max_node_limit
+            ),
+        ));
+    }
+
+    let pipeline = Liar::new(targets[0])
+        .with_iter_limit(steps)
+        .with_node_limit(node_limit)
+        .with_threads(cfg.search_threads)
+        .with_cache(Arc::clone(&shared.cache));
+    let fingerprint = pipeline.request_fingerprint(&expr, &targets, &discount_scales);
+    let budget_key = {
+        let knobs = pipeline.budget_knobs();
+        let mut h = StableHasher::new();
+        h.u64(knobs.iter_limit as u64);
+        h.u64(knobs.node_limit as u64);
+        h.u64(knobs.match_limit as u64);
+        h.finish() as u64
+    };
+
+    let (tx, rx) = mpsc::channel();
+    Ok((
+        Job {
+            id: req.id,
+            expr,
+            targets,
+            discount_scales,
+            pipeline,
+            fingerprint,
+            budget_key,
+            received: Instant::now(),
+            reply: tx,
+        },
+        rx,
+    ))
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.queue_cv.wait(queue).unwrap();
+            }
+            // Pop the oldest job, then drain every queued job that shares
+            // its saturation budget (up to batch_max) — one queue
+            // interaction feeds a whole run of same-configuration work.
+            let leader = queue.remove(0);
+            let mut batch = vec![leader];
+            let mut i = 0;
+            while i < queue.len() && batch.len() < shared.config.batch_max {
+                if queue[i].budget_key == batch[0].budget_key {
+                    batch.push(queue.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            if batch.len() > 1 {
+                shared
+                    .counters
+                    .batched
+                    .fetch_add(batch.len() as u64 - 1, Ordering::Relaxed);
+            }
+            batch
+        };
+        for job in batch {
+            process_job(job, shared);
+        }
+    }
+}
+
+/// Execute one job through the cache + single-flight layers and reply.
+fn process_job(job: Job, shared: &Arc<Shared>) {
+    let fp = job.fingerprint;
+    // Single-flight: join an identical in-flight computation if one
+    // exists, otherwise become the leader.
+    let (flight, leader) = {
+        let mut inflight = shared.inflight.lock().unwrap();
+        match inflight.get(&fp.0) {
+            Some(flight) => (Arc::clone(flight), false),
+            None => {
+                let flight = Arc::new(Flight {
+                    state: Mutex::new(FlightState::Running),
+                    cv: Condvar::new(),
+                });
+                inflight.insert(fp.0, Arc::clone(&flight));
+                (flight, true)
+            }
+        }
+    };
+
+    let (report, verdict) = if leader {
+        let mut guard = FlightGuard {
+            flight: Arc::clone(&flight),
+            shared,
+            fp: fp.0,
+            published: false,
+        };
+        let (report, status) =
+            job.pipeline
+                .optimize_multi_status(&job.expr, &job.targets, &job.discount_scales);
+        let report = Arc::new(report);
+        guard.publish(Arc::clone(&report));
+        drop(guard); // removes the in-flight entry
+        (report, status.name())
+    } else {
+        let published = {
+            let mut state = flight.state.lock().unwrap();
+            loop {
+                match &*state {
+                    FlightState::Running => state = flight.cv.wait(state).unwrap(),
+                    FlightState::Done(report) => break Some(Arc::clone(report)),
+                    FlightState::Abandoned => break None,
+                }
+            }
+        };
+        match published {
+            Some(report) => {
+                shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                (report, "coalesced")
+            }
+            None => {
+                // Leader died; compute directly (the cache may well
+                // cover it by now anyway).
+                let (report, status) = job.pipeline.optimize_multi_status(
+                    &job.expr,
+                    &job.targets,
+                    &job.discount_scales,
+                );
+                (Arc::new(report), status.name())
+            }
+        }
+    };
+
+    let response = Response::Optimize(build_response(&job, &report, verdict.to_string()));
+    let _ = job.reply.send(response);
+}
+
+fn build_response(job: &Job, report: &MultiReport, cache: String) -> OptimizeResponse {
+    OptimizeResponse {
+        id: job.id.clone(),
+        fingerprint: job.fingerprint.to_string(),
+        cache,
+        stop_reason: report.stop_reason.to_string(),
+        n_nodes: report.n_nodes,
+        n_classes: report.n_classes,
+        saturation_s: report.saturation_time.as_secs_f64(),
+        server_ms: job.received.elapsed().as_secs_f64() * 1e3,
+        solutions: report
+            .solutions
+            .iter()
+            .map(|s| SolutionMsg {
+                target: s.target.name().to_string(),
+                discount_scale: s.discount_scale,
+                cost: s.cost,
+                dag_cost: s.dag_cost,
+                solution: s.solution_summary(),
+                best: s.best.to_string(),
+                lib_calls: s.lib_calls.clone(),
+            })
+            .collect(),
+    }
+}

@@ -1,0 +1,302 @@
+//! End-to-end loopback tests of the optimization service: response
+//! fidelity against the in-process pipeline, cache and single-flight
+//! behavior under concurrency, and protocol robustness against
+//! malformed/oversized frames.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use liar_core::{Liar, MultiReport, Target};
+use liar_kernels::Kernel;
+use liar_serve::protocol::{read_frame, write_frame};
+use liar_serve::{Client, ErrorCode, OptimizeRequest, Response, Server, ServerConfig};
+
+const STEPS: usize = 6;
+
+fn server(config: ServerConfig) -> Server {
+    Server::start(config).expect("bind loopback")
+}
+
+fn request_for(program: &str) -> OptimizeRequest {
+    let mut req = OptimizeRequest::new(program);
+    req.steps = Some(STEPS);
+    req
+}
+
+/// The in-process run a served response must reproduce bit-identically.
+fn in_process(program: &str) -> MultiReport {
+    let expr = program.parse().expect("test programs parse");
+    Liar::new(Target::PureC)
+        .with_iter_limit(STEPS)
+        .optimize_multi(&expr, &Target::ALL, &[1.0])
+}
+
+/// Assert a served response matches an in-process report field-for-field
+/// (everything the protocol carries; timings are run-dependent and the
+/// protocol reports the *original* run's saturation time, which cannot be
+/// compared against a different process-local run).
+fn assert_matches(resp: &liar_serve::OptimizeResponse, expected: &MultiReport) {
+    assert_eq!(resp.stop_reason, expected.stop_reason.to_string());
+    assert_eq!(resp.n_nodes, expected.n_nodes);
+    assert_eq!(resp.n_classes, expected.n_classes);
+    assert_eq!(resp.solutions.len(), expected.solutions.len());
+    for (got, want) in resp.solutions.iter().zip(&expected.solutions) {
+        assert_eq!(got.target, want.target.name());
+        assert_eq!(got.discount_scale, want.discount_scale);
+        assert_eq!(got.best, want.best.to_string(), "{}", got.target);
+        assert_eq!(got.cost.to_bits(), want.cost.to_bits(), "{}", got.target);
+        assert_eq!(
+            got.dag_cost.to_bits(),
+            want.dag_cost.to_bits(),
+            "{}",
+            got.target
+        );
+        assert_eq!(got.solution, want.solution_summary());
+        assert_eq!(got.lib_calls, want.lib_calls);
+    }
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_responses_and_cache_hits() {
+    let srv = server(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let addr = srv.local_addr();
+
+    // A mix of PolyBench programs, each with its cold in-process report.
+    let programs: Vec<String> = [Kernel::Vsum, Kernel::Gemv, Kernel::Atax]
+        .iter()
+        .map(|k| k.expr(k.search_size()).to_string())
+        .collect();
+    let expected: Vec<MultiReport> = programs.iter().map(|p| in_process(p)).collect();
+    let programs = Arc::new(programs);
+    let expected = Arc::new(expected);
+
+    // Wave 1: N concurrent clients, each submitting every program.
+    let n_clients = 4;
+    let handles: Vec<_> = (0..n_clients)
+        .map(|c| {
+            let programs = Arc::clone(&programs);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for (i, program) in programs.iter().enumerate() {
+                    // Stagger the order per client to mix the queue.
+                    let i = (i + c) % programs.len();
+                    let resp = client
+                        .optimize(request_for(&programs[i]))
+                        .expect("optimize");
+                    let _ = program;
+                    assert_matches(&resp, &expected[i]);
+                    assert_eq!(resp.fingerprint.len(), 32);
+                    assert!(
+                        ["hit", "miss", "coalesced"].contains(&resp.cache.as_str()),
+                        "{}",
+                        resp.cache
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    // Each program was computed at most once per fingerprint: of the
+    // 4 × 3 submissions, exactly 3 were misses (one per program);
+    // everything else came from the cache or coalesced onto a leader.
+    let stats = srv.stats();
+    assert_eq!(stats.requests, (n_clients * 3) as u64);
+    assert_eq!(stats.cache_insertions, 3, "{stats:?}");
+    assert_eq!(
+        stats.cache_hits + stats.coalesced,
+        (n_clients * 3 - 3) as u64,
+        "{stats:?}"
+    );
+
+    // Wave 2: duplicate submissions are hits, verified via the response's
+    // cache-status field, and replay bit-identically.
+    let mut client = Client::connect(addr).expect("connect");
+    for (i, program) in programs.iter().enumerate() {
+        let resp = client.optimize(request_for(program)).expect("optimize");
+        assert_eq!(resp.cache, "hit", "{program}");
+        assert_matches(&resp, &expected[i]);
+    }
+    let after = srv.stats();
+    assert!(after.cache_hits >= stats.cache_hits + 3);
+
+    srv.shutdown();
+}
+
+#[test]
+fn identical_inflight_requests_single_flight() {
+    let srv = server(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let addr = srv.local_addr();
+    let program = Kernel::Gemv.expr(Kernel::Gemv.search_size()).to_string();
+
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let program = program.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.optimize(request_for(&program)).expect("optimize")
+            })
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Exactly one client computed; everyone else shared its result
+    // (coalesced while in flight, or a cache hit after it landed).
+    let misses = responses.iter().filter(|r| r.cache == "miss").count();
+    assert_eq!(misses, 1, "statuses: {:?}", statuses(&responses));
+    for r in &responses {
+        assert!(
+            ["hit", "miss", "coalesced"].contains(&r.cache.as_str()),
+            "{}",
+            r.cache
+        );
+        assert_eq!(r.solutions, responses[0].solutions, "shared one result");
+        assert_eq!(r.fingerprint, responses[0].fingerprint);
+    }
+    let stats = srv.stats();
+    assert_eq!(stats.cache_insertions, 1, "{stats:?}");
+    assert_eq!(stats.cache_hits + stats.coalesced, 5, "{stats:?}");
+
+    srv.shutdown();
+}
+
+fn statuses(responses: &[liar_serve::OptimizeResponse]) -> Vec<&str> {
+    responses.iter().map(|r| r.cache.as_str()).collect()
+}
+
+#[test]
+fn bounded_queue_rejects_when_full() {
+    // queue_cap 0: every optimize is turned away with a structured error
+    // while control ops keep working.
+    let srv = server(ServerConfig {
+        queue_cap: 0,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(srv.local_addr()).expect("connect");
+    client.ping().expect("ping still works");
+    match client.optimize(request_for("(+ 1 2)")) {
+        Err(liar_serve::ClientError::Server { code, .. }) => assert_eq!(code, "queue-full"),
+        other => panic!("expected queue-full, got {other:?}"),
+    }
+    srv.shutdown();
+}
+
+#[test]
+fn invalid_requests_get_structured_errors_and_the_connection_survives() {
+    let srv = server(ServerConfig::default());
+    let mut client = Client::connect(srv.local_addr()).expect("connect");
+
+    let expect_code = |client: &mut Client, req: OptimizeRequest, code: ErrorCode| {
+        match client.request(&liar_serve::Request::Optimize(req)).unwrap() {
+            Response::Error { code: got, .. } => assert_eq!(got, code),
+            other => panic!("expected {code:?}, got {other:?}"),
+        }
+    };
+
+    // Program does not parse (including the NaN constant case).
+    expect_code(&mut client, OptimizeRequest::new("((("), ErrorCode::ParseError);
+    expect_code(
+        &mut client,
+        OptimizeRequest::new("(+ nan 1)"),
+        ErrorCode::ParseError,
+    );
+    // Unknown target.
+    let mut req = OptimizeRequest::new("(+ 1 2)");
+    req.targets = vec!["fortran".into()];
+    expect_code(&mut client, req, ErrorCode::UnknownTarget);
+    // Budget over the server's ceiling.
+    let mut req = OptimizeRequest::new("(+ 1 2)");
+    req.steps = Some(10_000);
+    expect_code(&mut client, req, ErrorCode::BudgetTooLarge);
+    // Discount-scale fan-out is a budget knob too.
+    let mut req = OptimizeRequest::new("(+ 1 2)");
+    req.discount_scales = (0..1000).map(|i| 1.0 + i as f64).collect();
+    expect_code(&mut client, req, ErrorCode::BudgetTooLarge);
+
+    // The connection survived all of that.
+    client.ping().expect("connection still alive");
+    srv.shutdown();
+}
+
+#[test]
+fn malformed_and_oversized_frames_are_rejected_gracefully() {
+    let srv = server(ServerConfig {
+        max_frame: 256,
+        ..ServerConfig::default()
+    });
+    let addr = srv.local_addr();
+
+    // Oversized frame: structured error, connection stays usable.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let big = vec![b'x'; 1000];
+        write_frame(&mut stream, &big).unwrap();
+        let payload = read_frame(&mut stream, 1 << 20).unwrap().expect("reply");
+        match Response::from_payload(&payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::FrameTooLarge),
+            other => panic!("expected frame-too-large, got {other:?}"),
+        }
+        // Same connection, now a valid ping.
+        write_frame(&mut stream, b"{\"op\":\"ping\"}").unwrap();
+        let payload = read_frame(&mut stream, 1 << 20).unwrap().expect("pong");
+        assert_eq!(Response::from_payload(&payload).unwrap(), Response::Pong);
+    }
+
+    // Malformed header: structured error, then the server closes (the
+    // stream can no longer be trusted to be frame-aligned).
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"hello, world\n").unwrap();
+        stream.flush().unwrap();
+        let payload = read_frame(&mut stream, 1 << 20).unwrap().expect("reply");
+        match Response::from_payload(&payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame),
+            other => panic!("expected bad-frame, got {other:?}"),
+        }
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("server closed");
+        assert!(rest.is_empty(), "no further frames after a bad header");
+    }
+
+    // Bad JSON in a well-formed frame: structured error, connection
+    // survives.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write_frame(&mut stream, b"this is not json").unwrap();
+        let payload = read_frame(&mut stream, 1 << 20).unwrap().expect("reply");
+        match Response::from_payload(&payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadJson),
+            other => panic!("expected bad-json, got {other:?}"),
+        }
+        write_frame(&mut stream, b"{\"op\":\"ping\"}").unwrap();
+        let payload = read_frame(&mut stream, 1 << 20).unwrap().expect("pong");
+        assert_eq!(Response::from_payload(&payload).unwrap(), Response::Pong);
+    }
+
+    let stats = srv.stats();
+    assert!(stats.errors >= 3, "{stats:?}");
+    srv.shutdown();
+}
+
+#[test]
+fn shutdown_over_the_protocol_drains() {
+    let srv = server(ServerConfig::default());
+    let addr = srv.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client.optimize(request_for("(+ 1 2)")).expect("optimize");
+    assert_eq!(resp.cache, "miss");
+    client.shutdown().expect("acknowledged");
+    // The server refuses new optimize work while draining.
+    srv.wait();
+    srv.shutdown();
+}

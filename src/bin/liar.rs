@@ -1,25 +1,31 @@
-//! The `liar` command-line tool: optimize IR expressions from the shell.
+//! The `liar` command-line tool: optimize IR expressions from the shell,
+//! or run the optimization service.
 //!
 //! ```text
 //! # Optimize an expression for a target and show the per-step solutions
 //! # (--threads N parallelizes e-matching; results are bit-identical):
 //! liar optimize --target blas --threads 4 '(ifold #64 0 (lam (lam (+ (get xs %1) %0))))'
 //!
-//! # Saturate ONCE and extract for every target from the same e-graph
-//! # (tree + DAG costs, per-target extraction times):
+//! # Saturate ONCE and extract for every target from the same e-graph:
 //! liar optimize --all-targets '(ifold #64 0 (lam (lam (+ (get xs %1) %0))))'
 //! liar kernel --targets blas,pytorch gemv
-//!
-//! # Optimize one of the paper's kernels by name:
-//! liar kernel --target pytorch gemv
 //!
 //! # Emit C for the best solution of a kernel (or every target's variant):
 //! liar emit-c gemv
 //! liar emit-c --all-targets gemv
 //!
-//! # List the kernels of table I:
-//! liar kernels
+//! # Run the optimization daemon, and submit programs to it:
+//! liar serve --addr 127.0.0.1:4004 --workers 2
+//! liar submit --addr 127.0.0.1:4004 --kernel gemv
+//! liar submit --addr 127.0.0.1:4004 --stats
+//!
+//! # Discover commands and flags:
+//! liar help
+//! liar help submit
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure (e.g. the daemon is not
+//! reachable), `2` usage or input error.
 
 use std::process::ExitCode;
 
@@ -27,70 +33,172 @@ use liar::codegen::{emit_kernel, emit_kernel_variants, CInput};
 use liar::core::{Liar, Target};
 use liar::ir::Expr;
 use liar::kernels::Kernel;
+use liar::serve::protocol::target_from_wire;
+use liar::serve::{Client, OptimizeRequest, Server, ServerConfig};
 
-fn target_from_name(name: &str) -> Target {
-    match name {
-        "blas" => Target::Blas,
-        "pytorch" | "torch" => Target::Torch,
-        "pure-c" | "purec" | "c" => Target::PureC,
-        other => {
-            eprintln!("unknown target {other} (expected blas | pytorch | pure-c)");
-            std::process::exit(2);
+// ---------------------------------------------------------------------------
+// The arg table: one declarative spec per command, one parser for all.
+
+/// One `--flag` a command accepts.
+struct FlagSpec {
+    /// The flag, with leading dashes (e.g. `--steps`).
+    name: &'static str,
+    /// `Some(metavar)` when the flag takes a value, `None` for switches.
+    metavar: Option<&'static str>,
+    /// One-line help.
+    help: &'static str,
+}
+
+/// One subcommand.
+struct CommandSpec {
+    name: &'static str,
+    /// Positional-argument usage, e.g. `'<expr>'`.
+    positional: &'static str,
+    about: &'static str,
+    flags: &'static [FlagSpec],
+    run: fn(&Parsed) -> Result<ExitCode, String>,
+}
+
+/// Parsed arguments of one command invocation.
+struct Parsed {
+    values: Vec<(&'static str, String)>,
+    switches: Vec<&'static str>,
+    positionals: Vec<String>,
+}
+
+impl Parsed {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.contains(&name) || self.value(name).is_some()
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{name} expects a number, got {v:?}")),
         }
     }
 }
 
-/// The multi-extraction target list: `--all-targets`, or `--targets` with
-/// a comma-separated list. `None` when neither flag is present
-/// (single-target mode).
-fn parse_multi_targets(args: &[String]) -> Option<Vec<Target>> {
-    if args.iter().any(|a| a == "--all-targets") {
-        return Some(Target::ALL.to_vec());
+/// Parse `args` against a command's flag table. Unknown flags and
+/// missing flag values are errors; `--` ends flag parsing.
+fn parse_flags(spec: &CommandSpec, args: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed {
+        values: Vec::new(),
+        switches: Vec::new(),
+        positionals: Vec::new(),
+    };
+    let mut i = 0;
+    let mut flags_done = false;
+    while i < args.len() {
+        let arg = &args[i];
+        if flags_done || !arg.starts_with("--") {
+            parsed.positionals.push(arg.clone());
+            i += 1;
+            continue;
+        }
+        if arg == "--" {
+            flags_done = true;
+            i += 1;
+            continue;
+        }
+        let Some(flag) = spec.flags.iter().find(|f| f.name == arg) else {
+            return Err(format!(
+                "unknown flag {arg} for `liar {}` (see `liar help {}`)",
+                spec.name, spec.name
+            ));
+        };
+        match flag.metavar {
+            None => parsed.switches.push(flag.name),
+            Some(metavar) => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or(format!("{} expects a value <{metavar}>", flag.name))?;
+                parsed.values.push((flag.name, value.clone()));
+                i += 1;
+            }
+        }
+        i += 1;
     }
-    let flag = args.iter().position(|a| a == "--targets")?;
-    let Some(list) = args.get(flag + 1) else {
-        eprintln!("--targets expects a comma-separated list (e.g. --targets blas,pytorch)");
-        std::process::exit(2);
+    Ok(parsed)
+}
+
+// ---------------------------------------------------------------------------
+// Shared flag groups and helpers.
+
+const TARGET_FLAGS: [FlagSpec; 5] = [
+    FlagSpec {
+        name: "--target",
+        metavar: Some("T"),
+        help: "single target: blas | pytorch | pure-c (default blas)",
+    },
+    FlagSpec {
+        name: "--targets",
+        metavar: Some("A,B"),
+        help: "comma-separated targets; saturate once, extract each",
+    },
+    FlagSpec {
+        name: "--all-targets",
+        metavar: None,
+        help: "shorthand for --targets pure-c,blas,pytorch",
+    },
+    FlagSpec {
+        name: "--steps",
+        metavar: Some("N"),
+        help: "saturation-step limit (default 8)",
+    },
+    FlagSpec {
+        name: "--threads",
+        metavar: Some("N"),
+        help: "e-matching worker threads (results are bit-identical)",
+    },
+];
+
+fn parse_target_name(name: &str) -> Result<Target, String> {
+    target_from_wire(name)
+        .ok_or_else(|| format!("unknown target {name:?} (expected blas | pytorch | pure-c)"))
+}
+
+/// The multi-extraction target list (`--all-targets` / `--targets`), or
+/// `None` in single-target mode.
+fn multi_targets(p: &Parsed) -> Result<Option<Vec<Target>>, String> {
+    if p.has("--all-targets") {
+        return Ok(Some(Target::ALL.to_vec()));
+    }
+    let Some(list) = p.value("--targets") else {
+        return Ok(None);
     };
     let mut targets: Vec<Target> = Vec::new();
-    for t in list.split(',').map(target_from_name) {
+    for name in list.split(',') {
+        let t = parse_target_name(name)?;
         // Dedupe: a repeated target would extract twice and emit-c would
         // emit two identical function definitions.
         if !targets.contains(&t) {
             targets.push(t);
         }
     }
-    Some(targets)
+    Ok(Some(targets))
 }
 
-fn parse_target(args: &[String]) -> Target {
-    args.iter()
-        .position(|a| a == "--target")
-        .and_then(|i| args.get(i + 1))
-        .map_or(Target::Blas, |s| target_from_name(s))
+fn single_target(p: &Parsed) -> Result<Target, String> {
+    p.value("--target").map_or(Ok(Target::Blas), parse_target_name)
 }
 
-fn parse_steps(args: &[String]) -> usize {
-    args.iter()
-        .position(|a| a == "--steps")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8)
+fn usage_err(message: String) -> Result<ExitCode, String> {
+    Err(message)
 }
 
-fn parse_threads(args: &[String]) -> usize {
-    match args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-    {
-        None => 1,
-        Some(s) => s.parse().unwrap_or_else(|_| {
-            eprintln!("--threads expects a number, got {s}");
-            std::process::exit(2);
-        }),
-    }
-}
+// ---------------------------------------------------------------------------
+// optimize / kernel / emit-c / kernels
 
 fn report(expr: &Expr, target: Target, steps: usize, threads: usize) {
     let pipeline = Liar::new(target).with_iter_limit(steps).with_threads(threads);
@@ -147,124 +255,437 @@ fn report_multi(expr: &Expr, targets: &[Target], steps: usize, threads: usize) {
     }
 }
 
+fn run_optimize(p: &Parsed) -> Result<ExitCode, String> {
+    let [expr_text] = p.positionals.as_slice() else {
+        return usage_err("optimize expects exactly one '<expr>' argument".to_string());
+    };
+    let expr: Expr = expr_text
+        .parse()
+        .map_err(|e| format!("parse error: {e}"))?;
+    let steps = p.usize_or("--steps", 8)?;
+    let threads = p.usize_or("--threads", 1)?;
+    match multi_targets(p)? {
+        Some(targets) => report_multi(&expr, &targets, steps, threads),
+        None => report(&expr, single_target(p)?, steps, threads),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn kernel_arg(p: &Parsed) -> Result<Kernel, String> {
+    let [name] = p.positionals.as_slice() else {
+        return Err("expected exactly one <kernel-name> argument (see `liar kernels`)".to_string());
+    };
+    Kernel::from_name(name).ok_or_else(|| format!("unknown kernel {name:?} (see `liar kernels`)"))
+}
+
+fn run_kernel(p: &Parsed) -> Result<ExitCode, String> {
+    let kernel = kernel_arg(p)?;
+    let expr = kernel.expr(kernel.search_size());
+    let steps = p.usize_or("--steps", 8)?;
+    let threads = p.usize_or("--threads", 1)?;
+    println!("kernel {}: {}\n", kernel.name(), kernel.description());
+    match multi_targets(p)? {
+        Some(targets) => report_multi(&expr, &targets, steps, threads),
+        None => report(&expr, single_target(p)?, steps, threads),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_emit_c(p: &Parsed) -> Result<ExitCode, String> {
+    let kernel = kernel_arg(p)?;
+    let steps = p.usize_or("--steps", 8)?;
+    let n = kernel.search_size();
+    let inputs: Vec<CInput> = kernel
+        .inputs(n, 0)
+        .iter()
+        .map(|(name, value)| {
+            let t = value.to_tensor().expect("tensor input");
+            if t.shape().is_empty() {
+                CInput::scalar(name)
+            } else {
+                CInput::tensor(name, t.shape().to_vec())
+            }
+        })
+        .collect();
+    let c_name = kernel.name().replace('-', "_");
+    if let Some(targets) = multi_targets(p)? {
+        // One saturation, one C function per target's variant.
+        let pipeline = Liar::new(targets[0]).with_iter_limit(steps);
+        let report = pipeline.optimize_multi(&kernel.expr(n), &targets, &[1.0]);
+        let variants: Vec<(String, &Expr)> = report
+            .solutions
+            .iter()
+            .map(|s| (s.target.name().replace('-', "_"), &s.best))
+            .collect();
+        println!("{}", emit_kernel_variants(&c_name, &variants, &inputs));
+        return Ok(ExitCode::SUCCESS);
+    }
+    let pipeline = Liar::new(Target::Blas).with_iter_limit(steps);
+    let best = pipeline.optimize(&kernel.expr(n)).best().best.clone();
+    match emit_kernel(&c_name, &best, &inputs) {
+        Ok(c) => {
+            println!("{c}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            eprintln!("codegen failed: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn run_kernels(_p: &Parsed) -> Result<ExitCode, String> {
+    for k in Kernel::ALL {
+        println!("{:<10} {:<10} {}", k.name(), k.suite().to_string(), k.description());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// serve / submit
+
+fn run_serve(p: &Parsed) -> Result<ExitCode, String> {
+    let mut config = ServerConfig::default();
+    config.addr = p.value("--addr").unwrap_or("127.0.0.1:4004").to_string();
+    config.workers = p.usize_or("--workers", config.workers)?;
+    config.queue_cap = p.usize_or("--queue-cap", config.queue_cap)?;
+    config.cache_bytes = p.usize_or("--cache-mb", config.cache_bytes >> 20)? << 20;
+    config.default_steps = p.usize_or("--steps", config.default_steps)?;
+    config.max_steps = p.usize_or("--max-steps", config.max_steps)?;
+    config.search_threads = p.usize_or("--threads", config.search_threads)?;
+    let server = Server::start(config).map_err(|e| format!("cannot bind: {e}"))?;
+    println!("liar-serve listening on {}", server.local_addr());
+    // Make the line visible to parents that pipe our stdout (CI smoke,
+    // the integration tests).
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    eprintln!("liar-serve: shutdown requested, draining");
+    server.shutdown();
+    Ok(ExitCode::SUCCESS)
+}
+
+/// What one `liar submit` invocation asks of the daemon.
+enum SubmitAction {
+    Ping,
+    Stats,
+    Shutdown,
+    Optimize(OptimizeRequest),
+}
+
+fn run_submit(p: &Parsed) -> Result<ExitCode, String> {
+    let addr = p.value("--addr").unwrap_or("127.0.0.1:4004").to_string();
+
+    // Validate the whole invocation before connecting: usage errors are
+    // exit 2, runtime failures (unreachable daemon, server errors) are
+    // exit 1.
+    let action = if p.has("--ping") {
+        SubmitAction::Ping
+    } else if p.has("--stats") {
+        SubmitAction::Stats
+    } else if p.has("--shutdown") {
+        SubmitAction::Shutdown
+    } else {
+        // The program: a positional s-expression or --kernel <name>.
+        let program = match (p.value("--kernel"), p.positionals.as_slice()) {
+            (Some(name), []) => {
+                let kernel = Kernel::from_name(name)
+                    .ok_or_else(|| format!("unknown kernel {name:?} (see `liar kernels`)"))?;
+                kernel.expr(kernel.search_size()).to_string()
+            }
+            (None, [expr]) => expr.clone(),
+            _ => {
+                return usage_err(
+                    "submit expects exactly one '<expr>' argument or --kernel <name>".to_string(),
+                )
+            }
+        };
+        let mut req = OptimizeRequest::new(program);
+        req.id = p.value("--id").map(str::to_string);
+        if let Some(list) = p.value("--targets") {
+            req.targets = list.split(',').map(str::to_string).collect();
+        }
+        if p.value("--steps").is_some() {
+            req.steps = Some(p.usize_or("--steps", 0)?);
+        }
+        SubmitAction::Optimize(req)
+    };
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let fail = |e: liar::serve::ClientError| {
+        eprintln!("{e}");
+        Ok(ExitCode::FAILURE)
+    };
+
+    let req = match action {
+        SubmitAction::Ping => match client.ping() {
+            Ok(()) => {
+                println!("pong");
+                return Ok(ExitCode::SUCCESS);
+            }
+            Err(e) => return fail(e),
+        },
+        SubmitAction::Stats => match client.stats() {
+            Ok(stats) => {
+                println!(
+                    "cache: {} hits, {} misses, {} insertions, {} evictions, {} rejected",
+                    stats.cache_hits, stats.cache_misses, stats.cache_insertions,
+                    stats.cache_evictions, stats.cache_rejected
+                );
+                println!("cache: {} entries, {} bytes", stats.cache_entries, stats.cache_bytes);
+                println!(
+                    "serve: {} requests, {} errors, {} coalesced, {} batched",
+                    stats.requests, stats.errors, stats.coalesced, stats.batched
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            Err(e) => return fail(e),
+        },
+        SubmitAction::Shutdown => match client.shutdown() {
+            Ok(()) => {
+                println!("shutdown acknowledged");
+                return Ok(ExitCode::SUCCESS);
+            }
+            Err(e) => return fail(e),
+        },
+        SubmitAction::Optimize(req) => req,
+    };
+
+    let resp = match client.optimize(req) {
+        Ok(resp) => resp,
+        Err(e) => return fail(e),
+    };
+    println!("fingerprint: {}", resp.fingerprint);
+    println!("cache: {}", resp.cache);
+    println!(
+        "stopped: {} ({} e-nodes, {} e-classes, saturation {:.3}s, server {:.1}ms)",
+        resp.stop_reason, resp.n_nodes, resp.n_classes, resp.saturation_s, resp.server_ms
+    );
+    println!("\n{:<8} {:>8} {:>12} {:>12}  solution", "target", "scale", "tree cost", "dag cost");
+    for s in &resp.solutions {
+        println!(
+            "{:<8} {:>8} {:>12.1} {:>12.1}  {}",
+            s.target, s.discount_scale, s.cost, s.dag_cost, s.solution
+        );
+    }
+    for s in &resp.solutions {
+        println!("\nbest expression ({}):\n{}", s.target, s.best);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// The command table + help.
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "optimize",
+        positional: "'<expr>'",
+        about: "optimize an IR expression and print per-step solutions",
+        flags: &TARGET_FLAGS,
+        run: run_optimize,
+    },
+    CommandSpec {
+        name: "kernel",
+        positional: "<kernel-name>",
+        about: "optimize one of the paper's kernels by name",
+        flags: &TARGET_FLAGS,
+        run: run_kernel,
+    },
+    CommandSpec {
+        name: "emit-c",
+        positional: "<kernel-name>",
+        about: "emit C for the best solution of a kernel",
+        flags: &[
+            FlagSpec {
+                name: "--steps",
+                metavar: Some("N"),
+                help: "saturation-step limit (default 8)",
+            },
+            FlagSpec {
+                name: "--targets",
+                metavar: Some("A,B"),
+                help: "emit one C function per target's variant",
+            },
+            FlagSpec {
+                name: "--all-targets",
+                metavar: None,
+                help: "shorthand for --targets pure-c,blas,pytorch",
+            },
+        ],
+        run: run_emit_c,
+    },
+    CommandSpec {
+        name: "kernels",
+        positional: "",
+        about: "list the evaluation kernels (table I)",
+        flags: &[],
+        run: run_kernels,
+    },
+    CommandSpec {
+        name: "serve",
+        positional: "",
+        about: "run the optimization daemon (see docs/SERVING.md)",
+        flags: &[
+            FlagSpec {
+                name: "--addr",
+                metavar: Some("HOST:PORT"),
+                help: "bind address (default 127.0.0.1:4004; port 0 picks one)",
+            },
+            FlagSpec {
+                name: "--workers",
+                metavar: Some("N"),
+                help: "optimization worker threads (default 2)",
+            },
+            FlagSpec {
+                name: "--queue-cap",
+                metavar: Some("N"),
+                help: "bounded job-queue capacity (default 64)",
+            },
+            FlagSpec {
+                name: "--cache-mb",
+                metavar: Some("MB"),
+                help: "saturation-cache byte budget in MiB (default 64)",
+            },
+            FlagSpec {
+                name: "--steps",
+                metavar: Some("N"),
+                help: "default saturation-step limit (default 8)",
+            },
+            FlagSpec {
+                name: "--max-steps",
+                metavar: Some("N"),
+                help: "ceiling on a request's steps (default 24)",
+            },
+            FlagSpec {
+                name: "--threads",
+                metavar: Some("N"),
+                help: "e-matching threads per optimization (default 1)",
+            },
+        ],
+        run: run_serve,
+    },
+    CommandSpec {
+        name: "submit",
+        positional: "['<expr>']",
+        about: "submit a program (or admin op) to a running daemon",
+        flags: &[
+            FlagSpec {
+                name: "--addr",
+                metavar: Some("HOST:PORT"),
+                help: "daemon address (default 127.0.0.1:4004)",
+            },
+            FlagSpec {
+                name: "--kernel",
+                metavar: Some("NAME"),
+                help: "submit a named paper kernel instead of an expression",
+            },
+            FlagSpec {
+                name: "--targets",
+                metavar: Some("A,B"),
+                help: "comma-separated targets (default: all three)",
+            },
+            FlagSpec {
+                name: "--steps",
+                metavar: Some("N"),
+                help: "saturation-step limit (server default if omitted)",
+            },
+            FlagSpec {
+                name: "--id",
+                metavar: Some("ID"),
+                help: "client-chosen request id, echoed in the response",
+            },
+            FlagSpec {
+                name: "--stats",
+                metavar: None,
+                help: "print the daemon's cache/service counters and exit",
+            },
+            FlagSpec {
+                name: "--ping",
+                metavar: None,
+                help: "liveness probe",
+            },
+            FlagSpec {
+                name: "--shutdown",
+                metavar: None,
+                help: "ask the daemon to drain and exit",
+            },
+        ],
+        run: run_submit,
+    },
+];
+
+fn print_global_help() {
+    println!("liar — latent idiom recognition via equality saturation\n");
+    println!("usage: liar <command> [flags] [args]\n");
+    println!("commands:");
+    for cmd in COMMANDS {
+        println!("  {:<10} {}", cmd.name, cmd.about);
+    }
+    println!("  {:<10} show this help, or `liar help <command>`", "help");
+    println!("\nExit codes: 0 success, 1 runtime failure, 2 usage/input error.");
+}
+
+fn print_command_help(cmd: &CommandSpec) {
+    println!("liar {} — {}\n", cmd.name, cmd.about);
+    let positional = if cmd.positional.is_empty() {
+        String::new()
+    } else {
+        format!(" {}", cmd.positional)
+    };
+    let flags = if cmd.flags.is_empty() { "" } else { " [flags]" };
+    println!("usage: liar {}{}{}", cmd.name, flags, positional);
+    if !cmd.flags.is_empty() {
+        println!("\nflags:");
+        for f in cmd.flags {
+            let left = match f.metavar {
+                Some(m) => format!("{} <{m}>", f.name),
+                None => f.name.to_string(),
+            };
+            println!("  {left:<22} {}", f.help);
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("optimize") => {
-            let Some(expr_text) = args.iter().skip(1).find(|a| !a.starts_with("--")
-                && args.iter().position(|x| x == *a).is_none_or(|i| {
-                    !matches!(
-                        args.get(i.wrapping_sub(1)).map(String::as_str),
-                        Some("--target" | "--targets" | "--steps" | "--threads")
-                    )
-                }))
-            else {
-                eprintln!(
-                    "usage: liar optimize [--target blas|pytorch|pure-c | --targets a,b | --all-targets] [--steps N] [--threads N] '<expr>'"
-                );
-                return ExitCode::from(2);
-            };
-            let expr: Expr = match expr_text.parse() {
-                Ok(e) => e,
-                Err(e) => {
-                    eprintln!("parse error: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            match parse_multi_targets(&args) {
-                Some(targets) => {
-                    report_multi(&expr, &targets, parse_steps(&args), parse_threads(&args));
-                }
-                None => {
-                    report(&expr, parse_target(&args), parse_steps(&args), parse_threads(&args));
-                }
-            }
-            ExitCode::SUCCESS
-        }
-        Some("kernel") => {
-            let Some(kernel) = args
-                .iter()
-                .skip(1)
-                .filter(|a| !a.starts_with("--"))
-                .find_map(|n| Kernel::from_name(n))
-            else {
-                eprintln!(
-                    "usage: liar kernel [--target … | --targets a,b | --all-targets] [--steps N] [--threads N] <kernel-name>"
-                );
-                return ExitCode::from(2);
-            };
-            let expr = kernel.expr(kernel.search_size());
-            println!("kernel {}: {}\n", kernel.name(), kernel.description());
-            match parse_multi_targets(&args) {
-                Some(targets) => {
-                    report_multi(&expr, &targets, parse_steps(&args), parse_threads(&args));
-                }
-                None => {
-                    report(&expr, parse_target(&args), parse_steps(&args), parse_threads(&args));
-                }
-            }
-            ExitCode::SUCCESS
-        }
-        Some("emit-c") => {
-            let Some(kernel) = args
-                .iter()
-                .skip(1)
-                .filter(|a| !a.starts_with("--"))
-                .find_map(|n| Kernel::from_name(n))
-            else {
-                eprintln!("usage: liar emit-c [--steps N] [--all-targets | --targets a,b] <kernel-name>");
-                return ExitCode::from(2);
-            };
-            let n = kernel.search_size();
-            let inputs: Vec<CInput> = kernel
-                .inputs(n, 0)
-                .iter()
-                .map(|(name, value)| {
-                    let t = value.to_tensor().expect("tensor input");
-                    if t.shape().is_empty() {
-                        CInput::scalar(name)
-                    } else {
-                        CInput::tensor(name, t.shape().to_vec())
+    let Some(first) = args.first().map(String::as_str) else {
+        print_global_help();
+        return ExitCode::from(2);
+    };
+    match first {
+        "help" | "--help" | "-h" => {
+            match args.get(1) {
+                None => print_global_help(),
+                Some(name) => match COMMANDS.iter().find(|c| c.name == name) {
+                    Some(cmd) => print_command_help(cmd),
+                    None => {
+                        eprintln!("unknown command {name:?} (see `liar help`)");
+                        return ExitCode::from(2);
                     }
-                })
-                .collect();
-            let c_name = kernel.name().replace('-', "_");
-            if let Some(targets) = parse_multi_targets(&args) {
-                // One saturation, one C function per target's variant.
-                let pipeline = Liar::new(targets[0]).with_iter_limit(parse_steps(&args));
-                let report = pipeline.optimize_multi(&kernel.expr(n), &targets, &[1.0]);
-                let variants: Vec<(String, &Expr)> = report
-                    .solutions
-                    .iter()
-                    .map(|s| (s.target.name().replace('-', "_"), &s.best))
-                    .collect();
-                println!("{}", emit_kernel_variants(&c_name, &variants, &inputs));
-                return ExitCode::SUCCESS;
-            }
-            let pipeline = Liar::new(Target::Blas).with_iter_limit(parse_steps(&args));
-            let best = pipeline.optimize(&kernel.expr(n)).best().best.clone();
-            match emit_kernel(&c_name, &best, &inputs) {
-                Ok(c) => {
-                    println!("{c}");
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("codegen failed: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
-        Some("kernels") => {
-            for k in Kernel::ALL {
-                println!("{:<10} {:<10} {}", k.name(), k.suite().to_string(), k.description());
+                },
             }
             ExitCode::SUCCESS
         }
-        _ => {
-            eprintln!(
-                "usage: liar <optimize|kernel|emit-c|kernels> [--target blas|pytorch|pure-c | --targets a,b | --all-targets] [--steps N] [--threads N]"
-            );
-            ExitCode::from(2)
+        name => {
+            let Some(cmd) = COMMANDS.iter().find(|c| c.name == name) else {
+                eprintln!("unknown command {name:?} (see `liar help`)");
+                return ExitCode::from(2);
+            };
+            match parse_flags(cmd, &args[1..]).and_then(|parsed| (cmd.run)(&parsed)) {
+                Ok(code) => code,
+                Err(message) => {
+                    eprintln!("{message}");
+                    eprintln!("usage: see `liar help {}`", cmd.name);
+                    ExitCode::from(2)
+                }
+            }
         }
     }
 }

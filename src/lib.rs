@@ -37,7 +37,11 @@
 //! * [`codegen`] — C emission for extracted expressions;
 //! * [`runtime`] — the interpreter, optimized library kernels and the
 //!   coverage-timing executor;
-//! * [`kernels`] — the paper's 16 evaluation kernels.
+//! * [`kernels`] — the paper's 16 evaluation kernels;
+//! * [`serve`] — the batched optimization daemon + client (`liar serve`
+//!   / `liar submit`), with a content-addressed saturation cache
+//!   ([`core::SaturationCache`]) keyed by request fingerprints
+//!   ([`core::Fingerprint`]); see `docs/SERVING.md`.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -48,3 +52,4 @@ pub use liar_egraph as egraph;
 pub use liar_ir as ir;
 pub use liar_kernels as kernels;
 pub use liar_runtime as runtime;
+pub use liar_serve as serve;

@@ -58,3 +58,93 @@ fn bad_input_fails_gracefully() {
     assert!(!liar(&["frobnicate"]).status.success());
     assert!(!liar(&["optimize", "--target", "fortran", "(+ 1 2)"]).status.success());
 }
+
+#[test]
+fn usage_errors_exit_2() {
+    for args in [
+        &["optimize", "--bogus", "(+ 1 2)"][..], // unknown flag
+        &["optimize"],                           // missing positional
+        &["optimize", "--steps"],                // missing flag value
+        &["optimize", "--steps", "abc", "(+ 1 2)"], // non-numeric value
+        &["help", "not-a-command"],
+        &["submit"], // no program and no admin op
+    ] {
+        let out = liar(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+}
+
+#[test]
+fn help_lists_commands_and_flags() {
+    let out = liar(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for cmd in ["optimize", "kernel", "emit-c", "kernels", "serve", "submit"] {
+        assert!(stdout.contains(cmd), "global help missing {cmd}: {stdout}");
+    }
+    let out = liar(&["help", "optimize"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for flag in ["--target", "--targets", "--all-targets", "--steps", "--threads"] {
+        assert!(stdout.contains(flag), "optimize help missing {flag}: {stdout}");
+    }
+    // `help` with no command behaves like --help and exits 0; a bare
+    // `liar` prints the same text but exits 2 (it did not do anything).
+    assert!(liar(&["help"]).status.success());
+    assert_eq!(liar(&[]).status.code(), Some(2));
+}
+
+/// End-to-end through the real binaries: start `liar serve` on an
+/// ephemeral loopback port, drive it with `liar submit`, and shut it
+/// down over the protocol.
+#[test]
+fn serve_and_submit_roundtrip() {
+    use std::io::BufRead;
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_liar"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    // The first stdout line announces the bound address.
+    let stdout = server.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines.next().expect("banner line").unwrap();
+    let addr = banner
+        .rsplit_once(' ')
+        .map(|(_, addr)| addr.to_string())
+        .expect("address in banner");
+
+    let submit = |extra: &[&str]| {
+        let mut args = vec!["submit", "--addr", &addr];
+        args.extend_from_slice(extra);
+        liar(&args)
+    };
+
+    let out = submit(&["--ping"]);
+    assert!(out.status.success(), "{out:?}");
+
+    let out = submit(&["--kernel", "vsum", "--targets", "blas", "--steps", "6"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("cache: miss"), "{text}");
+    assert!(text.contains("1 × dot"), "{text}");
+
+    let out = submit(&["--kernel", "vsum", "--targets", "blas", "--steps", "6"]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("cache: hit"), "{text}");
+
+    let out = submit(&["--stats"]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("1 hits"), "{text}");
+
+    // Unreachable daemons are a runtime failure (exit 1), not a usage
+    // error.
+    let out = liar(&["submit", "--addr", "127.0.0.1:1", "--ping"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    let out = submit(&["--shutdown"]);
+    assert!(out.status.success(), "{out:?}");
+    let status = server.wait().expect("daemon exits after shutdown");
+    assert!(status.success(), "{status:?}");
+}
