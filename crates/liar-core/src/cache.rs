@@ -252,6 +252,17 @@ pub fn approx_report_bytes(report: &MultiReport) -> usize {
             // BTreeMap node overhead is ignored; key string + counter.
             bytes += name.capacity() + size_of::<usize>() + size_of::<String>();
         }
+        if let Some(proof) = &s.proof {
+            // Proofs dominate explained reports: every step stores two
+            // full terms plus its rule name and position.
+            bytes += approx_expr_bytes(&proof.source) + approx_expr_bytes(&proof.target);
+            for step in &proof.steps {
+                bytes += size_of::<liar_egraph::ProofStep<ArrayLang>>();
+                bytes += approx_expr_bytes(&step.before) + approx_expr_bytes(&step.after);
+                bytes += step.rule.capacity();
+                bytes += step.position.capacity() * size_of::<usize>();
+            }
+        }
     }
     bytes
 }

@@ -31,7 +31,10 @@ use crate::rules::{RuleConfig, Target};
 /// Version salt mixed into every fingerprint. Bump when the semantics of
 /// the pipeline change in a way that should invalidate previously
 /// computed fingerprints (rule definitions, cost models, extraction).
-const FINGERPRINT_VERSION: u8 = 1;
+///
+/// v2: the `explain` knob joined the key (reports now optionally carry
+/// proofs).
+const FINGERPRINT_VERSION: u8 = 2;
 
 /// The content address of one optimization request (see the module docs).
 ///
@@ -67,6 +70,11 @@ pub struct BudgetKnobs {
     pub time_limit: Option<Duration>,
     /// Per-rule, per-step match budget of the backoff scheduler.
     pub match_limit: usize,
+    /// Whether proof production is on. Part of the key because reports
+    /// computed with explanations carry proofs (and the saturation run
+    /// does provenance bookkeeping), so they must not replay for
+    /// proof-less requests — or vice versa.
+    pub explain: bool,
 }
 
 /// Compute the fingerprint of a request (see the module docs for what is
@@ -100,6 +108,7 @@ pub fn request_fingerprint(
         }
     }
     h.u64(budgets.match_limit as u64);
+    h.byte(budgets.explain as u8);
     Fingerprint(h.finish())
 }
 
@@ -113,6 +122,7 @@ mod tests {
             node_limit: 300_000,
             time_limit: None,
             match_limit: 40_000,
+            explain: false,
         }
     }
 
@@ -151,6 +161,13 @@ mod tests {
         let mut b = knobs();
         b.match_limit = 100;
         assert_ne!(base, fp("(+ x y)", &[Target::Blas], &[1.0], &b));
+        let mut b = knobs();
+        b.explain = true;
+        assert_ne!(
+            base,
+            fp("(+ x y)", &[Target::Blas], &[1.0], &b),
+            "explained requests must not share cache entries with proof-less ones"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::time::Duration;
 use liar_egraph::{
     BackoffScheduler, DagExtractor, ExtractionStats, Extractor, Runner, RunnerLimits, StopReason,
 };
-use liar_ir::{ArrayEGraph, Expr};
+use liar_ir::{ArrayEGraph, ArrayExplanation, Expr};
 
 use crate::cache::SaturationCache;
 use crate::cost::TargetCost;
@@ -37,6 +37,11 @@ pub struct StepReport {
     pub search_candidates: usize,
     /// Substitutions the search phase produced (zero for step 0).
     pub search_matches: usize,
+    /// `(rule name, applications that changed the e-graph)` during this
+    /// step, in rule-set order (empty for step 0) — cheap provenance
+    /// statistics even with explanations off; `liar optimize --verbose`
+    /// prints the top rules.
+    pub applied: Vec<(String, usize)>,
     /// Best expression under the target cost model.
     pub best: Expr,
     /// Its cost.
@@ -159,6 +164,12 @@ pub struct MultiSolution {
     pub extract_time: Duration,
     /// DAG-extraction fixpoint statistics.
     pub stats: ExtractionStats,
+    /// A replayable proof that the source expression equals
+    /// [`best`](MultiSolution::best), populated when the pipeline ran
+    /// with [`Liar::with_explanations`]. Validate it with
+    /// [`liar_egraph::Explanation::check`] against the rule set the run
+    /// used ([`crate::rules::rules_for_targets`]).
+    pub proof: Option<ArrayExplanation>,
 }
 
 impl MultiSolution {
@@ -258,6 +269,7 @@ pub struct Liar {
     match_limit: usize,
     discount_scale: f64,
     threads: usize,
+    explain: bool,
     cache: Option<Arc<SaturationCache>>,
 }
 
@@ -305,8 +317,24 @@ impl Liar {
             match_limit: 40_000,
             discount_scale: 1.0,
             threads: 1,
+            explain: false,
             cache: None,
         }
+    }
+
+    /// Enable proof production: the saturation e-graph records an
+    /// explanation forest, and every extracted solution carries a
+    /// replayable [`ArrayExplanation`] ([`MultiSolution::proof`];
+    /// [`Liar::optimize_explained`] for the single-target pipeline).
+    ///
+    /// Off by default — the fast path pays nothing. With explanations on,
+    /// saturation does extra provenance bookkeeping (see
+    /// `docs/EXPLANATIONS.md` for measured overhead); solutions and costs
+    /// are found from the same rule set, but the run is not guaranteed to
+    /// be bit-identical to an explanations-off run.
+    pub fn with_explanations(mut self, on: bool) -> Self {
+        self.explain = on;
+        self
     }
 
     /// Set the saturation-step limit.
@@ -376,6 +404,7 @@ impl Liar {
             node_limit: self.limits.node_limit,
             time_limit: self.limits.time_limit,
             match_limit: self.match_limit,
+            explain: self.explain,
         }
     }
 
@@ -397,7 +426,11 @@ impl Liar {
     /// limits and thread count whether one target's rules or a union
     /// ruleset will be run over it.
     fn runner_for(&self, expr: &Expr) -> (Runner<liar_ir::ArrayLang, liar_ir::ArrayAnalysis>, liar_egraph::Id) {
-        let mut egraph = ArrayEGraph::default();
+        let mut egraph = if self.explain {
+            ArrayEGraph::default().with_explanations_enabled()
+        } else {
+            ArrayEGraph::default()
+        };
         let root = egraph.add_expr(expr);
 
         let scheduler = BackoffScheduler::new(self.match_limit, 2)
@@ -419,6 +452,43 @@ impl Liar {
     /// Run the full workflow on `expr`, extracting the best expression
     /// after every saturation step.
     pub fn optimize(&self, expr: &Expr) -> OptimizationReport {
+        self.optimize_with_runner(expr).0
+    }
+
+    /// Run the full workflow **with proof production**: the pipeline's
+    /// explanation knob is forced on for this run, and alongside the
+    /// report you get a replayable [`ArrayExplanation`] that the source
+    /// expression equals the final best expression. Check it with
+    /// [`liar_egraph::Explanation::check`] against
+    /// [`crate::rules::rules_for`]`(target, config)`.
+    pub fn optimize_explained(&self, expr: &Expr) -> (OptimizationReport, ArrayExplanation) {
+        let explained = self.clone().with_explanations(true);
+        let (report, mut runner) = explained.optimize_with_runner(expr);
+        let proof = runner
+            .egraph
+            .explain_equivalence(expr, &report.best().best);
+        (report, proof)
+    }
+
+    /// Run the full workflow and also return the saturated e-graph
+    /// (`liar dot` renders it; with [`Liar::with_explanations`] the
+    /// e-graph can still answer
+    /// [`explain_equivalence`](liar_egraph::EGraph::explain_equivalence)
+    /// queries about the run).
+    pub fn optimize_with_egraph(&self, expr: &Expr) -> (OptimizationReport, ArrayEGraph) {
+        let (report, runner) = self.optimize_with_runner(expr);
+        (report, runner.egraph)
+    }
+
+    /// [`Liar::optimize`], also returning the saturated runner (the
+    /// explained pipeline needs the e-graph afterwards).
+    fn optimize_with_runner(
+        &self,
+        expr: &Expr,
+    ) -> (
+        OptimizationReport,
+        Runner<liar_ir::ArrayLang, liar_ir::ArrayAnalysis>,
+    ) {
         let rules = rules_for(self.target, &self.config);
         let cost = TargetCost::new(self.target).with_discount_scale(self.discount_scale);
 
@@ -436,7 +506,8 @@ impl Liar {
         let extract = |egraph: &ArrayEGraph,
                        step: usize,
                        time: Duration,
-                       search: SearchStats|
+                       search: SearchStats,
+                       applied: Vec<(String, usize)>|
          -> StepReport {
             let extractor = Extractor::new(egraph, cost);
             let (cost, best) = extractor.find_best(root);
@@ -449,6 +520,7 @@ impl Liar {
                 search_time: search.time,
                 search_candidates: search.candidates,
                 search_matches: search.matches,
+                applied,
                 cost,
                 lib_calls,
                 best,
@@ -460,7 +532,7 @@ impl Liar {
             candidates: 0,
             matches: 0,
         };
-        steps.push(extract(&runner.egraph, 0, Duration::ZERO, zero));
+        steps.push(extract(&runner.egraph, 0, Duration::ZERO, zero, Vec::new()));
         let stop_reason = loop {
             match runner.run_one(&rules) {
                 Ok(iter) => {
@@ -470,7 +542,8 @@ impl Liar {
                         candidates: iter.search_candidates,
                         matches: iter.search_matches,
                     };
-                    steps.push(extract(&runner.egraph, index, time, search));
+                    let applied = iter.applied.clone();
+                    steps.push(extract(&runner.egraph, index, time, search, applied));
                     if runner.stop_reason.is_some() {
                         break runner.stop_reason.clone().unwrap();
                     }
@@ -479,11 +552,14 @@ impl Liar {
             }
         };
 
-        OptimizationReport {
-            target: self.target,
-            steps,
-            stop_reason,
-        }
+        (
+            OptimizationReport {
+                target: self.target,
+                steps,
+                stop_reason,
+            },
+            runner,
+        )
     }
 
     /// Saturate **once** with the union of `targets`' rule sets, then
@@ -606,8 +682,13 @@ impl Liar {
                 let extractor = DagExtractor::new(&runner.egraph, cost_fn);
                 let (cost, best) = extractor.tree_extractor().find_best(root);
                 let (dag_cost, dag_best) = extractor.find_best(root);
+                let stats = extractor.stats();
+                drop(extractor);
                 let extract_time = start.elapsed();
                 let lib_calls = count_lib_calls(&best);
+                let proof = self
+                    .explain
+                    .then(|| runner.egraph.explain_equivalence(expr, &best));
                 solutions.push(MultiSolution {
                     target,
                     discount_scale: scale,
@@ -617,7 +698,8 @@ impl Liar {
                     dag_cost,
                     lib_calls,
                     extract_time,
-                    stats: extractor.stats(),
+                    stats,
+                    proof,
                 });
             }
         }

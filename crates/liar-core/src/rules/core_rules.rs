@@ -38,7 +38,23 @@ impl Applier<ArrayLang, ArrayAnalysis> for BetaReduceApplier {
         let arg = resolve_expr(egraph, subst.get(&Var::new("y")).expect("y bound"));
         let result = debruijn_subst(&body, &arg);
         let new_id = egraph.add_expr(&result);
-        let (id, changed) = egraph.union(class, new_id);
+        let lhs = if egraph.are_explanations_enabled() {
+            // Precise provenance: the substitution operator ran on the
+            // class *representatives*, so the recorded redex must spell
+            // out those same representatives — `(λ body) arg` — rather
+            // than whatever term created the matched class's id. The term
+            // is already in the matched class (its nodes hash-cons onto
+            // the matched redex), so this changes no equalities.
+            let mut redex = Expr::default();
+            let b_root = redex.append_subtree(&body, body.root());
+            let lam = redex.add(ArrayLang::Lam(b_root));
+            let a_root = redex.append_subtree(&arg, arg.root());
+            redex.add(ArrayLang::App([lam, a_root]));
+            egraph.add_expr(&redex)
+        } else {
+            class
+        };
+        let (id, changed) = egraph.union(lhs, new_id);
         if changed {
             vec![id]
         } else {
@@ -124,12 +140,24 @@ struct IntroLambdaApplier;
 
 impl Applier<ArrayLang, ArrayAnalysis> for IntroLambdaApplier {
     fn apply(&self, egraph: &mut AEGraph, class: Id, subst: &Subst<ArrayLang>) -> Vec<Id> {
-        let y = match subst.get(&Var::new("y")).expect("y bound") {
+        let mut y = match subst.get(&Var::new("y")).expect("y bound") {
             Binding::Class(id) => *id,
             Binding::Expr(e) => egraph.add_expr(e),
         };
+        let explained = egraph.are_explanations_enabled();
+        if explained {
+            // Precise provenance for the argument: prefer the class's De
+            // Bruijn variable member (that is what made it a candidate),
+            // so the recorded proof term spells `(λ e↑) %i` and the step
+            // replays against the searcher's `has_var` gate.
+            let var = egraph[y].iter().find(|n| matches!(n, ArrayLang::Var(_))).cloned();
+            if let Some(var) = var {
+                y = egraph.add(var);
+            }
+        }
         // (λ e↑): abstract over a parameter the body ignores.
-        let body = shift_up(&egraph.data(class).repr, 1);
+        let repr = std::sync::Arc::clone(&egraph.data(class).repr);
+        let body = shift_up(&repr, 1);
         let lam = {
             let mut e = Expr::default();
             let root = e.append_subtree(&body, body.root());
@@ -138,7 +166,14 @@ impl Applier<ArrayLang, ArrayAnalysis> for IntroLambdaApplier {
         };
         let lam_id = egraph.add_expr(&lam);
         let app_id = egraph.add(ArrayLang::App([lam_id, y]));
-        let (id, changed) = egraph.union(class, app_id);
+        let lhs = if explained {
+            // The abstracted body is the class *representative*: record the
+            // edge from that exact term (it is a member of `class`).
+            egraph.add_expr(&repr)
+        } else {
+            class
+        };
+        let (id, changed) = egraph.union(lhs, app_id);
         if changed {
             vec![id]
         } else {
@@ -192,6 +227,50 @@ impl Searcher<ArrayLang, ArrayAnalysis> for IntroIndexBuildSearcher {
 
     fn bound_vars(&self) -> Vec<Var> {
         vec![Var::new("f"), Var::new("i"), Var::new("n")]
+    }
+}
+
+/// Applier for R-IntroIndexBuild. Without explanations it behaves exactly
+/// like its right-hand-side pattern `(get (build ?n ?f) ?i)`; with
+/// explanations it builds both sides from the bound classes directly so
+/// the recorded edge connects `(app f i)` — the precise matched instance —
+/// to the indexed build, with the extent spelled as its `#n` literal.
+struct IntroIndexBuildApplier {
+    rhs: Pattern<ArrayLang>,
+}
+
+impl Applier<ArrayLang, ArrayAnalysis> for IntroIndexBuildApplier {
+    fn apply(&self, egraph: &mut AEGraph, class: Id, subst: &Subst<ArrayLang>) -> Vec<Id> {
+        if !egraph.are_explanations_enabled() {
+            return self.rhs.apply(egraph, class, subst);
+        }
+        let bound = |egraph: &mut AEGraph, name: &str| match subst
+            .get(&Var::new(name))
+            .expect("searcher binds f, i and n")
+        {
+            Binding::Class(id) => *id,
+            Binding::Expr(e) => egraph.add_expr(e),
+        };
+        let f = bound(egraph, "f");
+        let i = bound(egraph, "i");
+        let mut n = bound(egraph, "n");
+        if let Some(d) = egraph.data(n).dim {
+            // Spell the extent as its literal so the proof term replays.
+            n = egraph.add(ArrayLang::Dim(d));
+        }
+        let lhs = egraph.add(ArrayLang::App([f, i]));
+        let build = egraph.add(ArrayLang::Build([n, f]));
+        let get = egraph.add(ArrayLang::Get([build, i]));
+        let (id, changed) = egraph.union(lhs, get);
+        if changed {
+            vec![id]
+        } else {
+            vec![]
+        }
+    }
+
+    fn bound_vars(&self) -> Vec<Var> {
+        self.rhs.vars()
     }
 }
 
@@ -302,7 +381,9 @@ pub fn core_rules(config: &RuleConfig) -> Vec<ArrayRewrite> {
         Rewrite::new(
             "intro-index-build",
             IntroIndexBuildSearcher,
-            "(get (build ?n ?f) ?i)".parse::<Pattern<ArrayLang>>().unwrap(),
+            IntroIndexBuildApplier {
+                rhs: "(get (build ?n ?f) ?i)".parse::<Pattern<ArrayLang>>().unwrap(),
+            },
         ),
         Rewrite::from_patterns("elim-fst-tuple", "(fst (tuple ?a ?b))", "?a"),
         Rewrite::new(

@@ -11,7 +11,7 @@
 //! a parameter use, a scalar operator, or a scalar-returning library call.
 
 use liar_egraph::{
-    Binding, EGraph, Id, Pattern, Rewrite, SearchMatches, Searcher, Subst, Var,
+    Applier, Binding, EGraph, Id, Pattern, Rewrite, SearchMatches, Searcher, Subst, Var,
 };
 use liar_ir::{ArrayAnalysis, ArrayLang, ArrayRewrite, LibFn};
 
@@ -19,13 +19,12 @@ use super::RuleConfig;
 
 type AEGraph = EGraph<ArrayLang, ArrayAnalysis>;
 
-fn scalar_like(egraph: &AEGraph, id: Id) -> bool {
-    // A class whose value has a known array extent is definitely not a
-    // scalar, whatever nodes congruence has pulled into it.
-    if egraph.data(id).extent.is_some() {
-        return false;
-    }
-    egraph[id].iter().any(|n| match n {
+/// A node spelling that evidences its class is a scalar (the predicate
+/// [`scalar_like`] matches on, and the spelling [`ScalarIntroApplier`]
+/// records on explained proof edges — one definition so the two can
+/// never drift apart).
+fn is_scalar_member(n: &ArrayLang) -> bool {
+    match n {
         ArrayLang::Const(_)
         | ArrayLang::Var(_)
         | ArrayLang::Get(_)
@@ -35,7 +34,16 @@ fn scalar_like(egraph: &AEGraph, id: Id) -> bool {
         | ArrayLang::Div(_) => true,
         ArrayLang::Call(f, _) => matches!(f, LibFn::Dot | LibFn::TSum),
         _ => false,
-    })
+    }
+}
+
+fn scalar_like(egraph: &AEGraph, id: Id) -> bool {
+    // A class whose value has a known array extent is definitely not a
+    // scalar, whatever nodes congruence has pulled into it.
+    if egraph.data(id).extent.is_some() {
+        return false;
+    }
+    egraph[id].iter().any(is_scalar_member)
 }
 
 /// Matches every scalar-like e-class, binding `?x` to it.
@@ -68,11 +76,73 @@ impl Searcher<ArrayLang, ArrayAnalysis> for ScalarClassSearcher {
     }
 }
 
-fn intro(name: &str, rhs: &str) -> ArrayRewrite {
+/// Right-hand-side shape of one inflating scalar identity.
+#[derive(Clone, Copy)]
+enum IntroShape {
+    /// `x → x + 0`.
+    AddZero,
+    /// `x → 1 * x`.
+    MulOneL,
+    /// `x → x * 1`.
+    MulOneR,
+}
+
+/// Applier for the inflating identities. Without explanations it is
+/// exactly the right-hand-side pattern; with explanations it spells the
+/// matched class as one of its *scalar-like* member nodes — the evidence
+/// the searcher matched on — so the recorded proof step replays against
+/// [`ScalarClassSearcher`]'s gate (the class's creation term may well be a
+/// non-scalar spelling such as an `ifold`).
+struct ScalarIntroApplier {
+    shape: IntroShape,
+    rhs: Pattern<ArrayLang>,
+}
+
+impl Applier<ArrayLang, ArrayAnalysis> for ScalarIntroApplier {
+    fn apply(&self, egraph: &mut AEGraph, class: Id, subst: &Subst<ArrayLang>) -> Vec<Id> {
+        if !egraph.are_explanations_enabled() {
+            return self.rhs.apply(egraph, class, subst);
+        }
+        let member = egraph[class].iter().find(|n| is_scalar_member(n)).cloned();
+        let lhs = match member {
+            Some(node) => egraph.add(node),
+            None => class,
+        };
+        let rhs = match self.shape {
+            IntroShape::AddZero => {
+                let zero = egraph.add(ArrayLang::num(0.0));
+                egraph.add(ArrayLang::Add([lhs, zero]))
+            }
+            IntroShape::MulOneL => {
+                let one = egraph.add(ArrayLang::num(1.0));
+                egraph.add(ArrayLang::Mul([one, lhs]))
+            }
+            IntroShape::MulOneR => {
+                let one = egraph.add(ArrayLang::num(1.0));
+                egraph.add(ArrayLang::Mul([lhs, one]))
+            }
+        };
+        let (id, changed) = egraph.union(lhs, rhs);
+        if changed {
+            vec![id]
+        } else {
+            vec![]
+        }
+    }
+
+    fn bound_vars(&self) -> Vec<Var> {
+        vec![Var::new("x")]
+    }
+}
+
+fn intro(name: &str, shape: IntroShape, rhs: &str) -> ArrayRewrite {
     Rewrite::new(
         name,
         ScalarClassSearcher,
-        rhs.parse::<Pattern<ArrayLang>>().unwrap(),
+        ScalarIntroApplier {
+            shape,
+            rhs: rhs.parse::<Pattern<ArrayLang>>().unwrap(),
+        },
     )
 }
 
@@ -86,9 +156,9 @@ pub fn scalar_rules(config: &RuleConfig) -> Vec<ArrayRewrite> {
         Rewrite::from_patterns("commute-mul", "(* ?x ?y)", "(* ?y ?x)"),
     ];
     if config.scalar_intro {
-        rules.push(intro("intro-add-zero", "(+ ?x 0)"));
-        rules.push(intro("intro-mul-one-l", "(* 1 ?x)"));
-        rules.push(intro("intro-mul-one-r", "(* ?x 1)"));
+        rules.push(intro("intro-add-zero", IntroShape::AddZero, "(+ ?x 0)"));
+        rules.push(intro("intro-mul-one-l", IntroShape::MulOneL, "(* 1 ?x)"));
+        rules.push(intro("intro-mul-one-r", IntroShape::MulOneR, "(* ?x 1)"));
     }
     rules
 }

@@ -3,7 +3,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
+use crate::explain::{Explain, Explanation, Justification};
+use crate::pattern::Subst;
 use crate::unionfind::UnionFind;
 use crate::{Analysis, Id, Language, RecExpr};
 
@@ -65,6 +68,14 @@ pub struct EGraph<L: Language, A: Analysis<L>> {
     /// Nodes whose analysis data may be stale.
     analysis_pending: Vec<(L, Id)>,
     clean: bool,
+    /// The explanation forest, when proof production is enabled (see
+    /// [`with_explanations_enabled`](EGraph::with_explanations_enabled)).
+    /// `None` is the default fast path: it pays nothing.
+    explain: Option<Explain<L>>,
+    /// The rule currently applying (name + substitution): unions performed
+    /// while this is set are justified by that rule in the explanation
+    /// forest. Set by [`Rewrite::apply`](crate::Rewrite::apply).
+    rule_context: Option<(Arc<str>, Arc<Subst<L>>)>,
 }
 
 impl<L: Language, A: Analysis<L> + Default> Default for EGraph<L, A> {
@@ -96,7 +107,46 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             pending: Vec::new(),
             analysis_pending: Vec::new(),
             clean: true,
+            explain: None,
+            rule_context: None,
         }
+    }
+
+    /// Enable proof production: every union is recorded in an explanation
+    /// forest, and [`explain_equivalence`](EGraph::explain_equivalence)
+    /// can later produce a replayable [`Explanation`] for any pair of
+    /// equal terms.
+    ///
+    /// Must be called on an **empty** e-graph (every id needs a
+    /// provenance record). With explanations enabled, [`add`](EGraph::add)
+    /// returns *precise* ids — an id that denotes exactly the node that was
+    /// added, which may not be the canonical class id; call
+    /// [`find`](EGraph::find) when canonicality matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the e-graph already contains nodes.
+    pub fn with_explanations_enabled(mut self) -> Self {
+        assert!(
+            self.is_empty(),
+            "explanations must be enabled before any node is added"
+        );
+        self.explain = Some(Explain::default());
+        self
+    }
+
+    /// True when this e-graph records explanations.
+    pub fn are_explanations_enabled(&self) -> bool {
+        self.explain.is_some()
+    }
+
+    /// Set (or clear) the rule context: while set, every union is
+    /// justified by the named rule in the explanation forest. The
+    /// saturation engine calls this around each rule application; custom
+    /// drivers performing explained unions should do the same. No-op
+    /// semantics-wise when explanations are disabled.
+    pub fn set_rule_context(&mut self, context: Option<(Arc<str>, Arc<Subst<L>>)>) {
+        self.rule_context = context;
     }
 
     /// The e-classes (ascending id) containing at least one e-node whose
@@ -200,7 +250,15 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
     }
 
     /// Add an e-node (children must be valid ids), returning its class.
+    ///
+    /// With explanations enabled the returned id is *precise* — it denotes
+    /// exactly the node that was added (possibly a fresh non-canonical id
+    /// linked to the existing class by a congruence edge); call
+    /// [`find`](EGraph::find) when the canonical id is needed.
     pub fn add(&mut self, node: L) -> Id {
+        if self.explain.is_some() {
+            return self.add_explained(node);
+        }
         let node = self.canonicalize(node);
         if let Some(&existing) = self.memo.get(&node) {
             return self.find(existing);
@@ -232,6 +290,61 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         self.find_mut(id)
     }
 
+    /// [`add`](EGraph::add) with provenance: the forest records the
+    /// *original* (uncanonicalized) spelling behind every id, and a node
+    /// that hash-conses onto an existing class still gets a fresh id for
+    /// its exact spelling, linked by a congruence edge — which is what
+    /// keeps rule edges' endpoints exact terms.
+    fn add_explained(&mut self, original: L) -> Id {
+        let cnode = self.canonicalize(original.clone());
+        if let Some(&existing) = self.memo.get(&cnode) {
+            let explain = self.explain.as_ref().expect("explanations enabled");
+            if let Some(id) = explain.uncanon(&original) {
+                return id;
+            }
+            // Congruent spelling of an existing class: issue a precise id
+            // for it. No class is created (the canonical class already has
+            // the canonical node), so congruence invariants are untouched
+            // and `clean` stays as-is.
+            let canonical = self.unionfind.find(existing);
+            let new_id = self.unionfind.make_set();
+            let explain = self.explain.as_mut().expect("explanations enabled");
+            explain.add_node(new_id, original.clone());
+            explain.union(new_id, existing, Justification::Congruence, true);
+            explain.record_uncanon(original, new_id);
+            self.unionfind.union_roots(canonical, new_id);
+            return new_id;
+        }
+        let id = self.unionfind.make_set();
+        {
+            let explain = self.explain.as_mut().expect("explanations enabled");
+            explain.add_node(id, original.clone());
+            explain.record_uncanon(original, id);
+        }
+        let data = A::make(self, &cnode);
+        for child in cnode.children() {
+            let child = self.find(*child);
+            self.classes
+                .get_mut(&child)
+                .expect("child class must exist")
+                .parents
+                .push((cnode.clone(), id));
+        }
+        self.classes.insert(
+            id,
+            EClass {
+                id,
+                nodes: vec![cnode.clone()],
+                data,
+                parents: Vec::new(),
+            },
+        );
+        self.classes_by_op.entry(cnode.op_key()).or_default().push(id);
+        self.memo.insert(cnode, id);
+        A::modify(self, id);
+        id
+    }
+
     /// Add every node of `expr`, returning the root's class.
     ///
     /// # Panics
@@ -250,11 +363,39 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
     /// Union two e-classes, returning the canonical id and whether anything
     /// changed. Invalidates congruence until the next
     /// [`rebuild`](EGraph::rebuild).
+    ///
+    /// With explanations enabled, the union is recorded in the forest: it
+    /// is justified by the active [rule context](EGraph::set_rule_context)
+    /// when one is set, and as a [`Justification::Direct`] assertion
+    /// otherwise (direct assertions fail
+    /// [`Explanation::check`] — derive unions through rules when proofs
+    /// matter). The forest edge connects the *given* ids `a` and `b`, so
+    /// explained callers should pass the precise ids of the two terms the
+    /// union equates.
     pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
-        let a = self.find_mut(a);
-        let b = self.find_mut(b);
+        self.union_justified(a, b, false)
+    }
+
+    /// [`union`](EGraph::union) with an explicit congruence marker (used
+    /// by [`rebuild`](EGraph::rebuild)'s repair loop).
+    fn union_justified(&mut self, a0: Id, b0: Id, congruence: bool) -> (Id, bool) {
+        let a = self.find_mut(a0);
+        let b = self.find_mut(b0);
         if a == b {
             return (a, false);
+        }
+        if let Some(explain) = &mut self.explain {
+            let justification = if congruence {
+                Justification::Congruence
+            } else if let Some((name, subst)) = &self.rule_context {
+                Justification::Rule {
+                    name: Arc::clone(name),
+                    subst: Arc::clone(subst),
+                }
+            } else {
+                Justification::Direct
+            };
+            explain.union(a0, b0, justification, true);
         }
         self.clean = false;
         // Keep the class with more members as the winner to move less data.
@@ -311,11 +452,15 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
     pub fn rebuild(&mut self) -> usize {
         let mut n_unions = 0;
         while !self.pending.is_empty() || !self.analysis_pending.is_empty() {
-            while let Some((node, class)) = self.pending.pop() {
+            while let Some((node, enode_id)) = self.pending.pop() {
                 let node = self.canonicalize(node);
-                let class = self.find_mut(class);
-                if let Some(old) = self.memo.insert(node.clone(), class) {
-                    let (_, changed) = self.union(old, class);
+                let class = self.find_mut(enode_id);
+                // With explanations on, memo values stay *precise* creation
+                // ids (find() canonicalizes on read), so future congruence
+                // edges connect exact terms.
+                let memo_id = if self.explain.is_some() { enode_id } else { class };
+                if let Some(old) = self.memo.insert(node.clone(), memo_id) {
+                    let (_, changed) = self.union_justified(old, enode_id, true);
                     if changed {
                         n_unions += 1;
                     }
@@ -345,6 +490,7 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
     /// so that [`num_nodes`](EGraph::num_nodes) counts *unique* e-nodes, the
     /// quantity the paper reports.
     fn rebuild_classes(&mut self) {
+        let explain_off = self.explain.is_none();
         let uf = &self.unionfind;
         for class in self.classes.values_mut() {
             for node in &mut class.nodes {
@@ -359,7 +505,13 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
                 for c in pnode.children_mut() {
                     *c = uf.find(*c);
                 }
-                *pclass = uf.find(*pclass);
+                // With explanations on, parent entries keep the parent
+                // e-node's *creation* id — the precise term a future
+                // congruence edge must connect — at the cost of fewer
+                // dedup hits below. The fast path canonicalizes as before.
+                if explain_off {
+                    *pclass = uf.find(*pclass);
+                }
             }
             class.parents.sort();
             class.parents.dedup();
@@ -374,7 +526,9 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         for key in stale {
             let id = self.memo.remove(&key).expect("key present");
             let node = key.map_children(|c| uf.find(c));
-            let id = uf.find(id);
+            // Keep the precise creation id under explanations (find() on
+            // read canonicalizes); canonicalize eagerly on the fast path.
+            let id = if explain_off { uf.find(id) } else { id };
             self.memo.entry(node).or_insert(id);
         }
 
@@ -392,6 +546,48 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
                 }
             }
         }
+    }
+
+    /// Produce a replayable proof that `a` and `b` are equal terms: a
+    /// chain of [`ProofStep`](crate::ProofStep)s rewriting `a` into `b`,
+    /// each justified by a named rule at an explicit position (see
+    /// [`crate::explain`]). Validate it with
+    /// [`Explanation::check`].
+    ///
+    /// Takes `&mut self` because the two terms are (re-)added to obtain
+    /// precise ids; this never changes any e-class.
+    ///
+    /// # Panics
+    ///
+    /// Panics when explanations are disabled or the terms are not in the
+    /// same e-class — use
+    /// [`try_explain_equivalence`](EGraph::try_explain_equivalence) for an
+    /// `Option` instead.
+    pub fn explain_equivalence(&mut self, a: &RecExpr<L>, b: &RecExpr<L>) -> Explanation<L> {
+        self.try_explain_equivalence(a, b)
+            .expect("explain_equivalence: explanations disabled or terms not equivalent")
+    }
+
+    /// [`explain_equivalence`](EGraph::explain_equivalence), returning
+    /// `None` when explanations are disabled, either term is absent, or
+    /// the terms are not in the same e-class.
+    pub fn try_explain_equivalence(
+        &mut self,
+        a: &RecExpr<L>,
+        b: &RecExpr<L>,
+    ) -> Option<Explanation<L>> {
+        self.explain.as_ref()?;
+        // Probe without mutating: both terms must already be (semantically)
+        // present and equal.
+        let (ca, cb) = (self.lookup_expr(a)?, self.lookup_expr(b)?);
+        if ca != cb {
+            return None;
+        }
+        // Re-adding yields the precise ids denoting exactly these
+        // spellings (pure bookkeeping: no class changes).
+        let ia = self.add_expr(a);
+        let ib = self.add_expr(b);
+        Some(self.explain.as_ref().expect("checked above").explain(ia, ib))
     }
 
     /// Check internal invariants (used by tests; O(nodes)).

@@ -1,0 +1,960 @@
+//! Proof production: a provenance-tracking explanation forest and
+//! replayable rewrite explanations, in the style of egg's `explain`
+//! module (Flatt et al., "Small Proofs from Congruence Closure").
+//!
+//! # How provenance is recorded
+//!
+//! When explanations are enabled ([`EGraph::with_explanations_enabled`](crate::EGraph::with_explanations_enabled)),
+//! every id issued by the e-graph carries the *original* (uncanonicalized)
+//! e-node it was created for, so each id denotes one precise term
+//! (`Explain::term_of`). Ids form a forest that mirrors the union-find:
+//! every union links two trees with an edge tagged by a [`Justification`]
+//! — the rewrite rule (plus its substitution) that performed it, or
+//! congruence. Adding a node that hash-conses onto an existing class still
+//! allocates a fresh id for the new spelling, linked to the old one by a
+//! congruence edge, which is what keeps every edge's endpoints *exact*
+//! terms rather than whatever term happened to create a class.
+//!
+//! # From forest to proof
+//!
+//! `Explain::explain` walks the unique forest path between two ids and
+//! flattens it into a sequence of [`ProofStep`]s, each rewriting one full
+//! term into the next by applying a named rule at an explicit position
+//! (congruence edges expand recursively into their children's
+//! sub-proofs). The result is an [`Explanation`]: a checkable certificate,
+//! not a trust-me log — [`Explanation::check`] replays every step against
+//! a rule set using the legacy oracle matcher (pattern rules) or a
+//! single-rule saturation replay (rules with custom searchers/appliers)
+//! and fails on any illegal step.
+//!
+//! Forest walks are iterative (deep rewrite chains must not overflow the
+//! stack); recursion is only used where depth is bounded by *term* height
+//! (congruence descent).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::pattern::Subst;
+use crate::{Analysis, EGraph, Id, Language, Pattern, RecExpr, Rewrite, Runner};
+
+/// Why two e-classes were merged: the provenance tag on one explanation
+/// forest edge.
+#[derive(Debug, Clone)]
+pub enum Justification<L: Language> {
+    /// A named rewrite rule fired with the given substitution.
+    Rule {
+        /// The rule's name (shared with every edge the rule creates).
+        name: Arc<str>,
+        /// The substitution the rule was applied under (diagnostic: checking
+        /// re-derives bindings by replaying, so proofs do not trust it).
+        subst: Arc<Subst<L>>,
+    },
+    /// Congruence: the two terms have matching operators and pairwise-equal
+    /// children (recorded by `rebuild()` and by hash-cons collisions).
+    Congruence,
+    /// A union asserted directly (e.g. [`EGraph::union`](crate::EGraph::union)
+    /// outside any rule application). Steps justified this way fail
+    /// [`Explanation::check`] — certificates cannot contain assumptions.
+    Direct,
+}
+
+/// The name [`ProofStep::rule`] carries for [`Justification::Direct`]
+/// edges. [`Explanation::check`] rejects such steps.
+pub const UNJUSTIFIED: &str = "<unjustified-union>";
+
+/// Which way a rule was applied in a [`ProofStep`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Left-hand side rewritten to right-hand side.
+    Forward,
+    /// Right-hand side rewritten back to left-hand side.
+    Backward,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Forward => write!(f, "→"),
+            Direction::Backward => write!(f, "←"),
+        }
+    }
+}
+
+/// One step of an [`Explanation`]: `before` rewritten into `after` by
+/// applying `rule` (in `direction`) to the subterm at `position`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProofStep<L: Language> {
+    /// The whole term before this step (canonical node table).
+    pub before: RecExpr<L>,
+    /// The whole term after this step (canonical node table).
+    pub after: RecExpr<L>,
+    /// Name of the rewrite rule applied ([`UNJUSTIFIED`] for direct
+    /// unions, which never check).
+    pub rule: String,
+    /// Whether the rule was applied left-to-right or right-to-left.
+    pub direction: Direction,
+    /// Path of child indices from the root to the rewritten subterm
+    /// (empty = the step rewrites the whole term).
+    pub position: Vec<usize>,
+}
+
+impl<L: Language> ProofStep<L> {
+    /// The rewritten subterm of [`before`](ProofStep::before) (canonical).
+    pub fn before_subtree(&self) -> RecExpr<L> {
+        let ids = path_ids(&self.before, &self.position).expect("recorded position is valid");
+        canonical_subtree(&self.before, *ids.last().expect("path includes the root"))
+    }
+
+    /// The rewritten subterm of [`after`](ProofStep::after) (canonical).
+    pub fn after_subtree(&self) -> RecExpr<L> {
+        let ids = path_ids(&self.after, &self.position).expect("recorded position is valid");
+        canonical_subtree(&self.after, *ids.last().expect("path includes the root"))
+    }
+}
+
+/// A replayable proof that two terms are equal: a chain of
+/// [`ProofStep`]s rewriting [`source`](Explanation::source) into
+/// [`target`](Explanation::target).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation<L: Language> {
+    /// The starting term (canonical node table).
+    pub source: RecExpr<L>,
+    /// The final term.
+    pub target: RecExpr<L>,
+    /// The rewrite chain; empty when `source == target`.
+    pub steps: Vec<ProofStep<L>>,
+}
+
+/// Why a proof failed to check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofError {
+    /// Index of the offending step, when one step is to blame.
+    pub step: Option<usize>,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.step {
+            Some(i) => write!(f, "proof step {}: {}", i + 1, self.message),
+            None => write!(f, "proof: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+impl<L: Language + 'static> Explanation<L> {
+    /// Number of rewrite steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when source and target are the same term (zero steps).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Replay every step against `rules` and verify the chain, treating
+    /// the proof as an untrusted certificate.
+    ///
+    /// Checks, per step: the rule exists; the context outside
+    /// [`position`](ProofStep::position) is unchanged; and the rewrite at
+    /// the position is derivable —
+    ///
+    /// * **pattern → pattern rules, forward**: the step's before-subterm is
+    ///   matched with the legacy **oracle** matcher
+    ///   ([`Pattern::match_class_oracle`]) and the right-hand side is
+    ///   instantiated under each binding; some instantiation must equal the
+    ///   after-subterm exactly;
+    /// * **everything else** (backward steps, custom searchers or
+    ///   appliers): a fresh e-graph is seeded with the before- and
+    ///   after-subterms and the rule (oracle-matched, via
+    ///   [`Rewrite::with_oracle_searcher`]) is run for one bounded step —
+    ///   the two subterms must end up in the same e-class.
+    ///
+    /// Also verifies the chain itself: `steps[0].before == source`,
+    /// each `after` equals the next `before`, and the last `after == target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProofError`] found.
+    pub fn check<A>(&self, rules: &[Rewrite<L, A>]) -> Result<(), ProofError>
+    where
+        A: Analysis<L> + Default + 'static,
+    {
+        let err = |step: Option<usize>, message: String| Err(ProofError { step, message });
+        if self.steps.is_empty() {
+            if self.source != self.target {
+                return err(None, "no steps, but source differs from target".into());
+            }
+            return Ok(());
+        }
+        if self.steps[0].before != self.source {
+            return err(Some(0), "first step does not start at the source term".into());
+        }
+        if self.steps.last().expect("nonempty").after != self.target {
+            return err(
+                Some(self.steps.len() - 1),
+                "last step does not end at the target term".into(),
+            );
+        }
+        for (i, w) in self.steps.windows(2).enumerate() {
+            if w[0].after != w[1].before {
+                return err(Some(i + 1), "step does not start where the previous ended".into());
+            }
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            if step.rule == UNJUSTIFIED {
+                return err(Some(i), "union was asserted directly, not derived by a rule".into());
+            }
+            let Some(rule) = rules.iter().find(|r| r.name() == step.rule) else {
+                return err(Some(i), format!("rule {:?} is not in the rule set", step.rule));
+            };
+            if path_ids(&step.before, &step.position).is_none()
+                || path_ids(&step.after, &step.position).is_none()
+            {
+                return err(Some(i), "position does not exist in the term".into());
+            }
+            if !context_matches(&step.before, &step.after, &step.position) {
+                return err(Some(i), "term changed outside the rewritten position".into());
+            }
+            let before_sub = step.before_subtree();
+            let after_sub = step.after_subtree();
+            let ok = match (rule.searcher_pattern(), rule.applier_pattern(), step.direction) {
+                (Some(lhs), Some(rhs), Direction::Forward) => {
+                    check_pattern_step::<L, A>(lhs, rhs, &before_sub, &after_sub)
+                }
+                _ => check_replay_step(rule, &before_sub, &after_sub),
+            };
+            if !ok {
+                return err(
+                    Some(i),
+                    format!(
+                        "rule {:?} ({}) cannot rewrite {} into {}",
+                        step.rule, step.direction, before_sub, after_sub
+                    ),
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<L: Language> fmt::Display for Explanation<L> {
+    /// A numbered, human-readable proof: one line per step, annotated
+    /// with the rule, direction and position.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "   0: {}", self.source)?;
+        for (i, step) in self.steps.iter().enumerate() {
+            let pos = if step.position.is_empty() {
+                "root".to_string()
+            } else {
+                step.position
+                    .iter()
+                    .map(|j| format!(".{j}"))
+                    .collect::<String>()
+            };
+            writeln!(
+                f,
+                "{:>4}: {}    [{} {} at {}]",
+                i + 1,
+                step.after,
+                step.rule,
+                step.direction,
+                pos
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Strict check of a forward pattern step: oracle-match `from` against the
+/// before-subterm's root and require some instantiation of `to` to be the
+/// after-subterm.
+fn check_pattern_step<L, A>(
+    from: &Pattern<L>,
+    to: &Pattern<L>,
+    before: &RecExpr<L>,
+    after: &RecExpr<L>,
+) -> bool
+where
+    L: Language + 'static,
+    A: Analysis<L> + Default + 'static,
+{
+    let mut egraph: EGraph<L, A> = EGraph::new(A::default());
+    let root = egraph.add_expr(before);
+    let substs = from.match_class_oracle(&egraph, root);
+    for subst in substs {
+        let out = to.instantiate(&mut egraph, &subst);
+        // No unions ever happen here, so equal classes mean the
+        // instantiation built exactly the after-subterm.
+        if let Some(target) = egraph.lookup_expr(after) {
+            if egraph.find(out) == egraph.find(target) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Replay check for custom rules (and backward pattern steps): seed a
+/// fresh e-graph with both subterms, run one bounded saturation step of
+/// the oracle-matched rule, and require the subterms to merge.
+fn check_replay_step<L, A>(rule: &Rewrite<L, A>, before: &RecExpr<L>, after: &RecExpr<L>) -> bool
+where
+    L: Language + 'static,
+    A: Analysis<L> + Default + 'static,
+{
+    let oracle = rule.with_oracle_searcher();
+    let mut egraph: EGraph<L, A> = EGraph::new(A::default());
+    let t = egraph.add_expr(before);
+    let u = egraph.add_expr(after);
+    if egraph.find(t) == egraph.find(u) {
+        return true; // identical modulo sharing
+    }
+    let mut runner = Runner::new(egraph).with_iter_limit(1).with_node_limit(100_000);
+    runner.run(std::slice::from_ref(&oracle));
+    if runner.egraph.find(t) == runner.egraph.find(u) {
+        return true;
+    }
+    // One more bounded step: the first application may only have built the
+    // bridging node (e.g. a congruence-completing spelling). The size guard
+    // keeps quadratic intro-style searchers from exploding the replay.
+    if runner.egraph.num_nodes() < 20_000 {
+        let mut second = Runner::new(runner.egraph)
+            .with_iter_limit(1)
+            .with_node_limit(100_000);
+        second.run(std::slice::from_ref(&oracle));
+        return second.egraph.find(t) == second.egraph.find(u);
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Canonical term tables.
+
+/// Rebuild the tree reachable from `root` into a **canonical** node table:
+/// DFS post-order (children left to right), every distinct subtree stored
+/// once. Two equal trees — however their source tables were laid out —
+/// canonicalize to identical tables, which is what lets proof terms be
+/// compared with `==`. Iterative: safe on arbitrarily deep terms.
+pub(crate) fn canonical_build<L: Language>(root: Id, mut node_of: impl FnMut(Id) -> L) -> RecExpr<L> {
+    enum Frame {
+        Enter(Id),
+        Exit(Id),
+    }
+    let mut out = RecExpr::default();
+    let mut interned: HashMap<L, Id> = HashMap::new();
+    let mut memo: HashMap<Id, Id> = HashMap::new();
+    let mut stack = vec![Frame::Enter(root)];
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Enter(id) => {
+                if memo.contains_key(&id) {
+                    continue;
+                }
+                stack.push(Frame::Exit(id));
+                let node = node_of(id);
+                for &c in node.children().iter().rev() {
+                    stack.push(Frame::Enter(c));
+                }
+            }
+            Frame::Exit(id) => {
+                if memo.contains_key(&id) {
+                    continue;
+                }
+                let node = node_of(id).map_children(|c| memo[&c]);
+                let out_id = *interned
+                    .entry(node.clone())
+                    .or_insert_with(|| out.add(node));
+                memo.insert(id, out_id);
+            }
+        }
+    }
+    out
+}
+
+/// Canonicalize the subtree of `expr` rooted at `root` (see
+/// [`canonical_build`]).
+pub(crate) fn canonical_subtree<L: Language>(expr: &RecExpr<L>, root: Id) -> RecExpr<L> {
+    canonical_build(root, |id| expr.node(id).clone())
+}
+
+/// Canonicalize a whole expression into the node-table layout proof terms
+/// use (DFS post-order, shared subtrees deduplicated): two equal trees
+/// canonicalize to `==`-equal tables, so this is how callers compare their
+/// own terms against [`Explanation`] endpoints.
+pub fn canonical_expr<L: Language>(expr: &RecExpr<L>) -> RecExpr<L> {
+    canonical_subtree(expr, expr.root())
+}
+
+/// The node ids of `expr` along `position` (root first); `None` when the
+/// path walks out of the tree.
+pub(crate) fn path_ids<L: Language>(expr: &RecExpr<L>, position: &[usize]) -> Option<Vec<Id>> {
+    if expr.is_empty() {
+        return None;
+    }
+    let mut ids = vec![expr.root()];
+    for &j in position {
+        let cur = *ids.last().expect("nonempty");
+        let &child = expr.node(cur).children().get(j)?;
+        ids.push(child);
+    }
+    Some(ids)
+}
+
+/// Replace the subtree of `expr` at `position` with `sub`, returning a
+/// canonical table. `None` when the position does not exist. Other
+/// occurrences of a shared subtree are *not* replaced — the position
+/// names one occurrence.
+pub(crate) fn replace_at<L: Language>(
+    expr: &RecExpr<L>,
+    position: &[usize],
+    sub: &RecExpr<L>,
+) -> Option<RecExpr<L>> {
+    let path = path_ids(expr, position)?;
+    let mut naive = expr.clone();
+    // Graft sub's table (order is irrelevant; the canonical pass prunes
+    // garbage and re-orders).
+    let mut map: Vec<Id> = Vec::with_capacity(sub.len());
+    for node in sub.nodes() {
+        let node = node.clone().map_children(|c| map[c.index()]);
+        map.push(naive.add(node));
+    }
+    let mut new_id = *map.last()?;
+    for depth in (0..position.len()).rev() {
+        let mut node = naive.node(path[depth]).clone();
+        node.children_mut()[position[depth]] = new_id;
+        new_id = naive.add(node);
+    }
+    Some(canonical_subtree(&naive, new_id))
+}
+
+/// True when `before` and `after` are identical everywhere except (possibly)
+/// the subtree at `position`.
+pub(crate) fn context_matches<L: Language>(
+    before: &RecExpr<L>,
+    after: &RecExpr<L>,
+    position: &[usize],
+) -> bool {
+    let (Some(pb), Some(pa)) = (path_ids(before, position), path_ids(after, position)) else {
+        return false;
+    };
+    for depth in 0..position.len() {
+        let nb = before.node(pb[depth]);
+        let na = after.node(pa[depth]);
+        if !nb.matches(na) || nb.children().len() != na.children().len() {
+            return false;
+        }
+        for (k, (cb, ca)) in nb.children().iter().zip(na.children()).enumerate() {
+            if k == position[depth] {
+                continue;
+            }
+            if canonical_subtree(before, *cb) != canonical_subtree(after, *ca) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// The explanation forest.
+
+/// One id's record in the explanation forest.
+#[derive(Debug, Clone)]
+struct ExplainNode<L: Language> {
+    /// The original (uncanonicalized) e-node this id was created for; its
+    /// children reference other forest ids, so each id denotes one exact
+    /// term.
+    node: L,
+    /// Parent pointer in the forest (`== self` at a tree root).
+    parent: Id,
+    /// Label of the edge to `parent` (meaningless at a root).
+    justification: Justification<L>,
+    /// For rule edges: true when the rule rewrote `term(self)` into
+    /// `term(parent)` (left-to-right).
+    forward: bool,
+}
+
+/// The provenance store behind an explanations-enabled e-graph: one
+/// [`ExplainNode`] per issued id, plus a memo of original spellings.
+#[derive(Debug, Clone)]
+pub(crate) struct Explain<L: Language> {
+    nodes: Vec<ExplainNode<L>>,
+    /// Original (uncanonicalized) node → the id that denotes exactly it.
+    uncanon_memo: HashMap<L, Id>,
+}
+
+impl<L: Language> Default for Explain<L> {
+    fn default() -> Self {
+        Explain {
+            nodes: Vec::new(),
+            uncanon_memo: HashMap::new(),
+        }
+    }
+}
+
+/// A step before terms are materialized: rewrite the subterm at
+/// `position` into `term(to)` via `rule`.
+struct LocalStep {
+    position: Vec<usize>,
+    rule: String,
+    direction: Direction,
+    to: Id,
+}
+
+impl<L: Language> Explain<L> {
+    /// Record the original node behind a freshly issued id. Must be called
+    /// for every id, in issue order.
+    pub(crate) fn add_node(&mut self, id: Id, node: L) {
+        debug_assert_eq!(id.index(), self.nodes.len(), "ids must be recorded in order");
+        self.nodes.push(ExplainNode {
+            node,
+            parent: id,
+            justification: Justification::Direct,
+            forward: true,
+        });
+    }
+
+    /// The id denoting exactly `node` (by original spelling), if recorded.
+    pub(crate) fn uncanon(&self, node: &L) -> Option<Id> {
+        self.uncanon_memo.get(node).copied()
+    }
+
+    /// Remember that `id` denotes exactly `node`.
+    pub(crate) fn record_uncanon(&mut self, node: L, id: Id) {
+        self.uncanon_memo.insert(node, id);
+    }
+
+    /// Link the trees of `a` and `b` with an edge labeled `justification`.
+    /// `forward` = the rule rewrote `term(a)` into `term(b)`. The two ids
+    /// must belong to different trees (the caller unions their classes).
+    pub(crate) fn union(&mut self, a: Id, b: Id, justification: Justification<L>, forward: bool) {
+        self.make_leader(a);
+        let n = &mut self.nodes[a.index()];
+        n.parent = b;
+        n.justification = justification;
+        n.forward = forward;
+    }
+
+    /// Reverse the parent pointers on the path from `id` to its root so
+    /// that `id` becomes the root of its tree. Iterative: rewrite chains
+    /// can be very deep.
+    fn make_leader(&mut self, id: Id) {
+        let mut chain = vec![id];
+        loop {
+            let last = *chain.last().expect("nonempty");
+            let parent = self.nodes[last.index()].parent;
+            if parent == last {
+                break;
+            }
+            chain.push(parent);
+        }
+        // Save the edges before overwriting them: edge i connects
+        // chain[i] → chain[i+1].
+        let edges: Vec<(Justification<L>, bool)> = chain
+            .iter()
+            .map(|id| {
+                let n = &self.nodes[id.index()];
+                (n.justification.clone(), n.forward)
+            })
+            .collect();
+        for i in 0..chain.len() - 1 {
+            let (x, p) = (chain[i], chain[i + 1]);
+            let n = &mut self.nodes[p.index()];
+            n.parent = x;
+            n.justification = edges[i].0.clone();
+            n.forward = !edges[i].1;
+        }
+        let n = &mut self.nodes[id.index()];
+        n.parent = id;
+        n.justification = Justification::Direct;
+        n.forward = true;
+    }
+
+    /// The exact term id `denotes` (canonical node table).
+    pub(crate) fn term_of(&self, id: Id) -> RecExpr<L> {
+        canonical_build(id, |i| self.nodes[i.index()].node.clone())
+    }
+
+    /// Produce the proof that `a` and `b` denote equal terms. The caller
+    /// must ensure their classes are equal (same forest tree).
+    pub(crate) fn explain(&self, a: Id, b: Id) -> Explanation<L> {
+        let mut locals = Vec::new();
+        // Generous global budget: a runaway proof means a forest invariant
+        // was broken, and looping forever would be worse than panicking.
+        let mut fuel: usize = 10_000_000;
+        self.local_steps(a, b, &mut Vec::new(), &mut locals, &mut fuel);
+
+        let source = self.term_of(a);
+        let target = self.term_of(b);
+        let mut steps = Vec::with_capacity(locals.len());
+        let mut current = source.clone();
+        for local in locals {
+            let sub = self.term_of(local.to);
+            let after =
+                replace_at(&current, &local.position, &sub).expect("proof positions are valid");
+            let before = std::mem::replace(&mut current, after);
+            steps.push(ProofStep {
+                before,
+                after: current.clone(),
+                rule: local.rule,
+                direction: local.direction,
+                position: local.position,
+            });
+        }
+        debug_assert_eq!(current, target, "flattened proof must reach the target term");
+        Explanation { source, target, steps }
+    }
+
+    /// Append the steps rewriting `term(a)` into `term(b)` (both at
+    /// `position` inside the overall term) to `out`.
+    fn local_steps(
+        &self,
+        a: Id,
+        b: Id,
+        position: &mut Vec<usize>,
+        out: &mut Vec<LocalStep>,
+        fuel: &mut usize,
+    ) {
+        if a == b {
+            return;
+        }
+        // The unique forest path a → … → lca ← … ← b.
+        let mut anc_a = vec![a];
+        loop {
+            let last = *anc_a.last().expect("nonempty");
+            let parent = self.nodes[last.index()].parent;
+            if parent == last {
+                break;
+            }
+            anc_a.push(parent);
+        }
+        let index_of: HashMap<Id, usize> =
+            anc_a.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        let mut anc_b = vec![b];
+        let lca = loop {
+            let last = *anc_b.last().expect("nonempty");
+            if let Some(&i) = index_of.get(&last) {
+                break i;
+            }
+            let parent = self.nodes[last.index()].parent;
+            assert_ne!(parent, last, "explain: ids are not in the same forest tree");
+            anc_b.push(parent);
+        };
+        for i in 0..lca {
+            self.emit_edge(anc_a[i], anc_a[i + 1], true, position, out, fuel);
+        }
+        for j in (0..anc_b.len() - 1).rev() {
+            self.emit_edge(anc_b[j], anc_b[j + 1], false, position, out, fuel);
+        }
+    }
+
+    /// Emit the steps for one forest edge `x → parent`, traversed in
+    /// storage direction (`along` = true) or against it.
+    fn emit_edge(
+        &self,
+        x: Id,
+        parent: Id,
+        along: bool,
+        position: &mut Vec<usize>,
+        out: &mut Vec<LocalStep>,
+        fuel: &mut usize,
+    ) {
+        *fuel = fuel
+            .checked_sub(1)
+            .expect("explanation exceeded the step budget (forest invariant broken?)");
+        let n = &self.nodes[x.index()];
+        match &n.justification {
+            Justification::Rule { name, .. } => {
+                let forward = if along { n.forward } else { !n.forward };
+                out.push(LocalStep {
+                    position: position.clone(),
+                    rule: name.to_string(),
+                    direction: if forward { Direction::Forward } else { Direction::Backward },
+                    to: if along { parent } else { x },
+                });
+            }
+            Justification::Direct => {
+                let forward = if along { n.forward } else { !n.forward };
+                out.push(LocalStep {
+                    position: position.clone(),
+                    rule: UNJUSTIFIED.to_string(),
+                    direction: if forward { Direction::Forward } else { Direction::Backward },
+                    to: if along { parent } else { x },
+                });
+            }
+            Justification::Congruence => {
+                // Same operator, children pairwise equal: recurse into the
+                // children (depth bounded by term height). Congruence edges
+                // only reference child paths recorded *before* the edge, so
+                // this terminates.
+                let (from_node, to_node) = if along {
+                    (&n.node, &self.nodes[parent.index()].node)
+                } else {
+                    (&self.nodes[parent.index()].node, &n.node)
+                };
+                debug_assert!(
+                    from_node.matches(to_node),
+                    "congruence edge between non-congruent nodes"
+                );
+                for (j, (ca, cb)) in from_node
+                    .children()
+                    .iter()
+                    .zip(to_node.children())
+                    .enumerate()
+                {
+                    if ca == cb {
+                        continue;
+                    }
+                    position.push(j);
+                    self.local_steps(*ca, *cb, position, out, fuel);
+                    position.pop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolLang;
+
+    type EG = EGraph<SymbolLang, ()>;
+
+    fn e(s: &str) -> RecExpr<SymbolLang> {
+        s.parse().unwrap()
+    }
+
+    fn comm() -> Rewrite<SymbolLang, ()> {
+        Rewrite::from_patterns("comm-add", "(+ ?x ?y)", "(+ ?y ?x)")
+    }
+
+    fn shift() -> Rewrite<SymbolLang, ()> {
+        Rewrite::from_patterns("mul2-shift", "(* ?a 2)", "(<< ?a 1)")
+    }
+
+    fn run(expr: &str, rules: &[Rewrite<SymbolLang, ()>]) -> Runner<SymbolLang, ()> {
+        let mut eg = EG::default().with_explanations_enabled();
+        eg.add_expr(&e(expr));
+        let mut runner = Runner::new(eg).with_iter_limit(8);
+        runner.run(rules);
+        runner
+    }
+
+    #[test]
+    fn canonical_tables_are_layout_independent() {
+        // f(a, a) written with and without sharing.
+        let mut shared = RecExpr::default();
+        let a = shared.add(SymbolLang::leaf("a"));
+        shared.add(SymbolLang::new("f", vec![a, a]));
+        let mut dup = RecExpr::default();
+        let a1 = dup.add(SymbolLang::leaf("a"));
+        let a2 = dup.add(SymbolLang::leaf("a"));
+        dup.add(SymbolLang::new("f", vec![a1, a2]));
+        assert_ne!(shared, dup);
+        assert_eq!(canonical_expr(&shared), canonical_expr(&dup));
+    }
+
+    #[test]
+    fn replace_at_rewrites_one_occurrence() {
+        let expr = canonical_expr(&e("(f (g a) (g a))"));
+        let replaced = replace_at(&expr, &[1], &e("b")).unwrap();
+        assert_eq!(replaced, canonical_expr(&e("(f (g a) b)")));
+        // Out-of-tree positions are rejected.
+        assert!(replace_at(&expr, &[2], &e("b")).is_none());
+        assert!(replace_at(&expr, &[0, 0, 0], &e("b")).is_none());
+        // Root replacement.
+        assert_eq!(replace_at(&expr, &[], &e("b")).unwrap(), canonical_expr(&e("b")));
+    }
+
+    #[test]
+    fn context_check_catches_side_edits() {
+        let before = canonical_expr(&e("(f a b)"));
+        let legit = canonical_expr(&e("(f a c)"));
+        let rogue = canonical_expr(&e("(f x c)"));
+        assert!(context_matches(&before, &legit, &[1]));
+        assert!(!context_matches(&before, &rogue, &[1]));
+        assert!(context_matches(&before, &rogue, &[])); // everything may change at the root
+    }
+
+    #[test]
+    fn simple_rule_proof_checks() {
+        let rules = vec![shift()];
+        let mut runner = run("(* a 2)", &rules);
+        let proof = runner
+            .egraph
+            .explain_equivalence(&e("(* a 2)"), &e("(<< a 1)"));
+        assert_eq!(proof.len(), 1);
+        assert_eq!(proof.steps[0].rule, "mul2-shift");
+        assert_eq!(proof.steps[0].direction, Direction::Forward);
+        assert!(proof.steps[0].position.is_empty());
+        proof.check(&rules).unwrap();
+    }
+
+    #[test]
+    fn backward_steps_check() {
+        // Proof between two rewritten forms passes through the pivot
+        // backwards: (+ b a) ← (+ a b) is a backward comm-add step…
+        let rules = vec![comm()];
+        let mut runner = run("(+ a b)", &rules);
+        let proof = runner
+            .egraph
+            .explain_equivalence(&e("(+ b a)"), &e("(+ a b)"));
+        assert!(!proof.is_empty());
+        proof.check(&rules).unwrap();
+        assert!(proof
+            .steps
+            .iter()
+            .any(|s| s.direction == Direction::Backward || s.rule == "comm-add"));
+    }
+
+    #[test]
+    fn congruence_only_proof_flattens_to_child_steps() {
+        // Union a*2 ~ a<<1 by rule; f-wrappers merge purely by congruence.
+        let rules = vec![shift()];
+        let mut runner = run("(f (* a 2))", &rules);
+        let proof = runner
+            .egraph
+            .explain_equivalence(&e("(f (* a 2))"), &e("(f (<< a 1))"));
+        assert_eq!(proof.len(), 1, "congruence expands into the child rule step");
+        assert_eq!(proof.steps[0].position, vec![0]);
+        assert_eq!(proof.steps[0].rule, "mul2-shift");
+        proof.check(&rules).unwrap();
+    }
+
+    #[test]
+    fn proof_chains_through_intermediate_terms() {
+        let rules = vec![comm(), shift()];
+        let mut runner = run("(+ (* a 2) b)", &rules);
+        let proof = runner
+            .egraph
+            .explain_equivalence(&e("(+ (* a 2) b)"), &e("(+ b (<< a 1))"));
+        assert!(proof.len() >= 2, "needs a shift and a commute");
+        proof.check(&rules).unwrap();
+        // The chain is well-formed: each step starts where the last ended.
+        for w in proof.steps.windows(2) {
+            assert_eq!(w[0].after, w[1].before);
+        }
+    }
+
+    #[test]
+    fn direct_unions_fail_the_check() {
+        let mut eg = EG::default().with_explanations_enabled();
+        let a = eg.add_expr(&e("a"));
+        let b = eg.add_expr(&e("b"));
+        eg.union(a, b);
+        eg.rebuild();
+        let proof = eg.explain_equivalence(&e("a"), &e("b"));
+        assert_eq!(proof.steps[0].rule, UNJUSTIFIED);
+        let err = proof.check::<()>(&[comm()]).unwrap_err();
+        assert!(err.message.contains("asserted directly"), "{err}");
+    }
+
+    #[test]
+    fn unknown_rule_fails_the_check() {
+        let rules = vec![shift()];
+        let mut runner = run("(* a 2)", &rules);
+        let proof = runner
+            .egraph
+            .explain_equivalence(&e("(* a 2)"), &e("(<< a 1)"));
+        let err = proof.check::<()>(&[comm()]).unwrap_err();
+        assert!(err.message.contains("not in the rule set"), "{err}");
+    }
+
+    #[test]
+    fn tampered_proofs_fail_the_check() {
+        let rules = vec![shift()];
+        let mut runner = run("(* a 2)", &rules);
+        let proof = runner
+            .egraph
+            .explain_equivalence(&e("(* a 2)"), &e("(<< a 1)"));
+
+        // Forge the result term: the rule cannot derive it.
+        let mut forged = proof.clone();
+        forged.steps[0].after = canonical_expr(&e("(<< b 1)"));
+        forged.target = forged.steps[0].after.clone();
+        assert!(forged.check(&rules).is_err());
+
+        // Break the chain.
+        let mut broken = proof.clone();
+        broken.source = canonical_expr(&e("(* b 2)"));
+        assert!(broken.check(&rules).is_err());
+    }
+
+    #[test]
+    fn explanations_off_contract() {
+        let mut eg = EG::default();
+        let a = eg.add_expr(&e("(* a 2)"));
+        let b = eg.add_expr(&e("(<< a 1)"));
+        eg.union(a, b);
+        eg.rebuild();
+        assert!(!eg.are_explanations_enabled());
+        assert!(eg.try_explain_equivalence(&e("(* a 2)"), &e("(<< a 1)")).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "explanations disabled or terms not equivalent")]
+    fn explain_equivalence_panics_when_disabled() {
+        let mut eg = EG::default();
+        eg.add_expr(&e("(* a 2)"));
+        let _ = eg.explain_equivalence(&e("(* a 2)"), &e("(* a 2)"));
+    }
+
+    #[test]
+    fn non_equivalent_terms_yield_no_proof() {
+        let mut eg = EG::default().with_explanations_enabled();
+        eg.add_expr(&e("(* a 2)"));
+        eg.add_expr(&e("(* b 2)"));
+        assert!(eg.try_explain_equivalence(&e("(* a 2)"), &e("(* b 2)")).is_none());
+        // Terms never added are not equivalent either.
+        assert!(eg.try_explain_equivalence(&e("(* a 2)"), &e("(h q)")).is_none());
+    }
+
+    #[test]
+    fn identical_terms_have_empty_proofs() {
+        let mut eg = EG::default().with_explanations_enabled();
+        eg.add_expr(&e("(f a)"));
+        let proof = eg.explain_equivalence(&e("(f a)"), &e("(f a)"));
+        assert!(proof.is_empty());
+        proof.check::<()>(&[]).unwrap();
+    }
+
+    #[test]
+    fn proofs_display_numbered_steps() {
+        let rules = vec![shift()];
+        let mut runner = run("(f (* a 2))", &rules);
+        let proof = runner
+            .egraph
+            .explain_equivalence(&e("(f (* a 2))"), &e("(f (<< a 1))"));
+        let text = proof.to_string();
+        assert!(text.contains("0: (f (* a 2))"), "{text}");
+        assert!(text.contains("mul2-shift"), "{text}");
+        assert!(text.contains("at .0"), "{text}");
+    }
+
+    #[test]
+    fn deep_chains_do_not_overflow() {
+        // 300 sequential applications of a growing rule: the forest walk
+        // and term materialization must stay iterative.
+        let grow = Rewrite::<SymbolLang, ()>::from_patterns("grow", "(g ?x)", "(g (f ?x))");
+        let mut eg = EG::default().with_explanations_enabled();
+        eg.add_expr(&e("(g a)"));
+        let mut runner = Runner::new(eg).with_iter_limit(120).with_node_limit(usize::MAX);
+        runner.run(std::slice::from_ref(&grow));
+        // Build the 100-deep right-hand term textually.
+        let mut term = "a".to_string();
+        for _ in 0..100 {
+            term = format!("(f {term})");
+        }
+        let deep: RecExpr<SymbolLang> = format!("(g {term})").parse().unwrap();
+        let proof = runner.egraph.explain_equivalence(&e("(g a)"), &deep);
+        assert!(proof.len() >= 100);
+        proof.check(std::slice::from_ref(&grow)).unwrap();
+    }
+}

@@ -29,6 +29,11 @@
 //!   cost-based term extraction (the paper's §V-C extractors are cost
 //!   functions over this engine), with both tree-cost and DAG-cost
 //!   (shared-subterm-charged-once) accounting.
+//! * [`explain`] — opt-in proof production
+//!   ([`EGraph::with_explanations_enabled`]): every union is recorded in a
+//!   provenance forest, [`EGraph::explain_equivalence`] turns any derived
+//!   equality into a replayable chain of [`ProofStep`]s, and
+//!   [`Explanation::check`] re-validates the chain against a rule set.
 //!
 //! # Example
 //!
@@ -61,6 +66,7 @@
 mod analysis;
 mod dot;
 mod egraph;
+pub mod explain;
 mod extract;
 mod id;
 mod language;
@@ -75,6 +81,7 @@ mod unionfind;
 pub use analysis::{Analysis, DidMerge};
 pub use dot::Dot;
 pub use egraph::{EClass, EGraph};
+pub use explain::{Direction, Explanation, Justification, ProofError, ProofStep};
 pub use extract::{
     AstDepth, AstSize, CostFunction, DagExtractor, Extract, ExtractionStats, Extractor,
 };

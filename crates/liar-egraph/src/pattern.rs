@@ -491,6 +491,10 @@ impl<L: Language, A: Analysis<L>> Applier<L, A> for Pattern<L> {
     fn bound_vars(&self) -> Vec<Var> {
         self.vars()
     }
+
+    fn as_pattern(&self) -> Option<&Pattern<L>> {
+        Some(self)
+    }
 }
 
 /// Error produced when parsing a [`Pattern`].

@@ -99,6 +99,15 @@ pub trait Applier<L: Language, A: Analysis<L>>: Send + Sync {
     fn bound_vars(&self) -> Vec<Var> {
         Vec::new()
     }
+
+    /// Downcast to a plain [`Pattern`] right-hand side, when this applier
+    /// is one. Proof checking uses this: steps of pattern → pattern rules
+    /// are verified by match-and-instantiate, while appliers that run code
+    /// (guards, β-reduction, the intro rules) return `None` here and are
+    /// re-executed during a replay check instead.
+    fn as_pattern(&self) -> Option<&Pattern<L>> {
+        None
+    }
 }
 
 /// A named rewrite rule.
@@ -229,15 +238,53 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Rewrite<L, A> {
         }
     }
 
+    /// This rule's right-hand side as a [`Pattern`], when the applier is
+    /// one (guarded and custom appliers return `None`).
+    pub fn applier_pattern(&self) -> Option<&Pattern<L>> {
+        self.applier.as_pattern()
+    }
+
     /// Apply previously found matches; returns the number of applications
     /// that changed the e-graph.
+    ///
+    /// With explanations enabled, every union an application performs is
+    /// justified by this rule in the explanation forest (via
+    /// [`EGraph::set_rule_context`]), and pattern left-hand sides are
+    /// instantiated first so the recorded edge connects the *matched
+    /// instance* — not whatever term happened to create the matched
+    /// class's id.
     pub fn apply(&self, egraph: &mut EGraph<L, A>, matches: &[SearchMatches<L>]) -> usize {
+        if egraph.are_explanations_enabled() {
+            return self.apply_explained(egraph, matches);
+        }
         let mut changed = 0;
         for m in matches {
             for subst in &m.substs {
                 if !self.applier.apply(egraph, m.class, subst).is_empty() {
                     changed += 1;
                 }
+            }
+        }
+        changed
+    }
+
+    /// The explained apply path (see [`Rewrite::apply`]).
+    fn apply_explained(&self, egraph: &mut EGraph<L, A>, matches: &[SearchMatches<L>]) -> usize {
+        let name: Arc<str> = Arc::from(self.name.as_str());
+        let lhs = self.searcher.as_pattern();
+        let mut changed = 0;
+        for m in matches {
+            for subst in &m.substs {
+                egraph.set_rule_context(Some((Arc::clone(&name), Arc::new(subst.clone()))));
+                let class = match lhs {
+                    // Precise left endpoint: the matched instance itself.
+                    Some(pattern) => pattern.instantiate(egraph, subst),
+                    None => m.class,
+                };
+                if !self.applier.apply(egraph, class, subst).is_empty() {
+                    changed += 1;
+                }
+                egraph.set_rule_context(None);
             }
         }
         changed

@@ -69,3 +69,6 @@ pub type ArrayPattern = liar_egraph::Pattern<ArrayLang>;
 
 /// A rewrite rule over the array IR.
 pub type ArrayRewrite = liar_egraph::Rewrite<ArrayLang, ArrayAnalysis>;
+
+/// A replayable proof over the array IR (see [`liar_egraph::explain`]).
+pub type ArrayExplanation = liar_egraph::Explanation<ArrayLang>;

@@ -144,6 +144,15 @@ impl Client {
         }
     }
 
+    /// Submit a program with proof production on (the `explain` op):
+    /// every solution in the response carries a replayable
+    /// [`crate::protocol::ProofMsg`] certificate. Equivalent to setting
+    /// [`OptimizeRequest::explain`] and calling [`Client::optimize`].
+    pub fn explain(&mut self, mut req: OptimizeRequest) -> Result<OptimizeResponse, ClientError> {
+        req.explain = true;
+        self.optimize(req)
+    }
+
     /// Fetch the service + cache counters.
     pub fn stats(&mut self) -> Result<StatsResponse, ClientError> {
         match self.request(&Request::Stats)? {

@@ -48,6 +48,7 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    ErrorCode, OptimizeRequest, OptimizeResponse, Request, Response, SolutionMsg, StatsResponse,
+    ErrorCode, OptimizeRequest, OptimizeResponse, ProofMsg, ProofStepMsg, Request, Response,
+    SolutionMsg, StatsResponse,
 };
 pub use server::{Server, ServerConfig};

@@ -24,6 +24,9 @@
 //!
 //! * `{"op":"optimize", "program": "<s-expression>", ...}` — optimize a
 //!   program; see [`OptimizeRequest`] for the optional knobs.
+//! * `{"op":"explain", "program": "<s-expression>", ...}` — same knobs,
+//!   but the pipeline runs with proof production on and every solution
+//!   in the response carries a replayable [`ProofMsg`] certificate.
 //! * `{"op":"stats"}` — cache and service counters.
 //! * `{"op":"ping"}` — liveness probe.
 //! * `{"op":"shutdown"}` — ask the daemon to drain and exit (the daemon
@@ -41,6 +44,9 @@ use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 
 use liar_core::Target;
+use liar_egraph::explain::canonical_expr;
+use liar_egraph::{Direction, ProofStep};
+use liar_ir::{ArrayExplanation, Expr};
 
 use crate::json::{self, Json};
 
@@ -310,8 +316,9 @@ pub fn target_from_wire(name: &str) -> Option<Target> {
     }
 }
 
-/// An `optimize` request: a program plus the knobs that are part of the
-/// request fingerprint. Missing knobs take the server's defaults.
+/// An `optimize` (or `explain`) request: a program plus the knobs that
+/// are part of the request fingerprint. Missing knobs take the server's
+/// defaults.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OptimizeRequest {
     /// Optional client-chosen id, echoed in the response.
@@ -327,6 +334,13 @@ pub struct OptimizeRequest {
     pub steps: Option<usize>,
     /// E-node budget.
     pub node_limit: Option<usize>,
+    /// Proof production: `true` serializes as the `explain` op, the
+    /// server runs the pipeline with explanations enabled, and every
+    /// solution in the response carries a [`ProofMsg`]. Part of the
+    /// request fingerprint (explained and fast-path runs never share a
+    /// cache entry), and cached explained reports replay their proofs
+    /// bit-identically.
+    pub explain: bool,
 }
 
 impl OptimizeRequest {
@@ -339,11 +353,13 @@ impl OptimizeRequest {
             discount_scales: Vec::new(),
             steps: None,
             node_limit: None,
+            explain: false,
         }
     }
 
     fn to_json(&self) -> Json {
-        let mut pairs = vec![("op".to_string(), Json::Str("optimize".into()))];
+        let op = if self.explain { "explain" } else { "optimize" };
+        let mut pairs = vec![("op".to_string(), Json::Str(op.into()))];
         if let Some(id) = &self.id {
             pairs.push(("id".to_string(), Json::Str(id.clone())));
         }
@@ -369,7 +385,7 @@ impl OptimizeRequest {
         Json::Obj(pairs)
     }
 
-    fn from_json(j: &Json) -> Result<Self, String> {
+    fn from_json(j: &Json, explain: bool) -> Result<Self, String> {
         let program = j
             .get("program")
             .and_then(Json::as_str)
@@ -423,6 +439,7 @@ impl OptimizeRequest {
             discount_scales,
             steps,
             node_limit,
+            explain,
         })
     }
 }
@@ -430,7 +447,8 @@ impl OptimizeRequest {
 /// A request frame's payload.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Optimize a program.
+    /// Optimize a program (with proofs when
+    /// [`OptimizeRequest::explain`] is set — the `explain` op).
     Optimize(OptimizeRequest),
     /// Service + cache counters.
     Stats,
@@ -463,7 +481,10 @@ impl Request {
             .and_then(Json::as_str)
             .ok_or((ErrorCode::BadRequest, "missing string field \"op\"".into()))?;
         match op {
-            "optimize" => OptimizeRequest::from_json(&j)
+            "optimize" => OptimizeRequest::from_json(&j, false)
+                .map(Request::Optimize)
+                .map_err(|m| (ErrorCode::BadRequest, m)),
+            "explain" => OptimizeRequest::from_json(&j, true)
                 .map(Request::Optimize)
                 .map_err(|m| (ErrorCode::BadRequest, m)),
             "stats" => Ok(Request::Stats),
@@ -471,9 +492,175 @@ impl Request {
             "shutdown" => Ok(Request::Shutdown),
             other => Err((
                 ErrorCode::BadRequest,
-                format!("unknown op {other:?} (expected optimize|stats|ping|shutdown)"),
+                format!("unknown op {other:?} (expected optimize|explain|stats|ping|shutdown)"),
             )),
         }
+    }
+}
+
+/// One step of a [`ProofMsg`]: the whole term after the step, plus the
+/// rule application that produced it. The before-term is implicit (the
+/// previous step's `after`, or the proof's `source` for the first step),
+/// so a proof serializes each intermediate term exactly once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProofStepMsg {
+    /// Name of the rewrite rule applied.
+    pub rule: String,
+    /// `"forward"` (left-to-right) or `"backward"`.
+    pub direction: String,
+    /// Child-index path from the root to the rewritten subterm.
+    pub position: Vec<usize>,
+    /// The whole term after this step, in the IR's textual syntax.
+    pub after: String,
+}
+
+/// A serialized [`liar_ir::ArrayExplanation`]: the replayable certificate
+/// an `explain` request attaches to every solution. Deserialize back
+/// into a checkable proof with [`ProofMsg::to_explanation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProofMsg {
+    /// The source term (the submitted program).
+    pub source: String,
+    /// The final term (the solution's best expression).
+    pub target: String,
+    /// The rewrite chain (empty when source and target are one term).
+    pub steps: Vec<ProofStepMsg>,
+}
+
+impl ProofMsg {
+    /// Serialize a proof for the wire.
+    pub fn from_explanation(proof: &ArrayExplanation) -> ProofMsg {
+        ProofMsg {
+            source: proof.source.to_string(),
+            target: proof.target.to_string(),
+            steps: proof
+                .steps
+                .iter()
+                .map(|s| ProofStepMsg {
+                    rule: s.rule.clone(),
+                    direction: match s.direction {
+                        Direction::Forward => "forward".to_string(),
+                        Direction::Backward => "backward".to_string(),
+                    },
+                    position: s.position.clone(),
+                    after: s.after.to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstruct the checkable proof: parse every term back into the
+    /// canonical node tables proof terms use and rebuild the step chain
+    /// (each step's before-term is the previous step's after-term).
+    ///
+    /// The result carries no trust from the wire — replay it with
+    /// [`liar_egraph::Explanation::check`] against the rule set of the
+    /// targets the request named; a tampered or truncated proof fails
+    /// there.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a term fails to parse or a direction tag is
+    /// unknown.
+    pub fn to_explanation(&self) -> Result<ArrayExplanation, String> {
+        let term = |text: &str| -> Result<Expr, String> {
+            text.parse::<Expr>()
+                .map(|e| canonical_expr(&e))
+                .map_err(|e| format!("proof term {text:?} does not parse: {e}"))
+        };
+        let source = term(&self.source)?;
+        let target = term(&self.target)?;
+        let mut steps = Vec::with_capacity(self.steps.len());
+        let mut before = source.clone();
+        for s in &self.steps {
+            let after = term(&s.after)?;
+            let direction = match s.direction.as_str() {
+                "forward" => Direction::Forward,
+                "backward" => Direction::Backward,
+                other => return Err(format!("unknown proof direction {other:?}")),
+            };
+            steps.push(ProofStep {
+                before: std::mem::replace(&mut before, after.clone()),
+                after,
+                rule: s.rule.clone(),
+                direction,
+                position: s.position.clone(),
+            });
+        }
+        Ok(ArrayExplanation {
+            source,
+            target,
+            steps,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("source", Json::Str(self.source.clone())),
+            ("target", Json::Str(self.target.clone())),
+            (
+                "steps",
+                Json::Arr(
+                    self.steps
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("rule", Json::Str(s.rule.clone())),
+                                ("direction", Json::Str(s.direction.clone())),
+                                (
+                                    "position",
+                                    Json::Arr(
+                                        s.position.iter().map(|&p| Json::Num(p as f64)).collect(),
+                                    ),
+                                ),
+                                ("after", Json::Str(s.after.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Self, String> {
+        let text = |field: &str| -> Result<String, String> {
+            j.get(field)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("proof missing \"{field}\""))
+        };
+        let steps = j
+            .get("steps")
+            .and_then(Json::as_arr)
+            .ok_or("proof missing \"steps\"")?
+            .iter()
+            .map(|s| {
+                let field = |name: &str| -> Result<String, String> {
+                    s.get(name)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or(format!("proof step missing \"{name}\""))
+                };
+                let position = s
+                    .get("position")
+                    .and_then(Json::as_arr)
+                    .ok_or("proof step missing \"position\"")?
+                    .iter()
+                    .map(|p| p.as_usize().ok_or("proof position must be non-negative integers"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ProofStepMsg {
+                    rule: field("rule")?,
+                    direction: field("direction")?,
+                    position,
+                    after: field("after")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ProofMsg {
+            source: text("source")?,
+            target: text("target")?,
+            steps,
+        })
     }
 }
 
@@ -494,19 +681,21 @@ pub struct SolutionMsg {
     pub best: String,
     /// Library calls by family name.
     pub lib_calls: BTreeMap<String, usize>,
+    /// The replayable certificate (present on `explain` responses).
+    pub proof: Option<ProofMsg>,
 }
 
 impl SolutionMsg {
     fn to_json(&self) -> Json {
-        Json::obj([
-            ("target", Json::Str(self.target.clone())),
-            ("discount_scale", Json::Num(self.discount_scale)),
-            ("cost", Json::Num(self.cost)),
-            ("dag_cost", Json::Num(self.dag_cost)),
-            ("solution", Json::Str(self.solution.clone())),
-            ("best", Json::Str(self.best.clone())),
+        let mut pairs = vec![
+            ("target".to_string(), Json::Str(self.target.clone())),
+            ("discount_scale".to_string(), Json::Num(self.discount_scale)),
+            ("cost".to_string(), Json::Num(self.cost)),
+            ("dag_cost".to_string(), Json::Num(self.dag_cost)),
+            ("solution".to_string(), Json::Str(self.solution.clone())),
+            ("best".to_string(), Json::Str(self.best.clone())),
             (
-                "lib_calls",
+                "lib_calls".to_string(),
                 Json::Obj(
                     self.lib_calls
                         .iter()
@@ -514,7 +703,11 @@ impl SolutionMsg {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(proof) = &self.proof {
+            pairs.push(("proof".to_string(), proof.to_json()));
+        }
+        Json::Obj(pairs)
     }
 
     fn from_json(j: &Json) -> Result<Self, String> {
@@ -547,6 +740,10 @@ impl SolutionMsg {
                 .get("lib_calls")
                 .and_then(Json::as_count_map)
                 .ok_or("solution missing \"lib_calls\"")?,
+            proof: match j.get("proof") {
+                None | Some(Json::Null) => None,
+                Some(p) => Some(ProofMsg::from_json(p)?),
+            },
         })
     }
 }
@@ -914,8 +1111,14 @@ mod tests {
                 discount_scales: vec![1.0, 2.5],
                 steps: Some(6),
                 node_limit: Some(10_000),
+                explain: false,
             }),
             Request::Optimize(OptimizeRequest::new("(+ 1 2)")),
+            // The explain op: same knobs, explain flag set.
+            Request::Optimize(OptimizeRequest {
+                explain: true,
+                ..OptimizeRequest::new("(dot #8 xs ys)")
+            }),
         ];
         for req in reqs {
             let payload = req.to_payload();
@@ -966,15 +1169,37 @@ mod tests {
                 n_classes: 40,
                 saturation_s: 0.25,
                 server_ms: 260.5,
-                solutions: vec![SolutionMsg {
-                    target: "blas".into(),
-                    discount_scale: 1.0,
-                    cost: 64.0,
-                    dag_cost: 60.0,
-                    solution: "1 × dot".into(),
-                    best: "(dot #8 xs ys)".into(),
-                    lib_calls: [("dot".to_string(), 1)].into_iter().collect(),
-                }],
+                solutions: vec![
+                    SolutionMsg {
+                        target: "blas".into(),
+                        discount_scale: 1.0,
+                        cost: 64.0,
+                        dag_cost: 60.0,
+                        solution: "1 × dot".into(),
+                        best: "(dot #8 xs ys)".into(),
+                        lib_calls: [("dot".to_string(), 1)].into_iter().collect(),
+                        proof: None,
+                    },
+                    SolutionMsg {
+                        target: "pytorch".into(),
+                        discount_scale: 1.0,
+                        cost: 64.0,
+                        dag_cost: 64.0,
+                        solution: "1 × sum".into(),
+                        best: "(sum #8 xs)".into(),
+                        lib_calls: [("sum".to_string(), 1)].into_iter().collect(),
+                        proof: Some(ProofMsg {
+                            source: "(ifold #8 0 (lam (lam (+ (get xs %1) %0))))".into(),
+                            target: "(sum #8 xs)".into(),
+                            steps: vec![ProofStepMsg {
+                                rule: "torch-sum".into(),
+                                direction: "forward".into(),
+                                position: vec![],
+                                after: "(sum #8 xs)".into(),
+                            }],
+                        }),
+                    },
+                ],
             }),
         ];
         for resp in resps {
@@ -982,6 +1207,40 @@ mod tests {
             let back = Response::from_payload(&payload).unwrap();
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn proofs_deserialize_to_checkable_explanations() {
+        // A forged proof round-trips the wire fine — and then fails
+        // `check`, which is the point: the wire carries certificates,
+        // trust lives in the replay.
+        let msg = ProofMsg {
+            source: "(dot #8 xs ys)".into(),
+            target: "(sum #8 xs)".into(),
+            steps: vec![ProofStepMsg {
+                rule: "no-such-rule".into(),
+                direction: "forward".into(),
+                position: vec![],
+                after: "(sum #8 xs)".into(),
+            }],
+        };
+        let proof = msg.to_explanation().unwrap();
+        assert_eq!(proof.len(), 1);
+        // The chain is reconstructed: before of step 0 is the source.
+        assert_eq!(proof.steps[0].before, proof.source);
+        let rules = liar_core::rules::rules_for_targets(
+            &[Target::Blas],
+            &liar_core::rules::RuleConfig::default(),
+        );
+        assert!(proof.check(&rules).is_err());
+
+        // Unparseable terms and unknown directions are structural errors.
+        let mut bad = msg.clone();
+        bad.source = "(((".into();
+        assert!(bad.to_explanation().is_err());
+        let mut bad = msg;
+        bad.steps[0].direction = "sideways".into();
+        assert!(bad.to_explanation().is_err());
     }
 
     #[test]

@@ -43,7 +43,7 @@ use liar_ir::{Expr, StableHasher};
 
 use crate::protocol::{
     self, read_frame, target_from_wire, write_frame, ErrorCode, FrameError, OptimizeRequest,
-    OptimizeResponse, Request, Response, SolutionMsg, StatsResponse,
+    OptimizeResponse, ProofMsg, Request, Response, SolutionMsg, StatsResponse,
 };
 
 /// Tuning knobs of a [`Server`].
@@ -536,6 +536,7 @@ fn make_job(
         .with_iter_limit(steps)
         .with_node_limit(node_limit)
         .with_threads(cfg.search_threads)
+        .with_explanations(req.explain)
         .with_cache(Arc::clone(&shared.cache));
     let fingerprint = pipeline.request_fingerprint(&expr, &targets, &discount_scales);
     let budget_key = {
@@ -544,6 +545,9 @@ fn make_job(
         h.u64(knobs.iter_limit as u64);
         h.u64(knobs.node_limit as u64);
         h.u64(knobs.match_limit as u64);
+        // Explained saturations pay provenance bookkeeping — a different
+        // cost profile, so they batch with their own kind.
+        h.u64(knobs.explain as u64);
         h.finish() as u64
     };
 
@@ -692,6 +696,7 @@ fn build_response(job: &Job, report: &MultiReport, cache: String) -> OptimizeRes
                 solution: s.solution_summary(),
                 best: s.best.to_string(),
                 lib_calls: s.lib_calls.clone(),
+                proof: s.proof.as_ref().map(ProofMsg::from_explanation),
             })
             .collect(),
     }

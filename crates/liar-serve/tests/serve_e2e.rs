@@ -175,6 +175,56 @@ fn statuses(responses: &[liar_serve::OptimizeResponse]) -> Vec<&str> {
 }
 
 #[test]
+fn explain_op_returns_replayable_proofs_and_cached_replays_are_bit_identical() {
+    let srv = server(ServerConfig::default());
+    let mut client = Client::connect(srv.local_addr()).expect("connect");
+    let program = Kernel::Vsum.expr(Kernel::Vsum.search_size()).to_string();
+
+    // Cold explain: every solution carries a proof from the program to
+    // its best expression…
+    let mut req = request_for(&program);
+    req.targets = vec!["blas".into(), "pytorch".into()];
+    let cold = client.explain(req.clone()).expect("explain");
+    assert_eq!(cold.cache, "miss");
+    let rules = liar_core::rules::rules_for_targets(
+        &[Target::Blas, Target::Torch],
+        &liar_core::rules::RuleConfig::default(),
+    );
+    for sol in &cold.solutions {
+        let msg = sol
+            .proof
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: explain response lacks a proof", sol.target));
+        assert_eq!(msg.source, program, "{}", sol.target);
+        assert_eq!(msg.target, sol.best, "{}", sol.target);
+        // …and the proof replays clean after a full wire round trip.
+        let proof = msg.to_explanation().expect("proof deserializes");
+        proof
+            .check(&rules)
+            .unwrap_or_else(|e| panic!("{}: served proof failed to replay: {e}", sol.target));
+    }
+
+    // The same explain request replays from the cache, proof included,
+    // bit-identically.
+    let warm = client.explain(req.clone()).expect("explain again");
+    assert_eq!(warm.cache, "hit");
+    assert_eq!(warm.solutions, cold.solutions);
+    assert_eq!(warm.fingerprint, cold.fingerprint);
+
+    // A plain optimize of the same program is a *different* fingerprint
+    // (explain is a budget knob) and carries no proofs.
+    let fast = client.optimize(req).expect("optimize");
+    assert_ne!(fast.fingerprint, cold.fingerprint);
+    assert!(fast.solutions.iter().all(|s| s.proof.is_none()));
+    // Liftings agree between the explained and fast paths.
+    for (f, c) in fast.solutions.iter().zip(&cold.solutions) {
+        assert_eq!(f.lib_calls, c.lib_calls, "{}", f.target);
+    }
+
+    srv.shutdown();
+}
+
+#[test]
 fn bounded_queue_rejects_when_full() {
     // queue_cap 0: every optimize is turned away with a structured error
     // while control ops keep working.

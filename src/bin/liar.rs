@@ -14,6 +14,13 @@
 //! liar emit-c gemv
 //! liar emit-c --all-targets gemv
 //!
+//! # Prove a lifting: print the rewrite certificate and replay it
+//! # (exit 1 if the proof fails to check):
+//! liar explain gemv --target blas
+//!
+//! # Render the saturated e-graph (optionally with the proof path lit):
+//! liar dot '(ifold #4 0 (lam (lam (+ (get xs %1) %0))))' --explain
+//!
 //! # Run the optimization daemon, and submit programs to it:
 //! liar serve --addr 127.0.0.1:4004 --workers 2
 //! liar submit --addr 127.0.0.1:4004 --kernel gemv
@@ -30,7 +37,9 @@
 use std::process::ExitCode;
 
 use liar::codegen::{emit_kernel, emit_kernel_variants, CInput};
-use liar::core::{Liar, Target};
+use liar::core::rules::rules_for;
+use liar::core::{Liar, RuleConfig, Target};
+use liar::egraph::Dot;
 use liar::ir::Expr;
 use liar::kernels::Kernel;
 use liar::serve::protocol::target_from_wire;
@@ -135,7 +144,12 @@ fn parse_flags(spec: &CommandSpec, args: &[String]) -> Result<Parsed, String> {
 // ---------------------------------------------------------------------------
 // Shared flag groups and helpers.
 
-const TARGET_FLAGS: [FlagSpec; 5] = [
+const TARGET_FLAGS: [FlagSpec; 6] = [
+    FlagSpec {
+        name: "--verbose",
+        metavar: None,
+        help: "also print the top-10 most-applied rules (single-target mode)",
+    },
     FlagSpec {
         name: "--target",
         metavar: Some("T"),
@@ -200,7 +214,7 @@ fn usage_err(message: String) -> Result<ExitCode, String> {
 // ---------------------------------------------------------------------------
 // optimize / kernel / emit-c / kernels
 
-fn report(expr: &Expr, target: Target, steps: usize, threads: usize) {
+fn report(expr: &Expr, target: Target, steps: usize, threads: usize, verbose: bool) {
     let pipeline = Liar::new(target).with_iter_limit(steps).with_threads(threads);
     let report = pipeline.optimize(expr);
     println!("target: {target}");
@@ -214,7 +228,31 @@ fn report(expr: &Expr, target: Target, steps: usize, threads: usize) {
         );
     }
     println!("stopped: {}", report.stop_reason);
+    if verbose {
+        print_top_rules(&report);
+    }
     println!("\nbest expression:\n{}", report.best().best);
+}
+
+/// The `--verbose` provenance summary: per-rule application counts
+/// aggregated over every saturation step, top ten by count.
+fn print_top_rules(report: &liar::core::OptimizationReport) {
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for step in &report.steps {
+        for (rule, n) in &step.applied {
+            if *n > 0 {
+                *counts.entry(rule.as_str()).or_insert(0) += n;
+            }
+        }
+    }
+    let mut ranked: Vec<_> = counts.into_iter().collect();
+    // Count descending, name ascending for a stable order.
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let total: usize = ranked.iter().map(|(_, n)| n).sum();
+    println!("\nrule applications ({total} total, top {}):", ranked.len().min(10));
+    for (rule, n) in ranked.iter().take(10) {
+        println!("  {n:>7} × {rule}");
+    }
 }
 
 /// Run the "saturate once, extract everywhere" pipeline and print its
@@ -266,7 +304,7 @@ fn run_optimize(p: &Parsed) -> Result<ExitCode, String> {
     let threads = p.usize_or("--threads", 1)?;
     match multi_targets(p)? {
         Some(targets) => report_multi(&expr, &targets, steps, threads),
-        None => report(&expr, single_target(p)?, steps, threads),
+        None => report(&expr, single_target(p)?, steps, threads, p.has("--verbose")),
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -286,8 +324,77 @@ fn run_kernel(p: &Parsed) -> Result<ExitCode, String> {
     println!("kernel {}: {}\n", kernel.name(), kernel.description());
     match multi_targets(p)? {
         Some(targets) => report_multi(&expr, &targets, steps, threads),
-        None => report(&expr, single_target(p)?, steps, threads),
+        None => report(&expr, single_target(p)?, steps, threads, p.has("--verbose")),
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The positional of `explain`/`dot`: a paper kernel by name, or any IR
+/// expression.
+fn kernel_or_expr(p: &Parsed) -> Result<(String, Expr), String> {
+    let [text] = p.positionals.as_slice() else {
+        return Err("expected exactly one <kernel-or-expr> argument".to_string());
+    };
+    if let Some(kernel) = Kernel::from_name(text) {
+        return Ok((kernel.name().to_string(), kernel.expr(kernel.search_size())));
+    }
+    let expr: Expr = text
+        .parse()
+        .map_err(|e| format!("{text:?} is neither a kernel name (see `liar kernels`) nor a parseable expression: {e}"))?;
+    Ok(("<expr>".to_string(), expr))
+}
+
+fn run_explain(p: &Parsed) -> Result<ExitCode, String> {
+    let (label, expr) = kernel_or_expr(p)?;
+    let target = single_target(p)?;
+    let steps = p.usize_or("--steps", 8)?;
+    let threads = p.usize_or("--threads", 1)?;
+
+    let pipeline = Liar::new(target).with_iter_limit(steps).with_threads(threads);
+    let (report, proof) = pipeline.optimize_explained(&expr);
+    let best = &report.best().best;
+    println!("explain {label} (target {target}, {} steps)", report.steps.len() - 1);
+    println!("source:   {expr}");
+    println!("solution: {best}  [{}]", report.best().solution_summary());
+    println!("\nproof ({} rewrite steps):", proof.len());
+    print!("{proof}");
+
+    let rules = rules_for(target, &RuleConfig::default());
+    match proof.check(&rules) {
+        Ok(()) => {
+            println!("\nproof replayed OK against {} rules", rules.len());
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            eprintln!("\nPROOF FAILED TO REPLAY: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn run_dot(p: &Parsed) -> Result<ExitCode, String> {
+    let (_, expr) = kernel_or_expr(p)?;
+    let target = single_target(p)?;
+    let steps = p.usize_or("--steps", 8)?;
+    let pipeline = Liar::new(target)
+        .with_iter_limit(steps)
+        .with_explanations(p.has("--explain"));
+    let (report, mut egraph) = pipeline.optimize_with_egraph(&expr);
+    if !p.has("--explain") {
+        println!("{}", Dot::new(&egraph));
+        return Ok(ExitCode::SUCCESS);
+    }
+    // Highlight the certificate path: the e-classes whose terms the
+    // proof rewrites through (each step's rewritten subterm, plus the
+    // root class the whole chain lives in).
+    let proof = egraph.explain_equivalence(&expr, &report.best().best);
+    let mut classes: Vec<liar::egraph::Id> = Vec::new();
+    classes.extend(egraph.lookup_expr(&expr));
+    for step in &proof.steps {
+        classes.extend(egraph.lookup_expr(&step.before_subtree()));
+        classes.extend(egraph.lookup_expr(&step.after_subtree()));
+    }
+    println!("{}", Dot::new(&egraph).with_highlights(classes));
     Ok(ExitCode::SUCCESS)
 }
 
@@ -402,6 +509,7 @@ fn run_submit(p: &Parsed) -> Result<ExitCode, String> {
         };
         let mut req = OptimizeRequest::new(program);
         req.id = p.value("--id").map(str::to_string);
+        req.explain = p.has("--explain");
         if let Some(list) = p.value("--targets") {
             req.targets = list.split(',').map(str::to_string).collect();
         }
@@ -476,6 +584,13 @@ fn run_submit(p: &Parsed) -> Result<ExitCode, String> {
     }
     for s in &resp.solutions {
         println!("\nbest expression ({}):\n{}", s.target, s.best);
+        if let Some(proof) = &s.proof {
+            println!("proof ({} rewrite steps):", proof.steps.len());
+            println!("   0: {}", proof.source);
+            for (i, step) in proof.steps.iter().enumerate() {
+                println!("{:>4}: {}    [{} {}]", i + 1, step.after, step.rule, step.direction);
+            }
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -527,6 +642,52 @@ const COMMANDS: &[CommandSpec] = &[
         about: "list the evaluation kernels (table I)",
         flags: &[],
         run: run_kernels,
+    },
+    CommandSpec {
+        name: "explain",
+        positional: "<kernel-or-expr>",
+        about: "prove a lifting: print + replay the rewrite certificate",
+        flags: &[
+            FlagSpec {
+                name: "--target",
+                metavar: Some("T"),
+                help: "single target: blas | pytorch | pure-c (default blas)",
+            },
+            FlagSpec {
+                name: "--steps",
+                metavar: Some("N"),
+                help: "saturation-step limit (default 8)",
+            },
+            FlagSpec {
+                name: "--threads",
+                metavar: Some("N"),
+                help: "e-matching worker threads",
+            },
+        ],
+        run: run_explain,
+    },
+    CommandSpec {
+        name: "dot",
+        positional: "<kernel-or-expr>",
+        about: "render the saturated e-graph in Graphviz dot format",
+        flags: &[
+            FlagSpec {
+                name: "--target",
+                metavar: Some("T"),
+                help: "single target: blas | pytorch | pure-c (default blas)",
+            },
+            FlagSpec {
+                name: "--steps",
+                metavar: Some("N"),
+                help: "saturation-step limit (default 8)",
+            },
+            FlagSpec {
+                name: "--explain",
+                metavar: None,
+                help: "highlight the e-classes on the proof path (bold red)",
+            },
+        ],
+        run: run_dot,
     },
     CommandSpec {
         name: "serve",
@@ -600,6 +761,11 @@ const COMMANDS: &[CommandSpec] = &[
                 name: "--id",
                 metavar: Some("ID"),
                 help: "client-chosen request id, echoed in the response",
+            },
+            FlagSpec {
+                name: "--explain",
+                metavar: None,
+                help: "request proof production; solutions carry certificates",
             },
             FlagSpec {
                 name: "--stats",

@@ -57,6 +57,79 @@ fn bad_input_fails_gracefully() {
     assert!(!liar(&["kernel", "not-a-kernel"]).status.success());
     assert!(!liar(&["frobnicate"]).status.success());
     assert!(!liar(&["optimize", "--target", "fortran", "(+ 1 2)"]).status.success());
+    assert!(!liar(&["explain", "(((("]).status.success());
+    assert!(!liar(&["dot", "not-a-kernel-or-expr ("]).status.success());
+}
+
+#[test]
+fn explain_prints_a_replayed_certificate() {
+    let out = liar(&["explain", "vsum", "--target", "blas", "--steps", "6"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // A numbered proof from the source kernel to the dot lifting…
+    assert!(stdout.contains("   0: (ifold #8 0"), "{stdout}");
+    assert!(stdout.contains("idiom-dot"), "{stdout}");
+    assert!(stdout.contains("[1 × dot]"), "{stdout}");
+    // …that the CLI replayed before claiming success.
+    assert!(stdout.contains("proof replayed OK"), "{stdout}");
+}
+
+#[test]
+fn explain_accepts_raw_expressions() {
+    let out = liar(&[
+        "explain",
+        "--target",
+        "pytorch",
+        "--steps",
+        "6",
+        "(ifold #16 0 (lam (lam (+ (get xs %1) %0))))",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("1 × sum"), "{stdout}");
+    assert!(stdout.contains("proof replayed OK"), "{stdout}");
+}
+
+#[test]
+fn dot_renders_the_proof_path() {
+    let out = liar(&[
+        "dot",
+        "--steps",
+        "6",
+        "--explain",
+        "(ifold #4 0 (lam (lam (+ (get xs %1) %0))))",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("digraph egraph"), "{stdout}");
+    // The certificate path is emphasized: bold classes and red edges.
+    assert!(stdout.contains("style=bold; color=red"), "{stdout}");
+    assert!(stdout.contains(", color=red]"), "{stdout}");
+    // Without --explain nothing is highlighted.
+    let plain = liar(&["dot", "--steps", "2", "(+ a b)"]);
+    assert!(plain.status.success());
+    let plain = String::from_utf8(plain.stdout).unwrap();
+    assert!(plain.starts_with("digraph egraph"), "{plain}");
+    assert!(!plain.contains("style=bold"), "{plain}");
+}
+
+#[test]
+fn optimize_verbose_prints_top_rules() {
+    let out = liar(&[
+        "optimize",
+        "--verbose",
+        "--steps",
+        "5",
+        "--target",
+        "blas",
+        "(ifold #16 0 (lam (lam (+ (get xs %1) %0))))",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("rule applications ("), "{stdout}");
+    assert!(stdout.contains("× idiom-dot"), "{stdout}");
+    // Zero-application rules are not listed.
+    assert!(!stdout.contains(" 0 × "), "{stdout}");
 }
 
 #[test]
@@ -79,7 +152,7 @@ fn help_lists_commands_and_flags() {
     let out = liar(&["--help"]);
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
-    for cmd in ["optimize", "kernel", "emit-c", "kernels", "serve", "submit"] {
+    for cmd in ["optimize", "kernel", "emit-c", "kernels", "explain", "dot", "serve", "submit"] {
         assert!(stdout.contains(cmd), "global help missing {cmd}: {stdout}");
     }
     let out = liar(&["help", "optimize"]);
@@ -133,6 +206,15 @@ fn serve_and_submit_roundtrip() {
     let out = submit(&["--kernel", "vsum", "--targets", "blas", "--steps", "6"]);
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("cache: hit"), "{text}");
+
+    // The explain op, end to end: a fresh fingerprint (miss, not a hit
+    // of the plain run) whose solution carries the printed certificate.
+    let out = submit(&["--kernel", "vsum", "--targets", "blas", "--steps", "6", "--explain"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("cache: miss"), "{text}");
+    assert!(text.contains("proof ("), "{text}");
+    assert!(text.contains("idiom-dot"), "{text}");
 
     let out = submit(&["--stats"]);
     let text = String::from_utf8(out.stdout).unwrap();

@@ -1,0 +1,131 @@
+//! Numeric cross-check: proofs and numerics must agree. For every
+//! evaluation kernel × target, the multi-target pipeline's extracted
+//! solutions — both the tree-extracted `best` and the DAG-extracted
+//! `dag_best` — are executed with `liar-runtime` on seeded random inputs
+//! and compared against the *source expression's* own evaluation under
+//! a combined absolute/relative tolerance.
+//!
+//! This is the semantic complement of `tests/proof_production.rs`: that
+//! suite replays the rewrite certificate (syntactic derivability), this
+//! one checks the endpoints actually compute the same function on data.
+
+use std::collections::HashMap;
+
+use liar::core::{Liar, Target};
+use liar::ir::Expr;
+use liar::kernels::Kernel;
+use liar::runtime::{exec, Value};
+
+/// Seeds for the random input draws (distinct from the `0xBEEF` /
+/// `0xC60` seeds other suites use).
+const SEEDS: [u64; 3] = [0x5EED_0001, 0x5EED_0002, 0xFEED_CAFE];
+
+const ABS_TOL: f64 = 1e-9;
+const REL_TOL: f64 = 1e-9;
+
+/// Combined absolute/relative comparison, tuples componentwise and
+/// everything else flattened to tensors: `|a - b| <= ABS_TOL + REL_TOL *
+/// max(|a|, |b|)` elementwise. The relative term matters for stencil and
+/// matmul chains whose magnitudes grow with the kernel size.
+fn values_close(a: &Value, b: &Value) -> Result<(), String> {
+    match (a, b) {
+        (Value::Tuple(p), Value::Tuple(q)) => {
+            values_close(&p.0, &q.0).map_err(|e| format!("first: {e}"))?;
+            values_close(&p.1, &q.1).map_err(|e| format!("second: {e}"))
+        }
+        _ => {
+            let (x, y) = match (a.to_tensor(), b.to_tensor()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => return Err("values do not flatten to tensors".to_string()),
+            };
+            if x.shape() != y.shape() {
+                return Err(format!("shape {:?} vs {:?}", x.shape(), y.shape()));
+            }
+            for (i, (u, v)) in x.data().iter().zip(y.data()).enumerate() {
+                let bound = ABS_TOL + REL_TOL * u.abs().max(v.abs());
+                if (u - v).abs() > bound {
+                    return Err(format!(
+                        "element {i}: {u} vs {v} (|Δ| = {} > {bound})",
+                        (u - v).abs()
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn eval(expr: &Expr, inputs: &HashMap<String, Value>, what: &str) -> Value {
+    exec::run(expr, inputs)
+        .unwrap_or_else(|e| panic!("{what} failed to execute: {e}\n  expr: {expr}"))
+        .0
+}
+
+/// Saturate once, extract every target, and check each solution's
+/// numerics against the source on every seed.
+fn check_kernel(kernel: Kernel, iter_limit: usize) {
+    let n = kernel.search_size();
+    let source = kernel.expr(n);
+    let report = Liar::new(Target::Blas)
+        .with_iter_limit(iter_limit)
+        .with_node_limit(60_000)
+        .optimize_multi(&source, &Target::ALL, &[1.0]);
+
+    for &seed in &SEEDS {
+        let inputs = kernel.inputs(n, seed);
+        let expected = eval(&source, &inputs, &format!("{kernel} source"));
+        for sol in &report.solutions {
+            for (label, expr) in [("best", &sol.best), ("dag_best", &sol.dag_best)] {
+                let got = eval(expr, &inputs, &format!("{kernel}/{} {label}", sol.target));
+                values_close(&got, &expected).unwrap_or_else(|e| {
+                    panic!(
+                        "{kernel}/{}/{label} (seed {seed:#x}): solution disagrees with the \
+                         source: {e}\n  solution [{}]: {expr}",
+                        sol.target,
+                        sol.solution_summary(),
+                    )
+                });
+            }
+        }
+    }
+}
+
+macro_rules! fidelity_tests {
+    ($($test_name:ident: $kernel:expr, $iters:expr;)*) => {
+        $(
+            #[test]
+            fn $test_name() {
+                check_kernel($kernel, $iters);
+            }
+        )*
+    };
+}
+
+fidelity_tests! {
+    vsum: Kernel::Vsum, 6;
+    axpy: Kernel::Axpy, 5;
+    memset: Kernel::Memset, 4;
+    gemv: Kernel::Gemv, 6;
+    gesummv: Kernel::Gesummv, 5;
+    atax: Kernel::Atax, 5;
+    one_mm: Kernel::OneMm, 7;
+    jacobi1d: Kernel::Jacobi1d, 6;
+    blur1d: Kernel::Blur1d, 6;
+    mvt: Kernel::Mvt, 5;
+    slim_2mm: Kernel::Slim2mm, 6;
+    doitgen: Kernel::Doitgen, 7;
+}
+
+/// The tolerance actually has teeth: a perturbed solution fails.
+#[test]
+fn comparator_rejects_wrong_values() {
+    let kernel = Kernel::Vsum;
+    let n = kernel.search_size();
+    let inputs = kernel.inputs(n, SEEDS[0]);
+    let source = kernel.expr(n);
+    let expected = eval(&source, &inputs, "vsum source");
+    // vsum + 1 is not vsum.
+    let off_by_one: Expr = format!("(+ {source} 1)").parse().unwrap();
+    let got = eval(&off_by_one, &inputs, "perturbed vsum");
+    assert!(values_close(&got, &expected).is_err());
+}
