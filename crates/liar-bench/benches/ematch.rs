@@ -1,15 +1,19 @@
-//! E-matching microbenchmark: the compiled VM + operator index versus the
-//! pre-refactor oracle matcher, on the PolyBench kernels.
+//! E-matching microbenchmark: three search engines on the PolyBench
+//! kernels —
 //!
-//! For each kernel the same saturation run is driven twice — once with the
-//! shipped rules (compiled e-matching VM, operator-indexed candidate
-//! lists) and once with every pattern searcher swapped for the legacy
-//! recursive oracle (`Rewrite::with_oracle_searcher`, a faithful stand-in
-//! for the pre-VM engine). Reported per kernel:
+//! * the **semi-naive** engine (compiled VM + operator index + delta
+//!   frontier, the shipped default),
+//! * the **whole-graph VM** (compiled VM + operator index, frontier off),
+//! * the pre-refactor **oracle** matcher (`Rewrite::with_oracle_searcher`,
+//!   a faithful stand-in for the pre-VM engine).
 //!
-//! * **search-phase time** (median of several runs) for both engines;
-//! * **candidate classes visited** by the search phase (the operator index
-//!   must make the VM strictly cheaper);
+//! For each kernel the same saturation run is driven with all three.
+//! Reported per kernel:
+//!
+//! * **search-phase time** (median of several runs) for each engine;
+//! * **candidate classes visited** by each (the operator index must make
+//!   the VM strictly cheaper than the oracle; the delta frontier must
+//!   scan strictly fewer classes still — `frontier_candidates`);
 //! * **matches found** (must be identical — the engines are equivalent).
 //!
 //! Results are printed and written to `BENCH_ematch.json` at the repo
@@ -30,40 +34,51 @@ type ARewrite = liar_egraph::Rewrite<ArrayLang, ArrayAnalysis>;
 const KERNELS: [Kernel; 4] = [Kernel::Vsum, Kernel::Gemv, Kernel::Atax, Kernel::Mvt];
 const SAMPLES: usize = 3;
 
-/// One saturation run; returns (search time, candidates visited, matches
-/// found, solution summary, cost).
-fn run(
-    rules: &[ARewrite],
-    expr: &Expr,
-    kernel: Kernel,
-    target: Target,
-) -> (Duration, usize, usize, String, f64) {
+struct RunStats {
+    search: Duration,
+    candidates: usize,
+    frontier: usize,
+    matches: usize,
+    solution: String,
+    cost: f64,
+}
+
+/// One saturation run under the given engine configuration.
+fn run(rules: &[ARewrite], expr: &Expr, kernel: Kernel, target: Target, seminaive: bool) -> RunStats {
     let mut eg = ArrayEGraph::default();
     let root = eg.add_expr(expr);
     let mut runner = Runner::new(eg)
         .with_root(root)
         .with_iter_limit(harness::step_limit(kernel))
         .with_node_limit(150_000)
+        .with_seminaive(seminaive)
         .with_scheduler(BackoffScheduler::new(30_000, 2));
     runner.run(rules);
     let search: Duration = runner.iterations.iter().map(|i| i.search_time).sum();
     let candidates: usize = runner.iterations.iter().map(|i| i.search_candidates).sum();
+    let frontier: usize = runner.iterations.iter().map(|i| i.frontier_candidates).sum();
     let matches: usize = runner.iterations.iter().map(|i| i.search_matches).sum();
     let extractor = Extractor::new(&runner.egraph, TargetCost::new(target));
     let (cost, best) = extractor.find_best(root);
-    let summary = liar_core::pipeline::count_lib_calls(&best)
+    let solution = liar_core::pipeline::count_lib_calls(&best)
         .iter()
         .map(|(name, count)| format!("{count} × {name}"))
         .collect::<Vec<_>>()
         .join(" + ");
-    (search, candidates, matches, summary, cost)
+    RunStats { search, candidates, frontier, matches, solution, cost }
 }
 
 /// Median search-phase time over `SAMPLES` runs (plus one warm-up).
-fn median_search(rules: &[ARewrite], expr: &Expr, kernel: Kernel, target: Target) -> Duration {
-    let _ = run(rules, expr, kernel, target); // warm-up
+fn median_search(
+    rules: &[ARewrite],
+    expr: &Expr,
+    kernel: Kernel,
+    target: Target,
+    seminaive: bool,
+) -> Duration {
+    let _ = run(rules, expr, kernel, target, seminaive); // warm-up
     let mut times: Vec<Duration> = (0..SAMPLES)
-        .map(|_| run(rules, expr, kernel, target).0)
+        .map(|_| run(rules, expr, kernel, target, seminaive).search)
         .collect();
     times.sort();
     times[times.len() / 2]
@@ -71,9 +86,12 @@ fn median_search(rules: &[ARewrite], expr: &Expr, kernel: Kernel, target: Target
 
 struct Row {
     kernel: &'static str,
+    seminaive_search_s: f64,
     vm_search_s: f64,
     oracle_search_s: f64,
+    seminaive_speedup: f64,
     speedup: f64,
+    frontier_candidates: usize,
     vm_candidates: usize,
     oracle_candidates: usize,
     matches: usize,
@@ -81,9 +99,9 @@ struct Row {
 }
 
 fn main() {
-    println!("== ematch (VM + operator index vs. oracle matcher, BLAS rules) ==");
+    println!("== ematch (semi-naive frontier vs. whole-graph VM vs. oracle matcher, BLAS rules) ==");
     let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!("host hardware threads: {hw} (both engines run serially here)");
+    println!("host hardware threads: {hw} (all engines run serially here)");
 
     let target = Target::Blas;
     let rules = rules_for(target, &RuleConfig::default());
@@ -94,41 +112,64 @@ fn main() {
         let expr = kernel.expr(kernel.search_size());
 
         // Equivalence first: identical matches, solutions and costs.
-        let (_, vm_cands, vm_matches, vm_sol, vm_cost) = run(&rules, &expr, kernel, target);
-        let (_, or_cands, or_matches, or_sol, or_cost) =
-            run(&oracle_rules, &expr, kernel, target);
-        assert_eq!(vm_matches, or_matches, "{kernel}: match counts diverged");
-        assert_eq!(vm_sol, or_sol, "{kernel}: solutions diverged");
-        assert_eq!(vm_cost, or_cost, "{kernel}: costs diverged");
+        let semi = run(&rules, &expr, kernel, target, true);
+        let vm = run(&rules, &expr, kernel, target, false);
+        let oracle = run(&oracle_rules, &expr, kernel, target, false);
+        assert_eq!(semi.matches, vm.matches, "{kernel}: semi-naive match count diverged");
+        assert_eq!(semi.solution, vm.solution, "{kernel}: semi-naive solution diverged");
+        assert_eq!(semi.cost, vm.cost, "{kernel}: semi-naive cost diverged");
+        assert_eq!(vm.matches, oracle.matches, "{kernel}: match counts diverged");
+        assert_eq!(vm.solution, oracle.solution, "{kernel}: solutions diverged");
+        assert_eq!(vm.cost, oracle.cost, "{kernel}: costs diverged");
         assert!(
-            vm_cands < or_cands,
-            "{kernel}: VM visited {vm_cands} candidate classes, oracle {or_cands} — \
-             the operator index must strictly reduce visits"
+            vm.candidates < oracle.candidates,
+            "{kernel}: VM visited {} candidate classes, oracle {} — \
+             the operator index must strictly reduce visits",
+            vm.candidates,
+            oracle.candidates,
+        );
+        assert!(
+            semi.frontier < vm.candidates,
+            "{kernel}: frontier scanned {} classes, whole-graph {} — \
+             the delta frontier must strictly reduce scans",
+            semi.frontier,
+            vm.candidates,
+        );
+        assert_eq!(
+            vm.frontier, vm.candidates,
+            "{kernel}: with semi-naive off, frontier must equal candidates"
         );
 
-        let vm_time = median_search(&rules, &expr, kernel, target);
-        let oracle_time = median_search(&oracle_rules, &expr, kernel, target);
+        let semi_time = median_search(&rules, &expr, kernel, target, true);
+        let vm_time = median_search(&rules, &expr, kernel, target, false);
+        let oracle_time = median_search(&oracle_rules, &expr, kernel, target, false);
+        let seminaive_speedup = vm_time.as_secs_f64() / semi_time.as_secs_f64().max(1e-9);
         let speedup = oracle_time.as_secs_f64() / vm_time.as_secs_f64().max(1e-9);
         println!(
-            "{:<40} vm search {:>10.3?}   oracle search {:>10.3?}   speedup {:>5.2}x   \
-             candidates {} vs {}   matches {}",
+            "{:<40} semi {:>10.3?}   vm {:>10.3?}   oracle {:>10.3?}   semi/vm {:>5.2}x   \
+             scans {} vs {} vs {}   matches {}",
             format!("ematch/{}", kernel.name()),
+            semi_time,
             vm_time,
             oracle_time,
-            speedup,
-            vm_cands,
-            or_cands,
-            vm_matches,
+            seminaive_speedup,
+            semi.frontier,
+            vm.candidates,
+            oracle.candidates,
+            semi.matches,
         );
         rows.push(Row {
             kernel: kernel.name(),
+            seminaive_search_s: semi_time.as_secs_f64(),
             vm_search_s: vm_time.as_secs_f64(),
             oracle_search_s: oracle_time.as_secs_f64(),
+            seminaive_speedup,
             speedup,
-            vm_candidates: vm_cands,
-            oracle_candidates: or_cands,
-            matches: vm_matches,
-            solution: vm_sol,
+            frontier_candidates: semi.frontier,
+            vm_candidates: vm.candidates,
+            oracle_candidates: oracle.candidates,
+            matches: semi.matches,
+            solution: semi.solution,
         });
     }
 
@@ -136,13 +177,17 @@ fn main() {
     let mut json = String::from("{\n  \"bench\": \"ematch\",\n  \"target\": \"blas\",\n  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"vm_search_s\": {:.6}, \"oracle_search_s\": {:.6}, \
-             \"speedup\": {:.3}, \"vm_candidates\": {}, \"oracle_candidates\": {}, \
+            "    {{\"kernel\": \"{}\", \"seminaive_search_s\": {:.6}, \"vm_search_s\": {:.6}, \
+             \"oracle_search_s\": {:.6}, \"seminaive_speedup\": {:.3}, \"speedup\": {:.3}, \
+             \"frontier_candidates\": {}, \"vm_candidates\": {}, \"oracle_candidates\": {}, \
              \"matches\": {}, \"solution\": \"{}\"}}{}\n",
             r.kernel,
+            r.seminaive_search_s,
             r.vm_search_s,
             r.oracle_search_s,
+            r.seminaive_speedup,
             r.speedup,
+            r.frontier_candidates,
             r.vm_candidates,
             r.oracle_candidates,
             r.matches,
@@ -157,12 +202,15 @@ fn main() {
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 
+    let total_semi: f64 = rows.iter().map(|r| r.seminaive_search_s).sum();
     let total_vm: f64 = rows.iter().map(|r| r.vm_search_s).sum();
     let total_oracle: f64 = rows.iter().map(|r| r.oracle_search_s).sum();
     println!(
-        "total search: vm {:.3}s vs oracle {:.3}s ({:.2}x)",
+        "total search: semi {:.3}s vs vm {:.3}s vs oracle {:.3}s (semi/vm {:.2}x, vm/oracle {:.2}x)",
+        total_semi,
         total_vm,
         total_oracle,
-        total_oracle / total_vm.max(1e-9)
+        total_vm / total_semi.max(1e-9),
+        total_oracle / total_vm.max(1e-9),
     );
 }

@@ -35,6 +35,12 @@ pub struct StepReport {
     /// rules (zero for step 0) — the quantity the operator index shrinks;
     /// see [`liar_egraph::Iteration::search_candidates`].
     pub search_candidates: usize,
+    /// E-classes the search phase actually *scanned* with the e-matching
+    /// VM (zero for step 0) — the quantity semi-naive search shrinks; see
+    /// [`liar_egraph::Iteration::frontier_candidates`]. Equal to
+    /// [`search_candidates`](StepReport::search_candidates) with
+    /// [`Liar::with_seminaive`]`(false)`.
+    pub frontier_candidates: usize,
     /// Substitutions the search phase produced (zero for step 0).
     pub search_matches: usize,
     /// `(rule name, applications that changed the e-graph)` during this
@@ -95,6 +101,14 @@ impl OptimizationReport {
         self.steps.iter().map(|s| s.search_candidates).sum()
     }
 
+    /// Total e-classes the search phase actually scanned across all steps
+    /// — the work semi-naive search avoids (equal to
+    /// [`total_search_candidates`](OptimizationReport::total_search_candidates)
+    /// with [`Liar::with_seminaive`]`(false)`).
+    pub fn total_frontier_candidates(&self) -> usize {
+        self.steps.iter().map(|s| s.frontier_candidates).sum()
+    }
+
     /// Total substitutions found across all steps' search phases.
     pub fn total_search_matches(&self) -> usize {
         self.steps.iter().map(|s| s.search_matches).sum()
@@ -129,6 +143,10 @@ pub struct SaturationStep {
     pub search_time: Duration,
     /// Candidate e-classes the search phase scheduled across all rules.
     pub search_candidates: usize,
+    /// E-classes the search phase actually scanned (semi-naive search
+    /// scans only the delta frontier; see
+    /// [`liar_egraph::Iteration::frontier_candidates`]).
+    pub frontier_candidates: usize,
     /// Substitutions the search phase produced.
     pub search_matches: usize,
 }
@@ -247,6 +265,13 @@ impl MultiReport {
     }
 }
 
+/// The pipeline-wide semi-naive default: on, unless the environment
+/// variable `LIAR_SEMINAIVE` is set to `0` (the escape hatch the
+/// differential CI suites use to run every engine both ways).
+fn seminaive_default() -> bool {
+    std::env::var("LIAR_SEMINAIVE").map_or(true, |v| v != "0")
+}
+
 /// Count library calls in an expression by family name.
 pub fn count_lib_calls(expr: &Expr) -> BTreeMap<String, usize> {
     let mut counts = BTreeMap::new();
@@ -269,6 +294,7 @@ pub struct Liar {
     match_limit: usize,
     discount_scale: f64,
     threads: usize,
+    seminaive: bool,
     explain: bool,
     cache: Option<Arc<SaturationCache>>,
 }
@@ -317,6 +343,7 @@ impl Liar {
             match_limit: 40_000,
             discount_scale: 1.0,
             threads: 1,
+            seminaive: seminaive_default(),
             explain: false,
             cache: None,
         }
@@ -384,6 +411,21 @@ impl Liar {
         self
     }
 
+    /// Enable or disable semi-naive (delta-frontier) e-matching.
+    ///
+    /// On by default (set the environment variable `LIAR_SEMINAIVE=0` to
+    /// flip the default off — the differential CI suites run both ways).
+    /// Like the thread count, this knob is **excluded** from
+    /// [`Liar::request_fingerprint`]: the resulting
+    /// [`OptimizationReport`]/[`MultiReport`] is bit-identical either way
+    /// (only [`StepReport::frontier_candidates`] and wall-clock timings
+    /// reflect the saved work), so cached reports are interchangeable.
+    /// See [`liar_egraph::Runner::with_seminaive`].
+    pub fn with_seminaive(mut self, on: bool) -> Self {
+        self.seminaive = on;
+        self
+    }
+
     /// Attach a shared saturation cache: [`Liar::optimize_multi`] will
     /// replay cached reports and store fresh ones. Clones of this
     /// pipeline share the same cache (it is behind an [`Arc`]).
@@ -445,7 +487,8 @@ impl Liar {
             .with_root(root)
             .with_limits(self.limits.clone())
             .with_scheduler(scheduler)
-            .with_threads(self.threads);
+            .with_threads(self.threads)
+            .with_seminaive(self.seminaive);
         (runner, root)
     }
 
@@ -499,6 +542,7 @@ impl Liar {
         struct SearchStats {
             time: Duration,
             candidates: usize,
+            frontier: usize,
             matches: usize,
         }
 
@@ -519,6 +563,7 @@ impl Liar {
                 step_time: time,
                 search_time: search.time,
                 search_candidates: search.candidates,
+                frontier_candidates: search.frontier,
                 search_matches: search.matches,
                 applied,
                 cost,
@@ -530,6 +575,7 @@ impl Liar {
         let zero = SearchStats {
             time: Duration::ZERO,
             candidates: 0,
+            frontier: 0,
             matches: 0,
         };
         steps.push(extract(&runner.egraph, 0, Duration::ZERO, zero, Vec::new()));
@@ -540,6 +586,7 @@ impl Liar {
                     let search = SearchStats {
                         time: iter.search_time,
                         candidates: iter.search_candidates,
+                        frontier: iter.frontier_candidates,
                         matches: iter.search_matches,
                     };
                     let applied = iter.applied.clone();
@@ -655,6 +702,7 @@ impl Liar {
             step_time: Duration::ZERO,
             search_time: Duration::ZERO,
             search_candidates: 0,
+            frontier_candidates: 0,
             search_matches: 0,
         };
         let sat_start = std::time::Instant::now();
@@ -670,6 +718,7 @@ impl Liar {
                 step_time: iter.total_time,
                 search_time: iter.search_time,
                 search_candidates: iter.search_candidates,
+                frontier_candidates: iter.frontier_candidates,
                 search_matches: iter.search_matches,
             });
         }

@@ -12,8 +12,10 @@
 //!   variables — every class under [`RuleConfig::exhaustive`], a bounded
 //!   candidate set by default.
 
+use std::sync::{Arc, Mutex, PoisonError};
+
 use liar_egraph::{
-    Applier, Binding, EGraph, Id, Pattern, Rewrite, SearchMatches, Searcher, Subst, Var,
+    Applier, Binding, EGraph, Id, Language, Pattern, Rewrite, SearchMatches, Searcher, Subst, Var,
 };
 use liar_ir::debruijn::{shift_up, subst as debruijn_subst};
 use liar_ir::{ArrayAnalysis, ArrayLang, ArrayRewrite, Expr};
@@ -21,6 +23,71 @@ use liar_ir::{ArrayAnalysis, ArrayLang, ArrayRewrite, Expr};
 use super::{CandidateSet, RuleConfig};
 
 type AEGraph = EGraph<ArrayLang, ArrayAnalysis>;
+
+/// One-slot memo for an intro searcher's auxiliary candidate list, keyed
+/// on the e-graph snapshot. On a clean e-graph every change either bumps
+/// the delta version (sealed by `rebuild`) or the class count (adds), so
+/// `(version, classes)` identifies the snapshot and per-class search
+/// reuses one O(classes) computation instead of paying it per class.
+#[derive(Default)]
+pub(super) struct AuxMemo {
+    slot: Mutex<MemoSlot>,
+}
+
+/// `(delta version, class count, candidate list)` — one [`AuxMemo`] entry.
+type MemoSlot = Option<(u64, usize, Arc<Vec<Id>>)>;
+
+impl AuxMemo {
+    pub(super) fn get(&self, egraph: &AEGraph, compute: impl FnOnce() -> Vec<Id>) -> Arc<Vec<Id>> {
+        let key = (egraph.delta_version(), egraph.num_classes());
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some((v, c, list)) = &*slot {
+            if (*v, *c) == key {
+                return Arc::clone(list);
+            }
+        }
+        let list = Arc::new(compute());
+        *slot = Some((key.0, key.1, Arc::clone(&list)));
+        list
+    }
+}
+
+/// FNV-1a over an id list: the intro searchers' semi-naive
+/// [`delta_fingerprint`](Searcher::delta_fingerprint). Their per-class
+/// match lists pair the class with this auxiliary list, so any change to
+/// it changes every class's matches and must flush the frontier cache.
+fn fingerprint_ids(ids: &[Id]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &id in ids {
+        for byte in (id.index() as u64).to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Whole-graph search expressed exactly as the [`Searcher`] per-class
+/// contract requires: `search_class` over ascending class ids with the
+/// limit applied across classes in that order.
+fn search_per_class<S: Searcher<ArrayLang, ArrayAnalysis>>(
+    searcher: &S,
+    egraph: &AEGraph,
+    limit: usize,
+) -> Vec<SearchMatches<ArrayLang>> {
+    let mut total = 0;
+    let mut out = Vec::new();
+    for class in egraph.class_ids() {
+        if total >= limit {
+            break;
+        }
+        let substs = searcher.search_class(egraph, class, limit - total);
+        if !substs.is_empty() {
+            total += substs.len();
+            out.push(SearchMatches::new(class, substs));
+        }
+    }
+    out
+}
 
 fn resolve_expr(egraph: &AEGraph, binding: &Binding<ArrayLang>) -> Expr {
     match binding {
@@ -71,13 +138,20 @@ impl Applier<ArrayLang, ArrayAnalysis> for BetaReduceApplier {
 /// [`CandidateSet`]: the constant-array chains of §IV.C.2 and §V.A abstract
 /// over constants; wider sets are available for experimentation.
 fn intro_lambda_candidate(egraph: &AEGraph, id: Id, set: CandidateSet) -> bool {
+    intro_lambda_candidate_class(&egraph[id], set)
+}
+
+fn intro_lambda_candidate_class(
+    class: &liar_egraph::EClass<ArrayLang, liar_ir::ClassData>,
+    set: CandidateSet,
+) -> bool {
     match set {
         CandidateSet::All => true,
         CandidateSet::ConstantsAndCalls => {
-            egraph.data(id).constant.is_some()
-                || egraph[id].iter().any(|n| matches!(n, ArrayLang::Call(..)))
+            class.data.constant.is_some()
+                || class.iter().any(|n| matches!(n, ArrayLang::Call(..)))
         }
-        CandidateSet::ValueLike => egraph[id].iter().any(|n| {
+        CandidateSet::ValueLike => class.iter().any(|n| {
             matches!(
                 n,
                 ArrayLang::Const(_) | ArrayLang::Sym(_) | ArrayLang::Get(_) | ArrayLang::Call(..)
@@ -89,46 +163,95 @@ fn intro_lambda_candidate(egraph: &AEGraph, id: Id, set: CandidateSet) -> bool {
 /// R-IntroLambda: `e → (λ e↑) y` for every candidate argument class `y`.
 struct IntroLambdaSearcher {
     config: RuleConfig,
+    ys: AuxMemo,
+    cands: AuxMemo,
+}
+
+impl IntroLambdaSearcher {
+    /// Candidate arguments y: classes containing a De Bruijn variable
+    /// (every known chain abstracts over a loop index), or every class in
+    /// exhaustive mode. Memoized per snapshot.
+    fn ys(&self, egraph: &AEGraph) -> Arc<Vec<Id>> {
+        let exhaustive = self.config.intro_lambda == CandidateSet::All;
+        self.ys.get(egraph, || {
+            let mut out: Vec<Id> = egraph
+                .classes()
+                .filter(|c| exhaustive || c.data.has_var)
+                .map(|c| c.id)
+                .collect();
+            out.sort_unstable();
+            out
+        })
+    }
 }
 
 impl Searcher<ArrayLang, ArrayAnalysis> for IntroLambdaSearcher {
     fn search(&self, egraph: &AEGraph, limit: usize) -> Vec<SearchMatches<ArrayLang>> {
-        // Candidate arguments y: classes containing a De Bruijn variable
-        // (every known chain abstracts over a loop index), or every class
-        // in exhaustive mode.
-        let exhaustive = self.config.intro_lambda == CandidateSet::All;
-        let ys: Vec<Id> = egraph
-            .class_ids()
-            .into_iter()
-            .filter(|&id| exhaustive || egraph.data(id).has_var)
-            .collect();
-        if ys.is_empty() {
+        search_per_class(self, egraph, limit)
+    }
+
+    fn can_search_per_class(&self) -> bool {
+        true
+    }
+
+    fn search_class(&self, egraph: &AEGraph, class: Id, limit: usize) -> Vec<Subst<ArrayLang>> {
+        if !intro_lambda_candidate(egraph, class, self.config.intro_lambda) {
             return vec![];
         }
-        let mut out = Vec::new();
-        let mut total = 0;
-        for e in egraph.class_ids() {
-            if total >= limit {
-                break;
-            }
-            if !intro_lambda_candidate(egraph, e, self.config.intro_lambda) {
-                continue;
-            }
-            let mut substs = Vec::new();
-            for &y in &ys {
-                if total >= limit {
-                    break;
-                }
+        self.ys(egraph)
+            .iter()
+            .take(limit)
+            .map(|&y| {
                 let mut s = Subst::default();
                 s.insert(Var::new("y"), Binding::Class(y));
-                substs.push(s);
-                total += 1;
-            }
-            if !substs.is_empty() {
-                out.push(SearchMatches { class: e, substs });
-            }
+                s
+            })
+            .collect()
+    }
+
+    fn candidate_class_ids(&self, egraph: &AEGraph) -> Option<Vec<Id>> {
+        if self.config.intro_lambda == CandidateSet::All || !egraph.is_clean() {
+            return None;
         }
-        out
+        // Classes passing the candidate check, memoized per snapshot —
+        // sound because `search_class` is empty everywhere else. A class
+        // only enters this set through recorded dirt: gaining a node
+        // (add/union) or an analysis refinement (constant discovered).
+        let set = self.config.intro_lambda;
+        Some(
+            self.cands
+                .get(egraph, || {
+                    let mut out: Vec<Id> = egraph
+                        .classes()
+                        .filter(|c| intro_lambda_candidate_class(c, set))
+                        .map(|c| c.id)
+                        .collect();
+                    out.sort_unstable();
+                    out
+                })
+                .to_vec(),
+        )
+    }
+
+    fn delta_depth(&self) -> Option<u32> {
+        // A class's matches depend on its own nodes and analysis data
+        // (the candidate check) plus the global `ys` list, covered by
+        // the fingerprint. Exhaustive mode pairs every class with every
+        // class — stay whole-graph there.
+        (self.config.intro_lambda != CandidateSet::All).then_some(1)
+    }
+
+    fn delta_fingerprint(&self, egraph: &AEGraph) -> u64 {
+        fingerprint_ids(&self.ys(egraph))
+    }
+
+    fn min_class_yield(&self, egraph: &AEGraph) -> usize {
+        if self.config.intro_lambda == CandidateSet::All {
+            return 0;
+        }
+        // The candidate universe lists exactly the classes passing the
+        // check, and each of those yields one substitution per `y`.
+        self.ys(egraph).len()
     }
 
     fn bound_vars(&self) -> Vec<Var> {
@@ -188,41 +311,78 @@ impl Applier<ArrayLang, ArrayAnalysis> for IntroLambdaApplier {
 
 /// R-IntroIndexBuild: `f i → (build N f)[i]` for every extent `N` present
 /// in the e-graph.
-struct IntroIndexBuildSearcher;
+#[derive(Default)]
+struct IntroIndexBuildSearcher {
+    dims: AuxMemo,
+}
+
+impl IntroIndexBuildSearcher {
+    /// Classes carrying a known extent, memoized per snapshot.
+    fn dims(&self, egraph: &AEGraph) -> Arc<Vec<Id>> {
+        self.dims.get(egraph, || {
+            let mut out: Vec<Id> = egraph
+                .classes()
+                .filter(|c| c.data.dim.is_some())
+                .map(|c| c.id)
+                .collect();
+            out.sort_unstable();
+            out
+        })
+    }
+}
 
 impl Searcher<ArrayLang, ArrayAnalysis> for IntroIndexBuildSearcher {
     fn search(&self, egraph: &AEGraph, limit: usize) -> Vec<SearchMatches<ArrayLang>> {
-        let dims: Vec<Id> = egraph
-            .class_ids()
-            .into_iter()
-            .filter(|&id| egraph.data(id).dim.is_some())
-            .collect();
-        let mut out = Vec::new();
-        let mut total = 0;
-        for class in egraph.class_ids() {
-            if total >= limit {
-                break;
-            }
-            let mut substs = Vec::new();
-            for node in &egraph[class].nodes {
-                let ArrayLang::App([f, i]) = node else { continue };
-                for &n in &dims {
-                    if total >= limit {
-                        break;
-                    }
-                    let mut s = Subst::default();
-                    s.insert(Var::new("f"), Binding::Class(*f));
-                    s.insert(Var::new("i"), Binding::Class(*i));
-                    s.insert(Var::new("n"), Binding::Class(n));
-                    substs.push(s);
-                    total += 1;
+        search_per_class(self, egraph, limit)
+    }
+
+    fn can_search_per_class(&self) -> bool {
+        true
+    }
+
+    fn search_class(&self, egraph: &AEGraph, class: Id, limit: usize) -> Vec<Subst<ArrayLang>> {
+        let dims = self.dims(egraph);
+        let mut substs = Vec::new();
+        for node in &egraph[class].nodes {
+            let ArrayLang::App([f, i]) = node else { continue };
+            for &n in dims.iter() {
+                if substs.len() >= limit {
+                    return substs;
                 }
-            }
-            if !substs.is_empty() {
-                out.push(SearchMatches { class, substs });
+                let mut s = Subst::default();
+                s.insert(Var::new("f"), Binding::Class(*f));
+                s.insert(Var::new("i"), Binding::Class(*i));
+                s.insert(Var::new("n"), Binding::Class(n));
+                substs.push(s);
             }
         }
-        out
+        substs
+    }
+
+    fn candidate_class_ids(&self, egraph: &AEGraph) -> Option<Vec<Id>> {
+        if !egraph.is_clean() {
+            return None;
+        }
+        // Only classes containing an `app` node can match: the operator
+        // index answers exactly that (sorted, canonical on a clean graph).
+        let key = ArrayLang::App([Id::from_index(0); 2]).op_key();
+        Some(egraph.classes_with_op(key).to_vec())
+    }
+
+    fn delta_depth(&self) -> Option<u32> {
+        // A class's matches depend on its own `app` nodes plus the global
+        // extent list, covered by the fingerprint.
+        Some(1)
+    }
+
+    fn delta_fingerprint(&self, egraph: &AEGraph) -> u64 {
+        fingerprint_ids(&self.dims(egraph))
+    }
+
+    fn min_class_yield(&self, egraph: &AEGraph) -> usize {
+        // Every class in the `app` bucket holds at least one `app` node,
+        // each yielding one substitution per known extent.
+        self.dims(egraph).len()
     }
 
     fn bound_vars(&self) -> Vec<Var> {
@@ -279,48 +439,71 @@ impl Applier<ArrayLang, ArrayAnalysis> for IntroIndexBuildApplier {
 /// default; all classes in exhaustive mode).
 struct IntroTupleSearcher {
     config: RuleConfig,
+    candidates: Arc<AuxMemo>,
+}
+
+impl IntroTupleSearcher {
+    /// Candidate second components, memoized per snapshot.
+    fn candidates(&self, egraph: &AEGraph) -> Arc<Vec<Id>> {
+        self.candidates.get(egraph, || {
+            let mut c: Vec<Id> = if self.config.exhaustive_tuples {
+                egraph.class_ids()
+            } else {
+                let mut c = Vec::new();
+                for class in egraph.classes() {
+                    for node in &class.nodes {
+                        if let ArrayLang::Tuple([x, y]) = node {
+                            c.push(egraph.find(*x));
+                            c.push(egraph.find(*y));
+                        }
+                    }
+                }
+                c
+            };
+            c.sort();
+            c.dedup();
+            c
+        })
+    }
 }
 
 impl Searcher<ArrayLang, ArrayAnalysis> for IntroTupleSearcher {
     fn search(&self, egraph: &AEGraph, limit: usize) -> Vec<SearchMatches<ArrayLang>> {
-        let mut candidates: Vec<Id> = if self.config.exhaustive_tuples {
-            egraph.class_ids()
-        } else {
-            let mut c = Vec::new();
-            for class in egraph.classes_sorted() {
-                for node in &class.nodes {
-                    if let ArrayLang::Tuple([x, y]) = node {
-                        c.push(egraph.find(*x));
-                        c.push(egraph.find(*y));
-                    }
-                }
-            }
-            c
-        };
-        candidates.sort();
-        candidates.dedup();
-        if candidates.is_empty() {
-            return vec![];
-        }
-        let mut out = Vec::new();
-        let mut total = 0;
-        for a in egraph.class_ids() {
-            if total >= limit {
-                break;
-            }
-            let mut substs = Vec::new();
-            for &b in &candidates {
-                if total >= limit {
-                    break;
-                }
+        search_per_class(self, egraph, limit)
+    }
+
+    fn can_search_per_class(&self) -> bool {
+        true
+    }
+
+    fn search_class(&self, egraph: &AEGraph, _class: Id, limit: usize) -> Vec<Subst<ArrayLang>> {
+        self.candidates(egraph)
+            .iter()
+            .take(limit)
+            .map(|&b| {
                 let mut s = Subst::default();
                 s.insert(Var::new("b"), Binding::Class(b));
-                substs.push(s);
-                total += 1;
-            }
-            out.push(SearchMatches { class: a, substs });
-        }
-        out
+                s
+            })
+            .collect()
+    }
+
+    fn delta_depth(&self) -> Option<u32> {
+        // Per-class substs depend only on the global candidate list, which
+        // the fingerprint covers; exhaustive mode pairs every class with
+        // every class, so it stays on the whole-graph path.
+        (!self.config.exhaustive_tuples).then_some(1)
+    }
+
+    fn delta_fingerprint(&self, egraph: &AEGraph) -> u64 {
+        fingerprint_ids(&self.candidates(egraph))
+    }
+
+    fn min_class_yield(&self, egraph: &AEGraph) -> usize {
+        // Every class yields exactly one substitution per candidate — the
+        // guaranteed floor that lets the semi-naive planner truncate a
+        // whole-universe plan to the prefix a match limit can reach.
+        self.candidates(egraph).len()
     }
 
     fn bound_vars(&self) -> Vec<Var> {
@@ -366,6 +549,8 @@ impl Applier<ArrayLang, ArrayAnalysis> for IntroTupleApplier {
 /// The eight core rules of listing 2.
 pub fn core_rules(config: &RuleConfig) -> Vec<ArrayRewrite> {
     let config = *config;
+    // One memo for the two tuple intro rules: they scan the same universe.
+    let tuple_memo = Arc::new(AuxMemo::default());
     vec![
         Rewrite::new(
             "beta-reduce",
@@ -374,13 +559,13 @@ pub fn core_rules(config: &RuleConfig) -> Vec<ArrayRewrite> {
         ),
         Rewrite::new(
             "intro-lambda",
-            IntroLambdaSearcher { config },
+            IntroLambdaSearcher { config, ys: AuxMemo::default(), cands: AuxMemo::default() },
             IntroLambdaApplier,
         ),
         Rewrite::from_patterns("elim-index-build", "(get (build ?n ?f) ?i)", "(app ?f ?i)"),
         Rewrite::new(
             "intro-index-build",
-            IntroIndexBuildSearcher,
+            IntroIndexBuildSearcher::default(),
             IntroIndexBuildApplier {
                 rhs: "(get (build ?n ?f) ?i)".parse::<Pattern<ArrayLang>>().unwrap(),
             },
@@ -388,13 +573,13 @@ pub fn core_rules(config: &RuleConfig) -> Vec<ArrayRewrite> {
         Rewrite::from_patterns("elim-fst-tuple", "(fst (tuple ?a ?b))", "?a"),
         Rewrite::new(
             "intro-fst-tuple",
-            IntroTupleSearcher { config },
+            IntroTupleSearcher { config, candidates: Arc::clone(&tuple_memo) },
             IntroTupleApplier { first: true },
         ),
         Rewrite::from_patterns("elim-snd-tuple", "(snd (tuple ?a ?b))", "?b"),
         Rewrite::new(
             "intro-snd-tuple",
-            IntroTupleSearcher { config },
+            IntroTupleSearcher { config, candidates: tuple_memo },
             IntroTupleApplier { first: false },
         ),
     ]

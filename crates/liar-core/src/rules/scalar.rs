@@ -10,11 +10,14 @@
 //! *scalar-like* classes: classes containing a constant, an array element,
 //! a parameter use, a scalar operator, or a scalar-returning library call.
 
+use std::sync::Arc;
+
 use liar_egraph::{
     Applier, Binding, EGraph, Id, Pattern, Rewrite, SearchMatches, Searcher, Subst, Var,
 };
 use liar_ir::{ArrayAnalysis, ArrayLang, ArrayRewrite, LibFn};
 
+use super::core_rules::AuxMemo;
 use super::RuleConfig;
 
 type AEGraph = EGraph<ArrayLang, ArrayAnalysis>;
@@ -47,7 +50,33 @@ fn scalar_like(egraph: &AEGraph, id: Id) -> bool {
 }
 
 /// Matches every scalar-like e-class, binding `?x` to it.
-struct ScalarClassSearcher;
+///
+/// The candidate universe is the memoized list of scalar-like classes —
+/// shared across the three intro rules, which gate on the same predicate.
+/// Universe membership can change in both directions (a class gains a
+/// scalar member through a merge, or stops being scalar-like when its
+/// extent is refined), but either change is recorded as delta-index dirt,
+/// so a cached class that leaves the universe is always simultaneously
+/// re-dirtied and its stale entry evicted rather than replayed.
+struct ScalarClassSearcher {
+    cands: Arc<AuxMemo>,
+}
+
+impl ScalarClassSearcher {
+    fn candidates(&self, egraph: &AEGraph) -> Arc<Vec<Id>> {
+        self.cands.get(egraph, || {
+            // One pass over the class table (avoiding a by-id lookup per
+            // class), sorted afterwards: this runs every iteration.
+            let mut out: Vec<Id> = egraph
+                .classes()
+                .filter(|c| c.data.extent.is_none() && c.iter().any(is_scalar_member))
+                .map(|c| c.id)
+                .collect();
+            out.sort_unstable();
+            out
+        })
+    }
+}
 
 impl Searcher<ArrayLang, ArrayAnalysis> for ScalarClassSearcher {
     fn search(&self, egraph: &AEGraph, limit: usize) -> Vec<SearchMatches<ArrayLang>> {
@@ -57,18 +86,47 @@ impl Searcher<ArrayLang, ArrayAnalysis> for ScalarClassSearcher {
             if total >= limit {
                 break;
             }
-            if !scalar_like(egraph, id) {
+            let substs = self.search_class(egraph, id, limit - total);
+            if substs.is_empty() {
                 continue;
             }
-            let mut s = Subst::default();
-            s.insert(Var::new("x"), Binding::Class(id));
-            out.push(SearchMatches {
-                class: id,
-                substs: vec![s],
-            });
-            total += 1;
+            total += substs.len();
+            out.push(SearchMatches::new(id, substs));
         }
         out
+    }
+
+    fn can_search_per_class(&self) -> bool {
+        true
+    }
+
+    fn search_class(&self, egraph: &AEGraph, class: Id, limit: usize) -> Vec<Subst<ArrayLang>> {
+        if limit == 0 || !scalar_like(egraph, class) {
+            return vec![];
+        }
+        let mut s = Subst::default();
+        s.insert(Var::new("x"), Binding::Class(class));
+        vec![s]
+    }
+
+    fn candidate_class_ids(&self, egraph: &AEGraph) -> Option<Vec<Id>> {
+        if !egraph.is_clean() {
+            return None;
+        }
+        Some(self.candidates(egraph).to_vec())
+    }
+
+    fn delta_depth(&self) -> Option<u32> {
+        // `scalar_like` inspects only the class's own nodes and analysis
+        // data; both kinds of change are recorded as delta-index dirt.
+        Some(1)
+    }
+
+    fn min_class_yield(&self, _egraph: &AEGraph) -> usize {
+        // Every class in the candidate universe is scalar-like on the
+        // snapshot the plan is built against, so each scan yields exactly
+        // one substitution.
+        1
     }
 
     fn bound_vars(&self) -> Vec<Var> {
@@ -135,10 +193,10 @@ impl Applier<ArrayLang, ArrayAnalysis> for ScalarIntroApplier {
     }
 }
 
-fn intro(name: &str, shape: IntroShape, rhs: &str) -> ArrayRewrite {
+fn intro(name: &str, shape: IntroShape, rhs: &str, cands: Arc<AuxMemo>) -> ArrayRewrite {
     Rewrite::new(
         name,
-        ScalarClassSearcher,
+        ScalarClassSearcher { cands },
         ScalarIntroApplier {
             shape,
             rhs: rhs.parse::<Pattern<ArrayLang>>().unwrap(),
@@ -156,9 +214,12 @@ pub fn scalar_rules(config: &RuleConfig) -> Vec<ArrayRewrite> {
         Rewrite::from_patterns("commute-mul", "(* ?x ?y)", "(* ?y ?x)"),
     ];
     if config.scalar_intro {
-        rules.push(intro("intro-add-zero", IntroShape::AddZero, "(+ ?x 0)"));
-        rules.push(intro("intro-mul-one-l", IntroShape::MulOneL, "(* 1 ?x)"));
-        rules.push(intro("intro-mul-one-r", IntroShape::MulOneR, "(* ?x 1)"));
+        // One memo for the three rules: they scan the same universe.
+        let cands = Arc::new(AuxMemo::default());
+        let rule = |name, shape, rhs| intro(name, shape, rhs, Arc::clone(&cands));
+        rules.push(rule("intro-add-zero", IntroShape::AddZero, "(+ ?x 0)"));
+        rules.push(rule("intro-mul-one-l", IntroShape::MulOneL, "(* 1 ?x)"));
+        rules.push(rule("intro-mul-one-r", IntroShape::MulOneR, "(* ?x 1)"));
     }
     rules
 }

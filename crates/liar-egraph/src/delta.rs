@@ -1,0 +1,196 @@
+//! The versioned delta index: which e-classes changed since each rebuild.
+//!
+//! Semi-naive (delta-driven) e-matching — the evaluation strategy of
+//! egglog — needs to know, per saturation iteration, which e-classes
+//! *changed*: gained e-nodes, were newly created, or absorbed another
+//! class during re-canonicalization. The [`DeltaIndex`] records exactly
+//! that, organized into **epochs**: every call to
+//! [`EGraph::rebuild`](crate::EGraph::rebuild) seals the dirt recorded
+//! since the previous rebuild under a monotonically increasing version
+//! number. A searcher that remembers the version it last synced at can ask
+//! for [everything dirtied since](DeltaIndex::dirty_since) and restrict its
+//! scan to (the closure of) that frontier — see
+//! [`seminaive`](crate::seminaive).
+//!
+//! The index is first-class and snapshot-serializable: [`version`],
+//! [`epochs`] and [`unsealed`] expose the full state, and [`restore`]
+//! rebuilds an index from those parts, so an e-graph snapshot can carry
+//! its delta history and warm-started searches keep their incrementality.
+//!
+//! [`version`]: DeltaIndex::version
+//! [`epochs`]: DeltaIndex::epochs
+//! [`unsealed`]: DeltaIndex::unsealed
+//! [`restore`]: DeltaIndex::restore
+
+use crate::Id;
+
+/// A log of changed e-classes, grouped into sealed epochs (one per
+/// [`rebuild`](crate::EGraph::rebuild)) plus the unsealed current batch.
+///
+/// Recorded ids may be stale — a dirtied class can later merge into
+/// another — so every read canonicalizes through a caller-supplied `find`
+/// before returning ids.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaIndex {
+    /// Version counter: the number of times the index has been sealed.
+    version: u64,
+    /// Sealed batches: `(version at seal time, sorted deduped dirty ids)`.
+    /// Epochs are in strictly increasing version order; empty batches are
+    /// not stored.
+    epochs: Vec<(u64, Vec<Id>)>,
+    /// Dirt recorded since the last seal, in recording order (unsorted,
+    /// possibly duplicated).
+    current: Vec<Id>,
+}
+
+impl DeltaIndex {
+    /// The current version: incremented by every `seal`.
+    ///
+    /// A searcher synced at version `v` has seen every change sealed under
+    /// versions `< v`; changes recorded afterwards land in epochs `>= v`
+    /// (or in the still-unsealed batch, which
+    /// [`dirty_since`](DeltaIndex::dirty_since) always includes).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Record that class `id` changed (was created, gained nodes, or
+    /// absorbed a merged class). `id` may be non-canonical by read time.
+    pub(crate) fn record(&mut self, id: Id) {
+        self.current.push(id);
+    }
+
+    /// Seal the current batch under the current version and advance the
+    /// version counter. Called at the end of every
+    /// [`rebuild`](crate::EGraph::rebuild), when ids can be canonicalized
+    /// through `find` once and for all.
+    pub(crate) fn seal(&mut self, find: impl Fn(Id) -> Id) {
+        if !self.current.is_empty() {
+            let mut ids: Vec<Id> = self.current.drain(..).map(&find).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            self.epochs.push((self.version, ids));
+        }
+        self.version += 1;
+    }
+
+    /// Every class dirtied at epoch version `>= since`, plus the unsealed
+    /// current batch, canonicalized through `find`, sorted and deduplicated.
+    ///
+    /// Including the unsealed batch means dirt recorded *before the first
+    /// seal* (the initial e-graph contents) is visible to a searcher synced
+    /// at version 0 — the first search therefore sees everything dirty and
+    /// produces exactly the whole-graph result. Re-reading the unsealed
+    /// batch after a partial sync merely re-reports known-dirty classes,
+    /// which frontier consumers treat idempotently.
+    pub fn dirty_since(&self, since: u64, find: impl Fn(Id) -> Id) -> Vec<Id> {
+        let sealed = self
+            .epochs
+            .iter()
+            .filter(|(v, _)| *v >= since)
+            .flat_map(|(_, ids)| ids.iter());
+        let mut out: Vec<Id> = sealed.chain(self.current.iter()).map(|&id| find(id)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The sealed epochs, oldest first: `(version, dirty ids as recorded)`.
+    /// Ids are canonical as of their seal time and may be stale now.
+    pub fn epochs(&self) -> impl Iterator<Item = (u64, &[Id])> {
+        self.epochs.iter().map(|(v, ids)| (*v, ids.as_slice()))
+    }
+
+    /// The unsealed current batch, in recording order (raw: unsorted,
+    /// possibly duplicated and stale).
+    pub fn unsealed(&self) -> &[Id] {
+        &self.current
+    }
+
+    /// Rebuild an index from snapshotted parts (see [`epochs`] and
+    /// [`unsealed`]; `current` is the unsealed batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` are not in strictly increasing version order or
+    /// reference versions `>= version`.
+    ///
+    /// [`epochs`]: DeltaIndex::epochs
+    /// [`unsealed`]: DeltaIndex::unsealed
+    pub fn restore(version: u64, epochs: Vec<(u64, Vec<Id>)>, current: Vec<Id>) -> Self {
+        assert!(
+            epochs.windows(2).all(|w| w[0].0 < w[1].0),
+            "epoch versions must be strictly increasing"
+        );
+        assert!(
+            epochs.last().is_none_or(|(v, _)| *v < version),
+            "epoch versions must be below the index version"
+        );
+        DeltaIndex { version, epochs, current }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> Id {
+        Id::from_index(i)
+    }
+
+    #[test]
+    fn dirty_since_spans_epochs_and_current() {
+        let mut d = DeltaIndex::default();
+        let identity = |i: Id| i;
+        d.record(id(0));
+        d.record(id(1));
+        assert_eq!(d.dirty_since(0, identity), vec![id(0), id(1)]);
+        d.seal(identity); // epoch 0
+        assert_eq!(d.version(), 1);
+        d.record(id(2));
+        d.seal(identity); // epoch 1
+        d.record(id(3));
+        // Unsealed dirt is always visible.
+        assert_eq!(d.dirty_since(2, identity), vec![id(3)]);
+        assert_eq!(d.dirty_since(1, identity), vec![id(2), id(3)]);
+        assert_eq!(d.dirty_since(0, identity), vec![id(0), id(1), id(2), id(3)]);
+    }
+
+    #[test]
+    fn seal_canonicalizes_and_dedups() {
+        let mut d = DeltaIndex::default();
+        d.record(id(5));
+        d.record(id(4));
+        d.record(id(5));
+        // 5 canonicalizes to 4 at seal time.
+        d.seal(|i| if i == id(5) { id(4) } else { i });
+        assert_eq!(d.dirty_since(0, |i| i), vec![id(4)]);
+        let epochs: Vec<_> = d.epochs().collect();
+        assert_eq!(epochs, vec![(0, &[id(4)][..])]);
+    }
+
+    #[test]
+    fn empty_seals_only_advance_version() {
+        let mut d = DeltaIndex::default();
+        d.seal(|i| i);
+        d.seal(|i| i);
+        assert_eq!(d.version(), 2);
+        assert_eq!(d.epochs().count(), 0);
+        assert!(d.dirty_since(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let mut d = DeltaIndex::default();
+        d.record(id(0));
+        d.seal(|i| i);
+        d.record(id(1));
+        let snapshot = DeltaIndex::restore(
+            d.version(),
+            d.epochs().map(|(v, ids)| (v, ids.to_vec())).collect(),
+            d.unsealed().to_vec(),
+        );
+        assert_eq!(snapshot.version(), d.version());
+        assert_eq!(snapshot.dirty_since(0, |i| i), d.dirty_since(0, |i| i));
+    }
+}

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::delta::DeltaIndex;
 use crate::explain::{Explain, Explanation, Justification};
 use crate::pattern::Subst;
 use crate::unionfind::UnionFind;
@@ -62,6 +63,12 @@ pub struct EGraph<L: Language, A: Analysis<L>> {
     /// e-graph is clean. Compiled patterns use it to visit only the
     /// classes whose members can possibly match their root operator.
     classes_by_op: HashMap<u64, Vec<Id>>,
+    /// The versioned delta index: which classes were created, gained
+    /// nodes, or absorbed a merge since each [`rebuild`](EGraph::rebuild)
+    /// (which seals an epoch). Semi-naive searchers
+    /// ([`seminaive`](crate::seminaive)) restrict their scans to this
+    /// frontier.
+    delta: DeltaIndex,
     /// Parent nodes whose children were just unioned and need
     /// re-canonicalization.
     pending: Vec<(L, Id)>,
@@ -104,6 +111,7 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             memo: HashMap::new(),
             classes: HashMap::new(),
             classes_by_op: HashMap::new(),
+            delta: DeltaIndex::default(),
             pending: Vec::new(),
             analysis_pending: Vec::new(),
             clean: true,
@@ -159,6 +167,52 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
     /// [`is_clean`](EGraph::is_clean) is false.
     pub fn classes_with_op(&self, key: u64) -> &[Id] {
         self.classes_by_op.get(&key).map_or(&[], |ids| ids.as_slice())
+    }
+
+    /// The delta index version: incremented by every
+    /// [`rebuild`](EGraph::rebuild), which seals the changes recorded
+    /// since the previous one into an epoch. See [`DeltaIndex::version`].
+    pub fn delta_version(&self) -> u64 {
+        self.delta.version()
+    }
+
+    /// Every e-class that changed (was created, gained e-nodes, absorbed
+    /// a merged class, or had its analysis data refined) at delta epoch
+    /// `>= since`, including the
+    /// not-yet-sealed changes — canonicalized, sorted, deduplicated. See
+    /// [`DeltaIndex::dirty_since`].
+    pub fn dirty_since(&self, since: u64) -> Vec<Id> {
+        self.delta.dirty_since(since, |id| self.unionfind.find(id))
+    }
+
+    /// The underlying [`DeltaIndex`] (read-only; for snapshotting).
+    pub fn delta(&self) -> &DeltaIndex {
+        &self.delta
+    }
+
+    /// Replace the delta index (for snapshot restore). The index must
+    /// describe this e-graph: its recorded ids are interpreted against
+    /// this graph's union-find.
+    pub fn set_delta(&mut self, delta: DeltaIndex) {
+        self.delta = delta;
+    }
+
+    /// The canonical ids of every class holding a parent e-node of `id`'s
+    /// class (sorted, deduplicated). An over-approximation: parent
+    /// back-pointers are never pruned, so a listed class may no longer
+    /// contain a node with this class as a child — which is exactly the
+    /// sound direction for frontier up-closure in
+    /// [`seminaive`](crate::seminaive) search.
+    pub fn parent_classes(&self, id: Id) -> Vec<Id> {
+        let mut out: Vec<Id> = self
+            .class(id)
+            .parents
+            .iter()
+            .map(|(_, p)| self.find(*p))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// Number of e-classes.
@@ -286,6 +340,7 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         // index bucket sorted ascending.
         self.classes_by_op.entry(node.op_key()).or_default().push(id);
         self.memo.insert(node, id);
+        self.delta.record(id);
         A::modify(self, id);
         self.find_mut(id)
     }
@@ -341,6 +396,7 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         );
         self.classes_by_op.entry(cnode.op_key()).or_default().push(id);
         self.memo.insert(cnode, id);
+        self.delta.record(id);
         A::modify(self, id);
         id
     }
@@ -409,6 +465,10 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             }
         };
         self.unionfind.union_roots(winner, loser);
+        // The winner's contents change (it absorbs the loser's nodes):
+        // that is delta-index dirt. The loser's old id canonicalizes to
+        // the winner, so one record covers both.
+        self.delta.record(winner);
         let loser_class = self.classes.remove(&loser).expect("loser class exists");
 
         // Parents of the loser now refer to a stale id; they must be
@@ -465,6 +525,10 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
                         n_unions += 1;
                     }
                 }
+                // This parent's node list is being rewritten in place (a
+                // child id changed): the class is dirty for delta-driven
+                // searchers even when no congruence union fires.
+                self.delta.record(class);
                 self.analysis_pending.push((node, class));
             }
             while let Some((node, class)) = self.analysis_pending.pop() {
@@ -474,6 +538,11 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
                 let cdata = &mut self.classes.get_mut(&class).expect("class exists").data;
                 let did = self.analysis.merge(cdata, data);
                 if did.0 {
+                    // Analysis data is part of the class state delta-driven
+                    // searchers may gate on (e.g. "has a known extent"), so
+                    // a refinement is delta-index dirt even when the node
+                    // list is untouched.
+                    self.delta.record(class);
                     let parents = self.classes[&class].parents.clone();
                     self.analysis_pending.extend(parents);
                     A::modify(self, class);
@@ -481,6 +550,8 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             }
         }
         self.rebuild_classes();
+        let uf = &self.unionfind;
+        self.delta.seal(|id| uf.find(id));
         self.clean = true;
         n_unions
     }
@@ -546,6 +617,17 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
                 }
             }
         }
+        // Post-rebuild staleness guard: every indexed id must be canonical
+        // and every bucket strictly sorted (ascending-id iteration plus the
+        // `last()` dedup above guarantee this *only* because `ids` was
+        // sorted — this assert keeps that load-bearing detail honest).
+        debug_assert!(
+            self.classes_by_op.values().all(|bucket| {
+                bucket.windows(2).all(|w| w[0] < w[1])
+                    && bucket.iter().all(|id| self.unionfind.is_canonical(*id))
+            }),
+            "operator index holds stale or unsorted ids after rebuild"
+        );
     }
 
     /// Produce a replayable proof that `a` and `b` are equal terms: a
@@ -756,5 +838,77 @@ mod tests {
         // nodes in one class.
         assert_eq!(eg.num_nodes(), 3);
         eg.assert_invariants();
+    }
+
+    #[test]
+    fn operator_index_is_canonical_after_cascaded_merges() {
+        // Regression guard for a latent staleness hazard: the op-index
+        // rebuild happened to produce sorted, canonical buckets only
+        // because classes are visited in ascending-id order. Merge chains
+        // where high-id classes win structurally (congruence picks
+        // winners by union-find rank, not id) used to leave that property
+        // to luck; now `rebuild_classes` asserts it. Exercise it with
+        // several same-operator classes collapsing across a rebuild.
+        let mut eg = EG::default();
+        let mut fs = Vec::new();
+        for name in ["a", "b", "c", "d", "e"] {
+            let x = eg.add(leaf(name));
+            fs.push(eg.add(SymbolLang::new("f", vec![x])));
+            eg.add(SymbolLang::new("g", vec![x]));
+        }
+        eg.rebuild();
+        // Collapse f(e) into f(a) and f(d) into f(b) in one batch: the
+        // losers' ids must vanish from every bucket.
+        eg.union(fs[0], fs[4]);
+        eg.union(fs[1], fs[3]);
+        eg.rebuild();
+        let f_key = SymbolLang::new("f", vec![fs[0]]).op_key();
+        let bucket = eg.classes_with_op(f_key);
+        assert!(
+            bucket.windows(2).all(|w| w[0] < w[1]),
+            "f bucket unsorted or duplicated: {bucket:?}"
+        );
+        for &id in bucket {
+            assert_eq!(eg.find(id), id, "stale id {id} in f bucket");
+        }
+        assert_eq!(bucket.len(), 3, "5 f-classes minus 2 merges");
+        eg.assert_invariants();
+    }
+
+    #[test]
+    fn delta_index_tracks_adds_merges_and_congruence() {
+        let mut eg = EG::default();
+        let a = eg.add(leaf("a"));
+        let b = eg.add(leaf("b"));
+        let fa = eg.add(SymbolLang::new("f", vec![a]));
+        let fb = eg.add(SymbolLang::new("f", vec![b]));
+        eg.rebuild();
+        // Before any rebuild-seal boundary is crossed, everything ever
+        // added is dirty relative to version 0.
+        let v1 = eg.delta_version();
+        assert_eq!(eg.dirty_since(0).len(), eg.num_classes());
+        // Nothing changed since the seal: the frontier from v1 is empty.
+        assert!(eg.dirty_since(v1).is_empty());
+
+        // a ∪ b dirties the winner leaf class, and congruence f(a) ≡ f(b)
+        // dirties the merged parent class.
+        eg.union(a, b);
+        eg.rebuild();
+        let dirty = eg.dirty_since(v1);
+        assert!(dirty.contains(&eg.find(a)), "merged leaf class not dirty");
+        assert!(dirty.contains(&eg.find(fa)), "congruence-merged parent not dirty");
+        assert_eq!(eg.find(fa), eg.find(fb));
+        // A class untouched by the merge stays clean... (g c) on fresh ids.
+        let c = eg.add(leaf("c"));
+        let gc = eg.add(SymbolLang::new("g", vec![c]));
+        eg.rebuild();
+        let v2 = eg.delta_version();
+        let dirty = eg.dirty_since(v2);
+        assert!(dirty.is_empty(), "clean graph reported dirt: {dirty:?}");
+        // ...and the adds before the seal are visible from v1.
+        assert!(eg.dirty_since(v1).contains(&eg.find(gc)));
+
+        // parent_classes over-approximates upward reachability.
+        assert!(eg.parent_classes(eg.find(a)).contains(&eg.find(fa)));
     }
 }

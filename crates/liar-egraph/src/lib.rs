@@ -25,6 +25,12 @@
 //! * [`Rewrite`], [`Runner`], [`BackoffScheduler`] — saturation proper, with
 //!   per-iteration reports of e-node counts and timings (the raw data behind
 //!   the paper's fig. 4).
+//! * [`seminaive`] — semi-naive (delta-frontier) e-matching in the style of
+//!   egglog: the e-graph's versioned [`DeltaIndex`] records which classes
+//!   changed per rebuild, and [`DeltaSearch`] restricts each rule's scan to
+//!   that frontier (replaying cached matches elsewhere) while emitting a
+//!   stream bit-identical to the whole-graph engines. On by default in the
+//!   [`Runner`]; see [`Runner::with_seminaive`].
 //! * [`Extract`], [`Extractor`], [`DagExtractor`] and [`CostFunction`] —
 //!   cost-based term extraction (the paper's §V-C extractors are cost
 //!   functions over this engine), with both tree-cost and DAG-cost
@@ -64,6 +70,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod analysis;
+mod delta;
 mod dot;
 mod egraph;
 pub mod explain;
@@ -75,10 +82,12 @@ mod pattern;
 mod rewrite;
 mod runner;
 mod scheduler;
+pub mod seminaive;
 mod symbol_lang;
 mod unionfind;
 
 pub use analysis::{Analysis, DidMerge};
+pub use delta::DeltaIndex;
 pub use dot::Dot;
 pub use egraph::{EClass, EGraph};
 pub use explain::{Direction, Explanation, Justification, ProofError, ProofStep};
@@ -92,4 +101,5 @@ pub use pattern::{Binding, Pattern, PatternNode, PatternParseError, Subst, Var};
 pub use rewrite::{Applier, Rewrite, SearchMatches, Searcher};
 pub use runner::{Iteration, Runner, RunnerLimits, StopReason};
 pub use scheduler::{BackoffScheduler, Scheduler, SimpleScheduler};
+pub use seminaive::{ClosureMemo, DeltaSearch, SearchPlan};
 pub use symbol_lang::SymbolLang;

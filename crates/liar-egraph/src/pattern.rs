@@ -442,7 +442,7 @@ impl<L: Language, A: Analysis<L>> Searcher<L, A> for Pattern<L> {
                 substs.truncate(limit - total);
             }
             total += substs.len();
-            matches.push(SearchMatches { class: id, substs });
+            matches.push(SearchMatches::new(id, substs));
         }
         matches
     }
@@ -470,6 +470,10 @@ impl<L: Language, A: Analysis<L>> Searcher<L, A> for Pattern<L> {
 
     fn as_pattern(&self) -> Option<&Pattern<L>> {
         Some(self)
+    }
+
+    fn delta_depth(&self) -> Option<u32> {
+        self.program.delta_depth()
     }
 
     fn bound_vars(&self) -> Vec<Var> {
@@ -706,7 +710,7 @@ mod tests {
         }
         let p: Pattern<SymbolLang> = "(f ?x)".parse().unwrap();
         let matches = <Pattern<_> as Searcher<_, ()>>::search(&p, &eg, 2);
-        let total: usize = matches.iter().map(|m| m.substs.len()).sum();
+        let total: usize = matches.iter().map(|m| m.len()).sum();
         assert_eq!(total, 2);
     }
 

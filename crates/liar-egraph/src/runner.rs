@@ -6,13 +6,20 @@
 //! e-class-chunk) pair becomes an independent job, and the per-rule match
 //! lists are merged back in (rule order, ascending class id) order, making
 //! the multi-threaded engine bit-identical to the serial one.
+//!
+//! Search is also *semi-naive* by default (see [`Runner::with_seminaive`]
+//! and the [`seminaive`](crate::seminaive) module): eligible rules scan only
+//! the classes the e-graph's delta index marks as changed since the rule
+//! last ran, replaying cached matches elsewhere — with a match stream, and
+//! therefore a saturation run, bit-identical to the whole-graph engines.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::rewrite::SearchMatches;
-use crate::{Analysis, EGraph, Id, Language, Rewrite, Scheduler, SimpleScheduler};
+use crate::seminaive::{self, ClosureMemo, DeltaSearch, PlanEntry, SearchPlan};
+use crate::{Analysis, EGraph, Id, Language, Rewrite, Scheduler, SimpleScheduler, Subst};
 
 /// Why a [`Runner`] stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +90,13 @@ pub struct Iteration {
     /// whole-e-graph searchers count every class. Identical under the
     /// serial and parallel engines.
     pub search_candidates: usize,
+    /// E-classes the search phase actually *scanned* with the e-matching
+    /// VM. Under semi-naive search (the default) eligible rules scan only
+    /// their delta frontier and replay cached matches elsewhere, so this is
+    /// typically far below [`search_candidates`](Iteration::search_candidates);
+    /// with [`Runner::with_seminaive`]`(false)` the two are equal. Purely a
+    /// work statistic: match output is identical either way.
+    pub frontier_candidates: usize,
     /// Substitutions produced by the search phase (post-limit, pre-apply).
     pub search_matches: usize,
     /// Time spent searching all rules.
@@ -121,6 +135,8 @@ pub struct Runner<L: Language, A: Analysis<L>> {
     limits: RunnerLimits,
     scheduler: Box<dyn Scheduler>,
     threads: usize,
+    seminaive: bool,
+    delta: Option<DeltaSearch<L>>,
     start: Option<Instant>,
 }
 
@@ -135,6 +151,8 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             limits: RunnerLimits::default(),
             scheduler: Box::new(SimpleScheduler),
             threads: 1,
+            seminaive: true,
+            delta: None,
             start: None,
         }
     }
@@ -184,6 +202,24 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
     /// exactly as the serial searcher would.
     pub fn with_threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Enable or disable semi-naive (delta-frontier) search. On by default.
+    ///
+    /// When on, rules whose searcher reports a
+    /// [`delta_depth`](crate::Searcher::delta_depth) scan only the e-classes
+    /// changed since the rule last ran (see [`crate::seminaive`]) and replay
+    /// cached matches for the rest; the emitted match stream — and hence the
+    /// whole saturation run, its reports (bar
+    /// [`frontier_candidates`](Iteration::frontier_candidates) and timings),
+    /// scheduler interactions and explanations — is **bit-identical** to the
+    /// whole-graph engine. Per-rule state is keyed by rule *index*, so a
+    /// runner must see the same rule slice on every
+    /// [`run_one`](Runner::run_one) call (the same contract the
+    /// [`Scheduler`] already imposes).
+    pub fn with_seminaive(mut self, on: bool) -> Self {
+        self.seminaive = on;
         self
     }
 
@@ -253,11 +289,85 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
                 (Some(_), None) => class_ids.len(),
             })
             .sum();
-        let all_matches = if self.threads > 1 {
-            parallel_search(&self.egraph, rules, &limits, &candidates, &class_ids, self.threads)
-        } else {
-            serial_search(&self.egraph, rules, &limits, &candidates, &class_ids)
+        // Semi-naive plans for eligible rules: scan the delta frontier,
+        // replay everything else. Per-rule state is indexed by rule
+        // position, so it is rebuilt if the rule-slice length ever changes.
+        if self.seminaive
+            && self
+                .delta
+                .as_ref()
+                .is_none_or(|d| d.n_rules() != rules.len())
+        {
+            self.delta = Some(DeltaSearch::new(rules.len()));
+        }
+        let plans: Vec<Option<SearchPlan<L>>> = match (self.seminaive, self.delta.as_mut()) {
+            (true, Some(ds)) => {
+                let egraph = &self.egraph;
+                let mut closures = ClosureMemo::default();
+                rules
+                    .iter()
+                    .enumerate()
+                    .map(|(i, rule)| {
+                        let limit = (*limits.get(i)?)?;
+                        if !rule.can_search_per_class() {
+                            return None;
+                        }
+                        let depth = rule.delta_depth()?;
+                        let full_universe = candidates[i].is_none();
+                        let universe = candidates[i].as_deref().unwrap_or(&class_ids);
+                        let aux_fp = rule.delta_fingerprint(egraph);
+                        let min_yield = rule.min_class_yield(egraph);
+                        let plan = ds.begin(
+                            egraph,
+                            i,
+                            depth,
+                            universe,
+                            full_universe,
+                            aux_fp,
+                            limit,
+                            min_yield,
+                            &mut closures,
+                        );
+                        Some(plan)
+                    })
+                    .collect()
+            }
+            _ => rules.iter().map(|_| None).collect(),
         };
+        let frontier_candidates: usize = rules
+            .iter()
+            .zip(&limits)
+            .zip(&candidates)
+            .zip(&plans)
+            .map(|(((_, limit), cands), plan)| match (limit, plan) {
+                (None, _) => 0,
+                (Some(_), Some(plan)) => plan.n_scans,
+                (Some(_), None) => match cands {
+                    Some(ids) => ids.len(),
+                    None => class_ids.len(),
+                },
+            })
+            .sum();
+        let (all_matches, committed) = if self.threads > 1 {
+            parallel_search(
+                &self.egraph,
+                rules,
+                &limits,
+                &candidates,
+                &class_ids,
+                &plans,
+                self.threads,
+            )
+        } else {
+            serial_search(&self.egraph, rules, &limits, &candidates, &class_ids, &plans)
+        };
+        if let Some(ds) = self.delta.as_mut() {
+            for (i, scans) in committed.into_iter().enumerate() {
+                if plans[i].is_some() {
+                    ds.commit(i, scans);
+                }
+            }
+        }
         let mut search_matches = 0;
         for (i, matches) in all_matches.iter().enumerate() {
             let n: usize = matches.iter().map(|m| m.len()).sum();
@@ -289,6 +399,7 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             applied,
             rebuild_unions,
             search_candidates,
+            frontier_candidates,
             search_matches,
             search_time,
             apply_time,
@@ -313,13 +424,20 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
     }
 }
 
+/// Per-rule search output: the emitted match lists, plus — for rules that
+/// ran under a semi-naive plan — the full results of the scans that
+/// actually executed, in plan order, for [`DeltaSearch::commit`].
+type SearchOutput<L> = (Vec<Vec<SearchMatches<L>>>, Vec<seminaive::ScanResults<L>>);
+
 /// Search every non-banned rule serially, in rule order.
 ///
-/// Per-class-capable rules iterate their candidate list — the sorted
-/// operator-index classes when available, the shared sorted class-id list
-/// otherwise — and replicate [`Searcher::search`](crate::Searcher::search)
-/// truncation semantics exactly; custom searchers fall back to their own
-/// whole-e-graph `search`. Skipping non-candidate classes is sound because
+/// Rules with a semi-naive [`SearchPlan`] execute it (scan the frontier,
+/// replay the cache). Other per-class-capable rules iterate their candidate
+/// list — the sorted operator-index classes when available, the shared
+/// sorted class-id list otherwise — and replicate
+/// [`Searcher::search`](crate::Searcher::search) truncation semantics
+/// exactly; custom searchers fall back to their own whole-e-graph `search`.
+/// Skipping non-candidate classes is sound because
 /// [`Searcher::candidate_class_ids`](crate::Searcher::candidate_class_ids)
 /// over-approximates: a skipped class would have produced zero matches and
 /// therefore cannot affect limits or output order.
@@ -329,15 +447,16 @@ fn serial_search<L: Language + 'static, A: Analysis<L> + 'static>(
     limits: &[Option<usize>],
     candidates: &[Option<Vec<Id>>],
     class_ids: &[Id],
-) -> Vec<Vec<SearchMatches<L>>> {
-    rules
-        .iter()
-        .zip(limits)
-        .zip(candidates)
-        .map(|((rule, limit), cands)| match limit {
-            None => Vec::new(),
-            Some(limit) if rule.can_search_per_class() => {
-                let ids: &[Id] = cands.as_deref().unwrap_or(class_ids);
+    plans: &[Option<SearchPlan<L>>],
+) -> SearchOutput<L> {
+    let mut all = Vec::with_capacity(rules.len());
+    let mut committed = Vec::with_capacity(rules.len());
+    for (i, rule) in rules.iter().enumerate() {
+        let (matches, scans) = match (&limits[i], &plans[i]) {
+            (None, _) => (Vec::new(), Vec::new()),
+            (Some(limit), Some(plan)) => seminaive::execute_plan_serial(plan, egraph, rule, *limit),
+            (Some(limit), None) if rule.can_search_per_class() => {
+                let ids: &[Id] = candidates[i].as_deref().unwrap_or(class_ids);
                 let mut total = 0;
                 let mut out = Vec::new();
                 for &id in ids {
@@ -347,14 +466,17 @@ fn serial_search<L: Language + 'static, A: Analysis<L> + 'static>(
                     let substs = rule.search_class(egraph, id, *limit - total);
                     if !substs.is_empty() {
                         total += substs.len();
-                        out.push(SearchMatches { class: id, substs });
+                        out.push(SearchMatches::new(id, substs));
                     }
                 }
-                out
+                (out, Vec::new())
             }
-            Some(limit) => rule.search(egraph, *limit),
-        })
-        .collect()
+            (Some(limit), None) => (rule.search(egraph, *limit), Vec::new()),
+        };
+        all.push(matches);
+        committed.push(scans);
+    }
+    (all, committed)
 }
 
 /// One unit of parallel search work.
@@ -364,26 +486,49 @@ enum SearchJob {
     /// Match the rule against its candidate list's `[start..end]` slice
     /// (pattern searchers).
     Chunk { rule: usize, start: usize, end: usize },
+    /// Execute the rule's semi-naive plan entries `[start..end]`.
+    PlanChunk { rule: usize, start: usize, end: usize },
+}
+
+/// What a parallel worker hands back for one job.
+enum JobResult<L> {
+    /// Whole/chunk jobs: ready-made match lists.
+    Matches(Vec<SearchMatches<L>>),
+    /// Plan-chunk jobs: one slot per processed plan entry — the **full**
+    /// scan result for a [`PlanEntry::Scan`], `None` for a
+    /// [`PlanEntry::Replay`] (the merge already holds the cached list).
+    Scans(Vec<Option<Arc<Vec<Subst<L>>>>>),
 }
 
 /// Search every non-banned rule using `threads` worker threads.
 ///
-/// Rules whose searcher supports per-class search are split into
-/// (rule × candidate-chunk) jobs over the same per-rule candidate lists the
-/// serial engine iterates; the rest run as one job each. Workers pull
-/// jobs from a shared queue, and each rule's chunk results are merged back
-/// in ascending-class order with the rule's match limit applied across the
+/// Rules with a semi-naive [`SearchPlan`] are split into (rule ×
+/// plan-entry-chunk) jobs; other per-class-capable rules into (rule ×
+/// candidate-chunk) jobs over the same per-rule candidate lists the serial
+/// engine iterates; the rest run as one job each. Workers pull jobs from a
+/// shared queue, and each rule's chunk results are merged back in
+/// ascending-class order with the rule's match limit applied across the
 /// merged list — reproducing [`Searcher::search`](crate::Searcher::search)
 /// semantics exactly, so the output (and therefore the whole saturation
 /// run) is bit-identical to [`serial_search`].
+///
+/// For plan rules the merge also reconstructs the committed-scan list: a
+/// scan is committed iff the merge consumed its plan entry before the
+/// rule's budget ran out — the exact set [`seminaive::execute_plan_serial`]
+/// would have run, so the semi-naive state evolves identically under both
+/// engines. A worker chunk may stop early once its *local* cumulative
+/// match count reaches the limit: by then the merged budget is necessarily
+/// exhausted at or before that entry, so the merge never reads further
+/// into that chunk.
 fn parallel_search<L: Language + 'static, A: Analysis<L> + 'static>(
     egraph: &EGraph<L, A>,
     rules: &[Rewrite<L, A>],
     limits: &[Option<usize>],
     candidates: &[Option<Vec<Id>>],
     class_ids: &[Id],
+    plans: &[Option<SearchPlan<L>>],
     threads: usize,
-) -> Vec<Vec<SearchMatches<L>>> {
+) -> SearchOutput<L> {
     // The classes a per-class rule's chunks range over.
     let rule_ids = |rule: usize| -> &[Id] { candidates[rule].as_deref().unwrap_or(class_ids) };
     // Aim for a few jobs per thread per rule so stragglers rebalance, but
@@ -395,7 +540,14 @@ fn parallel_search<L: Language + 'static, A: Analysis<L> + 'static>(
         if limits[i].is_none() {
             continue; // Banned this iteration.
         }
-        if rule.can_search_per_class() {
+        if let Some(plan) = &plans[i] {
+            let mut start = 0;
+            while start < plan.entries.len() {
+                let end = (start + chunk_len).min(plan.entries.len());
+                jobs.push(SearchJob::PlanChunk { rule: i, start, end });
+                start = end;
+            }
+        } else if rule.can_search_per_class() {
             let ids = rule_ids(i);
             let mut start = 0;
             while start < ids.len() {
@@ -408,14 +560,13 @@ fn parallel_search<L: Language + 'static, A: Analysis<L> + 'static>(
         }
     }
 
-    let results: Vec<OnceLock<Vec<SearchMatches<L>>>> =
-        jobs.iter().map(|_| OnceLock::new()).collect();
+    let results: Vec<OnceLock<JobResult<L>>> = jobs.iter().map(|_| OnceLock::new()).collect();
     let next_job = AtomicUsize::new(0);
-    let run_job = |job: &SearchJob| -> Vec<SearchMatches<L>> {
+    let run_job = |job: &SearchJob| -> JobResult<L> {
         match *job {
-            SearchJob::Whole { rule } => {
-                rules[rule].search(egraph, limits[rule].expect("job for unbanned rule"))
-            }
+            SearchJob::Whole { rule } => JobResult::Matches(
+                rules[rule].search(egraph, limits[rule].expect("job for unbanned rule")),
+            ),
             SearchJob::Chunk { rule, start, end } => {
                 // Cross-class truncation happens at merge time, but a chunk
                 // can still stop early: the merge consumes its matches in
@@ -431,10 +582,35 @@ fn parallel_search<L: Language + 'static, A: Analysis<L> + 'static>(
                     let substs = rules[rule].search_class(egraph, id, limit - found);
                     if !substs.is_empty() {
                         found += substs.len();
-                        out.push(SearchMatches { class: id, substs });
+                        out.push(SearchMatches::new(id, substs));
                     }
                 }
-                out
+                JobResult::Matches(out)
+            }
+            SearchJob::PlanChunk { rule, start, end } => {
+                let limit = limits[rule].expect("job for unbanned rule");
+                let plan = plans[rule].as_ref().expect("plan job for plan rule");
+                let mut counted = 0;
+                let mut out = Vec::new();
+                for entry in &plan.entries[start..end] {
+                    if counted >= limit {
+                        break;
+                    }
+                    match entry {
+                        PlanEntry::Scan(id) => {
+                            // Full (untruncated) scan: the merge truncates
+                            // at emission and commits the full list.
+                            let full = Arc::new(rules[rule].search_class(egraph, *id, usize::MAX));
+                            counted += full.len();
+                            out.push(Some(full));
+                        }
+                        PlanEntry::Replay(_, cached) => {
+                            counted += cached.len();
+                            out.push(None);
+                        }
+                    }
+                }
+                JobResult::Scans(out)
             }
         }
     };
@@ -451,25 +627,66 @@ fn parallel_search<L: Language + 'static, A: Analysis<L> + 'static>(
     // Merge: chunk jobs were created in (rule, ascending class) order, so a
     // stable pass over the job list groups them correctly.
     let mut merged: Vec<Vec<SearchMatches<L>>> = vec![Vec::new(); rules.len()];
+    let mut committed: Vec<seminaive::ScanResults<L>> = vec![Vec::new(); rules.len()];
     let mut taken: Vec<usize> = vec![0; rules.len()];
     for (job, result) in jobs.iter().zip(results) {
-        let (SearchJob::Whole { rule } | SearchJob::Chunk { rule, .. }) = *job;
-        let limit = limits[rule].expect("job for unbanned rule");
         let result = result.into_inner().expect("all jobs ran");
-        for mut m in result {
-            // Identical truncation to the serial searcher: stop as soon as
-            // the budget is reached, clip the match set that crosses it.
-            if taken[rule] >= limit {
-                break;
+        match (job, result) {
+            (
+                SearchJob::Whole { rule } | SearchJob::Chunk { rule, .. },
+                JobResult::Matches(matches),
+            ) => {
+                let rule = *rule;
+                let limit = limits[rule].expect("job for unbanned rule");
+                for mut m in matches {
+                    // Identical truncation to the serial searcher: stop as
+                    // soon as the budget is reached, clip the match set
+                    // that crosses it.
+                    if taken[rule] >= limit {
+                        break;
+                    }
+                    if taken[rule] + m.len() > limit {
+                        m.truncate(limit - taken[rule]);
+                    }
+                    taken[rule] += m.len();
+                    merged[rule].push(m);
+                }
             }
-            if taken[rule] + m.substs.len() > limit {
-                m.substs.truncate(limit - taken[rule]);
+            (SearchJob::PlanChunk { rule, start, end }, JobResult::Scans(scans)) => {
+                let rule = *rule;
+                let limit = limits[rule].expect("job for unbanned rule");
+                let plan = plans[rule].as_ref().expect("plan job for plan rule");
+                let mut scans = scans.into_iter();
+                for entry in &plan.entries[*start..*end] {
+                    if taken[rule] >= limit {
+                        break;
+                    }
+                    match entry {
+                        PlanEntry::Scan(id) => {
+                            let full = scans
+                                .next()
+                                .flatten()
+                                .expect("worker covered the merged prefix");
+                            seminaive::emit(*id, &full, limit, &mut taken[rule], &mut merged[rule]);
+                            committed[rule].push((*id, full));
+                        }
+                        PlanEntry::Replay(id, cached) => {
+                            let _ = scans.next();
+                            seminaive::emit(
+                                *id,
+                                cached,
+                                limit,
+                                &mut taken[rule],
+                                &mut merged[rule],
+                            );
+                        }
+                    }
+                }
             }
-            taken[rule] += m.substs.len();
-            merged[rule].push(m);
+            _ => unreachable!("job and result kinds always agree"),
         }
     }
-    merged
+    (merged, committed)
 }
 
 impl<L: Language, A: Analysis<L>> std::fmt::Debug for Runner<L, A> {
@@ -592,6 +809,7 @@ mod tests {
                 assert_eq!(s.applied, p.applied, "step {}", s.index);
                 assert_eq!(s.rebuild_unions, p.rebuild_unions, "step {}", s.index);
                 assert_eq!(s.search_candidates, p.search_candidates, "step {}", s.index);
+                assert_eq!(s.frontier_candidates, p.frontier_candidates, "step {}", s.index);
                 assert_eq!(s.search_matches, p.search_matches, "step {}", s.index);
             }
             assert_eq!(serial.stop_reason, parallel.stop_reason);
@@ -625,6 +843,84 @@ mod tests {
         };
         assert_eq!(counts(&serial), counts(&parallel));
         assert_eq!(serial.egraph.num_nodes(), parallel.egraph.num_nodes());
+    }
+
+    #[test]
+    fn seminaive_runs_are_bit_identical_to_whole_graph() {
+        use crate::BackoffScheduler;
+
+        // comm saturates its one `+` class after two steps, while grow keeps
+        // dirtying only the `k` class every step — so late iterations
+        // exercise a frontier strictly smaller than the candidate universe.
+        let grow = || Rewrite::<SymbolLang, ()>::from_patterns("grow", "(k ?x)", "(k (f ?x))");
+        let run = |seminaive: bool, threads: usize| {
+            let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+            let root = eg.add_expr(&"(g (+ a b) (k c))".parse().unwrap());
+            let mut runner = Runner::new(eg)
+                .with_root(root)
+                .with_iter_limit(8)
+                .with_scheduler(BackoffScheduler::new(50, 2))
+                .with_seminaive(seminaive)
+                .with_threads(threads);
+            runner.run(&[comm(), grow()]);
+            runner
+        };
+        let naive = run(false, 1);
+        for threads in [1, 3] {
+            let semi = run(true, threads);
+            assert_eq!(naive.stop_reason, semi.stop_reason, "{threads} threads");
+            assert_eq!(naive.iterations.len(), semi.iterations.len());
+            for (n, s) in naive.iterations.iter().zip(&semi.iterations) {
+                assert_eq!(n.n_nodes, s.n_nodes, "step {}", n.index);
+                assert_eq!(n.n_classes, s.n_classes, "step {}", n.index);
+                assert_eq!(n.applied, s.applied, "step {}", n.index);
+                assert_eq!(n.rebuild_unions, s.rebuild_unions, "step {}", n.index);
+                assert_eq!(n.search_candidates, s.search_candidates, "step {}", n.index);
+                assert_eq!(n.search_matches, s.search_matches, "step {}", n.index);
+                // Whole-graph scans everything it schedules...
+                assert_eq!(n.frontier_candidates, n.search_candidates);
+                // ...semi-naive never scans more.
+                assert!(s.frontier_candidates <= s.search_candidates, "step {}", n.index);
+            }
+            let scanned: usize = semi.iterations.iter().map(|i| i.frontier_candidates).sum();
+            let scheduled: usize = semi.iterations.iter().map(|i| i.search_candidates).sum();
+            assert!(
+                scanned < scheduled,
+                "frontier never shrank: {scanned} vs {scheduled}"
+            );
+            semi.egraph.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn seminaive_respects_match_limits_across_engines() {
+        // Tight budgets leave scans pending across iterations; the pending
+        // carry-over must not change what gets applied vs the naive engine.
+        let grow = Rewrite::from_patterns("grow", "(+ ?x ?y)", "(+ (f ?x) ?y)");
+        let run = |seminaive: bool, threads: usize| {
+            let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+            for name in ["a", "b", "c", "d", "e", "g"] {
+                let leaf = eg.add(SymbolLang::leaf(name));
+                let leaf2 = eg.add(SymbolLang::leaf("z"));
+                eg.add(SymbolLang::new("+", vec![leaf, leaf2]));
+            }
+            let mut runner = Runner::new(eg)
+                .with_iter_limit(4)
+                .with_scheduler(crate::BackoffScheduler::new(3, 1))
+                .with_seminaive(seminaive)
+                .with_threads(threads);
+            runner.run(std::slice::from_ref(&grow));
+            runner
+        };
+        let naive = run(false, 1);
+        for threads in [1, 4] {
+            let semi = run(true, threads);
+            let counts = |r: &Runner<SymbolLang, ()>| -> Vec<Vec<(String, usize)>> {
+                r.iterations.iter().map(|i| i.applied.clone()).collect()
+            };
+            assert_eq!(counts(&naive), counts(&semi), "{threads} threads");
+            assert_eq!(naive.egraph.num_nodes(), semi.egraph.num_nodes());
+        }
     }
 
     #[test]

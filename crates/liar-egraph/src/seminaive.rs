@@ -1,0 +1,783 @@
+//! Semi-naive (delta-frontier) e-matching: search only where the e-graph
+//! changed, replay cached matches everywhere else.
+//!
+//! Naive batched saturation re-matches every rule against **every**
+//! candidate class on every iteration, even though late iterations change
+//! only a small frontier of the e-graph. Following egglog's semi-naive
+//! evaluation, [`DeltaSearch`] keeps per-rule state that splits a rule's
+//! candidate universe into:
+//!
+//! * **pending** — classes whose matches may have changed since the rule
+//!   last scanned them (seeded from the e-graph's
+//!   [delta index](crate::EGraph::dirty_since), up-closed through
+//!   [`parent_classes`](crate::EGraph::parent_classes) to the rule's
+//!   pattern radius) → these are **scanned** by the e-matching VM;
+//! * **productive** — clean classes whose previous scan found matches →
+//!   their cached substitution lists are **replayed** verbatim;
+//! * everything else — clean classes whose previous scan found nothing →
+//!   **skipped** (their matches are provably still empty).
+//!
+//! The emitted match stream is therefore *item-for-item identical* to a
+//! whole-graph scan over the same candidate list — same classes, same
+//! substitutions, same order, same truncation points — so schedulers,
+//! appliers, explanations and reports cannot observe the difference;
+//! only the work drops. The differential wall in
+//! `tests/ematch_differential.rs` and the proptest sweep in
+//! `tests/prop_seminaive.rs` hold the two engines equal on real kernels
+//! and random graphs.
+//!
+//! # Soundness of the frontier
+//!
+//! A rule is eligible when its searcher reports a
+//! [`delta_depth`](crate::Searcher::delta_depth) `d`: its match set for a
+//! class depends only on the e-node lists of classes within `d - 1` child
+//! steps plus class identities at `d`. Dirt is recorded where node lists
+//! change: class creation, node adds, merge winners, and parents of merge
+//! losers (whose member nodes are rewritten in place). A clean class's
+//! matches can change only if some class within `d - 1` child steps was
+//! dirtied — so the frontier is the dirty set up-closed `d - 1` levels
+//! through parent back-pointers (themselves a sound over-approximation:
+//! never pruned). Cached substitutions always bind ids that are still
+//! canonical: if a bound class had merged away, its parent chain puts the
+//! caching class inside the frontier and the stale entry is re-scanned.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::rewrite::SearchMatches;
+use crate::{Analysis, EGraph, Id, Language, Rewrite, Subst};
+
+/// The full (untruncated) match lists of the scans that actually ran, in
+/// plan order — what [`DeltaSearch::commit`] folds back into the cache.
+/// The lists are already behind `Arc`s because emitted matches share them.
+pub type ScanResults<L> = Vec<(Id, Arc<Vec<Subst<L>>>)>;
+
+/// One scheduled unit of a rule's semi-naive search.
+#[derive(Debug, Clone)]
+pub enum PlanEntry<L> {
+    /// Run the e-matching VM over this (pending) class.
+    Scan(Id),
+    /// Emit this (clean, productive) class's cached substitutions.
+    Replay(Id, Arc<Vec<Subst<L>>>),
+}
+
+/// A rule's search schedule for one iteration: entries in ascending class
+/// id over the rule's candidate universe, each either a fresh scan or a
+/// cache replay. Built by [`DeltaSearch::begin`], executed by the runner
+/// (serially or chunked across threads), then confirmed back via
+/// [`DeltaSearch::commit`].
+#[derive(Debug, Clone)]
+pub struct SearchPlan<L> {
+    /// The scheduled entries, ascending by class id.
+    pub entries: Vec<PlanEntry<L>>,
+    /// Number of [`PlanEntry::Scan`] entries — the `frontier_candidates`
+    /// statistic.
+    pub n_scans: usize,
+}
+
+/// Per-rule semi-naive state (see the module docs).
+#[derive(Debug, Clone)]
+struct RuleState<L> {
+    /// Delta-index version this rule has fully synced to: every change
+    /// sealed under an earlier version is reflected in `pending`.
+    synced: u64,
+    /// Classes that must be scanned before their cache can be trusted;
+    /// sorted ascending, canonical as of the last sync.
+    pending: Vec<Id>,
+    /// Clean classes with a non-empty cached match list; sorted ascending.
+    productive: Vec<Id>,
+    /// Cached **full** (untruncated) substitution lists for `productive`
+    /// classes. Shared via `Arc` so plans can carry them across the
+    /// parallel search phase without copying.
+    cache: HashMap<Id, Arc<Vec<Subst<L>>>>,
+    /// The rule's [`delta_fingerprint`](crate::Searcher::delta_fingerprint)
+    /// as of the last plan; a change invalidates everything above.
+    aux_fp: u64,
+}
+
+impl<L> Default for RuleState<L> {
+    fn default() -> Self {
+        RuleState {
+            synced: 0,
+            pending: Vec::new(),
+            productive: Vec::new(),
+            cache: HashMap::new(),
+            aux_fp: 0,
+        }
+    }
+}
+
+/// Memoized frontier closures for one search phase.
+///
+/// All rules synced to the same version with the same pattern radius share
+/// one dirty-set closure; this memo (create one per iteration, while the
+/// e-graph is unchanged) computes each distinct `(synced, radius)` closure
+/// once.
+#[derive(Debug, Default)]
+pub struct ClosureMemo {
+    /// `(synced, radius, closure, outermost layer)` — the layer lets a
+    /// deeper-radius request continue the walk where a shallower one
+    /// stopped instead of restarting from the dirty set.
+    entries: Vec<(u64, u32, Vec<Id>, Vec<Id>)>,
+}
+
+impl ClosureMemo {
+    /// The frontier for a rule synced at `synced` with parent-closure
+    /// `radius`: [`EGraph::dirty_since`]`(synced)` up-closed `radius`
+    /// levels through parent back-pointers. Sorted, deduplicated,
+    /// canonical.
+    pub fn frontier<L: Language, A: Analysis<L>>(
+        &mut self,
+        egraph: &EGraph<L, A>,
+        synced: u64,
+        radius: u32,
+    ) -> &[Id] {
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|(s, r, ..)| *s == synced && *r == radius)
+        {
+            return &self.entries[pos].2;
+        }
+        // Continue from the deepest shallower closure at this version, or
+        // bottom out at the raw dirty set (memoized as the radius-0 entry
+        // so sibling radii share one `dirty_since`).
+        let base = self
+            .entries
+            .iter()
+            .filter(|(s, r, ..)| *s == synced && *r < radius)
+            .max_by_key(|(_, r, ..)| *r);
+        let (base_radius, mut all, mut layer) = match base {
+            Some((_, r, all, layer)) => (*r, all.clone(), layer.clone()),
+            None => {
+                let dirty = egraph.dirty_since(synced);
+                let layer = dirty.clone();
+                if radius > 0 {
+                    self.entries.push((synced, 0, dirty.clone(), layer.clone()));
+                }
+                (0, dirty, layer)
+            }
+        };
+        if base_radius < radius && all.len() * 2 >= egraph.num_classes() {
+            // The dirty set already covers most of the graph: one parent
+            // step will (almost) saturate it, so take the conservative
+            // superset — every class — without paying for the walk. The
+            // frontier is an over-approximation either way; scans re-derive
+            // the actual matches.
+            all = egraph.class_ids();
+            layer = Vec::new();
+        } else {
+            close_over_parents(egraph, &mut all, &mut layer, radius - base_radius);
+        }
+        self.entries.push((synced, radius, all, layer));
+        &self.entries.last().expect("just pushed").2
+    }
+}
+
+/// Up-close `all` (sorted, canonical, with `layer` its outermost ring)
+/// through parent back-pointers, `steps` more levels. Membership is
+/// tracked in a bitmap indexed by raw id, so the walk is linear in visited
+/// parent edges with one final sort — dirty sets in the tens of thousands
+/// make per-layer re-sorting and binary-search probing the dominant search
+/// cost otherwise. Stops early when the closure saturates (covers every
+/// class) or a layer adds nothing.
+fn close_over_parents<L: Language, A: Analysis<L>>(
+    egraph: &EGraph<L, A>,
+    all: &mut Vec<Id>,
+    layer: &mut Vec<Id>,
+    steps: u32,
+) {
+    let total = egraph.num_classes();
+    if steps == 0 || layer.is_empty() || all.len() >= total {
+        return;
+    }
+    let mut seen: Vec<bool> = Vec::new();
+    let mark = |seen: &mut Vec<bool>, id: Id| {
+        let i = id.index();
+        if i >= seen.len() {
+            seen.resize(i + 1, false);
+        }
+        !std::mem::replace(&mut seen[i], true)
+    };
+    for &id in all.iter() {
+        mark(&mut seen, id);
+    }
+    let mut grew = false;
+    for _ in 0..steps {
+        let mut next: Vec<Id> = Vec::new();
+        for &id in layer.iter() {
+            for &(_, p) in &egraph.class(id).parents {
+                let parent = egraph.find(p);
+                if mark(&mut seen, parent) {
+                    next.push(parent);
+                }
+            }
+        }
+        all.extend_from_slice(&next);
+        grew = grew || !next.is_empty();
+        *layer = next;
+        if layer.is_empty() || all.len() >= total {
+            break;
+        }
+    }
+    if grew {
+        all.sort_unstable();
+    }
+}
+
+/// The semi-naive search engine: per-rule frontier state over one rule
+/// slice (rules are identified by their index, like the
+/// [`Scheduler`](crate::Scheduler)'s per-rule statistics), driven by the
+/// [`Runner`](crate::Runner) or directly by tests.
+///
+/// Protocol per iteration, per eligible rule: [`begin`](DeltaSearch::begin)
+/// builds a [`SearchPlan`]; the caller executes it (emitting matches with
+/// whole-graph truncation semantics); [`commit`](DeltaSearch::commit)
+/// records which scans actually ran, updating the cache. Entries past a
+/// match-limit cutoff are neither emitted nor committed — their classes
+/// stay pending and are re-scanned next iteration, exactly as the
+/// whole-graph engine would revisit them. A banned rule simply skips an
+/// iteration: its `synced` version stays put, so the dirt keeps
+/// accumulating and nothing is stranded.
+#[derive(Debug, Clone)]
+pub struct DeltaSearch<L> {
+    rules: Vec<RuleState<L>>,
+}
+
+impl<L: Language> DeltaSearch<L> {
+    /// Fresh state for `n_rules` rules, all fully unsynced (the first
+    /// search of each rule scans its entire candidate universe).
+    pub fn new(n_rules: usize) -> Self {
+        DeltaSearch {
+            rules: (0..n_rules).map(|_| RuleState::default()).collect(),
+        }
+    }
+
+    /// Number of rules this state tracks.
+    pub fn n_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Build rule `rule_idx`'s plan for this iteration.
+    ///
+    /// `depth` is the rule's [`delta_depth`](crate::Searcher::delta_depth);
+    /// `universe` is the candidate list the whole-graph engine would
+    /// iterate (the operator-index bucket, or all class ids), sorted
+    /// ascending; `full_universe` declares that `universe` is exactly the
+    /// live class-id list, letting membership tests use the union-find
+    /// instead of binary searches; `aux_fp` is the rule's
+    /// [`delta_fingerprint`](crate::Searcher::delta_fingerprint) on this
+    /// snapshot; `limit` is the rule's match budget this iteration;
+    /// `min_yield` is the rule's
+    /// [`min_class_yield`](crate::Searcher::min_class_yield);
+    /// `closures` memoizes frontier closures across rules.
+    ///
+    /// The plan stops early once the *known* yields of its entries alone
+    /// meet `limit` — each replay contributes its cached length, each scan
+    /// its guaranteed `min_yield` floor. Execution (whose running total
+    /// can only be larger at every prefix) would stop at or before that
+    /// point anyway, so later entries could never run this iteration. They
+    /// stay pending / productive untouched — exactly the classes the
+    /// whole-graph engine would also never reach under the same budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the e-graph is dirty (plans are only valid against a
+    /// rebuilt snapshot).
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin<A: Analysis<L>>(
+        &mut self,
+        egraph: &EGraph<L, A>,
+        rule_idx: usize,
+        depth: u32,
+        universe: &[Id],
+        full_universe: bool,
+        aux_fp: u64,
+        limit: usize,
+        min_yield: usize,
+        closures: &mut ClosureMemo,
+    ) -> SearchPlan<L> {
+        assert!(egraph.is_clean(), "semi-naive plans require a clean e-graph");
+        let radius = depth.saturating_sub(1);
+        let state = &mut self.rules[rule_idx];
+        // Membership in the universe; for the full class list the
+        // union-find answers it without probing a 4-byte-per-class array.
+        let in_universe = |id: Id| {
+            if full_universe {
+                egraph.find(id) == id
+            } else {
+                universe.binary_search(&id).is_ok()
+            }
+        };
+
+        if aux_fp != state.aux_fp {
+            // The rule's global inputs changed: every cached list is stale
+            // and even never-productive classes may match now. Rescan the
+            // whole universe — the stream a first-ever search would emit —
+            // planning only the prefix the budget could possibly reach.
+            state.aux_fp = aux_fp;
+            state.synced = egraph.delta_version();
+            state.pending = universe.to_vec();
+            state.productive.clear();
+            state.cache.clear();
+            let n = match min_yield {
+                0 => universe.len(),
+                m => universe.len().min(limit.div_ceil(m)),
+            };
+            return SearchPlan {
+                entries: universe[..n].iter().map(|&id| PlanEntry::Scan(id)).collect(),
+                n_scans: n,
+            };
+        }
+
+        let frontier = closures.frontier(egraph, state.synced, radius);
+        state.synced = egraph.delta_version();
+
+        // Dirt outside the universe can never be scanned by this rule, and
+        // a class only enters the universe through changes that re-dirty
+        // it — so intersect up front (probing the smaller side) instead of
+        // walking the whole closure per rule. The frontier is all live
+        // canonical classes, so against the full universe it IS the
+        // intersection.
+        let touched: Vec<Id> = if full_universe {
+            frontier.to_vec()
+        } else if universe.len() <= frontier.len() {
+            universe
+                .iter()
+                .copied()
+                .filter(|id| frontier.binary_search(id).is_ok())
+                .collect()
+        } else {
+            frontier
+                .iter()
+                .copied()
+                .filter(|id| universe.binary_search(id).is_ok())
+                .collect()
+        };
+
+        // pending ∪ touched (plain sorted merge — no `find` per entry:
+        // ids that merged away are dropped lazily when the walk below
+        // reaches them, so an always-truncated pending tail costs nothing
+        // per iteration).
+        if !touched.is_empty() {
+            let mut merged = Vec::with_capacity(state.pending.len() + touched.len());
+            let (mut i, mut j) = (0, 0);
+            while i < state.pending.len() || j < touched.len() {
+                match (state.pending.get(i), touched.get(j)) {
+                    (Some(&p), Some(&f)) if p == f => {
+                        i += 1;
+                        j += 1;
+                        merged.push(f);
+                    }
+                    (Some(&p), Some(&f)) if p < f => {
+                        i += 1;
+                        merged.push(p);
+                    }
+                    (_, Some(&f)) => {
+                        j += 1;
+                        merged.push(f);
+                    }
+                    (Some(&p), None) => {
+                        i += 1;
+                        merged.push(p);
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                }
+            }
+            state.pending = merged;
+        }
+
+        // Walk pending ∪ productive ascending — the order the whole-graph
+        // engine visits candidates in. Pending ids outside the universe
+        // are dropped for good: a class only ever *gains* root-operator
+        // nodes through changes that re-dirty it. Productive ids are
+        // always inside the universe (their nodes never leave), but may
+        // have merged away, in which case the winner is pending and the
+        // dead cache entry is evicted.
+        let mut entries = Vec::new();
+        let mut n_scans = 0;
+        let mut known_yield = 0;
+        let mut kept_pending = Vec::new();
+        let mut kept_productive = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < state.pending.len() || j < state.productive.len() {
+            if known_yield >= limit {
+                // The budget is provably exhausted before any further
+                // entry: retain the tails untouched (stale ids among them
+                // are cleaned whenever the walk eventually reaches them).
+                kept_pending.extend_from_slice(&state.pending[i..]);
+                kept_productive.extend_from_slice(&state.productive[j..]);
+                break;
+            }
+            let (id, scan) = match (state.pending.get(i), state.productive.get(j)) {
+                (Some(&p), Some(&q)) if p == q => {
+                    i += 1;
+                    j += 1;
+                    (p, true)
+                }
+                (Some(&p), Some(&q)) if p < q => {
+                    i += 1;
+                    (p, true)
+                }
+                (_, Some(&q)) => {
+                    j += 1;
+                    (q, false)
+                }
+                (Some(&p), None) => {
+                    i += 1;
+                    (p, true)
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            if scan {
+                if in_universe(id) {
+                    known_yield += min_yield;
+                    entries.push(PlanEntry::Scan(id));
+                    n_scans += 1;
+                    kept_pending.push(id);
+                    // A pending id superseding a productive one keeps its
+                    // cache entry until the scan commits (in case the
+                    // match limit cuts the scan off this iteration).
+                    if state.cache.contains_key(&id) {
+                        kept_productive.push(id);
+                    }
+                } else {
+                    // Outside the universe — merged away (the winner is
+                    // dirty, hence pending) or lacking the root-operator
+                    // node. It cannot match now and cannot start to
+                    // without being re-dirtied: drop it for good.
+                    state.cache.remove(&id);
+                }
+            } else if in_universe(id) {
+                let cached = Arc::clone(state.cache.get(&id).expect("productive id is cached"));
+                known_yield += cached.len();
+                entries.push(PlanEntry::Replay(id, cached));
+                kept_productive.push(id);
+            } else {
+                // Merged away (the winner is pending) or dropped out of
+                // the universe (the departure re-dirtied it, but the
+                // intersection above filtered it from `touched`): the
+                // cached list is stale — evict rather than replay.
+                state.cache.remove(&id);
+            }
+        }
+        state.pending = kept_pending;
+        state.productive = kept_productive;
+        SearchPlan { entries, n_scans }
+    }
+
+    /// Record the scans that actually ran (in plan order — ascending class
+    /// id — with their **full** untruncated match lists). Scanned classes
+    /// leave `pending`; non-empty results enter the replay cache, empty
+    /// ones evict it. Both sorted sets are rebuilt by one merge walk, so a
+    /// commit is `O(pending + productive + scans)` rather than quadratic.
+    pub fn commit(&mut self, rule_idx: usize, scans: ScanResults<L>) {
+        if scans.is_empty() {
+            return;
+        }
+        debug_assert!(
+            scans.windows(2).all(|w| w[0].0 < w[1].0),
+            "scans must arrive in ascending plan order"
+        );
+        let state = &mut self.rules[rule_idx];
+
+        // pending \ scanned.
+        let mut kept = Vec::with_capacity(state.pending.len());
+        let mut j = 0;
+        for &p in &state.pending {
+            while j < scans.len() && scans[j].0 < p {
+                j += 1;
+            }
+            if j < scans.len() && scans[j].0 == p {
+                continue;
+            }
+            kept.push(p);
+        }
+        state.pending = kept;
+
+        // productive merged with the scan results: non-empty scans enter
+        // (or refresh) the cache, empty ones leave it.
+        let mut merged = Vec::with_capacity(state.productive.len() + scans.len());
+        let mut scans = scans.into_iter().peekable();
+        let mut i = 0;
+        loop {
+            let next_scan = scans.peek().map(|(id, _)| *id);
+            match (state.productive.get(i).copied(), next_scan) {
+                (Some(p), Some(s)) if p < s => {
+                    i += 1;
+                    merged.push(p);
+                }
+                (Some(p), Some(s)) if p == s => {
+                    i += 1;
+                    let (id, full) = scans.next().expect("peeked");
+                    if full.is_empty() {
+                        state.cache.remove(&id);
+                    } else {
+                        merged.push(id);
+                        state.cache.insert(id, full);
+                    }
+                }
+                (_, Some(_)) => {
+                    let (id, full) = scans.next().expect("peeked");
+                    if full.is_empty() {
+                        state.cache.remove(&id);
+                    } else {
+                        merged.push(id);
+                        state.cache.insert(id, full);
+                    }
+                }
+                (Some(p), None) => {
+                    i += 1;
+                    merged.push(p);
+                }
+                (None, None) => break,
+            }
+        }
+        state.productive = merged;
+    }
+
+    /// One-shot serial convenience: plan, execute and commit rule
+    /// `rule_idx`'s search in one call, returning the same match list (and
+    /// truncation behaviour) as the whole-graph engine under `limit`.
+    ///
+    /// Ineligible rules (no [`delta_depth`](crate::Searcher::delta_depth))
+    /// fall back to the exact whole-graph path. This is the entry point
+    /// the differential tests drive; [`Runner`](crate::Runner) uses
+    /// [`begin`](DeltaSearch::begin)/[`commit`](DeltaSearch::commit)
+    /// directly so the execution can fan out across threads.
+    pub fn search_rule<A>(
+        &mut self,
+        egraph: &EGraph<L, A>,
+        rule: &Rewrite<L, A>,
+        rule_idx: usize,
+        limit: usize,
+        closures: &mut ClosureMemo,
+    ) -> Vec<SearchMatches<L>>
+    where
+        L: 'static,
+        A: Analysis<L> + 'static,
+    {
+        let Some(depth) = rule.delta_depth() else {
+            return whole_graph_search(egraph, rule, limit);
+        };
+        let candidates = rule.candidate_class_ids(egraph);
+        let full_universe = candidates.is_none();
+        let universe = candidates.unwrap_or_else(|| egraph.class_ids());
+        let aux_fp = rule.delta_fingerprint(egraph);
+        let min_yield = rule.min_class_yield(egraph);
+        let plan = self.begin(
+            egraph,
+            rule_idx,
+            depth,
+            &universe,
+            full_universe,
+            aux_fp,
+            limit,
+            min_yield,
+            closures,
+        );
+        let (matches, scans) = execute_plan_serial(&plan, egraph, rule, limit);
+        self.commit(rule_idx, scans);
+        matches
+    }
+}
+
+/// Execute a plan serially with whole-graph truncation semantics.
+///
+/// Returns the emitted matches plus the `(class, full result)` list of
+/// scans that ran before the limit cut off — the argument for
+/// [`DeltaSearch::commit`]. Entries past the cutoff are untouched.
+pub fn execute_plan_serial<L: Language + 'static, A: Analysis<L> + 'static>(
+    plan: &SearchPlan<L>,
+    egraph: &EGraph<L, A>,
+    rule: &Rewrite<L, A>,
+    limit: usize,
+) -> (Vec<SearchMatches<L>>, ScanResults<L>) {
+    let mut total = 0;
+    let mut out = Vec::new();
+    let mut scans = Vec::new();
+    for entry in &plan.entries {
+        if total >= limit {
+            break;
+        }
+        match entry {
+            PlanEntry::Scan(id) => {
+                let full = Arc::new(rule.search_class(egraph, *id, usize::MAX));
+                emit(*id, &full, limit, &mut total, &mut out);
+                scans.push((*id, full));
+            }
+            PlanEntry::Replay(id, cached) => {
+                emit(*id, cached, limit, &mut total, &mut out);
+            }
+        }
+    }
+    (out, scans)
+}
+
+/// Append `full`'s prefix under the remaining budget as a
+/// [`SearchMatches`] — the exact truncation the whole-graph searcher
+/// applies across candidate classes. The list is shared, not copied: the
+/// emitted matches view the same allocation the replay cache keeps.
+pub(crate) fn emit<L>(
+    class: Id,
+    full: &Arc<Vec<Subst<L>>>,
+    limit: usize,
+    total: &mut usize,
+    out: &mut Vec<SearchMatches<L>>,
+) {
+    let take = full.len().min(limit - *total);
+    if take == 0 {
+        return;
+    }
+    out.push(SearchMatches::shared(class, Arc::clone(full), take));
+    *total += take;
+}
+
+/// The whole-graph serial search for one rule — the fallback for
+/// ineligible rules, identical to the runner's serial per-rule arm.
+fn whole_graph_search<L: Language + 'static, A: Analysis<L> + 'static>(
+    egraph: &EGraph<L, A>,
+    rule: &Rewrite<L, A>,
+    limit: usize,
+) -> Vec<SearchMatches<L>> {
+    if !rule.can_search_per_class() {
+        return rule.search(egraph, limit);
+    }
+    let ids = rule
+        .candidate_class_ids(egraph)
+        .unwrap_or_else(|| egraph.class_ids());
+    let mut total = 0;
+    let mut out = Vec::new();
+    for id in ids {
+        if total >= limit {
+            break;
+        }
+        let substs = rule.search_class(egraph, id, limit - total);
+        if !substs.is_empty() {
+            total += substs.len();
+            out.push(SearchMatches::new(id, substs));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EGraph, SymbolLang};
+
+    type EG = EGraph<SymbolLang, ()>;
+
+    fn comm() -> Rewrite<SymbolLang, ()> {
+        Rewrite::from_patterns("comm-add", "(+ ?x ?y)", "(+ ?y ?x)")
+    }
+
+    /// Substitution lists compared through the union-find, ordered.
+    fn same_matches(eg: &EG, a: &[SearchMatches<SymbolLang>], b: &[SearchMatches<SymbolLang>]) {
+        assert_eq!(a.len(), b.len(), "match-set lengths diverged");
+        let find = |id| eg.find(id);
+        for (ma, mb) in a.iter().zip(b) {
+            assert_eq!(ma.class, mb.class);
+            assert_eq!(ma.substs().len(), mb.substs().len());
+            for (sa, sb) in ma.substs().iter().zip(mb.substs()) {
+                assert!(sa.same_as(sb, &find), "substs diverged on {}", ma.class);
+            }
+        }
+    }
+
+    #[test]
+    fn first_search_equals_whole_graph_then_frontier_shrinks() {
+        let mut eg = EG::default();
+        eg.add_expr(&"(+ (+ a b) c)".parse().unwrap());
+        eg.rebuild();
+        let rule = comm();
+        let mut ds = DeltaSearch::new(1);
+        let mut memo = ClosureMemo::default();
+        let fresh = ds.search_rule(&eg, &rule, 0, usize::MAX, &mut memo);
+        let whole = rule.search(&eg, usize::MAX);
+        same_matches(&eg, &fresh, &whole);
+
+        // Nothing changed: the replayed result is identical and no class
+        // is scanned.
+        let mut memo = ClosureMemo::default();
+        let plan = ds.begin(
+            &eg,
+            0,
+            rule.delta_depth().unwrap(),
+            &rule.candidate_class_ids(&eg).unwrap(),
+            false,
+            rule.delta_fingerprint(&eg),
+            usize::MAX,
+            0,
+            &mut memo,
+        );
+        assert_eq!(plan.n_scans, 0, "clean e-graph must need no scans");
+        let (replayed, scans) = execute_plan_serial(&plan, &eg, &rule, usize::MAX);
+        assert!(scans.is_empty());
+        same_matches(&eg, &replayed, &whole);
+    }
+
+    #[test]
+    fn dirtied_classes_rescan_and_agree_after_merge() {
+        let mut eg = EG::default();
+        let ab = eg.add_expr(&"(+ a b)".parse().unwrap());
+        let cd = eg.add_expr(&"(+ c d)".parse().unwrap());
+        eg.rebuild();
+        let rule = comm();
+        let mut ds = DeltaSearch::new(1);
+        ds.search_rule(&eg, &rule, 0, usize::MAX, &mut ClosureMemo::default());
+
+        // Merge the two (+ ...) classes: both engines must agree on the
+        // collapsed class's (deduplicated) matches.
+        eg.union(ab, cd);
+        eg.rebuild();
+        let fresh = ds.search_rule(&eg, &rule, 0, usize::MAX, &mut ClosureMemo::default());
+        let whole = rule.search(&eg, usize::MAX);
+        same_matches(&eg, &fresh, &whole);
+    }
+
+    #[test]
+    fn truncated_scans_stay_pending() {
+        let mut eg = EG::default();
+        for name in ["a", "b", "c", "d"] {
+            let leaf = eg.add(SymbolLang::leaf(name));
+            let z = eg.add(SymbolLang::leaf("z"));
+            eg.add(SymbolLang::new("+", vec![leaf, z]));
+        }
+        eg.rebuild();
+        let rule = comm();
+        let mut ds = DeltaSearch::new(1);
+        // Limit 2: only the first two (+ ...) classes are scanned.
+        let first = ds.search_rule(&eg, &rule, 0, 2, &mut ClosureMemo::default());
+        assert_eq!(first.iter().map(|m| m.len()).sum::<usize>(), 2);
+        // The rest stayed pending: a second search under a bigger budget
+        // still finds everything the whole-graph engine does.
+        let second = ds.search_rule(&eg, &rule, 0, usize::MAX, &mut ClosureMemo::default());
+        let whole = rule.search(&eg, usize::MAX);
+        same_matches(&eg, &second, &whole);
+    }
+
+    #[test]
+    fn parent_closure_rescans_grandparents() {
+        // Depth-2 pattern: growing the *inner* (h _) class changes the
+        // outer (f _) class's match set without dirtying the (f _) class
+        // itself — only the radius-1 parent closure catches it.
+        let mut eg = EG::default();
+        eg.add_expr(&"(f (h a))".parse().unwrap());
+        eg.rebuild();
+        let rule = Rewrite::<SymbolLang, ()>::from_patterns("deep", "(f (h ?x))", "(k ?x)");
+        let mut ds = DeltaSearch::new(1);
+        ds.search_rule(&eg, &rule, 0, usize::MAX, &mut ClosureMemo::default());
+
+        // (h a) ∪ (h b): the merged class gains a second h-node, so the
+        // (f _) class now matches twice (?x = a and ?x = b).
+        let hb = eg.add_expr(&"(h b)".parse().unwrap());
+        let ha = eg.lookup_expr(&"(h a)".parse().unwrap()).unwrap();
+        eg.union(ha, hb);
+        eg.rebuild();
+        let fresh = ds.search_rule(&eg, &rule, 0, usize::MAX, &mut ClosureMemo::default());
+        let whole = rule.search(&eg, usize::MAX);
+        same_matches(&eg, &fresh, &whole);
+        assert_eq!(fresh.iter().map(|m| m.len()).sum::<usize>(), 2);
+    }
+}

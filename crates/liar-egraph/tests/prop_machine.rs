@@ -160,7 +160,7 @@ proptest! {
         prop_assert_eq!(searched.len(), brute.len());
         for (m, (class, substs)) in searched.iter().zip(&brute) {
             prop_assert_eq!(m.class, *class);
-            prop_assert!(same_substs(&eg, &m.substs, substs));
+            prop_assert!(same_substs(&eg, m.substs(), substs));
         }
     }
 }

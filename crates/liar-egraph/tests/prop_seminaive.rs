@@ -1,0 +1,196 @@
+//! Property tests for semi-naive (delta-frontier) e-matching: on arbitrary
+//! evolving e-graphs — seeded terms, then rounds of random adds and unions
+//! with a rebuild collapsing classes between every search — a
+//! [`DeltaSearch`] must produce exactly the whole-graph engine's match
+//! stream for every rule, every round, truncation included.
+//!
+//! Gated behind the `proptest` feature like the other property suites
+//! (the offline workspace does not vendor proptest).
+
+use proptest::prelude::*;
+
+use liar_egraph::{
+    ClosureMemo, DeltaSearch, EGraph, Id, RecExpr, Rewrite, SearchMatches, Subst, SymbolLang,
+};
+
+type EG = EGraph<SymbolLang, ()>;
+
+/// Random terms over a small signature (shared shape with
+/// `prop_machine.rs`), with an extra binary op so depth-2 patterns get
+/// both hits and misses.
+fn arb_term(depth: u32) -> BoxedStrategy<RecExpr<SymbolLang>> {
+    fn add(expr: &mut RecExpr<SymbolLang>, t: &Tree) -> Id {
+        match t {
+            Tree::Leaf(name) => expr.add(SymbolLang::leaf(name.clone())),
+            Tree::Node(op, children) => {
+                let ids = children.iter().map(|c| add(expr, c)).collect();
+                expr.add(SymbolLang::new(op.clone(), ids))
+            }
+        }
+    }
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(String),
+        Node(String, Vec<Tree>),
+    }
+    let leaf = prop_oneof![
+        Just(Tree::Leaf("a".into())),
+        Just(Tree::Leaf("b".into())),
+        Just(Tree::Leaf("c".into())),
+    ];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Tree::Node("f".into(), vec![x, y])),
+            inner.clone().prop_map(|x| Tree::Node("g".into(), vec![x])),
+        ]
+    })
+    .prop_map(|tree| {
+        let mut expr = RecExpr::default();
+        add(&mut expr, &tree);
+        expr
+    })
+    .boxed()
+}
+
+/// The fixed rule pool the sweeps search with: depths 1 through 3, linear
+/// and non-linear, so frontier radii 0–2 are all exercised. Identity
+/// right-hand sides — only the searcher matters here.
+fn rule_pool() -> Vec<Rewrite<SymbolLang, ()>> {
+    [
+        "(f ?x ?y)",
+        "(g ?x)",
+        "(f ?x ?x)",
+        "(f (g ?x) ?y)",
+        "(g (g ?x))",
+        "(f (f ?x ?y) (g ?z))",
+        "(g (f ?x (g ?y)))",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, p)| Rewrite::from_patterns(&format!("r{i}"), p, p))
+    .collect()
+}
+
+/// Ordered equality of two whole search results.
+fn same_matches(
+    eg: &EG,
+    a: &[SearchMatches<SymbolLang>],
+    b: &[SearchMatches<SymbolLang>],
+) -> bool {
+    let find = |id| eg.find(id);
+    let substs_eq = |x: &[Subst<SymbolLang>], y: &[Subst<SymbolLang>]| {
+        x.len() == y.len() && x.iter().zip(y).all(|(s, t)| s.same_as(t, &find))
+    };
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(m, n)| m.class == n.class && substs_eq(m.substs(), n.substs()))
+}
+
+/// The whole-graph reference: the exact per-class search the runner's
+/// serial engine performs for a pattern rule.
+fn whole_graph(eg: &EG, rule: &Rewrite<SymbolLang, ()>, limit: usize) -> Vec<SearchMatches<SymbolLang>> {
+    rule.search(eg, limit)
+}
+
+proptest! {
+    /// Frontier ≡ whole-graph across rounds of adds + unions, each round
+    /// rebuilt (collapsing classes mid-run) before both engines search.
+    #[test]
+    fn seminaive_equals_whole_graph_across_mutation_rounds(
+        seed_terms in proptest::collection::vec(arb_term(4), 2..6),
+        rounds in proptest::collection::vec(
+            (
+                proptest::collection::vec(arb_term(3), 0..3),
+                proptest::collection::vec((0usize..16, 0usize..16), 0..4),
+            ),
+            1..5,
+        ),
+    ) {
+        let rules = rule_pool();
+        let mut eg = EG::default();
+        let mut roots: Vec<Id> = seed_terms.iter().map(|t| eg.add_expr(t)).collect();
+        eg.rebuild();
+        let mut ds: DeltaSearch<SymbolLang> = DeltaSearch::new(rules.len());
+
+        for (round, (adds, unions)) in rounds.iter().enumerate() {
+            // Search on the current snapshot: both engines must agree.
+            let mut memo = ClosureMemo::default();
+            for (i, rule) in rules.iter().enumerate() {
+                let semi = ds.search_rule(&eg, rule, i, usize::MAX, &mut memo);
+                let whole = whole_graph(&eg, rule, usize::MAX);
+                prop_assert!(
+                    same_matches(&eg, &semi, &whole),
+                    "round {}: rule {} diverged\n  semi:  {:?}\n  whole: {:?}",
+                    round, rule.name(), semi, whole
+                );
+            }
+            // Mutate: new terms and unions (possibly collapsing classes
+            // whose cached matches the next round must invalidate).
+            for t in adds {
+                roots.push(eg.add_expr(t));
+            }
+            for &(i, j) in unions {
+                let (a, b) = (roots[i % roots.len()], roots[j % roots.len()]);
+                eg.union(a, b);
+            }
+            eg.rebuild();
+            eg.assert_invariants();
+        }
+        // Final snapshot after the last mutation round.
+        let mut memo = ClosureMemo::default();
+        for (i, rule) in rules.iter().enumerate() {
+            let semi = ds.search_rule(&eg, rule, i, usize::MAX, &mut memo);
+            let whole = whole_graph(&eg, rule, usize::MAX);
+            prop_assert!(
+                same_matches(&eg, &semi, &whole),
+                "final: rule {} diverged", rule.name()
+            );
+        }
+    }
+
+    /// Truncation parity: under a shared (small, random) match budget both
+    /// engines cut the stream at the same point every round, and classes a
+    /// truncated semi-naive round left pending surface once the budget
+    /// allows — never sooner, never lost.
+    #[test]
+    fn seminaive_truncation_matches_whole_graph(
+        seed_terms in proptest::collection::vec(arb_term(4), 2..6),
+        unions in proptest::collection::vec((0usize..8, 0usize..8), 0..4),
+        limit in 1usize..12,
+    ) {
+        let rules = rule_pool();
+        let mut eg = EG::default();
+        let roots: Vec<Id> = seed_terms.iter().map(|t| eg.add_expr(t)).collect();
+        eg.rebuild();
+        let mut ds: DeltaSearch<SymbolLang> = DeltaSearch::new(rules.len());
+
+        // Round 1: truncated.
+        let mut memo = ClosureMemo::default();
+        for (i, rule) in rules.iter().enumerate() {
+            let semi = ds.search_rule(&eg, rule, i, limit, &mut memo);
+            let whole = whole_graph(&eg, rule, limit);
+            prop_assert!(
+                same_matches(&eg, &semi, &whole),
+                "limit {}: rule {} diverged", limit, rule.name()
+            );
+        }
+        // Mutate and search unbounded: pending carry-over must restore the
+        // full match set.
+        for &(i, j) in &unions {
+            let (a, b) = (roots[i % roots.len()], roots[j % roots.len()]);
+            eg.union(a, b);
+        }
+        eg.rebuild();
+        let mut memo = ClosureMemo::default();
+        for (i, rule) in rules.iter().enumerate() {
+            let semi = ds.search_rule(&eg, rule, i, usize::MAX, &mut memo);
+            let whole = whole_graph(&eg, rule, usize::MAX);
+            prop_assert!(
+                same_matches(&eg, &semi, &whole),
+                "post-union: rule {} diverged", rule.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The semi-naive search engine's contract: delta-frontier saturation
+//! produces **bit-identical** results to the whole-graph engine — same
+//! solutions, same per-step statistics and applied tallies, same scheduler
+//! (backoff/ban) behaviour, same replayable proofs — on the paper's worked
+//! examples and every evaluation kernel. If these break, the frontier
+//! under-approximates (missed matches) or over-emits (phantom matches),
+//! which would silently change what LIAR discovers. Mirrors
+//! `parallel_determinism.rs`, which holds the same wall for `with_threads`.
+
+use liar::core::{Liar, MultiReport, OptimizationReport, Target};
+use liar::egraph::{BackoffScheduler, Runner, Scheduler};
+use liar::ir::{dsl, Expr};
+use liar::kernels::Kernel;
+
+fn optimize(expr: &Expr, target: Target, seminaive: bool) -> OptimizationReport {
+    Liar::new(target)
+        .with_iter_limit(6)
+        .with_seminaive(seminaive)
+        .optimize(expr)
+}
+
+/// Reports must agree step by step on every semantic field — everything
+/// except wall-clock timings and the `frontier_candidates` work statistic,
+/// which are exactly the two things semi-naive search is *allowed* to
+/// change.
+fn assert_reports_identical(whole: &OptimizationReport, semi: &OptimizationReport) {
+    assert_eq!(whole.stop_reason, semi.stop_reason);
+    assert_eq!(whole.steps.len(), semi.steps.len(), "iteration count diverged");
+    for (w, s) in whole.steps.iter().zip(&semi.steps) {
+        assert_eq!(w.step, s.step);
+        assert_eq!(w.n_nodes, s.n_nodes, "step {}: e-node count diverged", w.step);
+        assert_eq!(w.n_classes, s.n_classes, "step {}: class count diverged", w.step);
+        assert_eq!(w.applied, s.applied, "step {}: applied tallies diverged", w.step);
+        assert_eq!(
+            w.search_candidates, s.search_candidates,
+            "step {}: scheduled candidates diverged",
+            w.step
+        );
+        assert_eq!(
+            w.search_matches, s.search_matches,
+            "step {}: match counts diverged",
+            w.step
+        );
+        assert_eq!(w.best, s.best, "step {}: extracted solution diverged", w.step);
+        assert_eq!(w.cost, s.cost, "step {}: cost diverged", w.step);
+        assert_eq!(w.lib_calls, s.lib_calls, "step {}: solutions diverged", w.step);
+    }
+}
+
+#[test]
+fn paper_examples_identical_with_and_without_seminaive() {
+    let programs: Vec<(Expr, Target)> = vec![
+        // §V.A latent dot product in vector sum.
+        (dsl::vsum(8, dsl::sym("xs")), Target::Blas),
+        // §IV.C.2 constant-array construction (torch add + full).
+        (
+            "(build #8 (lam (+ (get xs %0) 42)))".parse().unwrap(),
+            Target::Torch,
+        ),
+        // §VI gemv.
+        (
+            dsl::vadd(
+                8,
+                dsl::vscale(8, dsl::sym("alpha"), dsl::matvec(8, 8, dsl::sym("A"), dsl::sym("B"))),
+                dsl::vscale(8, dsl::sym("beta"), dsl::sym("C")),
+            ),
+            Target::Blas,
+        ),
+    ];
+    for (expr, target) in &programs {
+        let whole = optimize(expr, *target, false);
+        let semi = optimize(expr, *target, true);
+        assert_reports_identical(&whole, &semi);
+    }
+}
+
+#[test]
+fn polybench_kernel_identical_and_composes_with_threads() {
+    // Atax exercises matrix idioms, transposes and the heaviest rule load
+    // of the fast kernels; the two engine knobs must compose — semi-naive
+    // parallel search equals whole-graph serial search.
+    let expr = Kernel::Atax.expr(8);
+    let whole = optimize(&expr, Target::Blas, false);
+    let semi = optimize(&expr, Target::Blas, true);
+    assert_reports_identical(&whole, &semi);
+    assert_eq!(whole.best().solution_summary(), semi.best().solution_summary());
+
+    let semi_parallel = Liar::new(Target::Blas)
+        .with_iter_limit(6)
+        .with_seminaive(true)
+        .with_threads(4)
+        .optimize(&expr);
+    assert_reports_identical(&whole, &semi_parallel);
+}
+
+/// Multi-target runs: one saturation, every target's extraction — the
+/// semi-naive [`MultiReport`] must be bit-identical to the whole-graph one
+/// in every semantic field (per-step stats, solutions, DAG costs, proofs),
+/// on **all** evaluation kernels.
+#[test]
+fn multireports_identical_on_all_kernels() {
+    fn assert_multireports_identical(whole: &MultiReport, semi: &MultiReport, ctx: &str) {
+        assert_eq!(whole.stop_reason, semi.stop_reason, "{ctx}");
+        assert_eq!(whole.n_nodes, semi.n_nodes, "{ctx}");
+        assert_eq!(whole.n_classes, semi.n_classes, "{ctx}");
+        assert_eq!(whole.steps.len(), semi.steps.len(), "{ctx}");
+        for (w, s) in whole.steps.iter().zip(&semi.steps) {
+            assert_eq!(w.step, s.step, "{ctx}");
+            assert_eq!(w.n_nodes, s.n_nodes, "{ctx} step {}", w.step);
+            assert_eq!(w.n_classes, s.n_classes, "{ctx} step {}", w.step);
+            assert_eq!(w.search_candidates, s.search_candidates, "{ctx} step {}", w.step);
+            assert_eq!(w.search_matches, s.search_matches, "{ctx} step {}", w.step);
+        }
+        assert_eq!(whole.solutions.len(), semi.solutions.len(), "{ctx}");
+        for (w, s) in whole.solutions.iter().zip(&semi.solutions) {
+            let sctx = format!("{ctx} solution {:?}@{}", w.target, w.discount_scale);
+            assert_eq!(w.target, s.target, "{sctx}");
+            assert_eq!(w.discount_scale, s.discount_scale, "{sctx}");
+            assert_eq!(w.best, s.best, "{sctx}: best diverged");
+            assert_eq!(w.cost, s.cost, "{sctx}: cost diverged");
+            // The DAG extractor's cost accumulation is float-summation-order
+            // sensitive (hash-map iteration), so two runs of the *same*
+            // engine already differ in the last ulp; compare within that
+            // noise floor rather than bitwise.
+            let tol = 1e-9 * w.dag_cost.abs().max(1.0);
+            assert!(
+                (w.dag_cost - s.dag_cost).abs() <= tol,
+                "{sctx}: DAG cost diverged beyond float noise: {} vs {}",
+                w.dag_cost,
+                s.dag_cost
+            );
+            assert_eq!(w.lib_calls, s.lib_calls, "{sctx}: lib calls diverged");
+            assert_eq!(w.proof, s.proof, "{sctx}: proof diverged");
+        }
+    }
+
+    for kernel in Kernel::ALL {
+        let expr = kernel.expr(8);
+        let run = |seminaive: bool| {
+            Liar::new(Target::Blas)
+                .with_iter_limit(3)
+                .with_node_limit(20_000)
+                .with_match_limit(2_000)
+                .with_seminaive(seminaive)
+                .optimize_multi(&expr, &Target::ALL, &[1.0])
+        };
+        assert_multireports_identical(&run(false), &run(true), kernel.name());
+    }
+}
+
+/// Proof production under semi-naive search: identical replayable
+/// explanations, and they still check against the rule set.
+#[test]
+fn proofs_identical_and_replayable_with_seminaive() {
+    use liar::core::rules::{rules_for, RuleConfig};
+
+    let expr = dsl::vsum(8, dsl::sym("xs"));
+    let run = |seminaive: bool| {
+        Liar::new(Target::Blas)
+            .with_iter_limit(6)
+            .with_seminaive(seminaive)
+            .optimize_explained(&expr)
+    };
+    let (whole_report, whole_proof) = run(false);
+    let (semi_report, semi_proof) = run(true);
+    assert_eq!(whole_report.best().best, semi_report.best().best);
+    assert_eq!(whole_proof, semi_proof, "explanations diverged");
+    assert!(!semi_proof.steps.is_empty(), "proof should be non-trivial");
+    let rules = rules_for(Target::Blas, &RuleConfig::default());
+    semi_proof
+        .check(&rules)
+        .expect("semi-naive proof must replay against the ruleset");
+}
+
+/// The backoff scheduler's ban decisions depend only on per-rule match
+/// counts; since semi-naive search emits the exact whole-graph match
+/// stream, bans must fire at the same (iteration, rule) points — and a
+/// banned iteration must not strand frontier entries (the dirt keeps
+/// accumulating while the rule sits out).
+#[test]
+fn backoff_bans_identical_under_both_engines() {
+    use std::sync::{Arc, Mutex};
+
+    use liar::core::rules::{rules_for, RuleConfig};
+    use liar::ir::ArrayEGraph;
+
+    /// Delegates to a real backoff scheduler, logging every ban it issues.
+    struct BanSpy {
+        inner: BackoffScheduler,
+        bans: Arc<Mutex<Vec<(usize, usize)>>>,
+    }
+    impl Scheduler for BanSpy {
+        fn match_limit(
+            &mut self,
+            iteration: usize,
+            rule_idx: usize,
+            rule_name: &str,
+        ) -> Option<usize> {
+            let limit = self.inner.match_limit(iteration, rule_idx, rule_name);
+            if limit.is_none() {
+                self.bans.lock().unwrap().push((iteration, rule_idx));
+            }
+            limit
+        }
+        fn record(&mut self, iteration: usize, rule_idx: usize, n_matches: usize) {
+            self.inner.record(iteration, rule_idx, n_matches);
+        }
+    }
+
+    let expr = dsl::vsum(8, dsl::sym("xs"));
+    let rules = rules_for(Target::Blas, &RuleConfig::default());
+    let run = |seminaive: bool| {
+        let bans = Arc::new(Mutex::new(Vec::new()));
+        let mut eg = ArrayEGraph::default();
+        let root = eg.add_expr(&expr);
+        let mut runner = Runner::new(eg)
+            .with_root(root)
+            .with_iter_limit(6)
+            // Tiny budget: busy rules exceed it and get banned.
+            .with_scheduler(BanSpy {
+                inner: BackoffScheduler::new(4, 2),
+                bans: Arc::clone(&bans),
+            })
+            .with_seminaive(seminaive);
+        runner.run(&rules);
+        let bans = bans.lock().unwrap().clone();
+        (runner, bans)
+    };
+    let (whole, whole_bans) = run(false);
+    let (semi, semi_bans) = run(true);
+    assert_eq!(whole.iterations.len(), semi.iterations.len());
+    for (w, s) in whole.iterations.iter().zip(&semi.iterations) {
+        assert_eq!(w.applied, s.applied, "step {}: applied counts diverged", w.index);
+        assert_eq!(w.n_nodes, s.n_nodes);
+        assert_eq!(w.search_matches, s.search_matches);
+    }
+    assert_eq!(whole_bans, semi_bans, "bans must fire identically");
+    assert!(
+        !whole_bans.is_empty(),
+        "test should exercise at least one actual ban"
+    );
+}
+
+/// The scheduler sees the same call sequence under both engines: all
+/// `match_limit` calls for an iteration happen before any `record` call,
+/// with identical reported counts.
+#[test]
+fn scheduler_call_sequence_is_engine_independent() {
+    use std::sync::{Arc, Mutex};
+
+    type CallLog = Vec<(usize, &'static str, usize, usize)>;
+
+    #[derive(Clone, Default)]
+    struct Spy {
+        log: Arc<Mutex<CallLog>>,
+    }
+    impl Scheduler for Spy {
+        fn match_limit(
+            &mut self,
+            iteration: usize,
+            rule_idx: usize,
+            _rule_name: &str,
+        ) -> Option<usize> {
+            self.log.lock().unwrap().push((iteration, "limit", rule_idx, 0));
+            Some(usize::MAX)
+        }
+        fn record(&mut self, iteration: usize, rule_idx: usize, n: usize) {
+            self.log.lock().unwrap().push((iteration, "record", rule_idx, n));
+        }
+    }
+
+    let expr: Expr = "(+ (+ a b) c)".parse().unwrap();
+    let rules = vec![
+        liar::egraph::Rewrite::from_patterns("comm", "(+ ?x ?y)", "(+ ?y ?x)"),
+        liar::egraph::Rewrite::from_patterns("assoc", "(+ (+ ?x ?y) ?z)", "(+ ?x (+ ?y ?z))"),
+    ];
+    let run = |seminaive: bool| {
+        let spy = Spy::default();
+        let log = Arc::clone(&spy.log);
+        let mut eg = liar::ir::ArrayEGraph::default();
+        eg.add_expr(&expr);
+        let mut runner = Runner::new(eg)
+            .with_iter_limit(3)
+            .with_scheduler(spy)
+            .with_seminaive(seminaive);
+        runner.run(&rules);
+        let log = log.lock().unwrap().clone();
+        log
+    };
+    assert_eq!(run(false), run(true), "scheduler call sequences must agree");
+}
