@@ -277,7 +277,7 @@ mod tests {
         let expr = dsl::vsum(n, dsl::sym("xs"));
         let liar = Liar::new(Target::Blas).with_iter_limit(3);
         let fp = liar.request_fingerprint(&expr, &[Target::Blas], &[1.0]);
-        let report = liar.optimize_multi(&expr, &[Target::Blas], &[1.0]);
+        let report = liar.optimize_multi(&expr, &[Target::Blas], &[1.0]).unwrap();
         (fp, Arc::new(report))
     }
 
@@ -333,7 +333,7 @@ mod tests {
         let expr = dsl::vsum(16, dsl::sym("xs"));
         let liar = Liar::new(Target::Blas).with_iter_limit(3);
         let fp_b = liar.request_fingerprint(&expr, &Target::ALL, &[1.0, 2.0]);
-        let b = Arc::new(liar.optimize_multi(&expr, &Target::ALL, &[1.0, 2.0]));
+        let b = Arc::new(liar.optimize_multi(&expr, &Target::ALL, &[1.0, 2.0]).unwrap());
         let cache = SaturationCache::with_shards(approx_report_bytes(&a) + 1, 1);
         assert!(cache.insert(fp_a, a));
         // B is bigger than the whole shard: refused, A stays resident.
@@ -353,8 +353,8 @@ mod tests {
             .with_iter_limit(4)
             .with_cache(Arc::clone(&cache));
         let expr = dsl::vsum(64, dsl::sym("xs"));
-        let (cold, s1) = liar.optimize_multi_status(&expr, &Target::ALL, &[1.0]);
-        let (warm, s2) = liar.optimize_multi_status(&expr, &Target::ALL, &[1.0]);
+        let (cold, s1) = liar.optimize_multi_status(&expr, &Target::ALL, &[1.0]).unwrap();
+        let (warm, s2) = liar.optimize_multi_status(&expr, &Target::ALL, &[1.0]).unwrap();
         assert_eq!(s1, CacheStatus::Miss);
         assert_eq!(s2, CacheStatus::Hit);
         // The whole report replays: solutions, costs, per-step stats and
@@ -364,14 +364,18 @@ mod tests {
         // term) hits too.
         let same: crate::pipeline::MultiReport = {
             let reparsed: liar_ir::Expr = format!(" {} ", expr).parse().unwrap();
-            let (r, s) = liar.optimize_multi_status(&reparsed, &Target::ALL, &[1.0]);
+            let (r, s) = liar
+                .optimize_multi_status(&reparsed, &Target::ALL, &[1.0])
+                .unwrap();
             assert_eq!(s, CacheStatus::Hit);
             r
         };
         assert_eq!(cold, same);
         // Without a cache the pipeline reports Uncached and recomputes.
         let uncached = Liar::new(Target::Blas).with_iter_limit(4);
-        let (_, s) = uncached.optimize_multi_status(&expr, &Target::ALL, &[1.0]);
+        let (_, s) = uncached
+            .optimize_multi_status(&expr, &Target::ALL, &[1.0])
+            .unwrap();
         assert_eq!(s, CacheStatus::Uncached);
         let stats = cache.stats();
         assert_eq!(stats.hits, 2, "{stats:?}");

@@ -10,6 +10,7 @@
 use liar_egraph::{CostFunction, EGraph, Id};
 use liar_ir::{ArrayAnalysis, ArrayLang, LibFn};
 
+use crate::profile::MachineProfile;
 use crate::rules::Target;
 
 type AEGraph = EGraph<ArrayLang, ArrayAnalysis>;
@@ -42,19 +43,40 @@ fn dim(egraph: &AEGraph, id: Id) -> f64 {
 /// for ablation: [`TargetCost::with_discount_scale`] multiplies the
 /// per-call term, so a scale ≥ 1.25 makes a `dot` cost as much as the
 /// loop it replaces and extraction stops preferring library calls.
+///
+/// Orthogonally, a [`MachineProfile`] re-weights scalar loop work against
+/// vector and matrix library calls ([`TargetCost::with_profile`]): the
+/// default profile is the identity, so its costs are bit-identical to the
+/// unprofiled model.
 #[derive(Debug, Clone, Copy)]
 pub struct TargetCost {
     target: Target,
     discount_scale: f64,
+    profile: MachineProfile,
 }
 
 impl TargetCost {
-    /// Cost model for a target with the paper's discount factors.
+    /// Cost model for a target with the paper's discount factors and the
+    /// default (identity) machine profile.
     pub fn new(target: Target) -> Self {
         TargetCost {
             target,
             discount_scale: 1.0,
+            profile: MachineProfile::default(),
         }
+    }
+
+    /// Re-weight the model for a machine ([`MachineProfile`]): scalar
+    /// units scale by `loop_scale`, vector/matrix calls by their category
+    /// factor, and every call pays `call_overhead` on top.
+    pub fn with_profile(mut self, profile: MachineProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The scalar unit of listing 6 under the active profile.
+    fn unit(&self) -> f64 {
+        self.profile.loop_scale
     }
 
     /// Scale the library-call discount factors (1.0 = the paper's values;
@@ -77,12 +99,12 @@ impl TargetCost {
         }
     }
 
-    fn call_cost(
+    fn call_cost<F: FnMut(Id) -> f64>(
         &self,
         egraph: &AEGraph,
         f: LibFn,
         args: &[Id],
-        child_cost: &mut dyn FnMut(Id) -> f64,
+        child_cost: &mut F,
     ) -> f64 {
         if !self.call_available(f) {
             return f64::INFINITY;
@@ -90,51 +112,56 @@ impl TargetCost {
         // Sum of argument costs (dims cost 0), plus the discounted call.
         let args_cost: f64 = args[f.n_dims()..].iter().map(|&a| child_cost(a)).sum();
         let d: Vec<f64> = args[..f.n_dims()].iter().map(|&a| dim(egraph, a)).collect();
-        let call = match f {
-            LibFn::Memset => 0.8 * d[0] + 1.0,
-            LibFn::Dot => 0.8 * d[0],
-            LibFn::Axpy => 0.8 * d[0],
-            LibFn::Gemv { .. } => 0.7 * d[0] * d[1],
-            LibFn::Gemm { .. } => 0.6 * d[0] * d[1] * d[2],
-            LibFn::Transpose => 0.9 * d[0] * d[1],
-            LibFn::TAdd => 0.4 * d[0] + 0.4 * d[0],
-            LibFn::TMul => 0.4 * d[0] + 0.4,
-            LibFn::TMv => 0.7 * d[0] * d[1],
-            LibFn::TMm => 0.6 * d[0] * d[1] * d[2],
-            LibFn::TSum => 0.8 * d[0],
-            LibFn::TFull => 0.8 * d[0] + 1.0,
+        // Vector calls scale by the profile's vector factor, matrix calls
+        // by its matrix factor.
+        let (call, category) = match f {
+            LibFn::Memset => (0.8 * d[0] + 1.0, self.profile.vector_scale),
+            LibFn::Dot => (0.8 * d[0], self.profile.vector_scale),
+            LibFn::Axpy => (0.8 * d[0], self.profile.vector_scale),
+            LibFn::Gemv { .. } => (0.7 * d[0] * d[1], self.profile.matrix_scale),
+            LibFn::Gemm { .. } => (0.6 * d[0] * d[1] * d[2], self.profile.matrix_scale),
+            LibFn::Transpose => (0.9 * d[0] * d[1], self.profile.matrix_scale),
+            LibFn::TAdd => (0.4 * d[0] + 0.4 * d[0], self.profile.vector_scale),
+            LibFn::TMul => (0.4 * d[0] + 0.4, self.profile.vector_scale),
+            LibFn::TMv => (0.7 * d[0] * d[1], self.profile.matrix_scale),
+            LibFn::TMm => (0.6 * d[0] * d[1] * d[2], self.profile.matrix_scale),
+            LibFn::TSum => (0.8 * d[0], self.profile.vector_scale),
+            LibFn::TFull => (0.8 * d[0] + 1.0, self.profile.vector_scale),
         };
-        args_cost + self.discount_scale * call
+        args_cost + self.discount_scale * category * call + self.profile.call_overhead
     }
 }
 
 impl CostFunction<ArrayLang, ArrayAnalysis> for TargetCost {
-    fn cost(
+    fn cost<F: FnMut(Id) -> f64>(
         &self,
         egraph: &AEGraph,
         enode: &ArrayLang,
-        child_cost: &mut dyn FnMut(Id) -> f64,
+        child_cost: &mut F,
     ) -> f64 {
+        // Every scalar unit of listing 6 is one `self.unit()` (1.0 under
+        // the default profile — bit-identical to the unprofiled model).
+        let u = self.unit();
         match enode {
             // Extents are compile-time: free.
             ArrayLang::Dim(_) => 0.0,
-            ArrayLang::Const(_) | ArrayLang::Sym(_) | ArrayLang::Var(_) => 1.0,
-            ArrayLang::Lam(b) => child_cost(*b) + 1.0,
-            ArrayLang::App([f, x]) => child_cost(*f) + child_cost(*x) + 1.0,
+            ArrayLang::Const(_) | ArrayLang::Sym(_) | ArrayLang::Var(_) => u,
+            ArrayLang::Lam(b) => child_cost(*b) + u,
+            ArrayLang::App([f, x]) => child_cost(*f) + child_cost(*x) + u,
             ArrayLang::Build([n, f]) => {
-                dim(egraph, *n) * (child_cost(*f) + 1.0) + 1.0
+                dim(egraph, *n) * (child_cost(*f) + u) + u
             }
-            ArrayLang::Get([a, i]) => child_cost(*a) + child_cost(*i) + 1.0,
+            ArrayLang::Get([a, i]) => child_cost(*a) + child_cost(*i) + u,
             ArrayLang::IFold([n, init, f]) => {
-                child_cost(*init) + dim(egraph, *n) * child_cost(*f) + 1.0
+                child_cost(*init) + dim(egraph, *n) * child_cost(*f) + u
             }
-            ArrayLang::Tuple([a, b]) => child_cost(*a) + child_cost(*b) + 1.0,
-            ArrayLang::Fst(t) | ArrayLang::Snd(t) => child_cost(*t) + 1.0,
+            ArrayLang::Tuple([a, b]) => child_cost(*a) + child_cost(*b) + u,
+            ArrayLang::Fst(t) | ArrayLang::Snd(t) => child_cost(*t) + u,
             ArrayLang::Add([a, b])
             | ArrayLang::Sub([a, b])
             | ArrayLang::Mul([a, b])
             | ArrayLang::Div([a, b])
-            | ArrayLang::Gt([a, b]) => child_cost(*a) + child_cost(*b) + 1.0,
+            | ArrayLang::Gt([a, b]) => child_cost(*a) + child_cost(*b) + u,
             ArrayLang::Call(f, args) => self.call_cost(egraph, *f, args, child_cost),
         }
     }
@@ -232,6 +259,45 @@ mod tests {
             cost_of(Target::Torch, "(mm #10 #20 #30 A B)"),
             2.0 + 0.6 * 6000.0
         );
+    }
+
+    #[test]
+    fn machine_profiles_reweight_the_model() {
+        let base = cost_of(Target::Blas, "(gemv #10 #20 alpha A B beta C)");
+        let mut eg = ArrayEGraph::default();
+        let id = eg.add_expr(&e("(gemv #10 #20 alpha A B beta C)"));
+        // The default profile is the identity: bit-identical cost.
+        let same = Extractor::new(
+            &eg,
+            TargetCost::new(Target::Blas).with_profile(MachineProfile::default()),
+        );
+        assert_eq!(same.best_cost(id), Some(base));
+        // GPU: 5 scalar args at loop_scale 2, the matrix call at factor
+        // 0.25, plus the launch overhead.
+        let gpu = Extractor::new(
+            &eg,
+            TargetCost::new(Target::Blas).with_profile(MachineProfile::gpu()),
+        );
+        assert_eq!(gpu.best_cost(id), Some(10.0 + 0.25 * 140.0 + 5.0));
+    }
+
+    #[test]
+    fn gpu_profile_prefers_calls_harder() {
+        // The 100-element dot: call 82 vs loop 1102 nominally. Under the
+        // GPU profile the loop doubles while the call shrinks to
+        // 2·2 + 0.5·80 + 5 = 49: the call's margin widens.
+        let mut eg = ArrayEGraph::default();
+        let loopy = eg.add_expr(&dsl::dot(100, dsl::sym("a"), dsl::sym("b")));
+        let call = eg.add_expr(&e("(dot #100 a b)"));
+        eg.union(call, loopy);
+        eg.rebuild();
+        let ex = Extractor::new(
+            &eg,
+            TargetCost::new(Target::Blas).with_profile(MachineProfile::gpu()),
+        );
+        let (cost, best) = ex.find_best(loopy);
+        assert_eq!(best.to_string(), "(dot #100 a b)");
+        assert_eq!(cost, 2.0 + 2.0 + 0.5 * 80.0 + 5.0);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!   ordered target list (order matters: the report lists solutions in
 //!   request order, and bit-identical responses are the cache contract);
 //! * the ordered discount-scale list;
+//! * the ordered machine-profile list (name and all four parameters —
+//!   profiles change extracted costs, so they change the result);
 //! * the saturation budgets (step limit, node limit, wall-clock limit,
 //!   per-rule match limit).
 //!
@@ -30,6 +32,7 @@ use std::time::Duration;
 
 use liar_ir::{ContentAddressed, Expr, StableHasher};
 
+use crate::profile::MachineProfile;
 use crate::rules::{RuleConfig, Target};
 
 /// Version salt mixed into every fingerprint. Bump when the semantics of
@@ -38,7 +41,10 @@ use crate::rules::{RuleConfig, Target};
 ///
 /// v2: the `explain` knob joined the key (reports now optionally carry
 /// proofs).
-const FINGERPRINT_VERSION: u8 = 2;
+///
+/// v3: the machine-profile list joined the key, and extraction's tie-break
+/// among equal-cost terms became canonical (worklist extractors).
+const FINGERPRINT_VERSION: u8 = 3;
 
 /// The content address of one optimization request (see the module docs).
 ///
@@ -88,6 +94,7 @@ pub fn request_fingerprint(
     config: &RuleConfig,
     targets: &[Target],
     discount_scales: &[f64],
+    profiles: &[MachineProfile],
     budgets: &BudgetKnobs,
 ) -> Fingerprint {
     let mut h = StableHasher::new();
@@ -101,6 +108,19 @@ pub fn request_fingerprint(
     h.u64(discount_scales.len() as u64);
     for &s in discount_scales {
         h.u64(s.to_bits());
+    }
+    h.u64(profiles.len() as u64);
+    for p in profiles {
+        // Name *and* parameters: a renamed or re-tuned profile is a
+        // different request.
+        h.u64(p.name.len() as u64);
+        for &b in p.name.as_bytes() {
+            h.byte(b);
+        }
+        h.u64(p.loop_scale.to_bits());
+        h.u64(p.vector_scale.to_bits());
+        h.u64(p.matrix_scale.to_bits());
+        h.u64(p.call_overhead.to_bits());
     }
     h.u64(budgets.iter_limit as u64);
     h.u64(budgets.node_limit as u64);
@@ -131,8 +151,18 @@ mod tests {
     }
 
     fn fp(expr: &str, targets: &[Target], scales: &[f64], budgets: &BudgetKnobs) -> Fingerprint {
+        fp_profiles(expr, targets, scales, &[MachineProfile::default()], budgets)
+    }
+
+    fn fp_profiles(
+        expr: &str,
+        targets: &[Target],
+        scales: &[f64],
+        profiles: &[MachineProfile],
+        budgets: &BudgetKnobs,
+    ) -> Fingerprint {
         let expr: Expr = expr.parse().unwrap();
-        request_fingerprint(&expr, &RuleConfig::default(), targets, scales, budgets)
+        request_fingerprint(&expr, &RuleConfig::default(), targets, scales, profiles, budgets)
     }
 
     #[test]
@@ -175,6 +205,33 @@ mod tests {
     }
 
     #[test]
+    fn machine_profiles_are_part_of_the_key() {
+        let base = fp("(+ x y)", &[Target::Blas], &[1.0], &knobs());
+        let gpu = fp_profiles(
+            "(+ x y)",
+            &[Target::Blas],
+            &[1.0],
+            &[MachineProfile::gpu()],
+            &knobs(),
+        );
+        assert_ne!(base, gpu, "a different profile is a different request");
+        let both = fp_profiles(
+            "(+ x y)",
+            &[Target::Blas],
+            &[1.0],
+            &[MachineProfile::default(), MachineProfile::gpu()],
+            &knobs(),
+        );
+        assert_ne!(base, both);
+        assert_ne!(gpu, both);
+        // Same name, different parameters: still a different request.
+        let mut tweaked = MachineProfile::gpu();
+        tweaked.call_overhead = 7.0;
+        let tweaked = fp_profiles("(+ x y)", &[Target::Blas], &[1.0], &[tweaked], &knobs());
+        assert_ne!(gpu, tweaked);
+    }
+
+    #[test]
     fn target_order_matters_but_config_equal_means_equal() {
         let a = fp("(+ x y)", &[Target::Blas, Target::Torch], &[1.0], &knobs());
         let b = fp("(+ x y)", &[Target::Torch, Target::Blas], &[1.0], &knobs());
@@ -189,6 +246,7 @@ mod tests {
             &RuleConfig::default(),
             &[Target::Blas],
             &[1.0],
+            &[MachineProfile::default()],
             &knobs(),
         );
         let b = request_fingerprint(
@@ -196,6 +254,7 @@ mod tests {
             &RuleConfig::exhaustive(),
             &[Target::Blas],
             &[1.0],
+            &[MachineProfile::default()],
             &knobs(),
         );
         assert_ne!(a, b);

@@ -33,12 +33,15 @@ pub mod cache;
 pub mod cost;
 pub mod fingerprint;
 pub mod pipeline;
+pub mod profile;
 pub mod rules;
 
 pub use cache::{CacheStats, SaturationCache};
 pub use cost::TargetCost;
 pub use fingerprint::{BudgetKnobs, Fingerprint};
 pub use pipeline::{
-    CacheStatus, Liar, MultiReport, MultiSolution, OptimizationReport, SaturationStep, StepReport,
+    CacheStatus, Liar, MultiReport, MultiSolution, OptimizationReport, OptimizeError,
+    SaturationStep, StepReport,
 };
+pub use profile::MachineProfile;
 pub use rules::{RuleConfig, Target};

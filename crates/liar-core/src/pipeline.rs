@@ -13,7 +13,40 @@ use liar_ir::{ArrayEGraph, ArrayExplanation, Expr};
 use crate::cache::SaturationCache;
 use crate::cost::TargetCost;
 use crate::fingerprint::{request_fingerprint, BudgetKnobs, Fingerprint};
+use crate::profile::MachineProfile;
 use crate::rules::{rules_for, rules_for_targets, RuleConfig, Target};
+
+/// A multi-target optimization request failed: one of the requested
+/// `(target, discount_scale, profile)` extractions found no finite-cost
+/// term for the root.
+///
+/// This is the pipeline-level face of [`liar_egraph::ExtractError`]: it
+/// happens when the *request* is unsatisfiable — e.g. the input expression
+/// is a library call of a foreign target, so the requested target's cost
+/// model prices every equivalent term at infinity. The serve daemon maps
+/// this to a structured protocol error instead of panicking a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeError {
+    /// The target whose extraction failed.
+    pub target: Target,
+    /// The discount scale it ran at.
+    pub discount_scale: f64,
+    /// The machine profile it ran under.
+    pub profile: String,
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no extractable solution for target {} (discount scale {}, profile {}): \
+             every equivalent term costs infinity under this model",
+            self.target, self.discount_scale, self.profile
+        )
+    }
+}
+
+impl std::error::Error for OptimizeError {}
 
 /// The state of the search after one saturation step: e-graph statistics
 /// plus the best expression the target's cost model extracts — the raw
@@ -167,6 +200,9 @@ pub struct MultiSolution {
     pub target: Target,
     /// The discount scale the cost model ran at (1.0 = the paper's).
     pub discount_scale: f64,
+    /// The machine profile the cost model ran under
+    /// ([`MachineProfile::name`]; `"default"` = the identity profile).
+    pub profile: String,
     /// Best expression under the target's *tree* cost model.
     pub best: Expr,
     /// Its tree cost.
@@ -226,6 +262,8 @@ pub struct MultiReport {
     pub targets: Vec<Target>,
     /// The discount scales extracted, in the order requested.
     pub discount_scales: Vec<f64>,
+    /// The machine profiles extracted under, in the order requested.
+    pub profiles: Vec<String>,
     /// Why the (shared) saturation stopped.
     pub stop_reason: StopReason,
     /// Per-step e-graph statistics of the shared saturation.
@@ -247,11 +285,25 @@ impl MultiReport {
         self.solutions.iter().find(|s| s.target == target)
     }
 
-    /// The solution extracted for `target` at `discount_scale`.
+    /// The solution extracted for `target` at `discount_scale` (at the
+    /// first requested profile).
     pub fn solution_at(&self, target: Target, discount_scale: f64) -> Option<&MultiSolution> {
         self.solutions
             .iter()
             .find(|s| s.target == target && s.discount_scale == discount_scale)
+    }
+
+    /// The solution extracted for `target` at `discount_scale` under
+    /// `profile`.
+    pub fn solution_for(
+        &self,
+        target: Target,
+        discount_scale: f64,
+        profile: &str,
+    ) -> Option<&MultiSolution> {
+        self.solutions.iter().find(|s| {
+            s.target == target && s.discount_scale == discount_scale && s.profile == profile
+        })
     }
 
     /// Total wall-clock time spent extracting, across all solutions.
@@ -293,6 +345,7 @@ pub struct Liar {
     limits: RunnerLimits,
     match_limit: usize,
     discount_scale: f64,
+    profiles: Vec<MachineProfile>,
     threads: usize,
     seminaive: bool,
     explain: bool,
@@ -342,6 +395,7 @@ impl Liar {
             },
             match_limit: 40_000,
             discount_scale: 1.0,
+            profiles: vec![MachineProfile::default()],
             threads: 1,
             seminaive: seminaive_default(),
             explain: false,
@@ -399,6 +453,26 @@ impl Liar {
     pub fn with_discount_scale(mut self, scale: f64) -> Self {
         self.discount_scale = scale;
         self
+    }
+
+    /// Extract under these machine profiles, in order (the default is
+    /// `[MachineProfile::default()]` — the identity). Profiles only affect
+    /// extraction, never saturation, so a multi-profile request still
+    /// saturates once; they are part of the request fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `profiles` is empty — a request must extract under at
+    /// least one profile.
+    pub fn with_profiles(mut self, profiles: Vec<MachineProfile>) -> Self {
+        assert!(!profiles.is_empty(), "at least one machine profile required");
+        self.profiles = profiles;
+        self
+    }
+
+    /// The machine profiles this pipeline extracts under.
+    pub fn profiles(&self) -> &[MachineProfile] {
+        &self.profiles
     }
 
     /// Search with `n` worker threads (`0` and `1` both mean serial).
@@ -461,7 +535,14 @@ impl Liar {
         targets: &[Target],
         discount_scales: &[f64],
     ) -> Fingerprint {
-        request_fingerprint(expr, &self.config, targets, discount_scales, &self.budget_knobs())
+        request_fingerprint(
+            expr,
+            &self.config,
+            targets,
+            discount_scales,
+            &self.profiles,
+            &self.budget_knobs(),
+        )
     }
 
     /// The saturation runner every pipeline mode shares: same scheduler,
@@ -630,6 +711,12 @@ impl Liar {
     ///
     /// Each solution carries both tree and DAG costs ([`MultiSolution`]).
     ///
+    /// # Errors
+    ///
+    /// [`OptimizeError`] when some requested `(target, discount_scale,
+    /// profile)` has no finite-cost term for the root — e.g. the input is
+    /// a library call of a foreign target. Errors are never cached.
+    ///
     /// # Example
     ///
     /// ```
@@ -639,7 +726,8 @@ impl Liar {
     /// let vsum = dsl::vsum(64, dsl::sym("xs"));
     /// let report = Liar::new(Target::Blas)
     ///     .with_iter_limit(6)
-    ///     .optimize_multi(&vsum, &Target::ALL, &[1.0]);
+    ///     .optimize_multi(&vsum, &Target::ALL, &[1.0])
+    ///     .expect("every target can extract a vsum");
     /// // One saturation, three library mappings:
     /// let blas = report.solution(Target::Blas).unwrap();
     /// let torch = report.solution(Target::Torch).unwrap();
@@ -652,8 +740,8 @@ impl Liar {
         expr: &Expr,
         targets: &[Target],
         discount_scales: &[f64],
-    ) -> MultiReport {
-        self.optimize_multi_status(expr, targets, discount_scales).0
+    ) -> Result<MultiReport, OptimizeError> {
+        Ok(self.optimize_multi_status(expr, targets, discount_scales)?.0)
     }
 
     /// [`Liar::optimize_multi`], also reporting whether the report came
@@ -663,26 +751,44 @@ impl Liar {
     /// by [`Liar::request_fingerprint`]; a hit returns a clone of the
     /// stored report — **bit-identical** to the cold run that populated
     /// it, per-step statistics and timings included — and bumps its LRU
-    /// recency. A miss computes the report and stores it.
+    /// recency. A miss computes the report and stores it. Failed requests
+    /// ([`OptimizeError`]) are not stored.
     pub fn optimize_multi_status(
         &self,
         expr: &Expr,
         targets: &[Target],
         discount_scales: &[f64],
-    ) -> (MultiReport, CacheStatus) {
+    ) -> Result<(MultiReport, CacheStatus), OptimizeError> {
         let Some(cache) = &self.cache else {
-            return (
-                self.compute_multi(expr, targets, discount_scales),
+            return Ok((
+                self.compute_multi(expr, targets, discount_scales)?,
                 CacheStatus::Uncached,
-            );
+            ));
         };
         let fp = self.request_fingerprint(expr, targets, discount_scales);
         if let Some(report) = cache.get(fp) {
-            return ((*report).clone(), CacheStatus::Hit);
+            return Ok(((*report).clone(), CacheStatus::Hit));
         }
-        let report = self.compute_multi(expr, targets, discount_scales);
+        let report = self.compute_multi(expr, targets, discount_scales)?;
         cache.insert(fp, Arc::new(report.clone()));
-        (report, CacheStatus::Miss)
+        Ok((report, CacheStatus::Miss))
+    }
+
+    /// Saturate `expr` once with the union ruleset of `targets` and hand
+    /// back the saturated e-graph plus the root class — the shared first
+    /// half of [`Liar::optimize_multi`], for callers that want to run
+    /// their own extraction over it (the extraction gym benches tree /
+    /// DAG / exact extractors this way; `liar optimize --extractor exact`
+    /// does too).
+    pub fn saturate_for_targets(
+        &self,
+        expr: &Expr,
+        targets: &[Target],
+    ) -> (ArrayEGraph, liar_egraph::Id) {
+        let rules = rules_for_targets(targets, &self.config);
+        let (mut runner, root) = self.runner_for(expr);
+        runner.run(&rules);
+        (runner.egraph, root)
     }
 
     /// The uncached "saturate once, extract everywhere" computation.
@@ -691,7 +797,7 @@ impl Liar {
         expr: &Expr,
         targets: &[Target],
         discount_scales: &[f64],
-    ) -> MultiReport {
+    ) -> Result<MultiReport, OptimizeError> {
         let rules = rules_for_targets(targets, &self.config);
         let (mut runner, root) = self.runner_for(expr);
 
@@ -723,51 +829,86 @@ impl Liar {
             });
         }
 
-        let mut solutions = Vec::with_capacity(targets.len() * discount_scales.len());
+        // Flatten the saturated e-graph once; every target × scale ×
+        // profile extraction runs over the shared snapshot. The flatten
+        // cost is charged to each solution as an equal share of the
+        // amortized whole, so per-target `extract_time`s still sum to the
+        // real extraction wall-clock.
+        let n_extractions =
+            (targets.len() * discount_scales.len() * self.profiles.len()).max(1);
+        let flatten_start = std::time::Instant::now();
+        let flat = liar_egraph::FlatGraph::new(&runner.egraph);
+        let flatten_share = flatten_start.elapsed() / n_extractions as u32;
+
+        let mut solutions = Vec::with_capacity(n_extractions);
         for &target in targets {
             for &scale in discount_scales {
-                let cost_fn = TargetCost::new(target).with_discount_scale(scale);
-                let start = std::time::Instant::now();
-                let extractor = DagExtractor::new(&runner.egraph, cost_fn);
-                let (cost, best) = extractor.tree_extractor().find_best(root);
-                let (dag_cost, dag_best) = extractor.find_best(root);
-                let stats = extractor.stats();
-                drop(extractor);
-                let extract_time = start.elapsed();
-                let lib_calls = count_lib_calls(&best);
-                let proof = self
-                    .explain
-                    .then(|| runner.egraph.explain_equivalence(expr, &best));
-                solutions.push(MultiSolution {
-                    target,
-                    discount_scale: scale,
-                    best,
-                    cost,
-                    dag_best,
-                    dag_cost,
-                    lib_calls,
-                    extract_time,
-                    stats,
-                    proof,
-                });
+                for profile in &self.profiles {
+                    let cost_fn = TargetCost::new(target)
+                        .with_discount_scale(scale)
+                        .with_profile(*profile);
+                    let err = || OptimizeError {
+                        target,
+                        discount_scale: scale,
+                        profile: profile.name.to_string(),
+                    };
+                    let start = std::time::Instant::now();
+                    let extractor = DagExtractor::with_flat(&flat, cost_fn);
+                    let (cost, best) = extractor
+                        .tree_extractor()
+                        .try_find_best(root)
+                        .map_err(|_| err())?;
+                    let (dag_cost, dag_best) =
+                        extractor.try_find_best(root).map_err(|_| err())?;
+                    let stats = extractor.stats();
+                    drop(extractor);
+                    let extract_time = start.elapsed() + flatten_share;
+                    let lib_calls = count_lib_calls(&best);
+                    solutions.push(MultiSolution {
+                        target,
+                        discount_scale: scale,
+                        profile: profile.name.to_string(),
+                        best,
+                        cost,
+                        dag_best,
+                        dag_cost,
+                        lib_calls,
+                        extract_time,
+                        stats,
+                        proof: None,
+                    });
+                }
+            }
+        }
+        drop(flat);
+        if self.explain {
+            // Proof production mutates the e-graph's provenance forest, so
+            // it runs after the shared flatten is released.
+            for sol in &mut solutions {
+                sol.proof = Some(runner.egraph.explain_equivalence(expr, &sol.best));
             }
         }
 
-        MultiReport {
+        Ok(MultiReport {
             targets: targets.to_vec(),
             discount_scales: discount_scales.to_vec(),
+            profiles: self.profiles.iter().map(|p| p.name.to_string()).collect(),
             stop_reason,
             steps,
             saturation_time,
             n_nodes: runner.egraph.num_nodes(),
             n_classes: runner.egraph.num_classes(),
             solutions,
-        }
+        })
     }
 
     /// [`Liar::optimize_multi`] over all three targets at this pipeline's
     /// discount scale.
-    pub fn optimize_all_targets(&self, expr: &Expr) -> MultiReport {
+    ///
+    /// # Errors
+    ///
+    /// See [`Liar::optimize_multi`].
+    pub fn optimize_all_targets(&self, expr: &Expr) -> Result<MultiReport, OptimizeError> {
         self.optimize_multi(expr, &Target::ALL, &[self.discount_scale])
     }
 }
@@ -835,8 +976,10 @@ mod tests {
         let vsum = dsl::vsum(64, dsl::sym("xs"));
         let report = Liar::new(Target::Blas)
             .with_iter_limit(6)
-            .optimize_multi(&vsum, &Target::ALL, &[1.0]);
+            .optimize_multi(&vsum, &Target::ALL, &[1.0])
+            .unwrap();
         assert_eq!(report.solutions.len(), 3);
+        assert!(report.solutions.iter().all(|s| s.profile == "default"));
         assert_eq!(
             report.solution(Target::Blas).unwrap().solution_summary(),
             "1 × dot"
@@ -866,11 +1009,10 @@ mod tests {
     #[test]
     fn multi_target_discount_sweep() {
         let vsum = dsl::vsum(100, dsl::sym("xs"));
-        let report = Liar::new(Target::Blas).with_iter_limit(6).optimize_multi(
-            &vsum,
-            &[Target::Blas],
-            &[1.0, 20.0],
-        );
+        let report = Liar::new(Target::Blas)
+            .with_iter_limit(6)
+            .optimize_multi(&vsum, &[Target::Blas], &[1.0, 20.0])
+            .unwrap();
         assert_eq!(report.solutions.len(), 2);
         // At the paper's factors the call wins; at scale 20 it loses.
         assert_eq!(
@@ -880,6 +1022,57 @@ mod tests {
         assert_eq!(
             report.solution_at(Target::Blas, 20.0).unwrap().solution_summary(),
             "—"
+        );
+    }
+
+    #[test]
+    fn unextractable_request_is_a_structured_error() {
+        // The input *is* a BLAS call: under the Torch model every
+        // equivalent term prices at infinity, so the request must fail
+        // with a structured error, not a panic.
+        let axpy: Expr = "(axpy #8 alpha A B)".parse().unwrap();
+        let err = Liar::new(Target::Torch)
+            .with_iter_limit(2)
+            .optimize_multi(&axpy, &[Target::Torch], &[1.0])
+            .unwrap_err();
+        assert_eq!(err.target, Target::Torch);
+        assert_eq!(err.profile, "default");
+        assert!(err.to_string().contains("no extractable solution"));
+        // The same request for BLAS succeeds.
+        assert!(Liar::new(Target::Blas)
+            .with_iter_limit(2)
+            .optimize_multi(&axpy, &[Target::Blas], &[1.0])
+            .is_ok());
+    }
+
+    #[test]
+    fn machine_profiles_multiply_solutions_not_saturations() {
+        let vsum = dsl::vsum(100, dsl::sym("xs"));
+        let report = Liar::new(Target::Blas)
+            .with_iter_limit(6)
+            .with_profiles(vec![MachineProfile::default(), MachineProfile::gpu()])
+            .optimize_multi(&vsum, &[Target::Blas], &[1.0])
+            .unwrap();
+        // One saturation, two profile extractions.
+        assert_eq!(report.solutions.len(), 2);
+        assert_eq!(report.profiles, vec!["default", "gpu"]);
+        let default = report.solution_for(Target::Blas, 1.0, "default").unwrap();
+        let gpu = report.solution_for(Target::Blas, 1.0, "gpu").unwrap();
+        // Both find the dot, but the gpu profile prices it differently.
+        assert_eq!(default.solution_summary(), "1 × dot");
+        assert_eq!(gpu.solution_summary(), "1 × dot");
+        assert_ne!(default.cost, gpu.cost);
+    }
+
+    #[test]
+    fn profiled_requests_have_distinct_fingerprints() {
+        let vsum = dsl::vsum(64, dsl::sym("xs"));
+        let base = Liar::new(Target::Blas);
+        let gpu = Liar::new(Target::Blas).with_profiles(vec![MachineProfile::gpu()]);
+        assert_ne!(
+            base.request_fingerprint(&vsum, &[Target::Blas], &[1.0]),
+            gpu.request_fingerprint(&vsum, &[Target::Blas], &[1.0]),
+            "profile changes must miss the saturation cache"
         );
     }
 

@@ -1,0 +1,108 @@
+//! Machine profiles: per-request cost-model parameter sets.
+//!
+//! The paper's discount factors (listings 7–8) describe one nominal
+//! machine. A [`MachineProfile`] re-weights the same model for different
+//! hardware — scalar loops vs. vector calls vs. matrix calls, plus a
+//! fixed per-call overhead — so one saturated e-graph can be *extracted*
+//! under many machines ("saturate once, extract everywhere"): saturation
+//! is profile-independent, only extraction reads the profile.
+//!
+//! The built-in profiles' factors are semi-arbitrary in the same spirit
+//! as the paper's: chosen to order the alternatives plausibly, not
+//! measured.
+
+/// A named cost-model parameter set. The [`default`](MachineProfile::default)
+/// profile is the identity: every factor 1, overhead 0, so costs are
+/// bit-identical to the unprofiled model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineProfile {
+    /// Stable name; the serve protocol and the fingerprint key on it.
+    pub name: &'static str,
+    /// Multiplier on the base model's scalar unit (loop iterations,
+    /// scalar ops — every unit charge of listing 6).
+    pub loop_scale: f64,
+    /// Multiplier on vector library calls (`memset`, `dot`, `axpy`,
+    /// `add`, `mul`, `sum`, `full`).
+    pub vector_scale: f64,
+    /// Multiplier on matrix library calls (`gemv`, `gemm`, `transpose`,
+    /// `mv`, `mm`).
+    pub matrix_scale: f64,
+    /// Fixed cost added to every library call (dispatch / kernel-launch
+    /// overhead), independent of the discount scale.
+    pub call_overhead: f64,
+}
+
+impl Default for MachineProfile {
+    fn default() -> Self {
+        MachineProfile {
+            name: "default",
+            loop_scale: 1.0,
+            vector_scale: 1.0,
+            matrix_scale: 1.0,
+            call_overhead: 0.0,
+        }
+    }
+}
+
+impl MachineProfile {
+    /// All built-in profiles, in fingerprint-stable order.
+    pub const ALL_NAMES: [&'static str; 3] = ["default", "gpu", "simd"];
+
+    /// A GPU-ish machine: matrix kernels very cheap, vector kernels
+    /// cheap, but every call pays a launch overhead and scalar host
+    /// loops are dear.
+    pub fn gpu() -> Self {
+        MachineProfile {
+            name: "gpu",
+            loop_scale: 2.0,
+            vector_scale: 0.5,
+            matrix_scale: 0.25,
+            call_overhead: 5.0,
+        }
+    }
+
+    /// A SIMD CPU: vector calls cheap, matrix calls mildly cheaper,
+    /// small call overhead, scalar loops at the nominal rate.
+    pub fn simd() -> Self {
+        MachineProfile {
+            name: "simd",
+            loop_scale: 1.0,
+            vector_scale: 0.6,
+            matrix_scale: 0.9,
+            call_overhead: 0.5,
+        }
+    }
+
+    /// Look up a built-in profile by its stable name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "default" => Some(MachineProfile::default()),
+            "gpu" => Some(MachineProfile::gpu()),
+            "simd" => Some(MachineProfile::simd()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_the_identity() {
+        let p = MachineProfile::default();
+        assert_eq!(p.loop_scale, 1.0);
+        assert_eq!(p.vector_scale, 1.0);
+        assert_eq!(p.matrix_scale, 1.0);
+        assert_eq!(p.call_overhead, 0.0);
+    }
+
+    #[test]
+    fn by_name_round_trips_every_builtin() {
+        for name in MachineProfile::ALL_NAMES {
+            let p = MachineProfile::by_name(name).unwrap();
+            assert_eq!(p.name, name);
+        }
+        assert_eq!(MachineProfile::by_name("tpu"), None);
+    }
+}

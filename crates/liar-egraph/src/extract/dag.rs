@@ -1,0 +1,410 @@
+//! DAG-cost extraction with a Dijkstra (pending-children) worklist.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use super::flat::FlatGraph;
+use super::tree::Extractor;
+use super::{CostFunction, Extract, ExtractionStats, Priority};
+use crate::{Analysis, EGraph, Id, Language, RecExpr};
+
+/// Per-class state of a [`DagExtractor`]: the chosen node, the set of
+/// classes its sub-DAG selects — an arena slice of class positions,
+/// sorted — and the total, the sum of the set's marginals (summed in
+/// position order, so totals are deterministic run to run).
+struct DagChoice<L> {
+    node: L,
+    total: f64,
+    /// `start..start + len` into the extractor's set arena. Selected sets
+    /// live in one shared vector rather than one allocation per class:
+    /// the fixpoint adopts ~one choice per class, and the arena turns
+    /// those thousands of small vectors into appends to a single one
+    /// (displaced choices leave garbage behind, a few MB at worst).
+    /// Entries are bare class positions; the marginal each class is
+    /// charged lives in the per-class `adopted_marginal` table, keeping
+    /// the hot merge loop to 4-byte entries.
+    start: u32,
+    len: u32,
+}
+
+/// DAG-cost extraction: charges each selected e-class **once**, no matter
+/// how many times the extracted term references it.
+///
+/// # The DAG cost
+///
+/// Every e-node is assigned a *marginal* cost: its full
+/// [`CostFunction::cost`] evaluated at the tree-best costs of its
+/// children, minus the sum of those child costs — i.e. the cost the node
+/// adds on top of work that is already paid for. The DAG cost of a
+/// selection is the sum of the marginals of the *distinct* classes it
+/// reaches; the extractor runs the selected-set fixpoint with the same
+/// Dijkstra worklist as [`Extractor`]: e-nodes count unfinalized child
+/// occurrences, a candidate set is built the moment its last child is
+/// finalized, and classes finalize cheapest-total-first (sound because a
+/// candidate's set contains each child's whole set, so with non-negative
+/// marginals its total is never below a child's — see
+/// [`ExtractionStats`]). Candidate nodes whose sub-DAG already contains
+/// the candidate's own class are rejected outright, so the selection can
+/// never be cyclic, even under a cost model that violates the
+/// strictly-increasing contract.
+///
+/// The fixpoint runs over the [`FlatGraph`] its inner [`Extractor`]
+/// already used — the class table, the CSR child and watcher adjacency
+/// and the recorded node costs are shared, not recomputed, so the DAG
+/// pass adds only the marginal and selected-set work on top of the tree
+/// pass (and [`DagExtractor::with_flat`] shares the flatten itself across
+/// cost models).
+///
+/// Two properties follow for cost models with non-negative marginals
+/// (AST size, and LIAR's target cost models — see `docs/EXTRACTION.md`):
+///
+/// * **On trees the strategies agree:** if the best term references every
+///   class once, the marginals telescope and the DAG cost equals the tree
+///   cost exactly.
+/// * **DAG ≤ tree everywhere:** sharing can only remove charges, so for
+///   every class the DAG cost is at most the [`Extractor`] cost.
+///
+/// The greedy fixpoint is not guaranteed *optimal* for the DAG objective
+/// — [`super::ExactExtractor`] solves the same objective exactly by
+/// branch-and-bound, with this extractor's answer as its incumbent.
+///
+/// The extracted [`RecExpr`] shares nodes (a class appears once in the
+/// flat table no matter how often it is referenced), making the sharing
+/// visible to downstream consumers.
+///
+/// # Example
+///
+/// ```
+/// use liar_egraph::{AstSize, DagExtractor, EGraph, Extract, Extractor, SymbolLang};
+///
+/// // (g a) is shared by both children of f.
+/// let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+/// let root = eg.add_expr(&"(f (g a) (g a))".parse().unwrap());
+/// let tree_cost = Extractor::new(&eg, AstSize).find_best(root).0;
+/// let dag = DagExtractor::new(&eg, AstSize);
+/// let (dag_cost, best) = dag.find_best(root);
+/// assert_eq!(tree_cost, 5.0); // f + 2·(g + a)
+/// assert_eq!(dag_cost, 3.0); // f + g + a, the shared class charged once
+/// assert_eq!(best.to_string(), "(f (g a) (g a))");
+/// ```
+pub struct DagExtractor<'a, L: Language, A: Analysis<L>, C> {
+    tree: Extractor<'a, L, A, C>,
+    choices: Vec<Option<DagChoice<L>>>,
+    /// Backing storage of every [`DagChoice`]'s selected set.
+    sets: Vec<u32>,
+    stats: ExtractionStats,
+}
+
+impl<'a, L: Language, A: Analysis<L>, C: CostFunction<L, A>> DagExtractor<'a, L, A, C> {
+    /// Compute the best DAG-cost selection for every class.
+    ///
+    /// Runs tree extraction first (the marginals are defined against
+    /// tree-best child costs), then the selected-set worklist fixpoint.
+    pub fn new(egraph: &'a EGraph<L, A>, cost_fn: C) -> Self {
+        Self::from_tree(Extractor::new(egraph, cost_fn))
+    }
+
+    /// Like [`DagExtractor::new`], but over an already-flattened e-graph —
+    /// use when several cost models extract from one saturation, so the
+    /// flatten is paid once (see [`FlatGraph`]).
+    pub fn with_flat(flat: &'a FlatGraph<'a, L, A>, cost_fn: C) -> Self {
+        Self::from_tree(Extractor::with_flat(flat, cost_fn))
+    }
+
+    fn from_tree(tree: Extractor<'a, L, A, C>) -> Self {
+        let mut extractor = DagExtractor {
+            tree,
+            choices: Vec::new(),
+            sets: Vec::new(),
+            stats: ExtractionStats::default(),
+        };
+        extractor.worklist_fixpoint();
+        extractor
+    }
+
+    fn worklist_fixpoint(&mut self) {
+        let flat = self.tree.flat();
+        let egraph = flat.egraph();
+        let nodes = flat.nodes();
+        let node_class = flat.node_class();
+        let n = flat.num_classes();
+        let tree_cost = self.tree.cost_by_index();
+        let mut choices: Vec<Option<DagChoice<L>>> = (0..n).map(|_| None).collect();
+        let mut stats = ExtractionStats {
+            passes: 1,
+            ..ExtractionStats::default()
+        };
+        // Per-node marginals: they depend only on the fixed tree costs,
+        // so compute them once, over the shared flattened arrays — same
+        // arithmetic as [`super::marginal`], minus its per-child hash
+        // lookups. When the tree fixpoint ran clean its recorded node
+        // costs *are* the full costs at tree-best children, so the cost
+        // model is not consulted at all; only contract-violating models
+        // pay for re-evaluation.
+        let cached_full = self.tree.node_full_costs();
+        let node_marginal: Vec<f64> = (0..nodes.len())
+            .map(|w| {
+                let child_sum: f64 = flat
+                    .node_children(w)
+                    .iter()
+                    .map(|&c| tree_cost[c as usize])
+                    .sum();
+                if !child_sum.is_finite() {
+                    return f64::INFINITY;
+                }
+                let full = match cached_full {
+                    Some(full) => full[w],
+                    None => self.tree.cost_fn().cost(egraph, nodes[w], &mut |id| {
+                        let i = flat
+                            .class_index(id)
+                            .expect("cost models only query a node's own children");
+                        tree_cost[i]
+                    }),
+                };
+                full - child_sum
+            })
+            .collect();
+        let mut pending = flat.node_deps().to_vec();
+        let mut finalized: Vec<bool> = vec![false; n];
+        // Per-class adoption cap, for the same reason as the tree
+        // worklist's improvement cap: only ever reached by cost models
+        // outside the strictly-increasing contract.
+        let cap = n as u32 + 1;
+        let mut adoptions: Vec<u32> = vec![0; n];
+        let mut heap: BinaryHeap<Reverse<(Priority, usize)>> = BinaryHeap::new();
+        let mut sets: Vec<u32> = Vec::new();
+        // The marginal each class is charged under its adopted choice.
+        // Set entries don't carry their marginal: by the time a class
+        // appears in a parent's candidate set it is finalized, so the
+        // per-class table holds exactly the value the old per-entry copies
+        // held — and the hot merge loop moves 4-byte positions instead of
+        // 16-byte pairs.
+        let mut adopted_marginal: Vec<f64> = vec![0.0; n];
+        // Candidate scratch: the accumulator and the merge output, swapped
+        // after every child. Sets are stored sorted by class position, so
+        // the union of the children's sets is an iterative two-way sorted
+        // merge — linear in the entries touched, no sort, no per-candidate
+        // allocation.
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut scratch2: Vec<u32> = Vec::new();
+        // Evaluate one e-node (every child has a — final — choice by
+        // now): build its candidate set and offer it to its class.
+        macro_rules! evaluate {
+            ($w:expr) => {{
+                let w = $w;
+                stats.relaxations += 1;
+                let m = node_marginal[w];
+                let wc = node_class[w] as usize;
+                if m.is_finite() && adoptions[wc] < cap {
+                    let current = choices[wc].as_ref().map(|c| c.total);
+                    let children = flat.node_children(w);
+                    // Cheap lower bound: the candidate's set contains this
+                    // class and (at least) each child's whole set, so its
+                    // total is at least the marginal plus the costliest
+                    // child. Prunes most nodes without touching sets.
+                    let mut bound = m;
+                    for &child in children {
+                        let choice = choices[child as usize]
+                            .as_ref()
+                            .expect("nodes are evaluated after their children finalize");
+                        bound = bound.max(m + choice.total);
+                    }
+                    if current.is_none_or(|c| bound < c) {
+                        // Candidate set: the class itself plus the union
+                        // of its children's sets, rejected when a child's
+                        // set already contains the class (a cycle).
+                        let wc32 = wc as u32;
+                        scratch.clear();
+                        scratch.push(wc32);
+                        let mut cyclic = false;
+                        'build: for &child in children {
+                            let choice = choices[child as usize]
+                                .as_ref()
+                                .expect("candidates are built only after their children finalize");
+                            let lo = choice.start as usize;
+                            let cs = &sets[lo..lo + choice.len as usize];
+                            scratch2.clear();
+                            let (mut a, mut b) = (0, 0);
+                            while a < scratch.len() && b < cs.len() {
+                                let pa = scratch[a];
+                                let pb = cs[b];
+                                if pb == wc32 {
+                                    cyclic = true;
+                                    break 'build;
+                                }
+                                if pa < pb {
+                                    scratch2.push(pa);
+                                    a += 1;
+                                } else if pb < pa {
+                                    scratch2.push(pb);
+                                    b += 1;
+                                } else {
+                                    scratch2.push(pa);
+                                    a += 1;
+                                    b += 1;
+                                }
+                            }
+                            scratch2.extend_from_slice(&scratch[a..]);
+                            for &pb in &cs[b..] {
+                                if pb == wc32 {
+                                    cyclic = true;
+                                    break 'build;
+                                }
+                                scratch2.push(pb);
+                            }
+                            std::mem::swap(&mut scratch, &mut scratch2);
+                        }
+                        if !cyclic {
+                            // Position-ordered summation: deterministic
+                            // totals, bit-identical to the sorted-merge
+                            // predecessor's. The candidate's own class is
+                            // charged the candidate node's marginal; every
+                            // other set member is finalized, so its table
+                            // entry is final too.
+                            let total: f64 = scratch
+                                .iter()
+                                .map(|&p| {
+                                    if p == wc32 {
+                                        m
+                                    } else {
+                                        adopted_marginal[p as usize]
+                                    }
+                                })
+                                .sum();
+                            if current.is_none_or(|c| total < c) {
+                                adoptions[wc] += 1;
+                                adopted_marginal[wc] = m;
+                                let start = sets.len() as u32;
+                                sets.extend_from_slice(&scratch);
+                                choices[wc] = Some(DagChoice {
+                                    node: nodes[w].clone(),
+                                    total,
+                                    start,
+                                    len: scratch.len() as u32,
+                                });
+                                heap.push(Reverse((Priority(total), wc)));
+                            }
+                        }
+                    }
+                }
+            }};
+        }
+        for (w, &deps) in pending.iter().enumerate() {
+            if deps == 0 {
+                evaluate!(w);
+            }
+        }
+        while let Some(Reverse((Priority(t), i))) = heap.pop() {
+            if choices[i].as_ref().is_none_or(|c| t > c.total) {
+                continue; // stale: the class adopted a cheaper set since
+            }
+            let first = !finalized[i];
+            finalized[i] = true;
+            for &w in flat.class_watchers(i) {
+                let w = w as usize;
+                if first {
+                    pending[w] -= 1;
+                    if pending[w] > 0 {
+                        continue; // some child is still unfinalized
+                    }
+                } else {
+                    // A finalized class adopted a cheaper set
+                    // (contract-violating model): re-notify the watchers
+                    // that already fired.
+                    if pending[w] > 0 {
+                        continue;
+                    }
+                    stats.revisits += 1;
+                }
+                evaluate!(w);
+            }
+        }
+        stats.extractable_classes = choices.iter().flatten().count();
+        self.choices = choices;
+        self.sets = sets;
+        self.stats = stats;
+    }
+
+    /// Fixpoint statistics of this extraction (the DAG worklist; the
+    /// inner tree extraction reports its own via
+    /// [`Extractor::stats`]).
+    pub fn stats(&self) -> ExtractionStats {
+        self.stats
+    }
+
+    fn choice(&self, id: Id) -> Option<&DagChoice<L>> {
+        self.choices[self.tree.flat().class_index(id)?].as_ref()
+    }
+
+    /// The chosen e-node of a class.
+    pub fn best_node(&self, id: Id) -> Option<&L> {
+        self.choice(id).map(|c| &c.node)
+    }
+
+    /// The number of distinct classes the best selection of `id` reaches —
+    /// the size of the extracted DAG (the tree size is `extract`'s
+    /// expression length only when nothing is shared).
+    pub fn selected_classes(&self, id: Id) -> Option<usize> {
+        self.choice(id).map(|c| c.len as usize)
+    }
+
+    /// The tree cost of the same class under the same cost function (the
+    /// inner [`Extractor`] this extraction was seeded from).
+    pub fn tree_cost(&self, id: Id) -> Option<f64> {
+        self.tree.best_cost(id)
+    }
+
+    /// The inner tree-cost [`Extractor`] (the DAG marginals are defined
+    /// against its best costs). One `DagExtractor` therefore serves both
+    /// accounting strategies without running two fixpoints from scratch.
+    pub fn tree_extractor(&self) -> &Extractor<'a, L, A, C> {
+        &self.tree
+    }
+
+    /// Extract the best term for a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class has no extractable term. Use
+    /// [`DagExtractor::try_find_best`] when extractability is not
+    /// guaranteed.
+    pub fn find_best(&self, id: Id) -> (f64, RecExpr<L>) {
+        Extract::find_best(self, id)
+    }
+
+    /// Extract the best term for a class, or a structured
+    /// [`super::ExtractError`] when the class has no extractable term.
+    pub fn try_find_best(&self, id: Id) -> Result<(f64, RecExpr<L>), super::ExtractError> {
+        Extract::try_find_best(self, id)
+    }
+
+    fn build_best(&self, id: Id, expr: &mut RecExpr<L>, memo: &mut HashMap<Id, Id>) -> Id {
+        let id = self.tree.egraph().find(id);
+        if let Some(&done) = memo.get(&id) {
+            return done;
+        }
+        let node = self
+            .choice(id)
+            .expect("extract only reconstructs chosen classes")
+            .node
+            .clone()
+            .map_children(|c| self.build_best(c, expr, memo));
+        let index = expr.add(node);
+        memo.insert(id, index);
+        index
+    }
+}
+
+impl<L: Language, A: Analysis<L>, C: CostFunction<L, A>> Extract<L> for DagExtractor<'_, L, A, C> {
+    fn best_cost(&self, id: Id) -> Option<f64> {
+        self.choice(id).map(|c| c.total)
+    }
+
+    fn extract(&self, id: Id) -> Option<(f64, RecExpr<L>)> {
+        let id = self.tree.egraph().find(id);
+        let total = self.choice(id)?.total;
+        let mut expr = RecExpr::default();
+        self.build_best(id, &mut expr, &mut HashMap::new());
+        Some((total, expr))
+    }
+}

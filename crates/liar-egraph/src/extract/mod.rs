@@ -1,0 +1,600 @@
+//! Cost-based extraction: picking one best term out of a saturated e-graph.
+//!
+//! Three strategies implement the common [`Extract`] trait:
+//!
+//! * [`Extractor`] — *tree* costs: a shared subterm is charged once per
+//!   use, exactly as if the extracted expression were a tree. This is the
+//!   classic extraction of equality saturation (paper §II(c), §V-C) and
+//!   the strategy whose per-step results the pipeline reports.
+//! * [`DagExtractor`] — *DAG* costs: each selected e-class is charged
+//!   once, no matter how many times the extracted term refers to it. This
+//!   is the right accounting for CSE-heavy rewrites (a hoisted `dot`
+//!   reused by two rows costs one `dot`, not two).
+//! * [`ExactExtractor`] — the same DAG objective solved *exactly* by
+//!   branch-and-bound over e-class node selection, with the greedy
+//!   [`DagExtractor`] result as the incumbent bound and a budget that
+//!   falls back to the greedy answer ([`ExactOutcome`] reports which
+//!   answer you got).
+//!
+//! [`Extractor`] and [`DagExtractor`] both run **Dijkstra priority
+//! worklists** (Knuth's grammar generalization of Dijkstra's algorithm):
+//! every e-node counts its unfinalized child occurrences, leaves seed a
+//! cheapest-first heap, popping a class finalizes its cost, and an e-node
+//! is evaluated exactly once — when its last child finalizes. Total work
+//! is `O(nodes + classes·log classes)` rather than `passes × classes`.
+//! [`ExtractionStats`] counts the evaluations and re-visits; the
+//! whole-graph value-iteration they replaced survives in [`oracle`] as a
+//! differential reference.
+//!
+//! See `docs/EXTRACTION.md` at the repo root for the full story, including
+//! when the strategies agree and how the DAG cost is defined.
+
+use crate::{Analysis, EGraph, Id, Language, RecExpr};
+
+mod dag;
+mod exact;
+mod flat;
+pub mod oracle;
+mod tree;
+
+pub use dag::DagExtractor;
+pub use exact::{ExactBudget, ExactExtractor, ExactOutcome, ExactReport};
+pub use flat::FlatGraph;
+pub use tree::Extractor;
+
+/// A local cost model: the cost of a node given its children's best costs.
+///
+/// Costs are `f64` because the paper's library cost models use fractional
+/// discount factors (`.8N`, `.7NM`, …). The e-graph is passed in so a cost
+/// model can consult e-class analyses (LIAR reads array extents from `Dim`
+/// leaves this way).
+///
+/// Implementations should be *strictly increasing*: a node's cost should be
+/// strictly greater than each child's cost. [`Extractor`] is nevertheless
+/// safe (it never hangs or selects a cyclic term) for models that violate
+/// this, at the price of a possibly suboptimal — but still sound —
+/// selection.
+pub trait CostFunction<L: Language, A: Analysis<L>> {
+    /// Cost of `enode`, where `child_cost` gives the current best cost of
+    /// a child class (`f64::INFINITY` when not yet known).
+    fn cost<F: FnMut(Id) -> f64>(
+        &self,
+        egraph: &EGraph<L, A>,
+        enode: &L,
+        child_cost: &mut F,
+    ) -> f64;
+
+    /// Cost of a whole term (mainly for tests and reporting).
+    ///
+    /// # Invariant
+    ///
+    /// `expr` must be non-empty: an empty [`RecExpr`] has no root and
+    /// therefore no cost. Debug builds assert this; release builds return
+    /// `0.0` for backwards compatibility.
+    fn cost_expr(&self, egraph: &EGraph<L, A>, expr: &RecExpr<L>) -> f64 {
+        debug_assert!(
+            !expr.is_empty(),
+            "cost_expr on an empty expression — an empty RecExpr has no root"
+        );
+        let mut costs: Vec<f64> = Vec::with_capacity(expr.len());
+        for node in expr.nodes() {
+            let c = self.cost(egraph, node, &mut |id| costs[id.index()]);
+            costs.push(c);
+        }
+        costs.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// AST size: every node costs 1 plus its children.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AstSize;
+
+impl<L: Language, A: Analysis<L>> CostFunction<L, A> for AstSize {
+    fn cost<F: FnMut(Id) -> f64>(
+        &self,
+        _egraph: &EGraph<L, A>,
+        enode: &L,
+        child_cost: &mut F,
+    ) -> f64 {
+        enode.fold(1.0, |acc, id| acc + child_cost(id))
+    }
+}
+
+/// AST depth: one plus the maximum child depth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AstDepth;
+
+impl<L: Language, A: Analysis<L>> CostFunction<L, A> for AstDepth {
+    fn cost<F: FnMut(Id) -> f64>(
+        &self,
+        _egraph: &EGraph<L, A>,
+        enode: &L,
+        child_cost: &mut F,
+    ) -> f64 {
+        enode.fold(1.0, |acc, id| acc.max(1.0 + child_cost(id)))
+    }
+}
+
+/// Extraction failed: the class has no finite-cost term under the active
+/// cost model.
+///
+/// Every candidate node of the class (transitively) costs infinity — in
+/// LIAR this means the class only contains library calls the active target
+/// does not offer (e.g. an `axpy` call extracted under the PyTorch model).
+/// Classes created by adding expressions always have at least their
+/// original term, so this is a *request* problem, not an e-graph
+/// invariant violation: [`Extract::try_find_best`] surfaces it as a value
+/// and the serve daemon maps it to a structured protocol error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractError {
+    /// The class with no extractable term (as passed in, not canonicalized).
+    pub class: Id,
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "class {} has no extractable term under this cost model",
+            self.class
+        )
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// The common interface of the extraction strategies.
+///
+/// [`Extractor`] (tree costs), [`DagExtractor`] (DAG costs) and
+/// [`ExactExtractor`] (exact DAG costs) implement this, so downstream code
+/// — the multi-target pipeline, the extraction gym — can be written once
+/// against any strategy.
+///
+/// # Example
+///
+/// ```
+/// use liar_egraph::{AstSize, DagExtractor, EGraph, Extract, Extractor, SymbolLang};
+///
+/// fn best_under<E: Extract<SymbolLang>>(e: &E, id: liar_egraph::Id) -> f64 {
+///     e.extract(id).expect("extractable").0
+/// }
+///
+/// let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+/// let root = eg.add_expr(&"(f (g a) (g a))".parse().unwrap());
+/// let tree = Extractor::new(&eg, AstSize);
+/// let dag = DagExtractor::new(&eg, AstSize);
+/// assert_eq!(best_under(&tree, root), 5.0); // f + 2·(g + a): (g a) charged twice
+/// assert_eq!(best_under(&dag, root), 3.0); // f + g + a: each class charged once
+/// ```
+pub trait Extract<L: Language> {
+    /// The best cost of a class under this strategy, if any term is
+    /// extractable from it.
+    fn best_cost(&self, id: Id) -> Option<f64>;
+
+    /// Extract the best term for a class together with its cost, or
+    /// `None` when the class has no extractable term (every candidate
+    /// node has infinite cost — e.g. a library call the active target
+    /// does not offer).
+    fn extract(&self, id: Id) -> Option<(f64, RecExpr<L>)>;
+
+    /// Extract the best term for a class, or a structured
+    /// [`ExtractError`] when the class has no extractable term.
+    ///
+    /// Prefer this over [`Extract::find_best`] anywhere the input is not
+    /// known to be extractable — a request for a foreign target's library
+    /// call should become an error reply, not a worker panic.
+    fn try_find_best(&self, id: Id) -> Result<(f64, RecExpr<L>), ExtractError> {
+        self.extract(id).ok_or(ExtractError { class: id })
+    }
+
+    /// Extract the best term for a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class has no extractable term (impossible for classes
+    /// created by adding expressions). Use [`Extract::try_find_best`] when
+    /// that is not guaranteed.
+    fn find_best(&self, id: Id) -> (f64, RecExpr<L>) {
+        self.try_find_best(id).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Statistics of one extraction fixpoint, for reporting (the extract bench
+/// and the multi-target pipeline surface these).
+///
+/// The worklist extractors flatten the e-nodes in one seeding sweep
+/// (`passes == 1`) and then evaluate each e-node once, when its last
+/// child is finalized: `relaxations` counts the e-node evaluations,
+/// `revisits` the re-evaluations forced by a cost model outside the
+/// strictly-increasing contract (zero for well-behaved models) — where
+/// the old whole-graph value iteration (`oracle`) paid
+/// `passes × classes` full-class evaluations instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractionStats {
+    /// Full sweeps over the e-graph (1 for the worklist extractors: the
+    /// seeding sweep; the `oracle` reference counts every pass here).
+    pub passes: usize,
+    /// Classes with a finite-cost selection.
+    pub extractable_classes: usize,
+    /// E-node evaluations, total. At most one per e-node for cost models
+    /// honoring the strictly-increasing contract.
+    pub relaxations: usize,
+    /// E-node re-evaluations after a *finalized* class improved — only a
+    /// cost model outside the strictly-increasing contract can force
+    /// these; zero otherwise.
+    pub revisits: usize,
+}
+
+/// The marginal cost of `node` against `tree`'s best costs: the node's
+/// full cost at the tree-best child costs, minus the sum of those child
+/// costs — i.e. the cost the node adds on top of work that is already
+/// paid for. Infinite when the node itself costs infinity or any child is
+/// unextractable. Shared by the greedy [`DagExtractor`] and the
+/// [`ExactExtractor`], which optimize the same objective.
+pub(crate) fn marginal<L: Language, A: Analysis<L>, C: CostFunction<L, A>>(
+    tree: &Extractor<'_, L, A, C>,
+    node: &L,
+) -> f64 {
+    let egraph = tree.egraph();
+    let mut child_sum = 0.0;
+    let mut all_known = true;
+    node.for_each(|c| match tree.best_cost(c) {
+        Some(c) => child_sum += c,
+        None => all_known = false,
+    });
+    if !all_known {
+        return f64::INFINITY;
+    }
+    let full = tree.cost_fn().cost(egraph, node, &mut |id| {
+        tree.best_cost(id).expect("all children known")
+    });
+    full - child_sum
+}
+
+/// A total order on `f64` priorities for the worklists (`total_cmp`:
+/// `-inf < … < inf < NaN`; costs are never NaN in practice).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Priority(pub f64);
+
+impl Eq for Priority {}
+
+impl PartialOrd for Priority {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Priority {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rewrite, Runner, SymbolLang};
+
+    #[test]
+    fn ast_size_picks_smaller_member() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let big = eg.add_expr(&"(+ (+ a 0) 0)".parse().unwrap());
+        let small = eg.add_expr(&"a".parse().unwrap());
+        eg.union(big, small);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        let (cost, best) = ex.find_best(big);
+        assert_eq!(best.to_string(), "a");
+        assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn extraction_descends_through_children() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let root = eg.add_expr(&"(f (+ a 0))".parse().unwrap());
+        let rw = Rewrite::<SymbolLang, ()>::from_patterns("add0", "(+ ?x 0)", "?x");
+        let mut runner = Runner::new(eg);
+        runner.run(&[rw]);
+        let ex = Extractor::new(&runner.egraph, AstSize);
+        let (cost, best) = ex.find_best(root);
+        assert_eq!(best.to_string(), "(f a)");
+        assert_eq!(cost, 2.0);
+    }
+
+    #[test]
+    fn ast_depth() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let root = eg.add_expr(&"(f (g a) b)".parse().unwrap());
+        let ex = Extractor::new(&eg, AstDepth);
+        assert_eq!(ex.best_cost(root), Some(3.0));
+    }
+
+    #[test]
+    fn cost_expr_matches_extracted_cost() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let root = eg.add_expr(&"(+ (* a b) c)".parse().unwrap());
+        let ex = Extractor::new(&eg, AstSize);
+        let (cost, best) = ex.find_best(root);
+        assert_eq!(cost, AstSize.cost_expr(&eg, &best));
+    }
+
+    #[test]
+    fn custom_cost_function_prefers_shift() {
+        struct ShiftCheap;
+        impl CostFunction<SymbolLang, ()> for ShiftCheap {
+            fn cost<F: FnMut(Id) -> f64>(
+                &self,
+                _eg: &EGraph<SymbolLang, ()>,
+                enode: &SymbolLang,
+                child: &mut F,
+            ) -> f64 {
+                let op_cost = match enode.op.as_str() {
+                    "/" => 10.0,
+                    "<<" => 1.0,
+                    _ => 1.0,
+                };
+                enode.fold(op_cost, |acc, id| acc + child(id))
+            }
+        }
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let root = eg.add_expr(&"(/ a 2)".parse().unwrap());
+        let rw =
+            Rewrite::<SymbolLang, ()>::from_patterns("div2", "(/ ?x 2)", "(<< ?x 1)");
+        let mut runner = Runner::new(eg);
+        runner.run(&[rw]);
+        let ex = Extractor::new(&runner.egraph, ShiftCheap);
+        let (_, best) = ex.find_best(root);
+        assert_eq!(best.to_string(), "(<< a 1)");
+    }
+
+    /// A cost model that violates the strictly-increasing contract: `f`
+    /// and `g` *halve* their child's cost, so around the cycle
+    /// `a = {x, (f b)}`, `b = {(g a)}` every trip gets cheaper and the
+    /// naive improving fixpoint would chase it forever (and select it).
+    struct Halving;
+    impl CostFunction<SymbolLang, ()> for Halving {
+        fn cost<F: FnMut(Id) -> f64>(
+            &self,
+            _eg: &EGraph<SymbolLang, ()>,
+            enode: &SymbolLang,
+            child: &mut F,
+        ) -> f64 {
+            match enode.op.as_str() {
+                "f" | "g" => 0.5 * enode.fold(0.0, |acc, id| acc + child(id)),
+                _ => enode.fold(1.0, |acc, id| acc + child(id)),
+            }
+        }
+    }
+
+    /// An e-graph where class `a = {x, (f b)}` and `b = {(g a)}` form a
+    /// selection cycle under a non-strictly-increasing model.
+    fn cyclic_temptation() -> (EGraph<SymbolLang, ()>, Id) {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let a = eg.add_expr(&"x".parse().unwrap());
+        let ga = eg.add(SymbolLang::new("g", vec![a]));
+        let fga = eg.add(SymbolLang::new("f", vec![ga]));
+        eg.union(a, fga);
+        eg.rebuild();
+        (eg, a)
+    }
+
+    #[test]
+    fn non_increasing_cost_model_terminates_without_cycles() {
+        let (eg, a) = cyclic_temptation();
+        let ex = Extractor::new(&eg, Halving);
+        // Must terminate and reconstruct a finite term (the acyclic `x`).
+        let (cost, best) = ex.find_best(a);
+        assert_eq!(best.to_string(), "x");
+        assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn dag_extractor_rejects_cycles_under_non_increasing_model() {
+        let (eg, a) = cyclic_temptation();
+        let ex = DagExtractor::new(&eg, Halving);
+        let (_, best) = ex.find_best(a);
+        assert_eq!(best.to_string(), "x");
+    }
+
+    #[test]
+    fn exact_extractor_rejects_cycles_under_non_increasing_model() {
+        let (eg, a) = cyclic_temptation();
+        let ex = ExactExtractor::new(&eg, Halving);
+        let report = ex.solve(a).expect("extractable");
+        assert_eq!(report.expr.to_string(), "x");
+    }
+
+    struct NoH;
+    impl CostFunction<SymbolLang, ()> for NoH {
+        fn cost<F: FnMut(Id) -> f64>(
+            &self,
+            _eg: &EGraph<SymbolLang, ()>,
+            enode: &SymbolLang,
+            child: &mut F,
+        ) -> f64 {
+            let op = if enode.op.as_str() == "h" {
+                f64::INFINITY
+            } else {
+                1.0
+            };
+            enode.fold(op, |acc, id| acc + child(id))
+        }
+    }
+
+    #[test]
+    fn unextractable_class_reports_none() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        // `(h a)` is the only member of its class: infinite under NoH.
+        let root = eg.add_expr(&"(k (h a))".parse().unwrap());
+        let inner = eg.lookup_expr(&"(h a)".parse().unwrap()).unwrap();
+        let tree = Extractor::new(&eg, NoH);
+        assert_eq!(tree.best_cost(inner), None);
+        assert_eq!(tree.best_cost(root), None);
+        assert!(Extract::extract(&tree, root).is_none());
+        let dag = DagExtractor::new(&eg, NoH);
+        assert_eq!(Extract::best_cost(&dag, root), None);
+        assert!(dag.extract(root).is_none());
+        // The leaf `a` is still extractable under both strategies.
+        let leaf = eg.lookup_expr(&"a".parse().unwrap()).unwrap();
+        assert_eq!(tree.best_cost(leaf), Some(1.0));
+        assert_eq!(Extract::best_cost(&dag, leaf), Some(1.0));
+    }
+
+    #[test]
+    fn unextractable_class_is_a_structured_error() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let root = eg.add_expr(&"(k (h a))".parse().unwrap());
+        let tree = Extractor::new(&eg, NoH);
+        let err = Extract::try_find_best(&tree, root).unwrap_err();
+        assert_eq!(err, ExtractError { class: root });
+        assert!(err.to_string().contains("no extractable term"));
+        let dag = DagExtractor::new(&eg, NoH);
+        assert_eq!(
+            Extract::try_find_best(&dag, root).unwrap_err().class,
+            root
+        );
+        // Extractable classes answer Ok.
+        let leaf = eg.lookup_expr(&"a".parse().unwrap()).unwrap();
+        assert!(Extract::try_find_best(&tree, leaf).is_ok());
+    }
+
+    #[test]
+    fn dag_cost_equals_tree_cost_on_trees() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        // No class is referenced twice: a genuine tree.
+        let root = eg.add_expr(&"(f (g a) (h b))".parse().unwrap());
+        let tree = Extractor::new(&eg, AstSize);
+        let dag = DagExtractor::new(&eg, AstSize);
+        assert_eq!(tree.best_cost(root), Extract::best_cost(&dag, root));
+        assert_eq!(tree.find_best(root).1, dag.find_best(root).1);
+    }
+
+    #[test]
+    fn dag_extractor_shares_across_rewrites() {
+        // After rewriting, both arms of + are the same class; DAG cost
+        // charges the shared (* a b) once.
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let root = eg.add_expr(&"(+ (* a b) (* b a))".parse().unwrap());
+        let rw = Rewrite::<SymbolLang, ()>::from_patterns(
+            "mul-comm",
+            "(* ?x ?y)",
+            "(* ?y ?x)",
+        );
+        let mut runner = Runner::new(eg).with_iter_limit(3);
+        runner.run(&[rw]);
+        let tree = Extractor::new(&runner.egraph, AstSize);
+        let dag = DagExtractor::new(&runner.egraph, AstSize);
+        let tree_cost = tree.best_cost(root).unwrap();
+        let dag_cost = Extract::best_cost(&dag, root).unwrap();
+        assert_eq!(tree_cost, 7.0);
+        assert_eq!(dag_cost, 4.0, "+ and one shared (* a b) sub-DAG");
+        // The flat expression shares the multiplied class: 4 distinct
+        // nodes even though the term references (* a b) twice.
+        let (_, best) = dag.find_best(root);
+        assert_eq!(best.len(), 4);
+    }
+
+    /// Regression: a class whose cheapest node sorts *after* costlier
+    /// ones must still converge to the minimum regardless of the order
+    /// the worklist relaxes classes in.
+    #[test]
+    fn dag_picks_cheapest_node_regardless_of_scan_order() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let big = eg.add_expr(&"(a x y)".parse().unwrap());
+        let mid = eg.add_expr(&"(b x)".parse().unwrap());
+        let leaf = eg.add_expr(&"z".parse().unwrap());
+        eg.union(big, mid);
+        eg.union(big, leaf);
+        eg.rebuild();
+        let tree = Extractor::new(&eg, AstSize);
+        let dag = DagExtractor::new(&eg, AstSize);
+        assert_eq!(tree.best_cost(big), Some(1.0));
+        assert_eq!(
+            Extract::best_cost(&dag, big),
+            Some(1.0),
+            "DAG cost must not exceed the tree cost"
+        );
+        assert_eq!(dag.find_best(big).1.to_string(), "z");
+    }
+
+    #[test]
+    fn dag_never_exceeds_tree_on_random_unions() {
+        // A little deterministic stress: chains with injected sharing.
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        let exprs = [
+            "(f (g (h a)) (g (h a)))",
+            "(+ (* a b) (+ (* a b) (* a b)))",
+            "(k (k (k (k a))))",
+        ];
+        let roots: Vec<Id> = exprs
+            .iter()
+            .map(|s| eg.add_expr(&s.parse().unwrap()))
+            .collect();
+        eg.union(roots[0], roots[2]);
+        eg.rebuild();
+        let tree = Extractor::new(&eg, AstSize);
+        let dag = DagExtractor::new(&eg, AstSize);
+        for class in eg.classes() {
+            let (t, d) = (tree.best_cost(class.id), Extract::best_cost(&dag, class.id));
+            match (t, d) {
+                (Some(t), Some(d)) => assert!(d <= t, "class {}: dag {d} > tree {t}", class.id),
+                (None, None) => {}
+                _ => panic!("extractability diverged on class {}", class.id),
+            }
+        }
+        assert!(dag.stats().passes >= 1);
+        assert_eq!(dag.stats().extractable_classes, eg.num_classes());
+    }
+
+    /// The worklist extractors agree with the whole-graph value-iteration
+    /// reference on every class: bit-identical tree costs, DAG costs
+    /// within float-summation tolerance (see [`oracle`]).
+    #[test]
+    fn worklist_matches_oracle_on_rewritten_graphs() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        for s in [
+            "(f (g (h a)) (g (h a)))",
+            "(+ (* a b) (+ (* a b) (* a b)))",
+            "(k (k (k (k a))))",
+        ] {
+            eg.add_expr(&s.parse().unwrap());
+        }
+        let rw = Rewrite::<SymbolLang, ()>::from_patterns("assoc", "(+ ?x (+ ?y ?z))", "(+ (+ ?x ?y) ?z)");
+        let mut runner = Runner::new(eg).with_iter_limit(4);
+        runner.run(&[rw]);
+        let eg = &runner.egraph;
+        let tree = Extractor::new(eg, AstSize);
+        let dag = DagExtractor::new(eg, AstSize);
+        let oracle_tree = oracle::tree_costs(eg, AstSize);
+        let oracle_dag = oracle::dag_costs(eg, AstSize);
+        for class in eg.classes() {
+            assert_eq!(
+                tree.best_cost(class.id),
+                oracle_tree.get(&class.id).copied(),
+                "tree cost diverged on class {}",
+                class.id
+            );
+            match (Extract::best_cost(&dag, class.id), oracle_dag.get(&class.id)) {
+                (Some(d), Some(&o)) => assert!(
+                    (d - o).abs() < 1e-9,
+                    "dag cost diverged on class {}: worklist {d}, oracle {o}",
+                    class.id
+                ),
+                (None, None) => {}
+                (d, o) => panic!("dag extractability diverged on {}: {d:?} vs {o:?}", class.id),
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_stats_count_relaxations() {
+        let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+        eg.add_expr(&"(f (g (h a)) (g (h a)))".parse().unwrap());
+        let tree = Extractor::new(&eg, AstSize);
+        let stats = tree.stats();
+        assert_eq!(stats.passes, 1, "worklist does one seeding sweep");
+        assert!(stats.relaxations >= eg.num_classes());
+        // Children precede parents in this graph: nothing to re-visit.
+        assert_eq!(stats.revisits, 0, "{stats:?}");
+    }
+}

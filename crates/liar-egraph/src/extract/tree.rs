@@ -1,0 +1,374 @@
+//! Tree-cost extraction with a Dijkstra (pending-children) worklist.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::flat::{FlatGraph, FlatSource};
+use super::{CostFunction, Extract, ExtractionStats, Priority};
+use crate::{Analysis, EGraph, Id, Language, RecExpr};
+
+/// Precomputes the cheapest e-node of every e-class under a
+/// [`CostFunction`] with *tree* cost accounting, then reconstructs best
+/// terms on demand.
+///
+/// This is the extraction step of equality saturation (paper §II(c), §V-C):
+/// after saturation, a cost model walks the e-graph and picks one
+/// expression. A subterm referenced from two places is charged at both —
+/// use [`super::DagExtractor`] to charge shared work once.
+///
+/// # Algorithm
+///
+/// Knuth's generalization of Dijkstra's algorithm to grammars
+/// (superior-function shortest hyperpaths), instead of whole-graph
+/// value-iteration passes: every e-node carries a counter of child
+/// occurrences not yet costed, leaves seed a cheapest-first heap, and
+/// popping a class *finalizes* its cost and decrements the counters of
+/// the e-nodes watching it. An e-node is evaluated exactly **once** — the
+/// moment its last child is finalized, so at final child costs — and
+/// work is `O(nodes + classes·log classes)`, not `passes × classes`; see
+/// [`ExtractionStats`]. Finality of the popped minimum relies on the
+/// [`CostFunction`] contract (a node costs strictly more than each
+/// child); models outside the contract can keep improving a finalized
+/// class, which re-notifies the watchers that already fired (counted as
+/// [`revisits`](ExtractionStats::revisits), capped per class). The
+/// whole-graph reference survives as `super::oracle::tree_costs` and a
+/// differential test keeps the two in agreement.
+///
+/// Ties between equal-cost nodes of a class resolve to the earliest node
+/// in class iteration order, evaluated at the final child costs — a
+/// deterministic rule independent of evaluation order (the pass-based
+/// predecessor kept whichever node reached the final minimum first, a
+/// history-dependent choice).
+///
+/// All state is positional, over the [`FlatGraph`] snapshot of the
+/// e-graph — built privately by [`Extractor::new`], or shared across many
+/// extractions via [`Extractor::with_flat`] (the multi-target pipeline
+/// flattens one saturation once and extracts every target from it).
+pub struct Extractor<'a, L: Language, A: Analysis<L>, C> {
+    flat: FlatSource<'a, L, A>,
+    cost_fn: C,
+    /// Best tree cost per class (`INFINITY` = unextractable).
+    cost: Vec<f64>,
+    /// Chosen e-node per class, as an index into the flat node table
+    /// (`u32::MAX` = none). A class's nodes are contiguous in class
+    /// iteration order, so among nodes of one class, smaller index =
+    /// earlier node — the tie-break order.
+    choice: Vec<u32>,
+    /// Full [`CostFunction::cost`] of each e-node as last evaluated by the
+    /// worklist (`INFINITY` for nodes never evaluated). When the fixpoint
+    /// ran clean (`clean`), every evaluation happened at final child
+    /// costs, so these are exactly the node costs at tree-best children —
+    /// [`super::DagExtractor`] derives its marginals from them without
+    /// re-running the cost model.
+    node_full: Vec<f64>,
+    /// Whether every recorded `node_full` is trustworthy: false when the
+    /// cost model violated the strictly-increasing contract (revisits, or
+    /// the assign-once fallback), in which case consumers must recompute.
+    clean: bool,
+    stats: ExtractionStats,
+}
+
+impl<'a, L: Language, A: Analysis<L>, C: CostFunction<L, A>> Extractor<'a, L, A, C> {
+    /// Compute best costs for every class (worklist fixpoint over the
+    /// e-graph).
+    pub fn new(egraph: &'a EGraph<L, A>, cost_fn: C) -> Self {
+        Self::from_source(FlatSource::Owned(FlatGraph::new(egraph)), cost_fn)
+    }
+
+    /// Like [`Extractor::new`], but over an already-flattened e-graph —
+    /// use when several cost models extract from one saturation, so the
+    /// flatten is paid once (see [`FlatGraph`]).
+    pub fn with_flat(flat: &'a FlatGraph<'a, L, A>, cost_fn: C) -> Self {
+        Self::from_source(FlatSource::Shared(flat), cost_fn)
+    }
+
+    fn from_source(flat: FlatSource<'a, L, A>, cost_fn: C) -> Self {
+        let n = flat.get().num_classes();
+        let num_nodes = flat.get().num_nodes();
+        let mut extractor = Extractor {
+            flat,
+            cost_fn,
+            cost: vec![f64::INFINITY; n],
+            choice: vec![u32::MAX; n],
+            node_full: vec![f64::INFINITY; num_nodes],
+            clean: true,
+            stats: ExtractionStats::default(),
+        };
+        extractor.worklist_fixpoint();
+        if !extractor.selection_is_acyclic() {
+            // The cost model violated the strictly-increasing contract and
+            // the improving fixpoint produced a cyclic selection. Fall back
+            // to assign-once selection, which is acyclic by construction
+            // (a class is only chosen after all of its children): sound,
+            // terminating, possibly suboptimal — but only models outside
+            // the contract ever reach this path.
+            extractor.assign_once();
+            debug_assert!(extractor.selection_is_acyclic());
+        }
+        extractor
+    }
+
+    /// The Dijkstra worklist: leaves seed a cheapest-first heap, popping
+    /// a class finalizes its cost, and an e-node is evaluated once its
+    /// last child is finalized.
+    fn worklist_fixpoint(&mut self) {
+        let flat = self.flat.get();
+        let egraph = flat.egraph();
+        let position = flat.position();
+        let nodes = flat.nodes();
+        let node_class = flat.node_class();
+        let n = flat.num_classes();
+        let mut stats = ExtractionStats {
+            passes: 1,
+            ..ExtractionStats::default()
+        };
+        let mut pending = flat.node_deps().to_vec();
+        let mut cost = std::mem::take(&mut self.cost);
+        let mut choice = std::mem::take(&mut self.choice);
+        let mut node_full = std::mem::take(&mut self.node_full);
+        let mut finalized: Vec<bool> = vec![false; n];
+        // Per-class improvement cap: under the strictly-increasing
+        // contract a finalized class never improves, so only a
+        // contract-violating model (a cycle that keeps getting cheaper)
+        // can revisit one. Stop propagating at the cap; the acyclicity
+        // check in [`Extractor::new`] handles the fallout.
+        let cap = n as u32 + 1;
+        let mut improvements: Vec<u32> = vec![0; n];
+        let mut heap: BinaryHeap<Reverse<(Priority, usize)>> = BinaryHeap::new();
+        // Evaluate one e-node (every child cost is finite by now) and
+        // offer it to its class, earliest-in-class-wins on cost ties.
+        macro_rules! evaluate {
+            ($w:expr) => {{
+                let w = $w;
+                stats.relaxations += 1;
+                let c = self.cost_fn.cost(egraph, nodes[w], &mut |id| {
+                    cost[position[egraph.find(id).index()] as usize]
+                });
+                node_full[w] = c;
+                let wc = node_class[w] as usize;
+                if c < cost[wc] && improvements[wc] < cap {
+                    improvements[wc] += 1;
+                    cost[wc] = c;
+                    choice[wc] = w as u32;
+                    heap.push(Reverse((Priority(c), wc)));
+                } else if c.is_finite() && c == cost[wc] && (w as u32) < choice[wc] {
+                    // Canonical tie-break: re-point the choice at the
+                    // earliest node achieving the (unchanged) minimum.
+                    choice[wc] = w as u32;
+                }
+            }};
+        }
+        for (w, &deps) in pending.iter().enumerate() {
+            if deps == 0 {
+                evaluate!(w);
+            }
+        }
+        while let Some(Reverse((Priority(c), i))) = heap.pop() {
+            if c > cost[i] {
+                continue; // stale: the class improved again after this push
+            }
+            let first = !finalized[i];
+            finalized[i] = true;
+            for &w in flat.class_watchers(i) {
+                let w = w as usize;
+                if first {
+                    pending[w] -= 1;
+                    if pending[w] > 0 {
+                        continue; // some child is still unfinalized
+                    }
+                } else {
+                    // A finalized class improved (contract-violating
+                    // model): re-notify the watchers that already fired.
+                    if pending[w] > 0 {
+                        continue;
+                    }
+                    stats.revisits += 1;
+                }
+                evaluate!(w);
+            }
+        }
+        stats.extractable_classes = cost.iter().filter(|c| c.is_finite()).count();
+        self.cost = cost;
+        self.choice = choice;
+        self.node_full = node_full;
+        self.clean = stats.revisits == 0;
+        self.stats = stats;
+    }
+
+    /// Assign-once fallback for cost models outside the strictly-increasing
+    /// contract: every class keeps its *first* finite-cost node, whose
+    /// children were all assigned before it — acyclic by construction.
+    /// Passes are capped at `#classes + 1`, enough for any acyclic
+    /// dependency chain.
+    fn assign_once(&mut self) {
+        let flat = self.flat.get();
+        let egraph = flat.egraph();
+        let position = flat.position();
+        let nodes = flat.nodes();
+        let node_class = flat.node_class();
+        let n = flat.num_classes();
+        let mut cost = vec![f64::INFINITY; n];
+        let mut choice = vec![u32::MAX; n];
+        let max_passes = n + 1;
+        for _ in 0..max_passes {
+            self.stats.passes += 1;
+            let mut changed = false;
+            for w in 0..nodes.len() {
+                let wc = node_class[w] as usize;
+                if choice[wc] != u32::MAX {
+                    continue;
+                }
+                let known = flat
+                    .node_children(w)
+                    .iter()
+                    .all(|&c| cost[c as usize].is_finite());
+                if !known {
+                    continue;
+                }
+                let c = self.cost_fn.cost(egraph, nodes[w], &mut |id| {
+                    cost[position[egraph.find(id).index()] as usize]
+                });
+                if c.is_finite() {
+                    cost[wc] = c;
+                    choice[wc] = w as u32;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.stats.extractable_classes = cost.iter().filter(|c| c.is_finite()).count();
+        self.cost = cost;
+        self.choice = choice;
+        self.clean = false;
+    }
+
+    /// Whether the per-class selection forms a DAG (it always does for
+    /// strictly-increasing cost models; see [`CostFunction`]).
+    fn selection_is_acyclic(&self) -> bool {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let flat = self.flat.get();
+        let n = flat.num_classes();
+        let mut color: Vec<Color> = vec![Color::White; n];
+        // Iterative DFS over selection edges, three-coloring the classes.
+        for start in 0..n {
+            if self.choice[start] == u32::MAX || color[start] != Color::White {
+                continue;
+            }
+            let mut stack: Vec<(u32, bool)> = vec![(start as u32, false)];
+            while let Some((i, expanded)) = stack.pop() {
+                let i = i as usize;
+                if expanded {
+                    color[i] = Color::Black;
+                    continue;
+                }
+                match color[i] {
+                    Color::Black => continue,
+                    Color::Grey => return false,
+                    Color::White => {}
+                }
+                color[i] = Color::Grey;
+                stack.push((i as u32, true));
+                for &c in flat.node_children(self.choice[i] as usize) {
+                    match color[c as usize] {
+                        Color::Grey => return false,
+                        Color::White => stack.push((c, false)),
+                        Color::Black => {}
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The e-graph this extractor selected over.
+    pub(super) fn egraph(&self) -> &'a EGraph<L, A> {
+        self.flat.get().egraph()
+    }
+
+    /// The cost model (the DAG marginals are defined against it).
+    pub(super) fn cost_fn(&self) -> &C {
+        &self.cost_fn
+    }
+
+    /// The flattened e-graph this extractor ran over (shared with
+    /// [`super::DagExtractor`]'s selected-set fixpoint).
+    pub(super) fn flat(&self) -> &FlatGraph<'a, L, A> {
+        self.flat.get()
+    }
+
+    /// Best tree cost per class index (`INFINITY` = unextractable).
+    pub(super) fn cost_by_index(&self) -> &[f64] {
+        &self.cost
+    }
+
+    /// Full node costs at tree-best children, when the fixpoint ran
+    /// clean (see the `node_full` field); `None` forces the consumer to
+    /// recompute against the cost model.
+    pub(super) fn node_full_costs(&self) -> Option<&[f64]> {
+        self.clean.then_some(&self.node_full[..])
+    }
+
+    /// Worklist statistics of this extraction.
+    pub fn stats(&self) -> ExtractionStats {
+        self.stats
+    }
+
+    /// The best cost of a class, if any term is extractable.
+    pub fn best_cost(&self, id: Id) -> Option<f64> {
+        let i = self.flat.get().class_index(id)?;
+        self.cost[i].is_finite().then_some(self.cost[i])
+    }
+
+    /// The cheapest e-node of a class.
+    pub fn best_node(&self, id: Id) -> Option<&L> {
+        let i = self.flat.get().class_index(id)?;
+        let w = self.choice[i];
+        (w != u32::MAX).then(|| self.flat.get().nodes()[w as usize])
+    }
+
+    /// Extract the best term for a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class has no extractable term (impossible for classes
+    /// created by adding expressions). Use [`Extractor::try_find_best`]
+    /// when that is not guaranteed.
+    pub fn find_best(&self, id: Id) -> (f64, RecExpr<L>) {
+        Extract::find_best(self, id)
+    }
+
+    /// Extract the best term for a class, or a structured
+    /// [`super::ExtractError`] when the class has no extractable term.
+    pub fn try_find_best(&self, id: Id) -> Result<(f64, RecExpr<L>), super::ExtractError> {
+        Extract::try_find_best(self, id)
+    }
+
+    fn build_best(&self, id: Id, expr: &mut RecExpr<L>) -> Id {
+        let id = self.egraph().find(id);
+        let node = self
+            .best_node(id)
+            .unwrap_or_else(|| panic!("class {id} has no extractable term"));
+        let node = node.clone().map_children(|c| self.build_best(c, expr));
+        expr.add(node)
+    }
+}
+
+impl<L: Language, A: Analysis<L>, C: CostFunction<L, A>> Extract<L> for Extractor<'_, L, A, C> {
+    fn best_cost(&self, id: Id) -> Option<f64> {
+        Extractor::best_cost(self, id)
+    }
+
+    fn extract(&self, id: Id) -> Option<(f64, RecExpr<L>)> {
+        let cost = Extractor::best_cost(self, id)?;
+        let mut expr = RecExpr::default();
+        self.build_best(id, &mut expr);
+        Some((cost, expr))
+    }
+}

@@ -92,7 +92,8 @@ pub use dot::Dot;
 pub use egraph::{EClass, EGraph};
 pub use explain::{Direction, Explanation, Justification, ProofError, ProofStep};
 pub use extract::{
-    AstDepth, AstSize, CostFunction, DagExtractor, Extract, ExtractionStats, Extractor,
+    AstDepth, AstSize, CostFunction, DagExtractor, ExactBudget, ExactExtractor, ExactOutcome,
+    ExactReport, Extract, ExtractError, ExtractionStats, Extractor, FlatGraph,
 };
 pub use id::Id;
 pub use language::{Language, RecExpr, RecExprParseError};

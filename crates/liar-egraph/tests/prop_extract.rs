@@ -7,14 +7,19 @@
 //! * when the tree-best term references every class once, the two
 //!   strategies report the same cost;
 //! * both extracted terms are members of the class they were extracted
-//!   from, and their reported costs are consistent with their shape.
+//!   from, and their reported costs are consistent with their shape;
+//! * the exact extractor never exceeds the greedy DAG cost (which never
+//!   exceeds the tree cost), and all three agree exactly on unshared
+//!   terms.
 //!
 //! Gated behind the `proptest` feature like the other property suites
 //! (the offline workspace does not vendor proptest).
 
 use proptest::prelude::*;
 
-use liar_egraph::{AstSize, DagExtractor, EGraph, Extract, Extractor, Id, RecExpr, SymbolLang};
+use liar_egraph::{
+    AstSize, DagExtractor, EGraph, ExactExtractor, Extract, Extractor, Id, RecExpr, SymbolLang,
+};
 
 type EG = EGraph<SymbolLang, ()>;
 
@@ -148,6 +153,64 @@ proptest! {
             // node count of the shared flat expression.
             prop_assert_eq!(d_cost as usize, d_best.len());
             prop_assert_eq!(dag.selected_classes(root), Some(d_best.len()));
+        }
+    }
+
+    /// The extractor hierarchy on random e-graphs: exact ≤ greedy DAG ≤
+    /// tree cost for every root, and exact agrees with extractability.
+    #[test]
+    fn exact_never_exceeds_dag_never_exceeds_tree(
+        terms in proptest::collection::vec(arb_term(4), 2..6),
+        union_pairs in proptest::collection::vec((0usize..6, 0usize..6), 0..5),
+    ) {
+        let (eg, roots) = graph_of(&terms, &union_pairs);
+        let dag = DagExtractor::new(&eg, AstSize);
+        let exact = ExactExtractor::new(&eg, AstSize);
+        for &root in &roots {
+            let t = dag.tree_extractor().best_cost(root);
+            let d = Extract::best_cost(&dag, root);
+            let report = exact.solve(root);
+            match (t, d, report) {
+                (Some(t), Some(d), Some(report)) => {
+                    prop_assert!(d <= t + 1e-9, "dag {} > tree {}", d, t);
+                    prop_assert!(report.cost <= d + 1e-9,
+                        "exact {} > dag {} ({:?})", report.cost, d, report.outcome);
+                    // The exact answer must itself be a member of the class.
+                    prop_assert_eq!(eg.lookup_expr(&report.expr), Some(eg.find(root)));
+                }
+                (None, None, None) => {}
+                (t, d, r) => prop_assert!(false,
+                    "extractability diverged: tree {:?} dag {:?} exact {:?}",
+                    t, d, r.map(|r| r.cost)),
+            }
+        }
+    }
+
+    /// On unshared solutions all three extractors agree *exactly*: same
+    /// cost, and tree and exact produce the identical expression (the DAG
+    /// flat form may order nodes differently but costs the same).
+    #[test]
+    fn three_way_agreement_on_unshared_terms(
+        terms in proptest::collection::vec(arb_term(3), 1..5),
+    ) {
+        // No unions: the e-graph is hash-consed terms only, so the best
+        // term of every root is its (deduplicated) self.
+        let (eg, roots) = graph_of(&terms, &[]);
+        let tree = Extractor::new(&eg, AstSize);
+        let dag = DagExtractor::new(&eg, AstSize);
+        let exact = ExactExtractor::new(&eg, AstSize);
+        for &root in &roots {
+            let (t_cost, t_best) = tree.find_best(root);
+            if distinct_nodes(&t_best) != t_best.len() {
+                continue; // hash-consing shared a subterm: not a pure tree
+            }
+            let d_cost = Extract::best_cost(&dag, root).unwrap();
+            let report = exact.solve(root).unwrap();
+            prop_assert!((t_cost - d_cost).abs() < 1e-9,
+                "unshared term but dag {} != tree {}", d_cost, t_cost);
+            prop_assert!((t_cost - report.cost).abs() < 1e-9,
+                "unshared term but exact {} != tree {}", report.cost, t_cost);
+            prop_assert_eq!(&report.expr, &t_best);
         }
     }
 }

@@ -37,8 +37,11 @@
 //!
 //! Every response carries `"ok": true|false`. Successful optimizations
 //! carry the request fingerprint, the cache verdict (`hit` / `miss` /
-//! `coalesced`), and one entry per `(target, discount_scale)` pair; see
-//! [`OptimizeResponse`]. Failures carry a machine-readable [`ErrorCode`].
+//! `coalesced`), and one entry per `(target, discount_scale, profile)`
+//! triple; see [`OptimizeResponse`]. Failures carry a machine-readable
+//! [`ErrorCode`] — including [`ErrorCode::Unextractable`] when no
+//! equivalent of the program has finite cost under a requested cost
+//! model.
 
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -264,6 +267,11 @@ pub enum ErrorCode {
     BudgetTooLarge,
     /// The job queue is full — back off and retry.
     QueueFull,
+    /// A machine-profile name was not recognized.
+    UnknownProfile,
+    /// No equivalent of the program has finite cost for some requested
+    /// `(target, discount_scale, profile)` — extraction has no answer.
+    Unextractable,
     /// A frame exceeded the server's size limit.
     FrameTooLarge,
     /// The frame stream lost synchronization (malformed header).
@@ -281,6 +289,8 @@ impl ErrorCode {
             ErrorCode::ParseError => "parse-error",
             ErrorCode::UnknownTarget => "unknown-target",
             ErrorCode::BudgetTooLarge => "budget-too-large",
+            ErrorCode::UnknownProfile => "unknown-profile",
+            ErrorCode::Unextractable => "unextractable",
             ErrorCode::QueueFull => "queue-full",
             ErrorCode::FrameTooLarge => "frame-too-large",
             ErrorCode::BadFrame => "bad-frame",
@@ -296,6 +306,8 @@ impl ErrorCode {
             ErrorCode::ParseError,
             ErrorCode::UnknownTarget,
             ErrorCode::BudgetTooLarge,
+            ErrorCode::UnknownProfile,
+            ErrorCode::Unextractable,
             ErrorCode::QueueFull,
             ErrorCode::FrameTooLarge,
             ErrorCode::BadFrame,
@@ -330,6 +342,11 @@ pub struct OptimizeRequest {
     pub targets: Vec<String>,
     /// Discount scales (empty means `[1.0]`).
     pub discount_scales: Vec<f64>,
+    /// Machine-profile names to extract under (empty means
+    /// `["default"]`). Profiles re-weight the cost model per machine —
+    /// saturation runs once, extraction runs once per profile — and are
+    /// part of the request fingerprint.
+    pub profiles: Vec<String>,
     /// Saturation-step limit.
     pub steps: Option<usize>,
     /// E-node budget.
@@ -351,6 +368,7 @@ impl OptimizeRequest {
             program: program.into(),
             targets: Vec::new(),
             discount_scales: Vec::new(),
+            profiles: Vec::new(),
             steps: None,
             node_limit: None,
             explain: false,
@@ -374,6 +392,12 @@ impl OptimizeRequest {
             pairs.push((
                 "discount_scales".to_string(),
                 Json::Arr(self.discount_scales.iter().map(|s| Json::Num(*s)).collect()),
+            ));
+        }
+        if !self.profiles.is_empty() {
+            pairs.push((
+                "profiles".to_string(),
+                Json::Arr(self.profiles.iter().map(|p| Json::Str(p.clone())).collect()),
             ));
         }
         if let Some(steps) = self.steps {
@@ -421,6 +445,19 @@ impl OptimizeRequest {
                 })
                 .collect::<Result<_, _>>()?,
         };
+        let profiles = match j.get("profiles") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_arr()
+                .ok_or("\"profiles\" must be an array of strings")?
+                .iter()
+                .map(|p| {
+                    p.as_str()
+                        .map(str::to_string)
+                        .ok_or("\"profiles\" must be an array of strings")
+                })
+                .collect::<Result<_, _>>()?,
+        };
         let steps = match j.get("steps") {
             None => None,
             Some(v) => Some(v.as_usize().ok_or("\"steps\" must be a non-negative integer")?),
@@ -437,6 +474,7 @@ impl OptimizeRequest {
             program,
             targets,
             discount_scales,
+            profiles,
             steps,
             node_limit,
             explain,
@@ -664,13 +702,17 @@ impl ProofMsg {
     }
 }
 
-/// One `(target, discount_scale)` solution of an [`OptimizeResponse`].
+/// One `(target, discount_scale, profile)` solution of an
+/// [`OptimizeResponse`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolutionMsg {
     /// Target wire name.
     pub target: String,
     /// Discount scale this solution was extracted at.
     pub discount_scale: f64,
+    /// Machine-profile name this solution was extracted under (absent on
+    /// the wire means `"default"`).
+    pub profile: String,
     /// Tree cost of the best expression.
     pub cost: f64,
     /// DAG cost (each selected e-class charged once).
@@ -690,6 +732,7 @@ impl SolutionMsg {
         let mut pairs = vec![
             ("target".to_string(), Json::Str(self.target.clone())),
             ("discount_scale".to_string(), Json::Num(self.discount_scale)),
+            ("profile".to_string(), Json::Str(self.profile.clone())),
             ("cost".to_string(), Json::Num(self.cost)),
             ("dag_cost".to_string(), Json::Num(self.dag_cost)),
             ("solution".to_string(), Json::Str(self.solution.clone())),
@@ -721,6 +764,11 @@ impl SolutionMsg {
                 .get("discount_scale")
                 .and_then(Json::as_f64)
                 .ok_or("solution missing \"discount_scale\"")?,
+            profile: j
+                .get("profile")
+                .and_then(Json::as_str)
+                .unwrap_or("default")
+                .to_string(),
             cost: j.get("cost").and_then(Json::as_f64).ok_or("solution missing \"cost\"")?,
             dag_cost: j
                 .get("dag_cost")
@@ -768,7 +816,8 @@ pub struct OptimizeResponse {
     /// Wall-clock milliseconds this request took inside the server,
     /// queueing included.
     pub server_ms: f64,
-    /// One entry per `(target, discount_scale)`, targets outermost.
+    /// One entry per `(target, discount_scale, profile)` — targets
+    /// outermost, machine profiles innermost.
     pub solutions: Vec<SolutionMsg>,
 }
 
@@ -1109,6 +1158,7 @@ mod tests {
                 program: "(dot #8 xs ys)".into(),
                 targets: vec!["blas".into(), "pytorch".into()],
                 discount_scales: vec![1.0, 2.5],
+                profiles: vec!["default".into(), "gpu".into()],
                 steps: Some(6),
                 node_limit: Some(10_000),
                 explain: false,
@@ -1173,6 +1223,7 @@ mod tests {
                     SolutionMsg {
                         target: "blas".into(),
                         discount_scale: 1.0,
+                        profile: "default".into(),
                         cost: 64.0,
                         dag_cost: 60.0,
                         solution: "1 × dot".into(),
@@ -1183,6 +1234,7 @@ mod tests {
                     SolutionMsg {
                         target: "pytorch".into(),
                         discount_scale: 1.0,
+                        profile: "gpu".into(),
                         cost: 64.0,
                         dag_cost: 64.0,
                         solution: "1 × sum".into(),
@@ -1207,6 +1259,19 @@ mod tests {
             let back = Response::from_payload(&payload).unwrap();
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn solutions_without_a_profile_parse_as_default() {
+        // Responses from servers predating machine profiles omit the
+        // field; clients read them as the identity profile.
+        let j = json::parse(
+            r#"{"target":"blas","discount_scale":1.0,"cost":2.0,"dag_cost":2.0,
+                "solution":"1 × dot","best":"(dot #8 xs ys)","lib_calls":{"dot":1}}"#,
+        )
+        .unwrap();
+        let s = SolutionMsg::from_json(&j).unwrap();
+        assert_eq!(s.profile, "default");
     }
 
     #[test]

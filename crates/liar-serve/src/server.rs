@@ -38,7 +38,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use liar_core::{Fingerprint, Liar, MultiReport, SaturationCache, Target};
+use liar_core::{Fingerprint, Liar, MachineProfile, MultiReport, OptimizeError, SaturationCache, Target};
 use liar_ir::{Expr, StableHasher};
 
 use crate::protocol::{
@@ -514,6 +514,40 @@ fn make_job(
         }
         req.discount_scales.clone()
     };
+    let mut profiles = Vec::new();
+    if req.profiles.is_empty() {
+        profiles.push(MachineProfile::default());
+    } else {
+        // Each profile is a full per-target extraction, exactly like a
+        // discount scale — the same budget cap applies.
+        if req.profiles.len() > cfg.max_discount_scales {
+            return Err(err(
+                ErrorCode::BudgetTooLarge,
+                format!(
+                    "{} machine profiles exceeds the server cap {} (each profile is a full \
+                     per-target extraction)",
+                    req.profiles.len(),
+                    cfg.max_discount_scales
+                ),
+            ));
+        }
+        for name in &req.profiles {
+            match MachineProfile::by_name(name) {
+                // Dedupe, preserving first-occurrence order.
+                Some(p) if !profiles.contains(&p) => profiles.push(p),
+                Some(_) => {}
+                None => {
+                    return Err(err(
+                        ErrorCode::UnknownProfile,
+                        format!(
+                            "unknown machine profile {name:?} (expected one of {:?})",
+                            MachineProfile::ALL_NAMES
+                        ),
+                    ))
+                }
+            }
+        }
+    }
     let steps = req.steps.unwrap_or(cfg.default_steps);
     if steps > cfg.max_steps {
         return Err(err(
@@ -537,6 +571,7 @@ fn make_job(
         .with_node_limit(node_limit)
         .with_threads(cfg.search_threads)
         .with_explanations(req.explain)
+        .with_profiles(profiles)
         .with_cache(Arc::clone(&shared.cache));
     let fingerprint = pipeline.request_fingerprint(&expr, &targets, &discount_scales);
     let budget_key = {
@@ -635,13 +670,27 @@ fn process_job(job: Job, shared: &Arc<Shared>) {
             fp: fp.0,
             published: false,
         };
-        let (report, status) =
-            job.pipeline
-                .optimize_multi_status(&job.expr, &job.targets, &job.discount_scales);
-        let report = Arc::new(report);
-        guard.publish(Arc::clone(&report));
-        drop(guard); // removes the in-flight entry
-        (report, status.name())
+        match job
+            .pipeline
+            .optimize_multi_status(&job.expr, &job.targets, &job.discount_scales)
+        {
+            Ok((report, status)) => {
+                let report = Arc::new(report);
+                guard.publish(Arc::clone(&report));
+                drop(guard); // removes the in-flight entry
+                (report, status.name())
+            }
+            Err(e) => {
+                // The guard drops unpublished, marking the flight
+                // abandoned: waiters recompute and re-derive the same
+                // structured error (unextractable requests are rare and
+                // cheap — extraction fails fast, and errors are never
+                // cached). Before extraction errors were structured, this
+                // path was a panic that killed the worker thread for good.
+                let _ = job.reply.send(unextractable(&job, &e));
+                return;
+            }
+        }
     } else {
         let published = {
             let mut state = flight.state.lock().unwrap();
@@ -659,20 +708,36 @@ fn process_job(job: Job, shared: &Arc<Shared>) {
                 (report, "coalesced")
             }
             None => {
-                // Leader died; compute directly (the cache may well
-                // cover it by now anyway).
-                let (report, status) = job.pipeline.optimize_multi_status(
+                // Leader died or hit an error; compute directly (the
+                // cache may well cover it by now anyway).
+                match job.pipeline.optimize_multi_status(
                     &job.expr,
                     &job.targets,
                     &job.discount_scales,
-                );
-                (Arc::new(report), status.name())
+                ) {
+                    Ok((report, status)) => (Arc::new(report), status.name()),
+                    Err(e) => {
+                        let _ = job.reply.send(unextractable(&job, &e));
+                        return;
+                    }
+                }
             }
         }
     };
 
     let response = Response::Optimize(build_response(&job, &report, verdict.to_string()));
     let _ = job.reply.send(response);
+}
+
+/// The structured reply for a request whose best term has infinite cost
+/// under some `(target, discount_scale, profile)` — extraction has no
+/// answer, but the worker and the connection live on.
+fn unextractable(job: &Job, e: &OptimizeError) -> Response {
+    Response::Error {
+        id: job.id.clone(),
+        code: ErrorCode::Unextractable,
+        message: e.to_string(),
+    }
 }
 
 fn build_response(job: &Job, report: &MultiReport, cache: String) -> OptimizeResponse {
@@ -691,6 +756,7 @@ fn build_response(job: &Job, report: &MultiReport, cache: String) -> OptimizeRes
             .map(|s| SolutionMsg {
                 target: s.target.name().to_string(),
                 discount_scale: s.discount_scale,
+                profile: s.profile.clone(),
                 cost: s.cost,
                 dag_cost: s.dag_cost,
                 solution: s.solution_summary(),

@@ -30,6 +30,7 @@ fn in_process(program: &str) -> MultiReport {
     Liar::new(Target::PureC)
         .with_iter_limit(STEPS)
         .optimize_multi(&expr, &Target::ALL, &[1.0])
+        .expect("kernels are extractable for every target")
 }
 
 /// Assert a served response matches an in-process report field-for-field
@@ -44,6 +45,7 @@ fn assert_matches(resp: &liar_serve::OptimizeResponse, expected: &MultiReport) {
     for (got, want) in resp.solutions.iter().zip(&expected.solutions) {
         assert_eq!(got.target, want.target.name());
         assert_eq!(got.discount_scale, want.discount_scale);
+        assert_eq!(got.profile, want.profile);
         assert_eq!(got.best, want.best.to_string(), "{}", got.target);
         assert_eq!(got.cost.to_bits(), want.cost.to_bits(), "{}", got.target);
         assert_eq!(
@@ -272,9 +274,86 @@ fn invalid_requests_get_structured_errors_and_the_connection_survives() {
     let mut req = OptimizeRequest::new("(+ 1 2)");
     req.discount_scales = (0..1000).map(|i| 1.0 + i as f64).collect();
     expect_code(&mut client, req, ErrorCode::BudgetTooLarge);
+    // As is machine-profile fan-out.
+    let mut req = OptimizeRequest::new("(+ 1 2)");
+    req.profiles = (0..1000).map(|_| "gpu".to_string()).collect();
+    expect_code(&mut client, req, ErrorCode::BudgetTooLarge);
+    // Unknown machine profile.
+    let mut req = OptimizeRequest::new("(+ 1 2)");
+    req.profiles = vec!["tpu".into()];
+    expect_code(&mut client, req, ErrorCode::UnknownProfile);
 
     // The connection survived all of that.
     client.ping().expect("connection still alive");
+    srv.shutdown();
+}
+
+#[test]
+fn machine_profiles_fan_out_solutions() {
+    let srv = server(ServerConfig::default());
+    let mut client = Client::connect(srv.local_addr()).expect("connect");
+    let program = Kernel::Vsum.expr(Kernel::Vsum.search_size()).to_string();
+
+    let mut req = request_for(&program);
+    req.targets = vec!["blas".into()];
+    req.profiles = vec!["default".into(), "gpu".into()];
+    let profiled = client.optimize(req).expect("optimize");
+    let profiles: Vec<&str> = profiled
+        .solutions
+        .iter()
+        .map(|s| s.profile.as_str())
+        .collect();
+    assert_eq!(profiles, ["default", "gpu"]);
+
+    // A plain request is a different fingerprint, and its solution is
+    // bit-identical to the profiled request's default-profile entry:
+    // the default profile is the identity.
+    let mut plain = request_for(&program);
+    plain.targets = vec!["blas".into()];
+    let unprofiled = client.optimize(plain).expect("optimize");
+    assert_ne!(unprofiled.fingerprint, profiled.fingerprint);
+    assert_eq!(unprofiled.solutions.len(), 1);
+    assert_eq!(
+        unprofiled.solutions[0].cost.to_bits(),
+        profiled.solutions[0].cost.to_bits()
+    );
+    assert_eq!(unprofiled.solutions[0].best, profiled.solutions[0].best);
+
+    srv.shutdown();
+}
+
+#[test]
+fn unextractable_programs_get_structured_errors_and_workers_survive() {
+    // One worker: before extraction errors were structured, an
+    // unextractable program panicked the worker thread and every later
+    // request hung. The error reply plus a served follow-up proves the
+    // pool survived.
+    let srv = server(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(srv.local_addr()).expect("connect");
+
+    // The program *is* a BLAS call: under the Torch model every
+    // equivalent term prices at infinity.
+    let mut req = request_for("(axpy #8 alpha A B)");
+    req.targets = vec!["pytorch".into()];
+    match client.optimize(req) {
+        Err(liar_serve::ClientError::Server { code, message }) => {
+            assert_eq!(code, "unextractable");
+            assert!(message.contains("no extractable solution"), "{message}");
+        }
+        other => panic!("expected an unextractable error, got {other:?}"),
+    }
+
+    // The same program for BLAS succeeds on the same (sole) worker.
+    let mut req = request_for("(axpy #8 alpha A B)");
+    req.targets = vec!["blas".into()];
+    let resp = client.optimize(req).expect("the worker survived the error");
+    assert_eq!(resp.cache, "miss");
+
+    let stats = srv.stats();
+    assert!(stats.errors >= 1, "{stats:?}");
     srv.shutdown();
 }
 

@@ -55,11 +55,11 @@ fn main() {
     // A cost model that loves library calls.
     struct LoveCalls;
     impl liar::egraph::CostFunction<ArrayLang, liar::ir::ArrayAnalysis> for LoveCalls {
-        fn cost(
+        fn cost<F: FnMut(liar::egraph::Id) -> f64>(
             &self,
             _eg: &ArrayEGraph,
             enode: &ArrayLang,
-            child: &mut dyn FnMut(liar::egraph::Id) -> f64,
+            child: &mut F,
         ) -> f64 {
             use liar::egraph::Language;
             let op = match enode {

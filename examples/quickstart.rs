@@ -53,7 +53,8 @@ fn main() {
     //    same e-graph (`liar optimize --all-targets …` on the CLI):
     let multi = Liar::new(Target::Blas)
         .with_iter_limit(8)
-        .optimize_all_targets(&vsum);
+        .optimize_all_targets(&vsum)
+        .expect("vsum is extractable for every target");
     println!(
         "\nsaturate once ({:?}), extract everywhere:",
         multi.saturation_time

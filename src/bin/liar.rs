@@ -37,9 +37,10 @@
 use std::process::ExitCode;
 
 use liar::codegen::{emit_kernel, emit_kernel_variants, CInput};
+use liar::core::pipeline::count_lib_calls;
 use liar::core::rules::rules_for;
-use liar::core::{Liar, RuleConfig, Target};
-use liar::egraph::Dot;
+use liar::core::{Liar, MachineProfile, RuleConfig, Target, TargetCost};
+use liar::egraph::{DagExtractor, Dot, ExactExtractor, Extractor};
 use liar::ir::Expr;
 use liar::kernels::Kernel;
 use liar::serve::protocol::target_from_wire;
@@ -144,7 +145,7 @@ fn parse_flags(spec: &CommandSpec, args: &[String]) -> Result<Parsed, String> {
 // ---------------------------------------------------------------------------
 // Shared flag groups and helpers.
 
-const TARGET_FLAGS: [FlagSpec; 6] = [
+const TARGET_FLAGS: [FlagSpec; 8] = [
     FlagSpec {
         name: "--verbose",
         metavar: None,
@@ -174,6 +175,16 @@ const TARGET_FLAGS: [FlagSpec; 6] = [
         name: "--threads",
         metavar: Some("N"),
         help: "e-matching worker threads (results are bit-identical)",
+    },
+    FlagSpec {
+        name: "--profile",
+        metavar: Some("P,Q"),
+        help: "machine profiles to extract under: default | gpu | simd",
+    },
+    FlagSpec {
+        name: "--extractor",
+        metavar: Some("E"),
+        help: "extractor: tree | dag | exact (default: greedy tree+dag report)",
     },
 ];
 
@@ -205,6 +216,56 @@ fn multi_targets(p: &Parsed) -> Result<Option<Vec<Target>>, String> {
 
 fn single_target(p: &Parsed) -> Result<Target, String> {
     p.value("--target").map_or(Ok(Target::Blas), parse_target_name)
+}
+
+/// The `--profile` list (default: the identity profile alone).
+fn parse_profiles(p: &Parsed) -> Result<Vec<MachineProfile>, String> {
+    let Some(list) = p.value("--profile") else {
+        return Ok(vec![MachineProfile::default()]);
+    };
+    let mut profiles: Vec<MachineProfile> = Vec::new();
+    for name in list.split(',') {
+        let profile = MachineProfile::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown machine profile {name:?} (expected one of {:?})",
+                MachineProfile::ALL_NAMES
+            )
+        })?;
+        if !profiles.contains(&profile) {
+            profiles.push(profile);
+        }
+    }
+    Ok(profiles)
+}
+
+/// Which extraction algorithm `--extractor` asked for, if any.
+#[derive(Clone, Copy)]
+enum ExtractorKind {
+    Tree,
+    Dag,
+    Exact,
+}
+
+impl ExtractorKind {
+    fn name(self) -> &'static str {
+        match self {
+            ExtractorKind::Tree => "tree",
+            ExtractorKind::Dag => "dag",
+            ExtractorKind::Exact => "exact",
+        }
+    }
+}
+
+fn parse_extractor(p: &Parsed) -> Result<Option<ExtractorKind>, String> {
+    match p.value("--extractor") {
+        None => Ok(None),
+        Some("tree") => Ok(Some(ExtractorKind::Tree)),
+        Some("dag") => Ok(Some(ExtractorKind::Dag)),
+        Some("exact") => Ok(Some(ExtractorKind::Exact)),
+        Some(other) => Err(format!(
+            "unknown extractor {other:?} (expected tree | dag | exact)"
+        )),
+    }
 }
 
 fn usage_err(message: String) -> Result<ExitCode, String> {
@@ -257,11 +318,20 @@ fn print_top_rules(report: &liar::core::OptimizationReport) {
 
 /// Run the "saturate once, extract everywhere" pipeline and print its
 /// report.
-fn report_multi(expr: &Expr, targets: &[Target], steps: usize, threads: usize) {
+fn report_multi(
+    expr: &Expr,
+    targets: &[Target],
+    steps: usize,
+    threads: usize,
+    profiles: Vec<MachineProfile>,
+) -> Result<(), String> {
     let pipeline = Liar::new(targets[0])
         .with_iter_limit(steps)
-        .with_threads(threads);
-    let report = pipeline.optimize_multi(expr, targets, &[1.0]);
+        .with_threads(threads)
+        .with_profiles(profiles);
+    let report = pipeline
+        .optimize_multi(expr, targets, &[1.0])
+        .map_err(|e| e.to_string())?;
     let names: Vec<&str> = targets.iter().map(|t| t.name()).collect();
     println!("targets: {} (one shared saturation)", names.join(", "));
     for step in &report.steps {
@@ -276,11 +346,15 @@ fn report_multi(expr: &Expr, targets: &[Target], steps: usize, threads: usize) {
         report.saturation_time,
         report.total_extract_time(),
     );
-    println!("{:<8} {:>12} {:>12} {:>8} {:>10}  solution", "target", "tree cost", "dag cost", "shared", "extract");
+    println!(
+        "{:<8} {:<8} {:>12} {:>12} {:>8} {:>10}  solution",
+        "target", "profile", "tree cost", "dag cost", "shared", "extract"
+    );
     for s in &report.solutions {
         println!(
-            "{:<8} {:>12.1} {:>12.1} {:>7.1}% {:>10.3?}  {}",
+            "{:<8} {:<8} {:>12.1} {:>12.1} {:>7.1}% {:>10.3?}  {}",
             s.target.name(),
+            s.profile,
             s.cost,
             s.dag_cost,
             100.0 * s.sharing_discount(),
@@ -289,8 +363,107 @@ fn report_multi(expr: &Expr, targets: &[Target], steps: usize, threads: usize) {
         );
     }
     for s in &report.solutions {
-        println!("\nbest expression ({}):\n{}", s.target.name(), s.best);
+        println!(
+            "\nbest expression ({}, {}):\n{}",
+            s.target.name(),
+            s.profile,
+            s.best
+        );
     }
+    Ok(())
+}
+
+/// Saturate once, then run one *chosen* extractor (`--extractor`) per
+/// `target × profile` over the shared e-graph.
+fn report_extract(
+    expr: &Expr,
+    targets: &[Target],
+    steps: usize,
+    threads: usize,
+    profiles: &[MachineProfile],
+    kind: ExtractorKind,
+) -> Result<(), String> {
+    let pipeline = Liar::new(targets[0])
+        .with_iter_limit(steps)
+        .with_threads(threads);
+    let start = std::time::Instant::now();
+    let (egraph, root) = pipeline.saturate_for_targets(expr, targets);
+    let names: Vec<&str> = targets.iter().map(|t| t.name()).collect();
+    println!(
+        "targets: {} (one shared saturation: {} e-nodes, {} classes, {:.3?}; extractor: {})",
+        names.join(", "),
+        egraph.num_nodes(),
+        egraph.num_classes(),
+        start.elapsed(),
+        kind.name(),
+    );
+    println!(
+        "\n{:<8} {:<8} {:>12} {:>10}  {:<22} solution",
+        "target", "profile", "cost", "extract", "detail"
+    );
+    let mut bests: Vec<(String, Expr)> = Vec::new();
+    for &target in targets {
+        for profile in profiles {
+            let cost_fn = TargetCost::new(target).with_profile(*profile);
+            let err = || {
+                format!(
+                    "no extractable solution for target {} under profile {} — every \
+                     equivalent term costs infinity",
+                    target.name(),
+                    profile.name
+                )
+            };
+            let t0 = std::time::Instant::now();
+            let (cost, best, detail) = match kind {
+                ExtractorKind::Tree => {
+                    let ex = Extractor::new(&egraph, cost_fn);
+                    let (cost, best) = ex.try_find_best(root).map_err(|_| err())?;
+                    let stats = ex.stats();
+                    (cost, best, format!("{} relaxations", stats.relaxations))
+                }
+                ExtractorKind::Dag => {
+                    let ex = DagExtractor::new(&egraph, cost_fn);
+                    let (cost, best) = ex.try_find_best(root).map_err(|_| err())?;
+                    let selected = ex.selected_classes(root).unwrap_or(0);
+                    (cost, best, format!("{selected} classes selected"))
+                }
+                ExtractorKind::Exact => {
+                    let ex = ExactExtractor::new(&egraph, cost_fn);
+                    let report = ex.solve(root).ok_or_else(err)?;
+                    let detail = format!(
+                        "{} ({} steps, {} classes)",
+                        report.outcome, report.steps, report.reachable_classes
+                    );
+                    (report.cost, report.expr, detail)
+                }
+            };
+            let elapsed = t0.elapsed();
+            let calls = count_lib_calls(&best);
+            let solution = if calls.is_empty() {
+                "—".to_string()
+            } else {
+                calls
+                    .iter()
+                    .map(|(name, count)| format!("{count} × {name}"))
+                    .collect::<Vec<_>>()
+                    .join(" + ")
+            };
+            println!(
+                "{:<8} {:<8} {:>12.1} {:>10.3?}  {:<22} {}",
+                target.name(),
+                profile.name,
+                cost,
+                elapsed,
+                detail,
+                solution,
+            );
+            bests.push((format!("{}, {}", target.name(), profile.name), best));
+        }
+    }
+    for (label, best) in &bests {
+        println!("\nbest expression ({label}):\n{best}");
+    }
+    Ok(())
 }
 
 fn run_optimize(p: &Parsed) -> Result<ExitCode, String> {
@@ -302,11 +475,32 @@ fn run_optimize(p: &Parsed) -> Result<ExitCode, String> {
         .map_err(|e| format!("parse error: {e}"))?;
     let steps = p.usize_or("--steps", 8)?;
     let threads = p.usize_or("--threads", 1)?;
-    match multi_targets(p)? {
-        Some(targets) => report_multi(&expr, &targets, steps, threads),
-        None => report(&expr, single_target(p)?, steps, threads, p.has("--verbose")),
-    }
+    run_optimization(p, &expr, steps, threads)?;
     Ok(ExitCode::SUCCESS)
+}
+
+/// Shared routing for `optimize` and `kernel`: the classic per-step
+/// report in single-target mode, the multi-extraction report otherwise —
+/// `--profile` and `--extractor` imply the multi machinery even for a
+/// single target.
+fn run_optimization(p: &Parsed, expr: &Expr, steps: usize, threads: usize) -> Result<(), String> {
+    let profiles = parse_profiles(p)?;
+    let extractor = parse_extractor(p)?;
+    let targets = match multi_targets(p)? {
+        Some(t) => Some(t),
+        None if extractor.is_some() || p.has("--profile") => Some(vec![single_target(p)?]),
+        None => None,
+    };
+    match (targets, extractor) {
+        (Some(targets), Some(kind)) => {
+            report_extract(expr, &targets, steps, threads, &profiles, kind)
+        }
+        (Some(targets), None) => report_multi(expr, &targets, steps, threads, profiles),
+        (None, _) => {
+            report(expr, single_target(p)?, steps, threads, p.has("--verbose"));
+            Ok(())
+        }
+    }
 }
 
 fn kernel_arg(p: &Parsed) -> Result<Kernel, String> {
@@ -322,10 +516,7 @@ fn run_kernel(p: &Parsed) -> Result<ExitCode, String> {
     let steps = p.usize_or("--steps", 8)?;
     let threads = p.usize_or("--threads", 1)?;
     println!("kernel {}: {}\n", kernel.name(), kernel.description());
-    match multi_targets(p)? {
-        Some(targets) => report_multi(&expr, &targets, steps, threads),
-        None => report(&expr, single_target(p)?, steps, threads, p.has("--verbose")),
-    }
+    run_optimization(p, &expr, steps, threads)?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -418,7 +609,9 @@ fn run_emit_c(p: &Parsed) -> Result<ExitCode, String> {
     if let Some(targets) = multi_targets(p)? {
         // One saturation, one C function per target's variant.
         let pipeline = Liar::new(targets[0]).with_iter_limit(steps);
-        let report = pipeline.optimize_multi(&kernel.expr(n), &targets, &[1.0]);
+        let report = pipeline
+            .optimize_multi(&kernel.expr(n), &targets, &[1.0])
+            .map_err(|e| e.to_string())?;
         let variants: Vec<(String, &Expr)> = report
             .solutions
             .iter()
@@ -513,6 +706,11 @@ fn run_submit(p: &Parsed) -> Result<ExitCode, String> {
         if let Some(list) = p.value("--targets") {
             req.targets = list.split(',').map(str::to_string).collect();
         }
+        if let Some(list) = p.value("--profile") {
+            // Names only here; the server validates against its built-in
+            // profile table and answers `unknown-profile`.
+            req.profiles = list.split(',').map(str::to_string).collect();
+        }
         if p.value("--steps").is_some() {
             req.steps = Some(p.usize_or("--steps", 0)?);
         }
@@ -575,15 +773,18 @@ fn run_submit(p: &Parsed) -> Result<ExitCode, String> {
         "stopped: {} ({} e-nodes, {} e-classes, saturation {:.3}s, server {:.1}ms)",
         resp.stop_reason, resp.n_nodes, resp.n_classes, resp.saturation_s, resp.server_ms
     );
-    println!("\n{:<8} {:>8} {:>12} {:>12}  solution", "target", "scale", "tree cost", "dag cost");
+    println!(
+        "\n{:<8} {:>8} {:<8} {:>12} {:>12}  solution",
+        "target", "scale", "profile", "tree cost", "dag cost"
+    );
     for s in &resp.solutions {
         println!(
-            "{:<8} {:>8} {:>12.1} {:>12.1}  {}",
-            s.target, s.discount_scale, s.cost, s.dag_cost, s.solution
+            "{:<8} {:>8} {:<8} {:>12.1} {:>12.1}  {}",
+            s.target, s.discount_scale, s.profile, s.cost, s.dag_cost, s.solution
         );
     }
     for s in &resp.solutions {
-        println!("\nbest expression ({}):\n{}", s.target, s.best);
+        println!("\nbest expression ({}, {}):\n{}", s.target, s.profile, s.best);
         if let Some(proof) = &s.proof {
             println!("proof ({} rewrite steps):", proof.steps.len());
             println!("   0: {}", proof.source);
@@ -751,6 +952,11 @@ const COMMANDS: &[CommandSpec] = &[
                 name: "--targets",
                 metavar: Some("A,B"),
                 help: "comma-separated targets (default: all three)",
+            },
+            FlagSpec {
+                name: "--profile",
+                metavar: Some("P,Q"),
+                help: "machine profiles to extract under: default | gpu | simd",
             },
             FlagSpec {
                 name: "--steps",

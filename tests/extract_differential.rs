@@ -35,17 +35,43 @@ fn pipeline(target: Target) -> Liar {
 fn multi_target_solutions_are_bit_identical_to_per_target_pipelines() {
     for kernel in KERNELS {
         let expr = kernel.expr(kernel.search_size());
-        let multi = pipeline(Target::Blas).optimize_multi(&expr, &Target::ALL, &[1.0]);
+        let multi = pipeline(Target::Blas)
+        .optimize_multi(&expr, &Target::ALL, &[1.0])
+        .expect("kernels are extractable for every target");
         for target in Target::ALL {
             // Pure C is the one target whose standalone pipeline runs a
-            // *smaller* ruleset (core + scalar only), so on a kernel whose
-            // loop-form search is still iteration-truncated the union run
-            // may not yet have derived the standalone run's normal form.
-            // atax is that kernel at these budgets; library-call solutions
+            // *smaller* ruleset (core + scalar only), and atax is the one
+            // kernel where that matters: the standalone run *saturates*
+            // (144 nodes, cost 7457) in under the iteration budget, while
+            // the union run — a strict rule superset — always stops on
+            // its iteration limit mid-normalization (2097 nodes at the
+            // suite's budgets, cost 7649). Probing iteration, node and
+            // match budgets at up to 16/1.2M/10M does not close the gap:
+            // the idiom and intro rules expand the union frontier faster
+            // than the pure-C loop-normalization chain completes, so the
+            // divergence is a structural property of union saturation on
+            // this kernel, not truncation tuning. Library-call solutions
             // are exact everywhere (see docs/EXTRACTION.md, "Fidelity").
+            // The asserts below pin the boundary: if a future rules or
+            // scheduler change makes them fail with equal costs, parity
+            // is restored — delete this arm.
             if target == Target::PureC && kernel == Kernel::Atax {
+                let single = pipeline(target).optimize(&expr);
+                let sb = single.best();
                 let mb = multi.solution(target).unwrap();
                 assert!(mb.lib_calls.is_empty(), "pure C extracted a call");
+                assert!(sb.lib_calls.is_empty(), "pure C extracted a call");
+                assert!(
+                    mb.cost >= sb.cost,
+                    "atax/pure-c: the union run out-optimized the saturated \
+                     standalone run — impossible unless extraction changed"
+                );
+                assert_eq!(
+                    (mb.cost, sb.cost),
+                    (7649.0, 7457.0),
+                    "atax/pure-c: the parity boundary moved — re-probe the \
+                     budget sweep and update or delete this exception"
+                );
                 continue;
             }
             let single = pipeline(target).optimize(&expr);
@@ -69,7 +95,9 @@ fn multi_target_solutions_are_bit_identical_to_per_target_pipelines() {
 fn multi_target_discount_sweep_matches_per_scale_pipelines() {
     let expr = Kernel::Vsum.expr(Kernel::Vsum.search_size());
     let scales = [1.0, 2.0, 20.0];
-    let multi = pipeline(Target::Blas).optimize_multi(&expr, &[Target::Blas], &scales);
+    let multi = pipeline(Target::Blas)
+        .optimize_multi(&expr, &[Target::Blas], &scales)
+        .expect("kernels are extractable for every target");
     for scale in scales {
         let single = pipeline(Target::Blas)
             .with_discount_scale(scale)

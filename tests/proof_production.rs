@@ -86,7 +86,8 @@ fn multi_target_solutions_carry_checkable_proofs() {
     let report = Liar::new(Target::Blas)
         .with_iter_limit(6)
         .with_explanations(true)
-        .optimize_multi(&expr, &Target::ALL, &[1.0]);
+        .optimize_multi(&expr, &Target::ALL, &[1.0])
+        .expect("kernels are extractable for every target");
     let rules = liar::core::rules::rules_for_targets(&Target::ALL, &RuleConfig::default());
     for sol in &report.solutions {
         let proof = sol
@@ -106,7 +107,8 @@ fn explanations_off_reports_have_no_proofs() {
     let expr = Kernel::Vsum.expr(Kernel::Vsum.search_size());
     let report = Liar::new(Target::Blas)
         .with_iter_limit(6)
-        .optimize_multi(&expr, &Target::ALL, &[1.0]);
+        .optimize_multi(&expr, &Target::ALL, &[1.0])
+        .expect("kernels are extractable for every target");
     assert!(report.solutions.iter().all(|s| s.proof.is_none()));
 }
 

@@ -143,6 +143,7 @@ fn multireports_identical_on_all_kernels() {
                 .with_match_limit(2_000)
                 .with_seminaive(seminaive)
                 .optimize_multi(&expr, &Target::ALL, &[1.0])
+                .expect("kernels are extractable for every target")
         };
         assert_multireports_identical(&run(false), &run(true), kernel.name());
     }

@@ -69,7 +69,8 @@ fn check_kernel(kernel: Kernel, iter_limit: usize) {
     let report = Liar::new(Target::Blas)
         .with_iter_limit(iter_limit)
         .with_node_limit(60_000)
-        .optimize_multi(&source, &Target::ALL, &[1.0]);
+        .optimize_multi(&source, &Target::ALL, &[1.0])
+        .expect("kernels are extractable for every target");
 
     for &seed in &SEEDS {
         let inputs = kernel.inputs(n, seed);
