@@ -35,13 +35,15 @@ pub mod fingerprint;
 pub mod pipeline;
 pub mod profile;
 pub mod rules;
+pub mod store;
 
 pub use cache::{CacheStats, SaturationCache};
 pub use cost::TargetCost;
 pub use fingerprint::{BudgetKnobs, Fingerprint};
 pub use pipeline::{
     CacheStatus, Liar, MultiReport, MultiSolution, OptimizationReport, OptimizeError,
-    SaturationStep, StepReport,
+    SaturationStep, StepReport, WarmError,
 };
+pub use store::SnapshotStore;
 pub use profile::MachineProfile;
 pub use rules::{RuleConfig, Target};

@@ -6,15 +6,17 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use liar_egraph::{
-    BackoffScheduler, DagExtractor, ExtractionStats, Extractor, Runner, RunnerLimits, StopReason,
+    BackoffScheduler, DagExtractor, ExtractionStats, Extractor, Runner, RunnerLimits,
+    SnapshotError, StopReason,
 };
-use liar_ir::{ArrayEGraph, ArrayExplanation, Expr};
+use liar_ir::{ArrayAnalysis, ArrayEGraph, ArrayExplanation, Expr};
 
 use crate::cache::SaturationCache;
 use crate::cost::TargetCost;
 use crate::fingerprint::{request_fingerprint, BudgetKnobs, Fingerprint};
 use crate::profile::MachineProfile;
 use crate::rules::{rules_for, rules_for_targets, RuleConfig, Target};
+use crate::store::SnapshotStore;
 
 /// A multi-target optimization request failed: one of the requested
 /// `(target, discount_scale, profile)` extractions found no finite-cost
@@ -47,6 +49,39 @@ impl std::fmt::Display for OptimizeError {
 }
 
 impl std::error::Error for OptimizeError {}
+
+/// A warm-started request ([`Liar::optimize_multi_warm`]) failed: either
+/// the seed snapshot would not restore, or the optimization itself did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WarmError {
+    /// The seed snapshot's bytes did not restore to an e-graph.
+    Snapshot(SnapshotError),
+    /// The resumed optimization failed (see [`OptimizeError`]).
+    Optimize(OptimizeError),
+}
+
+impl std::fmt::Display for WarmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WarmError::Snapshot(e) => write!(f, "warm-start snapshot failed to restore: {e}"),
+            WarmError::Optimize(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for WarmError {}
+
+impl From<SnapshotError> for WarmError {
+    fn from(e: SnapshotError) -> Self {
+        WarmError::Snapshot(e)
+    }
+}
+
+impl From<OptimizeError> for WarmError {
+    fn from(e: OptimizeError) -> Self {
+        WarmError::Optimize(e)
+    }
+}
 
 /// The state of the search after one saturation step: e-graph statistics
 /// plus the best expression the target's cost model extracts — the raw
@@ -350,6 +385,7 @@ pub struct Liar {
     seminaive: bool,
     explain: bool,
     cache: Option<Arc<SaturationCache>>,
+    store: Option<Arc<SnapshotStore>>,
 }
 
 /// How [`Liar::optimize_multi_status`] obtained its report.
@@ -362,6 +398,13 @@ pub enum CacheStatus {
     Miss,
     /// Computed now; no cache is attached.
     Uncached,
+    /// Restored from the attached durable snapshot store
+    /// ([`Liar::with_snapshot_store`]): the prior saturation's e-graph was
+    /// deserialized from disk and only extraction ran — the report's
+    /// [`steps`](MultiReport::steps) are empty (zero saturation steps).
+    /// The report is also promoted into the in-memory cache, so later
+    /// repeats are [`Hit`](CacheStatus::Hit)s.
+    Warm,
 }
 
 impl CacheStatus {
@@ -371,6 +414,7 @@ impl CacheStatus {
             CacheStatus::Hit => "hit",
             CacheStatus::Miss => "miss",
             CacheStatus::Uncached => "uncached",
+            CacheStatus::Warm => "warm",
         }
     }
 }
@@ -400,6 +444,7 @@ impl Liar {
             seminaive: seminaive_default(),
             explain: false,
             cache: None,
+            store: None,
         }
     }
 
@@ -508,6 +553,28 @@ impl Liar {
         self
     }
 
+    /// Attach a durable snapshot store ([`SnapshotStore`]):
+    /// [`Liar::optimize_multi_status`] will restore saturated e-graphs
+    /// from disk ([`CacheStatus::Warm`] — extraction only, zero saturation
+    /// steps) and persist every fresh saturation's snapshot, keyed by
+    /// [`Liar::request_fingerprint`]. Unlike the in-memory cache, the
+    /// store survives the process: a restarted serve node answers
+    /// previously-seen requests without re-saturating.
+    ///
+    /// A snapshot that fails to restore (truncated, bit-flipped, wrong
+    /// version) is treated as a miss and the request runs cold — the
+    /// fresh snapshot then overwrites the bad file, so the store is
+    /// self-healing and never produces a wrong answer.
+    pub fn with_snapshot_store(mut self, store: Arc<SnapshotStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached durable snapshot store, if any.
+    pub fn snapshot_store(&self) -> Option<&Arc<SnapshotStore>> {
+        self.store.as_ref()
+    }
+
     /// The target this pipeline optimizes for.
     pub fn target(&self) -> Target {
         self.target
@@ -555,22 +622,55 @@ impl Liar {
             ArrayEGraph::default()
         };
         let root = egraph.add_expr(expr);
+        let runner = self.wrap_runner(egraph, root);
+        (runner, root)
+    }
 
-        let scheduler = BackoffScheduler::new(self.match_limit, 2)
+    /// The scheduler every pipeline mode uses.
+    fn scheduler(&self) -> BackoffScheduler {
+        BackoffScheduler::new(self.match_limit, 2)
             // The intro rules pair classes quadratically; give them a
             // tighter budget so they cannot starve the idiom rules.
             .with_rule_limit("intro-lambda", self.match_limit / 4)
             .with_rule_limit("intro-index-build", self.match_limit / 4)
             .with_rule_limit("intro-fst-tuple", self.match_limit / 8)
-            .with_rule_limit("intro-snd-tuple", self.match_limit / 8);
+            .with_rule_limit("intro-snd-tuple", self.match_limit / 8)
+    }
 
-        let runner = Runner::new(egraph)
+    /// Wrap an e-graph and its root in a runner with this pipeline's
+    /// limits, scheduler, thread count and engine knobs.
+    fn wrap_runner(
+        &self,
+        egraph: ArrayEGraph,
+        root: liar_egraph::Id,
+    ) -> Runner<liar_ir::ArrayLang, liar_ir::ArrayAnalysis> {
+        Runner::new(egraph)
             .with_root(root)
             .with_limits(self.limits.clone())
-            .with_scheduler(scheduler)
+            .with_scheduler(self.scheduler())
             .with_threads(self.threads)
-            .with_seminaive(self.seminaive);
-        (runner, root)
+            .with_seminaive(self.seminaive)
+    }
+
+    /// Restore a snapshotted prior saturation, add `expr` as a new root,
+    /// and wrap the result in a runner whose semi-naive frontier is
+    /// pre-sealed at the snapshot's delta version — the warm-start
+    /// entry point shared by [`Liar::saturate_warm`] and
+    /// [`Liar::optimize_multi_warm`]. Only classes added *after* the
+    /// restore (the new root's sub-terms and anything rewriting derives
+    /// from them) hit the search frontier; the snapshot's classes are
+    /// treated as already-searched.
+    fn warm_runner_for(
+        &self,
+        snapshot: &[u8],
+        expr: &Expr,
+    ) -> Result<(Runner<liar_ir::ArrayLang, liar_ir::ArrayAnalysis>, liar_egraph::Id), SnapshotError>
+    {
+        let mut egraph = ArrayEGraph::restore(ArrayAnalysis::default(), snapshot)?;
+        let sealed = egraph.delta_version();
+        let root = egraph.add_expr(expr);
+        let runner = self.wrap_runner(egraph, root).with_warm_frontier(sealed);
+        Ok((runner, root))
     }
 
     /// Run the full workflow on `expr`, extracting the best expression
@@ -749,29 +849,98 @@ impl Liar {
     ///
     /// With a cache attached ([`Liar::with_cache`]), the request is keyed
     /// by [`Liar::request_fingerprint`]; a hit returns a clone of the
-    /// stored report — **bit-identical** to the cold run that populated
+    /// stored report — **bit-identical** to the run that populated
     /// it, per-step statistics and timings included — and bumps its LRU
     /// recency. A miss computes the report and stores it. Failed requests
     /// ([`OptimizeError`]) are not stored.
+    ///
+    /// With a durable snapshot store also attached
+    /// ([`Liar::with_snapshot_store`]), a cache miss next consults the
+    /// store: a restorable on-disk snapshot answers with extraction only
+    /// ([`CacheStatus::Warm`] — empty [`steps`](MultiReport::steps), the
+    /// original run's stop reason) and the warm report is promoted into
+    /// the in-memory cache. Cold computations persist their saturated
+    /// e-graph to the store before extracting, so the answer survives the
+    /// process.
     pub fn optimize_multi_status(
         &self,
         expr: &Expr,
         targets: &[Target],
         discount_scales: &[f64],
     ) -> Result<(MultiReport, CacheStatus), OptimizeError> {
-        let Some(cache) = &self.cache else {
-            return Ok((
-                self.compute_multi(expr, targets, discount_scales)?,
-                CacheStatus::Uncached,
-            ));
-        };
-        let fp = self.request_fingerprint(expr, targets, discount_scales);
-        if let Some(report) = cache.get(fp) {
-            return Ok(((*report).clone(), CacheStatus::Hit));
+        let fp = (self.cache.is_some() || self.store.is_some())
+            .then(|| self.request_fingerprint(expr, targets, discount_scales));
+        if let (Some(cache), Some(fp)) = (&self.cache, fp) {
+            if let Some(report) = cache.get(fp) {
+                return Ok(((*report).clone(), CacheStatus::Hit));
+            }
+        }
+        if let (Some(store), Some(fp)) = (&self.store, fp) {
+            if let Some((stop_reason, bytes)) = store.load(fp) {
+                if let Some(result) =
+                    self.try_restore_multi(stop_reason, &bytes, expr, targets, discount_scales)
+                {
+                    let (report, status) = result?;
+                    if let Some(cache) = &self.cache {
+                        cache.insert(fp, Arc::new(report.clone()));
+                    }
+                    return Ok((report, status));
+                }
+                // The snapshot would not restore (corrupt, stale version,
+                // or its graph no longer contains the request's root):
+                // fall through to a cold run, whose fresh snapshot
+                // overwrites the bad file.
+            }
         }
         let report = self.compute_multi(expr, targets, discount_scales)?;
-        cache.insert(fp, Arc::new(report.clone()));
-        Ok((report, CacheStatus::Miss))
+        match (&self.cache, fp) {
+            (Some(cache), Some(fp)) => {
+                cache.insert(fp, Arc::new(report.clone()));
+                Ok((report, CacheStatus::Miss))
+            }
+            _ => Ok((report, CacheStatus::Uncached)),
+        }
+    }
+
+    /// Answer a request from a stored snapshot: restore the e-graph, find
+    /// the request's root and run extraction only.
+    ///
+    /// `None` means the snapshot is unusable (restore failed, or the
+    /// expression is not in the restored graph) and the caller must run
+    /// cold. `Some(Err)` is a genuine [`OptimizeError`] — the restored
+    /// graph is fine but the request is unsatisfiable, exactly as a cold
+    /// run would report.
+    fn try_restore_multi(
+        &self,
+        stop_reason: StopReason,
+        bytes: &[u8],
+        expr: &Expr,
+        targets: &[Target],
+        discount_scales: &[f64],
+    ) -> Option<Result<(MultiReport, CacheStatus), OptimizeError>> {
+        let mut egraph = ArrayEGraph::restore(ArrayAnalysis::default(), bytes).ok()?;
+        let root = egraph.lookup_expr(expr)?;
+        let solutions =
+            match self.extract_solutions(&mut egraph, root, expr, targets, discount_scales) {
+                Ok(solutions) => solutions,
+                Err(e) => return Some(Err(e)),
+            };
+        Some(Ok((
+            MultiReport {
+                targets: targets.to_vec(),
+                discount_scales: discount_scales.to_vec(),
+                profiles: self.profiles.iter().map(|p| p.name.to_string()).collect(),
+                stop_reason,
+                // Zero saturation steps ran: the warm answer is extraction
+                // over the restored graph.
+                steps: Vec::new(),
+                saturation_time: Duration::ZERO,
+                n_nodes: egraph.num_nodes(),
+                n_classes: egraph.num_classes(),
+                solutions,
+            },
+            CacheStatus::Warm,
+        )))
     }
 
     /// Saturate `expr` once with the union ruleset of `targets` and hand
@@ -798,8 +967,25 @@ impl Liar {
         targets: &[Target],
         discount_scales: &[f64],
     ) -> Result<MultiReport, OptimizeError> {
+        let (runner, root) = self.runner_for(expr);
+        self.run_multi(runner, root, expr, targets, discount_scales)
+    }
+
+    /// Saturate `runner` with the union ruleset and extract everything —
+    /// the shared back half of [`Liar::compute_multi`] (cold runner) and
+    /// [`Liar::optimize_multi_warm`] (snapshot-seeded runner). With a
+    /// snapshot store attached, the saturated e-graph is persisted
+    /// *before* proof production touches it, keyed by the request's
+    /// fingerprint.
+    fn run_multi(
+        &self,
+        mut runner: Runner<liar_ir::ArrayLang, liar_ir::ArrayAnalysis>,
+        root: liar_egraph::Id,
+        expr: &Expr,
+        targets: &[Target],
+        discount_scales: &[f64],
+    ) -> Result<MultiReport, OptimizeError> {
         let rules = rules_for_targets(targets, &self.config);
-        let (mut runner, root) = self.runner_for(expr);
 
         let initial = SaturationStep {
             step: 0,
@@ -829,6 +1015,48 @@ impl Liar {
             });
         }
 
+        // Persist the saturated e-graph before extraction and proof
+        // production: extraction never mutates it, but explain_equivalence
+        // grows the provenance forest, and the snapshot must capture the
+        // graph every future restore-then-prove will reproduce from.
+        if let Some(store) = &self.store {
+            if let Ok(bytes) = runner.egraph.snapshot() {
+                let fp = self.request_fingerprint(expr, targets, discount_scales);
+                // Best-effort durability: a full disk must not fail the
+                // request itself.
+                let _ = store.save(fp, &stop_reason, &bytes);
+            }
+        }
+
+        let solutions =
+            self.extract_solutions(&mut runner.egraph, root, expr, targets, discount_scales)?;
+
+        Ok(MultiReport {
+            targets: targets.to_vec(),
+            discount_scales: discount_scales.to_vec(),
+            profiles: self.profiles.iter().map(|p| p.name.to_string()).collect(),
+            stop_reason,
+            steps,
+            saturation_time,
+            n_nodes: runner.egraph.num_nodes(),
+            n_classes: runner.egraph.num_classes(),
+            solutions,
+        })
+    }
+
+    /// Extract one [`MultiSolution`] per `(target, scale, profile)` from a
+    /// saturated e-graph — the shared extraction half of every multi-target
+    /// mode (cold, warm-restored, warm-resumed). Mutates the e-graph only
+    /// when explanations are on (proof production grows the provenance
+    /// forest).
+    fn extract_solutions(
+        &self,
+        egraph: &mut ArrayEGraph,
+        root: liar_egraph::Id,
+        expr: &Expr,
+        targets: &[Target],
+        discount_scales: &[f64],
+    ) -> Result<Vec<MultiSolution>, OptimizeError> {
         // Flatten the saturated e-graph once; every target × scale ×
         // profile extraction runs over the shared snapshot. The flatten
         // cost is charged to each solution as an equal share of the
@@ -837,7 +1065,7 @@ impl Liar {
         let n_extractions =
             (targets.len() * discount_scales.len() * self.profiles.len()).max(1);
         let flatten_start = std::time::Instant::now();
-        let flat = liar_egraph::FlatGraph::new(&runner.egraph);
+        let flat = liar_egraph::FlatGraph::new(egraph);
         let flatten_share = flatten_start.elapsed() / n_extractions as u32;
 
         let mut solutions = Vec::with_capacity(n_extractions);
@@ -885,21 +1113,67 @@ impl Liar {
             // Proof production mutates the e-graph's provenance forest, so
             // it runs after the shared flatten is released.
             for sol in &mut solutions {
-                sol.proof = Some(runner.egraph.explain_equivalence(expr, &sol.best));
+                sol.proof = Some(egraph.explain_equivalence(expr, &sol.best));
             }
         }
+        Ok(solutions)
+    }
 
-        Ok(MultiReport {
-            targets: targets.to_vec(),
-            discount_scales: discount_scales.to_vec(),
-            profiles: self.profiles.iter().map(|p| p.name.to_string()).collect(),
-            stop_reason,
-            steps,
-            saturation_time,
-            n_nodes: runner.egraph.num_nodes(),
-            n_classes: runner.egraph.num_classes(),
-            solutions,
-        })
+    /// Warm-start saturation from a prior run's snapshot: restore the
+    /// e-graph, add `expr` as a new root, and resume saturation with the
+    /// snapshot's classes pre-sealed — only the new root's sub-terms (and
+    /// what rewriting derives from them) hit the semi-naive frontier, so
+    /// the resumed run pays for the *new* work, not the whole graph.
+    ///
+    /// The counterpart of [`Liar::saturate_for_targets`] for a
+    /// structurally-overlapping follow-up request. **Soundness contract:**
+    /// the snapshot must come from a run that saturated
+    /// ([`StopReason::Saturated`]) under (a superset of) the same
+    /// `targets`' union ruleset and rule config — pre-sealed classes are
+    /// assumed already searched, so matches a *new* rule would find in old
+    /// classes are skipped. Budget-truncated snapshots resume correctly
+    /// but may lag a cold run until saturation converges.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the snapshot bytes do not restore.
+    pub fn saturate_warm(
+        &self,
+        snapshot: &[u8],
+        expr: &Expr,
+        targets: &[Target],
+    ) -> Result<(ArrayEGraph, liar_egraph::Id), SnapshotError> {
+        let rules = rules_for_targets(targets, &self.config);
+        let (mut runner, root) = self.warm_runner_for(snapshot, expr)?;
+        runner.run(&rules);
+        Ok((runner.egraph, root))
+    }
+
+    /// [`Liar::optimize_multi`] seeded from a prior run's snapshot
+    /// (see [`Liar::saturate_warm`] for the resume semantics and its
+    /// soundness contract). The report's step statistics count only the
+    /// resumed steps; with a snapshot store attached the resumed
+    /// saturation is persisted under the *new* request's fingerprint.
+    ///
+    /// Proof production ([`Liar::with_explanations`]) requires the
+    /// snapshot to have been taken from an explanations-enabled run —
+    /// restore re-creates exactly what was saved, so a forest that was
+    /// never recorded cannot be queried.
+    ///
+    /// # Errors
+    ///
+    /// [`WarmError::Snapshot`] when the snapshot does not restore;
+    /// [`WarmError::Optimize`] when some requested extraction has no
+    /// finite-cost term (see [`Liar::optimize_multi`]).
+    pub fn optimize_multi_warm(
+        &self,
+        snapshot: &[u8],
+        expr: &Expr,
+        targets: &[Target],
+        discount_scales: &[f64],
+    ) -> Result<MultiReport, WarmError> {
+        let (runner, root) = self.warm_runner_for(snapshot, expr)?;
+        Ok(self.run_multi(runner, root, expr, targets, discount_scales)?)
     }
 
     /// [`Liar::optimize_multi`] over all three targets at this pipeline's
@@ -1074,6 +1348,199 @@ mod tests {
             gpu.request_fingerprint(&vsum, &[Target::Blas], &[1.0]),
             "profile changes must miss the saturation cache"
         );
+    }
+
+    fn store_in(tag: &str) -> (Arc<SnapshotStore>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "liar-pipeline-store-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (Arc::new(SnapshotStore::open(&dir).unwrap()), dir)
+    }
+
+    fn assert_same_solutions(warm: &MultiReport, cold: &MultiReport) {
+        assert_eq!(warm.solutions.len(), cold.solutions.len());
+        for (w, c) in warm.solutions.iter().zip(&cold.solutions) {
+            assert_eq!(w.target, c.target);
+            assert_eq!(w.best, c.best, "{}: tree solution diverged", w.target);
+            assert_eq!(w.cost, c.cost);
+            assert_eq!(w.dag_best, c.dag_best);
+            assert_eq!(w.dag_cost, c.dag_cost);
+            assert_eq!(w.lib_calls, c.lib_calls);
+        }
+    }
+
+    #[test]
+    fn snapshot_store_answers_warm_without_saturating() {
+        let (store, dir) = store_in("warm");
+        let liar = Liar::new(Target::Blas)
+            .with_iter_limit(6)
+            .with_snapshot_store(Arc::clone(&store));
+        let vsum = dsl::vsum(64, dsl::sym("xs"));
+        let (cold, s1) = liar
+            .optimize_multi_status(&vsum, &Target::ALL, &[1.0])
+            .unwrap();
+        assert_eq!(s1, CacheStatus::Uncached, "no in-memory cache attached");
+        assert_eq!(store.len(), 1, "the cold run persisted its snapshot");
+        let (warm, s2) = liar
+            .optimize_multi_status(&vsum, &Target::ALL, &[1.0])
+            .unwrap();
+        assert_eq!(s2, CacheStatus::Warm);
+        assert!(warm.steps.is_empty(), "warm answers run zero saturation steps");
+        assert_eq!(warm.stop_reason, cold.stop_reason);
+        assert_eq!(warm.n_nodes, cold.n_nodes);
+        assert_eq!(warm.n_classes, cold.n_classes);
+        assert_same_solutions(&warm, &cold);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_store_file_falls_back_cold_and_self_heals() {
+        let (store, dir) = store_in("heal");
+        let liar = Liar::new(Target::Blas)
+            .with_iter_limit(4)
+            .with_snapshot_store(Arc::clone(&store));
+        let memset = dsl::constvec(128, dsl::num(0.0));
+        let fp = liar.request_fingerprint(&memset, &[Target::Blas], &[1.0]);
+        let (cold, _) = liar
+            .optimize_multi_status(&memset, &[Target::Blas], &[1.0])
+            .unwrap();
+        // Vandalize the stored snapshot: the next request must not trust
+        // it — and must not fail either.
+        std::fs::write(store.path_for(fp), b"garbage, not a snapshot").unwrap();
+        let (healed, status) = liar
+            .optimize_multi_status(&memset, &[Target::Blas], &[1.0])
+            .unwrap();
+        assert_eq!(status, CacheStatus::Uncached, "corrupt snapshot runs cold");
+        assert_same_solutions(&healed, &cold);
+        // The cold run overwrote the bad file; the store works again.
+        let (_, status) = liar
+            .optimize_multi_status(&memset, &[Target::Blas], &[1.0])
+            .unwrap();
+        assert_eq!(status, CacheStatus::Warm, "store self-healed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_restore_promotes_into_memory_cache() {
+        let (store, dir) = store_in("promote");
+        let cache = Arc::new(crate::cache::SaturationCache::new(usize::MAX));
+        let make = || {
+            Liar::new(Target::Blas)
+                .with_iter_limit(4)
+                .with_snapshot_store(Arc::clone(&store))
+        };
+        let memset = dsl::constvec(128, dsl::num(0.0));
+        // First process: cold, persists to disk (no shared memory cache).
+        let (cold, s) = make()
+            .optimize_multi_status(&memset, &[Target::Blas], &[1.0])
+            .unwrap();
+        assert_eq!(s, CacheStatus::Uncached);
+        // "Second process": fresh memory cache, same store directory.
+        let liar = make().with_cache(Arc::clone(&cache));
+        let (warm, s) = liar
+            .optimize_multi_status(&memset, &[Target::Blas], &[1.0])
+            .unwrap();
+        assert_eq!(s, CacheStatus::Warm, "disk answers across the boundary");
+        let (hit, s) = liar
+            .optimize_multi_status(&memset, &[Target::Blas], &[1.0])
+            .unwrap();
+        assert_eq!(s, CacheStatus::Hit, "warm report was promoted");
+        assert_eq!(hit, warm, "hits replay the promoted report bit-identically");
+        assert_same_solutions(&warm, &cold);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_restore_replays_proofs() {
+        let (store, dir) = store_in("proofs");
+        let liar = Liar::new(Target::Blas)
+            .with_iter_limit(6)
+            .with_explanations(true)
+            .with_snapshot_store(Arc::clone(&store));
+        let vsum = dsl::vsum(64, dsl::sym("xs"));
+        let (cold, _) = liar
+            .optimize_multi_status(&vsum, &[Target::Blas], &[1.0])
+            .unwrap();
+        let (warm, status) = liar
+            .optimize_multi_status(&vsum, &[Target::Blas], &[1.0])
+            .unwrap();
+        assert_eq!(status, CacheStatus::Warm);
+        let rules = rules_for_targets(&[Target::Blas], &RuleConfig::default());
+        for (w, c) in warm.solutions.iter().zip(&cold.solutions) {
+            let wp = w.proof.as_ref().expect("warm solution carries a proof");
+            let cp = c.proof.as_ref().expect("cold solution carries a proof");
+            wp.check(&rules).expect("warm proof replays");
+            assert_eq!(
+                format!("{wp:?}"),
+                format!("{cp:?}"),
+                "restored forest yields the identical proof"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_resume_equals_cold_on_saturating_kernel() {
+        // axpy saturates under the BLAS union ruleset, so a warm resume
+        // from its own snapshot must search an empty frontier, stop
+        // saturated, and extract the identical solutions.
+        let axpy = dsl::vadd(
+            16,
+            dsl::vscale(16, dsl::sym("alpha"), dsl::sym("A")),
+            dsl::sym("B"),
+        );
+        let liar = Liar::new(Target::Blas).with_iter_limit(10);
+        let cold = liar.optimize_multi(&axpy, &[Target::Blas], &[1.0]).unwrap();
+        assert_eq!(cold.stop_reason, StopReason::Saturated, "axpy must saturate");
+        let (egraph, _) = liar.saturate_for_targets(&axpy, &[Target::Blas]);
+        let snapshot = egraph.snapshot().unwrap();
+        let warm = liar
+            .optimize_multi_warm(&snapshot, &axpy, &[Target::Blas], &[1.0])
+            .unwrap();
+        assert_eq!(warm.stop_reason, StopReason::Saturated);
+        assert_same_solutions(&warm, &cold);
+        // The resumed graph equals the saturated one: nothing new to find.
+        assert_eq!(warm.n_nodes, cold.n_nodes);
+        assert_eq!(warm.n_classes, cold.n_classes);
+    }
+
+    #[test]
+    fn warm_resume_with_new_root_matches_cold_solution() {
+        // Seed with a saturated memset graph, then warm-start a
+        // structurally different request: the resumed run must find the
+        // same solution the cold pipeline finds for the new root.
+        let liar = Liar::new(Target::Blas).with_iter_limit(10);
+        let memset = dsl::constvec(128, dsl::num(0.0));
+        let (egraph, _) = liar.saturate_for_targets(&memset, &[Target::Blas]);
+        let snapshot = egraph.snapshot().unwrap();
+        let axpy = dsl::vadd(
+            16,
+            dsl::vscale(16, dsl::sym("alpha"), dsl::sym("A")),
+            dsl::sym("B"),
+        );
+        let cold = liar.optimize_multi(&axpy, &[Target::Blas], &[1.0]).unwrap();
+        let warm = liar
+            .optimize_multi_warm(&snapshot, &axpy, &[Target::Blas], &[1.0])
+            .unwrap();
+        let (w, c) = (&warm.solutions[0], &cold.solutions[0]);
+        assert_eq!(w.lib_calls, c.lib_calls, "warm: {}", w.best);
+        assert_eq!(w.cost, c.cost);
+        assert_eq!(w.solution_summary(), "1 × axpy");
+        // The warm graph also still contains the seed's solution.
+        assert!(warm.n_nodes > cold.n_nodes, "seed classes are retained");
+    }
+
+    #[test]
+    fn warm_start_on_garbage_is_a_structured_error() {
+        let liar = Liar::new(Target::Blas).with_iter_limit(2);
+        let vsum = dsl::vsum(8, dsl::sym("xs"));
+        let err = liar
+            .optimize_multi_warm(b"not a snapshot", &vsum, &[Target::Blas], &[1.0])
+            .unwrap_err();
+        assert!(matches!(err, WarmError::Snapshot(_)), "got {err}");
+        assert!(err.to_string().contains("restore"));
     }
 
     #[test]

@@ -197,6 +197,68 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         self.delta = delta;
     }
 
+    /// The hash-cons memo (for snapshot serialization). With explanations
+    /// enabled the stored ids are *precise* creation ids; otherwise they
+    /// are canonical as of the last rebuild.
+    pub(crate) fn snapshot_memo(&self) -> &HashMap<L, Id> {
+        &self.memo
+    }
+
+    /// The class table (for snapshot serialization).
+    pub(crate) fn snapshot_classes(&self) -> &HashMap<Id, EClass<L, A::Data>> {
+        &self.classes
+    }
+
+    /// The union-find (for snapshot serialization).
+    pub(crate) fn snapshot_unionfind(&self) -> &UnionFind {
+        &self.unionfind
+    }
+
+    /// The explanation forest, when enabled (for snapshot serialization).
+    pub(crate) fn snapshot_explain(&self) -> Option<&Explain<L>> {
+        self.explain.as_ref()
+    }
+
+    /// Assemble an e-graph from snapshot-restored parts. The caller
+    /// (snapshot restore) has validated that `classes` keys are canonical
+    /// in `unionfind` and that every child id is in range; this
+    /// constructor recomputes the operator index exactly the way
+    /// [`rebuild`](EGraph::rebuild) does (ascending-id iteration keeps
+    /// buckets sorted) and marks the graph clean.
+    pub(crate) fn from_snapshot_parts(
+        analysis: A,
+        unionfind: UnionFind,
+        memo: HashMap<L, Id>,
+        classes: HashMap<Id, EClass<L, A::Data>>,
+        delta: DeltaIndex,
+        explain: Option<Explain<L>>,
+    ) -> Self {
+        let mut classes_by_op: HashMap<u64, Vec<Id>> = HashMap::new();
+        let mut ids: Vec<Id> = classes.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            for node in &classes[&id].nodes {
+                let bucket = classes_by_op.entry(node.op_key()).or_default();
+                if bucket.last() != Some(&id) {
+                    bucket.push(id);
+                }
+            }
+        }
+        EGraph {
+            analysis,
+            unionfind,
+            memo,
+            classes,
+            classes_by_op,
+            delta,
+            pending: Vec::new(),
+            analysis_pending: Vec::new(),
+            clean: true,
+            explain,
+            rule_context: None,
+        }
+    }
+
     /// The canonical ids of every class holding a parent e-node of `id`'s
     /// class (sorted, deduplicated). An over-approximation: parent
     /// back-pointers are never pruned, so a listed class may no longer

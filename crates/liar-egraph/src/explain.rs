@@ -530,6 +530,40 @@ impl<L: Language> Explain<L> {
         self.uncanon_memo.insert(node, id);
     }
 
+    /// Iterate the forest in id order (for snapshot serialization): one
+    /// `(original node, parent, edge justification, forward)` tuple per
+    /// issued id.
+    pub(crate) fn forest(&self) -> impl Iterator<Item = (&L, Id, &Justification<L>, bool)> {
+        self.nodes
+            .iter()
+            .map(|n| (&n.node, n.parent, &n.justification, n.forward))
+    }
+
+    /// The original-spelling memo (for snapshot serialization).
+    pub(crate) fn uncanon_entries(&self) -> &HashMap<L, Id> {
+        &self.uncanon_memo
+    }
+
+    /// Rebuild a forest from snapshot-restored parts: `nodes[i]` is id
+    /// `i`'s `(original node, parent, justification, forward)` record.
+    pub(crate) fn from_parts(
+        nodes: Vec<(L, Id, Justification<L>, bool)>,
+        uncanon_memo: HashMap<L, Id>,
+    ) -> Self {
+        Explain {
+            nodes: nodes
+                .into_iter()
+                .map(|(node, parent, justification, forward)| ExplainNode {
+                    node,
+                    parent,
+                    justification,
+                    forward,
+                })
+                .collect(),
+            uncanon_memo,
+        }
+    }
+
     /// Link the trees of `a` and `b` with an edge labeled `justification`.
     /// `forward` = the rule rewrote `term(a)` into `term(b)`. The two ids
     /// must belong to different trees (the caller unions their classes).

@@ -83,6 +83,7 @@ mod rewrite;
 mod runner;
 mod scheduler;
 pub mod seminaive;
+pub mod snapshot;
 mod symbol_lang;
 mod unionfind;
 
@@ -103,4 +104,8 @@ pub use rewrite::{Applier, Rewrite, SearchMatches, Searcher};
 pub use runner::{Iteration, Runner, RunnerLimits, StopReason};
 pub use scheduler::{BackoffScheduler, Scheduler, SimpleScheduler};
 pub use seminaive::{ClosureMemo, DeltaSearch, SearchPlan};
+pub use snapshot::{
+    SnapshotAnalysis, SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use symbol_lang::SymbolLang;

@@ -137,6 +137,7 @@ pub struct Runner<L: Language, A: Analysis<L>> {
     threads: usize,
     seminaive: bool,
     delta: Option<DeltaSearch<L>>,
+    warm_synced: Option<u64>,
     start: Option<Instant>,
 }
 
@@ -153,6 +154,7 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             threads: 1,
             seminaive: true,
             delta: None,
+            warm_synced: None,
             start: None,
         }
     }
@@ -220,6 +222,20 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
     /// [`Scheduler`] already imposes).
     pub fn with_seminaive(mut self, on: bool) -> Self {
         self.seminaive = on;
+        self
+    }
+
+    /// Pre-seal the semi-naive frontier at delta version `synced`
+    /// (see [`DeltaSearch::new_synced`]).
+    ///
+    /// For warm starts from a restored snapshot: every rule's first search
+    /// skips classes sealed at or before `synced` and scans only work added
+    /// since — sound only when the rule slice already saturated against the
+    /// pre-`synced` graph. Consumed by the first semi-naive step; if the
+    /// rule-slice length later changes (which discards per-rule state), the
+    /// rebuilt state is cold.
+    pub fn with_warm_frontier(mut self, synced: u64) -> Self {
+        self.warm_synced = Some(synced);
         self
     }
 
@@ -298,7 +314,10 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
                 .as_ref()
                 .is_none_or(|d| d.n_rules() != rules.len())
         {
-            self.delta = Some(DeltaSearch::new(rules.len()));
+            self.delta = Some(DeltaSearch::new_synced(
+                rules.len(),
+                self.warm_synced.take().unwrap_or(0),
+            ));
         }
         let plans: Vec<Option<SearchPlan<L>>> = match (self.seminaive, self.delta.as_mut()) {
             (true, Some(ds)) => {

@@ -248,8 +248,33 @@ impl<L: Language> DeltaSearch<L> {
     /// Fresh state for `n_rules` rules, all fully unsynced (the first
     /// search of each rule scans its entire candidate universe).
     pub fn new(n_rules: usize) -> Self {
+        Self::new_synced(n_rules, 0)
+    }
+
+    /// Warm state for `n_rules` rules, pre-synced to delta version
+    /// `synced` — the first search of each rule scans only classes dirtied
+    /// *after* that version instead of its whole universe.
+    ///
+    /// This is the warm-start entry point: restore a snapshot whose delta
+    /// index was sealed at `synced`, add new roots, and resume with the
+    /// snapshot's classes pre-sealed so only the new work hits the
+    /// frontier. It is **sound only when** every rule in the slice was
+    /// already saturated against the pre-`synced` graph (its matches there
+    /// were applied and are no-ops now) — otherwise matches in old classes
+    /// are silently skipped. Rules with a nonzero
+    /// [`delta_fingerprint`](crate::Searcher::delta_fingerprint) are
+    /// unaffected: their fingerprint never matches the fresh state's zero,
+    /// so their first plan rescans the whole universe as usual.
+    ///
+    /// `new_synced(n, 0)` is exactly [`new`](DeltaSearch::new).
+    pub fn new_synced(n_rules: usize, synced: u64) -> Self {
         DeltaSearch {
-            rules: (0..n_rules).map(|_| RuleState::default()).collect(),
+            rules: (0..n_rules)
+                .map(|_| RuleState {
+                    synced,
+                    ..RuleState::default()
+                })
+                .collect(),
         }
     }
 

@@ -62,6 +62,19 @@ impl UnionFind {
         id
     }
 
+    /// The raw parent table (for snapshot serialization): `parents[i]` is
+    /// the parent of id `i`, with roots pointing at themselves.
+    pub(crate) fn parents(&self) -> &[Id] {
+        &self.parents
+    }
+
+    /// Rebuild a union-find from a raw parent table (snapshot restore).
+    /// The caller is responsible for the table being acyclic (every id
+    /// reaching a self-parenting root).
+    pub(crate) fn from_parents(parents: Vec<Id>) -> Self {
+        UnionFind { parents }
+    }
+
     /// Union the sets of `root1` and `root2`, making `root1` the new root.
     ///
     /// Both arguments must already be canonical (roots). Returns `root1`.

@@ -14,7 +14,10 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use liar_egraph::{Analysis, DidMerge, EGraph, Id, Language};
+use liar_egraph::{
+    Analysis, DidMerge, EGraph, Id, Language, SnapshotAnalysis, SnapshotError, SnapshotReader,
+    SnapshotWriter,
+};
 
 use crate::debruijn::{self, VarSet};
 use crate::{ArrayLang, Expr, Num};
@@ -219,6 +222,56 @@ impl Analysis<ArrayLang> for ArrayAnalysis {
     }
 }
 
+impl SnapshotAnalysis<ArrayLang> for ArrayAnalysis {
+    // Facts are serialized, not recomputed: `ClassData::repr` tie-breaks
+    // on merge arrival order, so recomputation could change which (equal)
+    // representative extraction-based appliers see.
+    fn write_data(data: &ClassData, w: &mut SnapshotWriter) {
+        let (bits, high) = data.free.to_raw();
+        w.write_u64(bits);
+        w.write_bool(high);
+        let (rbits, rhigh) = data.repr_free.to_raw();
+        w.write_u64(rbits);
+        w.write_bool(rhigh);
+        w.write_str(&data.repr.to_string());
+        w.write_opt_u64(data.dim.map(|d| d as u64));
+        w.write_opt_u64(data.extent.map(|e| e as u64));
+        w.write_opt_u64(data.constant.map(|c| c.get().to_bits()));
+        w.write_bool(data.has_var);
+    }
+
+    fn read_data(r: &mut SnapshotReader<'_>) -> Result<ClassData, SnapshotError> {
+        let free = VarSet::from_raw(r.read_u64()?, r.read_bool()?);
+        let repr_free = VarSet::from_raw(r.read_u64()?, r.read_bool()?);
+        let repr_text = r.read_str()?;
+        let repr: Expr = repr_text
+            .parse()
+            .map_err(|e| r.corrupt(format!("representative does not parse: {e}")))?;
+        let dim = r.read_opt_u64()?.map(|d| d as usize);
+        let extent = r.read_opt_u64()?.map(|e| e as usize);
+        let constant = match r.read_opt_u64()? {
+            Some(bits) => {
+                let value = f64::from_bits(bits);
+                if value.is_nan() {
+                    return Err(r.corrupt("NaN constant in analysis data"));
+                }
+                Some(Num::new(value))
+            }
+            None => None,
+        };
+        let has_var = r.read_bool()?;
+        Ok(ClassData {
+            free,
+            repr: Arc::new(repr),
+            repr_free,
+            dim,
+            extent,
+            constant,
+            has_var,
+        })
+    }
+}
+
 /// Searches an e-class for a member term avoiding a set of De Bruijn
 /// indices (given as a bitmask), preferring small terms.
 ///
@@ -399,6 +452,25 @@ mod tests {
         eg.rebuild();
         let down = ArrayAnalysis::downshift(&eg, fx, 1).unwrap();
         assert_eq!(down, e("(fst zs)"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_analysis_data() {
+        let mut eg = ArrayEGraph::default();
+        let big = eg.add_expr(&e("(+ (+ x 0) 0)"));
+        let small = eg.add_expr(&e("x"));
+        let dims = eg.add_expr(&e("(build #4 (lam 2.5))"));
+        eg.union(big, small);
+        eg.rebuild();
+        let bytes = eg.snapshot().unwrap();
+        let restored = ArrayEGraph::restore(ArrayAnalysis::default(), &bytes).unwrap();
+        let (a, b) = (eg.find(big), restored.find(big));
+        assert_eq!(a, b);
+        assert_eq!(*restored.data(b).repr, e("x"));
+        assert_eq!(restored.data(b).free, eg.data(a).free);
+        assert_eq!(restored.data(dims).extent, Some(4));
+        // Byte-determinism: re-snapshotting the restored graph is exact.
+        assert_eq!(restored.snapshot().unwrap(), bytes);
     }
 
     #[test]

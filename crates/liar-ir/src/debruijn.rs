@@ -24,6 +24,17 @@ impl VarSet {
     /// The empty set (a closed expression).
     pub const EMPTY: VarSet = VarSet { bits: 0, high: false };
 
+    /// The raw `(bitset, saturation flag)` parts — for snapshot
+    /// serialization; round-trips exactly through [`VarSet::from_raw`].
+    pub fn to_raw(self) -> (u64, bool) {
+        (self.bits, self.high)
+    }
+
+    /// Rebuild a set from its raw parts (see [`VarSet::to_raw`]).
+    pub fn from_raw(bits: u64, high: bool) -> Self {
+        VarSet { bits, high }
+    }
+
     /// The set containing exactly index `i`.
     pub fn singleton(i: u32) -> Self {
         if i < 64 {

@@ -49,6 +49,7 @@ pub mod server;
 pub use client::{Client, ClientError};
 pub use protocol::{
     ErrorCode, OptimizeRequest, OptimizeResponse, ProofMsg, ProofStepMsg, Request, Response,
-    SolutionMsg, StatsResponse,
+    RestoreRequest, RestoreResponse, SnapshotRequest, SnapshotResponse, SolutionMsg,
+    StatsResponse,
 };
 pub use server::{Server, ServerConfig};

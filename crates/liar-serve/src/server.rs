@@ -38,12 +38,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use liar_core::{Fingerprint, Liar, MachineProfile, MultiReport, OptimizeError, SaturationCache, Target};
-use liar_ir::{Expr, StableHasher};
+use liar_core::store::stop_reason_from_name;
+use liar_core::{
+    Fingerprint, Liar, MachineProfile, MultiReport, OptimizeError, SaturationCache, SnapshotStore,
+    Target,
+};
+use liar_ir::{ArrayAnalysis, ArrayEGraph, Expr, StableHasher};
 
 use crate::protocol::{
     self, read_frame, target_from_wire, write_frame, ErrorCode, FrameError, OptimizeRequest,
-    OptimizeResponse, ProofMsg, Request, Response, SolutionMsg, StatsResponse,
+    OptimizeResponse, ProofMsg, Request, Response, RestoreRequest, RestoreResponse,
+    SnapshotRequest, SnapshotResponse, SolutionMsg, StatsResponse,
 };
 
 /// Tuning knobs of a [`Server`].
@@ -75,6 +80,12 @@ pub struct ServerConfig {
     /// E-matching threads inside each optimization (results are
     /// bit-identical regardless; see `Liar::with_threads`).
     pub search_threads: usize,
+    /// Directory of the durable snapshot store (`liar serve --warm`).
+    /// When set, every cold saturation persists its e-graph there, a
+    /// restart answers repeat fingerprints by restore + extraction
+    /// (zero saturation steps), and the `snapshot` / `restore` protocol
+    /// ops ship e-graphs between nodes. `None` disables durability.
+    pub warm_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +103,7 @@ impl Default for ServerConfig {
             max_discount_scales: 8,
             batch_max: 8,
             search_threads: 1,
+            warm_dir: None,
         }
     }
 }
@@ -166,6 +178,8 @@ struct Counters {
 struct Shared {
     config: ServerConfig,
     cache: Arc<SaturationCache>,
+    /// The durable snapshot store, when `config.warm_dir` names one.
+    store: Option<Arc<SnapshotStore>>,
     queue: Mutex<Vec<Job>>,
     queue_cv: Condvar,
     inflight: Mutex<HashMap<u128, Arc<Flight>>>,
@@ -213,8 +227,13 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let cache = Arc::new(SaturationCache::new(config.cache_bytes));
+        let store = match &config.warm_dir {
+            Some(dir) => Some(Arc::new(SnapshotStore::open(dir)?)),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             cache,
+            store,
             queue: Mutex::new(Vec::new()),
             queue_cv: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
@@ -260,6 +279,52 @@ impl Server {
     /// A snapshot of the service + cache counters.
     pub fn stats(&self) -> StatsResponse {
         self.shared.stats()
+    }
+
+    /// The durable snapshot store, when the server was started with
+    /// [`ServerConfig::warm_dir`].
+    pub fn snapshot_store(&self) -> Option<&Arc<SnapshotStore>> {
+        self.shared.store.as_ref()
+    }
+
+    /// Pre-saturate the PolyBench kernel corpus into the warm store, so
+    /// the first client asking for any of them is answered by restore +
+    /// extraction alone (`"cache":"warm"`, zero saturation steps).
+    ///
+    /// Each kernel runs through **exactly** the pipeline a defaulted
+    /// `optimize` request would get (all targets, scale `1.0`, the
+    /// identity profile, the server's default budgets), so the stored
+    /// fingerprints match later client requests. A kernel already in the
+    /// store restores instead of re-saturating, making repeat boots
+    /// cheap.
+    ///
+    /// Returns `(saturated, warm)`: kernels computed cold vs answered
+    /// from the store (or the in-memory cache). No-op without a store.
+    pub fn prewarm_kernels(&self) -> (usize, usize) {
+        if self.shared.store.is_none() {
+            return (0, 0);
+        }
+        let cfg = &self.shared.config;
+        let targets: Vec<Target> = Target::ALL.to_vec();
+        let (mut saturated, mut warm) = (0, 0);
+        for kernel in liar_kernels::Kernel::ALL {
+            let expr = kernel.expr(kernel.search_size());
+            let pipeline = job_pipeline(
+                &self.shared,
+                targets[0],
+                cfg.default_steps,
+                cfg.default_node_limit,
+                false,
+                vec![MachineProfile::default()],
+            );
+            match pipeline.optimize_multi_status(&expr, &targets, &[1.0]) {
+                Ok((_, status)) if status.name() == "warm" || status.name() == "hit" => warm += 1,
+                Ok(_) => saturated += 1,
+                // Unextractable kernels (none today) just don't prewarm.
+                Err(_) => {}
+            }
+        }
+        (saturated, warm)
     }
 
     /// Whether a shutdown has been requested (via [`Server::shutdown`] or
@@ -407,6 +472,11 @@ fn handle_payload(payload: &[u8], shared: &Arc<Shared>) -> Response {
         Request::Ping => Response::Pong,
         Request::Stats => Response::Stats(shared.stats()),
         Request::Shutdown => Response::ShuttingDown,
+        // Snapshot traffic is I/O-bound (disk + wire, no saturation), so
+        // it is answered inline on the connection thread rather than
+        // competing with optimizations for workers.
+        Request::Snapshot(req) => handle_snapshot(req, shared),
+        Request::Restore(req) => handle_restore(req, shared),
         Request::Optimize(req) => {
             if shared.stopping.load(Ordering::SeqCst) {
                 return Response::Error {
@@ -460,6 +530,126 @@ fn handle_payload(payload: &[u8], shared: &Arc<Shared>) -> Response {
             }
         }
     }
+}
+
+/// Parse a request fingerprint: up to 32 hex digits (the canonical form
+/// [`Fingerprint`]'s `Display` emits).
+fn parse_fingerprint(s: &str) -> Option<Fingerprint> {
+    if s.is_empty() || s.len() > 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok().map(Fingerprint)
+}
+
+/// Serve a `snapshot` op: read the stored e-graph for a fingerprint and
+/// ship it hex-encoded.
+fn handle_snapshot(req: SnapshotRequest, shared: &Arc<Shared>) -> Response {
+    let Some(store) = &shared.store else {
+        return Response::Error {
+            id: req.id,
+            code: ErrorCode::NoStore,
+            message: "no snapshot store attached (start the server with a warm directory)".into(),
+        };
+    };
+    let Some(fp) = parse_fingerprint(&req.fingerprint) else {
+        return Response::Error {
+            id: req.id,
+            code: ErrorCode::BadRequest,
+            message: format!(
+                "\"fingerprint\" must be 1–32 hex digits, got {:?}",
+                req.fingerprint
+            ),
+        };
+    };
+    match store.load(fp) {
+        Some((stop_reason, bytes)) => Response::Snapshot(SnapshotResponse {
+            id: req.id,
+            fingerprint: fp.to_string(),
+            stop_reason: stop_reason.to_string(),
+            snapshot_hex: protocol::to_hex(&bytes),
+        }),
+        None => Response::Error {
+            id: req.id,
+            code: ErrorCode::UnknownSnapshot,
+            message: format!("no snapshot stored under fingerprint {fp}"),
+        },
+    }
+}
+
+/// Serve a `restore` op: decode, **validate by actually restoring**, and
+/// persist a shipped snapshot. A snapshot that does not restore to a
+/// live e-graph never touches the store.
+fn handle_restore(req: RestoreRequest, shared: &Arc<Shared>) -> Response {
+    let err = |id: Option<String>, code, message: String| Response::Error { id, code, message };
+    let Some(store) = &shared.store else {
+        return err(
+            req.id,
+            ErrorCode::NoStore,
+            "no snapshot store attached (start the server with a warm directory)".into(),
+        );
+    };
+    let Some(fp) = parse_fingerprint(&req.fingerprint) else {
+        return err(
+            req.id,
+            ErrorCode::BadRequest,
+            format!("\"fingerprint\" must be 1–32 hex digits, got {:?}", req.fingerprint),
+        );
+    };
+    let Some(stop_reason) = stop_reason_from_name(&req.stop_reason) else {
+        return err(
+            req.id,
+            ErrorCode::BadSnapshot,
+            format!("unknown stop reason {:?}", req.stop_reason),
+        );
+    };
+    let Some(bytes) = protocol::from_hex(&req.snapshot_hex) else {
+        return err(
+            req.id,
+            ErrorCode::BadSnapshot,
+            "\"snapshot_hex\" is not valid hex".into(),
+        );
+    };
+    let graph = match ArrayEGraph::restore(ArrayAnalysis::default(), &bytes) {
+        Ok(g) => g,
+        Err(e) => return err(req.id, ErrorCode::BadSnapshot, e.to_string()),
+    };
+    if let Err(e) = store.save(fp, &stop_reason, &bytes) {
+        return err(
+            req.id,
+            ErrorCode::StoreFailed,
+            format!("failed to persist the snapshot: {e}"),
+        );
+    }
+    Response::Restored(RestoreResponse {
+        id: req.id,
+        fingerprint: fp.to_string(),
+        n_nodes: graph.num_nodes(),
+        n_classes: graph.num_classes(),
+    })
+}
+
+/// The pipeline a validated job runs. `prewarm_kernels` builds pipelines
+/// through this same function, so boot-time snapshots land under the
+/// fingerprints later client requests compute.
+fn job_pipeline(
+    shared: &Arc<Shared>,
+    lead_target: Target,
+    steps: usize,
+    node_limit: usize,
+    explain: bool,
+    profiles: Vec<MachineProfile>,
+) -> Liar {
+    let mut pipeline = Liar::new(lead_target)
+        .with_iter_limit(steps)
+        .with_node_limit(node_limit)
+        .with_threads(shared.config.search_threads)
+        .with_explanations(explain)
+        .with_profiles(profiles)
+        .with_cache(Arc::clone(&shared.cache));
+    if let Some(store) = &shared.store {
+        pipeline = pipeline.with_snapshot_store(Arc::clone(store));
+    }
+    pipeline
 }
 
 /// Validate an optimize request into a runnable job.
@@ -566,13 +756,7 @@ fn make_job(
         ));
     }
 
-    let pipeline = Liar::new(targets[0])
-        .with_iter_limit(steps)
-        .with_node_limit(node_limit)
-        .with_threads(cfg.search_threads)
-        .with_explanations(req.explain)
-        .with_profiles(profiles)
-        .with_cache(Arc::clone(&shared.cache));
+    let pipeline = job_pipeline(shared, targets[0], steps, node_limit, req.explain, profiles);
     let fingerprint = pipeline.request_fingerprint(&expr, &targets, &discount_scales);
     let budget_key = {
         let knobs = pipeline.budget_knobs();
@@ -741,6 +925,13 @@ fn unextractable(job: &Job, e: &OptimizeError) -> Response {
 }
 
 fn build_response(job: &Job, report: &MultiReport, cache: String) -> OptimizeResponse {
+    // Steps the server ran *for this answer*: replayed (hit/coalesced)
+    // and restored (warm) answers did no saturation — their reports may
+    // still describe the original run's steps (or none at all).
+    let saturation_steps = match cache.as_str() {
+        "miss" | "uncached" => report.steps.len().saturating_sub(1),
+        _ => 0,
+    };
     OptimizeResponse {
         id: job.id.clone(),
         fingerprint: job.fingerprint.to_string(),
@@ -749,6 +940,7 @@ fn build_response(job: &Job, report: &MultiReport, cache: String) -> OptimizeRes
         n_nodes: report.n_nodes,
         n_classes: report.n_classes,
         saturation_s: report.saturation_time.as_secs_f64(),
+        saturation_steps,
         server_ms: job.received.elapsed().as_secs_f64() * 1e3,
         solutions: report
             .solutions

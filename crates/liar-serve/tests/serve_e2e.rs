@@ -429,3 +429,151 @@ fn shutdown_over_the_protocol_drains() {
     srv.wait();
     srv.shutdown();
 }
+
+/// The durable warm store survives the process boundary: a second server
+/// on the same directory answers its very first submission from the
+/// restored snapshot — `cache == "warm"`, zero saturation steps, answers
+/// bit-identical to the cold run — and the `snapshot`/`restore` protocol
+/// ops move a saturated graph to a third, empty-store server.
+#[test]
+fn warm_store_survives_restart_and_snapshot_ops_move_graphs() {
+    let dir = std::env::temp_dir().join(format!("liar-e2e-warm-{}", std::process::id()));
+    let dir_b = std::env::temp_dir().join(format!("liar-e2e-warm-b-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir_b);
+
+    let program = Kernel::Gemv.expr(Kernel::Gemv.search_size()).to_string();
+    let expected = in_process(&program);
+
+    // Server #1: the cold saturation lands in the durable store.
+    let srv = server(ServerConfig {
+        warm_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(srv.local_addr()).expect("connect");
+    let cold = client.optimize(request_for(&program)).expect("optimize");
+    assert_eq!(cold.cache, "miss");
+    assert!(cold.saturation_steps > 0, "a cold run reports its steps");
+    assert_matches(&cold, &expected);
+
+    // The snapshot op hands the persisted graph over the wire…
+    let snap = client
+        .snapshot(cold.fingerprint.clone())
+        .expect("snapshot op");
+    assert_eq!(snap.fingerprint, cold.fingerprint);
+    assert!(!snap.snapshot_hex.is_empty());
+    // …and unknown fingerprints get a structured error.
+    match client.snapshot("0".repeat(32)) {
+        Err(liar_serve::ClientError::Server { code, .. }) => {
+            assert_eq!(code, "unknown-snapshot")
+        }
+        other => panic!("expected unknown-snapshot, got {other:?}"),
+    }
+    srv.shutdown();
+
+    // Server #2, same directory, fresh in-memory cache (the process
+    // boundary): the first submission is served warm, then promoted.
+    let srv2 = server(ServerConfig {
+        warm_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client2 = Client::connect(srv2.local_addr()).expect("connect");
+    let warm = client2.optimize(request_for(&program)).expect("optimize");
+    assert_eq!(warm.cache, "warm", "restart must not recompute");
+    assert_eq!(warm.saturation_steps, 0, "warm answers run no saturation");
+    assert_eq!(warm.fingerprint, cold.fingerprint);
+    assert_matches(&warm, &expected);
+    let hit = client2.optimize(request_for(&program)).expect("optimize");
+    assert_eq!(hit.cache, "hit", "warm answers promote to the memory cache");
+    assert_eq!(hit.solutions, warm.solutions);
+    srv2.shutdown();
+
+    // Server #3, empty store: the restore op ships the graph in, after
+    // which the same request is warm there too. Corrupt payloads are
+    // rejected without touching the store.
+    let srv3 = server(ServerConfig {
+        warm_dir: Some(dir_b.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client3 = Client::connect(srv3.local_addr()).expect("connect");
+    let mut corrupt = snap.clone();
+    corrupt.snapshot_hex.truncate(corrupt.snapshot_hex.len() / 2);
+    match client3.restore(&corrupt) {
+        Err(liar_serve::ClientError::Server { code, .. }) => assert_eq!(code, "bad-snapshot"),
+        other => panic!("expected bad-snapshot, got {other:?}"),
+    }
+    let restored = client3.restore(&snap).expect("restore op");
+    assert_eq!(restored.fingerprint, snap.fingerprint);
+    assert!(restored.n_nodes > 0);
+    let moved = client3.optimize(request_for(&program)).expect("optimize");
+    assert_eq!(moved.cache, "warm", "a restored snapshot serves warm");
+    assert_eq!(moved.saturation_steps, 0);
+    assert_matches(&moved, &expected);
+    srv3.shutdown();
+
+    // Without a store, snapshot ops are a structured refusal.
+    let srv4 = server(ServerConfig::default());
+    let mut client4 = Client::connect(srv4.local_addr()).expect("connect");
+    match client4.snapshot(cold.fingerprint.clone()) {
+        Err(liar_serve::ClientError::Server { code, .. }) => assert_eq!(code, "no-store"),
+        other => panic!("expected no-store, got {other:?}"),
+    }
+    srv4.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// A corrupt store file must never corrupt an answer: the server falls
+/// back to a cold saturation (bit-identical solutions), overwrites the
+/// bad file with the fresh result, and the *next* restart serves warm
+/// again — the store self-heals.
+#[test]
+fn corrupt_store_files_fall_back_cold_and_self_heal() {
+    let dir = std::env::temp_dir().join(format!("liar-e2e-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let program = Kernel::Vsum.expr(Kernel::Vsum.search_size()).to_string();
+    let expected = in_process(&program);
+
+    let srv = server(ServerConfig {
+        warm_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(srv.local_addr()).expect("connect");
+    let cold = client.optimize(request_for(&program)).expect("optimize");
+    assert_eq!(cold.cache, "miss");
+    srv.shutdown();
+
+    // Flip a byte deep in the persisted snapshot payload.
+    let path = dir.join(format!("{}.snap", cold.fingerprint));
+    let mut bytes = std::fs::read(&path).expect("store file exists");
+    let pos = bytes.len() - bytes.len() / 4;
+    bytes[pos] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("rewrite store file");
+
+    // Restart: the corrupt entry is a cold fallback, not a wrong answer.
+    let srv2 = server(ServerConfig {
+        warm_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client2 = Client::connect(srv2.local_addr()).expect("connect");
+    let fallback = client2.optimize(request_for(&program)).expect("optimize");
+    assert_eq!(fallback.cache, "miss", "corrupt snapshots must recompute");
+    assert!(fallback.saturation_steps > 0);
+    assert_matches(&fallback, &expected);
+    srv2.shutdown();
+
+    // The recomputation overwrote the bad file: warm again.
+    let srv3 = server(ServerConfig {
+        warm_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client3 = Client::connect(srv3.local_addr()).expect("connect");
+    let healed = client3.optimize(request_for(&program)).expect("optimize");
+    assert_eq!(healed.cache, "warm", "the store heals itself on recompute");
+    assert_matches(&healed, &expected);
+    srv3.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -653,12 +653,27 @@ fn run_serve(p: &Parsed) -> Result<ExitCode, String> {
     config.default_steps = p.usize_or("--steps", config.default_steps)?;
     config.max_steps = p.usize_or("--max-steps", config.max_steps)?;
     config.search_threads = p.usize_or("--threads", config.search_threads)?;
-    let server = Server::start(config).map_err(|e| format!("cannot bind: {e}"))?;
+    config.warm_dir = p.value("--warm").map(std::path::PathBuf::from);
+    let prewarm = config.warm_dir.is_some() && !p.has("--no-prewarm");
+    let server = Server::start(config).map_err(|e| format!("cannot start: {e}"))?;
     println!("liar-serve listening on {}", server.local_addr());
     // Make the line visible to parents that pipe our stdout (CI smoke,
     // the integration tests).
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
+    if prewarm {
+        // Pre-saturate the kernel corpus so first requests are answered
+        // warm (restore + extraction, zero saturation steps). Kernels
+        // already in the store restore instead of re-saturating.
+        let boot = std::time::Instant::now();
+        let (saturated, warm) = server.prewarm_kernels();
+        println!(
+            "liar-serve warm store ready: {saturated} kernels saturated, \
+             {warm} restored ({:.2}s)",
+            boot.elapsed().as_secs_f64()
+        );
+        let _ = std::io::stdout().flush();
+    }
     server.wait();
     eprintln!("liar-serve: shutdown requested, draining");
     server.shutdown();
@@ -770,8 +785,13 @@ fn run_submit(p: &Parsed) -> Result<ExitCode, String> {
     println!("fingerprint: {}", resp.fingerprint);
     println!("cache: {}", resp.cache);
     println!(
-        "stopped: {} ({} e-nodes, {} e-classes, saturation {:.3}s, server {:.1}ms)",
-        resp.stop_reason, resp.n_nodes, resp.n_classes, resp.saturation_s, resp.server_ms
+        "stopped: {} ({} e-nodes, {} e-classes, {} steps run, saturation {:.3}s, server {:.1}ms)",
+        resp.stop_reason,
+        resp.n_nodes,
+        resp.n_classes,
+        resp.saturation_steps,
+        resp.saturation_s,
+        resp.server_ms
     );
     println!(
         "\n{:<8} {:>8} {:<8} {:>12} {:>12}  solution",
@@ -929,6 +949,16 @@ const COMMANDS: &[CommandSpec] = &[
                 name: "--threads",
                 metavar: Some("N"),
                 help: "e-matching threads per optimization (default 1)",
+            },
+            FlagSpec {
+                name: "--warm",
+                metavar: Some("DIR"),
+                help: "durable snapshot store: persist saturations, answer repeats warm",
+            },
+            FlagSpec {
+                name: "--no-prewarm",
+                metavar: None,
+                help: "with --warm: skip pre-saturating the kernel corpus at boot",
             },
         ],
         run: run_serve,
