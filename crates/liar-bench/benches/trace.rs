@@ -1,0 +1,148 @@
+//! Tracing overhead benchmark: what the observability layer costs on the
+//! saturation workload.
+//!
+//! Three configurations of the same kernel pipeline:
+//!
+//! * **baseline** — no recorder attached (the sink is `TraceSink::off()`
+//!   everywhere, spans compile to nothing at the call site);
+//! * **disabled** — a recorder attached but switched off
+//!   ([`Recorder::off`]): every span site pays one relaxed atomic load
+//!   plus a branch. The contract is ≤ 2% overhead vs baseline, gated in
+//!   `BENCH_trace.json` (`gate_2pct_pass`, min-of-samples aggregate).
+//! * **enabled** — a live recorder ([`Recorder::new`]) collecting the
+//!   full span stream; reported for scale (this is what `liar profile`
+//!   and `--trace` pay), not gated.
+//!
+//! Determinism is asserted while measuring: all three configurations
+//! must extract the same solution at the same cost.
+//!
+//! Results are printed and written to `BENCH_trace.json` at the repo
+//! root; CI runs this bench and uploads the artifact.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use liar_bench::harness;
+use liar_core::{Liar, Target};
+use liar_kernels::Kernel;
+use liar_trace::Recorder;
+
+const KERNELS: [Kernel; 3] = [Kernel::Vsum, Kernel::Gemv, Kernel::Atax];
+const SAMPLES: usize = 5;
+
+/// Min of `SAMPLES` timed runs after one warm-up — the least-noise
+/// estimator for an overhead ratio (noise only ever adds time).
+fn measure(mut f: impl FnMut() -> f64) -> (Duration, f64) {
+    let checksum = std::hint::black_box(f());
+    let mut times: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    (times[0], checksum)
+}
+
+struct Row {
+    kernel: &'static str,
+    baseline_s: f64,
+    disabled_s: f64,
+    enabled_s: f64,
+    disabled_overhead: f64,
+    enabled_overhead: f64,
+}
+
+fn main() {
+    println!("== trace (span-recorder overhead on the saturation pipeline) ==");
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host hardware threads: {hw}");
+
+    let mut rows = Vec::new();
+    for kernel in KERNELS {
+        let expr = kernel.expr(kernel.search_size());
+        let run = |pipeline: Liar| pipeline.optimize(&expr).best().cost;
+
+        let (baseline, base_cost) = measure(|| run(harness::pipeline_for(kernel, Target::Blas)));
+        let off = Recorder::off();
+        let (disabled, off_cost) = measure(|| {
+            run(harness::pipeline_for(kernel, Target::Blas).with_trace(Arc::clone(&off)))
+        });
+        let (enabled, on_cost) = measure(|| {
+            // A fresh live recorder per run, like `liar profile` pays.
+            run(harness::pipeline_for(kernel, Target::Blas).with_trace(Recorder::new()))
+        });
+        assert_eq!(base_cost, off_cost, "{kernel}: disabled tracing changed the solution cost");
+        assert_eq!(base_cost, on_cost, "{kernel}: enabled tracing changed the solution cost");
+
+        let disabled_overhead = disabled.as_secs_f64() / baseline.as_secs_f64().max(1e-9);
+        let enabled_overhead = enabled.as_secs_f64() / baseline.as_secs_f64().max(1e-9);
+        println!(
+            "{:<24} baseline {:>9.3?}   disabled {:>9.3?} ({:>5.3}x)   enabled {:>9.3?} ({:>5.3}x)",
+            format!("trace/{}", kernel.name()),
+            baseline,
+            disabled,
+            disabled_overhead,
+            enabled,
+            enabled_overhead,
+        );
+        rows.push(Row {
+            kernel: kernel.name(),
+            baseline_s: baseline.as_secs_f64(),
+            disabled_s: disabled.as_secs_f64(),
+            enabled_s: enabled.as_secs_f64(),
+            disabled_overhead,
+            enabled_overhead,
+        });
+    }
+
+    // The gate aggregates over kernels (ratio of summed minimums) so a
+    // single noisy millisecond-scale run can't fail it on its own.
+    let base_total: f64 = rows.iter().map(|r| r.baseline_s).sum();
+    let disabled_total: f64 = rows.iter().map(|r| r.disabled_s).sum();
+    let enabled_total: f64 = rows.iter().map(|r| r.enabled_s).sum();
+    let aggregate_disabled = disabled_total / base_total.max(1e-9);
+    let aggregate_enabled = enabled_total / base_total.max(1e-9);
+    let gate_pass = aggregate_disabled <= 1.02;
+    println!(
+        "aggregate: disabled {:.3}x (gate ≤ 1.02: {}), enabled {:.3}x",
+        aggregate_disabled,
+        if gate_pass { "PASS" } else { "FAIL" },
+        aggregate_enabled,
+    );
+
+    // Hand-rolled JSON (the workspace is dependency-free offline).
+    let mut json = String::from("{\n  \"bench\": \"trace\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"baseline_s\": {:.6}, \"disabled_s\": {:.6}, \
+             \"enabled_s\": {:.6}, \"disabled_overhead\": {:.4}, \"enabled_overhead\": {:.4}}}{}\n",
+            r.kernel,
+            r.baseline_s,
+            r.disabled_s,
+            r.enabled_s,
+            r.disabled_overhead,
+            r.enabled_overhead,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"aggregate_disabled_overhead\": {aggregate_disabled:.4},\n  \
+         \"aggregate_enabled_overhead\": {aggregate_enabled:.4},\n  \
+         \"gate_2pct_pass\": {gate_pass}\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if !gate_pass {
+        eprintln!(
+            "disabled-tracing overhead gate failed: {aggregate_disabled:.4}x > 1.02x \
+             (a disabled recorder must cost one atomic load per span site)"
+        );
+        std::process::exit(1);
+    }
+}

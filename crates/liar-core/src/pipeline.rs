@@ -10,6 +10,7 @@ use liar_egraph::{
     SnapshotError, StopReason,
 };
 use liar_ir::{ArrayAnalysis, ArrayEGraph, ArrayExplanation, Expr};
+use liar_trace::{Recorder, TraceSink};
 
 use crate::cache::SaturationCache;
 use crate::cost::TargetCost;
@@ -386,6 +387,7 @@ pub struct Liar {
     explain: bool,
     cache: Option<Arc<SaturationCache>>,
     store: Option<Arc<SnapshotStore>>,
+    trace: Option<Arc<Recorder>>,
 }
 
 /// How [`Liar::optimize_multi_status`] obtained its report.
@@ -445,6 +447,7 @@ impl Liar {
             explain: false,
             cache: None,
             store: None,
+            trace: None,
         }
     }
 
@@ -575,6 +578,39 @@ impl Liar {
         self.store.as_ref()
     }
 
+    /// Attach a trace recorder ([`liar_trace::Recorder`]): every pipeline
+    /// mode emits hierarchical spans (`saturate`, `extract/<target>`,
+    /// `snapshot/save`, `explain/<target>`, …) plus the per-step
+    /// saturation spans the underlying [`Runner`] records (see
+    /// [`liar_egraph::Runner::with_trace`] for the span taxonomy;
+    /// `docs/OBSERVABILITY.md` for the full catalogue).
+    ///
+    /// Tracing is strictly observational: reports, solutions and proofs
+    /// are bit-identical with it on or off, so — like the thread count and
+    /// the semi-naive knob — the recorder is **excluded** from
+    /// [`Liar::request_fingerprint`] and traced/untraced cache entries are
+    /// interchangeable. Events from a *disabled* recorder
+    /// ([`Recorder::off`]) cost one relaxed atomic load and a branch per
+    /// call site.
+    pub fn with_trace(mut self, recorder: Arc<Recorder>) -> Self {
+        self.trace = Some(recorder);
+        self
+    }
+
+    /// The attached trace recorder, if any.
+    pub fn trace_recorder(&self) -> Option<&Arc<Recorder>> {
+        self.trace.as_ref()
+    }
+
+    /// A sink on the attached recorder's `lane` — inert when no recorder
+    /// is attached.
+    fn sink(&self, lane: &str) -> TraceSink {
+        match &self.trace {
+            Some(rec) => TraceSink::attached(rec, lane),
+            None => TraceSink::off(),
+        }
+    }
+
     /// The target this pipeline optimizes for.
     pub fn target(&self) -> Target {
         self.target
@@ -644,12 +680,16 @@ impl Liar {
         egraph: ArrayEGraph,
         root: liar_egraph::Id,
     ) -> Runner<liar_ir::ArrayLang, liar_ir::ArrayAnalysis> {
-        Runner::new(egraph)
+        let runner = Runner::new(egraph)
             .with_root(root)
             .with_limits(self.limits.clone())
             .with_scheduler(self.scheduler())
             .with_threads(self.threads)
-            .with_seminaive(self.seminaive)
+            .with_seminaive(self.seminaive);
+        match &self.trace {
+            Some(rec) => runner.with_trace(rec),
+            None => runner,
+        }
     }
 
     /// Restore a snapshotted prior saturation, add `expr` as a new root,
@@ -759,7 +799,10 @@ impl Liar {
             frontier: 0,
             matches: 0,
         };
+        let mut sink = self.sink("pipeline");
+        let span = sink.begin("extract/step");
         steps.push(extract(&runner.egraph, 0, Duration::ZERO, zero, Vec::new()));
+        sink.end_with(span, &[("step", 0.0)]);
         let stop_reason = loop {
             match runner.run_one(&rules) {
                 Ok(iter) => {
@@ -771,7 +814,9 @@ impl Liar {
                         matches: iter.search_matches,
                     };
                     let applied = iter.applied.clone();
+                    let span = sink.begin("extract/step");
                     steps.push(extract(&runner.egraph, index, time, search, applied));
+                    sink.end_with(span, &[("step", index as f64)]);
                     if runner.stop_reason.is_some() {
                         break runner.stop_reason.clone().unwrap();
                     }
@@ -876,7 +921,21 @@ impl Liar {
             }
         }
         if let (Some(store), Some(fp)) = (&self.store, fp) {
-            if let Some((stop_reason, bytes)) = store.load(fp) {
+            let mut sink = self.sink("pipeline");
+            let span = sink.begin("snapshot/load");
+            let loaded = store.load(fp);
+            sink.end_with(
+                span,
+                &[
+                    ("hit", loaded.is_some() as u8 as f64),
+                    (
+                        "bytes",
+                        loaded.as_ref().map_or(0.0, |(_, b)| b.len() as f64),
+                    ),
+                ],
+            );
+            drop(sink);
+            if let Some((stop_reason, bytes)) = loaded {
                 if let Some(result) =
                     self.try_restore_multi(stop_reason, &bytes, expr, targets, discount_scales)
                 {
@@ -918,13 +977,29 @@ impl Liar {
         targets: &[Target],
         discount_scales: &[f64],
     ) -> Option<Result<(MultiReport, CacheStatus), OptimizeError>> {
-        let mut egraph = ArrayEGraph::restore(ArrayAnalysis::default(), bytes).ok()?;
+        let mut sink = self.sink("pipeline");
+        let span = sink.begin("snapshot/restore");
+        let restored = ArrayEGraph::restore(ArrayAnalysis::default(), bytes);
+        sink.end_with(
+            span,
+            &[
+                ("bytes", bytes.len() as f64),
+                ("ok", restored.is_ok() as u8 as f64),
+            ],
+        );
+        let mut egraph = restored.ok()?;
         let root = egraph.lookup_expr(expr)?;
-        let solutions =
-            match self.extract_solutions(&mut egraph, root, expr, targets, discount_scales) {
-                Ok(solutions) => solutions,
-                Err(e) => return Some(Err(e)),
-            };
+        let solutions = match self.extract_solutions(
+            &mut egraph,
+            root,
+            expr,
+            targets,
+            discount_scales,
+            &mut sink,
+        ) {
+            Ok(solutions) => solutions,
+            Err(e) => return Some(Err(e)),
+        };
         Some(Ok((
             MultiReport {
                 targets: targets.to_vec(),
@@ -997,9 +1072,19 @@ impl Liar {
             frontier_candidates: 0,
             search_matches: 0,
         };
+        let mut sink = self.sink("pipeline");
+        let sat_span = sink.begin("saturate");
         let sat_start = std::time::Instant::now();
         let stop_reason = runner.run(&rules);
         let saturation_time = sat_start.elapsed();
+        sink.end_with(
+            sat_span,
+            &[
+                ("steps", runner.iterations.len() as f64),
+                ("nodes", runner.egraph.num_nodes() as f64),
+                ("classes", runner.egraph.num_classes() as f64),
+            ],
+        );
 
         let mut steps = vec![initial];
         for iter in &runner.iterations {
@@ -1020,16 +1105,26 @@ impl Liar {
         // grows the provenance forest, and the snapshot must capture the
         // graph every future restore-then-prove will reproduce from.
         if let Some(store) = &self.store {
+            let save_span = sink.begin("snapshot/save");
+            let mut saved_bytes = 0.0;
             if let Ok(bytes) = runner.egraph.snapshot() {
+                saved_bytes = bytes.len() as f64;
                 let fp = self.request_fingerprint(expr, targets, discount_scales);
                 // Best-effort durability: a full disk must not fail the
                 // request itself.
                 let _ = store.save(fp, &stop_reason, &bytes);
             }
+            sink.end_with(save_span, &[("bytes", saved_bytes)]);
         }
 
-        let solutions =
-            self.extract_solutions(&mut runner.egraph, root, expr, targets, discount_scales)?;
+        let solutions = self.extract_solutions(
+            &mut runner.egraph,
+            root,
+            expr,
+            targets,
+            discount_scales,
+            &mut sink,
+        )?;
 
         Ok(MultiReport {
             targets: targets.to_vec(),
@@ -1056,6 +1151,7 @@ impl Liar {
         expr: &Expr,
         targets: &[Target],
         discount_scales: &[f64],
+        sink: &mut TraceSink,
     ) -> Result<Vec<MultiSolution>, OptimizeError> {
         // Flatten the saturated e-graph once; every target × scale ×
         // profile extraction runs over the shared snapshot. The flatten
@@ -1064,9 +1160,15 @@ impl Liar {
         // real extraction wall-clock.
         let n_extractions =
             (targets.len() * discount_scales.len() * self.profiles.len()).max(1);
+        let (n_nodes, n_classes) = (egraph.num_nodes(), egraph.num_classes());
+        let flatten_span = sink.begin("extract/flatten");
         let flatten_start = std::time::Instant::now();
         let flat = liar_egraph::FlatGraph::new(egraph);
         let flatten_share = flatten_start.elapsed() / n_extractions as u32;
+        sink.end_with(
+            flatten_span,
+            &[("nodes", n_nodes as f64), ("classes", n_classes as f64)],
+        );
 
         let mut solutions = Vec::with_capacity(n_extractions);
         for &target in targets {
@@ -1080,6 +1182,7 @@ impl Liar {
                         discount_scale: scale,
                         profile: profile.name.to_string(),
                     };
+                    let span = sink.begin_args(format_args!("extract/{target}"));
                     let start = std::time::Instant::now();
                     let extractor = DagExtractor::with_flat(&flat, cost_fn);
                     let (cost, best) = extractor
@@ -1091,6 +1194,17 @@ impl Liar {
                     let stats = extractor.stats();
                     drop(extractor);
                     let extract_time = start.elapsed() + flatten_share;
+                    sink.end_with(
+                        span,
+                        &[
+                            ("scale", scale),
+                            ("cost", cost),
+                            ("dag_cost", dag_cost),
+                            ("relaxations", stats.relaxations as f64),
+                            ("revisits", stats.revisits as f64),
+                            ("passes", stats.passes as f64),
+                        ],
+                    );
                     let lib_calls = count_lib_calls(&best);
                     solutions.push(MultiSolution {
                         target,
@@ -1113,7 +1227,10 @@ impl Liar {
             // Proof production mutates the e-graph's provenance forest, so
             // it runs after the shared flatten is released.
             for sol in &mut solutions {
+                let span = sink.begin_args(format_args!("explain/{}", sol.target));
                 sol.proof = Some(egraph.explain_equivalence(expr, &sol.best));
+                let len = sol.proof.as_ref().map_or(0, |p| p.len());
+                sink.end_with(span, &[("proof_len", len as f64)]);
             }
         }
         Ok(solutions)

@@ -287,6 +287,13 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         self.classes.values().map(|c| c.nodes.len()).sum()
     }
 
+    /// Entries in the hash-cons memo — a growth gauge for observability
+    /// (tracks allocation pressure; can exceed [`num_nodes`](EGraph::num_nodes)
+    /// between rebuilds while stale keys await congruence repair).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
     /// True when congruence and analysis invariants hold (no unions since
     /// the last [`rebuild`](EGraph::rebuild)).
     pub fn is_clean(&self) -> bool {

@@ -17,6 +17,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+use liar_trace::{Recorder, TraceSink};
+
 use crate::rewrite::SearchMatches;
 use crate::seminaive::{self, ClosureMemo, DeltaSearch, PlanEntry, SearchPlan};
 use crate::{Analysis, EGraph, Id, Language, Rewrite, Scheduler, SimpleScheduler, Subst};
@@ -139,6 +141,7 @@ pub struct Runner<L: Language, A: Analysis<L>> {
     delta: Option<DeltaSearch<L>>,
     warm_synced: Option<u64>,
     start: Option<Instant>,
+    trace: TraceSink,
 }
 
 impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
@@ -156,6 +159,7 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             delta: None,
             warm_synced: None,
             start: None,
+            trace: TraceSink::off(),
         }
     }
 
@@ -239,6 +243,19 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
         self
     }
 
+    /// Record saturation spans against `recorder` (see the `liar-trace`
+    /// crate): per-step `step` spans nesting `search`/`apply`/`rebuild`
+    /// phase spans and per-rule `search/<rule>` (serial engine only) and
+    /// `apply/<rule>` spans, plus e-graph growth counters and scheduler
+    /// ban markers. Tracing is strictly observational — it never feeds
+    /// back into search, scheduling, or apply order — so traced runs stay
+    /// bit-identical to untraced ones (enforced by the tracing
+    /// determinism wall).
+    pub fn with_trace(mut self, recorder: &Arc<Recorder>) -> Self {
+        self.trace = TraceSink::attached(recorder, "saturation");
+        self
+    }
+
     fn check_pre_limits(&self) -> Option<StopReason> {
         if self.iterations.len() >= self.limits.iter_limit {
             return Some(StopReason::IterationLimit);
@@ -269,6 +286,8 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
         }
         let step_start = Instant::now();
         let iteration_idx = self.iterations.len();
+        let step_span = self.trace.begin("step");
+        let search_span = self.trace.begin("search");
 
         // Search phase: all rules see the same clean e-graph snapshot. The
         // scheduler hands out every rule's match budget up front, then the
@@ -280,6 +299,18 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             .enumerate()
             .map(|(i, rule)| self.scheduler.match_limit(iteration_idx, i, rule.name()))
             .collect();
+        if self.trace.on() {
+            // Banned rules sit out this iteration; mark each ban so the
+            // scheduler's backoff behavior is visible on the timeline.
+            for (rule, limit) in rules.iter().zip(&limits) {
+                if limit.is_none() {
+                    self.trace.instant_args(
+                        format_args!("ban/{}", rule.name()),
+                        &[("step", (iteration_idx + 1) as f64)],
+                    );
+                }
+            }
+        }
         // Candidate class lists per unbanned per-class rule: the operator
         // index narrows pattern rules to the classes containing their root
         // operator; `None` means "every class" (custom searchers, or
@@ -378,7 +409,15 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
                 self.threads,
             )
         } else {
-            serial_search(&self.egraph, rules, &limits, &candidates, &class_ids, &plans)
+            serial_search(
+                &self.egraph,
+                rules,
+                &limits,
+                &candidates,
+                &class_ids,
+                &plans,
+                &mut self.trace,
+            )
         };
         if let Some(ds) = self.delta.as_mut() {
             for (i, scans) in committed.into_iter().enumerate() {
@@ -396,20 +435,35 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             }
         }
         let search_time = step_start.elapsed();
+        self.trace.end_with(
+            search_span,
+            &[
+                ("candidates", search_candidates as f64),
+                ("frontier", frontier_candidates as f64),
+                ("matches", search_matches as f64),
+            ],
+        );
 
         // Apply phase.
         let apply_start = Instant::now();
+        let apply_span = self.trace.begin("apply");
         let mut applied = Vec::with_capacity(rules.len());
         for (rule, matches) in rules.iter().zip(&all_matches) {
+            let rule_span = self.trace.begin_args(format_args!("apply/{}", rule.name()));
             let changed = rule.apply(&mut self.egraph, matches);
+            self.trace.end_with(rule_span, &[("changed", changed as f64)]);
             applied.push((rule.name().to_string(), changed));
         }
         let apply_time = apply_start.elapsed();
+        self.trace.end(apply_span);
 
         // Rebuild phase.
         let rebuild_start = Instant::now();
+        let rebuild_span = self.trace.begin("rebuild");
         let rebuild_unions = self.egraph.rebuild();
         let rebuild_time = rebuild_start.elapsed();
+        self.trace
+            .end_with(rebuild_span, &[("unions", rebuild_unions as f64)]);
 
         let iteration = Iteration {
             index: iteration_idx + 1,
@@ -425,6 +479,16 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             rebuild_time,
             total_time: step_start.elapsed(),
         };
+        self.trace
+            .end_with(step_span, &[("step", (iteration_idx + 1) as f64)]);
+        if self.trace.on() {
+            // Growth gauges, sampled after the rebuild (when the counts
+            // are exact): e-nodes, e-classes, and hash-cons memo entries.
+            self.trace.counter("egraph/nodes", iteration.n_nodes as f64);
+            self.trace.counter("egraph/classes", iteration.n_classes as f64);
+            self.trace.counter("egraph/memo", self.egraph.memo_len() as f64);
+            self.trace.flush();
+        }
         let saturated = iteration.total_applied() == 0 && rebuild_unions == 0;
         self.iterations.push(iteration);
         if saturated {
@@ -460,6 +524,7 @@ type SearchOutput<L> = (Vec<Vec<SearchMatches<L>>>, Vec<seminaive::ScanResults<L
 /// [`Searcher::candidate_class_ids`](crate::Searcher::candidate_class_ids)
 /// over-approximates: a skipped class would have produced zero matches and
 /// therefore cannot affect limits or output order.
+#[allow(clippy::too_many_arguments)] // Internal: mirrors `parallel_search`.
 fn serial_search<L: Language + 'static, A: Analysis<L> + 'static>(
     egraph: &EGraph<L, A>,
     rules: &[Rewrite<L, A>],
@@ -467,10 +532,17 @@ fn serial_search<L: Language + 'static, A: Analysis<L> + 'static>(
     candidates: &[Option<Vec<Id>>],
     class_ids: &[Id],
     plans: &[Option<SearchPlan<L>>],
+    trace: &mut TraceSink,
 ) -> SearchOutput<L> {
     let mut all = Vec::with_capacity(rules.len());
     let mut committed = Vec::with_capacity(rules.len());
     for (i, rule) in rules.iter().enumerate() {
+        // Banned rules get no span (their ban marker already tells the
+        // story); everything else records a `search/<rule>` span.
+        let rule_span = match limits[i] {
+            Some(_) => trace.begin_args(format_args!("search/{}", rule.name())),
+            None => liar_trace::SpanToken::NOOP,
+        };
         let (matches, scans) = match (&limits[i], &plans[i]) {
             (None, _) => (Vec::new(), Vec::new()),
             (Some(limit), Some(plan)) => seminaive::execute_plan_serial(plan, egraph, rule, *limit),
@@ -492,6 +564,8 @@ fn serial_search<L: Language + 'static, A: Analysis<L> + 'static>(
             }
             (Some(limit), None) => (rule.search(egraph, *limit), Vec::new()),
         };
+        let n_matches: usize = matches.iter().map(|m| m.len()).sum();
+        trace.end_with(rule_span, &[("matches", n_matches as f64)]);
         all.push(matches);
         committed.push(scans);
     }
@@ -955,6 +1029,78 @@ mod tests {
         assert_eq!(it.search_candidates, 1);
         assert!(it.search_candidates < n_classes);
         assert_eq!(it.search_matches, 1);
+    }
+
+    #[test]
+    fn traced_runs_are_bit_identical_and_spans_nest() {
+        let run = |recorder: Option<&Arc<Recorder>>, threads: usize| {
+            let mut eg: EGraph<SymbolLang, ()> = EGraph::default();
+            let root = eg.add_expr(&"(+ (+ (+ a b) c) (+ d e))".parse().unwrap());
+            let mut runner = Runner::new(eg)
+                .with_root(root)
+                .with_iter_limit(4)
+                .with_scheduler(crate::BackoffScheduler::new(5, 2))
+                .with_threads(threads);
+            if let Some(rec) = recorder {
+                runner = runner.with_trace(rec);
+            }
+            runner.run(&[comm(), assoc()]);
+            runner
+        };
+        let plain = run(None, 1);
+        for threads in [1, 4] {
+            let rec = Recorder::new();
+            let traced = run(Some(&rec), threads);
+            assert_eq!(plain.stop_reason, traced.stop_reason, "{threads} threads");
+            assert_eq!(plain.iterations.len(), traced.iterations.len());
+            for (p, t) in plain.iterations.iter().zip(&traced.iterations) {
+                assert_eq!(p.n_nodes, t.n_nodes, "step {}", p.index);
+                assert_eq!(p.applied, t.applied, "step {}", p.index);
+                assert_eq!(p.search_matches, t.search_matches, "step {}", p.index);
+            }
+
+            let events = rec.events();
+            let spans = |name: &str| {
+                events
+                    .iter()
+                    .filter(|e| e.kind == liar_trace::EventKind::Span && e.name == name)
+                    .count()
+            };
+            assert_eq!(spans("step"), traced.iterations.len());
+            assert_eq!(spans("search"), traced.iterations.len());
+            assert_eq!(spans("apply"), traced.iterations.len());
+            assert_eq!(spans("rebuild"), traced.iterations.len());
+            // Phase spans sit inside their step span.
+            let step = events.iter().find(|e| e.name == "step").unwrap();
+            for phase in ["search", "apply", "rebuild"] {
+                let p = events.iter().find(|e| e.name == phase).unwrap();
+                assert!(p.start_us >= step.start_us, "{phase} starts in step");
+                assert!(
+                    p.start_us + p.dur_us <= step.start_us + step.dur_us,
+                    "{phase} ends in step"
+                );
+            }
+            // Growth gauges sample every step, as counters not spans.
+            assert_eq!(spans("egraph/nodes"), 0);
+            let nodes = events
+                .iter()
+                .filter(|e| {
+                    e.kind == liar_trace::EventKind::Counter && e.name == "egraph/nodes"
+                })
+                .count();
+            assert_eq!(nodes, traced.iterations.len());
+            // The serial engine records per-rule search spans.
+            if threads == 1 {
+                assert!(
+                    events.iter().any(|e| e.name == "search/comm-add"),
+                    "per-rule search spans exist serially"
+                );
+            }
+            assert!(
+                events.iter().any(|e| e.name == "apply/comm-add"),
+                "per-rule apply spans exist under both engines"
+            );
+        }
     }
 
     #[test]

@@ -6,8 +6,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
-    read_frame, write_frame, FrameError, OptimizeRequest, OptimizeResponse, Request, Response,
-    RestoreRequest, RestoreResponse, SnapshotRequest, SnapshotResponse, StatsResponse,
+    read_frame, write_frame, FrameError, MetricsResponse, OptimizeRequest, OptimizeResponse,
+    Request, Response, RestoreRequest, RestoreResponse, SnapshotRequest, SnapshotResponse,
+    StatsResponse,
 };
 
 /// Response-size cap on the client side. Responses echo the best
@@ -207,6 +208,21 @@ impl Client {
             }),
             other => Err(ClientError::BadResponse(format!(
                 "expected a stats response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Scrape the server's full metric set as Prometheus text exposition
+    /// (`liar stats --prometheus` prints this verbatim).
+    pub fn metrics(&mut self) -> Result<MetricsResponse, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
+            Response::Error { code, message, .. } => Err(ClientError::Server {
+                code: code.name().to_string(),
+                message,
+            }),
+            other => Err(ClientError::BadResponse(format!(
+                "expected a metrics response, got {other:?}"
             ))),
         }
     }

@@ -48,8 +48,8 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    ErrorCode, OptimizeRequest, OptimizeResponse, ProofMsg, ProofStepMsg, Request, Response,
-    RestoreRequest, RestoreResponse, SnapshotRequest, SnapshotResponse, SolutionMsg,
-    StatsResponse,
+    ErrorCode, MetricsResponse, OptimizeRequest, OptimizeResponse, ProofMsg, ProofStepMsg,
+    Request, Response, RestoreRequest, RestoreResponse, SnapshotRequest, SnapshotResponse,
+    SolutionMsg, StatsResponse,
 };
 pub use server::{Server, ServerConfig};

@@ -27,7 +27,11 @@
 //! * `{"op":"explain", "program": "<s-expression>", ...}` — same knobs,
 //!   but the pipeline runs with proof production on and every solution
 //!   in the response carries a replayable [`ProofMsg`] certificate.
-//! * `{"op":"stats"}` — cache and service counters.
+//! * `{"op":"stats"}` — cache and service counters, queue-depth and
+//!   in-flight gauges, and p50/p95/p99 request-latency percentiles.
+//! * `{"op":"metrics"}` — the full metric set (counters, gauges,
+//!   latency histograms, per-phase time totals) rendered server-side as
+//!   Prometheus text exposition format; see [`MetricsResponse`].
 //! * `{"op":"ping"}` — liveness probe.
 //! * `{"op":"shutdown"}` — ask the daemon to drain and exit (the daemon
 //!   is an unauthenticated loopback service; do not expose it beyond
@@ -629,6 +633,9 @@ pub enum Request {
     Restore(RestoreRequest),
     /// Service + cache counters.
     Stats,
+    /// Full metrics scrape: the server's counters, gauges and latency
+    /// histograms rendered as Prometheus text exposition format.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Drain and exit.
@@ -643,6 +650,7 @@ impl Request {
             Request::Snapshot(r) => r.to_json(),
             Request::Restore(r) => r.to_json(),
             Request::Stats => Json::obj([("op", Json::Str("stats".into()))]),
+            Request::Metrics => Json::obj([("op", Json::Str("metrics".into()))]),
             Request::Ping => Json::obj([("op", Json::Str("ping".into()))]),
             Request::Shutdown => Json::obj([("op", Json::Str("shutdown".into()))]),
         };
@@ -673,13 +681,14 @@ impl Request {
                 .map(Request::Restore)
                 .map_err(|m| (ErrorCode::BadRequest, m)),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err((
                 ErrorCode::BadRequest,
                 format!(
                     "unknown op {other:?} \
-                     (expected optimize|explain|snapshot|restore|stats|ping|shutdown)"
+                     (expected optimize|explain|snapshot|restore|stats|metrics|ping|shutdown)"
                 ),
             )),
         }
@@ -1030,10 +1039,21 @@ pub struct StatsResponse {
     pub coalesced: u64,
     /// Jobs that rode along in a drained batch (queue pops avoided).
     pub batched: u64,
+    /// Jobs waiting in the bounded queue right now (a gauge).
+    pub queue_depth: usize,
+    /// Single-flight computations running right now (a gauge).
+    pub inflight: usize,
+    /// Median end-to-end request latency, milliseconds (0 until the
+    /// first optimize request completes).
+    pub latency_p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub latency_p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub latency_p99_ms: f64,
 }
 
 impl StatsResponse {
-    fn fields(&self) -> [(&'static str, f64); 11] {
+    fn fields(&self) -> [(&'static str, f64); 16] {
         [
             ("cache_hits", self.cache_hits as f64),
             ("cache_misses", self.cache_misses as f64),
@@ -1046,8 +1066,27 @@ impl StatsResponse {
             ("errors", self.errors as f64),
             ("coalesced", self.coalesced as f64),
             ("batched", self.batched as f64),
+            ("queue_depth", self.queue_depth as f64),
+            ("inflight", self.inflight as f64),
+            ("latency_p50_ms", self.latency_p50_ms),
+            ("latency_p95_ms", self.latency_p95_ms),
+            ("latency_p99_ms", self.latency_p99_ms),
         ]
     }
+}
+
+/// A full metrics scrape (`metrics` response): the server's counters,
+/// gauges, per-phase time totals and latency histograms rendered
+/// server-side as [Prometheus text exposition format] (version 0.0.4) —
+/// the exact document `liar stats --prometheus` prints and a Prometheus
+/// scraper ingests. See `docs/OBSERVABILITY.md` for the metric
+/// catalogue.
+///
+/// [Prometheus text exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsResponse {
+    /// The Prometheus exposition document.
+    pub prometheus: String,
 }
 
 /// A response frame's payload.
@@ -1061,6 +1100,8 @@ pub enum Response {
     Restored(RestoreResponse),
     /// Counters.
     Stats(StatsResponse),
+    /// A Prometheus-rendered metrics scrape.
+    Metrics(MetricsResponse),
     /// Ping acknowledgement.
     Pong,
     /// Shutdown acknowledgement (the server drains and exits after).
@@ -1116,6 +1157,11 @@ impl Response {
                 );
                 Json::Obj(pairs)
             }
+            Response::Metrics(m) => Json::obj([
+                ("ok", Json::Bool(true)),
+                ("metrics", Json::Bool(true)),
+                ("prometheus", Json::Str(m.prometheus.clone())),
+            ]),
             Response::Snapshot(r) => {
                 let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
                 if let Some(id) = &r.id {
@@ -1190,12 +1236,24 @@ impl Response {
         if j.get("shutting_down").is_some() {
             return Ok(Response::ShuttingDown);
         }
+        if j.get("metrics").is_some() {
+            return Ok(Response::Metrics(MetricsResponse {
+                prometheus: j
+                    .get("prometheus")
+                    .and_then(Json::as_str)
+                    .ok_or("metrics response missing \"prometheus\"")?
+                    .to_string(),
+            }));
+        }
         if j.get("stats").is_some() {
             let field = |name: &str| -> Result<f64, String> {
                 j.get(name)
                     .and_then(Json::as_f64)
                     .ok_or(format!("stats response missing \"{name}\""))
             };
+            // Gauges and percentiles are absent from pre-observability
+            // servers: default to 0 rather than failing the response.
+            let lenient = |name: &str| j.get(name).and_then(Json::as_f64).unwrap_or(0.0);
             return Ok(Response::Stats(StatsResponse {
                 cache_hits: field("cache_hits")? as u64,
                 cache_misses: field("cache_misses")? as u64,
@@ -1208,6 +1266,11 @@ impl Response {
                 errors: field("errors")? as u64,
                 coalesced: field("coalesced")? as u64,
                 batched: field("batched")? as u64,
+                queue_depth: lenient("queue_depth") as usize,
+                inflight: lenient("inflight") as usize,
+                latency_p50_ms: lenient("latency_p50_ms"),
+                latency_p95_ms: lenient("latency_p95_ms"),
+                latency_p99_ms: lenient("latency_p99_ms"),
             }));
         }
         if j.get("restored").is_some() {

@@ -44,11 +44,12 @@ use liar_core::{
     Target,
 };
 use liar_ir::{ArrayAnalysis, ArrayEGraph, Expr, StableHasher};
+use liar_trace::{prom::PromWriter, Histogram, Recorder, TraceSink};
 
 use crate::protocol::{
-    self, read_frame, target_from_wire, write_frame, ErrorCode, FrameError, OptimizeRequest,
-    OptimizeResponse, ProofMsg, Request, Response, RestoreRequest, RestoreResponse,
-    SnapshotRequest, SnapshotResponse, SolutionMsg, StatsResponse,
+    self, read_frame, target_from_wire, write_frame, ErrorCode, FrameError, MetricsResponse,
+    OptimizeRequest, OptimizeResponse, ProofMsg, Request, Response, RestoreRequest,
+    RestoreResponse, SnapshotRequest, SnapshotResponse, SolutionMsg, StatsResponse,
 };
 
 /// Tuning knobs of a [`Server`].
@@ -86,6 +87,15 @@ pub struct ServerConfig {
     /// (zero saturation steps), and the `snapshot` / `restore` protocol
     /// ops ship e-graphs between nodes. `None` disables durability.
     pub warm_dir: Option<std::path::PathBuf>,
+    /// Directory for Chrome trace-event exports (`liar serve
+    /// --trace-dir`). When set, the daemon records per-request phase
+    /// spans (queue wait, single-flight coalescing, saturation,
+    /// extraction, reply serialization — each request's lane carries its
+    /// trace id) and writes `serve-trace.json` there at shutdown; load it
+    /// in `chrome://tracing` or Perfetto. `None` (the default) disables
+    /// span recording entirely — the metrics histograms stay on either
+    /// way, they are plain atomic counters.
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +114,7 @@ impl Default for ServerConfig {
             batch_max: 8,
             search_threads: 1,
             warm_dir: None,
+            trace_dir: None,
         }
     }
 }
@@ -175,6 +186,36 @@ struct Counters {
     batched: AtomicU64,
 }
 
+/// Always-on request metrics (plain atomics — no recorder required):
+/// latency distributions for the percentile gauges and the Prometheus
+/// scrape, plus per-phase time totals.
+struct Metrics {
+    /// End-to-end optimize latency (frame received → reply handed to the
+    /// connection thread), milliseconds.
+    latency_ms: Histogram,
+    /// Time jobs spent queued before a worker picked them up, ms.
+    queue_wait_ms: Histogram,
+    /// Total queue wait across all jobs, microseconds.
+    queue_wait_us: AtomicU64,
+    /// Total time inside the optimization pipeline (saturation + cache +
+    /// extraction), microseconds.
+    optimize_us: AtomicU64,
+    /// Total time serializing replies, microseconds.
+    serialize_us: AtomicU64,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            latency_ms: Histogram::latency_ms(),
+            queue_wait_ms: Histogram::latency_ms(),
+            queue_wait_us: AtomicU64::new(0),
+            optimize_us: AtomicU64::new(0),
+            serialize_us: AtomicU64::new(0),
+        }
+    }
+}
+
 struct Shared {
     config: ServerConfig,
     cache: Arc<SaturationCache>,
@@ -185,11 +226,16 @@ struct Shared {
     inflight: Mutex<HashMap<u128, Arc<Flight>>>,
     stopping: AtomicBool,
     counters: Counters,
+    metrics: Metrics,
+    /// Span recorder behind `config.trace_dir` — disabled (an atomic
+    /// load and a branch per call site) when no trace directory is set.
+    recorder: Arc<Recorder>,
 }
 
 impl Shared {
     fn stats(&self) -> StatsResponse {
         let cache = self.cache.stats();
+        let latency = self.metrics.latency_ms.snapshot();
         StatsResponse {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
@@ -202,7 +248,39 @@ impl Shared {
             errors: self.counters.errors.load(Ordering::Relaxed),
             coalesced: self.counters.coalesced.load(Ordering::Relaxed),
             batched: self.counters.batched.load(Ordering::Relaxed),
+            queue_depth: self.queue.lock().unwrap().len(),
+            inflight: self.inflight.lock().unwrap().len(),
+            latency_p50_ms: latency.quantile(0.50),
+            latency_p95_ms: latency.quantile(0.95),
+            latency_p99_ms: latency.quantile(0.99),
         }
+    }
+
+    /// Render every counter, gauge and histogram as Prometheus text
+    /// exposition format (the `metrics` op; `liar stats --prometheus`).
+    fn prometheus(&self) -> String {
+        let s = self.stats();
+        let us_to_s = |us: &AtomicU64| us.load(Ordering::Relaxed) as f64 / 1e6;
+        let mut w = PromWriter::new();
+        w.counter("liar_requests_total", "Optimize requests accepted into the job queue", s.requests as f64);
+        w.counter("liar_errors_total", "Error responses sent", s.errors as f64);
+        w.counter("liar_coalesced_total", "Requests coalesced onto an identical in-flight computation", s.coalesced as f64);
+        w.counter("liar_batched_total", "Jobs drained alongside a same-budget batch leader", s.batched as f64);
+        w.counter("liar_cache_hits_total", "Saturation cache hits", s.cache_hits as f64);
+        w.counter("liar_cache_misses_total", "Saturation cache misses", s.cache_misses as f64);
+        w.counter("liar_cache_insertions_total", "Saturation cache insertions", s.cache_insertions as f64);
+        w.counter("liar_cache_evictions_total", "Saturation cache evictions by the byte budget", s.cache_evictions as f64);
+        w.counter("liar_cache_rejected_total", "Reports refused as larger than a cache shard", s.cache_rejected as f64);
+        w.gauge("liar_cache_entries", "Live saturation cache entries", s.cache_entries as f64);
+        w.gauge("liar_cache_bytes", "Estimated live saturation cache bytes", s.cache_bytes as f64);
+        w.gauge("liar_queue_depth", "Jobs waiting in the bounded queue", s.queue_depth as f64);
+        w.gauge("liar_inflight", "Single-flight computations running now", s.inflight as f64);
+        w.counter("liar_phase_queue_wait_seconds_total", "Total time jobs waited in the queue", us_to_s(&self.metrics.queue_wait_us));
+        w.counter("liar_phase_optimize_seconds_total", "Total time inside the optimization pipeline", us_to_s(&self.metrics.optimize_us));
+        w.counter("liar_phase_serialize_seconds_total", "Total time serializing replies", us_to_s(&self.metrics.serialize_us));
+        w.histogram("liar_request_latency_ms", "End-to-end optimize request latency, milliseconds", &self.metrics.latency_ms.snapshot());
+        w.histogram("liar_queue_wait_ms", "Queue wait before a worker picked the job up, milliseconds", &self.metrics.queue_wait_ms.snapshot());
+        w.finish()
     }
 
     fn begin_shutdown(&self) {
@@ -231,6 +309,11 @@ impl Server {
             Some(dir) => Some(Arc::new(SnapshotStore::open(dir)?)),
             None => None,
         };
+        let recorder = if config.trace_dir.is_some() {
+            Recorder::new()
+        } else {
+            Recorder::off()
+        };
         let shared = Arc::new(Shared {
             cache,
             store,
@@ -239,6 +322,8 @@ impl Server {
             inflight: Mutex::new(HashMap::new()),
             stopping: AtomicBool::new(false),
             counters: Counters::default(),
+            metrics: Metrics::new(),
+            recorder,
             config,
         });
 
@@ -247,7 +332,7 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("liar-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn worker")
             })
             .collect();
@@ -356,6 +441,14 @@ impl Server {
         let conns = std::mem::take(&mut *self.connections.lock().unwrap());
         for c in conns {
             let _ = c.join();
+        }
+        // Every thread has flushed its sinks; dump the Chrome trace.
+        if let Some(dir) = &self.shared.config.trace_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(
+                dir.join("serve-trace.json"),
+                self.shared.recorder.chrome_trace_json(),
+            );
         }
     }
 }
@@ -471,6 +564,9 @@ fn handle_payload(payload: &[u8], shared: &Arc<Shared>) -> Response {
     match request {
         Request::Ping => Response::Pong,
         Request::Stats => Response::Stats(shared.stats()),
+        Request::Metrics => Response::Metrics(MetricsResponse {
+            prometheus: shared.prometheus(),
+        }),
         Request::Shutdown => Response::ShuttingDown,
         // Snapshot traffic is I/O-bound (disk + wire, no saturation), so
         // it is answered inline on the connection thread rather than
@@ -649,6 +745,11 @@ fn job_pipeline(
     if let Some(store) = &shared.store {
         pipeline = pipeline.with_snapshot_store(Arc::clone(store));
     }
+    if shared.recorder.is_enabled() {
+        // Saturation/extraction spans land in the same trace as the
+        // serve-layer request spans.
+        pipeline = pipeline.with_trace(Arc::clone(&shared.recorder));
+    }
     pipeline
 }
 
@@ -787,7 +888,8 @@ fn make_job(
     ))
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    let mut sink = TraceSink::attached(&shared.recorder, &format!("worker-{index}"));
     loop {
         let batch = {
             let mut queue = shared.queue.lock().unwrap();
@@ -822,14 +924,36 @@ fn worker_loop(shared: &Arc<Shared>) {
             batch
         };
         for job in batch {
-            process_job(job, shared);
+            process_job(job, shared, &mut sink);
         }
+        // Make this round's spans visible to concurrent `metrics`
+        // scrapers and the shutdown dump.
+        sink.flush();
     }
 }
 
 /// Execute one job through the cache + single-flight layers and reply.
-fn process_job(job: Job, shared: &Arc<Shared>) {
+///
+/// The request's trace id (its protocol `id`, falling back to the
+/// fingerprint) names the `request/<id>` span; `optimize` /
+/// `coalesce/wait` / `serialize` child spans carry the phase breakdown,
+/// and queue wait rides along as a span argument (it elapsed before the
+/// worker existed, so it cannot be its own span here).
+fn process_job(job: Job, shared: &Arc<Shared>, sink: &mut TraceSink) {
     let fp = job.fingerprint;
+    let queue_wait = job.received.elapsed();
+    shared
+        .metrics
+        .queue_wait_ms
+        .observe(queue_wait.as_secs_f64() * 1e3);
+    shared
+        .metrics
+        .queue_wait_us
+        .fetch_add(queue_wait.as_micros() as u64, Ordering::Relaxed);
+    let req_span = match &job.id {
+        Some(id) => sink.begin_args(format_args!("request/{id}")),
+        None => sink.begin_args(format_args!("request/{fp}")),
+    };
     // Single-flight: join an identical in-flight computation if one
     // exists, otherwise become the leader.
     let (flight, leader) = {
@@ -847,35 +971,46 @@ fn process_job(job: Job, shared: &Arc<Shared>) {
         }
     };
 
-    let (report, verdict) = if leader {
+    // A timed + traced run of the optimization pipeline (the leader path
+    // and the abandoned-flight fallback share it).
+    let run_pipeline = |sink: &mut TraceSink| {
+        let span = sink.begin("optimize");
+        let start = Instant::now();
+        let result = job
+            .pipeline
+            .optimize_multi_status(&job.expr, &job.targets, &job.discount_scales);
+        shared
+            .metrics
+            .optimize_us
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        sink.end_with(span, &[("ok", result.is_ok() as u8 as f64)]);
+        result
+    };
+
+    let outcome = if leader {
         let mut guard = FlightGuard {
             flight: Arc::clone(&flight),
             shared,
             fp: fp.0,
             published: false,
         };
-        match job
-            .pipeline
-            .optimize_multi_status(&job.expr, &job.targets, &job.discount_scales)
-        {
+        match run_pipeline(sink) {
             Ok((report, status)) => {
                 let report = Arc::new(report);
                 guard.publish(Arc::clone(&report));
                 drop(guard); // removes the in-flight entry
-                (report, status.name())
+                Ok((report, status.name()))
             }
-            Err(e) => {
-                // The guard drops unpublished, marking the flight
-                // abandoned: waiters recompute and re-derive the same
-                // structured error (unextractable requests are rare and
-                // cheap — extraction fails fast, and errors are never
-                // cached). Before extraction errors were structured, this
-                // path was a panic that killed the worker thread for good.
-                let _ = job.reply.send(unextractable(&job, &e));
-                return;
-            }
+            // The guard drops unpublished, marking the flight
+            // abandoned: waiters recompute and re-derive the same
+            // structured error (unextractable requests are rare and
+            // cheap — extraction fails fast, and errors are never
+            // cached). Before extraction errors were structured, this
+            // path was a panic that killed the worker thread for good.
+            Err(e) => Err(e),
         }
     } else {
+        let wait_span = sink.begin("coalesce/wait");
         let published = {
             let mut state = flight.state.lock().unwrap();
             loop {
@@ -886,31 +1021,53 @@ fn process_job(job: Job, shared: &Arc<Shared>) {
                 }
             }
         };
+        sink.end_with(
+            wait_span,
+            &[("published", published.is_some() as u8 as f64)],
+        );
         match published {
             Some(report) => {
                 shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
-                (report, "coalesced")
+                Ok((report, "coalesced"))
             }
-            None => {
-                // Leader died or hit an error; compute directly (the
-                // cache may well cover it by now anyway).
-                match job.pipeline.optimize_multi_status(
-                    &job.expr,
-                    &job.targets,
-                    &job.discount_scales,
-                ) {
-                    Ok((report, status)) => (Arc::new(report), status.name()),
-                    Err(e) => {
-                        let _ = job.reply.send(unextractable(&job, &e));
-                        return;
-                    }
-                }
-            }
+            // Leader died or hit an error; compute directly (the
+            // cache may well cover it by now anyway).
+            None => run_pipeline(sink)
+                .map(|(report, status)| (Arc::new(report), status.name())),
         }
     };
 
-    let response = Response::Optimize(build_response(&job, &report, verdict.to_string()));
+    let response = match &outcome {
+        Ok((report, verdict)) => {
+            let span = sink.begin("serialize");
+            let start = Instant::now();
+            let resp = Response::Optimize(build_response(&job, report, verdict.to_string()));
+            shared
+                .metrics
+                .serialize_us
+                .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+            sink.end(span);
+            resp
+        }
+        Err(e) => unextractable(&job, e),
+    };
+    // Observe latency *before* handing the response to the connection
+    // thread: once the client has the reply it may immediately scrape
+    // `stats`/`metrics`, and this request must already be in the
+    // histogram (the omitted tail is just the channel send).
+    shared
+        .metrics
+        .latency_ms
+        .observe(job.received.elapsed().as_secs_f64() * 1e3);
     let _ = job.reply.send(response);
+    sink.end_with(
+        req_span,
+        &[
+            ("queue_ms", queue_wait.as_secs_f64() * 1e3),
+            ("coalesced", (!leader) as u8 as f64),
+            ("ok", outcome.is_ok() as u8 as f64),
+        ],
+    );
 }
 
 /// The structured reply for a request whose best term has infinite cost

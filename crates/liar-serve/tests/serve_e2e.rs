@@ -577,3 +577,95 @@ fn corrupt_store_files_fall_back_cold_and_self_heal() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The observability surface end to end: queue-depth / in-flight gauges
+/// and latency percentiles in `stats`, the `metrics` op as valid
+/// Prometheus text exposition, and a Chrome trace-event export with
+/// correctly nested per-request phase spans.
+#[test]
+fn stats_gauges_metrics_scrape_and_trace_export() {
+    let dir = std::env::temp_dir().join(format!("liar-e2e-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let srv = server(ServerConfig {
+        trace_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(srv.local_addr()).expect("connect");
+
+    // Idle: nothing queued, nothing in flight, no latency observed yet.
+    let idle = client.stats().expect("stats");
+    assert_eq!(idle.queue_depth, 0);
+    assert_eq!(idle.inflight, 0);
+    assert_eq!(idle.latency_p50_ms, 0.0);
+
+    let program = Kernel::Vsum.expr(Kernel::Vsum.search_size()).to_string();
+    let mut req = request_for(&program);
+    req.id = Some("trace-me".to_string());
+    let first = client.optimize(req.clone()).expect("optimize");
+    assert_eq!(first.cache, "miss");
+    let again = client.optimize(req).expect("optimize");
+    assert_eq!(again.cache, "hit");
+
+    // Settled: the gauges drained back to zero and the percentiles are
+    // populated and ordered.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.queue_depth, 0, "no jobs queued once the waves settle");
+    assert_eq!(stats.inflight, 0, "no single-flight leaders once settled");
+    assert!(stats.latency_p50_ms > 0.0, "two requests were observed");
+    assert!(stats.latency_p50_ms <= stats.latency_p95_ms);
+    assert!(stats.latency_p95_ms <= stats.latency_p99_ms);
+
+    // The metrics op is valid Prometheus text exposition carrying the
+    // same counters.
+    let scrape = client.metrics().expect("metrics").prometheus;
+    liar_trace::prom::validate_exposition(&scrape).expect("valid exposition");
+    assert!(scrape.contains("liar_requests_total 2"), "scrape:\n{scrape}");
+    assert!(scrape.contains("liar_cache_hits_total 1"), "scrape:\n{scrape}");
+    assert!(scrape.contains("liar_queue_depth 0"), "scrape:\n{scrape}");
+    assert!(
+        scrape.contains("liar_request_latency_ms_bucket{le=\"+Inf\"} 2"),
+        "both requests land in the latency histogram:\n{scrape}"
+    );
+
+    srv.shutdown();
+
+    // Shutdown dumped a Chrome trace: it parses as JSON, and the request
+    // span (named by the request's trace id) contains the optimize and
+    // serialize phase spans on the same lane.
+    let trace = std::fs::read_to_string(dir.join("serve-trace.json")).expect("trace file");
+    let json = liar_serve::json::parse(&trace).expect("trace parses as JSON");
+    let events = json
+        .get("traceEvents")
+        .and_then(|j| j.as_arr())
+        .expect("traceEvents array");
+    let span = |name: &str| {
+        events.iter().find(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                && e.get("name").and_then(|n| n.as_str()) == Some(name)
+        })
+    };
+    let bounds = |e: &liar_serve::json::Json| {
+        let ts = e.get("ts").and_then(|v| v.as_f64()).expect("ts");
+        let dur = e.get("dur").and_then(|v| v.as_f64()).expect("dur");
+        let tid = e.get("tid").and_then(|v| v.as_f64()).expect("tid");
+        (ts, ts + dur, tid)
+    };
+    let request = span("request/trace-me").expect("request span named by trace id");
+    let optimize = span("optimize").expect("optimize phase span");
+    let serialize = span("serialize").expect("serialize phase span");
+    let (req_start, req_end, req_tid) = bounds(request);
+    for phase in [optimize, serialize] {
+        let (start, end, tid) = bounds(phase);
+        assert_eq!(tid, req_tid, "phase spans share the request's lane");
+        assert!(
+            req_start <= start && end <= req_end,
+            "phase spans nest inside the request span"
+        );
+    }
+    // The pipeline's lanes are in the same trace: saturation ran.
+    assert!(span("saturate").is_some(), "pipeline saturate span");
+    assert!(span("extract/flatten").is_some(), "extraction spans");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,143 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders a flushed event stream as the [Trace Event Format] consumed
+//! by `chrome://tracing` and Perfetto: spans become complete (`ph:"X"`)
+//! events whose nesting the viewer reconstructs from `ts`/`dur`
+//! containment per `tid`, instants become `ph:"i"`, counters `ph:"C"`,
+//! and each lane gets a `thread_name` metadata record. Hand-rolled JSON,
+//! like everywhere else in this dependency-free workspace.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::{Event, EventKind};
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        // Counts and durations; plain formatting is valid JSON.
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn args_obj(args: &[(&'static str, f64)], out: &mut String) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape(k, out);
+        out.push_str("\":");
+        out.push_str(&num(*v));
+    }
+    out.push('}');
+}
+
+/// Render events as a Chrome trace-event JSON document
+/// (`{"traceEvents": [...]}`). `lane_names` maps [`Event::lane`] to a
+/// `thread_name` the viewer shows; missing names fall back to
+/// `lane-<i>`.
+pub fn trace_json(events: &[Event], lane_names: &[&str]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let push_sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+    };
+
+    let max_lane = events.iter().map(|e| e.lane + 1).max().unwrap_or(0);
+    for lane in 0..max_lane.max(lane_names.len()) {
+        push_sep(&mut out, &mut first);
+        let name = lane_names.get(lane).copied().unwrap_or("");
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\"args\":{{\"name\":\""
+        ));
+        if name.is_empty() {
+            out.push_str(&format!("lane-{lane}"));
+        } else {
+            escape(name, &mut out);
+        }
+        out.push_str("\"}}");
+    }
+
+    for e in events {
+        push_sep(&mut out, &mut first);
+        out.push_str("{\"name\":\"");
+        escape(&e.name, &mut out);
+        out.push_str(&format!("\",\"pid\":1,\"tid\":{},\"ts\":{}", e.lane, e.start_us));
+        match e.kind {
+            EventKind::Span => {
+                out.push_str(&format!(",\"ph\":\"X\",\"dur\":{}", e.dur_us));
+            }
+            EventKind::Instant => {
+                out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            }
+            EventKind::Counter => {
+                out.push_str(",\"ph\":\"C\"");
+            }
+        }
+        out.push_str(",\"args\":");
+        args_obj(&e.args, &mut out);
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Recorder, TraceSink};
+
+    #[test]
+    fn export_contains_nested_spans_and_metadata() {
+        let rec = Recorder::new();
+        let mut sink = TraceSink::attached(&rec, "pipeline");
+        let outer = sink.begin("saturate");
+        let inner = sink.begin("search/\"quoted\"");
+        sink.end(inner);
+        sink.end(outer);
+        sink.counter("n_nodes", 42.0);
+        sink.instant("ban", &[("rule", 3.0)]);
+        sink.flush();
+
+        let json = rec.chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":[\n"));
+        assert!(json.trim_end().ends_with("]}"));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("{\"name\":\"pipeline\"}"), "lane name metadata");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("search/\\\"quoted\\\""), "names are escaped");
+        // Balanced braces/brackets: a cheap well-formedness check (no
+        // parser in this crate; the CLI tests parse it for real).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_recorder_exports_valid_skeleton() {
+        let rec = Recorder::new();
+        let json = rec.chrome_trace_json();
+        assert_eq!(json, "{\"traceEvents\":[\n\n]}\n");
+    }
+}

@@ -1,0 +1,213 @@
+//! Fixed-bucket histograms for latency distributions.
+//!
+//! A [`Histogram`] is a row of atomic counters over caller-chosen upper
+//! bucket bounds (plus an implicit `+Inf` overflow bucket), so `observe`
+//! is lock-free and shared-reference, and a [`HistogramSnapshot`] can be
+//! taken at any time for quantile estimation or Prometheus exposition.
+//! Prometheus semantics throughout: a value lands in the first bucket
+//! whose upper bound is `>=` the value (bounds are inclusive).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default latency buckets in milliseconds: roughly logarithmic from
+/// 250 µs to 10 s, matching the serve-path latencies seen in
+/// `BENCH_serve.json`.
+pub const LATENCY_MS_BOUNDS: [f64; 14] = [
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10_000.0,
+];
+
+/// A fixed-bucket histogram with atomic counters.
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>, // bounds.len() + 1; last is the +Inf bucket
+    sum_milli: AtomicU64,   // observed values accumulated in thousandths
+    total: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds. An `+Inf`
+    /// overflow bucket is appended implicitly.
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly ascending and finite.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "histogram bounds must be strictly ascending");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite() && *b > 0.0),
+            "histogram bounds must be finite and positive"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_milli: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// The default latency histogram ([`LATENCY_MS_BOUNDS`], values in
+    /// milliseconds).
+    pub fn latency_ms() -> Histogram {
+        Histogram::new(&LATENCY_MS_BOUNDS)
+    }
+
+    /// Record one observation (same unit as the bounds). Negative or
+    /// non-finite values clamp to zero.
+    pub fn observe(&self, value: f64) {
+        let v = if value.is_finite() && value > 0.0 { value } else { 0.0 };
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_milli.fetch_add((v * 1000.0).round() as u64, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (individual counters are
+    /// read relaxed; concurrent observers may be torn by one count,
+    /// which is fine for monitoring).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum: self.sum_milli.load(Ordering::Relaxed) as f64 / 1000.0,
+            count: self.total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`], also the wire/JSON form used by
+/// the serve `metrics` op.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds, ascending (the `+Inf` bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, `bounds.len() + 1` entries (last is `+Inf`).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot over the given bounds (for parsing defaults).
+    pub fn empty(bounds: &[f64]) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the bucket holding the target rank. Values beyond the last
+    /// finite bound report that bound (the estimate saturates). Returns
+    /// 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if (cum as f64) >= target && c > 0 {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = match self.bounds.get(i) {
+                    Some(b) => *b,
+                    // +Inf bucket: saturate at the last finite bound.
+                    None => return *self.bounds.last().unwrap(),
+                };
+                let frac = (target - prev as f64) / c as f64;
+                return lower + (upper - lower) * frac.clamp(0.0, 1.0);
+            }
+        }
+        *self.bounds.last().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_inclusive_upper_bounds() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        // Exactly on an edge lands *in* that bucket (Prometheus `le`).
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(4.0);
+        // Just past an edge lands in the next bucket.
+        h.observe(1.000001);
+        // Overflow lands in +Inf.
+        h.observe(100.0);
+        // Clamped garbage lands in the first bucket.
+        h.observe(-3.0);
+        h.observe(f64::NAN);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![3, 2, 1, 1]);
+        assert_eq!(s.count, 7);
+    }
+
+    #[test]
+    fn sum_and_mean_accumulate() {
+        let h = Histogram::new(&[10.0]);
+        h.observe(1.5);
+        h.observe(2.5);
+        let s = h.snapshot();
+        assert!((s.sum - 4.0).abs() < 1e-9, "{}", s.sum);
+        assert!((s.mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        // 100 observations uniformly in (1, 2]: all in the second bucket.
+        for i in 0..100 {
+            h.observe(1.0 + (i as f64 + 1.0) / 100.0);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        assert!((1.0..=2.0).contains(&p50), "{p50}");
+        assert!((p50 - 1.5).abs() < 0.02, "{p50}");
+        let p99 = s.quantile(0.99);
+        assert!(p99 > 1.95 && p99 <= 2.0, "{p99}");
+    }
+
+    #[test]
+    fn quantile_saturates_at_last_finite_bound() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(50.0);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 2.0);
+        assert_eq!(s.quantile(0.99), 2.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = Histogram::latency_ms().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.counts.len(), LATENCY_MS_BOUNDS.len() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_panic() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+}

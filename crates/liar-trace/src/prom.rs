@@ -1,0 +1,172 @@
+//! Prometheus text exposition (version 0.0.4) rendering.
+//!
+//! [`PromWriter`] accumulates `# HELP`/`# TYPE` annotated metric
+//! families — counters, gauges, and cumulative-bucket histograms from
+//! [`HistogramSnapshot`] — into the plain-text format every Prometheus
+//! scraper accepts. The serve layer's `metrics` op ships plain data;
+//! `liar stats --prometheus` renders it client-side with this writer.
+
+use crate::HistogramSnapshot;
+
+/// Incremental builder for a Prometheus text exposition document.
+#[derive(Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl PromWriter {
+    /// A new, empty writer.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    }
+
+    /// Emit a monotonically increasing counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "counter");
+        self.out.push_str(&format!("{name} {}\n", fmt_value(value)));
+    }
+
+    /// Emit a point-in-time gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.out.push_str(&format!("{name} {}\n", fmt_value(value)));
+    }
+
+    /// Emit a histogram family: cumulative `_bucket{le="..."}` series
+    /// ending in `+Inf`, plus `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
+        self.header(name, help, "histogram");
+        let mut cum = 0u64;
+        for (i, c) in snap.counts.iter().enumerate() {
+            cum += c;
+            let le = match snap.bounds.get(i) {
+                Some(b) => fmt_value(*b),
+                None => "+Inf".to_string(),
+            };
+            self.out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        self.out.push_str(&format!("{name}_sum {}\n", fmt_value(snap.sum)));
+        self.out.push_str(&format!("{name}_count {}\n", snap.count));
+    }
+
+    /// The rendered exposition document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// A minimal well-formedness check on an exposition document: every
+/// non-comment, non-blank line must be `name[{labels}] value`, and every
+/// `# TYPE` histogram must end its bucket series at `le="+Inf"`. Used by
+/// tests and the CI smoke step (this is a format sanity check, not a
+/// full Prometheus parser).
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut histogram_families: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or_else(|| format!("line {}: bare # TYPE", lineno + 1))?;
+            let kind = parts.next().ok_or_else(|| format!("line {}: # TYPE without kind", lineno + 1))?;
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(format!("line {}: unknown metric type {kind}", lineno + 1));
+            }
+            if kind == "histogram" {
+                histogram_families.push(name.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // `name{labels} value` or `name value`.
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => return Err(format!("line {}: no sample value: {line}", lineno + 1)),
+        };
+        if value_part.parse::<f64>().is_err()
+            && !["+Inf", "-Inf", "NaN"].contains(&value_part)
+        {
+            return Err(format!("line {}: bad sample value {value_part}", lineno + 1));
+        }
+        let name = name_part.split('{').next().unwrap_or("");
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.chars().next().unwrap().is_ascii_digit()
+        {
+            return Err(format!("line {}: bad metric name {name}", lineno + 1));
+        }
+    }
+    for fam in histogram_families {
+        if !text.contains(&format!("{fam}_bucket{{le=\"+Inf\"}}")) {
+            return Err(format!("histogram {fam} lacks a +Inf bucket"));
+        }
+        if !text.contains(&format!("{fam}_count ")) {
+            return Err(format!("histogram {fam} lacks a _count sample"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn renders_and_validates_counters_gauges_histograms() {
+        let h = Histogram::new(&[1.0, 2.5]);
+        h.observe(0.5);
+        h.observe(2.0);
+        h.observe(9.0);
+        let mut w = PromWriter::new();
+        w.counter("liar_requests_total", "Total requests.", 7.0);
+        w.gauge("liar_queue_depth", "Jobs waiting.", 2.0);
+        w.histogram("liar_request_ms", "Request latency.", &h.snapshot());
+        let text = w.finish();
+
+        assert!(text.contains("# TYPE liar_requests_total counter\n"));
+        assert!(text.contains("liar_requests_total 7\n"));
+        assert!(text.contains("# TYPE liar_queue_depth gauge\n"));
+        // Buckets are cumulative: 1, 2, 3.
+        assert!(text.contains("liar_request_ms_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("liar_request_ms_bucket{le=\"2.5\"} 2\n"));
+        assert!(text.contains("liar_request_ms_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("liar_request_ms_count 3\n"));
+        validate_exposition(&text).expect("valid exposition");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_exposition("no_value_here\n").is_err());
+        assert!(validate_exposition("name not-a-number\n").is_err());
+        assert!(validate_exposition("# TYPE x flavor\nx 1\n").is_err());
+        assert!(
+            validate_exposition("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n")
+                .is_err(),
+            "histogram without +Inf bucket"
+        );
+        assert!(validate_exposition("9lives 1\n").is_err(), "bad name");
+    }
+}

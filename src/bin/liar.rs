@@ -21,10 +21,15 @@
 //! # Render the saturated e-graph (optionally with the proof path lit):
 //! liar dot '(ifold #4 0 (lam (lam (+ (get xs %1) %0))))' --explain
 //!
+//! # Profile a kernel (self-time per phase and per rule), or export a
+//! # Chrome trace-event JSON of any optimization run:
+//! liar profile gemv
+//! liar kernel gemv --trace gemv-trace.json     # open in chrome://tracing
+//!
 //! # Run the optimization daemon, and submit programs to it:
 //! liar serve --addr 127.0.0.1:4004 --workers 2
 //! liar submit --addr 127.0.0.1:4004 --kernel gemv
-//! liar submit --addr 127.0.0.1:4004 --stats
+//! liar stats --addr 127.0.0.1:4004 --prometheus
 //!
 //! # Discover commands and flags:
 //! liar help
@@ -35,6 +40,7 @@
 //! reachable), `2` usage or input error.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use liar::codegen::{emit_kernel, emit_kernel_variants, CInput};
 use liar::core::pipeline::count_lib_calls;
@@ -44,7 +50,8 @@ use liar::egraph::{DagExtractor, Dot, ExactExtractor, Extractor};
 use liar::ir::Expr;
 use liar::kernels::Kernel;
 use liar::serve::protocol::target_from_wire;
-use liar::serve::{Client, OptimizeRequest, Server, ServerConfig};
+use liar::serve::{Client, OptimizeRequest, Server, ServerConfig, StatsResponse};
+use liar::trace::{self_times, Recorder};
 
 // ---------------------------------------------------------------------------
 // The arg table: one declarative spec per command, one parser for all.
@@ -145,11 +152,16 @@ fn parse_flags(spec: &CommandSpec, args: &[String]) -> Result<Parsed, String> {
 // ---------------------------------------------------------------------------
 // Shared flag groups and helpers.
 
-const TARGET_FLAGS: [FlagSpec; 8] = [
+const TARGET_FLAGS: [FlagSpec; 9] = [
     FlagSpec {
         name: "--verbose",
         metavar: None,
         help: "also print the top-10 most-applied rules (single-target mode)",
+    },
+    FlagSpec {
+        name: "--trace",
+        metavar: Some("FILE"),
+        help: "record phase/rule spans; write Chrome trace-event JSON to FILE",
     },
     FlagSpec {
         name: "--target",
@@ -275,8 +287,18 @@ fn usage_err(message: String) -> Result<ExitCode, String> {
 // ---------------------------------------------------------------------------
 // optimize / kernel / emit-c / kernels
 
-fn report(expr: &Expr, target: Target, steps: usize, threads: usize, verbose: bool) {
-    let pipeline = Liar::new(target).with_iter_limit(steps).with_threads(threads);
+fn report(
+    expr: &Expr,
+    target: Target,
+    steps: usize,
+    threads: usize,
+    verbose: bool,
+    recorder: Option<&Arc<Recorder>>,
+) {
+    let mut pipeline = Liar::new(target).with_iter_limit(steps).with_threads(threads);
+    if let Some(rec) = recorder {
+        pipeline = pipeline.with_trace(Arc::clone(rec));
+    }
     let report = pipeline.optimize(expr);
     println!("target: {target}");
     for step in &report.steps {
@@ -290,14 +312,34 @@ fn report(expr: &Expr, target: Target, steps: usize, threads: usize, verbose: bo
     }
     println!("stopped: {}", report.stop_reason);
     if verbose {
-        print_top_rules(&report);
+        print_top_rules(&report, recorder.map(|r| r.as_ref()));
     }
     println!("\nbest expression:\n{}", report.best().best);
 }
 
+/// Sum per-rule self-time (µs) from a recorder's `search/<rule>` and
+/// `apply/<rule>` spans. Per-rule *search* spans exist only under the
+/// serial engine; apply spans are recorded either way.
+fn rule_self_times(recorder: &Recorder) -> std::collections::BTreeMap<String, u64> {
+    let events = recorder.events();
+    let mut by_rule: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for row in self_times(&events) {
+        if let Some(rule) = row
+            .name
+            .strip_prefix("search/")
+            .or_else(|| row.name.strip_prefix("apply/"))
+        {
+            *by_rule.entry(rule.to_string()).or_insert(0) += row.self_us;
+        }
+    }
+    by_rule
+}
+
 /// The `--verbose` provenance summary: per-rule application counts
-/// aggregated over every saturation step, top ten by count.
-fn print_top_rules(report: &liar::core::OptimizationReport) {
+/// aggregated over every saturation step, top ten by count. When a trace
+/// recorder was attached, each row also shows the rule's self-time
+/// (search + apply span time, excluding children).
+fn print_top_rules(report: &liar::core::OptimizationReport, recorder: Option<&Recorder>) {
     let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
     for step in &report.steps {
         for (rule, n) in &step.applied {
@@ -310,9 +352,16 @@ fn print_top_rules(report: &liar::core::OptimizationReport) {
     // Count descending, name ascending for a stable order.
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
     let total: usize = ranked.iter().map(|(_, n)| n).sum();
+    let times = recorder.map(rule_self_times);
     println!("\nrule applications ({total} total, top {}):", ranked.len().min(10));
     for (rule, n) in ranked.iter().take(10) {
-        println!("  {n:>7} × {rule}");
+        match &times {
+            Some(map) => {
+                let ms = *map.get(*rule).unwrap_or(&0) as f64 / 1000.0;
+                println!("  {n:>7} × {rule:<40} {ms:>9.3} ms self");
+            }
+            None => println!("  {n:>7} × {rule}"),
+        }
     }
 }
 
@@ -324,11 +373,15 @@ fn report_multi(
     steps: usize,
     threads: usize,
     profiles: Vec<MachineProfile>,
+    recorder: Option<&Arc<Recorder>>,
 ) -> Result<(), String> {
-    let pipeline = Liar::new(targets[0])
+    let mut pipeline = Liar::new(targets[0])
         .with_iter_limit(steps)
         .with_threads(threads)
         .with_profiles(profiles);
+    if let Some(rec) = recorder {
+        pipeline = pipeline.with_trace(Arc::clone(rec));
+    }
     let report = pipeline
         .optimize_multi(expr, targets, &[1.0])
         .map_err(|e| e.to_string())?;
@@ -382,10 +435,14 @@ fn report_extract(
     threads: usize,
     profiles: &[MachineProfile],
     kind: ExtractorKind,
+    recorder: Option<&Arc<Recorder>>,
 ) -> Result<(), String> {
-    let pipeline = Liar::new(targets[0])
+    let mut pipeline = Liar::new(targets[0])
         .with_iter_limit(steps)
         .with_threads(threads);
+    if let Some(rec) = recorder {
+        pipeline = pipeline.with_trace(Arc::clone(rec));
+    }
     let start = std::time::Instant::now();
     let (egraph, root) = pipeline.saturate_for_targets(expr, targets);
     let names: Vec<&str> = targets.iter().map(|t| t.name()).collect();
@@ -491,16 +548,35 @@ fn run_optimization(p: &Parsed, expr: &Expr, steps: usize, threads: usize) -> Re
         None if extractor.is_some() || p.has("--profile") => Some(vec![single_target(p)?]),
         None => None,
     };
+    let trace_path = p.value("--trace");
+    let verbose = p.has("--verbose");
+    // One recorder powers both `--trace` (the Chrome export) and the
+    // `--verbose` per-rule self-time column. Tracing is observational:
+    // reports and solutions are bit-identical with it on or off.
+    let recorder = (trace_path.is_some() || verbose).then(Recorder::new);
     match (targets, extractor) {
         (Some(targets), Some(kind)) => {
-            report_extract(expr, &targets, steps, threads, &profiles, kind)
+            report_extract(expr, &targets, steps, threads, &profiles, kind, recorder.as_ref())?
         }
-        (Some(targets), None) => report_multi(expr, &targets, steps, threads, profiles),
-        (None, _) => {
-            report(expr, single_target(p)?, steps, threads, p.has("--verbose"));
-            Ok(())
+        (Some(targets), None) => {
+            report_multi(expr, &targets, steps, threads, profiles, recorder.as_ref())?
         }
+        (None, _) => report(
+            expr,
+            single_target(p)?,
+            steps,
+            threads,
+            verbose,
+            recorder.as_ref(),
+        ),
     }
+    if let Some(path) = trace_path {
+        let rec = recorder.as_ref().expect("--trace implies a recorder");
+        std::fs::write(path, rec.chrome_trace_json())
+            .map_err(|e| format!("cannot write trace file {path}: {e}"))?;
+        eprintln!("trace: wrote {path} (open in chrome://tracing or Perfetto)");
+    }
+    Ok(())
 }
 
 fn kernel_arg(p: &Parsed) -> Result<Kernel, String> {
@@ -517,6 +593,95 @@ fn run_kernel(p: &Parsed) -> Result<ExitCode, String> {
     let threads = p.usize_or("--threads", 1)?;
     println!("kernel {}: {}\n", kernel.name(), kernel.description());
     run_optimization(p, &expr, steps, threads)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `liar profile <kernel>`: run the kernel through the full pipeline with
+/// the trace recorder attached and print where the wall-clock went —
+/// per phase (saturate / search / apply / rebuild / extraction) and per
+/// rule, as self-time (span time minus child spans).
+fn run_profile(p: &Parsed) -> Result<ExitCode, String> {
+    let kernel = kernel_arg(p)?;
+    let target = single_target(p)?;
+    let steps = p.usize_or("--steps", 8)?;
+    let threads = p.usize_or("--threads", 1)?;
+    let top = p.usize_or("--top", 15)?;
+    let expr = kernel.expr(kernel.search_size());
+
+    let recorder = Recorder::new();
+    let pipeline = Liar::new(target)
+        .with_iter_limit(steps)
+        .with_threads(threads)
+        .with_trace(Arc::clone(&recorder));
+    let report = pipeline
+        .optimize_multi(&expr, &[target], &[1.0])
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "profile {} → {} ({} saturation steps, {} e-nodes, {} classes, stopped: {})",
+        kernel.name(),
+        target.name(),
+        report.steps.len() - 1,
+        report.n_nodes,
+        report.n_classes,
+        report.stop_reason,
+    );
+    println!("solution: {}", report.solutions[0].solution_summary());
+    if threads > 1 {
+        println!("note: per-rule search spans are recorded by the serial engine only");
+    }
+
+    let events = recorder.events();
+    let rows = self_times(&events);
+    let is_rule = |name: &str| name.starts_with("search/") || name.starts_with("apply/");
+    let ms = |us: u64| us as f64 / 1000.0;
+
+    println!("\n{:<28} {:>7} {:>12} {:>12}", "phase", "count", "total ms", "self ms");
+    for r in rows.iter().filter(|r| !is_rule(&r.name)) {
+        println!(
+            "{:<28} {:>7} {:>12.3} {:>12.3}",
+            r.name,
+            r.count,
+            ms(r.total_us),
+            ms(r.self_us)
+        );
+    }
+
+    // Fold `search/<rule>` and `apply/<rule>` into one row per rule.
+    let mut by_rule: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+    for r in rows.iter().filter(|r| is_rule(&r.name)) {
+        if let Some(rule) = r.name.strip_prefix("search/") {
+            by_rule.entry(rule).or_default().0 += r.self_us;
+        } else if let Some(rule) = r.name.strip_prefix("apply/") {
+            by_rule.entry(rule).or_default().1 += r.self_us;
+        }
+    }
+    let mut ranked: Vec<(&str, (u64, u64))> = by_rule.into_iter().collect();
+    ranked.sort_by(|a, b| {
+        let (sa, sb) = (a.1 .0 + a.1 .1, b.1 .0 + b.1 .1);
+        sb.cmp(&sa).then(a.0.cmp(b.0))
+    });
+    println!(
+        "\nper-rule self-time (top {} of {}):",
+        top.min(ranked.len()),
+        ranked.len()
+    );
+    println!("{:<40} {:>12} {:>12} {:>12}", "rule", "search ms", "apply ms", "self ms");
+    for (rule, (search_us, apply_us)) in ranked.iter().take(top) {
+        println!(
+            "{:<40} {:>12.3} {:>12.3} {:>12.3}",
+            rule,
+            ms(*search_us),
+            ms(*apply_us),
+            ms(search_us + apply_us)
+        );
+    }
+
+    if let Some(path) = p.value("--trace") {
+        std::fs::write(path, recorder.chrome_trace_json())
+            .map_err(|e| format!("cannot write trace file {path}: {e}"))?;
+        eprintln!("trace: wrote {path} (open in chrome://tracing or Perfetto)");
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -654,6 +819,7 @@ fn run_serve(p: &Parsed) -> Result<ExitCode, String> {
     config.max_steps = p.usize_or("--max-steps", config.max_steps)?;
     config.search_threads = p.usize_or("--threads", config.search_threads)?;
     config.warm_dir = p.value("--warm").map(std::path::PathBuf::from);
+    config.trace_dir = p.value("--trace-dir").map(std::path::PathBuf::from);
     let prewarm = config.warm_dir.is_some() && !p.has("--no-prewarm");
     let server = Server::start(config).map_err(|e| format!("cannot start: {e}"))?;
     println!("liar-serve listening on {}", server.local_addr());
@@ -678,6 +844,62 @@ fn run_serve(p: &Parsed) -> Result<ExitCode, String> {
     eprintln!("liar-serve: shutdown requested, draining");
     server.shutdown();
     Ok(ExitCode::SUCCESS)
+}
+
+/// The human-readable counter dump shared by `liar stats` and
+/// `liar submit --stats`.
+fn print_stats(stats: &StatsResponse) {
+    println!(
+        "cache: {} hits, {} misses, {} insertions, {} evictions, {} rejected",
+        stats.cache_hits, stats.cache_misses, stats.cache_insertions,
+        stats.cache_evictions, stats.cache_rejected
+    );
+    println!("cache: {} entries, {} bytes", stats.cache_entries, stats.cache_bytes);
+    println!(
+        "serve: {} requests, {} errors, {} coalesced, {} batched",
+        stats.requests, stats.errors, stats.coalesced, stats.batched
+    );
+    println!("queue: {} queued, {} in flight", stats.queue_depth, stats.inflight);
+    println!(
+        "latency: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+        stats.latency_p50_ms, stats.latency_p95_ms, stats.latency_p99_ms
+    );
+}
+
+/// `liar stats`: scrape a running daemon's counters — human-readable by
+/// default, Prometheus text exposition under `--prometheus`.
+fn run_stats(p: &Parsed) -> Result<ExitCode, String> {
+    let addr = p.value("--addr").unwrap_or("127.0.0.1:4004").to_string();
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    if p.has("--prometheus") {
+        match client.metrics() {
+            Ok(m) => {
+                print!("{}", m.prometheus);
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                Ok(ExitCode::FAILURE)
+            }
+        }
+    } else {
+        match client.stats() {
+            Ok(stats) => {
+                print_stats(&stats);
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                Ok(ExitCode::FAILURE)
+            }
+        }
+    }
 }
 
 /// What one `liar submit` invocation asks of the daemon.
@@ -754,16 +976,7 @@ fn run_submit(p: &Parsed) -> Result<ExitCode, String> {
         },
         SubmitAction::Stats => match client.stats() {
             Ok(stats) => {
-                println!(
-                    "cache: {} hits, {} misses, {} insertions, {} evictions, {} rejected",
-                    stats.cache_hits, stats.cache_misses, stats.cache_insertions,
-                    stats.cache_evictions, stats.cache_rejected
-                );
-                println!("cache: {} entries, {} bytes", stats.cache_entries, stats.cache_bytes);
-                println!(
-                    "serve: {} requests, {} errors, {} coalesced, {} batched",
-                    stats.requests, stats.errors, stats.coalesced, stats.batched
-                );
+                print_stats(&stats);
                 return Ok(ExitCode::SUCCESS);
             }
             Err(e) => return fail(e),
@@ -833,6 +1046,39 @@ const COMMANDS: &[CommandSpec] = &[
         about: "optimize one of the paper's kernels by name",
         flags: &TARGET_FLAGS,
         run: run_kernel,
+    },
+    CommandSpec {
+        name: "profile",
+        positional: "<kernel-name>",
+        about: "self-time breakdown per phase and per rule (trace spans)",
+        flags: &[
+            FlagSpec {
+                name: "--target",
+                metavar: Some("T"),
+                help: "single target: blas | pytorch | pure-c (default blas)",
+            },
+            FlagSpec {
+                name: "--steps",
+                metavar: Some("N"),
+                help: "saturation-step limit (default 8)",
+            },
+            FlagSpec {
+                name: "--threads",
+                metavar: Some("N"),
+                help: "e-matching worker threads (per-rule search spans need 1)",
+            },
+            FlagSpec {
+                name: "--top",
+                metavar: Some("N"),
+                help: "rows in the per-rule table (default 15)",
+            },
+            FlagSpec {
+                name: "--trace",
+                metavar: Some("FILE"),
+                help: "also write the Chrome trace-event JSON to FILE",
+            },
+        ],
+        run: run_profile,
     },
     CommandSpec {
         name: "emit-c",
@@ -960,6 +1206,11 @@ const COMMANDS: &[CommandSpec] = &[
                 metavar: None,
                 help: "with --warm: skip pre-saturating the kernel corpus at boot",
             },
+            FlagSpec {
+                name: "--trace-dir",
+                metavar: Some("DIR"),
+                help: "record per-request spans; write DIR/serve-trace.json at shutdown",
+            },
         ],
         run: run_serve,
     },
@@ -1020,6 +1271,24 @@ const COMMANDS: &[CommandSpec] = &[
             },
         ],
         run: run_submit,
+    },
+    CommandSpec {
+        name: "stats",
+        positional: "",
+        about: "scrape a running daemon's counters and latency percentiles",
+        flags: &[
+            FlagSpec {
+                name: "--addr",
+                metavar: Some("HOST:PORT"),
+                help: "daemon address (default 127.0.0.1:4004)",
+            },
+            FlagSpec {
+                name: "--prometheus",
+                metavar: None,
+                help: "print the full metric set as Prometheus text exposition",
+            },
+        ],
+        run: run_stats,
     },
 ];
 

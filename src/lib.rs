@@ -41,7 +41,12 @@
 //! * [`serve`] — the batched optimization daemon + client (`liar serve`
 //!   / `liar submit`), with a content-addressed saturation cache
 //!   ([`core::SaturationCache`]) keyed by request fingerprints
-//!   ([`core::Fingerprint`]); see `docs/SERVING.md`.
+//!   ([`core::Fingerprint`]); see `docs/SERVING.md`;
+//! * [`trace`] — the observability layer ([`trace::Recorder`],
+//!   [`trace::Histogram`]): structured spans over saturation, extraction
+//!   and serving, exportable as Chrome trace-event JSON or Prometheus
+//!   text (`liar optimize --trace`, `liar profile`, `liar stats
+//!   --prometheus`); see `docs/OBSERVABILITY.md`.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -53,3 +58,4 @@ pub use liar_ir as ir;
 pub use liar_kernels as kernels;
 pub use liar_runtime as runtime;
 pub use liar_serve as serve;
+pub use liar_trace as trace;

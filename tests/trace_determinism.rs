@@ -1,0 +1,204 @@
+//! The tracing wall: attaching a [`liar::trace::Recorder`] to the
+//! pipeline is strictly observational — reports, solutions and proofs
+//! are **bit-identical** with tracing on or off, under both the serial
+//! and parallel search engines. If these break, profiling a run changes
+//! what LIAR discovers, and every traced measurement is suspect.
+//!
+//! Also pins the export contract the acceptance criteria name: the
+//! Chrome trace-event JSON parses (with the repo's own parser) and its
+//! phase spans nest properly for real kernels (gemv, mvt).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use liar::core::{Liar, MultiReport, OptimizationReport, Target};
+use liar::ir::Expr;
+use liar::kernels::Kernel;
+use liar::serve::json::{self, Json};
+use liar::trace::Recorder;
+
+fn optimize(expr: &Expr, threads: usize, trace: Option<&Arc<Recorder>>) -> OptimizationReport {
+    let mut pipeline = Liar::new(Target::Blas)
+        .with_iter_limit(6)
+        .with_threads(threads);
+    if let Some(rec) = trace {
+        pipeline = pipeline.with_trace(Arc::clone(rec));
+    }
+    pipeline.optimize(expr)
+}
+
+/// Everything except wall-clock timings must agree step by step.
+fn assert_reports_identical(plain: &OptimizationReport, traced: &OptimizationReport, ctx: &str) {
+    assert_eq!(plain.stop_reason, traced.stop_reason, "{ctx}: stop reason");
+    assert_eq!(plain.steps.len(), traced.steps.len(), "{ctx}: step count");
+    for (a, b) in plain.steps.iter().zip(&traced.steps) {
+        let step = a.step;
+        assert_eq!(a.step, b.step, "{ctx}");
+        assert_eq!(a.n_nodes, b.n_nodes, "{ctx}: step {step} e-nodes");
+        assert_eq!(a.n_classes, b.n_classes, "{ctx}: step {step} classes");
+        assert_eq!(a.search_candidates, b.search_candidates, "{ctx}: step {step} candidates");
+        assert_eq!(a.frontier_candidates, b.frontier_candidates, "{ctx}: step {step} frontier");
+        assert_eq!(a.search_matches, b.search_matches, "{ctx}: step {step} matches");
+        assert_eq!(a.applied, b.applied, "{ctx}: step {step} rule applications");
+        assert_eq!(a.best, b.best, "{ctx}: step {step} solution");
+        assert_eq!(a.cost, b.cost, "{ctx}: step {step} cost");
+        assert_eq!(a.lib_calls, b.lib_calls, "{ctx}: step {step} library calls");
+    }
+}
+
+#[test]
+fn tracing_is_invisible_to_single_target_reports() {
+    for kernel in [Kernel::Vsum, Kernel::Gemv] {
+        let expr = kernel.expr(kernel.search_size());
+        for threads in [1, 4] {
+            let ctx = format!("{} @ {threads} threads", kernel.name());
+            let plain = optimize(&expr, threads, None);
+            let rec = Recorder::new();
+            let traced = optimize(&expr, threads, Some(&rec));
+            assert_reports_identical(&plain, &traced, &ctx);
+            // The traced run actually recorded something.
+            let events = rec.events();
+            assert!(events.iter().any(|e| e.name == "step"), "{ctx}: no step spans");
+            assert!(events.iter().any(|e| e.name == "rebuild"), "{ctx}: no rebuild spans");
+        }
+    }
+}
+
+fn optimize_multi(expr: &Expr, threads: usize, trace: Option<&Arc<Recorder>>) -> MultiReport {
+    let mut pipeline = Liar::new(Target::Blas)
+        .with_iter_limit(6)
+        .with_threads(threads)
+        .with_explanations(true);
+    if let Some(rec) = trace {
+        pipeline = pipeline.with_trace(Arc::clone(rec));
+    }
+    pipeline
+        .optimize_multi(expr, &[Target::Blas, Target::Torch], &[1.0])
+        .expect("multi-target optimization succeeds")
+}
+
+#[test]
+fn tracing_is_invisible_to_multi_solutions_and_proofs() {
+    let expr = Kernel::Gemv.expr(Kernel::Gemv.search_size());
+    for threads in [1, 4] {
+        let ctx = format!("gemv @ {threads} threads");
+        let plain = optimize_multi(&expr, threads, None);
+        let rec = Recorder::new();
+        let traced = optimize_multi(&expr, threads, Some(&rec));
+
+        assert_eq!(plain.stop_reason, traced.stop_reason, "{ctx}");
+        assert_eq!(plain.n_nodes, traced.n_nodes, "{ctx}");
+        assert_eq!(plain.n_classes, traced.n_classes, "{ctx}");
+        assert_eq!(plain.solutions.len(), traced.solutions.len(), "{ctx}");
+        for (a, b) in plain.solutions.iter().zip(&traced.solutions) {
+            let t = a.target.name();
+            assert_eq!(a.target, b.target, "{ctx}");
+            assert_eq!(a.profile, b.profile, "{ctx}: {t}");
+            assert_eq!(a.best, b.best, "{ctx}: {t} best expression");
+            assert_eq!(a.cost, b.cost, "{ctx}: {t} cost");
+            assert_eq!(a.dag_best, b.dag_best, "{ctx}: {t} DAG expression");
+            assert_eq!(a.dag_cost, b.dag_cost, "{ctx}: {t} DAG cost");
+            assert_eq!(a.lib_calls, b.lib_calls, "{ctx}: {t} library calls");
+            assert_eq!(a.stats, b.stats, "{ctx}: {t} extraction statistics");
+            match (&a.proof, &b.proof) {
+                (Some(p), Some(q)) => {
+                    assert_eq!(p.source, q.source, "{ctx}: {t} proof source");
+                    assert_eq!(p.target, q.target, "{ctx}: {t} proof target");
+                    assert_eq!(p.steps, q.steps, "{ctx}: {t} proof steps");
+                }
+                _ => panic!("{ctx}: {t}: explanations were on — proofs expected on both"),
+            }
+        }
+
+        // The traced run covered all three layers of the pipeline taxonomy.
+        let events = rec.events();
+        let has = |name: &str| events.iter().any(|e| e.name == name);
+        assert!(has("saturate"), "{ctx}: no saturate span");
+        assert!(has("extract/flatten"), "{ctx}: no flatten span");
+        assert!(has("extract/blas"), "{ctx}: no blas extraction span");
+        assert!(
+            events.iter().any(|e| e.name.starts_with("explain/")),
+            "{ctx}: no explain span"
+        );
+    }
+}
+
+struct Span {
+    name: String,
+    ts: u64,
+    end: u64,
+}
+
+/// Pull the `ph:"X"` complete spans out of a parsed Chrome trace,
+/// grouped by thread lane.
+fn spans_by_tid(doc: &Json) -> BTreeMap<u64, Vec<Span>> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let mut by_tid: BTreeMap<u64, Vec<Span>> = BTreeMap::new();
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let name = e.get("name").and_then(Json::as_str).expect("span name").to_string();
+        let tid = e.get("tid").and_then(Json::as_f64).expect("span tid") as u64;
+        let ts = e.get("ts").and_then(Json::as_f64).expect("span ts") as u64;
+        let dur = e.get("dur").and_then(Json::as_f64).expect("span dur") as u64;
+        by_tid.entry(tid).or_default().push(Span { name, ts, end: ts + dur });
+    }
+    by_tid
+}
+
+#[test]
+fn chrome_export_parses_and_phase_spans_nest() {
+    for kernel in [Kernel::Gemv, Kernel::Mvt] {
+        let expr = kernel.expr(kernel.search_size());
+        let rec = Recorder::new();
+        Liar::new(Target::Blas)
+            .with_iter_limit(6)
+            .with_trace(Arc::clone(&rec))
+            .optimize_multi(&expr, &[Target::Blas], &[1.0])
+            .expect("multi-target optimization succeeds");
+
+        let text = rec.chrome_trace_json();
+        let doc = json::parse(&text).expect("chrome trace parses as JSON");
+        let by_tid = spans_by_tid(&doc);
+        assert!(!by_tid.is_empty(), "{}: no spans exported", kernel.name());
+
+        for (tid, spans) in &by_tid {
+            // Spans on one lane either nest or are disjoint — no partial
+            // overlap (that's what makes the flame graph render).
+            for (i, a) in spans.iter().enumerate() {
+                for b in &spans[i + 1..] {
+                    let disjoint = a.end <= b.ts || b.end <= a.ts;
+                    let nested = (a.ts <= b.ts && b.end <= a.end) || (b.ts <= a.ts && a.end <= b.end);
+                    assert!(
+                        disjoint || nested,
+                        "{} tid {tid}: spans `{}` [{}, {}) and `{}` [{}, {}) partially overlap",
+                        kernel.name(), a.name, a.ts, a.end, b.name, b.ts, b.end,
+                    );
+                }
+            }
+            // Phase containment: search/apply/rebuild live inside a step.
+            let steps: Vec<&Span> = spans.iter().filter(|s| s.name == "step").collect();
+            for s in spans.iter().filter(|s| matches!(s.name.as_str(), "search" | "apply" | "rebuild")) {
+                assert!(
+                    steps.iter().any(|st| st.ts <= s.ts && s.end <= st.end),
+                    "{} tid {tid}: `{}` span not inside any `step` span",
+                    kernel.name(), s.name,
+                );
+            }
+        }
+
+        // The expected phase spans all made it into the export.
+        let all: Vec<&str> = by_tid.values().flatten().map(|s| s.name.as_str()).collect();
+        for expected in ["step", "search", "apply", "rebuild", "saturate", "extract/flatten", "extract/blas"] {
+            assert!(
+                all.contains(&expected),
+                "{}: exported trace is missing a `{expected}` span",
+                kernel.name(),
+            );
+        }
+    }
+}
