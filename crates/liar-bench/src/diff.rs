@@ -1,0 +1,540 @@
+//! The bench regression sentry: compare freshly generated
+//! `BENCH_*.json` documents against committed baselines and flag
+//! regressions metric-by-metric.
+//!
+//! Every leaf in a bench document gets a **policy** chosen by its key
+//! ([`policy_for`]): wall-clock metrics may only grow so much
+//! (`*_s`/`*_ms`, ratio + absolute-floor thresholds so nanobenchmark
+//! noise never trips the gate), overhead ratios may only drift up by an
+//! additive slack, speedups may only shrink so much, `gate_*` booleans
+//! must hold, and `solution` strings — the semantic output of the
+//! optimizer — must match exactly. Everything else (candidate counts,
+//! node counts, costs within tolerance) is reported as drift but never
+//! fails the gate.
+//!
+//! The entry point is [`diff_docs`]; the `bench-diff` binary wraps it
+//! over the five benched documents and emits a machine-readable verdict
+//! (see `docs/OBSERVABILITY.md`).
+
+use liar_serve::json::Json;
+
+/// How a metric is judged. Chosen per leaf by [`policy_for`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Wall-clock time (`*_s`, `*_ms`): regression when the current
+    /// value exceeds `baseline × time_ratio` **and** the growth exceeds
+    /// the absolute floor for the unit (noise guard for sub-millisecond
+    /// benches).
+    TimeLowerBetter,
+    /// An overhead ratio near 1.0 (`*overhead*`): regression when the
+    /// current value exceeds `baseline + ratio_slack`.
+    RatioLowerBetter,
+    /// A speedup (`*speedup*`): regression when the current value drops
+    /// below `baseline ÷ time_ratio`.
+    HigherBetter,
+    /// A `gate_*` boolean: regression whenever it is `false` in the
+    /// current document (the gate itself already encodes its tolerance).
+    GateMustHold,
+    /// A `solution` string: the optimizer's semantic answer; any change
+    /// is a regression.
+    SolutionExact,
+    /// Tracked for drift reporting only; never fails the gate.
+    Informational,
+}
+
+/// The per-metric thresholds the sentry applies.
+#[derive(Debug, Clone, Copy)]
+pub struct Thresholds {
+    /// Multiplicative budget for times (and the shrink budget for
+    /// speedups). Default 1.5: a metric may grow 50% before failing.
+    pub time_ratio: f64,
+    /// Absolute growth floor for times, in **seconds** (`*_ms` leaves
+    /// use `1000 ×` this). Growth below the floor never fails, however
+    /// large the ratio — sub-millisecond benches are noise-dominated.
+    pub time_floor_s: f64,
+    /// Additive budget for overhead ratios. Default 0.25: an overhead
+    /// of 1.05 may drift to 1.30 before failing.
+    pub ratio_slack: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Thresholds {
+        Thresholds {
+            time_ratio: 1.5,
+            time_floor_s: 0.002,
+            ratio_slack: 0.25,
+        }
+    }
+}
+
+/// The policy for a leaf, chosen by its object key.
+pub fn policy_for(key: &str) -> Policy {
+    if key.starts_with("gate_") {
+        Policy::GateMustHold
+    } else if key == "solution" {
+        Policy::SolutionExact
+    } else if key.ends_with("_s") || key.ends_with("_ms") {
+        Policy::TimeLowerBetter
+    } else if key.contains("overhead") {
+        Policy::RatioLowerBetter
+    } else if key.contains("speedup") {
+        Policy::HigherBetter
+    } else {
+        Policy::Informational
+    }
+}
+
+/// One compared metric that moved (or went missing).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which bench document (`ematch`, `extract`, ...).
+    pub bench: String,
+    /// Dotted path to the leaf, rows keyed by identity — e.g.
+    /// `kernels[gemv].cold_ms`.
+    pub path: String,
+    /// The committed value, rendered.
+    pub baseline: String,
+    /// The freshly measured value, rendered.
+    pub current: String,
+    /// Human-readable judgement (`2.10x over the 1.50x budget`, ...).
+    pub note: String,
+    /// `true` when this finding fails the gate.
+    pub regression: bool,
+}
+
+/// The sentry's result over one pair of documents.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Metrics that moved past their policy's threshold (gate failures).
+    pub regressions: Vec<Finding>,
+    /// Metrics that moved within budget (reported, never failing).
+    pub drift: Vec<Finding>,
+    /// Leaves compared.
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// `true` when no metric failed its policy.
+    pub fn pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: DiffReport) {
+        self.regressions.extend(other.regressions);
+        self.drift.extend(other.drift);
+        self.compared += other.compared;
+    }
+}
+
+/// Keys that identify a row inside a bench array, in priority order.
+/// Rows are paired by identity, not index, so reordering a kernel list
+/// is not a regression.
+const IDENTITY_KEYS: [&str; 4] = ["kernel", "target", "rule", "name"];
+
+fn identity(j: &Json) -> Option<String> {
+    let parts: Vec<&str> = IDENTITY_KEYS
+        .iter()
+        .filter_map(|k| j.get(k).and_then(Json::as_str))
+        .collect();
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join("/"))
+    }
+}
+
+fn render(j: &Json) -> String {
+    match j {
+        Json::Num(n) => format!("{n}"),
+        Json::Str(s) => s.clone(),
+        Json::Bool(b) => format!("{b}"),
+        other => other.to_json(),
+    }
+}
+
+/// Compare one freshly generated bench document against its committed
+/// baseline. `bench` labels the findings (e.g. `"serve"`).
+pub fn diff_docs(bench: &str, baseline: &Json, current: &Json, th: &Thresholds) -> DiffReport {
+    let mut report = DiffReport::default();
+    walk(bench, "", None, baseline, current, th, &mut report);
+    report
+}
+
+fn push(
+    report: &mut DiffReport,
+    bench: &str,
+    path: &str,
+    baseline: &Json,
+    current: Option<&Json>,
+    note: String,
+    regression: bool,
+) {
+    let finding = Finding {
+        bench: bench.to_string(),
+        path: path.to_string(),
+        baseline: render(baseline),
+        current: current.map(render).unwrap_or_else(|| "(missing)".to_string()),
+        note,
+        regression,
+    };
+    if regression {
+        report.regressions.push(finding);
+    } else {
+        report.drift.push(finding);
+    }
+}
+
+fn walk(
+    bench: &str,
+    path: &str,
+    key: Option<&str>,
+    baseline: &Json,
+    current: &Json,
+    th: &Thresholds,
+    report: &mut DiffReport,
+) {
+    match (baseline, current) {
+        (Json::Obj(pairs), Json::Obj(_)) => {
+            for (k, base_v) in pairs {
+                let child = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                match current.get(k) {
+                    Some(cur_v) => walk(bench, &child, Some(k), base_v, cur_v, th, report),
+                    None => push(
+                        report,
+                        bench,
+                        &child,
+                        base_v,
+                        None,
+                        "metric missing from the current document".to_string(),
+                        true,
+                    ),
+                }
+            }
+            // Keys only in `current` are new metrics — fine.
+        }
+        (Json::Arr(base_items), Json::Arr(cur_items)) => {
+            let by_identity = base_items.iter().all(|i| identity(i).is_some())
+                && cur_items.iter().all(|i| identity(i).is_some());
+            if by_identity {
+                for base_item in base_items {
+                    let id = identity(base_item).unwrap();
+                    let child = format!("{path}[{id}]");
+                    match cur_items.iter().find(|c| identity(c).as_deref() == Some(&id)) {
+                        Some(cur_item) => walk(bench, &child, None, base_item, cur_item, th, report),
+                        None => push(
+                            report,
+                            bench,
+                            &child,
+                            base_item,
+                            None,
+                            "row missing from the current document".to_string(),
+                            true,
+                        ),
+                    }
+                }
+            } else {
+                for (i, base_item) in base_items.iter().enumerate() {
+                    let child = format!("{path}[{i}]");
+                    match cur_items.get(i) {
+                        Some(cur_item) => walk(bench, &child, None, base_item, cur_item, th, report),
+                        None => push(
+                            report,
+                            bench,
+                            &child,
+                            base_item,
+                            None,
+                            "row missing from the current document".to_string(),
+                            true,
+                        ),
+                    }
+                }
+            }
+        }
+        (Json::Num(b), Json::Num(c)) => {
+            report.compared += 1;
+            judge_number(bench, path, key, *b, *c, th, report);
+        }
+        (Json::Str(b), Json::Str(c)) => {
+            report.compared += 1;
+            if b != c {
+                let exact = key.map(policy_for) == Some(Policy::SolutionExact);
+                push(
+                    report,
+                    bench,
+                    path,
+                    baseline,
+                    Some(current),
+                    if exact {
+                        "solution changed — semantic regression".to_string()
+                    } else {
+                        "string changed".to_string()
+                    },
+                    exact,
+                );
+            }
+        }
+        (Json::Bool(b), Json::Bool(c)) => {
+            report.compared += 1;
+            let gated = key.map(policy_for) == Some(Policy::GateMustHold);
+            if gated && !c {
+                push(
+                    report,
+                    bench,
+                    path,
+                    baseline,
+                    Some(current),
+                    "gate does not hold".to_string(),
+                    true,
+                );
+            } else if b != c {
+                push(report, bench, path, baseline, Some(current), "flag changed".to_string(), false);
+            }
+        }
+        _ => push(
+            report,
+            bench,
+            path,
+            baseline,
+            Some(current),
+            "value changed type".to_string(),
+            true,
+        ),
+    }
+}
+
+fn judge_number(
+    bench: &str,
+    path: &str,
+    key: Option<&str>,
+    b: f64,
+    c: f64,
+    th: &Thresholds,
+    report: &mut DiffReport,
+) {
+    let key = key.unwrap_or("");
+    let policy = policy_for(key);
+    let (regression, note) = match policy {
+        Policy::TimeLowerBetter => {
+            let floor = if key.ends_with("_ms") { th.time_floor_s * 1000.0 } else { th.time_floor_s };
+            let over_ratio = b > 0.0 && c > b * th.time_ratio;
+            let over_floor = c - b > floor;
+            if over_ratio && over_floor {
+                (true, format!("{:.2}x over the {:.2}x budget", c / b, th.time_ratio))
+            } else if c != b {
+                (false, format!("{:+.1}% within budget", (c / b - 1.0) * 100.0))
+            } else {
+                return;
+            }
+        }
+        Policy::RatioLowerBetter => {
+            if c > b + th.ratio_slack {
+                (true, format!("overhead rose {:.3} past the +{:.2} slack", c - b, th.ratio_slack))
+            } else if c != b {
+                (false, format!("{:+.3} within slack", c - b))
+            } else {
+                return;
+            }
+        }
+        Policy::HigherBetter => {
+            if b > 0.0 && c < b / th.time_ratio {
+                (true, format!("shrank to {:.2}x of baseline", c / b))
+            } else if c != b {
+                (false, format!("{:+.1}% within budget", (c / b - 1.0) * 100.0))
+            } else {
+                return;
+            }
+        }
+        // Gates and solutions are booleans/strings; a number under
+        // those keys is a schema change.
+        Policy::GateMustHold | Policy::SolutionExact => {
+            (true, "value changed type".to_string())
+        }
+        Policy::Informational => {
+            if c != b {
+                (false, "drifted (informational)".to_string())
+            } else {
+                return;
+            }
+        }
+    };
+    push(
+        report,
+        bench,
+        path,
+        &Json::Num(b),
+        Some(&Json::Num(c)),
+        note,
+        regression,
+    );
+}
+
+/// Render a merged report as the machine-readable verdict document the
+/// CI gate archives (stable key order).
+pub fn verdict_json(report: &DiffReport, thresholds: &Thresholds) -> Json {
+    let finding = |f: &Finding| {
+        Json::obj([
+            ("bench", Json::Str(f.bench.clone())),
+            ("path", Json::Str(f.path.clone())),
+            ("baseline", Json::Str(f.baseline.clone())),
+            ("current", Json::Str(f.current.clone())),
+            ("note", Json::Str(f.note.clone())),
+        ])
+    };
+    Json::obj([
+        (
+            "verdict",
+            Json::Str(if report.pass() { "pass" } else { "fail" }.to_string()),
+        ),
+        ("compared", Json::Num(report.compared as f64)),
+        (
+            "thresholds",
+            Json::obj([
+                ("time_ratio", Json::Num(thresholds.time_ratio)),
+                ("time_floor_s", Json::Num(thresholds.time_floor_s)),
+                ("ratio_slack", Json::Num(thresholds.ratio_slack)),
+            ]),
+        ),
+        (
+            "regressions",
+            Json::Arr(report.regressions.iter().map(finding).collect()),
+        ),
+        ("drift", Json::Arr(report.drift.iter().map(finding).collect())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liar_serve::json::parse;
+
+    const BASE: &str = r#"{
+        "bench": "serve",
+        "workers": 2,
+        "kernels": [
+            {"kernel": "vsum", "cold_ms": 8.0, "warm_p50_ms": 0.5, "cache_hit_speedup": 16.0, "solution": "1 × dot"},
+            {"kernel": "gemv", "cold_ms": 300.0, "warm_p50_ms": 0.6, "cache_hit_speedup": 500.0, "solution": "1 × gemv"}
+        ],
+        "gate_2pct_pass": true,
+        "aggregate_enabled_overhead": 1.05
+    }"#;
+
+    #[test]
+    fn identical_documents_pass() {
+        let base = parse(BASE).unwrap();
+        let report = diff_docs("serve", &base, &base, &Thresholds::default());
+        assert!(report.pass());
+        assert!(report.drift.is_empty());
+        assert!(report.compared > 0);
+    }
+
+    #[test]
+    fn noise_within_budget_is_drift_not_regression() {
+        let base = parse(BASE).unwrap();
+        let cur = parse(&BASE.replace("\"cold_ms\": 8.0", "\"cold_ms\": 9.1")).unwrap();
+        let report = diff_docs("serve", &base, &cur, &Thresholds::default());
+        assert!(report.pass(), "{:?}", report.regressions);
+        assert_eq!(report.drift.len(), 1);
+    }
+
+    #[test]
+    fn sub_floor_blowup_on_a_tiny_metric_passes() {
+        // 0.5ms → 1.9ms is 3.8x but under the 2ms absolute floor: noise.
+        let base = parse(BASE).unwrap();
+        let cur = parse(&BASE.replace("\"warm_p50_ms\": 0.5", "\"warm_p50_ms\": 1.9")).unwrap();
+        assert!(diff_docs("serve", &base, &cur, &Thresholds::default()).pass());
+    }
+
+    #[test]
+    fn seeded_time_regression_fails() {
+        let base = parse(BASE).unwrap();
+        let cur = parse(&BASE.replace("\"cold_ms\": 300.0", "\"cold_ms\": 600.0")).unwrap();
+        let report = diff_docs("serve", &base, &cur, &Thresholds::default());
+        assert!(!report.pass());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].path, "kernels[gemv].cold_ms");
+    }
+
+    #[test]
+    fn gate_flip_and_solution_change_fail() {
+        let base = parse(BASE).unwrap();
+        let cur = parse(
+            &BASE
+                .replace("\"gate_2pct_pass\": true", "\"gate_2pct_pass\": false")
+                .replace("1 × dot", "2 × axpy"),
+        )
+        .unwrap();
+        let report = diff_docs("serve", &base, &cur, &Thresholds::default());
+        let paths: Vec<&str> = report.regressions.iter().map(|f| f.path.as_str()).collect();
+        assert!(paths.contains(&"gate_2pct_pass"), "{paths:?}");
+        assert!(paths.contains(&"kernels[vsum].solution"), "{paths:?}");
+    }
+
+    #[test]
+    fn speedup_shrink_and_overhead_rise_fail() {
+        let base = parse(BASE).unwrap();
+        let cur = parse(
+            &BASE
+                .replace("\"cache_hit_speedup\": 500.0", "\"cache_hit_speedup\": 100.0")
+                .replace(
+                    "\"aggregate_enabled_overhead\": 1.05",
+                    "\"aggregate_enabled_overhead\": 1.45",
+                ),
+        )
+        .unwrap();
+        let report = diff_docs("serve", &base, &cur, &Thresholds::default());
+        assert_eq!(report.regressions.len(), 2, "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn missing_row_and_metric_fail_while_new_ones_pass() {
+        let base = parse(BASE).unwrap();
+        // Current drops the gemv row and the gate, adds a new metric.
+        let cur = parse(r#"{
+            "bench": "serve",
+            "workers": 2,
+            "brand_new_counter": 7,
+            "kernels": [
+                {"kernel": "vsum", "cold_ms": 8.0, "warm_p50_ms": 0.5, "cache_hit_speedup": 16.0, "solution": "1 × dot"}
+            ],
+            "aggregate_enabled_overhead": 1.05
+        }"#).unwrap();
+        let report = diff_docs("serve", &base, &cur, &Thresholds::default());
+        let paths: Vec<&str> = report.regressions.iter().map(|f| f.path.as_str()).collect();
+        assert!(paths.contains(&"kernels[gemv]"), "{paths:?}");
+        assert!(paths.contains(&"gate_2pct_pass"), "{paths:?}");
+        assert_eq!(report.regressions.len(), 2);
+    }
+
+    #[test]
+    fn rows_pair_by_identity_not_index() {
+        let base = parse(BASE).unwrap();
+        // Same rows, reversed order: no findings at all.
+        let cur = parse(r#"{
+            "bench": "serve",
+            "workers": 2,
+            "kernels": [
+                {"kernel": "gemv", "cold_ms": 300.0, "warm_p50_ms": 0.6, "cache_hit_speedup": 500.0, "solution": "1 × gemv"},
+                {"kernel": "vsum", "cold_ms": 8.0, "warm_p50_ms": 0.5, "cache_hit_speedup": 16.0, "solution": "1 × dot"}
+            ],
+            "gate_2pct_pass": true,
+            "aggregate_enabled_overhead": 1.05
+        }"#).unwrap();
+        let report = diff_docs("serve", &base, &cur, &Thresholds::default());
+        assert!(report.pass());
+        assert!(report.drift.is_empty());
+    }
+
+    #[test]
+    fn verdict_json_is_stable_and_machine_readable() {
+        let base = parse(BASE).unwrap();
+        let cur = parse(&BASE.replace("\"cold_ms\": 300.0", "\"cold_ms\": 600.0")).unwrap();
+        let report = diff_docs("serve", &base, &cur, &Thresholds::default());
+        let v = verdict_json(&report, &Thresholds::default());
+        assert_eq!(v.get("verdict").and_then(Json::as_str), Some("fail"));
+        let text = v.to_json();
+        // Round-trips through the parser.
+        assert_eq!(parse(&text).unwrap(), v);
+        assert!(text.starts_with("{\"verdict\":\"fail\",\"compared\":"));
+    }
+}

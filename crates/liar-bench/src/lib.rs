@@ -8,10 +8,14 @@
 //!   fig. 7 (run-time speedups across all kernels).
 //! * [`timing`] — the minimal wall-clock harness the bench binaries use
 //!   (the workspace builds offline, so no criterion).
+//! * [`diff`] — the bench regression sentry: compares fresh
+//!   `BENCH_*.json` documents against committed baselines with
+//!   per-metric policies (the `bench-diff` binary).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod diff;
 pub mod figures;
 pub mod harness;
 pub mod timing;

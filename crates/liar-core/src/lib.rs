@@ -32,6 +32,7 @@
 pub mod cache;
 pub mod cost;
 pub mod fingerprint;
+pub mod inspect;
 pub mod pipeline;
 pub mod profile;
 pub mod rules;
@@ -40,6 +41,7 @@ pub mod store;
 pub use cache::{CacheStats, SaturationCache};
 pub use cost::TargetCost;
 pub use fingerprint::{BudgetKnobs, Fingerprint};
+pub use inspect::{InspectReport, OpRow, RuleRow};
 pub use pipeline::{
     CacheStatus, Liar, MultiReport, MultiSolution, OptimizationReport, OptimizeError,
     SaturationStep, StepReport, WarmError,

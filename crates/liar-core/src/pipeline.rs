@@ -10,11 +10,12 @@ use liar_egraph::{
     SnapshotError, StopReason,
 };
 use liar_ir::{ArrayAnalysis, ArrayEGraph, ArrayExplanation, Expr};
-use liar_trace::{Recorder, TraceSink};
+use liar_trace::{FlightKind, FlightRecorder, Recorder, TraceSink};
 
 use crate::cache::SaturationCache;
 use crate::cost::TargetCost;
 use crate::fingerprint::{request_fingerprint, BudgetKnobs, Fingerprint};
+use crate::inspect::InspectReport;
 use crate::profile::MachineProfile;
 use crate::rules::{rules_for, rules_for_targets, RuleConfig, Target};
 use crate::store::SnapshotStore;
@@ -292,7 +293,10 @@ impl MultiSolution {
 ///
 /// `PartialEq` compares every field, timings included — the saturation
 /// cache's "bit-identical replay" contract is tested with plain `==`.
-#[derive(Debug, Clone, PartialEq)]
+/// The one exception is [`inspect`](MultiReport::inspect): the
+/// attribution ledger is observational (like tracing), so two reports
+/// that differ only in whether introspection ran still compare equal.
+#[derive(Debug, Clone)]
 pub struct MultiReport {
     /// The targets extracted, in the order requested.
     pub targets: Vec<Target>,
@@ -312,6 +316,26 @@ pub struct MultiReport {
     pub n_classes: usize,
     /// One solution per `(target, discount_scale)`, targets outermost.
     pub solutions: Vec<MultiSolution>,
+    /// The growth-attribution tables, when this report's saturation ran
+    /// with [`Liar::with_attribution`] enabled. `None` on warm restores
+    /// (the ledger needs the whole history; a snapshot carries none) and
+    /// whenever attribution was off. Excluded from `PartialEq`.
+    pub inspect: Option<InspectReport>,
+}
+
+impl PartialEq for MultiReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except `inspect` — see the struct docs.
+        self.targets == other.targets
+            && self.discount_scales == other.discount_scales
+            && self.profiles == other.profiles
+            && self.stop_reason == other.stop_reason
+            && self.steps == other.steps
+            && self.saturation_time == other.saturation_time
+            && self.n_nodes == other.n_nodes
+            && self.n_classes == other.n_classes
+            && self.solutions == other.solutions
+    }
 }
 
 impl MultiReport {
@@ -388,6 +412,8 @@ pub struct Liar {
     cache: Option<Arc<SaturationCache>>,
     store: Option<Arc<SnapshotStore>>,
     trace: Option<Arc<Recorder>>,
+    attribution: bool,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 /// How [`Liar::optimize_multi_status`] obtained its report.
@@ -448,6 +474,8 @@ impl Liar {
             cache: None,
             store: None,
             trace: None,
+            attribution: false,
+            flight: None,
         }
     }
 
@@ -602,6 +630,44 @@ impl Liar {
         self.trace.as_ref()
     }
 
+    /// Enable growth attribution: the saturation e-graph keeps an
+    /// [`Attribution`](liar_egraph::Attribution) ledger charging every
+    /// e-node and e-class creation and every merge to its originating
+    /// rule (or a builtin origin: `(init)`, `(congruence)`, `(direct)`),
+    /// and multi-target reports carry the folded
+    /// [`InspectReport`] tables ([`MultiReport::inspect`]).
+    ///
+    /// Off by default — the fast path pays nothing. Attribution is
+    /// strictly observational: reports, solutions and proofs are
+    /// bit-identical with it on or off, so — like tracing — the knob is
+    /// **excluded** from [`Liar::request_fingerprint`] and attributed /
+    /// unattributed cache entries are interchangeable.
+    pub fn with_attribution(mut self, on: bool) -> Self {
+        self.attribution = on;
+        self
+    }
+
+    /// Whether growth attribution is enabled.
+    pub fn attribution_enabled(&self) -> bool {
+        self.attribution
+    }
+
+    /// Attach a flight recorder ([`liar_trace::FlightRecorder`]): the
+    /// pipeline and its runners record notable events into the bounded
+    /// ring — rules firing and being banned, budget truncations, cache
+    /// hits and misses, snapshot restores. Like the trace recorder, the
+    /// flight recorder is observational and **excluded** from
+    /// [`Liar::request_fingerprint`].
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
     /// A sink on the attached recorder's `lane` — inert when no recorder
     /// is attached.
     fn sink(&self, lane: &str) -> TraceSink {
@@ -657,6 +723,9 @@ impl Liar {
         } else {
             ArrayEGraph::default()
         };
+        if self.attribution {
+            egraph = egraph.with_attribution_enabled();
+        }
         let root = egraph.add_expr(expr);
         let runner = self.wrap_runner(egraph, root);
         (runner, root)
@@ -686,6 +755,10 @@ impl Liar {
             .with_scheduler(self.scheduler())
             .with_threads(self.threads)
             .with_seminaive(self.seminaive);
+        let runner = match &self.flight {
+            Some(flight) => runner.with_flight(Arc::clone(flight)),
+            None => runner,
+        };
         match &self.trace {
             Some(rec) => runner.with_trace(rec),
             None => runner,
@@ -917,6 +990,9 @@ impl Liar {
             .then(|| self.request_fingerprint(expr, targets, discount_scales));
         if let (Some(cache), Some(fp)) = (&self.cache, fp) {
             if let Some(report) = cache.get(fp) {
+                if let Some(flight) = &self.flight {
+                    flight.record(FlightKind::CacheHit, fp.to_string(), 0.0);
+                }
                 return Ok(((*report).clone(), CacheStatus::Hit));
             }
         }
@@ -939,6 +1015,13 @@ impl Liar {
                 if let Some(result) =
                     self.try_restore_multi(stop_reason, &bytes, expr, targets, discount_scales)
                 {
+                    if let Some(flight) = &self.flight {
+                        flight.record(
+                            FlightKind::SnapshotRestore,
+                            fp.to_string(),
+                            bytes.len() as f64,
+                        );
+                    }
                     let (report, status) = result?;
                     if let Some(cache) = &self.cache {
                         cache.insert(fp, Arc::new(report.clone()));
@@ -950,6 +1033,11 @@ impl Liar {
                 // fall through to a cold run, whose fresh snapshot
                 // overwrites the bad file.
             }
+        }
+        if let (Some(flight), Some(fp)) = (&self.flight, fp) {
+            // A cache is attached but had no answer: the request runs
+            // cold. (With no cache attached there is nothing to miss.)
+            flight.record(FlightKind::CacheMiss, fp.to_string(), 0.0);
         }
         let report = self.compute_multi(expr, targets, discount_scales)?;
         match (&self.cache, fp) {
@@ -1013,6 +1101,9 @@ impl Liar {
                 n_nodes: egraph.num_nodes(),
                 n_classes: egraph.num_classes(),
                 solutions,
+                // A restored snapshot carries no attribution ledger: the
+                // counts only make sense over a whole history.
+                inspect: None,
             },
             CacheStatus::Warm,
         )))
@@ -1033,6 +1124,18 @@ impl Liar {
         let (mut runner, root) = self.runner_for(expr);
         runner.run(&rules);
         (runner.egraph, root)
+    }
+
+    /// Saturate `expr` once with the union ruleset of `targets` under
+    /// forced attribution and return the growth tables — the engine
+    /// behind `liar inspect`. The returned report always satisfies
+    /// [`InspectReport::check`].
+    pub fn inspect(&self, expr: &Expr, targets: &[Target]) -> InspectReport {
+        let attributed = self.clone().with_attribution(true);
+        let rules = rules_for_targets(targets, &attributed.config);
+        let (mut runner, _root) = attributed.runner_for(expr);
+        runner.run(&rules);
+        InspectReport::from_runner(&runner)
     }
 
     /// The uncached "saturate once, extract everywhere" computation.
@@ -1100,6 +1203,14 @@ impl Liar {
             });
         }
 
+        // Fold the attribution ledger before extraction: proof production
+        // may grow the provenance forest, but the growth tables describe
+        // the *saturated* graph.
+        let inspect = runner
+            .egraph
+            .is_attribution_enabled()
+            .then(|| InspectReport::from_runner(&runner));
+
         // Persist the saturated e-graph before extraction and proof
         // production: extraction never mutates it, but explain_equivalence
         // grows the provenance forest, and the snapshot must capture the
@@ -1136,6 +1247,7 @@ impl Liar {
             n_nodes: runner.egraph.num_nodes(),
             n_classes: runner.egraph.num_classes(),
             solutions,
+            inspect,
         })
     }
 

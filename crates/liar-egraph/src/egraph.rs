@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::attribution::Attribution;
 use crate::delta::DeltaIndex;
 use crate::explain::{Explain, Explanation, Justification};
 use crate::pattern::Subst;
@@ -83,6 +84,11 @@ pub struct EGraph<L: Language, A: Analysis<L>> {
     /// while this is set are justified by that rule in the explanation
     /// forest. Set by [`Rewrite::apply`](crate::Rewrite::apply).
     rule_context: Option<(Arc<str>, Arc<Subst<L>>)>,
+    /// The growth-attribution ledger, when enabled (see
+    /// [`with_attribution_enabled`](EGraph::with_attribution_enabled)).
+    /// `None` is the default fast path: each recording site pays one
+    /// branch.
+    attribution: Option<Attribution>,
 }
 
 impl<L: Language, A: Analysis<L> + Default> Default for EGraph<L, A> {
@@ -117,6 +123,7 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             clean: true,
             explain: None,
             rule_context: None,
+            attribution: None,
         }
     }
 
@@ -155,6 +162,51 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
     /// semantics-wise when explanations are disabled.
     pub fn set_rule_context(&mut self, context: Option<(Arc<str>, Arc<Subst<L>>)>) {
         self.rule_context = context;
+    }
+
+    /// Enable growth attribution: every class creation, e-node add and
+    /// merge is charged to its originating rule (or a builtin origin) in
+    /// an [`Attribution`] ledger whose per-origin counts sum exactly to
+    /// the e-graph's node/class totals — see the
+    /// [`attribution`](crate::attribution) module docs for the charging
+    /// rules and the conservation identities.
+    ///
+    /// Like explanations, attribution is strictly observational (the
+    /// e-graph's contents, reports, solutions and proofs are bit-identical
+    /// with it on or off, serial or parallel) and the `None` default pays
+    /// one branch per recording site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the e-graph already contains nodes — the conservation
+    /// invariant needs the whole history.
+    pub fn with_attribution_enabled(mut self) -> Self {
+        assert!(
+            self.is_empty(),
+            "attribution must be enabled before any node is added"
+        );
+        self.attribution = Some(Attribution::default());
+        self
+    }
+
+    /// True when this e-graph charges growth to rules.
+    pub fn is_attribution_enabled(&self) -> bool {
+        self.attribution.is_some()
+    }
+
+    /// The growth-attribution ledger, when enabled.
+    pub fn attribution(&self) -> Option<&Attribution> {
+        self.attribution.as_ref()
+    }
+
+    /// Set (or clear) the attribution charging origin — the rule name
+    /// growth is charged to while it applies. Set by
+    /// [`Rewrite::apply`](crate::Rewrite::apply) around each rule's batch;
+    /// a no-op when attribution is disabled.
+    pub fn set_attribution_origin(&mut self, origin: Option<Arc<str>>) {
+        if let Some(attr) = &mut self.attribution {
+            attr.set_origin(origin);
+        }
     }
 
     /// The e-classes (ascending id) containing at least one e-node whose
@@ -256,6 +308,10 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             clean: true,
             explain,
             rule_context: None,
+            // Snapshots carry no ledger: attribution counts from empty
+            // (the conservation identities need the whole history), so a
+            // restored graph starts un-attributed.
+            attribution: None,
         }
     }
 
@@ -410,6 +466,9 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         self.classes_by_op.entry(node.op_key()).or_default().push(id);
         self.memo.insert(node, id);
         self.delta.record(id);
+        if let Some(attr) = &mut self.attribution {
+            attr.record_add();
+        }
         A::modify(self, id);
         self.find_mut(id)
     }
@@ -466,6 +525,12 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         self.classes_by_op.entry(cnode.op_key()).or_default().push(id);
         self.memo.insert(cnode, id);
         self.delta.record(id);
+        // The congruent-spelling path above creates no class and no node
+        // (only a precise id), so it charges nothing; this fresh path
+        // mirrors the unexplained `add`.
+        if let Some(attr) = &mut self.attribution {
+            attr.record_add();
+        }
         A::modify(self, id);
         id
     }
@@ -521,6 +586,9 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
                 Justification::Direct
             };
             explain.union(a0, b0, justification, true);
+        }
+        if let Some(attr) = &mut self.attribution {
+            attr.record_merge(congruence);
         }
         self.clean = false;
         // Keep the class with more members as the winner to move less data.
@@ -632,14 +700,20 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
     fn rebuild_classes(&mut self) {
         let explain_off = self.explain.is_none();
         let uf = &self.unionfind;
+        let mut retired = 0usize;
         for class in self.classes.values_mut() {
             for node in &mut class.nodes {
                 for c in node.children_mut() {
                     *c = uf.find(*c);
                 }
             }
+            let before = class.nodes.len();
             class.nodes.sort();
             class.nodes.dedup();
+            // The only place e-nodes ever disappear: spellings that became
+            // equal under congruence collapse here. The ledger's node
+            // identity (created − retired == num_nodes) depends on it.
+            retired += before - class.nodes.len();
 
             for (pnode, pclass) in &mut class.parents {
                 for c in pnode.children_mut() {
@@ -655,6 +729,9 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             }
             class.parents.sort();
             class.parents.dedup();
+        }
+        if let Some(attr) = &mut self.attribution {
+            attr.record_retired(retired);
         }
         // Drop memo entries whose key is no longer canonical.
         let stale: Vec<L> = self
@@ -841,6 +918,62 @@ mod tests {
         assert_eq!(eg.num_classes(), 1);
         assert_eq!(eg.num_nodes(), 2);
         eg.assert_invariants();
+    }
+
+    #[test]
+    fn attribution_conserves_through_congruence_repair() {
+        // g(f(a)), g(f(b)): one direct union triggers two congruence
+        // merges and retires the duplicated f/g spellings. Every count
+        // must land in the ledger and sum back to the graph's totals.
+        let mut eg = EG::default().with_attribution_enabled();
+        let a = eg.add(leaf("a"));
+        let b = eg.add(leaf("b"));
+        let fa = eg.add(SymbolLang::new("f", vec![a]));
+        let fb = eg.add(SymbolLang::new("f", vec![b]));
+        let _gfa = eg.add(SymbolLang::new("g", vec![fa]));
+        let _gfb = eg.add(SymbolLang::new("g", vec![fb]));
+        eg.union(a, b);
+        eg.rebuild();
+        let attr = eg.attribution().expect("enabled");
+        assert_eq!(attr.origin(Attribution::INIT).nodes_created, 6);
+        assert_eq!(attr.origin(Attribution::DIRECT).classes_merged, 1);
+        assert_eq!(attr.origin(Attribution::CONGRUENCE).classes_merged, 2);
+        // f(a)/f(b) and g(f(a))/g(f(b)) collapse to one spelling each.
+        assert_eq!(attr.nodes_retired(), 2);
+        attr.check(eg.num_nodes(), eg.num_classes()).expect("conserves");
+        eg.assert_invariants();
+    }
+
+    #[test]
+    fn attribution_charges_rules_and_survives_hashcons_hits() {
+        let mut eg = EG::default().with_attribution_enabled();
+        let id = eg.add_expr(&"(+ a b)".parse().unwrap());
+        let rw = crate::Rewrite::from_patterns("comm-add", "(+ ?x ?y)", "(+ ?y ?x)");
+        let matches = rw.search(&eg, usize::MAX);
+        assert_eq!(rw.apply(&mut eg, &matches), 1);
+        eg.rebuild();
+        let attr = eg.attribution().expect("enabled");
+        // The rule added the flipped node and merged it into the root.
+        assert_eq!(attr.origin("comm-add").nodes_created, 1);
+        assert_eq!(attr.origin("comm-add").classes_merged, 1);
+        attr.check(eg.num_nodes(), eg.num_classes()).expect("conserves");
+        // Re-applying only hash-conses: nothing new is charged.
+        let before = attr.origin("comm-add");
+        let matches = rw.search(&eg, usize::MAX);
+        assert_eq!(rw.apply(&mut eg, &matches), 0);
+        eg.rebuild();
+        let attr = eg.attribution().expect("enabled");
+        assert_eq!(attr.origin("comm-add"), before);
+        attr.check(eg.num_nodes(), eg.num_classes()).expect("conserves");
+        let _ = id;
+    }
+
+    #[test]
+    #[should_panic(expected = "attribution must be enabled before")]
+    fn attribution_on_nonempty_graph_panics() {
+        let mut eg = EG::default();
+        eg.add(leaf("a"));
+        let _ = eg.with_attribution_enabled();
     }
 
     #[test]

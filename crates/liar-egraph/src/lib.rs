@@ -35,6 +35,10 @@
 //!   cost-based term extraction (the paper's §V-C extractors are cost
 //!   functions over this engine), with both tree-cost and DAG-cost
 //!   (shared-subterm-charged-once) accounting.
+//! * [`attribution`] — opt-in growth attribution
+//!   ([`EGraph::with_attribution_enabled`]): every class creation, e-node
+//!   add and merge is charged to its originating rule, with a conservation
+//!   invariant tying the per-rule counts to the e-graph's totals.
 //! * [`explain`] — opt-in proof production
 //!   ([`EGraph::with_explanations_enabled`]): every union is recorded in a
 //!   provenance forest, [`EGraph::explain_equivalence`] turns any derived
@@ -70,6 +74,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod analysis;
+pub mod attribution;
 mod delta;
 mod dot;
 mod egraph;
@@ -88,6 +93,7 @@ mod symbol_lang;
 mod unionfind;
 
 pub use analysis::{Analysis, DidMerge};
+pub use attribution::{Attribution, OriginCounters};
 pub use delta::DeltaIndex;
 pub use dot::Dot;
 pub use egraph::{EClass, EGraph};

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use liar_trace::{Recorder, TraceSink};
+use liar_trace::{FlightKind, FlightRecorder, Recorder, TraceSink};
 
 use crate::rewrite::SearchMatches;
 use crate::seminaive::{self, ClosureMemo, DeltaSearch, PlanEntry, SearchPlan};
@@ -84,6 +84,14 @@ pub struct Iteration {
     /// `(rule name, substitutions that changed the e-graph)`, rules in
     /// rule-set order.
     pub applied: Vec<(String, usize)>,
+    /// Per-rule search funnel, aligned with
+    /// [`applied`](Iteration::applied): `(candidate e-classes scheduled,
+    /// substitutions found)` for each rule. Banned rules record `(0, 0)`.
+    /// Summing the columns gives
+    /// [`search_candidates`](Iteration::search_candidates) and
+    /// [`search_matches`](Iteration::search_matches); identical under the
+    /// serial and parallel engines.
+    pub searched: Vec<(usize, usize)>,
     /// Unions performed by congruence repair during rebuild.
     pub rebuild_unions: usize,
     /// Candidate e-classes scheduled for matching across all unbanned
@@ -142,6 +150,7 @@ pub struct Runner<L: Language, A: Analysis<L>> {
     warm_synced: Option<u64>,
     start: Option<Instant>,
     trace: TraceSink,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
@@ -160,6 +169,7 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             warm_synced: None,
             start: None,
             trace: TraceSink::off(),
+            flight: None,
         }
     }
 
@@ -256,6 +266,16 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
         self
     }
 
+    /// Feed notable saturation events — rules that changed the e-graph,
+    /// scheduler bans, budget truncations — into a
+    /// [`FlightRecorder`] ring buffer. Like tracing, strictly
+    /// observational: the recorder never feeds back into search,
+    /// scheduling, or apply order.
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
     fn check_pre_limits(&self) -> Option<StopReason> {
         if self.iterations.len() >= self.limits.iter_limit {
             return Some(StopReason::IterationLimit);
@@ -299,15 +319,25 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             .enumerate()
             .map(|(i, rule)| self.scheduler.match_limit(iteration_idx, i, rule.name()))
             .collect();
-        if self.trace.on() {
+        if self.trace.on() || self.flight.is_some() {
             // Banned rules sit out this iteration; mark each ban so the
-            // scheduler's backoff behavior is visible on the timeline.
+            // scheduler's backoff behavior is visible on the timeline and
+            // in the flight ring.
             for (rule, limit) in rules.iter().zip(&limits) {
                 if limit.is_none() {
-                    self.trace.instant_args(
-                        format_args!("ban/{}", rule.name()),
-                        &[("step", (iteration_idx + 1) as f64)],
-                    );
+                    if self.trace.on() {
+                        self.trace.instant_args(
+                            format_args!("ban/{}", rule.name()),
+                            &[("step", (iteration_idx + 1) as f64)],
+                        );
+                    }
+                    if let Some(flight) = &self.flight {
+                        flight.record(
+                            FlightKind::RuleBanned,
+                            rule.name(),
+                            (iteration_idx + 1) as f64,
+                        );
+                    }
                 }
             }
         }
@@ -326,16 +356,16 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
                 rule.candidate_class_ids(&self.egraph)
             })
             .collect();
-        let search_candidates: usize = rules
+        let rule_candidates: Vec<usize> = limits
             .iter()
-            .zip(&limits)
             .zip(&candidates)
-            .map(|((_, limit), cands)| match (limit, cands) {
+            .map(|(limit, cands)| match (limit, cands) {
                 (None, _) => 0,
                 (Some(_), Some(ids)) => ids.len(),
                 (Some(_), None) => class_ids.len(),
             })
-            .sum();
+            .collect();
+        let search_candidates: usize = rule_candidates.iter().sum();
         // Semi-naive plans for eligible rules: scan the delta frontier,
         // replay everything else. Per-rule state is indexed by rule
         // position, so it is rebuilt if the rule-slice length ever changes.
@@ -427,11 +457,24 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             }
         }
         let mut search_matches = 0;
+        let mut rule_matches = Vec::with_capacity(all_matches.len());
         for (i, matches) in all_matches.iter().enumerate() {
             let n: usize = matches.iter().map(|m| m.len()).sum();
             search_matches += n;
-            if limits[i].is_some() {
+            rule_matches.push(n);
+            if let Some(limit) = limits[i] {
                 self.scheduler.record(iteration_idx, i, n);
+                // The match stream stops exactly at the budget, so
+                // hitting it means the scheduler truncated this rule.
+                if n >= limit && limit > 0 {
+                    if let Some(flight) = &self.flight {
+                        flight.record(
+                            FlightKind::BudgetTruncated,
+                            rules[i].name(),
+                            limit as f64,
+                        );
+                    }
+                }
             }
         }
         let search_time = step_start.elapsed();
@@ -452,6 +495,11 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             let rule_span = self.trace.begin_args(format_args!("apply/{}", rule.name()));
             let changed = rule.apply(&mut self.egraph, matches);
             self.trace.end_with(rule_span, &[("changed", changed as f64)]);
+            if changed > 0 {
+                if let Some(flight) = &self.flight {
+                    flight.record(FlightKind::RuleFired, rule.name(), changed as f64);
+                }
+            }
             applied.push((rule.name().to_string(), changed));
         }
         let apply_time = apply_start.elapsed();
@@ -470,6 +518,7 @@ impl<L: Language + 'static, A: Analysis<L> + 'static> Runner<L, A> {
             n_nodes: self.egraph.num_nodes(),
             n_classes: self.egraph.num_classes(),
             applied,
+            searched: rule_candidates.into_iter().zip(rule_matches).collect(),
             rebuild_unions,
             search_candidates,
             frontier_candidates,

@@ -6,9 +6,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
-    read_frame, write_frame, FrameError, MetricsResponse, OptimizeRequest, OptimizeResponse,
-    Request, Response, RestoreRequest, RestoreResponse, SnapshotRequest, SnapshotResponse,
-    StatsResponse,
+    read_frame, write_frame, FrameError, IntrospectResponse, MetricsResponse, OptimizeRequest,
+    OptimizeResponse, Request, Response, RestoreRequest, RestoreResponse, SnapshotRequest,
+    SnapshotResponse, StatsResponse,
 };
 
 /// Response-size cap on the client side. Responses echo the best
@@ -223,6 +223,22 @@ impl Client {
             }),
             other => Err(ClientError::BadResponse(format!(
                 "expected a metrics response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch live introspection: the latest cold saturation's growth
+    /// tables plus the last `tail` flight-recorder events (`liar stats
+    /// --inspect` prints this).
+    pub fn introspect(&mut self, tail: usize) -> Result<IntrospectResponse, ClientError> {
+        match self.request(&Request::Introspect { tail })? {
+            Response::Introspect(r) => Ok(r),
+            Response::Error { code, message, .. } => Err(ClientError::Server {
+                code: code.name().to_string(),
+                message,
+            }),
+            other => Err(ClientError::BadResponse(format!(
+                "expected an introspect response, got {other:?}"
             ))),
         }
     }

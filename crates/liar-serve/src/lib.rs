@@ -48,8 +48,8 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    ErrorCode, MetricsResponse, OptimizeRequest, OptimizeResponse, ProofMsg, ProofStepMsg,
-    Request, Response, RestoreRequest, RestoreResponse, SnapshotRequest, SnapshotResponse,
-    SolutionMsg, StatsResponse,
+    ErrorCode, IntrospectResponse, MetricsResponse, OptimizeRequest, OptimizeResponse, ProofMsg,
+    ProofStepMsg, Request, Response, RestoreRequest, RestoreResponse, SnapshotRequest,
+    SnapshotResponse, SolutionMsg, StatsResponse,
 };
 pub use server::{Server, ServerConfig};

@@ -32,6 +32,10 @@
 //! * `{"op":"metrics"}` — the full metric set (counters, gauges,
 //!   latency histograms, per-phase time totals) rendered server-side as
 //!   Prometheus text exposition format; see [`MetricsResponse`].
+//! * `{"op":"introspect", "tail": 64}` — live e-graph introspection:
+//!   the growth-attribution tables of the most recent cold saturation
+//!   (per-rule funnel, composition by operator) plus the last `tail`
+//!   flight-recorder events; see [`IntrospectResponse`].
 //! * `{"op":"ping"}` — liveness probe.
 //! * `{"op":"shutdown"}` — ask the daemon to drain and exit (the daemon
 //!   is an unauthenticated loopback service; do not expose it beyond
@@ -50,10 +54,11 @@
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 
-use liar_core::Target;
+use liar_core::{InspectReport, OpRow, RuleRow, Target};
 use liar_egraph::explain::canonical_expr;
 use liar_egraph::{Direction, ProofStep};
 use liar_ir::{ArrayExplanation, Expr};
+use liar_trace::{FlightEvent, FlightKind};
 
 use crate::json::{self, Json};
 
@@ -63,6 +68,10 @@ pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
 
 /// Maximum digits in the length header (9 digits < 1 GB).
 pub const MAX_HEADER_DIGITS: usize = 9;
+
+/// Flight-recorder events an `introspect` request returns when it names
+/// no `tail`.
+pub const DEFAULT_INTROSPECT_TAIL: usize = 64;
 
 /// How much oversized payload a reader is willing to skim before it
 /// declares the connection hopeless (multiple of its `max_frame`).
@@ -636,6 +645,13 @@ pub enum Request {
     /// Full metrics scrape: the server's counters, gauges and latency
     /// histograms rendered as Prometheus text exposition format.
     Metrics,
+    /// Live e-graph introspection: the latest cold saturation's growth
+    /// tables plus the last `tail` flight-recorder events.
+    Introspect {
+        /// Most flight events to return (the server clamps to its ring
+        /// capacity).
+        tail: usize,
+    },
     /// Liveness probe.
     Ping,
     /// Drain and exit.
@@ -651,6 +667,10 @@ impl Request {
             Request::Restore(r) => r.to_json(),
             Request::Stats => Json::obj([("op", Json::Str("stats".into()))]),
             Request::Metrics => Json::obj([("op", Json::Str("metrics".into()))]),
+            Request::Introspect { tail } => Json::obj([
+                ("op", Json::Str("introspect".into())),
+                ("tail", Json::Num(*tail as f64)),
+            ]),
             Request::Ping => Json::obj([("op", Json::Str("ping".into()))]),
             Request::Shutdown => Json::obj([("op", Json::Str("shutdown".into()))]),
         };
@@ -682,13 +702,25 @@ impl Request {
                 .map_err(|m| (ErrorCode::BadRequest, m)),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
+            "introspect" => {
+                let tail = match j.get("tail") {
+                    None => DEFAULT_INTROSPECT_TAIL,
+                    Some(v) => v
+                        .as_usize()
+                        .ok_or((
+                            ErrorCode::BadRequest,
+                            "\"tail\" must be a non-negative integer".into(),
+                        ))?,
+                };
+                Ok(Request::Introspect { tail })
+            }
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err((
                 ErrorCode::BadRequest,
                 format!(
-                    "unknown op {other:?} \
-                     (expected optimize|explain|snapshot|restore|stats|metrics|ping|shutdown)"
+                    "unknown op {other:?} (expected optimize|explain|snapshot|restore|\
+                     stats|metrics|introspect|ping|shutdown)"
                 ),
             )),
         }
@@ -1089,6 +1121,199 @@ pub struct MetricsResponse {
     pub prometheus: String,
 }
 
+/// An `introspect` response: the growth-attribution tables of the most
+/// recent cold saturation the daemon ran (the same tables `liar inspect`
+/// computes locally) plus the tail of its flight-recorder ring.
+///
+/// `report` is `None` until the first cold (non-replayed, non-restored)
+/// optimization completes, and stays `None` on servers started with
+/// introspection disabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntrospectResponse {
+    /// The per-rule funnel and composition tables, when a cold
+    /// saturation has run.
+    pub report: Option<InspectReport>,
+    /// The last `tail` flight events, ascending sequence order.
+    pub flight: Vec<FlightEvent>,
+    /// Events that fell off the ring over the daemon's lifetime.
+    pub flight_dropped: u64,
+    /// Events recorded over the daemon's lifetime.
+    pub flight_total: u64,
+}
+
+impl IntrospectResponse {
+    fn report_to_json(report: &InspectReport) -> Json {
+        Json::obj([
+            ("n_nodes", Json::Num(report.n_nodes as f64)),
+            ("n_classes", Json::Num(report.n_classes as f64)),
+            ("nodes_retired", Json::Num(report.nodes_retired as f64)),
+            ("steps", Json::Num(report.steps as f64)),
+            (
+                "rules",
+                Json::Arr(
+                    report
+                        .rules
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("name", Json::Str(r.name.clone())),
+                                ("candidates", Json::Num(r.candidates as f64)),
+                                ("matches", Json::Num(r.matches as f64)),
+                                ("applied", Json::Num(r.applied as f64)),
+                                ("nodes_created", Json::Num(r.nodes_created as f64)),
+                                ("classes_created", Json::Num(r.classes_created as f64)),
+                                ("classes_merged", Json::Num(r.classes_merged as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "ops",
+                Json::Arr(
+                    report
+                        .ops
+                        .iter()
+                        .map(|o| {
+                            Json::obj([
+                                ("op", Json::Str(o.op.clone())),
+                                ("nodes", Json::Num(o.nodes as f64)),
+                                ("classes", Json::Num(o.classes as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn report_from_json(j: &Json) -> Result<InspectReport, String> {
+        let num = |obj: &Json, name: &str| -> Result<f64, String> {
+            obj.get(name)
+                .and_then(Json::as_f64)
+                .ok_or(format!("introspect report missing \"{name}\""))
+        };
+        let rules = j
+            .get("rules")
+            .and_then(Json::as_arr)
+            .ok_or("introspect report missing \"rules\"")?
+            .iter()
+            .map(|r| {
+                Ok(RuleRow {
+                    name: r
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("rule row missing \"name\"")?
+                        .to_string(),
+                    candidates: num(r, "candidates")? as u64,
+                    matches: num(r, "matches")? as u64,
+                    applied: num(r, "applied")? as u64,
+                    nodes_created: num(r, "nodes_created")? as u64,
+                    classes_created: num(r, "classes_created")? as u64,
+                    classes_merged: num(r, "classes_merged")? as u64,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let ops = j
+            .get("ops")
+            .and_then(Json::as_arr)
+            .ok_or("introspect report missing \"ops\"")?
+            .iter()
+            .map(|o| {
+                Ok(OpRow {
+                    op: o
+                        .get("op")
+                        .and_then(Json::as_str)
+                        .ok_or("op row missing \"op\"")?
+                        .to_string(),
+                    nodes: num(o, "nodes")? as u64,
+                    classes: num(o, "classes")? as u64,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(InspectReport {
+            rules,
+            ops,
+            n_nodes: num(j, "n_nodes")? as usize,
+            n_classes: num(j, "n_classes")? as usize,
+            nodes_retired: num(j, "nodes_retired")? as u64,
+            steps: num(j, "steps")? as usize,
+        })
+    }
+
+    /// The wire payload (`liar stats --inspect --json` prints this
+    /// verbatim — stable key order, no re-encoding).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("introspect".to_string(), Json::Bool(true)),
+        ];
+        if let Some(report) = &self.report {
+            pairs.push(("report".to_string(), Self::report_to_json(report)));
+        }
+        pairs.push((
+            "flight".to_string(),
+            Json::Arr(
+                self.flight
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("seq", Json::Num(e.seq as f64)),
+                            ("kind", Json::Str(e.kind.name().to_string())),
+                            ("detail", Json::Str(e.detail.clone())),
+                            ("value", Json::Num(e.value)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        pairs.push((
+            "flight_dropped".to_string(),
+            Json::Num(self.flight_dropped as f64),
+        ));
+        pairs.push((
+            "flight_total".to_string(),
+            Json::Num(self.flight_total as f64),
+        ));
+        Json::Obj(pairs)
+    }
+
+    fn from_json(j: &Json) -> Result<IntrospectResponse, String> {
+        let report = match j.get("report") {
+            None | Some(Json::Null) => None,
+            Some(r) => Some(Self::report_from_json(r)?),
+        };
+        let flight = j
+            .get("flight")
+            .and_then(Json::as_arr)
+            .ok_or("introspect response missing \"flight\"")?
+            .iter()
+            .filter_map(|e| {
+                // Unknown kinds come from newer servers: skip the event
+                // rather than failing the whole response.
+                let kind = FlightKind::from_name(e.get("kind")?.as_str()?)?;
+                Some(FlightEvent {
+                    seq: e.get("seq").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                    kind,
+                    detail: e
+                        .get("detail")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    value: e.get("value").and_then(Json::as_f64).unwrap_or(0.0),
+                })
+            })
+            .collect();
+        let lenient = |name: &str| j.get(name).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        Ok(IntrospectResponse {
+            report,
+            flight,
+            flight_dropped: lenient("flight_dropped"),
+            flight_total: lenient("flight_total"),
+        })
+    }
+}
+
 /// A response frame's payload.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -1102,6 +1327,8 @@ pub enum Response {
     Stats(StatsResponse),
     /// A Prometheus-rendered metrics scrape.
     Metrics(MetricsResponse),
+    /// Growth tables + flight-recorder tail.
+    Introspect(IntrospectResponse),
     /// Ping acknowledgement.
     Pong,
     /// Shutdown acknowledgement (the server drains and exits after).
@@ -1162,6 +1389,7 @@ impl Response {
                 ("metrics", Json::Bool(true)),
                 ("prometheus", Json::Str(m.prometheus.clone())),
             ]),
+            Response::Introspect(r) => r.to_json(),
             Response::Snapshot(r) => {
                 let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
                 if let Some(id) = &r.id {
@@ -1235,6 +1463,9 @@ impl Response {
         }
         if j.get("shutting_down").is_some() {
             return Ok(Response::ShuttingDown);
+        }
+        if j.get("introspect").is_some() {
+            return Ok(Response::Introspect(IntrospectResponse::from_json(&j)?));
         }
         if j.get("metrics").is_some() {
             return Ok(Response::Metrics(MetricsResponse {
@@ -1599,6 +1830,68 @@ mod tests {
             let payload = resp.to_payload();
             let back = Response::from_payload(&payload).unwrap();
             assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn introspect_roundtrips() {
+        // Requests: explicit tail, and the default when omitted.
+        let req = Request::Introspect { tail: 17 };
+        assert_eq!(Request::from_payload(&req.to_payload()).unwrap(), req);
+        let defaulted = Request::from_payload(br#"{"op":"introspect"}"#).unwrap();
+        assert_eq!(defaulted, Request::Introspect { tail: DEFAULT_INTROSPECT_TAIL });
+
+        // Full response: tables + flight tail.
+        let resp = Response::Introspect(IntrospectResponse {
+            report: Some(InspectReport {
+                rules: vec![RuleRow {
+                    name: "idiom-gemv".into(),
+                    candidates: 168,
+                    matches: 94,
+                    applied: 15,
+                    nodes_created: 15,
+                    classes_created: 15,
+                    classes_merged: 15,
+                }],
+                ops: vec![OpRow { op: "gemv".into(), nodes: 10, classes: 5 }],
+                n_nodes: 1864,
+                n_classes: 251,
+                nodes_retired: 12,
+                steps: 8,
+            }),
+            flight: vec![FlightEvent {
+                seq: 41,
+                kind: FlightKind::CacheMiss,
+                detail: "ab".repeat(16),
+                value: 0.0,
+            }],
+            flight_dropped: 3,
+            flight_total: 44,
+        });
+        assert_eq!(Response::from_payload(&resp.to_payload()).unwrap(), resp);
+
+        // No cold saturation yet: the report key is absent, not null.
+        let empty = Response::Introspect(IntrospectResponse {
+            report: None,
+            flight: vec![],
+            flight_dropped: 0,
+            flight_total: 0,
+        });
+        let payload = empty.to_payload();
+        assert!(!String::from_utf8_lossy(&payload).contains("report"));
+        assert_eq!(Response::from_payload(&payload).unwrap(), empty);
+
+        // A newer server's unknown flight kind is skipped, not fatal.
+        let forward = br#"{"ok":true,"introspect":true,"flight":[
+            {"seq":1,"kind":"warp-drive-engaged","detail":"","value":1},
+            {"seq":2,"kind":"cache_hit","detail":"f0","value":0}
+        ],"flight_dropped":0,"flight_total":2}"#;
+        match Response::from_payload(forward).unwrap() {
+            Response::Introspect(r) => {
+                assert_eq!(r.flight.len(), 1);
+                assert_eq!(r.flight[0].kind, FlightKind::CacheHit);
+            }
+            other => panic!("expected introspect, got {other:?}"),
         }
     }
 

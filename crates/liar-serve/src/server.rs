@@ -40,16 +40,16 @@ use std::time::{Duration, Instant};
 
 use liar_core::store::stop_reason_from_name;
 use liar_core::{
-    Fingerprint, Liar, MachineProfile, MultiReport, OptimizeError, SaturationCache, SnapshotStore,
-    Target,
+    Fingerprint, InspectReport, Liar, MachineProfile, MultiReport, OptimizeError, SaturationCache,
+    SnapshotStore, Target,
 };
 use liar_ir::{ArrayAnalysis, ArrayEGraph, Expr, StableHasher};
-use liar_trace::{prom::PromWriter, Histogram, Recorder, TraceSink};
+use liar_trace::{prom::PromWriter, FlightRecorder, Histogram, Recorder, TraceSink};
 
 use crate::protocol::{
-    self, read_frame, target_from_wire, write_frame, ErrorCode, FrameError, MetricsResponse,
-    OptimizeRequest, OptimizeResponse, ProofMsg, Request, Response, RestoreRequest,
-    RestoreResponse, SnapshotRequest, SnapshotResponse, SolutionMsg, StatsResponse,
+    self, read_frame, target_from_wire, write_frame, ErrorCode, FrameError, IntrospectResponse,
+    MetricsResponse, OptimizeRequest, OptimizeResponse, ProofMsg, Request, Response,
+    RestoreRequest, RestoreResponse, SnapshotRequest, SnapshotResponse, SolutionMsg, StatsResponse,
 };
 
 /// Tuning knobs of a [`Server`].
@@ -96,6 +96,16 @@ pub struct ServerConfig {
     /// span recording entirely — the metrics histograms stay on either
     /// way, they are plain atomic counters.
     pub trace_dir: Option<std::path::PathBuf>,
+    /// Live introspection (`introspect` op, `liar stats --inspect`):
+    /// when on (the default), every job's pipeline runs with growth
+    /// attribution and a flight recorder, and the daemon retains the
+    /// most recent cold saturation's tables. Attribution is strictly
+    /// observational (answers are bit-identical either way); turn it off
+    /// to shave the ledger's bookkeeping from hot saturations.
+    pub introspect: bool,
+    /// Flight-recorder ring capacity (events retained for the
+    /// `introspect` op's tail).
+    pub flight_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +125,8 @@ impl Default for ServerConfig {
             search_threads: 1,
             warm_dir: None,
             trace_dir: None,
+            introspect: true,
+            flight_capacity: 256,
         }
     }
 }
@@ -230,6 +242,16 @@ struct Shared {
     /// Span recorder behind `config.trace_dir` — disabled (an atomic
     /// load and a branch per call site) when no trace directory is set.
     recorder: Arc<Recorder>,
+    /// When the daemon started (the `liar_uptime_seconds` gauge).
+    start: Instant,
+    /// The always-on event ring the `introspect` op serves its tail
+    /// from. Pipelines record cache hits/misses and snapshot restores
+    /// into it; runners record rule firings, bans and budget
+    /// truncations (only when `config.introspect` attaches it).
+    flight: Arc<FlightRecorder>,
+    /// Growth tables of the most recent *cold* saturation (`None` until
+    /// one runs, or always with `config.introspect` off).
+    inspect: Mutex<Option<InspectReport>>,
 }
 
 impl Shared {
@@ -262,6 +284,13 @@ impl Shared {
         let s = self.stats();
         let us_to_s = |us: &AtomicU64| us.load(Ordering::Relaxed) as f64 / 1e6;
         let mut w = PromWriter::new();
+        w.labeled_gauge(
+            "liar_build_info",
+            "Build metadata; the gauge is always 1",
+            &[("version", env!("CARGO_PKG_VERSION"))],
+            1.0,
+        );
+        w.gauge("liar_uptime_seconds", "Seconds since the daemon started", self.start.elapsed().as_secs_f64());
         w.counter("liar_requests_total", "Optimize requests accepted into the job queue", s.requests as f64);
         w.counter("liar_errors_total", "Error responses sent", s.errors as f64);
         w.counter("liar_coalesced_total", "Requests coalesced onto an identical in-flight computation", s.coalesced as f64);
@@ -278,6 +307,8 @@ impl Shared {
         w.counter("liar_phase_queue_wait_seconds_total", "Total time jobs waited in the queue", us_to_s(&self.metrics.queue_wait_us));
         w.counter("liar_phase_optimize_seconds_total", "Total time inside the optimization pipeline", us_to_s(&self.metrics.optimize_us));
         w.counter("liar_phase_serialize_seconds_total", "Total time serializing replies", us_to_s(&self.metrics.serialize_us));
+        w.counter("liar_flight_events_total", "Flight-recorder events recorded since start", self.flight.total_recorded() as f64);
+        w.counter("liar_flight_dropped_total", "Flight-recorder events evicted from the ring", self.flight.dropped() as f64);
         w.histogram("liar_request_latency_ms", "End-to-end optimize request latency, milliseconds", &self.metrics.latency_ms.snapshot());
         w.histogram("liar_queue_wait_ms", "Queue wait before a worker picked the job up, milliseconds", &self.metrics.queue_wait_ms.snapshot());
         w.finish()
@@ -324,6 +355,9 @@ impl Server {
             counters: Counters::default(),
             metrics: Metrics::new(),
             recorder,
+            start: Instant::now(),
+            flight: Arc::new(FlightRecorder::new(config.flight_capacity)),
+            inspect: Mutex::new(None),
             config,
         });
 
@@ -567,6 +601,14 @@ fn handle_payload(payload: &[u8], shared: &Arc<Shared>) -> Response {
         Request::Metrics => Response::Metrics(MetricsResponse {
             prometheus: shared.prometheus(),
         }),
+        // Introspection reads already-folded state (one mutex clone + a
+        // ring tail), so it is answered inline like `stats`.
+        Request::Introspect { tail } => Response::Introspect(IntrospectResponse {
+            report: shared.inspect.lock().unwrap().clone(),
+            flight: shared.flight.tail(tail),
+            flight_dropped: shared.flight.dropped(),
+            flight_total: shared.flight.total_recorded(),
+        }),
         Request::Shutdown => Response::ShuttingDown,
         // Snapshot traffic is I/O-bound (disk + wire, no saturation), so
         // it is answered inline on the connection thread rather than
@@ -749,6 +791,11 @@ fn job_pipeline(
         // Saturation/extraction spans land in the same trace as the
         // serve-layer request spans.
         pipeline = pipeline.with_trace(Arc::clone(&shared.recorder));
+    }
+    if shared.config.introspect {
+        pipeline = pipeline
+            .with_attribution(true)
+            .with_flight(Arc::clone(&shared.flight));
     }
     pipeline
 }
@@ -1036,6 +1083,16 @@ fn process_job(job: Job, shared: &Arc<Shared>, sink: &mut TraceSink) {
                 .map(|(report, status)| (Arc::new(report), status.name())),
         }
     };
+
+    // Retain the newest growth tables for the `introspect` op. Replayed
+    // (hit/coalesced) reports carry the tables of the cold run that
+    // produced them, so "latest report with tables" is "latest cold
+    // saturation".
+    if let Ok((report, _)) = &outcome {
+        if let Some(inspect) = &report.inspect {
+            *shared.inspect.lock().unwrap() = Some(inspect.clone());
+        }
+    }
 
     let response = match &outcome {
         Ok((report, verdict)) => {

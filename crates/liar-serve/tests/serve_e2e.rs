@@ -627,6 +627,38 @@ fn stats_gauges_metrics_scrape_and_trace_export() {
         scrape.contains("liar_request_latency_ms_bucket{le=\"+Inf\"} 2"),
         "both requests land in the latency histogram:\n{scrape}"
     );
+    // Naming-convention audit: every family is liar_-prefixed and
+    // declared exactly once; the build/uptime gauges are present.
+    let families =
+        liar_trace::prom::audit_metric_names(&scrape, "liar_").expect("audit passes");
+    assert!(families.iter().any(|f| f == "liar_build_info"), "{families:?}");
+    assert!(families.iter().any(|f| f == "liar_uptime_seconds"), "{families:?}");
+    assert!(
+        scrape.contains(&format!(
+            "liar_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )),
+        "scrape:\n{scrape}"
+    );
+
+    // Live introspection: the cold saturation left growth tables behind
+    // (conserved), and the flight recorder saw the miss then the hit on
+    // the same fingerprint.
+    // (The cold saturation also logged a rule_fired event per applied
+    // rule per step, so ask for the whole ring, not just a short tail.)
+    let introspect = client.introspect(256).expect("introspect");
+    let report = introspect.report.expect("one cold saturation completed");
+    assert!(report.n_nodes > 0 && !report.rules.is_empty());
+    report.check().expect("attribution conservation holds on the daemon");
+    let kinds: Vec<_> = introspect.flight.iter().map(|e| e.kind.name()).collect();
+    assert!(kinds.contains(&"rule_fired"), "{kinds:?}");
+    assert!(kinds.contains(&"cache_miss"), "{kinds:?}");
+    assert!(kinds.contains(&"cache_hit"), "{kinds:?}");
+    let fp = &first.fingerprint;
+    assert!(
+        introspect.flight.iter().any(|e| &e.detail == fp),
+        "flight events carry the request fingerprint"
+    );
 
     srv.shutdown();
 

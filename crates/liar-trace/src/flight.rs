@@ -1,0 +1,233 @@
+//! The flight recorder: a bounded ring buffer of structured events that
+//! is cheap enough to leave on permanently.
+//!
+//! Spans ([`Recorder`](crate::Recorder)) answer *where time went*, but
+//! only if a capture was running when the interesting thing happened. The
+//! [`FlightRecorder`] closes that gap for post-mortems: the last
+//! `capacity` notable events — rules firing, scheduler bans, budget
+//! truncations, cache hits and misses, snapshot restores — are always
+//! retained, stamped with a global sequence number, and drained in
+//! **deterministic** (sequence) order. A live daemon serves its tail
+//! through the `introspect` op without any pre-enabled capture.
+//!
+//! Recording takes one mutex lock and, once the ring is warm, no
+//! allocation beyond the event's detail string. An event that falls off
+//! the ring is gone; [`FlightRecorder::dropped`] counts how many were.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// What kind of thing happened. Wire names ([`FlightKind::name`]) are
+/// stable: the serve protocol and `liar stats --inspect` print them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A rewrite rule changed the e-graph (detail: rule name; value:
+    /// applications that changed it).
+    RuleFired,
+    /// The backoff scheduler banned a rule for this step (detail: rule
+    /// name; value: the step index).
+    RuleBanned,
+    /// A search budget truncated a rule's match stream (detail: rule
+    /// name; value: the match limit).
+    BudgetTruncated,
+    /// A request was answered from the in-memory saturation cache
+    /// (detail: request fingerprint or kernel).
+    CacheHit,
+    /// A request missed every cache and ran cold.
+    CacheMiss,
+    /// A saturated e-graph was restored from the durable snapshot store
+    /// (detail: request fingerprint; value: snapshot bytes when known).
+    SnapshotRestore,
+}
+
+impl FlightKind {
+    /// The stable wire name of this event kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightKind::RuleFired => "rule_fired",
+            FlightKind::RuleBanned => "rule_banned",
+            FlightKind::BudgetTruncated => "budget_truncated",
+            FlightKind::CacheHit => "cache_hit",
+            FlightKind::CacheMiss => "cache_miss",
+            FlightKind::SnapshotRestore => "snapshot_restore",
+        }
+    }
+
+    /// Parse a wire name back into a kind.
+    pub fn from_name(name: &str) -> Option<FlightKind> {
+        [
+            FlightKind::RuleFired,
+            FlightKind::RuleBanned,
+            FlightKind::BudgetTruncated,
+            FlightKind::CacheHit,
+            FlightKind::CacheMiss,
+            FlightKind::SnapshotRestore,
+        ]
+        .into_iter()
+        .find(|k| k.name() == name)
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Global sequence number (0-based, monotonically increasing across
+    /// the recorder's lifetime) — the deterministic drain key.
+    pub seq: u64,
+    /// What happened.
+    pub kind: FlightKind,
+    /// What it happened to (rule name, fingerprint, kernel…).
+    pub detail: String,
+    /// A kind-specific measurement (see [`FlightKind`]); 0.0 when the
+    /// kind carries none.
+    pub value: f64,
+}
+
+struct Ring {
+    events: VecDeque<FlightEvent>,
+    next_seq: u64,
+}
+
+/// A bounded, thread-safe ring buffer of [`FlightEvent`]s. See the
+/// [module docs](self).
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("recorded", &self.total_recorded())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            ring: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record one event, evicting the oldest if the ring is full.
+    pub fn record(&self, kind: FlightKind, detail: impl Into<String>, value: f64) {
+        let detail = detail.into();
+        let mut ring = self.ring.lock().expect("flight ring poisoned");
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(FlightEvent {
+            seq,
+            kind,
+            detail,
+            value,
+        });
+    }
+
+    /// Events recorded over the recorder's lifetime (including evicted
+    /// ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.ring.lock().expect("flight ring poisoned").next_seq
+    }
+
+    /// Events that fell off the ring (recorded − retained).
+    pub fn dropped(&self) -> u64 {
+        let ring = self.ring.lock().expect("flight ring poisoned");
+        ring.next_seq - ring.events.len() as u64
+    }
+
+    /// The last `n` events in ascending sequence order (the whole ring
+    /// when `n >= len`). Non-destructive.
+    pub fn tail(&self, n: usize) -> Vec<FlightEvent> {
+        let ring = self.ring.lock().expect("flight ring poisoned");
+        let skip = ring.events.len().saturating_sub(n);
+        ring.events.iter().skip(skip).cloned().collect()
+    }
+
+    /// Remove and return every retained event, ascending sequence order.
+    /// The sequence counter keeps running, so seq numbers never repeat.
+    pub fn drain(&self) -> Vec<FlightEvent> {
+        let mut ring = self.ring.lock().expect("flight ring poisoned");
+        ring.events.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_drains_in_seq_order() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5 {
+            fr.record(FlightKind::RuleFired, format!("r{i}"), i as f64);
+        }
+        assert_eq!(fr.total_recorded(), 5);
+        assert_eq!(fr.dropped(), 2);
+        let tail = fr.tail(10);
+        assert_eq!(
+            tail.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            [2, 3, 4],
+            "oldest two evicted, rest in seq order"
+        );
+        assert_eq!(tail[0].detail, "r2");
+        let drained = fr.drain();
+        assert_eq!(drained, tail, "drain returns the same deterministic order");
+        assert!(fr.tail(10).is_empty(), "drain empties the ring");
+        // Sequence numbers never restart.
+        fr.record(FlightKind::CacheHit, "fp", 0.0);
+        assert_eq!(fr.tail(1)[0].seq, 5);
+    }
+
+    #[test]
+    fn tail_takes_the_last_n() {
+        let fr = FlightRecorder::new(8);
+        for i in 0..4 {
+            fr.record(FlightKind::CacheMiss, format!("k{i}"), 0.0);
+        }
+        let tail = fr.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].detail, "k2");
+        assert_eq!(tail[1].detail, "k3");
+    }
+
+    #[test]
+    fn kind_wire_names_round_trip() {
+        for kind in [
+            FlightKind::RuleFired,
+            FlightKind::RuleBanned,
+            FlightKind::BudgetTruncated,
+            FlightKind::CacheHit,
+            FlightKind::CacheMiss,
+            FlightKind::SnapshotRestore,
+        ] {
+            assert_eq!(FlightKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FlightKind::from_name("warp_core_breach"), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let fr = FlightRecorder::new(0);
+        fr.record(FlightKind::SnapshotRestore, "fp", 1.0);
+        fr.record(FlightKind::SnapshotRestore, "fp2", 2.0);
+        assert_eq!(fr.capacity(), 1);
+        assert_eq!(fr.tail(10).len(), 1);
+        assert_eq!(fr.tail(10)[0].detail, "fp2");
+    }
+}

@@ -210,4 +210,57 @@ mod tests {
     fn unsorted_bounds_panic() {
         Histogram::new(&[2.0, 1.0]);
     }
+
+    #[test]
+    fn empty_snapshot_quantiles_are_zero_at_every_q() {
+        let s = HistogramSnapshot::empty(&[1.0, 2.0, 4.0]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 0.0, "q={q}");
+        }
+        // Out-of-range q clamps rather than panicking or extrapolating.
+        assert_eq!(s.quantile(-1.0), 0.0);
+        assert_eq!(s.quantile(7.0), 0.0);
+    }
+
+    #[test]
+    fn overflow_bucket_never_interpolates_past_the_last_bound() {
+        // Half the mass in a finite bucket, half in +Inf: every quantile
+        // whose rank falls in the overflow bucket must saturate at the
+        // last finite bound instead of interpolating toward infinity.
+        let h = Histogram::new(&[1.0, 2.0]);
+        for _ in 0..5 {
+            h.observe(1.5);
+        }
+        for _ in 0..5 {
+            h.observe(1e9);
+        }
+        let s = h.snapshot();
+        assert!(s.quantile(0.25) <= 2.0);
+        assert_eq!(s.quantile(0.75), 2.0);
+        assert_eq!(s.quantile(1.0), 2.0);
+        // The sum still reflects the true observations, not the clamp.
+        assert!(s.sum > 1e9);
+    }
+
+    #[test]
+    fn single_observation_p50_and_p99_land_in_its_bucket() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(1.7); // second bucket: (1, 2]
+        let s = h.snapshot();
+        let (p50, p99) = (s.quantile(0.5), s.quantile(0.99));
+        // With one observation every quantile has the same rank; the
+        // estimate must come from the (1, 2] bucket for both.
+        assert!((1.0..=2.0).contains(&p50), "{p50}");
+        assert!((1.0..=2.0).contains(&p99), "{p99}");
+        assert!(p50 <= p99, "quantiles must be monotone: {p50} > {p99}");
+    }
+
+    #[test]
+    fn out_of_range_q_clamps_on_populated_histograms() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(-0.5), s.quantile(0.0));
+        assert_eq!(s.quantile(1.5), s.quantile(1.0));
+    }
 }

@@ -33,9 +33,11 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod chrome;
+pub mod flight;
 pub mod hist;
 pub mod prom;
 
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use hist::{Histogram, HistogramSnapshot};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -48,6 +48,34 @@ impl PromWriter {
         self.out.push_str(&format!("{name} {}\n", fmt_value(value)));
     }
 
+    /// Emit a gauge with constant labels — the `*_build_info` idiom:
+    /// a gauge pinned to `1` whose labels carry the metadata. Label
+    /// values are escaped per the exposition format (`\`, `"`, newline).
+    pub fn labeled_gauge(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        self.header(name, help, "gauge");
+        let rendered: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| {
+                let escaped = v
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n");
+                format!("{k}=\"{escaped}\"")
+            })
+            .collect();
+        self.out.push_str(&format!(
+            "{name}{{{}}} {}\n",
+            rendered.join(","),
+            fmt_value(value)
+        ));
+    }
+
     /// Emit a histogram family: cumulative `_bucket{le="..."}` series
     /// ending in `+Inf`, plus `_sum` and `_count`.
     pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
@@ -129,6 +157,35 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Audit an exposition document's metric families against a naming
+/// convention: every `# TYPE`d family must start with `prefix`, and no
+/// family may be declared twice (a duplicate `# TYPE` means two call
+/// sites emitted the same family — Prometheus rejects such scrapes).
+/// Returns the family names seen, in order.
+pub fn audit_metric_names(text: &str, prefix: &str) -> Result<Vec<String>, String> {
+    let mut seen: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let Some(rest) = line.strip_prefix("# TYPE ") else {
+            continue;
+        };
+        let name = rest
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| format!("line {}: bare # TYPE", lineno + 1))?;
+        if !name.starts_with(prefix) {
+            return Err(format!(
+                "line {}: metric {name} violates the {prefix}* naming convention",
+                lineno + 1
+            ));
+        }
+        if seen.iter().any(|s| s == name) {
+            return Err(format!("line {}: metric {name} declared twice", lineno + 1));
+        }
+        seen.push(name.to_string());
+    }
+    Ok(seen)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +212,42 @@ mod tests {
         assert!(text.contains("liar_request_ms_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("liar_request_ms_count 3\n"));
         validate_exposition(&text).expect("valid exposition");
+    }
+
+    #[test]
+    fn labeled_gauge_renders_and_escapes() {
+        let mut w = PromWriter::new();
+        w.labeled_gauge(
+            "liar_build_info",
+            "Build metadata.",
+            &[("version", "0.1.0"), ("weird", "a\"b\\c\nd")],
+            1.0,
+        );
+        let text = w.finish();
+        assert!(text.contains(
+            "liar_build_info{version=\"0.1.0\",weird=\"a\\\"b\\\\c\\nd\"} 1\n"
+        ));
+        validate_exposition(&text).expect("valid exposition");
+    }
+
+    #[test]
+    fn audit_enforces_prefix_and_uniqueness() {
+        let mut w = PromWriter::new();
+        w.counter("liar_requests_total", "Total.", 1.0);
+        w.gauge("liar_queue_depth", "Depth.", 0.0);
+        let text = w.finish();
+        assert_eq!(
+            audit_metric_names(&text, "liar_").unwrap(),
+            ["liar_requests_total", "liar_queue_depth"]
+        );
+        assert!(audit_metric_names(&text, "other_").is_err());
+
+        let mut w = PromWriter::new();
+        w.gauge("liar_x", "X.", 0.0);
+        w.gauge("liar_x", "X again.", 1.0);
+        assert!(audit_metric_names(&w.finish(), "liar_")
+            .unwrap_err()
+            .contains("declared twice"));
     }
 
     #[test]

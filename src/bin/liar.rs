@@ -24,12 +24,20 @@
 //! # Profile a kernel (self-time per phase and per rule), or export a
 //! # Chrome trace-event JSON of any optimization run:
 //! liar profile gemv
+//! liar profile gemv --json                     # machine-readable tables
 //! liar kernel gemv --trace gemv-trace.json     # open in chrome://tracing
+//!
+//! # Growth attribution: which rule built the e-graph? Prints the
+//! # per-rule funnel (candidates → matches → applied → nodes created)
+//! # and the e-graph's composition by operator:
+//! liar inspect gemv
+//! liar inspect gemv --json
 //!
 //! # Run the optimization daemon, and submit programs to it:
 //! liar serve --addr 127.0.0.1:4004 --workers 2
 //! liar submit --addr 127.0.0.1:4004 --kernel gemv
 //! liar stats --addr 127.0.0.1:4004 --prometheus
+//! liar stats --inspect                         # live tables + flight tail
 //!
 //! # Discover commands and flags:
 //! liar help
@@ -45,10 +53,11 @@ use std::sync::Arc;
 use liar::codegen::{emit_kernel, emit_kernel_variants, CInput};
 use liar::core::pipeline::count_lib_calls;
 use liar::core::rules::rules_for;
-use liar::core::{Liar, MachineProfile, RuleConfig, Target, TargetCost};
+use liar::core::{InspectReport, Liar, MachineProfile, RuleConfig, Target, TargetCost};
 use liar::egraph::{DagExtractor, Dot, ExactExtractor, Extractor};
 use liar::ir::Expr;
 use liar::kernels::Kernel;
+use liar::serve::json::Json;
 use liar::serve::protocol::target_from_wire;
 use liar::serve::{Client, OptimizeRequest, Server, ServerConfig, StatsResponse};
 use liar::trace::{self_times, Recorder};
@@ -617,35 +626,10 @@ fn run_profile(p: &Parsed) -> Result<ExitCode, String> {
         .optimize_multi(&expr, &[target], &[1.0])
         .map_err(|e| e.to_string())?;
 
-    println!(
-        "profile {} → {} ({} saturation steps, {} e-nodes, {} classes, stopped: {})",
-        kernel.name(),
-        target.name(),
-        report.steps.len() - 1,
-        report.n_nodes,
-        report.n_classes,
-        report.stop_reason,
-    );
-    println!("solution: {}", report.solutions[0].solution_summary());
-    if threads > 1 {
-        println!("note: per-rule search spans are recorded by the serial engine only");
-    }
-
     let events = recorder.events();
     let rows = self_times(&events);
     let is_rule = |name: &str| name.starts_with("search/") || name.starts_with("apply/");
     let ms = |us: u64| us as f64 / 1000.0;
-
-    println!("\n{:<28} {:>7} {:>12} {:>12}", "phase", "count", "total ms", "self ms");
-    for r in rows.iter().filter(|r| !is_rule(&r.name)) {
-        println!(
-            "{:<28} {:>7} {:>12.3} {:>12.3}",
-            r.name,
-            r.count,
-            ms(r.total_us),
-            ms(r.self_us)
-        );
-    }
 
     // Fold `search/<rule>` and `apply/<rule>` into one row per rule.
     let mut by_rule: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
@@ -661,6 +645,88 @@ fn run_profile(p: &Parsed) -> Result<ExitCode, String> {
         let (sa, sb) = (a.1 .0 + a.1 .1, b.1 .0 + b.1 .1);
         sb.cmp(&sa).then(a.0.cmp(b.0))
     });
+
+    if p.has("--json") {
+        // Stable key order, rows in the same deterministic sort the
+        // tables print — scripts can diff two runs directly.
+        let json = Json::obj([
+            ("kernel", Json::Str(kernel.name().to_string())),
+            ("target", Json::Str(target.name().to_string())),
+            ("steps", Json::Num((report.steps.len() - 1) as f64)),
+            ("n_nodes", Json::Num(report.n_nodes as f64)),
+            ("n_classes", Json::Num(report.n_classes as f64)),
+            ("stop_reason", Json::Str(report.stop_reason.to_string())),
+            (
+                "solution",
+                Json::Str(report.solutions[0].solution_summary()),
+            ),
+            (
+                "phases",
+                Json::Arr(
+                    rows.iter()
+                        .filter(|r| !is_rule(&r.name))
+                        .map(|r| {
+                            Json::obj([
+                                ("name", Json::Str(r.name.clone())),
+                                ("count", Json::Num(r.count as f64)),
+                                ("total_ms", Json::Num(ms(r.total_us))),
+                                ("self_ms", Json::Num(ms(r.self_us))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "rules",
+                Json::Arr(
+                    ranked
+                        .iter()
+                        .map(|(rule, (search_us, apply_us))| {
+                            Json::obj([
+                                ("rule", Json::Str(rule.to_string())),
+                                ("search_ms", Json::Num(ms(*search_us))),
+                                ("apply_ms", Json::Num(ms(*apply_us))),
+                                ("self_ms", Json::Num(ms(search_us + apply_us))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", json.to_json());
+        if let Some(path) = p.value("--trace") {
+            std::fs::write(path, recorder.chrome_trace_json())
+                .map_err(|e| format!("cannot write trace file {path}: {e}"))?;
+            eprintln!("trace: wrote {path} (open in chrome://tracing or Perfetto)");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    println!(
+        "profile {} → {} ({} saturation steps, {} e-nodes, {} classes, stopped: {})",
+        kernel.name(),
+        target.name(),
+        report.steps.len() - 1,
+        report.n_nodes,
+        report.n_classes,
+        report.stop_reason,
+    );
+    println!("solution: {}", report.solutions[0].solution_summary());
+    if threads > 1 {
+        println!("note: per-rule search spans are recorded by the serial engine only");
+    }
+
+    println!("\n{:<28} {:>7} {:>12} {:>12}", "phase", "count", "total ms", "self ms");
+    for r in rows.iter().filter(|r| !is_rule(&r.name)) {
+        println!(
+            "{:<28} {:>7} {:>12.3} {:>12.3}",
+            r.name,
+            r.count,
+            ms(r.total_us),
+            ms(r.self_us)
+        );
+    }
+
     println!(
         "\nper-rule self-time (top {} of {}):",
         top.min(ranked.len()),
@@ -682,6 +748,123 @@ fn run_profile(p: &Parsed) -> Result<ExitCode, String> {
             .map_err(|e| format!("cannot write trace file {path}: {e}"))?;
         eprintln!("trace: wrote {path} (open in chrome://tracing or Perfetto)");
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Render an [`InspectReport`] as JSON with a stable key order (struct
+/// order; rows keep the report's deterministic sort).
+fn inspect_json(report: &InspectReport) -> Json {
+    Json::obj([
+        ("n_nodes", Json::Num(report.n_nodes as f64)),
+        ("n_classes", Json::Num(report.n_classes as f64)),
+        ("nodes_retired", Json::Num(report.nodes_retired as f64)),
+        ("steps", Json::Num(report.steps as f64)),
+        (
+            "rules",
+            Json::Arr(
+                report
+                    .rules
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("name", Json::Str(r.name.clone())),
+                            ("candidates", Json::Num(r.candidates as f64)),
+                            ("matches", Json::Num(r.matches as f64)),
+                            ("applied", Json::Num(r.applied as f64)),
+                            ("nodes_created", Json::Num(r.nodes_created as f64)),
+                            ("classes_created", Json::Num(r.classes_created as f64)),
+                            ("classes_merged", Json::Num(r.classes_merged as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "ops",
+            Json::Arr(
+                report
+                    .ops
+                    .iter()
+                    .map(|o| {
+                        Json::obj([
+                            ("op", Json::Str(o.op.clone())),
+                            ("nodes", Json::Num(o.nodes as f64)),
+                            ("classes", Json::Num(o.classes as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Print the two introspection tables (shared by `liar inspect` and
+/// `liar stats --inspect`).
+fn print_inspect_report(report: &InspectReport, top: usize) {
+    println!(
+        "e-graph: {} e-nodes in {} classes after {} steps ({} nodes retired by rebuild)",
+        report.n_nodes, report.n_classes, report.steps, report.nodes_retired
+    );
+    match report.check() {
+        Ok(()) => println!("conservation: ok (every node and class is charged to exactly one origin)"),
+        Err(e) => println!("conservation: VIOLATED — {e}"),
+    }
+
+    println!(
+        "\nrule funnel (top {} of {} origins by nodes created):",
+        top.min(report.rules.len()),
+        report.rules.len()
+    );
+    println!(
+        "{:<40} {:>10} {:>9} {:>8} {:>8} {:>8} {:>7}",
+        "rule", "candidates", "matches", "applied", "nodes", "classes", "merges"
+    );
+    for r in report.rules.iter().take(top) {
+        println!(
+            "{:<40} {:>10} {:>9} {:>8} {:>8} {:>8} {:>7}",
+            r.name, r.candidates, r.matches, r.applied, r.nodes_created, r.classes_created,
+            r.classes_merged
+        );
+    }
+
+    println!(
+        "\ncomposition by operator (top {} of {}):",
+        top.min(report.ops.len()),
+        report.ops.len()
+    );
+    println!("{:<24} {:>8} {:>8}", "op", "nodes", "classes");
+    for o in report.ops.iter().take(top) {
+        println!("{:<24} {:>8} {:>8}", o.op, o.nodes, o.classes);
+    }
+}
+
+/// `liar inspect <kernel-or-expr>`: saturate once with the union ruleset
+/// under growth attribution and print who built the e-graph (per-rule
+/// funnel) and what it is made of (composition by operator).
+fn run_inspect(p: &Parsed) -> Result<ExitCode, String> {
+    let (label, expr) = kernel_or_expr(p)?;
+    let targets = multi_targets(p)?.unwrap_or_else(|| Target::ALL.to_vec());
+    let steps = p.usize_or("--steps", 8)?;
+    let threads = p.usize_or("--threads", 1)?;
+    let top = p.usize_or("--top", 20)?;
+
+    let pipeline = Liar::new(targets[0])
+        .with_iter_limit(steps)
+        .with_threads(threads);
+    let report = pipeline.inspect(&expr, &targets);
+    // The conservation invariant is the whole point of the ledger: a
+    // violation is a bug worth a non-zero exit, not a footnote.
+    report
+        .check()
+        .map_err(|e| format!("attribution conservation violated: {e}"))?;
+
+    if p.has("--json") {
+        println!("{}", inspect_json(&report).to_json());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let target_names: Vec<&str> = targets.iter().map(|t| t.name()).collect();
+    println!("inspect {label} (targets {})", target_names.join(","));
+    print_inspect_report(&report, top);
     Ok(ExitCode::SUCCESS)
 }
 
@@ -866,8 +1049,32 @@ fn print_stats(stats: &StatsResponse) {
     );
 }
 
+/// `liar stats --json` payload: the counters in declaration order.
+fn stats_json(stats: &StatsResponse) -> Json {
+    Json::obj([
+        ("cache_hits", Json::Num(stats.cache_hits as f64)),
+        ("cache_misses", Json::Num(stats.cache_misses as f64)),
+        ("cache_insertions", Json::Num(stats.cache_insertions as f64)),
+        ("cache_evictions", Json::Num(stats.cache_evictions as f64)),
+        ("cache_rejected", Json::Num(stats.cache_rejected as f64)),
+        ("cache_entries", Json::Num(stats.cache_entries as f64)),
+        ("cache_bytes", Json::Num(stats.cache_bytes as f64)),
+        ("requests", Json::Num(stats.requests as f64)),
+        ("errors", Json::Num(stats.errors as f64)),
+        ("coalesced", Json::Num(stats.coalesced as f64)),
+        ("batched", Json::Num(stats.batched as f64)),
+        ("queue_depth", Json::Num(stats.queue_depth as f64)),
+        ("inflight", Json::Num(stats.inflight as f64)),
+        ("latency_p50_ms", Json::Num(stats.latency_p50_ms)),
+        ("latency_p95_ms", Json::Num(stats.latency_p95_ms)),
+        ("latency_p99_ms", Json::Num(stats.latency_p99_ms)),
+    ])
+}
+
 /// `liar stats`: scrape a running daemon's counters — human-readable by
-/// default, Prometheus text exposition under `--prometheus`.
+/// default, Prometheus text exposition under `--prometheus`, growth
+/// tables + flight-recorder tail under `--inspect`, machine-readable
+/// under `--json`.
 fn run_stats(p: &Parsed) -> Result<ExitCode, String> {
     let addr = p.value("--addr").unwrap_or("127.0.0.1:4004").to_string();
     let mut client = match Client::connect(&addr) {
@@ -888,10 +1095,55 @@ fn run_stats(p: &Parsed) -> Result<ExitCode, String> {
                 Ok(ExitCode::FAILURE)
             }
         }
+    } else if p.has("--inspect") {
+        let tail = p.usize_or("--tail", liar::serve::protocol::DEFAULT_INTROSPECT_TAIL)?;
+        let resp = match client.introspect(tail) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return Ok(ExitCode::FAILURE);
+            }
+        };
+        if p.has("--json") {
+            // The wire payload already has stable key order; print it
+            // verbatim rather than re-encoding.
+            println!("{}", resp.to_json().to_json());
+            return Ok(ExitCode::SUCCESS);
+        }
+        match &resp.report {
+            Some(report) => {
+                println!("latest cold saturation:");
+                print_inspect_report(report, 20);
+            }
+            None => println!(
+                "no growth tables yet (no cold saturation has completed, \
+                 or the daemon runs with introspection off)"
+            ),
+        }
+        println!(
+            "\nflight recorder: {} events recorded, {} dropped, showing last {}:",
+            resp.flight_total,
+            resp.flight_dropped,
+            resp.flight.len()
+        );
+        for ev in &resp.flight {
+            println!(
+                "  #{:<8} {:<18} {:<44} {}",
+                ev.seq,
+                ev.kind.name(),
+                ev.detail,
+                ev.value
+            );
+        }
+        Ok(ExitCode::SUCCESS)
     } else {
         match client.stats() {
             Ok(stats) => {
-                print_stats(&stats);
+                if p.has("--json") {
+                    println!("{}", stats_json(&stats).to_json());
+                } else {
+                    print_stats(&stats);
+                }
                 Ok(ExitCode::SUCCESS)
             }
             Err(e) => {
@@ -1077,8 +1329,51 @@ const COMMANDS: &[CommandSpec] = &[
                 metavar: Some("FILE"),
                 help: "also write the Chrome trace-event JSON to FILE",
             },
+            FlagSpec {
+                name: "--json",
+                metavar: None,
+                help: "print the phase + per-rule tables as JSON (stable key order)",
+            },
         ],
         run: run_profile,
+    },
+    CommandSpec {
+        name: "inspect",
+        positional: "<kernel-or-expr>",
+        about: "growth attribution: per-rule funnel and e-graph composition",
+        flags: &[
+            FlagSpec {
+                name: "--targets",
+                metavar: Some("A,B"),
+                help: "comma-separated targets (default: all three)",
+            },
+            FlagSpec {
+                name: "--all-targets",
+                metavar: None,
+                help: "shorthand for --targets pure-c,blas,pytorch",
+            },
+            FlagSpec {
+                name: "--steps",
+                metavar: Some("N"),
+                help: "saturation-step limit (default 8)",
+            },
+            FlagSpec {
+                name: "--threads",
+                metavar: Some("N"),
+                help: "e-matching worker threads (tables are thread-invariant)",
+            },
+            FlagSpec {
+                name: "--top",
+                metavar: Some("N"),
+                help: "rows in the per-rule funnel (default 20)",
+            },
+            FlagSpec {
+                name: "--json",
+                metavar: None,
+                help: "print the report as JSON (stable key order)",
+            },
+        ],
+        run: run_inspect,
     },
     CommandSpec {
         name: "emit-c",
@@ -1286,6 +1581,21 @@ const COMMANDS: &[CommandSpec] = &[
                 name: "--prometheus",
                 metavar: None,
                 help: "print the full metric set as Prometheus text exposition",
+            },
+            FlagSpec {
+                name: "--inspect",
+                metavar: None,
+                help: "print the latest growth tables + flight-recorder tail",
+            },
+            FlagSpec {
+                name: "--tail",
+                metavar: Some("N"),
+                help: "with --inspect: flight-recorder events to fetch (default 64)",
+            },
+            FlagSpec {
+                name: "--json",
+                metavar: None,
+                help: "machine-readable output (stable key order)",
             },
         ],
         run: run_stats,

@@ -1,17 +1,21 @@
-//! The tracing wall: attaching a [`liar::trace::Recorder`] to the
-//! pipeline is strictly observational — reports, solutions and proofs
-//! are **bit-identical** with tracing on or off, under both the serial
-//! and parallel search engines. If these break, profiling a run changes
-//! what LIAR discovers, and every traced measurement is suspect.
+//! The tracing + attribution wall: attaching a
+//! [`liar::trace::Recorder`] or enabling the growth-attribution ledger
+//! is strictly observational — reports, solutions and proofs are
+//! **bit-identical** with the observer on or off, under both the serial
+//! and parallel search engines. If these break, profiling (or
+//! inspecting) a run changes what LIAR discovers, and every measurement
+//! is suspect.
 //!
 //! Also pins the export contract the acceptance criteria name: the
 //! Chrome trace-event JSON parses (with the repo's own parser) and its
-//! phase spans nest properly for real kernels (gemv, mvt).
+//! phase spans nest properly for real kernels (gemv, mvt), and the
+//! attribution ledger's conservation identities hold on **every**
+//! evaluation kernel under the union ruleset.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use liar::core::{Liar, MultiReport, OptimizationReport, Target};
+use liar::core::{InspectReport, Liar, MultiReport, OptimizationReport, Target};
 use liar::ir::Expr;
 use liar::kernels::Kernel;
 use liar::serve::json::{self, Json};
@@ -119,6 +123,118 @@ fn tracing_is_invisible_to_multi_solutions_and_proofs() {
         assert!(
             events.iter().any(|e| e.name.starts_with("explain/")),
             "{ctx}: no explain span"
+        );
+    }
+}
+
+fn optimize_multi_attributed(expr: &Expr, threads: usize, attribution: bool) -> MultiReport {
+    Liar::new(Target::Blas)
+        .with_iter_limit(6)
+        .with_threads(threads)
+        .with_explanations(true)
+        .with_attribution(attribution)
+        .optimize_multi(expr, &[Target::Blas, Target::Torch], &[1.0])
+        .expect("multi-target optimization succeeds")
+}
+
+/// Everything except wall-clock timings (and the `inspect` tables
+/// themselves) must agree between two live multi-target runs.
+fn assert_multi_semantically_identical(a: &MultiReport, b: &MultiReport, ctx: &str) {
+    assert_eq!(a.targets, b.targets, "{ctx}: targets");
+    assert_eq!(a.stop_reason, b.stop_reason, "{ctx}: stop reason");
+    assert_eq!(a.n_nodes, b.n_nodes, "{ctx}: e-nodes");
+    assert_eq!(a.n_classes, b.n_classes, "{ctx}: classes");
+    assert_eq!(a.steps.len(), b.steps.len(), "{ctx}: step count");
+    for (s, p) in a.steps.iter().zip(&b.steps) {
+        let step = s.step;
+        assert_eq!(s.step, p.step, "{ctx}");
+        assert_eq!(s.n_nodes, p.n_nodes, "{ctx}: step {step} e-nodes");
+        assert_eq!(s.n_classes, p.n_classes, "{ctx}: step {step} classes");
+        assert_eq!(s.search_candidates, p.search_candidates, "{ctx}: step {step} candidates");
+        assert_eq!(s.frontier_candidates, p.frontier_candidates, "{ctx}: step {step} frontier");
+        assert_eq!(s.search_matches, p.search_matches, "{ctx}: step {step} matches");
+    }
+    // Solutions carry the proofs; compare everything except
+    // `extract_time` (wall clock).
+    assert_eq!(a.solutions.len(), b.solutions.len(), "{ctx}: solution count");
+    for (s, p) in a.solutions.iter().zip(&b.solutions) {
+        let t = s.target.name();
+        assert_eq!(s.target, p.target, "{ctx}");
+        assert_eq!(s.profile, p.profile, "{ctx}: {t}");
+        assert_eq!(s.best, p.best, "{ctx}: {t} best expression");
+        assert_eq!(s.cost, p.cost, "{ctx}: {t} cost");
+        assert_eq!(s.dag_best, p.dag_best, "{ctx}: {t} DAG expression");
+        assert_eq!(s.dag_cost, p.dag_cost, "{ctx}: {t} DAG cost");
+        assert_eq!(s.lib_calls, p.lib_calls, "{ctx}: {t} library calls");
+        assert_eq!(s.stats, p.stats, "{ctx}: {t} extraction statistics");
+        assert_eq!(s.proof, p.proof, "{ctx}: {t} proof");
+    }
+}
+
+#[test]
+fn attribution_is_invisible_to_reports_solutions_and_proofs() {
+    for kernel in [Kernel::Vsum, Kernel::Gemv] {
+        let expr = kernel.expr(kernel.search_size());
+        for threads in [1, 4] {
+            let ctx = format!("{} @ {threads} threads", kernel.name());
+            let off = optimize_multi_attributed(&expr, threads, false);
+            let on = optimize_multi_attributed(&expr, threads, true);
+
+            assert_multi_semantically_identical(&off, &on, &ctx);
+            assert!(off.inspect.is_none(), "{ctx}: ledger off but tables present");
+            let inspect = on.inspect.as_ref().unwrap_or_else(|| {
+                panic!("{ctx}: ledger on but no tables")
+            });
+            inspect.check().unwrap_or_else(|e| {
+                panic!("{ctx}: conservation violated: {e}")
+            });
+            // The tables describe the same e-graph the report does.
+            assert_eq!(inspect.n_nodes, on.n_nodes, "{ctx}");
+            assert_eq!(inspect.n_classes, on.n_classes, "{ctx}");
+        }
+    }
+}
+
+#[test]
+fn attribution_tables_are_bit_identical_serial_vs_parallel() {
+    let expr = Kernel::Gemv.expr(Kernel::Gemv.search_size());
+    let serial = optimize_multi_attributed(&expr, 1, true);
+    let parallel = optimize_multi_attributed(&expr, 4, true);
+    assert_multi_semantically_identical(&serial, &parallel, "gemv serial vs parallel");
+    // `InspectReport` has no wall-clock fields: the tables must be
+    // bit-identical across engines.
+    assert_eq!(
+        serial.inspect, parallel.inspect,
+        "attribution tables diverge across engines"
+    );
+}
+
+#[test]
+fn conservation_holds_on_every_kernel_under_the_union_ruleset() {
+    for kernel in Kernel::ALL {
+        let expr = kernel.expr(kernel.search_size());
+        let inspect_at = |threads: usize| -> InspectReport {
+            Liar::new(Target::Blas)
+                .with_iter_limit(6)
+                .with_threads(threads)
+                .inspect(&expr, &Target::ALL)
+        };
+        let serial = inspect_at(1);
+        serial.check().unwrap_or_else(|e| {
+            panic!("{}: conservation violated (serial): {e}", kernel.name())
+        });
+        let parallel = inspect_at(4);
+        assert_eq!(
+            serial,
+            parallel,
+            "{}: tables diverge serial vs parallel",
+            kernel.name()
+        );
+        // Attribution charged real work, not just the initial program.
+        assert!(
+            serial.total_nodes_created() > 0 && serial.rule("(init)").is_some(),
+            "{}: empty ledger",
+            kernel.name()
         );
     }
 }
